@@ -1,0 +1,167 @@
+"""Ablations (beyond the paper's figures) on the allocation design
+choices DESIGN.md calls out:
+
+1. Allocation rule across heterogeneity regimes — CVOPT (l2) vs Senate
+   vs Neyman vs proportional (house): which statistic matters when only
+   sizes / only variances / only means / everything varies.
+2. RL's missing cap-redistribution — how much budget the paper's
+   critique actually costs on data with small, high-CV groups.
+3. The representation floor (min_per_stratum) — coverage vs allocation
+   freedom.
+"""
+
+import numpy as np
+import pytest
+
+from repro.aqp.errors import compare_results
+from repro.aqp.runner import QueryTask, ground_truth
+from repro.baselines import (
+    CongressSampler,
+    NeymanSampler,
+    RLSampler,
+    SenateSampler,
+)
+from repro.core.cvopt import CVOptSampler
+from repro.core.spec import GroupByQuerySpec
+from repro.datasets.synthetic import heterogeneity_scenario, make_grouped_table
+
+from conftest import record_table, shape_check
+
+SQL = "SELECT g, AVG(v) a FROM T GROUP BY g"
+TASK = QueryTask(name="avg", sql=SQL, table_name="T")
+SPEC = GroupByQuerySpec.single("v", by=("g",))
+
+
+def _mean_error(sampler, table, truth, rate, reps=5, seed=0):
+    rng = np.random.default_rng(seed)
+    errors = []
+    for _ in range(reps):
+        sample = sampler.sample_rate(table, rate, seed=rng)
+        errors.append(
+            compare_results(truth, sample.answer(SQL, "T")).mean_error()
+        )
+    return float(np.mean(errors))
+
+
+def _run_scenarios():
+    samplers = {
+        "Senate": SenateSampler(SPEC),
+        "CS": CongressSampler(SPEC),
+        "Neyman": NeymanSampler(SPEC),
+        "CVOPT": CVOptSampler(SPEC),
+    }
+    results = {}
+    for kind in ("sizes", "variances", "means", "mixed"):
+        table = heterogeneity_scenario(kind, num_groups=20, seed=3)
+        truth = ground_truth(TASK, table)
+        for method, sampler in samplers.items():
+            results.setdefault(method, {})[kind] = _mean_error(
+                sampler, table, truth, rate=0.01, seed=11
+            )
+    return results
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_heterogeneity_regimes(benchmark):
+    results = benchmark.pedantic(_run_scenarios, rounds=1, iterations=1)
+    record_table(
+        benchmark,
+        "Ablation: mean error by heterogeneity regime (1% sample)",
+        results,
+    )
+    for kind in ("variances", "means", "mixed"):
+        competitors = [results[m][kind] for m in ("Senate", "CS", "Neyman")]
+        shape_check(
+            results["CVOPT"][kind] <= min(competitors) * 1.2,
+            f"CVOPT best or near-best under '{kind}' heterogeneity",
+        )
+    # When only means differ (equal CVs), Neyman misallocates massively.
+    shape_check(
+        results["CVOPT"]["means"] <= results["Neyman"]["means"],
+        "CV-based allocation must beat Neyman when means differ",
+    )
+
+
+def _run_rl_cap():
+    table = make_grouped_table(
+        sizes=[30, 50, 20_000, 20_000, 20_000],
+        means=[10.0, 10.0, 10.0, 10.0, 10.0],
+        stds=[9.0, 8.0, 3.0, 3.0, 3.0],
+        seed=5,
+        exact_moments=True,
+    )
+    truth = ground_truth(TASK, table)
+    rl = RLSampler(SPEC)
+    cvopt = CVOptSampler(SPEC)
+    budget = 600
+    rl_alloc = rl.allocation(table, budget)
+    cvopt_alloc = cvopt.allocation(table, budget)
+    return {
+        "RL": {
+            "budget_used": rl_alloc.total / budget,
+            "mean_error": _mean_error(rl, table, truth, 0.01, seed=19),
+        },
+        "CVOPT": {
+            "budget_used": cvopt_alloc.total / budget,
+            "mean_error": _mean_error(cvopt, table, truth, 0.01, seed=19),
+        },
+    }
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_rl_cap_without_redistribution(benchmark):
+    results = benchmark.pedantic(_run_rl_cap, rounds=1, iterations=1)
+    record_table(
+        benchmark,
+        "Ablation: RL's lost budget on small high-CV groups",
+        results,
+    )
+    shape_check(
+        results["RL"]["budget_used"] < 1.0 - 1e-9,
+        "RL must waste budget when CV shares exceed small groups",
+    )
+    shape_check(
+        results["CVOPT"]["budget_used"] >= 0.999,
+        "CVOPT must spend the whole budget",
+    )
+
+
+def _run_floor():
+    rng = np.random.default_rng(2)
+    sizes = np.maximum((40_000 * np.arange(1, 25) ** -1.4).astype(int), 12)
+    means = rng.uniform(20, 200, 24)
+    stds = means * rng.uniform(0.1, 1.0, 24)
+    table = make_grouped_table(
+        sizes=sizes, means=means, stds=stds, exact_moments=True
+    )
+    truth = ground_truth(TASK, table)
+    results = {}
+    for floor in (0, 1, 3):
+        sampler = CVOptSampler(SPEC, min_per_stratum=floor)
+        rng2 = np.random.default_rng(41)
+        missing, mean_err = [], []
+        for _ in range(5):
+            sample = sampler.sample_rate(table, 0.005, seed=rng2)
+            errors = compare_results(truth, sample.answer(SQL, "T"))
+            missing.append(errors.missing_groups)
+            mean_err.append(errors.mean_error())
+        results[f"floor={floor}"] = {
+            "mean_error": float(np.mean(mean_err)),
+            "missing_groups": float(np.mean(missing)) / 24,
+        }
+    return results
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_min_per_stratum(benchmark):
+    results = benchmark.pedantic(_run_floor, rounds=1, iterations=1)
+    record_table(
+        benchmark,
+        "Ablation: representation floor (0.5% sample, 24 groups)",
+        results,
+    )
+    shape_check(
+        results["floor=1"]["missing_groups"]
+        <= results["floor=0"]["missing_groups"],
+        "a floor of 1 must not increase missing groups",
+    )

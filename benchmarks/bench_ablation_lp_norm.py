@@ -1,0 +1,77 @@
+"""Ablation — the l-p norm family (paper Section 8, future work):
+how the error *distribution* across groups shifts as p moves from 2
+(the paper's CVOPT) through intermediate norms to infinity (CVOPT-INF).
+
+Expectation (generalizing Figure 6): the max error falls monotonically
+with p while the median rises — the norm picks a point on that
+trade-off curve.
+"""
+
+import numpy as np
+import pytest
+
+from repro.aqp.errors import compare_results
+from repro.aqp.runner import QueryTask, ground_truth
+from repro.core.cvopt import CVOptSampler
+from repro.core.cvopt_inf import CVOptInfSampler
+from repro.core.lp_norm import CVOptLpSampler
+from repro.core.spec import GroupByQuerySpec
+from repro.datasets.synthetic import make_grouped_table
+
+from conftest import record_table, shape_check
+
+SQL = "SELECT g, AVG(v) a FROM T GROUP BY g"
+TASK = QueryTask(name="avg", sql=SQL, table_name="T")
+SPEC = GroupByQuerySpec.single("v", by=("g",))
+REPS = 8
+
+
+def _run():
+    rng = np.random.default_rng(6)
+    sizes = np.maximum((60_000 * np.arange(1, 15) ** -1.2).astype(int), 60)
+    means = rng.uniform(50, 500, 14)
+    stds = means * rng.uniform(0.05, 1.5, 14)
+    table = make_grouped_table(
+        sizes=sizes, means=means, stds=stds, exact_moments=True
+    )
+    truth = ground_truth(TASK, table)
+
+    samplers = {
+        "p=2 (CVOPT)": CVOptSampler(SPEC),
+        "p=4": CVOptLpSampler(SPEC, p=4),
+        "p=8": CVOptLpSampler(SPEC, p=8),
+        "p=inf (INF)": CVOptInfSampler(SPEC),
+    }
+    results = {}
+    for label, sampler in samplers.items():
+        rng2 = np.random.default_rng(77)
+        maxes, medians = [], []
+        for _ in range(REPS):
+            sample = sampler.sample_rate(table, 0.01, seed=rng2)
+            errors = compare_results(truth, sample.answer(SQL, "T"))
+            maxes.append(errors.max_error())
+            medians.append(errors.median_error())
+        results[label] = {
+            "median": float(np.mean(medians)),
+            "max": float(np.mean(maxes)),
+        }
+    return results
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_lp_norm_family(benchmark):
+    results = benchmark.pedantic(_run, rounds=1, iterations=1)
+    record_table(
+        benchmark,
+        "Ablation: l-p norm family, median vs max error (1% sample)",
+        results,
+    )
+    labels = list(results)
+    shape_check(
+        results[labels[-1]]["max"] <= results[labels[0]]["max"] * 1.05,
+        "the l-inf end must have max error <= the l2 end",
+    )
+    shape_check(
+        results[labels[0]]["median"] <= results[labels[-1]]["median"] * 1.05,
+        "the l2 end must have median error <= the l-inf end",
+    )

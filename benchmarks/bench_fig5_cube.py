@@ -1,0 +1,67 @@
+"""Figure 5 — maximum error of WITH CUBE queries: AQ7 (SAMG), B3 (SAMG),
+AQ8 (MAMG), B4 (MAMG); Uniform / CS / RL / CVOPT.
+
+Paper result: CVOPT performs significantly better than Uniform and RL
+and is consistently better than CS (whose scaled-congress allocation is
+the strongest heuristic here). The shape to reproduce: CVOPT best or
+tied per query, Uniform worst or near-worst.
+"""
+
+import pytest
+
+from repro.aqp.runner import run_experiment
+from repro.baselines import make_samplers
+from repro.core.spec import specs_from_sql
+from repro.queries import get_query, task_for
+
+from conftest import REPETITIONS, record_table, shape_check
+
+CUBE_QUERIES = (
+    ("AQ7", "openaq", 0.01),
+    ("B3", "bikes", 0.05),
+    ("AQ8", "openaq", 0.01),
+    ("B4", "bikes", 0.05),
+)
+
+
+def _run(openaq, bikes):
+    tables = {"openaq": openaq, "bikes": bikes}
+    results = {}
+    for name, dataset, rate in CUBE_QUERIES:
+        query = get_query(name)
+        specs, derived = specs_from_sql(query.sql)
+        samplers = make_samplers(specs, derived, include_sample_seek=False)
+        outcome = run_experiment(
+            tables[dataset],
+            [task_for(name)],
+            samplers,
+            rate=rate,
+            repetitions=REPETITIONS,
+            seed=29,
+        )
+        label = f"{name} ({query.kind})"
+        for method in samplers:
+            results.setdefault(method, {})[label] = outcome.get(
+                method, name
+            ).max_error()
+    return results
+
+
+@pytest.mark.benchmark(group="fig5")
+def test_fig5_cube(benchmark, openaq, bikes):
+    results = benchmark.pedantic(
+        _run, args=(openaq, bikes), rounds=1, iterations=1
+    )
+    record_table(
+        benchmark, "Figure 5: max error of CUBE group-by queries", results
+    )
+    for label in results["CVOPT"]:
+        shape_check(
+            results["CVOPT"][label] <= results["Uniform"][label],
+            f"CVOPT must beat Uniform on {label}",
+        )
+        shape_check(
+            results["CVOPT"][label]
+            <= min(results["CS"][label], results["RL"][label]) * 1.25,
+            f"CVOPT best or near-best on {label}",
+        )

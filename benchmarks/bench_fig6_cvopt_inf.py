@@ -1,0 +1,83 @@
+"""Figure 6 — error percentiles of CVOPT (l2) vs CVOPT-INF (l-infinity)
+for SASG queries AQ3 and B2.
+
+Paper result: CVOPT-INF has the lower MAX error; CVOPT (l2) is better
+at the 90th percentile and below. The shape to reproduce: INF <= l2 at
+MAX, l2 <= INF somewhere at/below the median.
+"""
+
+import numpy as np
+import pytest
+
+from repro.aqp.errors import compare_results
+from repro.aqp.runner import ground_truth
+from repro.core.cvopt import CVOptSampler
+from repro.core.cvopt_inf import CVOptInfSampler
+from repro.queries import get_query, task_for
+
+from conftest import record_table, shape_check
+
+RANKS = (0.1, 0.25, 0.5, 0.75, 0.9, 0.99)
+REPS = 5
+
+
+def _percentiles(table, name, rate):
+    query = get_query(name)
+    truth = ground_truth(task_for(name), table)
+    samplers = {
+        f"{name}-CVOPT": CVOptSampler.from_sql(query.sql),
+        f"{name}-INF": CVOptInfSampler.from_sql(query.sql),
+    }
+    results = {}
+    for label, sampler in samplers.items():
+        rng = np.random.default_rng(37)
+        profiles = []
+        for _ in range(REPS):
+            sample = sampler.sample_rate(table, rate, seed=rng)
+            errors = compare_results(
+                truth, sample.answer(query.sql, query.table_name)
+            )
+            profile = {f"p{int(r*100)}": errors.percentile(r) for r in RANKS}
+            profile["MAX"] = errors.max_error()
+            profiles.append(profile)
+        results[label] = {
+            key: float(np.mean([p[key] for p in profiles]))
+            for key in profiles[0]
+        }
+    return results
+
+
+@pytest.mark.benchmark(group="fig6")
+def test_fig6_aq3(benchmark, openaq):
+    results = benchmark.pedantic(
+        _percentiles, args=(openaq, "AQ3", 0.01), rounds=1, iterations=1
+    )
+    record_table(
+        benchmark, "Figure 6 (AQ3): error percentiles, l2 vs l-inf", results
+    )
+    shape_check(
+        results["AQ3-INF"]["MAX"] <= results["AQ3-CVOPT"]["MAX"] * 1.05,
+        "CVOPT-INF must have the lower max error (AQ3)",
+    )
+    shape_check(
+        any(
+            results["AQ3-CVOPT"][f"p{int(r*100)}"]
+            <= results["AQ3-INF"][f"p{int(r*100)}"] * 1.02
+            for r in (0.1, 0.25, 0.5, 0.75, 0.9)
+        ),
+        "l2-CVOPT must win somewhere at/below the 90th percentile (AQ3)",
+    )
+
+
+@pytest.mark.benchmark(group="fig6")
+def test_fig6_b2(benchmark, bikes):
+    results = benchmark.pedantic(
+        _percentiles, args=(bikes, "B2", 0.05), rounds=1, iterations=1
+    )
+    record_table(
+        benchmark, "Figure 6 (B2): error percentiles, l2 vs l-inf", results
+    )
+    shape_check(
+        results["B2-INF"]["MAX"] <= results["B2-CVOPT"]["MAX"] * 1.05,
+        "CVOPT-INF must have the lower max error (B2)",
+    )

@@ -1,0 +1,58 @@
+"""Table 5 — reusability: six queries (AQ3, AQ3.a-c, AQ5, AQ6) answered
+by the single materialized sample optimized for AQ3. AQ5/AQ6 bring new
+predicates; AQ6 also groups by a subset of AQ3's attributes.
+
+Paper result (average error %): CVOPT 1.5 / 4.4 / 2.4 / 1.9 / 2.3 / 0.8
+beats CS and RL on every query, with Uniform far behind (98-100% on the
+full-selectivity queries due to missing groups). Shape: CVOPT best or
+near-best on every reused query.
+"""
+
+import pytest
+
+from repro.aqp.runner import run_experiment
+from repro.baselines import make_samplers
+from repro.core.spec import specs_from_sql
+from repro.queries import get_query, task_for
+
+from conftest import REPETITIONS, record_table, shape_check
+
+QUERIES = ("AQ3", "AQ3.a", "AQ3.b", "AQ3.c", "AQ5", "AQ6")
+RATE = 0.01
+
+
+def _run(openaq):
+    specs, derived = specs_from_sql(get_query("AQ3").sql)
+    samplers = make_samplers(specs, derived, include_sample_seek=False)
+    tasks = [task_for(name) for name in QUERIES]
+    outcome = run_experiment(
+        openaq, tasks, samplers, rate=RATE,
+        repetitions=REPETITIONS, seed=13,
+    )
+    return {
+        method: {
+            name: outcome.get(method, name).mean_error()
+            for name in QUERIES
+        }
+        for method in samplers
+    }
+
+
+@pytest.mark.benchmark(group="table5")
+def test_table5_reuse(benchmark, openaq):
+    results = benchmark.pedantic(_run, args=(openaq,), rounds=1, iterations=1)
+    record_table(
+        benchmark,
+        "Table 5: average error of six queries from the AQ3 sample",
+        results,
+    )
+    for name in QUERIES:
+        shape_check(
+            results["CVOPT"][name]
+            <= min(results["CS"][name], results["RL"][name]) * 1.25,
+            f"CVOPT best or near-best on reused query {name}",
+        )
+        shape_check(
+            results["CVOPT"][name] < results["Uniform"][name],
+            f"CVOPT must beat Uniform on reused query {name}",
+        )

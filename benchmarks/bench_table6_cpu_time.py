@@ -1,0 +1,109 @@
+"""Table 6 — CPU time of sample precomputation and query processing:
+full-data query vs 1% samples, on OpenAQ and a duplicated scale-up
+(the paper's OpenAQ-25x; here 5x to keep the bench quick — the ratios,
+not the absolutes, are the target).
+
+Paper result: query processing on samples is 50-300x cheaper than the
+full-data query; stratified precomputation (two passes) costs more than
+Uniform's single pass; CVOPT's precompute is ~1.5x one full-data query,
+so it amortizes after about two queries.
+
+Shape to reproduce: sample query time << full query time; Uniform
+precompute < stratified precompute; CVOPT precompute within a small
+factor of the full-data query.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.aqp.runner import QueryTask, ground_truth
+from repro.baselines import make_samplers
+from repro.core.spec import specs_from_sql
+from repro.queries import get_query, task_for
+
+from conftest import record_table, shape_check
+
+SCALE_UP = 5
+RATE = 0.01
+
+
+def _measure(table, task, sql):
+    specs, derived = specs_from_sql(sql)
+    samplers = make_samplers(specs, derived)
+    timings = {}
+
+    start = time.perf_counter()
+    ground_truth(task, table)
+    full_query = time.perf_counter() - start
+    timings["Full Data"] = {"precompute_s": 0.0, "query_s": full_query}
+
+    for method, sampler in samplers.items():
+        start = time.perf_counter()
+        sample = sampler.sample_rate(table, RATE, seed=0)
+        precompute = time.perf_counter() - start
+        start = time.perf_counter()
+        sample.answer(task.sql, task.table_name)
+        query_time = time.perf_counter() - start
+        timings[method] = {
+            "precompute_s": precompute, "query_s": query_time
+        }
+    return timings
+
+
+def _run(openaq):
+    task = task_for("AQ1")
+    sql = get_query("AQ1").sql
+    base = _measure(openaq, task, sql)
+    scaled = _measure(openaq.duplicate(SCALE_UP), task, sql)
+    return {"base": base, "scaled": scaled}
+
+
+@pytest.mark.benchmark(group="table6")
+def test_table6_cpu_time(benchmark, openaq):
+    results = benchmark.pedantic(_run, args=(openaq,), rounds=1, iterations=1)
+    for scale, timings in results.items():
+        rows = {
+            method: {
+                "precompute": t["precompute_s"],
+                "query": t["query_s"],
+            }
+            for method, t in timings.items()
+        }
+        # record_table renders percentages; print seconds directly.
+        print(f"\nTable 6 ({scale}, AQ1, {RATE:.0%} sample): seconds")
+        for method, row in rows.items():
+            print(
+                f"  {method:12s} precompute {row['precompute']:8.4f}s"
+                f"   query {row['query']:8.4f}s"
+            )
+        benchmark.extra_info[f"table6_{scale}"] = {
+            method: {k: float(v) for k, v in row.items()}
+            for method, row in rows.items()
+        }
+
+    for scale, timings in results.items():
+        full = timings["Full Data"]["query_s"]
+        for method in ("Uniform", "CS", "RL", "CVOPT"):
+            shape_check(
+                timings[method]["query_s"] < full,
+                f"{method} sample query must be cheaper than full scan "
+                f"({scale})",
+            )
+        shape_check(
+            timings["CVOPT"]["query_s"] < full / 3,
+            f"CVOPT sample query must be several times cheaper ({scale})",
+        )
+        shape_check(
+            timings["Uniform"]["precompute_s"]
+            <= timings["CVOPT"]["precompute_s"],
+            f"single-pass Uniform precompute <= two-pass CVOPT ({scale})",
+        )
+
+    # Scaling the data scales the costs roughly linearly.
+    shape_check(
+        results["scaled"]["Full Data"]["query_s"]
+        > results["base"]["Full Data"]["query_s"] * (SCALE_UP / 3),
+        "full-data query cost must grow with data size",
+    )

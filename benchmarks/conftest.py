@@ -1,0 +1,61 @@
+"""Shared fixtures and helpers for the paper-reproduction benches.
+
+Each bench file regenerates one table or figure of the paper (see
+DESIGN.md Section 3 for the index). Datasets are scaled down from the
+paper's corpora (200M / 11.5M rows) to laptop scale; the reproduction
+target is the *shape* of each result — method ordering, rough factors,
+crossovers — not absolute numbers. Every bench prints the same rows or
+series the paper reports and records them in ``benchmark.extra_info``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.datasets import generate_bikes, generate_openaq
+
+#: Bench-scale dataset sizes (the paper: 200M and 11.5M rows).
+OPENAQ_ROWS = 200_000
+BIKES_ROWS = 120_000
+REPETITIONS = 3  # the paper uses 5; 3 keeps bench runtime sane
+
+
+@pytest.fixture(scope="session")
+def openaq():
+    return generate_openaq(num_rows=OPENAQ_ROWS, seed=7)
+
+
+@pytest.fixture(scope="session")
+def bikes():
+    return generate_bikes(num_rows=BIKES_ROWS, num_stations=120, seed=11)
+
+
+def record_table(benchmark, title, rows):
+    """Print a paper-style table and stash it in extra_info.
+
+    ``rows`` is {row_label: {column_label: value}}; values are error
+    fractions rendered as percentages.
+    """
+    columns = []
+    for row in rows.values():
+        for col in row:
+            if col not in columns:
+                columns.append(col)
+    lines = [title, " ".join(["method".ljust(12)] + [c.rjust(12) for c in columns])]
+    for label, row in rows.items():
+        cells = [label.ljust(12)]
+        for col in columns:
+            value = row.get(col, float("nan"))
+            cells.append(f"{value * 100:11.2f}%")
+        lines.append(" ".join(cells))
+    text = "\n".join(lines)
+    print("\n" + text)
+    benchmark.extra_info[title] = {
+        label: {col: float(v) for col, v in row.items()}
+        for label, row in rows.items()
+    }
+    return text
+
+
+def shape_check(condition, message):
+    """Loud assertion for a paper's qualitative claim."""
+    assert condition, f"paper-shape violated: {message}"

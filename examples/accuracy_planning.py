@@ -1,0 +1,81 @@
+"""Accuracy planning: size the sample before drawing it.
+
+The CV formula that drives CVOPT's allocation also predicts accuracy
+ahead of time. This example answers the operational questions a
+warehouse owner actually asks:
+
+  1. "How many rows do I need so every country's estimate is within
+     ~5%?"  -> required_budget / plan_sample_rate
+  2. "At my current 1% sample, which groups should I *not* trust?"
+     -> predict_group_cvs + chebyshev_error_bound
+
+Run:  python examples/accuracy_planning.py
+"""
+
+import numpy as np
+
+from repro import CVOptSampler, execute_sql, generate_openaq
+from repro.aqp import (
+    chebyshev_error_bound,
+    compare_results,
+    plan_sample_rate,
+    required_budget,
+)
+from repro.aqp.planning import predicted_cvs_for_allocation
+from repro.engine.statistics import collect_strata_statistics
+
+GROUP_BY = ("country",)
+COLUMN = "value"
+SQL = "SELECT country, AVG(value) average FROM OpenAQ GROUP BY country"
+
+
+def main() -> None:
+    table = generate_openaq(num_rows=200_000, seed=7)
+    stats = collect_strata_statistics(table, GROUP_BY, [COLUMN])
+    print(
+        f"data: {table.num_rows} rows, {stats.num_strata} countries, "
+        f"data CVs from {np.nanmin(stats.stats_for(COLUMN).cv()):.2f} "
+        f"to {np.nanmax(stats.stats_for(COLUMN).cv()):.2f}"
+    )
+
+    # --- 1. size the sample for a target --------------------------------
+    print(f"\n{'target max CV':>13} {'rows needed':>12} {'rate':>8}")
+    for target in (0.10, 0.05, 0.02, 0.01):
+        budget = required_budget(
+            table, group_by=GROUP_BY, column=COLUMN, target=target
+        )
+        print(f"{target:>13.0%} {budget:>12,} {budget / table.num_rows:>8.2%}")
+
+    # --- 2. draw at the 5% plan and verify ------------------------------
+    target = 0.05
+    rate = plan_sample_rate(table, GROUP_BY, COLUMN, target=target)
+    sampler = CVOptSampler.from_sql(SQL)
+    sample = sampler.sample_rate(table, rate, seed=0)
+    exact = execute_sql(SQL, {"OpenAQ": table})
+    errors = compare_results(exact, sample.answer(SQL, "OpenAQ"))
+    print(
+        f"\nplanned for max CV {target:.0%} -> drew {sample.num_rows} rows; "
+        f"measured mean error {errors.mean_error():.2%}, "
+        f"max {errors.max_error():.2%}"
+    )
+
+    # --- 3. trust report for an existing small sample -------------------
+    small = sampler.sample_rate(table, 0.002, seed=0)
+    cvs = predicted_cvs_for_allocation(small.allocation, stats, COLUMN)
+    print(
+        f"\nat a 0.2% sample ({small.num_rows} rows), the least "
+        "trustworthy countries (95% Chebyshev bound on relative error):"
+    )
+    order = np.argsort(-cvs)
+    for idx in order[:5]:
+        key = small.allocation.keys[idx][0]
+        bound = chebyshev_error_bound(cvs[idx], confidence=0.95)
+        print(
+            f"  {key}: predicted CV {cvs[idx]:.1%} -> "
+            f"error <= {bound:.0%} w.p. 95% "
+            f"({small.allocation.sizes[idx]} sampled rows)"
+        )
+
+
+if __name__ == "__main__":
+    main()

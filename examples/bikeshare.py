@@ -1,0 +1,85 @@
+"""Bike-share operations: per-station estimates with error bars.
+
+The Bikes scenario from the paper: station-level statistics over a
+skewed network (a few huge downtown stations, a long tail of small
+ones). Uniform sampling starves the tail; CVOPT covers it, and the
+estimation API reports a confidence interval next to each approximate
+answer — what an operations dashboard would actually display.
+
+Run:  python examples/bikeshare.py
+"""
+
+import numpy as np
+
+from repro import CVOptInfSampler, CVOptSampler, execute_sql, generate_bikes
+from repro.aqp import compare_results, estimate_groups
+from repro.queries import get_query
+
+RATE = 0.05
+
+
+def main() -> None:
+    table = generate_bikes(num_rows=150_000, num_stations=200, seed=11)
+    print(f"trips: {table.num_rows}, stations: 200")
+
+    query = get_query("B1")  # AVG(age), AVG(trip_duration) per station
+    sampler = CVOptSampler.from_sql(query.sql)
+    sample = sampler.sample_rate(table, RATE, seed=3)
+    print(f"sample: {sample}")
+
+    # --- station dashboard with confidence intervals -----------------
+    estimates = estimate_groups(
+        sample, ["from_station_id"], "trip_duration", "AVG",
+        predicate="trip_duration > 0",
+    )
+    print("\nbusiest stations, estimated mean trip duration (95% CI):")
+    by_support = sorted(
+        estimates.values(), key=lambda e: -e.supporting_rows
+    )
+    for est in by_support[:6]:
+        lo, hi = est.confidence_interval()
+        print(
+            f"  station {est.key[0]:>4}: {est.value:7.0f}s "
+            f"[{lo:7.0f}, {hi:7.0f}]  (cv {est.cv:.3f}, "
+            f"{est.supporting_rows} sampled trips)"
+        )
+
+    # --- how good are the answers? -----------------------------------
+    exact = execute_sql(query.sql, {"Bikes": table})
+    approx = sample.answer(query.sql, "Bikes")
+    errors = compare_results(exact, approx)
+    print(
+        f"\nB1 against ground truth: mean error {errors.mean_error():.2%}, "
+        f"max {errors.max_error():.2%} over {exact.num_rows} stations"
+    )
+
+    # --- worst-case-sensitive variant ---------------------------------
+    # If the dashboard's SLO is on the WORST station, build the sample
+    # with CVOPT-INF (minimizes the maximum CV, paper Section 5).
+    b2 = get_query("B2")
+    linf = CVOptInfSampler.from_sql(b2.sql).sample_rate(table, RATE, seed=3)
+    l2 = CVOptSampler.from_sql(b2.sql).sample_rate(table, RATE, seed=3)
+    exact2 = execute_sql(b2.sql, {"Bikes": table})
+    for label, s in (("l2 (CVOPT)", l2), ("l-inf (CVOPT-INF)", linf)):
+        err = compare_results(exact2, s.answer(b2.sql, "Bikes"))
+        print(
+            f"  {label:<18} median {err.median_error():.2%}  "
+            f"max {err.max_error():.2%}"
+        )
+
+    # --- year-over-year rollup from the same sample -------------------
+    rollup = """
+    SELECT year, COUNT(*) trips, AVG(trip_duration) avg_duration
+    FROM Bikes GROUP BY year ORDER BY year
+    """
+    print("\nyearly rollup (reusing the B1 sample):")
+    approx = sample.answer(rollup, "Bikes")
+    for row in approx.iter_rows():
+        print(
+            f"  {row['year']}: ~{row['trips']:,.0f} trips, "
+            f"mean duration {row['avg_duration']:.0f}s"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,94 @@
+"""CUBE analytics from one sample (paper Section 4.1 / Figure 5).
+
+`GROUP BY a, b WITH CUBE` asks for every grouping set at once — the
+finest cells, both one-attribute rollups, and the grand total. CVOPT
+optimizes a single stratified sample *jointly* for all grouping sets
+(one spec per subset, finest stratification, the general beta formula),
+so one sample serves the whole cube.
+
+Run:  python examples/cube_analysis.py
+"""
+
+from repro import CVOptSampler, execute_sql, generate_bikes
+from repro.aqp import compare_results
+from repro.baselines import CongressSampler, UniformSampler
+from repro.core.spec import specs_from_sql
+from repro.engine.groupby import ALL_MARKER
+from repro.queries import get_query
+
+RATE = 0.05
+
+
+def main() -> None:
+    table = generate_bikes(num_rows=150_000, num_stations=150, seed=11)
+    query = get_query("B3")  # SUM(trip_duration) CUBE station x year
+    print("cube query:", " ".join(query.sql.split()))
+
+    exact = execute_sql(query.sql, {"Bikes": table})
+    print(f"\nexact cube: {exact.num_rows} result rows")
+
+    specs, derived = specs_from_sql(query.sql)
+    print(
+        "grouping sets optimized jointly:",
+        [spec.group_by for spec in specs],
+    )
+
+    samplers = {
+        "Uniform": UniformSampler(),
+        "CS (scaled congress)": CongressSampler(specs, derived=derived),
+        "CVOPT": CVOptSampler(specs, derived=derived),
+    }
+    samples = {}
+    print(f"\n{'method':<22} {'mean err':>9} {'max err':>9} {'missing':>8}")
+    for label, sampler in samplers.items():
+        sample = sampler.sample_rate(table, RATE, seed=2)
+        samples[label] = sample
+        errors = compare_results(
+            exact, sample.answer(query.sql, "Bikes")
+        )
+        print(
+            f"{label:<22} {errors.mean_error():>8.2%} "
+            f"{errors.max_error():>8.2%} {errors.missing_groups:>8}"
+        )
+
+    # Slice the estimated cube three ways, from the CVOPT sample only.
+    approx = samples["CVOPT"].answer(query.sql, "Bikes")
+    rows = list(approx.iter_rows())
+
+    grand = [
+        r for r in rows
+        if r["from_station_id"] == ALL_MARKER and r["year"] == ALL_MARKER
+    ][0]
+    print(f"\ngrand total ride-seconds (estimated): {grand['total']:,.0f}")
+
+    print("\nby year (stations rolled up):")
+    for r in sorted(
+        (
+            r for r in rows
+            if r["from_station_id"] == ALL_MARKER and r["year"] != ALL_MARKER
+        ),
+        key=lambda r: r["year"],
+    ):
+        print(f"  {r['year']}: {r['total']:,.0f}")
+
+    print("\ntop stations (years rolled up):")
+    stations = [
+        r for r in rows
+        if r["year"] == ALL_MARKER and r["from_station_id"] != ALL_MARKER
+    ]
+    for r in sorted(stations, key=lambda r: -r["total"])[:5]:
+        print(f"  station {r['from_station_id']}: {r['total']:,.0f}")
+
+    # Internal consistency: the estimated rollups add up.
+    per_year = sum(
+        r["total"] for r in rows
+        if r["from_station_id"] == ALL_MARKER and r["year"] != ALL_MARKER
+    )
+    print(
+        f"\nconsistency: sum of yearly rollups {per_year:,.0f} "
+        f"== grand total {grand['total']:,.0f}"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,84 @@
+"""One-pass sampling over a stream (paper Section 8, future work).
+
+Measurements arrive one record at a time; there is no second pass. The
+StreamingCVOptSampler keeps per-stratum statistics and reservoirs,
+re-balances the budget toward high-CV strata on a doubling schedule
+(shrink-only, so within-stratum uniformity is preserved), and
+materializes a query-ready stratified sample at any point.
+
+Run:  python examples/streaming_pipeline.py
+"""
+
+import numpy as np
+
+from repro import CVOptSampler, execute_sql, generate_openaq
+from repro.aqp import compare_results
+from repro.core.spec import GroupByQuerySpec
+from repro.core.streaming import StreamingCVOptSampler
+
+QUERY = """
+SELECT country, AVG(value) average
+FROM OpenAQ
+GROUP BY country
+"""
+BUDGET = 2000
+
+
+def main() -> None:
+    table = generate_openaq(num_rows=120_000, seed=7)
+    # Shuffle into arrival order (a stream has no convenient clustering).
+    rng = np.random.default_rng(0)
+    stream = table.take(rng.permutation(table.num_rows))
+
+    sampler = StreamingCVOptSampler(
+        group_by=("country",),
+        value_column="value",
+        budget=BUDGET,
+        pilot_rows=10_000,
+        seed=1,
+    )
+
+    exact = execute_sql(QUERY, {"OpenAQ": table})
+    checkpoints = {30_000, 60_000, 120_000}
+    print(f"streaming {stream.num_rows} records, budget {BUDGET} rows\n")
+    print(f"{'records seen':>12} {'strata':>7} {'retained':>9} {'mean err':>9}")
+    for i, record in enumerate(stream.iter_rows(), start=1):
+        sampler.observe(record)
+        if i in checkpoints:
+            snapshot = sampler.finalize()
+            errors = compare_results(
+                exact, snapshot.answer(QUERY, "OpenAQ")
+            )
+            print(
+                f"{i:>12} {snapshot.allocation.num_strata:>7} "
+                f"{snapshot.num_rows:>9} {errors.mean_error():>8.2%}"
+            )
+
+    final = sampler.finalize()
+
+    # Compare with the two-pass (offline) CVOPT at the same budget.
+    offline = CVOptSampler(
+        GroupByQuerySpec.single("value", by=("country",))
+    ).sample(table, BUDGET, seed=1)
+    for label, sample in (("one-pass stream", final), ("two-pass CVOPT", offline)):
+        errors = compare_results(exact, sample.answer(QUERY, "OpenAQ"))
+        print(
+            f"\n{label}: {sample.num_rows} rows, "
+            f"mean error {errors.mean_error():.2%}, "
+            f"max {errors.max_error():.2%}"
+        )
+
+    print(
+        "\nthe stream sample answers any dialect query, like its "
+        "offline counterpart:"
+    )
+    adhoc = (
+        "SELECT country, COUNT(*) n FROM OpenAQ "
+        "WHERE parameter = 'pm25' GROUP BY country ORDER BY n DESC LIMIT 3"
+    )
+    for row in final.answer(adhoc, "OpenAQ").iter_rows():
+        print(f"  {row['country']}: ~{row['n']:,.0f} pm25 measurements")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,91 @@
+"""Workload-driven sample tuning (paper Section 4.3).
+
+A data warehouse knows its scheduled queries and how often each runs.
+CVOPT turns that workload into per-result weights: the frequency of
+each *aggregation group* — (aggregation column, group assignment),
+predicates applied — becomes its weight, so the sample spends budget
+where the workload actually looks.
+
+This example first reproduces the paper's worked Student example
+(Tables 1-3), then tunes a sample for a skewed OpenAQ workload and
+shows the hot queries getting more accurate at the cold ones' expense.
+
+Run:  python examples/workload_tuning.py
+"""
+
+import numpy as np
+
+from repro import (
+    CVOptSampler,
+    Workload,
+    execute_sql,
+    generate_openaq,
+    specs_from_workload,
+    student_table,
+    student_workload,
+)
+from repro.aqp import compare_results
+from repro.workload import derive_aggregation_groups
+
+
+def student_example() -> None:
+    print("=== Paper Tables 1-3: the Student workload ===")
+    table = student_table()
+    workload = student_workload()
+    groups = derive_aggregation_groups(workload, table)
+    print(f"{workload.total_queries} queries -> {len(groups)} aggregation groups:")
+    for group in sorted(
+        groups, key=lambda g: (-g.frequency, g.agg_column, g.assignment)
+    ):
+        print(f"  {group.describe():<28} frequency {group.frequency}")
+    print(
+        "(the text's derivation gives 20 / 35 / 10 — the paper's "
+        "Table 3 prints 25 for the first set, inconsistent with its "
+        "own Table 2)"
+    )
+
+
+def warehouse_example() -> None:
+    print("\n=== Workload-tuned OpenAQ sample ===")
+    table = generate_openaq(num_rows=200_000, seed=7)
+
+    hot = (
+        "SELECT parameter, AVG(value) a FROM OpenAQ "
+        "WHERE parameter = 'pm25' GROUP BY parameter"
+    )
+    warm = "SELECT country, AVG(value) a FROM OpenAQ GROUP BY country"
+    cold = (
+        "SELECT country, parameter, AVG(value) a FROM OpenAQ "
+        "GROUP BY country, parameter"
+    )
+    workload = Workload()
+    workload.add(hot, repeats=60, name="hot: pm25 watchboard")
+    workload.add(warm, repeats=10, name="warm: country overview")
+    workload.add(cold, repeats=1, name="cold: full matrix")
+
+    specs, derived = specs_from_workload(workload, table)
+    tuned = CVOptSampler(specs, derived=derived).sample_rate(
+        table, 0.01, seed=5
+    )
+    untuned = CVOptSampler.from_sql(cold).sample_rate(table, 0.01, seed=5)
+
+    print(f"{'query':<24} {'tuned err':>10} {'untuned err':>12}")
+    for name, sql in (("hot", hot), ("warm", warm), ("cold", cold)):
+        exact = execute_sql(sql, {"OpenAQ": table})
+        tuned_err = compare_results(
+            exact, tuned.answer(sql, "OpenAQ")
+        ).mean_error()
+        untuned_err = compare_results(
+            exact, untuned.answer(sql, "OpenAQ")
+        ).mean_error()
+        print(f"{name:<24} {tuned_err:>9.2%} {untuned_err:>11.2%}")
+
+    print(
+        "\nthe tuned sample trades accuracy on the cold full matrix for "
+        "the queries the warehouse actually runs."
+    )
+
+
+if __name__ == "__main__":
+    student_example()
+    warehouse_example()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+All metadata lives in pyproject.toml. This file exists so the package
+can be installed on machines without the ``wheel`` package (no network):
+``python setup.py develop`` side-steps the PEP-517 wheel build that
+``pip install -e .`` needs.
+"""
+
+from setuptools import setup
+
+setup()

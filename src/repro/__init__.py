@@ -1,0 +1,97 @@
+"""CVOPT — random sampling for group-by queries.
+
+Reproduction of Nguyen, Shih, Parvathaneni, Xu, Srivastava, Tirthapura:
+*Random Sampling for Group-By Queries* (ICDE 2020, arXiv:1909.02629).
+
+Quickstart::
+
+    from repro import CVOptSampler, generate_openaq
+
+    table = generate_openaq(num_rows=100_000)
+    sql = '''SELECT country, parameter, AVG(value) average
+             FROM OpenAQ GROUP BY country, parameter'''
+    sampler = CVOptSampler.from_sql(sql)
+    sample = sampler.sample_rate(table, rate=0.01, seed=0)
+    approx = sample.answer(sql, table_name="OpenAQ")
+
+See ``DESIGN.md`` for the system inventory and ``EXPERIMENTS.md`` for
+paper-vs-measured results of every table and figure.
+"""
+
+from .core import (
+    AggregateSpec,
+    Allocation,
+    CVOptInfSampler,
+    CVOptSampler,
+    GroupByQuerySpec,
+    StratifiedSample,
+    StratifiedSampler,
+    specs_from_sql,
+)
+from .baselines import (
+    CongressSampler,
+    NeymanSampler,
+    RLSampler,
+    SampleSeekSampler,
+    SenateSampler,
+    UniformSampler,
+    make_samplers,
+)
+from .aqp import (
+    QueryTask,
+    SampleCatalog,
+    compare_results,
+    estimate_groups,
+    ground_truth,
+    run_experiment,
+)
+from .datasets import (
+    generate_bikes,
+    generate_openaq,
+    make_grouped_table,
+    student_table,
+    student_workload,
+)
+from .engine import Table, execute_sql
+from .queries import PAPER_QUERIES, get_query, task_for
+from .workload import Workload, WorkloadQuery, specs_from_workload
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CVOptSampler",
+    "CVOptInfSampler",
+    "GroupByQuerySpec",
+    "AggregateSpec",
+    "Allocation",
+    "StratifiedSample",
+    "StratifiedSampler",
+    "specs_from_sql",
+    "UniformSampler",
+    "SenateSampler",
+    "CongressSampler",
+    "RLSampler",
+    "SampleSeekSampler",
+    "NeymanSampler",
+    "make_samplers",
+    "SampleCatalog",
+    "QueryTask",
+    "compare_results",
+    "estimate_groups",
+    "ground_truth",
+    "run_experiment",
+    "generate_openaq",
+    "generate_bikes",
+    "student_table",
+    "student_workload",
+    "make_grouped_table",
+    "Table",
+    "execute_sql",
+    "PAPER_QUERIES",
+    "get_query",
+    "task_for",
+    "Workload",
+    "WorkloadQuery",
+    "specs_from_workload",
+    "__version__",
+]

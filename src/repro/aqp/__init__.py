@@ -1,0 +1,46 @@
+"""Approximate query processing layer: estimation, errors, experiments."""
+
+from .catalog import SampleCatalog
+from .errors import (
+    GroupErrors,
+    compare_results,
+    result_cells,
+    split_key_value_columns,
+    summarize_many,
+)
+from .estimator import GroupEstimate, estimate_groups
+from .planning import (
+    chebyshev_error_bound,
+    expected_l2_norm,
+    plan_sample_rate,
+    predict_group_cvs,
+    required_budget,
+)
+from .runner import (
+    ExperimentResult,
+    MethodQueryResult,
+    QueryTask,
+    ground_truth,
+    run_experiment,
+)
+
+__all__ = [
+    "SampleCatalog",
+    "GroupErrors",
+    "compare_results",
+    "result_cells",
+    "split_key_value_columns",
+    "summarize_many",
+    "GroupEstimate",
+    "estimate_groups",
+    "predict_group_cvs",
+    "chebyshev_error_bound",
+    "expected_l2_norm",
+    "required_budget",
+    "plan_sample_rate",
+    "QueryTask",
+    "MethodQueryResult",
+    "ExperimentResult",
+    "ground_truth",
+    "run_experiment",
+]

@@ -1,0 +1,130 @@
+"""Materialized-sample catalog.
+
+A warehouse keeps precomputed samples and routes incoming queries to
+them (paper Section 6: one sample optimized for AQ3 answers AQ3.a-c,
+AQ5 and AQ6 too). The catalog stores samples by name, persists them to a
+directory, and picks a sample for a query by matching the query's
+group-by attributes against each sample's stratification — any sample
+whose stratification is a superset of the query's grouping can answer it
+(coarsening of the finest stratification).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..core.sample import Allocation, StratifiedSample
+from ..core.spec import specs_from_sql
+from ..engine.table import Table
+
+__all__ = ["SampleCatalog"]
+
+
+class SampleCatalog:
+    """Named collection of materialized samples."""
+
+    def __init__(self) -> None:
+        self._samples: Dict[str, StratifiedSample] = {}
+
+    def add(self, name: str, sample: StratifiedSample) -> None:
+        if name in self._samples:
+            raise ValueError(f"sample {name!r} already registered")
+        self._samples[name] = sample
+
+    def get(self, name: str) -> StratifiedSample:
+        if name not in self._samples:
+            raise KeyError(
+                f"no sample {name!r}; available: {', '.join(self._samples)}"
+            )
+        return self._samples[name]
+
+    def names(self) -> list:
+        return list(self._samples)
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    def route(self, sql: str) -> Optional[str]:
+        """Pick a sample able to answer ``sql``.
+
+        A sample qualifies when its stratification attributes contain
+        every group-by attribute of the query. Among qualifying samples
+        the one with the fewest extra attributes wins (tightest fit).
+        """
+        try:
+            specs, _ = specs_from_sql(sql)
+        except ValueError:
+            specs = []
+        needed = set()
+        for spec in specs:
+            needed.update(spec.group_by)
+        best: Optional[str] = None
+        best_extra = None
+        for name, sample in self._samples.items():
+            attrs = set(sample.allocation.by)
+            if needed <= attrs:
+                extra = len(attrs - needed)
+                if best_extra is None or extra < best_extra:
+                    best, best_extra = name, extra
+        return best
+
+    def answer(self, sql: str, table_name: str) -> Table:
+        """Route and answer; raises if no sample qualifies."""
+        name = self.route(sql)
+        if name is None:
+            raise LookupError(
+                "no materialized sample covers this query's group-by "
+                f"attributes; catalog has: {', '.join(self._samples) or '-'}"
+            )
+        return self.get(name).answer(sql, table_name)
+
+    # ------------------------------------------------------------------
+    # persistence
+    # ------------------------------------------------------------------
+    def save(self, directory) -> None:
+        directory = pathlib.Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        manifest = {}
+        for name, sample in self._samples.items():
+            stem = f"sample_{len(manifest)}"
+            sample.table.save(directory / f"{stem}.rows.npz")
+            manifest[name] = {
+                "stem": stem,
+                "method": sample.method,
+                "by": list(sample.allocation.by),
+                "keys": [list(k) for k in sample.allocation.keys],
+                "populations": [int(x) for x in sample.allocation.populations],
+                "sizes": [int(x) for x in sample.allocation.sizes],
+                "source_rows": sample.source_rows,
+                "budget": sample.budget,
+            }
+        (directory / "manifest.json").write_text(json.dumps(manifest))
+
+    @classmethod
+    def load(cls, directory) -> "SampleCatalog":
+        directory = pathlib.Path(directory)
+        manifest = json.loads((directory / "manifest.json").read_text())
+        catalog = cls()
+        for name, meta in manifest.items():
+            table = Table.load(directory / f"{meta['stem']}.rows.npz")
+            allocation = Allocation(
+                by=tuple(meta["by"]),
+                keys=[tuple(k) for k in meta["keys"]],
+                populations=np.asarray(meta["populations"], dtype=np.int64),
+                sizes=np.asarray(meta["sizes"], dtype=np.int64),
+            )
+            catalog.add(
+                name,
+                StratifiedSample(
+                    table=table,
+                    allocation=allocation,
+                    method=meta["method"],
+                    source_rows=meta["source_rows"],
+                    budget=meta["budget"],
+                ),
+            )
+        return catalog

@@ -1,0 +1,167 @@
+"""Error metrics: per-group relative error and summaries.
+
+The paper's metric (Section 6): for ground truth ``x`` and approximate
+answer ``x_hat``, the per-group relative error is ``|x_hat - x| / x``;
+experiments report the maximum and average over all answers of a query
+(all groups x all aggregate output columns), and Figure 6 reports
+percentiles of the per-group error distribution.
+
+A group present in the ground truth but missing from the sample's answer
+is counted as 100% error (the paper: Uniform "has largest error of
+100%, as some groups are absent in Uniform sample").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..engine.schema import DType
+from ..engine.table import Table
+
+__all__ = [
+    "split_key_value_columns",
+    "result_cells",
+    "GroupErrors",
+    "compare_results",
+    "summarize_many",
+]
+
+
+def split_key_value_columns(table: Table):
+    """Heuristic: float64 columns are aggregate outputs, the rest keys.
+
+    Matches the engine's convention — aggregates are always float64,
+    group keys keep their source type (or string in CUBE output).
+    """
+    keys, values = [], []
+    for spec in table.schema:
+        if spec.dtype is DType.FLOAT64:
+            values.append(spec.name)
+        else:
+            keys.append(spec.name)
+    return keys, values
+
+
+def result_cells(
+    table: Table,
+    key_columns: Optional[Sequence[str]] = None,
+    value_columns: Optional[Sequence[str]] = None,
+) -> Dict[tuple, Dict[str, float]]:
+    """``{group_key_tuple: {output_column: value}}`` for a query result."""
+    if key_columns is None or value_columns is None:
+        inferred_keys, inferred_values = split_key_value_columns(table)
+        key_columns = inferred_keys if key_columns is None else key_columns
+        value_columns = (
+            inferred_values if value_columns is None else value_columns
+        )
+    key_arrays = [table.column(k).decode() for k in key_columns]
+    value_arrays = {v: table.column(v).decode() for v in value_columns}
+    out: Dict[tuple, Dict[str, float]] = {}
+    for i in range(table.num_rows):
+        key = tuple(a[i] for a in key_arrays)
+        out[key] = {v: float(arr[i]) for v, arr in value_arrays.items()}
+    return out
+
+
+@dataclass
+class GroupErrors:
+    """Per-cell relative errors of one approximate answer."""
+
+    errors: Dict[Tuple[tuple, str], float] = field(default_factory=dict)
+    missing_groups: int = 0
+    extra_groups: int = 0
+    skipped_zero_truth: int = 0
+
+    @property
+    def values(self) -> np.ndarray:
+        return np.asarray(list(self.errors.values()), dtype=np.float64)
+
+    @property
+    def num_cells(self) -> int:
+        return len(self.errors)
+
+    def max_error(self) -> float:
+        vals = self.values
+        return float(vals.max()) if len(vals) else float("nan")
+
+    def mean_error(self) -> float:
+        vals = self.values
+        return float(vals.mean()) if len(vals) else float("nan")
+
+    def median_error(self) -> float:
+        vals = self.values
+        return float(np.median(vals)) if len(vals) else float("nan")
+
+    def percentile(self, rank: float) -> float:
+        """Error at percentile ``rank`` in [0, 1] (paper Figure 6)."""
+        vals = self.values
+        if not len(vals):
+            return float("nan")
+        return float(np.quantile(vals, rank))
+
+    def percentile_profile(
+        self, ranks: Sequence[float] = (0.1, 0.25, 0.5, 0.75, 0.9, 0.99)
+    ) -> Dict[str, float]:
+        profile = {f"p{int(r * 100)}": self.percentile(r) for r in ranks}
+        profile["max"] = self.max_error()
+        return profile
+
+
+def compare_results(
+    truth: Table,
+    estimate: Table,
+    key_columns: Optional[Sequence[str]] = None,
+    value_columns: Optional[Sequence[str]] = None,
+    missing_error: float = 1.0,
+    zero_truth_epsilon: float = 1e-12,
+) -> GroupErrors:
+    """Per-cell relative errors of ``estimate`` against ``truth``.
+
+    Cells whose true value is (numerically) zero cannot yield a relative
+    error; they are skipped and counted in ``skipped_zero_truth``
+    (unless the estimate is also zero, which scores 0 error).
+    """
+    truth_cells = result_cells(truth, key_columns, value_columns)
+    estimate_cells = result_cells(estimate, key_columns, value_columns)
+    result = GroupErrors()
+    for key, true_values in truth_cells.items():
+        est_values = estimate_cells.get(key)
+        if est_values is None:
+            result.missing_groups += 1
+            for column in true_values:
+                result.errors[(key, column)] = missing_error
+            continue
+        for column, x in true_values.items():
+            x_hat = est_values.get(column, float("nan"))
+            if not np.isfinite(x):
+                continue
+            if abs(x) <= zero_truth_epsilon:
+                if np.isfinite(x_hat) and abs(x_hat) <= zero_truth_epsilon:
+                    result.errors[(key, column)] = 0.0
+                else:
+                    result.skipped_zero_truth += 1
+                continue
+            if not np.isfinite(x_hat):
+                result.errors[(key, column)] = missing_error
+                continue
+            result.errors[(key, column)] = abs(x_hat - x) / abs(x)
+    result.extra_groups = len(
+        set(estimate_cells) - set(truth_cells)
+    )
+    return result
+
+
+def summarize_many(runs: Sequence[GroupErrors]) -> Dict[str, float]:
+    """Average the summary statistics of repeated runs (paper: 5 reps)."""
+    if not runs:
+        return {}
+    return {
+        "mean_error": float(np.mean([r.mean_error() for r in runs])),
+        "max_error": float(np.mean([r.max_error() for r in runs])),
+        "median_error": float(np.mean([r.median_error() for r in runs])),
+        "p90_error": float(np.mean([r.percentile(0.9) for r in runs])),
+        "missing_groups": float(np.mean([r.missing_groups for r in runs])),
+    }

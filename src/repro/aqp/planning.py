@@ -1,0 +1,192 @@
+"""A-priori accuracy planning.
+
+The CV math that drives CVOPT's allocation also *predicts* accuracy
+before any sample is drawn: for stratum/group ``i`` with ``s_i``
+allocated rows,
+
+    CV[y_i] = (sigma_i / mu_i) * sqrt((n_i - s_i) / (n_i * s_i))
+
+and by Chebyshev (paper Section 1),
+``Pr[relative error > eps] <= (CV / eps)^2``. This module exposes that
+as a planning API:
+
+* :func:`predict_group_cvs` — per-group estimate CVs for a given
+  allocation;
+* :func:`chebyshev_error_bound` — the relative-error level guaranteed
+  with a given confidence;
+* :func:`required_budget` — the smallest budget whose *optimal*
+  allocation meets a target (l2 norm of CVs, or max CV), found by
+  bisection — "how many rows do I need for ~5% error?";
+* :func:`plan_sample_rate` — the same, as a fraction of the table.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..core.allocation import box_constrained_allocation
+from ..core.sample import Allocation
+from ..engine.statistics import StrataStatistics, collect_strata_statistics
+from ..engine.table import Table
+
+__all__ = [
+    "predict_group_cvs",
+    "chebyshev_error_bound",
+    "expected_l2_norm",
+    "required_budget",
+    "plan_sample_rate",
+]
+
+
+def predict_group_cvs(
+    populations: np.ndarray,
+    data_cvs: np.ndarray,
+    sizes: np.ndarray,
+) -> np.ndarray:
+    """Estimate CV per group for a concrete allocation.
+
+    Groups with no allocated rows get ``inf`` (they cannot be
+    estimated); groups sampled exhaustively get exactly 0.
+    """
+    populations = np.asarray(populations, dtype=np.float64)
+    data_cvs = np.asarray(data_cvs, dtype=np.float64)
+    sizes = np.asarray(sizes, dtype=np.float64)
+    out = np.full(len(populations), np.inf)
+    drawn = sizes > 0
+    with np.errstate(divide="ignore", invalid="ignore"):
+        fpc = (populations[drawn] - sizes[drawn]) / (
+            populations[drawn] * sizes[drawn]
+        )
+    out[drawn] = data_cvs[drawn] * np.sqrt(np.maximum(fpc, 0.0))
+    return out
+
+
+def chebyshev_error_bound(cv: float, confidence: float = 0.95) -> float:
+    """Relative-error level not exceeded with probability >= confidence.
+
+    From ``Pr[r > eps] <= (CV/eps)^2``: ``eps = CV / sqrt(1 - conf)``.
+    Chebyshev is distribution-free and therefore loose; for roughly
+    normal estimators ``~2 * CV`` is the practical 95% figure.
+    """
+    if not 0 < confidence < 1:
+        raise ValueError("confidence must be in (0, 1)")
+    return float(cv) / float(np.sqrt(1.0 - confidence))
+
+
+def expected_l2_norm(
+    populations: np.ndarray,
+    data_cvs: np.ndarray,
+    sizes: np.ndarray,
+    weights: Optional[np.ndarray] = None,
+) -> float:
+    """The paper's objective value for a concrete allocation."""
+    cvs = predict_group_cvs(populations, data_cvs, sizes)
+    if weights is None:
+        weights = np.ones(len(cvs))
+    finite = np.isfinite(cvs)
+    if not finite.all():
+        return float("inf")
+    return float(np.sqrt((np.asarray(weights) * cvs**2).sum()))
+
+
+def _optimal_cvs_for_budget(populations, data_cvs, budget):
+    alphas = np.asarray(data_cvs, dtype=np.float64) ** 2
+    lower = np.minimum(1.0, populations.astype(np.float64))
+    sizes = box_constrained_allocation(
+        alphas, budget, lower, populations.astype(np.float64)
+    )
+    return predict_group_cvs(populations, data_cvs, sizes)
+
+
+def required_budget(
+    table_or_stats,
+    group_by: Sequence[str] | None = None,
+    column: str | None = None,
+    target: float = 0.05,
+    criterion: str = "max_cv",
+    mean_floor: float = 1e-9,
+) -> int:
+    """Smallest budget whose optimal allocation meets ``target``.
+
+    ``criterion`` is ``"max_cv"`` (every group's estimate CV at most
+    ``target``) or ``"l2"`` (the l2 norm of the CVs at most ``target``).
+    Accepts either a Table (plus ``group_by``/``column``) or a
+    pre-collected :class:`StrataStatistics`.
+
+    Returns the table size if even a census cannot meet the target
+    (impossible only for l2 with pathological inputs — a census gives
+    CV 0 everywhere).
+    """
+    if isinstance(table_or_stats, Table):
+        if group_by is None or column is None:
+            raise ValueError("group_by and column are required with a Table")
+        stats = collect_strata_statistics(
+            table_or_stats, tuple(group_by), [column]
+        )
+    elif isinstance(table_or_stats, StrataStatistics):
+        if column is None:
+            raise ValueError("column is required")
+        stats = table_or_stats
+    else:
+        raise TypeError("expected a Table or StrataStatistics")
+    if criterion not in ("max_cv", "l2"):
+        raise ValueError("criterion must be 'max_cv' or 'l2'")
+    if target <= 0:
+        raise ValueError("target must be positive")
+
+    populations = stats.sizes
+    cs = stats.stats_for(column)
+    data_cvs = np.nan_to_num(cs.cv(mean_floor=mean_floor))
+    total = int(populations.sum())
+
+    def meets(budget: int) -> bool:
+        cvs = _optimal_cvs_for_budget(populations, data_cvs, budget)
+        if criterion == "max_cv":
+            return bool(cvs.max() <= target)
+        finite = np.isfinite(cvs)
+        if not finite.all():
+            return False
+        return bool(np.sqrt((cvs**2).sum()) <= target)
+
+    lo, hi = min(len(populations), total), total
+    if lo >= hi or meets(lo):
+        return lo
+    if not meets(hi):
+        return total
+    while lo < hi - 1:
+        mid = (lo + hi) // 2
+        if meets(mid):
+            hi = mid
+        else:
+            lo = mid
+    return hi
+
+
+def plan_sample_rate(
+    table: Table,
+    group_by: Sequence[str],
+    column: str,
+    target: float = 0.05,
+    criterion: str = "max_cv",
+) -> float:
+    """``required_budget`` expressed as a sampling rate of the table."""
+    budget = required_budget(
+        table, group_by=group_by, column=column,
+        target=target, criterion=criterion,
+    )
+    if table.num_rows == 0:
+        return 0.0
+    return budget / table.num_rows
+
+
+def predicted_cvs_for_allocation(
+    allocation: Allocation, stats: StrataStatistics, column: str
+) -> np.ndarray:
+    """Predicted per-stratum estimate CVs for a materialized allocation."""
+    cs = stats.stats_for(column)
+    data_cvs = np.nan_to_num(cs.cv())
+    return predict_group_cvs(
+        allocation.populations, data_cvs, allocation.sizes
+    )

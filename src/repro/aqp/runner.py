@@ -1,0 +1,159 @@
+"""Experiment runner: method x query sweeps with repetitions.
+
+Mirrors the paper's protocol: every experiment is repeated (default 5
+identical independent repetitions, seeded rng streams) and the reported
+numbers are averages of the per-repetition summaries.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional, Sequence
+
+import numpy as np
+
+from ..core.sample import StratifiedSample, StratifiedSampler
+from ..engine.sql.executor import execute_sql
+from ..engine.table import Table
+from .errors import GroupErrors, compare_results, summarize_many
+
+__all__ = ["QueryTask", "MethodQueryResult", "ExperimentResult", "run_experiment", "ground_truth"]
+
+
+@dataclass(frozen=True)
+class QueryTask:
+    """One SQL query evaluated against ground truth."""
+
+    name: str
+    sql: str
+    table_name: str
+
+
+def ground_truth(task: QueryTask, table: Table) -> Table:
+    """Exact answer from the full data."""
+    return execute_sql(task.sql, {task.table_name: table})
+
+
+@dataclass
+class MethodQueryResult:
+    """Per-repetition error records of one (method, query) pair."""
+
+    method: str
+    query: str
+    runs: list = field(default_factory=list)  # GroupErrors per repetition
+    answer_seconds: list = field(default_factory=list)
+
+    def summary(self) -> Dict[str, float]:
+        out = summarize_many(self.runs)
+        if self.answer_seconds:
+            out["answer_seconds"] = float(np.mean(self.answer_seconds))
+        return out
+
+    def mean_error(self) -> float:
+        return self.summary().get("mean_error", float("nan"))
+
+    def max_error(self) -> float:
+        return self.summary().get("max_error", float("nan"))
+
+
+@dataclass
+class ExperimentResult:
+    """All (method, query) results of one experiment."""
+
+    results: Dict[tuple, MethodQueryResult] = field(default_factory=dict)
+    precompute_seconds: Dict[str, float] = field(default_factory=dict)
+
+    def get(self, method: str, query: str) -> MethodQueryResult:
+        return self.results[(method, query)]
+
+    def methods(self) -> list:
+        return list(dict.fromkeys(m for m, _ in self.results))
+
+    def queries(self) -> list:
+        return list(dict.fromkeys(q for _, q in self.results))
+
+    def table(self, metric: str = "mean_error") -> str:
+        """Plain-text table, queries as columns (paper Table 4 layout)."""
+        queries = self.queries()
+        lines = []
+        header = ["method".ljust(12)] + [q.rjust(12) for q in queries]
+        lines.append(" ".join(header))
+        for method in self.methods():
+            cells = [method.ljust(12)]
+            for query in queries:
+                result = self.results.get((method, query))
+                value = (
+                    result.summary().get(metric, float("nan"))
+                    if result
+                    else float("nan")
+                )
+                cells.append(f"{value * 100:11.2f}%")
+            lines.append(" ".join(cells))
+        return "\n".join(lines)
+
+    def to_dict(self, metric: str = "mean_error") -> Dict[str, Dict[str, float]]:
+        out: Dict[str, Dict[str, float]] = {}
+        for (method, query), result in self.results.items():
+            out.setdefault(method, {})[query] = result.summary().get(
+                metric, float("nan")
+            )
+        return out
+
+
+def run_experiment(
+    table: Table,
+    tasks: Sequence[QueryTask],
+    samplers: Mapping[str, StratifiedSampler],
+    rate: float,
+    repetitions: int = 5,
+    seed: int = 0,
+    truths: Optional[Mapping[str, Table]] = None,
+    missing_error: float = 1.0,
+) -> ExperimentResult:
+    """Evaluate every sampler on every query at one sampling rate.
+
+    A sampler builds one sample per repetition (seeded independently);
+    every query is answered from that same sample — this is what makes
+    the reuse experiments (paper Table 5) meaningful.
+    """
+    if truths is None:
+        truths = {task.name: ground_truth(task, table) for task in tasks}
+    experiment = ExperimentResult()
+    for method, sampler in samplers.items():
+        precompute = 0.0
+        for rep in range(repetitions):
+            rng = np.random.default_rng(seed + 1000 * rep + _stable_hash(method))
+            start = time.perf_counter()
+            sample = sampler.sample_rate(table, rate, seed=rng)
+            precompute += time.perf_counter() - start
+            _answer_all(
+                experiment, sample, tasks, truths, method, missing_error
+            )
+        experiment.precompute_seconds[method] = precompute / max(repetitions, 1)
+    return experiment
+
+
+def _answer_all(experiment, sample, tasks, truths, method, missing_error):
+    for task in tasks:
+        key = (method, task.name)
+        if key not in experiment.results:
+            experiment.results[key] = MethodQueryResult(
+                method=method, query=task.name
+            )
+        record = experiment.results[key]
+        start = time.perf_counter()
+        estimate = sample.answer(task.sql, task.table_name)
+        record.answer_seconds.append(time.perf_counter() - start)
+        record.runs.append(
+            compare_results(
+                truths[task.name], estimate, missing_error=missing_error
+            )
+        )
+
+
+def _stable_hash(text: str) -> int:
+    value = 0
+    for ch in text:
+        value = (value * 131 + ord(ch)) % 1_000_003
+    return value

@@ -1,0 +1,52 @@
+"""Baseline samplers the paper compares CVOPT against, plus Neyman.
+
+All baselines share :class:`~repro.core.sample.StratifiedSampler`'s
+two-pass construction, so experiment code can treat every method
+uniformly: ``make_samplers(specs, derived)`` returns the paper's lineup.
+"""
+
+from typing import Sequence
+
+from ..core.cvopt import CVOptSampler
+from ..core.spec import DerivedColumn
+from .congress import CongressSampler, congress_scaled, congress_single_grouping
+from .neyman import NeymanSampler, neyman_fractional_allocation
+from .rl import RLSampler, rl_single_grouping
+from .sample_seek import SampleSeekSampler, measure_bias_weights
+from .senate import SenateSampler, equal_allocation
+from .uniform import UniformSampler
+
+__all__ = [
+    "UniformSampler",
+    "SenateSampler",
+    "CongressSampler",
+    "RLSampler",
+    "SampleSeekSampler",
+    "NeymanSampler",
+    "equal_allocation",
+    "congress_single_grouping",
+    "congress_scaled",
+    "rl_single_grouping",
+    "measure_bias_weights",
+    "neyman_fractional_allocation",
+    "make_samplers",
+]
+
+
+def make_samplers(
+    specs,
+    derived: Sequence[DerivedColumn] = (),
+    include_sample_seek: bool = True,
+):
+    """The paper's method lineup for one optimization target.
+
+    Returns ``{display_name: sampler}`` in the order the paper's tables
+    use: Uniform, Sample+Seek, CS, RL, CVOPT.
+    """
+    lineup = {"Uniform": UniformSampler()}
+    if include_sample_seek:
+        lineup["Sample+Seek"] = SampleSeekSampler(specs, derived=derived)
+    lineup["CS"] = CongressSampler(specs, derived=derived)
+    lineup["RL"] = RLSampler(specs, derived=derived)
+    lineup["CVOPT"] = CVOptSampler(specs, derived=derived)
+    return lineup

@@ -1,0 +1,132 @@
+"""Sample+Seek baseline (Ding et al., SIGMOD 2016) — sampling half.
+
+Measure-biased sampling: a row's inclusion probability is proportional
+to its value on the aggregation column, so heavy rows (which dominate
+SUM/AVG) are preferentially kept. As the paper notes, this ignores
+*within-group variability*: a large group of identical heavy rows still
+soaks up budget that CVOPT would move to high-CV groups.
+
+Estimates are normalized per the paper ("after applying appropriate
+normalization to get an unbiased answer"): with inclusion probabilities
+``pi_r ≈ min(1, M * w_r / sum w)`` each sampled row carries the
+Horvitz-Thompson weight ``1 / pi_r``.
+
+The companion "seek" index for very-low-selectivity point predicates is
+out of scope (it is orthogonal to allocation quality; see DESIGN.md,
+Substitutions).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..core.sample import (
+    STRATUM_COLUMN,
+    WEIGHT_COLUMN,
+    Allocation,
+    StratifiedSample,
+    StratifiedSampler,
+)
+from ..core.spec import DerivedColumn, GroupByQuerySpec, apply_derived_columns
+from ..engine.reservoir import weighted_sample_without_replacement
+from ..engine.schema import DType
+from ..engine.table import Column, Table
+
+__all__ = ["SampleSeekSampler", "measure_bias_weights"]
+
+
+def measure_bias_weights(table: Table, measure_columns: Sequence[str]) -> np.ndarray:
+    """Per-row sampling weight: mean-normalized sum over the measures.
+
+    Normalization keeps a multi-measure bias balanced when the measures
+    live on different scales. Non-positive rows get a tiny floor so
+    every row remains sampleable (the original uses |value|).
+    """
+    n = table.num_rows
+    combined = np.zeros(n, dtype=np.float64)
+    for column in measure_columns:
+        values = np.abs(table.column(column).values_numeric().astype(np.float64))
+        mean = values.mean() if n else 0.0
+        if mean > 0:
+            combined += values / mean
+        else:
+            combined += 1.0
+    if not measure_columns:
+        combined[:] = 1.0
+    floor = combined[combined > 0].min() * 1e-6 if (combined > 0).any() else 1.0
+    return np.maximum(combined, floor)
+
+
+class SampleSeekSampler(StratifiedSampler):
+    """Measure-biased row-level sampler."""
+
+    name = "Sample+Seek"
+
+    def __init__(
+        self,
+        specs,
+        derived: Sequence[DerivedColumn] = (),
+    ) -> None:
+        if isinstance(specs, GroupByQuerySpec):
+            specs = (specs,)
+        self.specs = tuple(specs)
+        if not self.specs:
+            raise ValueError("SampleSeekSampler needs at least one query spec")
+        self.derived = tuple(derived)
+
+    def prepare(self, table: Table) -> Table:
+        return apply_derived_columns(table, self.derived)
+
+    def allocation(self, table: Table, budget: int) -> Allocation:
+        # Row-level inclusion probabilities do not form strata; this is
+        # only used for reporting.
+        n = table.num_rows
+        return Allocation(
+            by=(),
+            keys=[()] if n > 0 else [],
+            populations=np.asarray([n] if n > 0 else [], dtype=np.int64),
+            sizes=np.asarray([min(budget, n)] if n > 0 else [], dtype=np.int64),
+        )
+
+    def sample(
+        self,
+        table: Table,
+        budget: int,
+        seed: int | np.random.Generator = 0,
+    ) -> StratifiedSample:
+        rng = (
+            seed
+            if isinstance(seed, np.random.Generator)
+            else np.random.default_rng(seed)
+        )
+        if budget <= 0:
+            raise ValueError("budget must be positive")
+        table = self.prepare(table)
+        measures: list = []
+        for spec in self.specs:
+            measures.extend(spec.agg_columns)
+        measures = list(dict.fromkeys(measures))
+        bias = measure_bias_weights(table, measures)
+
+        m = min(budget, table.num_rows)
+        indices = weighted_sample_without_replacement(bias, m, rng)
+        sampled = table.take(indices)
+
+        inclusion = np.minimum(1.0, m * bias / bias.sum())
+        ht_weights = 1.0 / inclusion[indices]
+        sampled = sampled.with_column(
+            WEIGHT_COLUMN, Column(DType.FLOAT64, ht_weights)
+        )
+        sampled = sampled.with_column(
+            STRATUM_COLUMN,
+            Column(DType.INT64, np.zeros(len(indices), dtype=np.int64)),
+        )
+        return StratifiedSample(
+            table=sampled,
+            allocation=self.allocation(table, budget),
+            method=self.name,
+            source_rows=table.num_rows,
+            budget=budget,
+        )

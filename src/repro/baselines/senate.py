@@ -1,0 +1,87 @@
+"""Senate allocation: equal budget per stratum.
+
+Used as a component of congressional sampling [Acharya et al. 2000] and
+discussed in the paper's Section 3.1: it ignores both group sizes and
+within-group variability, so high-variance groups get the same sample
+as constant ones. Shares that exceed a stratum's population are
+redistributed over the remaining strata (water-filling), so the budget
+is spent fully whenever possible.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..core.sample import Allocation, StratifiedSampler
+from ..core.spec import DerivedColumn, GroupByQuerySpec, apply_derived_columns
+from ..core.cvopt import finest_stratification
+from ..engine.statistics import collect_strata_statistics
+from ..engine.table import Table
+
+__all__ = ["SenateSampler", "equal_allocation"]
+
+
+def equal_allocation(populations: np.ndarray, budget: int) -> np.ndarray:
+    """Equal shares with cap-and-redistribute; totals min(budget, N)."""
+    populations = np.asarray(populations, dtype=np.int64)
+    r = len(populations)
+    sizes = np.zeros(r, dtype=np.int64)
+    if r == 0:
+        return sizes
+    remaining = int(min(budget, populations.sum()))
+    open_strata = populations > 0
+    while remaining > 0 and open_strata.any():
+        share = remaining // int(open_strata.sum())
+        if share == 0:
+            # Fewer rows than open strata: one each, largest rooms first.
+            room = populations - sizes
+            order = np.argsort(-room, kind="stable")
+            for idx in order:
+                if remaining == 0:
+                    break
+                if open_strata[idx] and room[idx] > 0:
+                    sizes[idx] += 1
+                    remaining -= 1
+            break
+        add = np.minimum(share, populations - sizes)
+        add = np.where(open_strata, add, 0)
+        sizes += add
+        remaining -= int(add.sum())
+        open_strata = open_strata & (sizes < populations)
+        if int(add.sum()) == 0:
+            break
+    return sizes
+
+
+class SenateSampler(StratifiedSampler):
+    """Equal allocation over the finest stratification of the specs."""
+
+    name = "Senate"
+
+    def __init__(
+        self,
+        specs,
+        derived: Sequence[DerivedColumn] = (),
+    ) -> None:
+        if isinstance(specs, GroupByQuerySpec):
+            specs = (specs,)
+        self.specs = tuple(specs)
+        if not self.specs:
+            raise ValueError("SenateSampler needs at least one query spec")
+        self.derived = tuple(derived)
+
+    def prepare(self, table: Table) -> Table:
+        return apply_derived_columns(table, self.derived)
+
+    def allocation(self, table: Table, budget: int) -> Allocation:
+        by = finest_stratification(self.specs)
+        stats = collect_strata_statistics(table, by, [])
+        sizes = equal_allocation(stats.sizes, budget)
+        return Allocation(
+            by=by,
+            keys=stats.keys,
+            populations=stats.sizes,
+            sizes=sizes,
+        )

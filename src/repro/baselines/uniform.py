@@ -1,0 +1,32 @@
+"""Uniform sampling baseline: SRS without replacement over the table.
+
+The paper's ``Uniform``: every row has the same inclusion probability,
+so small groups are under-represented or missed entirely — the failure
+mode motivating stratification (errors up to 100-135% in Figure 1).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.sample import Allocation, StratifiedSampler
+from ..engine.table import Table
+
+__all__ = ["UniformSampler"]
+
+
+class UniformSampler(StratifiedSampler):
+    """One stratum = the whole table; HT weight ``N / M`` per row."""
+
+    name = "Uniform"
+
+    def allocation(self, table: Table, budget: int) -> Allocation:
+        n = table.num_rows
+        return Allocation(
+            by=(),
+            keys=[()] if n > 0 else [],
+            populations=np.asarray([n] if n > 0 else [], dtype=np.int64),
+            sizes=np.asarray(
+                [min(budget, n)] if n > 0 else [], dtype=np.int64
+            ),
+        )

@@ -1,0 +1,183 @@
+"""Command-line interface.
+
+Subcommands::
+
+    repro-cvopt generate --dataset openaq --rows 200000 --out openaq.npz
+    repro-cvopt sample   --table openaq.npz --query "SELECT ..." \
+                         --rate 0.01 --method cvopt --out sample
+    repro-cvopt query    --table openaq.npz --sql "SELECT ..."
+    repro-cvopt experiment --dataset openaq --query AQ3 --rate 0.01
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from .aqp.runner import QueryTask, run_experiment
+from .baselines import make_samplers
+from .core.cvopt import CVOptSampler
+from .core.cvopt_inf import CVOptInfSampler
+from .core.spec import specs_from_sql
+from .datasets import generate_bikes, generate_openaq
+from .engine.sql.executor import execute_sql
+from .engine.table import Table
+from .queries import PAPER_QUERIES, get_query
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-cvopt",
+        description="CVOPT: random sampling for group-by queries",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="generate a synthetic dataset")
+    gen.add_argument("--dataset", choices=["openaq", "bikes"], required=True)
+    gen.add_argument("--rows", type=int, default=200_000)
+    gen.add_argument("--seed", type=int, default=7)
+    gen.add_argument("--out", required=True)
+
+    samp = sub.add_parser("sample", help="build a stratified sample")
+    samp.add_argument("--table", required=True, help="npz table path")
+    samp.add_argument("--query", required=True, help="SQL to optimize for")
+    samp.add_argument("--rate", type=float, default=0.01)
+    samp.add_argument(
+        "--method",
+        choices=["cvopt", "cvopt-inf", "uniform", "cs", "rl", "sample-seek"],
+        default="cvopt",
+    )
+    samp.add_argument("--seed", type=int, default=0)
+    samp.add_argument("--out", required=True, help="output path stem")
+
+    query = sub.add_parser("query", help="run SQL on a table exactly")
+    query.add_argument("--table", required=True)
+    query.add_argument("--name", default=None, help="table name in the SQL")
+    query.add_argument("--sql", required=True)
+    query.add_argument("--limit", type=int, default=20)
+
+    exp = sub.add_parser(
+        "experiment", help="compare methods on a paper query"
+    )
+    exp.add_argument("--dataset", choices=["openaq", "bikes"], required=True)
+    exp.add_argument(
+        "--query", required=True, help=f"one of {', '.join(PAPER_QUERIES)}"
+    )
+    exp.add_argument("--rows", type=int, default=100_000)
+    exp.add_argument("--rate", type=float, default=0.01)
+    exp.add_argument("--repetitions", type=int, default=3)
+    exp.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def _cmd_generate(args) -> int:
+    if args.dataset == "openaq":
+        table = generate_openaq(num_rows=args.rows, seed=args.seed)
+    else:
+        table = generate_bikes(num_rows=args.rows, seed=args.seed)
+    table.save(args.out)
+    print(f"wrote {table.num_rows} rows ({args.dataset}) to {args.out}")
+    return 0
+
+
+def _cmd_sample(args) -> int:
+    table = Table.load(args.table)
+    specs, derived = specs_from_sql(args.query)
+    if args.method == "cvopt":
+        sampler = CVOptSampler(specs, derived=derived)
+    elif args.method == "cvopt-inf":
+        sampler = CVOptInfSampler(specs, derived=derived)
+    else:
+        lineup = make_samplers(specs, derived)
+        chosen = {
+            "uniform": "Uniform",
+            "cs": "CS",
+            "rl": "RL",
+            "sample-seek": "Sample+Seek",
+        }[args.method]
+        sampler = lineup[chosen]
+    sample = sampler.sample_rate(table, args.rate, seed=args.seed)
+    sample.save(args.out)
+    print(
+        f"{sample.method}: {sample.num_rows} rows over "
+        f"{sample.allocation.num_strata} strata -> {args.out}.rows.npz"
+    )
+    return 0
+
+
+def _cmd_query(args) -> int:
+    table = Table.load(args.table)
+    name = args.name or table.name or "T"
+    result = execute_sql(args.sql, {name: table})
+    _print_table(result, args.limit)
+    return 0
+
+
+def _cmd_experiment(args) -> int:
+    paper_query = get_query(args.query)
+    if paper_query.dataset != args.dataset:
+        print(
+            f"query {args.query} belongs to dataset {paper_query.dataset}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.dataset == "openaq":
+        table = generate_openaq(num_rows=args.rows)
+    else:
+        table = generate_bikes(num_rows=args.rows)
+    specs, derived = specs_from_sql(paper_query.sql)
+    samplers = make_samplers(specs, derived)
+    task = QueryTask(
+        name=paper_query.name,
+        sql=paper_query.sql,
+        table_name=paper_query.table_name,
+    )
+    result = run_experiment(
+        table,
+        [task],
+        samplers,
+        rate=args.rate,
+        repetitions=args.repetitions,
+        seed=args.seed,
+    )
+    print(f"{paper_query.name} ({paper_query.kind}), rate={args.rate:.2%}")
+    print(result.table(metric="mean_error"))
+    print()
+    print(result.table(metric="max_error"))
+    return 0
+
+
+def _print_table(table: Table, limit: int) -> None:
+    names = table.column_names
+    print("\t".join(names))
+    decoded = {n: table.column(n).decode() for n in names}
+    for i in range(min(limit, table.num_rows)):
+        row = []
+        for n in names:
+            value = decoded[n][i]
+            if isinstance(value, (float, np.floating)):
+                row.append(f"{value:.6g}")
+            else:
+                row.append(str(value))
+        print("\t".join(row))
+    if table.num_rows > limit:
+        print(f"... ({table.num_rows - limit} more rows)")
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "generate": _cmd_generate,
+        "sample": _cmd_sample,
+        "query": _cmd_query,
+        "experiment": _cmd_experiment,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

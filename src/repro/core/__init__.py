@@ -1,0 +1,62 @@
+"""CVOPT core: query specs, optimal allocation, samplers, samples."""
+
+from .allocation import (
+    allocate,
+    box_constrained_allocation,
+    integerize,
+    lemma1_allocation,
+)
+from .cvopt import (
+    CVOptSampler,
+    compute_betas,
+    finest_stratification,
+    masg_fractional_allocation,
+    project_parents,
+    sasg_fractional_allocation,
+)
+from .cvopt_inf import CVOptInfSampler, cvopt_inf_sizes, linf_sizes_from_cv_bounds
+from .lp_norm import CVOptLpSampler, lp_fractional_allocation
+from .streaming import StreamingCVOptSampler
+from .sample import (
+    STRATUM_COLUMN,
+    WEIGHT_COLUMN,
+    Allocation,
+    StratifiedSample,
+    StratifiedSampler,
+)
+from .spec import (
+    AggregateSpec,
+    DerivedColumn,
+    GroupByQuerySpec,
+    apply_derived_columns,
+    specs_from_sql,
+)
+
+__all__ = [
+    "lemma1_allocation",
+    "box_constrained_allocation",
+    "integerize",
+    "allocate",
+    "CVOptSampler",
+    "CVOptInfSampler",
+    "compute_betas",
+    "finest_stratification",
+    "project_parents",
+    "sasg_fractional_allocation",
+    "masg_fractional_allocation",
+    "cvopt_inf_sizes",
+    "linf_sizes_from_cv_bounds",
+    "CVOptLpSampler",
+    "lp_fractional_allocation",
+    "StreamingCVOptSampler",
+    "Allocation",
+    "StratifiedSample",
+    "StratifiedSampler",
+    "WEIGHT_COLUMN",
+    "STRATUM_COLUMN",
+    "AggregateSpec",
+    "GroupByQuerySpec",
+    "DerivedColumn",
+    "specs_from_sql",
+    "apply_derived_columns",
+]

@@ -1,0 +1,184 @@
+"""Budget allocation: Lemma 1, box constraints, and integerization.
+
+Lemma 1 (the paper's workhorse): minimizing ``sum_i alpha_i / s_i``
+subject to ``sum_i s_i <= M`` gives ``s_i = M sqrt(alpha_i) / sum_j
+sqrt(alpha_j)``.
+
+Real tables add box constraints the closed form ignores: an allocation
+cannot exceed the stratum population (``s_c <= n_c``) and, to keep every
+group answerable, should not fall below a floor (``min_per_stratum``).
+The box-constrained problem is still convex and its KKT solution is
+``s_i = clip(sqrt(alpha_i / lambda), lo_i, hi_i)`` for the multiplier
+``lambda`` making the budget tight — found here by bisection
+(:func:`box_constrained_allocation`). The paper notes RL's lack of the
+upper cap as a concrete failure mode on small groups.
+
+:func:`integerize` rounds a fractional allocation to integers summing to
+the budget exactly (largest-remainder, cap-respecting).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "lemma1_allocation",
+    "box_constrained_allocation",
+    "integerize",
+    "allocate",
+]
+
+
+def lemma1_allocation(alphas: np.ndarray, budget: float) -> np.ndarray:
+    """Unconstrained closed form of Lemma 1.
+
+    Strata with ``alpha = 0`` receive 0. If every alpha is 0 the budget
+    is spread evenly (degenerate but well-defined).
+    """
+    alphas = np.asarray(alphas, dtype=np.float64)
+    if np.any(alphas < 0):
+        raise ValueError("alphas must be non-negative")
+    if budget < 0:
+        raise ValueError("budget must be non-negative")
+    roots = np.sqrt(alphas)
+    total = roots.sum()
+    if total == 0:
+        return np.full(len(alphas), budget / max(len(alphas), 1))
+    return budget * roots / total
+
+
+def box_constrained_allocation(
+    alphas: np.ndarray,
+    budget: float,
+    lower: np.ndarray,
+    upper: np.ndarray,
+) -> np.ndarray:
+    """Exact solution of Lemma 1's objective under ``lower <= s <= upper``.
+
+    Solves ``min sum alpha_i/s_i  s.t.  sum s_i = B, lo_i <= s_i <= hi_i``
+    where ``B = clip(budget, sum lower, sum upper)``. Uses bisection on
+    the KKT multiplier; ``sum_i clip(sqrt(alpha_i/lambda), lo, hi)`` is
+    non-increasing in ``lambda``.
+    """
+    alphas = np.asarray(alphas, dtype=np.float64)
+    lower = np.asarray(lower, dtype=np.float64)
+    upper = np.asarray(upper, dtype=np.float64)
+    if np.any(lower > upper):
+        raise ValueError("lower bound exceeds upper bound for some stratum")
+    total_budget = float(np.clip(budget, lower.sum(), upper.sum()))
+
+    def spent(lam: float) -> float:
+        with np.errstate(divide="ignore"):
+            raw = np.sqrt(alphas / lam)
+        return float(np.clip(raw, lower, upper).sum())
+
+    # alpha=0 strata stick at their lower bound for any lambda > 0.
+    lo_lam, hi_lam = 1e-30, 1e30
+    if spent(lo_lam) <= total_budget:
+        lam = lo_lam
+    elif spent(hi_lam) >= total_budget:
+        lam = hi_lam
+    else:
+        for _ in range(200):
+            mid = np.sqrt(lo_lam * hi_lam)  # geometric bisection
+            if spent(mid) > total_budget:
+                lo_lam = mid
+            else:
+                hi_lam = mid
+        lam = hi_lam
+    with np.errstate(divide="ignore"):
+        raw = np.sqrt(alphas / lam)
+    allocation = np.clip(raw, lower, upper)
+    # Spread any bisection slack over unclamped strata, proportionally.
+    slack = total_budget - allocation.sum()
+    if abs(slack) > 1e-9:
+        room = (
+            (upper - allocation) if slack > 0 else (allocation - lower)
+        )
+        movable = room > 1e-12
+        if movable.any():
+            share = room[movable] / room[movable].sum()
+            allocation[movable] += slack * share
+            allocation = np.clip(allocation, lower, upper)
+    return allocation
+
+
+def integerize(
+    fractional: np.ndarray, budget: int, caps: np.ndarray
+) -> np.ndarray:
+    """Largest-remainder rounding to integers summing to
+    ``min(budget, sum caps)`` with ``out_i <= caps_i``."""
+    fractional = np.asarray(fractional, dtype=np.float64)
+    caps = np.asarray(caps, dtype=np.int64)
+    fractional = np.minimum(fractional, caps)
+    base = np.floor(fractional).astype(np.int64)
+    target = int(min(budget, caps.sum()))
+    deficit = target - int(base.sum())
+    if deficit > 0:
+        remainders = fractional - base
+        room = caps - base
+        # Prefer large remainders; strata with no room are skipped.
+        order = np.argsort(-remainders, kind="stable")
+        for idx in order:
+            if deficit == 0:
+                break
+            if room[idx] > 0:
+                step = int(min(room[idx], deficit))
+                # One unit per stratum first pass keeps rounding fair;
+                # but if remainders are exhausted we may need more.
+                take = 1 if remainders[idx] > 0 else step
+                take = int(min(take, room[idx], deficit))
+                base[idx] += take
+                room[idx] -= take
+                deficit -= take
+        if deficit > 0:  # second pass: fill wherever room remains
+            for idx in np.argsort(-(caps - base), kind="stable"):
+                if deficit == 0:
+                    break
+                step = int(min(caps[idx] - base[idx], deficit))
+                base[idx] += step
+                deficit -= step
+    elif deficit < 0:
+        order = np.argsort(fractional - base, kind="stable")
+        for idx in order:
+            if deficit == 0:
+                break
+            reducible = int(base[idx])
+            step = int(min(reducible, -deficit))
+            base[idx] -= step
+            deficit += step
+    return base
+
+
+def allocate(
+    alphas: np.ndarray,
+    budget: int,
+    populations: np.ndarray,
+    min_per_stratum: int = 1,
+) -> np.ndarray:
+    """End-to-end CVOPT allocation: box-constrained Lemma 1 + rounding.
+
+    ``populations`` are the stratum sizes ``n_c``; each stratum receives
+    between ``min(min_per_stratum, n_c)`` and ``n_c`` rows, the total is
+    exactly ``min(budget, sum n_c)`` (a floor set is shrunk
+    proportionally if the budget cannot even cover the floors).
+    """
+    populations = np.asarray(populations, dtype=np.int64)
+    if len(populations) == 0:
+        return np.zeros(0, dtype=np.int64)
+    lower = np.minimum(min_per_stratum, populations).astype(np.float64)
+    if lower.sum() > budget:
+        # Budget smaller than one row per stratum: keep floors only for
+        # the strata with the largest optimization pressure.
+        order = np.argsort(-np.asarray(alphas, dtype=np.float64), kind="stable")
+        lower = np.zeros(len(populations))
+        remaining = budget
+        for idx in order:
+            if remaining <= 0:
+                break
+            take = min(min_per_stratum, int(populations[idx]), remaining)
+            lower[idx] = take
+            remaining -= take
+    upper = populations.astype(np.float64)
+    fractional = box_constrained_allocation(alphas, budget, lower, upper)
+    return integerize(fractional, budget, populations)

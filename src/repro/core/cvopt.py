@@ -1,0 +1,238 @@
+"""CVOPT: provably optimal sample allocation for group-by queries.
+
+This is the paper's primary contribution. One code path implements the
+most general case (multiple aggregates, multiple group-bys — MAMG); the
+named special cases fall out of it:
+
+* **SASG** (Theorem 1): one aggregate, one grouping. The finest
+  stratification *is* the grouping, the per-stratum score reduces to
+  ``beta_i = w_i sigma_i^2 / mu_i^2`` and the optimal allocation is
+  ``s_i ∝ sqrt(w_i) sigma_i / mu_i``.
+* **MASG** (Theorem 2): ``beta_i = sum_j w_ij sigma_ij^2 / mu_ij^2``.
+* **SAMG / MAMG** (Lemmas 2-3 and the general formula): stratify by the
+  union ``C`` of all grouping attribute sets; for stratum ``c``
+
+  ``beta_c = n_c^2 * sum_i (1 / n_{Pi(c,A_i)}^2)
+             * sum_{l in L_i} w_{Pi(c,A_i),l} sigma_{c,l}^2 / mu_{Pi(c,A_i),l}^2``
+
+  where ``Pi(c, A_i)`` is the group of query ``i`` containing stratum
+  ``c``. Group-level statistics are rolled up from the finest strata, so
+  the whole offline phase is a single statistics pass plus a sampling
+  pass — the same cost as congressional sampling.
+
+The allocation minimizing the weighted l2 norm of the coefficients of
+variation assigns ``s_c ∝ sqrt(beta_c)`` (Lemma 1), box-constrained to
+``min_per_stratum <= s_c <= n_c``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from ..engine.statistics import StrataStatistics, collect_strata_statistics, rollup
+from ..engine.groupby import compute_group_keys
+from ..engine.table import Table
+from .allocation import allocate, lemma1_allocation
+from .sample import Allocation, StratifiedSampler
+from .spec import (
+    DerivedColumn,
+    GroupByQuerySpec,
+    apply_derived_columns,
+    specs_from_sql,
+)
+
+__all__ = [
+    "CVOptSampler",
+    "finest_stratification",
+    "project_parents",
+    "compute_betas",
+    "sasg_fractional_allocation",
+    "masg_fractional_allocation",
+]
+
+
+def finest_stratification(specs: Sequence[GroupByQuerySpec]) -> Tuple[str, ...]:
+    """Union of all group-by attribute sets, in first-appearance order."""
+    seen: dict = {}
+    for spec in specs:
+        for attr in spec.group_by:
+            seen.setdefault(attr, None)
+    return tuple(seen)
+
+
+def project_parents(
+    keys: Sequence[tuple],
+    stratification: Sequence[str],
+    attrs: Sequence[str],
+):
+    """Map each finest stratum to its parent group under ``attrs``.
+
+    Returns ``(parent_gids, parent_keys)``: dense parent ids per stratum
+    and the decoded parent key tuple per parent id (in ``attrs`` order).
+    """
+    positions = [list(stratification).index(a) for a in attrs]
+    index: dict = {}
+    parent_keys: list = []
+    parent_gids = np.empty(len(keys), dtype=np.int64)
+    for i, key in enumerate(keys):
+        parent = tuple(key[p] for p in positions)
+        gid = index.get(parent)
+        if gid is None:
+            gid = len(parent_keys)
+            index[parent] = gid
+            parent_keys.append(parent)
+        parent_gids[i] = gid
+    return parent_gids, parent_keys
+
+
+def compute_betas(
+    stats: StrataStatistics,
+    specs: Sequence[GroupByQuerySpec],
+    mean_floor: float = 1e-9,
+) -> np.ndarray:
+    """Per-stratum scores ``beta_c`` of the general MAMG formula."""
+    num_strata = stats.num_strata
+    n_c = stats.sizes.astype(np.float64)
+    betas = np.zeros(num_strata)
+    for spec in specs:
+        parent_gids, parent_keys = project_parents(
+            stats.keys, stats.by, spec.group_by
+        )
+        parent_stats = rollup(stats, parent_gids, len(parent_keys))
+        n_parent = parent_stats.sizes.astype(np.float64)
+        inv_n_parent_sq = np.where(n_parent > 0, 1.0 / n_parent**2, 0.0)
+        per_stratum = np.zeros(num_strata)
+        for agg in spec.aggregates:
+            fine = stats.stats_for(agg.column)
+            sigma_sq = fine.variance  # per stratum c
+            mu_parent = np.abs(parent_stats.stats_for(agg.column).mean)
+            mu_parent = _floor_means(mu_parent, mean_floor, agg.column)
+            weights = np.asarray(
+                [
+                    spec.effective_weight(parent_keys[g], agg)
+                    for g in range(len(parent_keys))
+                ]
+            )
+            with np.errstate(divide="ignore", invalid="ignore"):
+                per_parent_factor = weights / mu_parent**2
+            per_stratum += sigma_sq * per_parent_factor[parent_gids]
+        betas += n_c**2 * per_stratum * inv_n_parent_sq[parent_gids]
+    return betas
+
+
+def _floor_means(mu: np.ndarray, mean_floor: float, column: str) -> np.ndarray:
+    finite = mu[np.isfinite(mu) & (mu > 0)]
+    if len(finite) == 0:
+        raise ValueError(
+            f"all group means of column {column!r} are zero or undefined; "
+            "the CV-based objective needs non-zero means (paper Section 1)"
+        )
+    floor = mean_floor * float(finite.max())
+    return np.maximum(mu, floor)
+
+
+class CVOptSampler(StratifiedSampler):
+    """The l2-optimal sampler (Algorithm 1 generalized to MAMG).
+
+    Parameters
+    ----------
+    specs:
+        One spec or a sequence of :class:`GroupByQuerySpec`.
+    min_per_stratum:
+        Representation floor per stratum (default 1 row) so every group
+        can be answered; strata whose score is 0 (e.g. zero variance)
+        keep only the floor.
+    mean_floor:
+        Relative floor on group means to keep CVs defined.
+    derived:
+        :class:`DerivedColumn` list materialized before statistics
+        collection (COUNT_IF indicators etc.).
+    """
+
+    name = "CVOPT"
+
+    def __init__(
+        self,
+        specs,
+        min_per_stratum: int = 1,
+        mean_floor: float = 1e-9,
+        derived: Sequence[DerivedColumn] = (),
+    ) -> None:
+        if isinstance(specs, GroupByQuerySpec):
+            specs = (specs,)
+        self.specs = tuple(specs)
+        if not self.specs:
+            raise ValueError("CVOptSampler needs at least one query spec")
+        self.min_per_stratum = int(min_per_stratum)
+        self.mean_floor = float(mean_floor)
+        self.derived = tuple(derived)
+
+    @classmethod
+    def from_sql(cls, sql: str, **kwargs) -> "CVOptSampler":
+        """Build a sampler optimized for one SQL query's groups/aggregates."""
+        specs, derived = specs_from_sql(sql)
+        return cls(specs, derived=derived, **kwargs)
+
+    def prepare(self, table: Table) -> Table:
+        return apply_derived_columns(table, self.derived)
+
+    def collect_statistics(self, table: Table) -> StrataStatistics:
+        """Pass 1: one-pass statistics over the finest stratification."""
+        stratification = finest_stratification(self.specs)
+        agg_columns: list = []
+        for spec in self.specs:
+            agg_columns.extend(spec.agg_columns)
+        keys = compute_group_keys(table, stratification)
+        return collect_strata_statistics(
+            table, stratification, agg_columns, keys=keys
+        )
+
+    def allocation(self, table: Table, budget: int) -> Allocation:
+        stats = self.collect_statistics(table)
+        betas = compute_betas(stats, self.specs, self.mean_floor)
+        sizes = allocate(
+            betas, budget, stats.sizes, min_per_stratum=self.min_per_stratum
+        )
+        return Allocation(
+            by=stats.by,
+            keys=stats.keys,
+            populations=stats.sizes,
+            sizes=sizes,
+            scores=betas,
+        )
+
+
+# ----------------------------------------------------------------------
+# closed-form helpers (Theorems 1 and 2, for tests and documentation)
+# ----------------------------------------------------------------------
+def sasg_fractional_allocation(
+    budget: float,
+    means: np.ndarray,
+    stds: np.ndarray,
+    weights: np.ndarray | None = None,
+) -> np.ndarray:
+    """Theorem 1: ``s_i = M sqrt(w_i) (sigma_i/mu_i) / sum_j ...``."""
+    means = np.asarray(means, dtype=np.float64)
+    stds = np.asarray(stds, dtype=np.float64)
+    if weights is None:
+        weights = np.ones_like(means)
+    alphas = np.asarray(weights) * (stds / means) ** 2
+    return lemma1_allocation(alphas, budget)
+
+
+def masg_fractional_allocation(
+    budget: float,
+    means: np.ndarray,
+    stds: np.ndarray,
+    weights: np.ndarray | None = None,
+) -> np.ndarray:
+    """Theorem 2. ``means``/``stds``/``weights`` are (groups x aggregates)."""
+    means = np.atleast_2d(np.asarray(means, dtype=np.float64))
+    stds = np.atleast_2d(np.asarray(stds, dtype=np.float64))
+    if weights is None:
+        weights = np.ones_like(means)
+    weights = np.atleast_2d(np.asarray(weights, dtype=np.float64))
+    alphas = (weights * (stds / means) ** 2).sum(axis=1)
+    return lemma1_allocation(alphas, budget)

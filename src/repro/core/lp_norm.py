@@ -1,0 +1,201 @@
+"""General l-p norm allocation (paper Section 8, future-work avenue 2).
+
+The paper optimizes the l2 norm (Lemma 1's closed form) and l-infinity
+(Section 5) of the per-group CVs, and asks about other norms. For a
+single group-by, the l-p objective is
+
+    minimize  sum_i w_i * CV_i(s_i)^p
+    where     CV_i(s) = c_i * sqrt(1/s - 1/n_i),   c_i = sigma_i / mu_i
+
+subject to the budget and box constraints. For ``p >= 2`` each term is
+convex in ``s_i`` (the composition of the convex decreasing
+``1/s - 1/n`` with the convex increasing ``t^(p/2)``), so the KKT
+conditions characterize the optimum: the marginal gains
+
+    g_i(s) = (p/2) * w_i c_i^p * (1/s - 1/n_i)^(p/2 - 1) / s^2
+
+are equalized at a level ``lambda``; ``g_i`` is strictly decreasing in
+``s`` for ``p >= 2``, so each ``s_i(lambda)`` is found by inner
+bisection and the budget by outer bisection on ``lambda``.
+
+``p = 2`` reproduces Lemma 1's closed form exactly (with the
+finite-population correction dropping out of the optimality condition);
+``p -> infinity`` approaches the CVOPT-INF equalization. ``p < 2``
+breaks convexity of the composition and is rejected.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..engine.statistics import collect_strata_statistics
+from ..engine.groupby import compute_group_keys
+from ..engine.table import Table
+from .allocation import integerize
+from .sample import Allocation, StratifiedSampler
+from .spec import DerivedColumn, GroupByQuerySpec, apply_derived_columns
+
+__all__ = ["lp_fractional_allocation", "CVOptLpSampler"]
+
+
+def _marginal(s, coeff, populations, p):
+    """g_i(s) for vectorized s (one stratum at a time)."""
+    with np.errstate(divide="ignore", invalid="ignore"):
+        slack = 1.0 / s - 1.0 / populations
+        return (p / 2.0) * coeff * slack ** (p / 2.0 - 1.0) / s**2
+
+
+def lp_fractional_allocation(
+    cvs: np.ndarray,
+    populations: np.ndarray,
+    budget: float,
+    p: float = 2.0,
+    weights: np.ndarray | None = None,
+    min_per_stratum: float = 0.0,
+) -> np.ndarray:
+    """Fractional l-p-optimal sizes for one grouping.
+
+    ``cvs[i] = sigma_i / mu_i`` is the data CV of stratum ``i``.
+    Strata with zero CV receive only the floor. Returns real-valued
+    sizes summing to ``min(budget, sum populations)`` (up to bisection
+    tolerance).
+    """
+    if p < 2:
+        raise ValueError(
+            "lp allocation requires p >= 2 (the per-stratum objective "
+            "is non-convex below 2); use CVOPT-INF for the maximum"
+        )
+    cvs = np.asarray(cvs, dtype=np.float64)
+    populations = np.asarray(populations, dtype=np.float64)
+    if weights is None:
+        weights = np.ones_like(cvs)
+    weights = np.asarray(weights, dtype=np.float64)
+    r = len(cvs)
+    if r == 0:
+        return np.zeros(0)
+
+    lower = np.minimum(min_per_stratum, populations)
+    upper = populations
+    budget = float(np.clip(budget, lower.sum(), upper.sum()))
+
+    coeff = weights * np.where(cvs > 0, cvs, 0.0) ** p
+    active = coeff > 0
+
+    def size_for_lambda(lam: float) -> np.ndarray:
+        sizes = lower.copy()
+        for i in np.flatnonzero(active):
+            n_i = populations[i]
+            lo, hi = 1e-9, n_i * (1 - 1e-12)
+            if _marginal(hi, coeff[i], n_i, p) >= lam:
+                s = hi  # even a census has marginal gain above lambda
+            elif _marginal(lo, coeff[i], n_i, p) <= lam:
+                s = lo
+            else:
+                for _ in range(80):
+                    mid = np.sqrt(lo * hi)
+                    if _marginal(mid, coeff[i], n_i, p) > lam:
+                        lo = mid
+                    else:
+                        hi = mid
+                s = hi
+            sizes[i] = np.clip(s, lower[i], upper[i])
+        return sizes
+
+    # Outer bisection on lambda: total allocated size is decreasing.
+    lam_lo, lam_hi = 1e-30, 1e30
+    if size_for_lambda(lam_lo).sum() <= budget:
+        return size_for_lambda(lam_lo)
+    if size_for_lambda(lam_hi).sum() >= budget:
+        return size_for_lambda(lam_hi)
+    for _ in range(120):
+        lam_mid = np.sqrt(lam_lo * lam_hi)
+        if size_for_lambda(lam_mid).sum() > budget:
+            lam_lo = lam_mid
+        else:
+            lam_hi = lam_mid
+    sizes = size_for_lambda(lam_hi)
+    # Distribute the residual budget over unclamped strata.
+    slack = budget - sizes.sum()
+    if abs(slack) > 1e-6:
+        room = (upper - sizes) if slack > 0 else (sizes - lower)
+        movable = room > 1e-9
+        if movable.any():
+            sizes[movable] += slack * room[movable] / room[movable].sum()
+            sizes = np.clip(sizes, lower, upper)
+    return sizes
+
+
+class CVOptLpSampler(StratifiedSampler):
+    """CVOPT generalized to the l-p norm of the CVs (single group-by).
+
+    ``p = 2`` coincides with :class:`CVOptSampler` on SASG/MASG specs;
+    larger ``p`` penalizes the worst groups harder, interpolating toward
+    CVOPT-INF.
+    """
+
+    def __init__(
+        self,
+        specs,
+        p: float = 2.0,
+        min_per_stratum: int = 1,
+        mean_floor: float = 1e-9,
+        derived: Sequence[DerivedColumn] = (),
+    ) -> None:
+        if isinstance(specs, GroupByQuerySpec):
+            specs = (specs,)
+        self.specs = tuple(specs)
+        if len(self.specs) != 1:
+            raise NotImplementedError(
+                "l-p allocation is implemented for a single group-by "
+                "clause; multiple group-bys couple the strata and need "
+                "a general convex solver"
+            )
+        if p < 2:
+            raise ValueError("p must be >= 2")
+        self.p = float(p)
+        self.min_per_stratum = int(min_per_stratum)
+        self.mean_floor = float(mean_floor)
+        self.derived = tuple(derived)
+        self.name = f"CVOPT-L{p:g}"
+
+    def prepare(self, table: Table) -> Table:
+        return apply_derived_columns(table, self.derived)
+
+    def allocation(self, table: Table, budget: int) -> Allocation:
+        spec = self.specs[0]
+        keys = compute_group_keys(table, spec.group_by)
+        stats = collect_strata_statistics(
+            table, spec.group_by, spec.agg_columns, keys=keys
+        )
+        # Multiple aggregates: per-stratum coefficient is the weighted
+        # l-p combination of the per-aggregate CVs, which keeps each
+        # stratum's term of the same separable form.
+        combined = np.zeros(stats.num_strata)
+        for agg in spec.aggregates:
+            cs = stats.stats_for(agg.column)
+            cv = np.nan_to_num(cs.cv(mean_floor=self.mean_floor))
+            group_w = np.asarray(
+                [
+                    spec.effective_weight(stats.keys[i], agg)
+                    for i in range(stats.num_strata)
+                ]
+            )
+            combined += group_w * cv**self.p
+        effective_cv = combined ** (1.0 / self.p)
+        fractional = lp_fractional_allocation(
+            effective_cv,
+            stats.sizes,
+            budget,
+            p=self.p,
+            min_per_stratum=self.min_per_stratum,
+        )
+        sizes = integerize(fractional, budget, stats.sizes)
+        return Allocation(
+            by=stats.by,
+            keys=stats.keys,
+            populations=stats.sizes,
+            sizes=sizes,
+            scores=effective_cv,
+        )

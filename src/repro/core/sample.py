@@ -1,0 +1,206 @@
+"""Stratified sample container and the sampler base class.
+
+A :class:`StratifiedSample` holds the sampled rows plus everything
+needed to answer queries: the stratification attributes, per-stratum
+populations and sample sizes, and per-row Horvitz-Thompson weights
+(``n_c / s_c``). The sample is *reusable*: any query over the base
+table's columns — new predicates, new grouping combinations — runs
+against it via weighted execution (paper Section 6.3).
+
+:class:`StratifiedSampler` is the shared skeleton for CVOPT and every
+baseline: subclasses implement :meth:`allocation` (statistics pass +
+budget split); the base class draws the per-stratum SRS and assembles
+the sample (second pass), mirroring the paper's two-pass offline phase.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..engine.groupby import compute_group_keys
+from ..engine.reservoir import stratified_sample_indices
+from ..engine.schema import DType
+from ..engine.sql.executor import execute_sql
+from ..engine.table import Column, Table
+
+__all__ = [
+    "WEIGHT_COLUMN",
+    "STRATUM_COLUMN",
+    "Allocation",
+    "StratifiedSample",
+    "StratifiedSampler",
+]
+
+#: Reserved column names added to sample tables.
+WEIGHT_COLUMN = "__weight__"
+STRATUM_COLUMN = "__stratum__"
+
+
+@dataclass
+class Allocation:
+    """A budget split over a stratification of the table."""
+
+    by: Tuple[str, ...]  # stratification attributes (empty = one stratum)
+    keys: list  # decoded key tuple per stratum
+    populations: np.ndarray  # n_c (int64)
+    sizes: np.ndarray  # s_c (int64)
+    scores: Optional[np.ndarray] = None  # beta_c / alpha_c, for diagnostics
+
+    def __post_init__(self) -> None:
+        self.populations = np.asarray(self.populations, dtype=np.int64)
+        self.sizes = np.asarray(self.sizes, dtype=np.int64)
+        if len(self.keys) != len(self.populations) or len(self.keys) != len(
+            self.sizes
+        ):
+            raise ValueError("keys, populations and sizes must align")
+        if np.any(self.sizes > self.populations):
+            raise ValueError("allocation exceeds a stratum population")
+        if np.any(self.sizes < 0):
+            raise ValueError("allocation must be non-negative")
+
+    @property
+    def num_strata(self) -> int:
+        return len(self.keys)
+
+    @property
+    def total(self) -> int:
+        return int(self.sizes.sum())
+
+
+class StratifiedSample:
+    """Materialized stratified sample with estimation metadata."""
+
+    def __init__(
+        self,
+        table: Table,
+        allocation: Allocation,
+        method: str,
+        source_rows: int,
+        budget: int,
+    ) -> None:
+        self.table = table
+        self.allocation = allocation
+        self.method = method
+        self.source_rows = source_rows
+        self.budget = budget
+
+    @property
+    def num_rows(self) -> int:
+        return self.table.num_rows
+
+    @property
+    def sampling_rate(self) -> float:
+        if self.source_rows == 0:
+            return 0.0
+        return self.num_rows / self.source_rows
+
+    def answer(self, sql: str, table_name: str) -> Table:
+        """Approximately answer ``sql`` with this sample standing in for
+        the base table named ``table_name``."""
+        return execute_sql(
+            sql, {table_name: self.table}, weight_column=WEIGHT_COLUMN
+        )
+
+    # ------------------------------------------------------------------
+    # persistence
+    # ------------------------------------------------------------------
+    def save(self, path) -> None:
+        meta = Table.from_pydict(
+            {
+                "stratum": list(range(self.allocation.num_strata)),
+                "population": self.allocation.populations,
+                "size": self.allocation.sizes,
+                "key": [repr(k) for k in self.allocation.keys],
+            }
+        )
+        payload_path = str(path)
+        self.table.save(payload_path + ".rows.npz")
+        meta.save(payload_path + ".meta.npz")
+
+    def __repr__(self) -> str:
+        return (
+            f"StratifiedSample(method={self.method}, rows={self.num_rows}, "
+            f"strata={self.allocation.num_strata}, "
+            f"rate={self.sampling_rate:.4%})"
+        )
+
+
+class StratifiedSampler(abc.ABC):
+    """Base class: two-pass sample construction.
+
+    Pass 1 (:meth:`allocation`): scan for statistics and split the
+    budget. Pass 2 (:meth:`sample`): draw an SRS without replacement of
+    the allocated size inside each stratum and attach HT weights.
+    """
+
+    #: Display name used in experiment tables.
+    name: str = "stratified"
+
+    @abc.abstractmethod
+    def allocation(self, table: Table, budget: int) -> Allocation:
+        """Split ``budget`` rows over a stratification of ``table``."""
+
+    def prepare(self, table: Table) -> Table:
+        """Hook: materialize derived columns etc. before both passes."""
+        return table
+
+    def sample(
+        self,
+        table: Table,
+        budget: int,
+        seed: int | np.random.Generator = 0,
+    ) -> StratifiedSample:
+        rng = (
+            seed
+            if isinstance(seed, np.random.Generator)
+            else np.random.default_rng(seed)
+        )
+        if budget <= 0:
+            raise ValueError("budget must be positive")
+        table = self.prepare(table)
+        allocation = self.allocation(table, budget)
+        keys = compute_group_keys(table, allocation.by)
+        if keys.num_groups != allocation.num_strata:
+            raise RuntimeError(
+                "allocation strata do not match the table stratification"
+            )
+        indices = stratified_sample_indices(keys.gids, allocation.sizes, rng)
+        sampled = table.take(indices)
+
+        gids = keys.gids[indices]
+        with np.errstate(divide="ignore", invalid="ignore"):
+            scale = np.where(
+                allocation.sizes > 0,
+                allocation.populations / np.maximum(allocation.sizes, 1),
+                0.0,
+            )
+        weights = scale[gids]
+        sampled = sampled.with_column(
+            WEIGHT_COLUMN, Column(DType.FLOAT64, weights.astype(np.float64))
+        )
+        sampled = sampled.with_column(
+            STRATUM_COLUMN, Column(DType.INT64, gids.astype(np.int64))
+        )
+        return StratifiedSample(
+            table=sampled,
+            allocation=allocation,
+            method=self.name,
+            source_rows=table.num_rows,
+            budget=budget,
+        )
+
+    def sample_rate(
+        self,
+        table: Table,
+        rate: float,
+        seed: int | np.random.Generator = 0,
+    ) -> StratifiedSample:
+        """Draw a sample of ``rate`` (e.g. 0.01 for the paper's 1%)."""
+        if not 0 < rate <= 1:
+            raise ValueError("rate must be in (0, 1]")
+        budget = max(1, int(round(table.num_rows * rate)))
+        return self.sample(table, budget, seed)

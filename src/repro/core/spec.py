@@ -1,0 +1,256 @@
+"""Query specifications driving sample construction.
+
+A :class:`GroupByQuerySpec` describes one group-by query the sample
+should be optimized for: the grouping attributes ``A_i``, the aggregated
+columns ``L_i``, and the weights ``w``. The paper's weight model assigns
+one weight per *result cell* — per (group, aggregate) pair — with
+defaults of 1; we expose that as three multiplicative layers:
+
+``effective_weight(a, l) = query.weight * aggregate.weight
+                          * group_weights.get(a, 1) * cell_weights.get((a, l), 1)``
+
+Specs can be derived from SQL (:func:`specs_from_sql`): group-by columns
+become ``A_i``; ``AVG``/``SUM``/``MEDIAN``/... arguments become
+aggregation columns; ``COUNT_IF(cond)`` and other computed aggregate
+arguments become *derived columns* (indicator / expression columns added
+to the table before statistics collection); ``COUNT(*)`` contributes a
+constant column with zero variance — it never needs samples of its own,
+exactly as the paper notes for COUNT.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Optional, Sequence, Tuple
+
+from ..engine.expr import (
+    AggCall,
+    ColumnRef,
+    Expr,
+    Literal,
+    Star,
+    collect_agg_calls,
+)
+from ..engine.sql.ast import SelectQuery, SubqueryTable
+from ..engine.sql.parser import parse_query
+from ..engine.table import Table
+from ..engine.expr import evaluate
+
+import numpy as np
+
+__all__ = [
+    "AggregateSpec",
+    "GroupByQuerySpec",
+    "DerivedColumn",
+    "specs_from_sql",
+    "apply_derived_columns",
+]
+
+
+@dataclass(frozen=True)
+class AggregateSpec:
+    """One aggregation column and its weight."""
+
+    column: str
+    weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.weight < 0:
+            raise ValueError("aggregate weight must be non-negative")
+
+
+@dataclass(frozen=True)
+class GroupByQuerySpec:
+    """One group-by query in the optimization target."""
+
+    group_by: Tuple[str, ...]
+    aggregates: Tuple[AggregateSpec, ...]
+    weight: float = 1.0
+    group_weights: Optional[Mapping[tuple, float]] = None
+    cell_weights: Optional[Mapping[tuple, float]] = None  # (group, column)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "group_by", tuple(self.group_by))
+        aggs = tuple(
+            a if isinstance(a, AggregateSpec) else AggregateSpec(a)
+            for a in self.aggregates
+        )
+        object.__setattr__(self, "aggregates", aggs)
+        if not aggs:
+            raise ValueError("a query spec needs at least one aggregate")
+        if self.weight < 0:
+            raise ValueError("query weight must be non-negative")
+
+    @classmethod
+    def single(
+        cls, column: str, by: Sequence[str], weight: float = 1.0
+    ) -> "GroupByQuerySpec":
+        """Convenience for the SASG case: one aggregate, one grouping."""
+        return cls(
+            group_by=tuple(by),
+            aggregates=(AggregateSpec(column),),
+            weight=weight,
+        )
+
+    @property
+    def agg_columns(self) -> Tuple[str, ...]:
+        return tuple(a.column for a in self.aggregates)
+
+    def effective_weight(self, group_key: tuple, agg: AggregateSpec) -> float:
+        w = self.weight * agg.weight
+        if self.group_weights:
+            w *= self.group_weights.get(group_key, 1.0)
+        if self.cell_weights:
+            w *= self.cell_weights.get((group_key, agg.column), 1.0)
+        return w
+
+    def reweighted(
+        self, aggregate_weights: Sequence[float]
+    ) -> "GroupByQuerySpec":
+        """Copy with new per-aggregate weights (Figure 2 experiments)."""
+        if len(aggregate_weights) != len(self.aggregates):
+            raise ValueError(
+                f"expected {len(self.aggregates)} weights, "
+                f"got {len(aggregate_weights)}"
+            )
+        aggs = tuple(
+            AggregateSpec(a.column, float(w))
+            for a, w in zip(self.aggregates, aggregate_weights)
+        )
+        return GroupByQuerySpec(
+            group_by=self.group_by,
+            aggregates=aggs,
+            weight=self.weight,
+            group_weights=self.group_weights,
+            cell_weights=self.cell_weights,
+        )
+
+
+@dataclass(frozen=True)
+class DerivedColumn:
+    """A column computed from an expression before statistics collection.
+
+    Produced when an aggregate argument is not a plain column —
+    ``COUNT_IF(value > 0.04)`` yields an indicator column, ``COUNT(*)``
+    a constant-one column.
+    """
+
+    name: str
+    expr: Expr
+
+
+def apply_derived_columns(table: Table, derived: Sequence[DerivedColumn]) -> Table:
+    """Materialize derived columns onto ``table`` (idempotent)."""
+    from ..engine.table import Column
+    from ..engine.schema import DType
+
+    for dc in derived:
+        if dc.name in table:
+            continue
+        if isinstance(dc.expr, Star):
+            data = np.ones(table.num_rows, dtype=np.float64)
+        else:
+            data = np.asarray(evaluate(dc.expr, table), dtype=np.float64)
+        table = table.with_column(dc.name, Column(DType.FLOAT64, data))
+    return table
+
+
+def specs_from_sql(sql: str, weight: float = 1.0):
+    """Derive ``(specs, derived_columns)`` from a SQL query.
+
+    Handles plain group-by queries and the paper's AQ1 pattern (CTEs over
+    the same base table): every SELECT block with a GROUP BY contributes
+    one spec. Selection predicates are ignored — the sample is built
+    before predicates are known (paper Section 6: predicates are applied
+    on the sample at query time).
+    """
+    query = parse_query(sql)
+    specs: list = []
+    derived: list = []
+    counter = [0]
+    _walk_query(query, weight, specs, derived, counter)
+    if not specs:
+        raise ValueError(
+            "query has no GROUP BY aggregation to optimize a sample for"
+        )
+    return specs, derived
+
+
+def _walk_query(query: SelectQuery, weight, specs, derived, counter) -> None:
+    for _, cte in query.ctes:
+        _walk_query(cte, weight, specs, derived, counter)
+    from_clause = query.from_clause
+    if isinstance(from_clause, SubqueryTable):
+        _walk_query(from_clause.query, weight, specs, derived, counter)
+    if not query.group_by and not query.is_aggregate:
+        return
+    group_cols = []
+    for expr in query.group_by:
+        if isinstance(expr, ColumnRef):
+            group_cols.append(expr.name.split(".")[-1])
+        else:
+            # Computed keys (e.g. CONCAT(month,'_',year)) depend on the
+            # columns they reference — stratify on those.
+            from ..engine.expr import collect_column_refs
+
+            group_cols.extend(
+                r.name.split(".")[-1] for r in collect_column_refs(expr)
+            )
+    if not group_cols:
+        return
+
+    aggs = []
+    for item in query.items:
+        for call in collect_agg_calls(item.expr):
+            agg = _aggregate_spec_for(call, derived, counter)
+            if agg is not None:
+                aggs.append(agg)
+    if not aggs:
+        return
+    # Deduplicate by column, keep order.
+    seen = set()
+    unique_aggs = []
+    for agg in aggs:
+        if agg.column not in seen:
+            seen.add(agg.column)
+            unique_aggs.append(agg)
+    group_cols = tuple(dict.fromkeys(group_cols))
+    if query.with_cube:
+        # WITH CUBE is a collection of group-bys: one spec per grouping
+        # set (paper Section 4.1, "Cube-By Queries"), including the
+        # grand total (empty grouping).
+        from ..engine.groupby import cube_grouping_sets
+
+        for subset in cube_grouping_sets(group_cols):
+            specs.append(
+                GroupByQuerySpec(
+                    group_by=subset,
+                    aggregates=tuple(unique_aggs),
+                    weight=weight,
+                )
+            )
+    else:
+        specs.append(
+            GroupByQuerySpec(
+                group_by=group_cols,
+                aggregates=tuple(unique_aggs),
+                weight=weight,
+            )
+        )
+
+
+def _aggregate_spec_for(call: AggCall, derived, counter):
+    if isinstance(call.arg, Star) or call.arg is None:
+        # COUNT(*): constant column, zero variance.
+        name = "__const_one"
+        if all(d.name != name for d in derived):
+            derived.append(DerivedColumn(name, Star()))
+        return AggregateSpec(name)
+    if isinstance(call.arg, ColumnRef):
+        return AggregateSpec(call.arg.name.split(".")[-1])
+    if isinstance(call.arg, Literal):
+        return None
+    name = f"__derived_{counter[0]}"
+    counter[0] += 1
+    derived.append(DerivedColumn(name, call.arg))
+    return AggregateSpec(name)

@@ -1,0 +1,252 @@
+"""Streaming CVOPT (paper Section 8, future-work avenue 3).
+
+The offline algorithm takes two passes: statistics, then the draw. On a
+stream neither pass can be repeated, so this module implements a
+*pilot + shrink* design (in the spirit of the authors' companion work
+on stratified sampling over streams, Nguyen et al., EDBT 2019 [17]):
+
+* **Pilot phase** (the first ``pilot_fraction`` of an expected stream
+  length, or an explicit row count): every stratum runs a Welford
+  accumulator and an over-provisioned uniform reservoir (``headroom``
+  times its fair share of the budget).
+* **Re-balance** at the pilot boundary: CVOPT's box-constrained
+  allocation is computed from the pilot statistics, with each stratum's
+  *current reservoir capacity* as the upper bound. Capacities only
+  **shrink** — shrinking a reservoir (uniform subsample, then continue
+  Algorithm R with the smaller capacity) preserves exact per-stratum
+  uniformity, whereas growing one would bias toward late items.
+* **Tail phase**: re-balancing repeats on a doubling schedule (at
+  ``pilot_rows``, ``2 * pilot_rows``, ``4 * pilot_rows``, ...) and once
+  more at :meth:`finalize`, so strata that first appear late in the
+  stream (e.g. clustered input) are folded into the allocation; every
+  re-balance is shrink-only, and the budget bound is enforced at each
+  one. Statistics keep accumulating so the final Horvitz-Thompson
+  weights use exact stream counts.
+
+The price of one pass is that the allocation is computed from pilot
+estimates and capped by the pilot's headroom; accuracy approaches the
+two-pass optimum as the pilot grows (tested in
+``tests/core/test_streaming.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Sequence, Tuple
+
+import numpy as np
+
+from ..engine.reservoir import Reservoir
+from ..engine.schema import DType
+from ..engine.statistics import WelfordAccumulator
+from ..engine.table import Column, Table
+from .allocation import box_constrained_allocation, integerize
+from .sample import STRATUM_COLUMN, WEIGHT_COLUMN, Allocation, StratifiedSample
+
+__all__ = ["StreamingCVOptSampler"]
+
+
+class _StratumState:
+    __slots__ = ("stats", "reservoir", "seen")
+
+    def __init__(self, capacity: int, rng: np.random.Generator) -> None:
+        self.stats = WelfordAccumulator()
+        self.reservoir = Reservoir(capacity, rng)
+        self.seen = 0
+
+
+class StreamingCVOptSampler:
+    """One-pass CVOPT over a stream of records.
+
+    Parameters
+    ----------
+    group_by:
+        Attribute names forming the stratification key.
+    value_column:
+        The aggregation column driving the CV-based allocation.
+    budget:
+        Total rows to retain.
+    pilot_rows:
+        Stream position at which the allocation is re-balanced.
+    headroom:
+        Over-provisioning factor for pilot reservoir capacities: each
+        newly seen stratum starts with ``headroom * budget /
+        max(#strata, 1)`` slots (at least 1).
+    """
+
+    def __init__(
+        self,
+        group_by: Sequence[str],
+        value_column: str,
+        budget: int,
+        pilot_rows: int,
+        headroom: float = 2.0,
+        mean_floor: float = 1e-9,
+        seed: int | np.random.Generator = 0,
+    ) -> None:
+        if budget <= 0:
+            raise ValueError("budget must be positive")
+        if pilot_rows <= 0:
+            raise ValueError("pilot_rows must be positive")
+        if headroom < 1.0:
+            raise ValueError("headroom must be >= 1")
+        self.group_by = tuple(group_by)
+        self.value_column = value_column
+        self.budget = int(budget)
+        self.pilot_rows = int(pilot_rows)
+        self.headroom = float(headroom)
+        self.mean_floor = float(mean_floor)
+        self._rng = (
+            seed
+            if isinstance(seed, np.random.Generator)
+            else np.random.default_rng(seed)
+        )
+        self._strata: Dict[Tuple, _StratumState] = {}
+        self._rows_seen = 0
+        self._rebalanced = False
+        self._next_rebalance = self.pilot_rows
+
+    # ------------------------------------------------------------------
+    # streaming API
+    # ------------------------------------------------------------------
+    @property
+    def rows_seen(self) -> int:
+        return self._rows_seen
+
+    @property
+    def rebalanced(self) -> bool:
+        return self._rebalanced
+
+    def observe(self, record: Mapping[str, object]) -> None:
+        """Feed one stream record (a mapping with the key + value
+        attributes; extra attributes are retained in the sample)."""
+        key = tuple(record[attr] for attr in self.group_by)
+        state = self._strata.get(key)
+        if state is None:
+            capacity = max(
+                1,
+                int(
+                    self.headroom
+                    * self.budget
+                    / max(len(self._strata) + 1, 1)
+                ),
+            )
+            state = _StratumState(capacity, self._rng)
+            self._strata[key] = state
+        state.seen += 1
+        state.stats.add(float(record[self.value_column]))
+        state.reservoir.offer(dict(record))
+        self._rows_seen += 1
+        if self._rows_seen >= self._next_rebalance:
+            self._rebalance()
+            self._next_rebalance = max(
+                self._next_rebalance * 2, self._rows_seen + 1
+            )
+
+    def observe_table(self, table: Table) -> None:
+        """Convenience: stream a Table row by row (tests, examples)."""
+        for row in table.iter_rows():
+            self.observe(row)
+
+    # ------------------------------------------------------------------
+    # re-balancing
+    # ------------------------------------------------------------------
+    def _rebalance(self) -> None:
+        self._rebalanced = True
+        keys = list(self._strata)
+        if not keys:
+            return
+        means = np.asarray(
+            [abs(self._strata[k].stats.mean) for k in keys]
+        )
+        stds = np.asarray([self._strata[k].stats.std for k in keys])
+        finite = means[means > 0]
+        floor = (
+            self.mean_floor * float(finite.max()) if len(finite) else 1.0
+        )
+        means = np.maximum(means, max(floor, 1e-300))
+        alphas = (stds / means) ** 2
+
+        capacities = np.asarray(
+            [self._strata[k].reservoir.capacity for k in keys],
+            dtype=np.float64,
+        )
+        lower = np.minimum(1.0, capacities)
+        target = box_constrained_allocation(
+            alphas, self.budget, lower, capacities
+        )
+        sizes = integerize(
+            target, self.budget, capacities.astype(np.int64)
+        )
+        for key, new_capacity in zip(keys, sizes):
+            self._shrink(self._strata[key], int(new_capacity))
+
+    def _shrink(self, state: _StratumState, new_capacity: int) -> None:
+        """Shrink-only resize preserving within-stratum uniformity."""
+        reservoir = state.reservoir
+        if new_capacity >= reservoir.capacity:
+            return  # growing would bias toward late items; keep as is
+        items = reservoir.sample()
+        if len(items) > new_capacity:
+            picked = self._rng.choice(
+                len(items), size=new_capacity, replace=False
+            )
+            items = [items[i] for i in picked]
+        fresh = Reservoir(new_capacity, self._rng)
+        fresh._items = items
+        fresh._seen = reservoir.seen
+        state.reservoir = fresh
+
+    # ------------------------------------------------------------------
+    # finalization
+    # ------------------------------------------------------------------
+    def finalize(self) -> StratifiedSample:
+        """Materialize the retained rows as a StratifiedSample."""
+        if self._strata:
+            self._rebalance()  # fold in strata seen since the last one
+        keys = list(self._strata)
+        populations = np.asarray(
+            [self._strata[k].seen for k in keys], dtype=np.int64
+        )
+        rows: list = []
+        strata_ids: list = []
+        sizes = np.zeros(len(keys), dtype=np.int64)
+        for idx, key in enumerate(keys):
+            sample_rows = self._strata[key].reservoir.sample()
+            sizes[idx] = len(sample_rows)
+            rows.extend(sample_rows)
+            strata_ids.extend([idx] * len(sample_rows))
+        table = self._rows_to_table(rows)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            scale = np.where(
+                sizes > 0, populations / np.maximum(sizes, 1), 0.0
+            )
+        gids = np.asarray(strata_ids, dtype=np.int64)
+        weights = scale[gids] if len(gids) else np.zeros(0)
+        table = table.with_column(
+            WEIGHT_COLUMN, Column(DType.FLOAT64, weights.astype(np.float64))
+        )
+        table = table.with_column(
+            STRATUM_COLUMN, Column(DType.INT64, gids)
+        )
+        allocation = Allocation(
+            by=self.group_by,
+            keys=keys,
+            populations=populations,
+            sizes=sizes,
+        )
+        return StratifiedSample(
+            table=table,
+            allocation=allocation,
+            method="CVOPT-STREAM",
+            source_rows=self._rows_seen,
+            budget=self.budget,
+        )
+
+    def _rows_to_table(self, rows: Sequence[Mapping[str, object]]) -> Table:
+        if not rows:
+            return Table({})
+        columns = list(rows[0].keys())
+        data = {
+            name: [row[name] for row in rows] for name in columns
+        }
+        return Table.from_pydict(data)

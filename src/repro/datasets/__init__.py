@@ -1,0 +1,22 @@
+"""Seeded synthetic datasets standing in for the paper's corpora."""
+
+from .bikes import generate_bikes
+from .openaq import OPENAQ_COUNTRIES, OPENAQ_PARAMETERS, generate_openaq
+from .student import student_table, student_workload
+from .synthetic import (
+    heterogeneity_scenario,
+    make_grouped_table,
+    two_group_example,
+)
+
+__all__ = [
+    "generate_openaq",
+    "generate_bikes",
+    "OPENAQ_COUNTRIES",
+    "OPENAQ_PARAMETERS",
+    "student_table",
+    "student_workload",
+    "make_grouped_table",
+    "two_group_example",
+    "heterogeneity_scenario",
+]

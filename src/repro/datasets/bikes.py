@@ -1,0 +1,110 @@
+"""Synthetic Divvy-like bike-share dataset.
+
+The real Bikes data (paper Section 6) covers ~11.5M subscriber rides,
+2016-2018, 619 stations. The experiments depend on station-size skew
+(Zipf), heterogeneous trip-duration dispersion per station, and an age
+column with a small share of invalid (0) entries that queries B1/B3
+filter with ``WHERE age > 0``.
+
+Columns: trip_id, from_station_id, to_station_id, year, start_time,
+trip_duration (seconds), age, gender.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..engine.schema import DType
+from ..engine.table import Column, Table
+
+__all__ = ["generate_bikes"]
+
+_SECONDS_2016 = 1451606400  # 2016-01-01T00:00:00Z
+_SECONDS_PER_YEAR = 31_557_600
+
+
+def generate_bikes(
+    num_rows: int = 120_000,
+    num_stations: int = 200,
+    seed: int = 11,
+    zipf_exponent: float = 1.1,
+    invalid_age_share: float = 0.05,
+) -> Table:
+    """Generate the synthetic Bikes table (seeded, deterministic).
+
+    ``num_stations`` can go up to 619 (the real network's size); the
+    default keeps the finest stratification small enough for quick test
+    runs while preserving the skew.
+    """
+    rng = np.random.default_rng(seed)
+
+    # --- stations: Zipf-skewed popularity ------------------------------
+    ranks = rng.permutation(num_stations) + 1
+    station_probs = ranks.astype(np.float64) ** (-zipf_exponent)
+    station_probs /= station_probs.sum()
+    from_station = rng.choice(num_stations, size=num_rows, p=station_probs) + 1
+    to_station = rng.choice(num_stations, size=num_rows, p=station_probs) + 1
+
+    # --- years: ridership grows over the three seasons -----------------
+    year_probs = np.asarray([0.28, 0.33, 0.39])
+    year_offset = rng.choice(3, size=num_rows, p=year_probs)
+    year = 2016 + year_offset
+    start_time = (
+        _SECONDS_2016
+        + year_offset.astype(np.int64) * _SECONDS_PER_YEAR
+        + rng.integers(0, _SECONDS_PER_YEAR, size=num_rows, dtype=np.int64)
+    )
+
+    # --- trip duration: lognormal, station-specific spread --------------
+    station_scale = rng.uniform(np.log(420.0), np.log(1500.0), num_stations)
+    station_sigma = rng.uniform(0.3, 1.1, num_stations)
+    duration = rng.lognormal(
+        mean=station_scale[from_station - 1],
+        sigma=station_sigma[from_station - 1],
+    )
+    duration = np.maximum(duration, 60.0)
+
+    # --- rider age: station-dependent mean, a slice of invalid zeros ---
+    # Age dispersion is anti-correlated with duration dispersion per
+    # station (commuter stations: varied riders, uniform short trips;
+    # leisure stations: similar riders, wildly varying trips). This is
+    # what makes the two aggregates of query B1 genuinely compete for
+    # budget in the weighted-aggregate experiment (paper Figure 2).
+    station_age_mean = rng.uniform(28.0, 44.0, num_stations)
+    duration_rank = np.argsort(np.argsort(station_sigma))
+    station_age_sigma = 3.0 + 12.0 * (
+        1.0 - duration_rank / max(num_stations - 1, 1)
+    )
+    age = rng.normal(
+        station_age_mean[from_station - 1],
+        station_age_sigma[from_station - 1],
+    )
+    age = np.clip(np.round(age), 16, 80)
+    invalid = rng.random(num_rows) < invalid_age_share
+    age = np.where(invalid, 0, age).astype(np.int64)
+
+    gender_codes = rng.choice(
+        3, size=num_rows, p=[0.68, 0.27, 0.05]
+    ).astype(np.int32)
+
+    return Table(
+        {
+            "trip_id": Column(
+                DType.INT64, np.arange(1, num_rows + 1, dtype=np.int64)
+            ),
+            "from_station_id": Column(
+                DType.INT64, from_station.astype(np.int64)
+            ),
+            "to_station_id": Column(DType.INT64, to_station.astype(np.int64)),
+            "year": Column(DType.INT64, year.astype(np.int64)),
+            "start_time": Column(DType.TIMESTAMP, start_time),
+            "trip_duration": Column(
+                DType.FLOAT64, duration.astype(np.float64)
+            ),
+            "age": Column(DType.INT64, age),
+            "gender": Column.from_codes(
+                gender_codes, ["Male", "Female", "Unknown"]
+            ),
+        },
+        name="Bikes",
+    )

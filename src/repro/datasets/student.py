@@ -1,0 +1,52 @@
+"""The paper's example Student table (Table 1) and workload (Table 2).
+
+Used to unit-test the workload-to-weights derivation of Section 4.3
+exactly against the paper's worked example.
+"""
+
+from __future__ import annotations
+
+from ..engine.table import Table
+from ..workload.model import Workload
+
+__all__ = ["student_table", "student_workload"]
+
+
+def student_table() -> Table:
+    """The 8-row Student table of paper Table 1."""
+    return Table.from_pydict(
+        {
+            "id": [1, 2, 3, 4, 5, 6, 7, 8],
+            "age": [25, 22, 24, 28, 21, 23, 27, 26],
+            "gpa": [3.4, 3.1, 3.8, 3.6, 3.5, 3.2, 3.7, 3.3],
+            "sat": [1250, 1280, 1230, 1270, 1210, 1260, 1220, 1230],
+            "major": ["CS", "CS", "Math", "Math", "EE", "EE", "ME", "ME"],
+            "college": [
+                "Science", "Science", "Science", "Science",
+                "Engineering", "Engineering", "Engineering", "Engineering",
+            ],
+        },
+        name="Student",
+    )
+
+
+def student_workload() -> Workload:
+    """The 45-query workload of paper Table 2 (A x20, B x10, C x15)."""
+    workload = Workload()
+    workload.add(
+        "SELECT AVG(age), AVG(gpa) FROM Student GROUP BY major",
+        repeats=20,
+        name="A",
+    )
+    workload.add(
+        "SELECT AVG(age), AVG(sat) FROM Student GROUP BY college",
+        repeats=10,
+        name="B",
+    )
+    workload.add(
+        "SELECT AVG(gpa) FROM Student "
+        "WHERE college = 'Science' GROUP BY major",
+        repeats=15,
+        name="C",
+    )
+    return workload

@@ -1,0 +1,85 @@
+"""Columnar query-engine substrate.
+
+The paper runs its experiments on Hive; this package provides the same
+logical capabilities — scans, filters, vectorized group-by with CUBE,
+hash joins, CTEs, and a SQL dialect covering all twelve evaluation
+queries — over numpy-backed in-memory tables, plus the sampling-specific
+machinery (one-pass stratum statistics, reservoir sampling).
+"""
+
+from .schema import ColumnSpec, DType, Schema
+from .table import Column, Table
+from .expr import (
+    AggCall,
+    Between,
+    BinOp,
+    ColumnRef,
+    Expr,
+    FuncCall,
+    InList,
+    Literal,
+    Star,
+    UnaryOp,
+    evaluate,
+    evaluate_predicate,
+)
+from .groupby import (
+    ALL_MARKER,
+    GroupKeys,
+    compute_group_keys,
+    cube_grouping_sets,
+    group_by_aggregate,
+)
+from .join import hash_join
+from .statistics import (
+    ColumnStats,
+    StrataStatistics,
+    WelfordAccumulator,
+    collect_strata_statistics,
+    rollup,
+)
+from .reservoir import (
+    Reservoir,
+    StratifiedReservoir,
+    stratified_sample_indices,
+    weighted_sample_without_replacement,
+)
+from .sql import execute_query, execute_sql, parse_query
+
+__all__ = [
+    "DType",
+    "Schema",
+    "ColumnSpec",
+    "Column",
+    "Table",
+    "Expr",
+    "Literal",
+    "ColumnRef",
+    "Star",
+    "BinOp",
+    "UnaryOp",
+    "FuncCall",
+    "Between",
+    "InList",
+    "AggCall",
+    "evaluate",
+    "evaluate_predicate",
+    "ALL_MARKER",
+    "GroupKeys",
+    "compute_group_keys",
+    "group_by_aggregate",
+    "cube_grouping_sets",
+    "hash_join",
+    "ColumnStats",
+    "StrataStatistics",
+    "WelfordAccumulator",
+    "collect_strata_statistics",
+    "rollup",
+    "Reservoir",
+    "StratifiedReservoir",
+    "stratified_sample_indices",
+    "weighted_sample_without_replacement",
+    "parse_query",
+    "execute_query",
+    "execute_sql",
+]

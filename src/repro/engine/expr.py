@@ -1,0 +1,383 @@
+"""Expression AST and vectorized evaluator.
+
+Expressions cover everything the paper's queries need: column references,
+literals, arithmetic, comparisons, boolean logic, ``BETWEEN``/``IN``, and
+scalar function calls (``YEAR``, ``HOUR``, ``CONCAT``, ``IF``, ...).
+
+Aggregate calls (:class:`AggCall`) are AST-only: the planner extracts them
+and replaces them with column references to computed per-group arrays, so
+:func:`evaluate` never sees one.
+
+String columns are dictionary-encoded; equality against a string literal
+is evaluated on the codes (no decode). Other string operations decode to
+object arrays, which numpy compares element-wise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from .functions import SCALAR_FUNCTIONS
+from .schema import DType
+from .table import Table
+
+__all__ = [
+    "Expr",
+    "Literal",
+    "ColumnRef",
+    "Star",
+    "BinOp",
+    "UnaryOp",
+    "FuncCall",
+    "Between",
+    "InList",
+    "AggCall",
+    "evaluate",
+    "evaluate_predicate",
+    "collect_column_refs",
+    "collect_agg_calls",
+    "rewrite",
+    "expr_to_sql",
+]
+
+COMPARISON_OPS = {"=", "<>", "<", "<=", ">", ">="}
+ARITHMETIC_OPS = {"+", "-", "*", "/", "%"}
+BOOLEAN_OPS = {"AND", "OR"}
+
+
+class Expr:
+    """Base class for all expression nodes."""
+
+    def sql(self) -> str:
+        return expr_to_sql(self)
+
+
+@dataclass(frozen=True)
+class Literal(Expr):
+    value: object  # int, float, str, or bool
+
+
+@dataclass(frozen=True)
+class ColumnRef(Expr):
+    name: str
+
+
+@dataclass(frozen=True)
+class Star(Expr):
+    """``*`` — only valid inside COUNT(*)."""
+
+
+@dataclass(frozen=True)
+class BinOp(Expr):
+    op: str
+    left: Expr
+    right: Expr
+
+    def __post_init__(self) -> None:
+        if (
+            self.op not in COMPARISON_OPS
+            and self.op not in ARITHMETIC_OPS
+            and self.op not in BOOLEAN_OPS
+        ):
+            raise ValueError(f"unknown binary operator {self.op!r}")
+
+
+@dataclass(frozen=True)
+class UnaryOp(Expr):
+    op: str  # "NOT" or "-"
+    operand: Expr
+
+    def __post_init__(self) -> None:
+        if self.op not in ("NOT", "-"):
+            raise ValueError(f"unknown unary operator {self.op!r}")
+
+
+@dataclass(frozen=True)
+class FuncCall(Expr):
+    name: str
+    args: tuple = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "name", self.name.upper())
+        object.__setattr__(self, "args", tuple(self.args))
+
+
+@dataclass(frozen=True)
+class Between(Expr):
+    subject: Expr
+    low: Expr
+    high: Expr
+
+
+@dataclass(frozen=True)
+class InList(Expr):
+    subject: Expr
+    options: tuple
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "options", tuple(self.options))
+
+
+@dataclass(frozen=True)
+class AggCall(Expr):
+    """Aggregate function call, e.g. ``AVG(gpa)`` or ``COUNT(*)``.
+
+    ``COUNT_IF(cond)`` keeps its condition in ``arg``.
+    """
+
+    func: str
+    arg: Optional[Expr]  # None only for COUNT()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "func", self.func.upper())
+
+
+# ----------------------------------------------------------------------
+# evaluation
+# ----------------------------------------------------------------------
+def evaluate(expr: Expr, table: Table, extra: dict | None = None) -> np.ndarray:
+    """Evaluate ``expr`` over every row of ``table``.
+
+    ``extra`` maps synthetic names (aggregate placeholders) to
+    pre-computed arrays checked before the table's own columns.
+    Returns a numpy array: bool for predicates, float/int for arithmetic,
+    object for string-valued expressions.
+    """
+    if isinstance(expr, Literal):
+        return np.full(table.num_rows, expr.value)
+    if isinstance(expr, ColumnRef):
+        if extra is not None and expr.name in extra:
+            return extra[expr.name]
+        return table.column(expr.name).decode()
+    if isinstance(expr, Star):
+        raise TypeError("'*' is only valid inside COUNT(*)")
+    if isinstance(expr, UnaryOp):
+        inner = evaluate(expr.operand, table, extra)
+        if expr.op == "NOT":
+            return ~inner.astype(np.bool_)
+        return -inner
+    if isinstance(expr, BinOp):
+        return _evaluate_binop(expr, table, extra)
+    if isinstance(expr, Between):
+        subject = evaluate(expr.subject, table, extra)
+        low = evaluate(expr.low, table, extra)
+        high = evaluate(expr.high, table, extra)
+        return (subject >= low) & (subject <= high)
+    if isinstance(expr, InList):
+        subject = evaluate(expr.subject, table, extra)
+        mask = np.zeros(len(subject), dtype=np.bool_)
+        for option in expr.options:
+            mask |= subject == _literal_value(option)
+        return mask
+    if isinstance(expr, FuncCall):
+        fn = SCALAR_FUNCTIONS.get(expr.name)
+        if fn is None:
+            raise ValueError(f"unknown scalar function {expr.name!r}")
+        args = [evaluate(a, table, extra) for a in expr.args]
+        return fn(*args)
+    if isinstance(expr, AggCall):
+        raise TypeError(
+            f"aggregate {expr.func} cannot be evaluated row-wise; "
+            "the planner must extract it first"
+        )
+    raise TypeError(f"cannot evaluate expression node {type(expr).__name__}")
+
+
+def _literal_value(expr: Expr):
+    if not isinstance(expr, Literal):
+        raise TypeError("IN list members must be literals")
+    return expr.value
+
+
+def _evaluate_binop(expr: BinOp, table: Table, extra: dict | None) -> np.ndarray:
+    if expr.op in BOOLEAN_OPS:
+        left = evaluate(expr.left, table, extra).astype(np.bool_)
+        right = evaluate(expr.right, table, extra).astype(np.bool_)
+        return (left & right) if expr.op == "AND" else (left | right)
+
+    # Fast path: dictionary-coded string (in)equality against a literal.
+    if expr.op in ("=", "<>"):
+        fast = _string_code_comparison(expr, table, extra)
+        if fast is not None:
+            return fast
+
+    left = evaluate(expr.left, table, extra)
+    right = evaluate(expr.right, table, extra)
+    if expr.op in ARITHMETIC_OPS:
+        # SQL treats booleans as 0/1 in arithmetic; numpy refuses
+        # boolean "-" outright.
+        if left.dtype == np.bool_:
+            left = left.astype(np.int64)
+        if right.dtype == np.bool_:
+            right = right.astype(np.int64)
+    if expr.op in COMPARISON_OPS:
+        ops = {
+            "=": np.equal,
+            "<>": np.not_equal,
+            "<": np.less,
+            "<=": np.less_equal,
+            ">": np.greater,
+            ">=": np.greater_equal,
+        }
+        return ops[expr.op](left, right)
+    if expr.op == "+":
+        return left + right
+    if expr.op == "-":
+        return left - right
+    if expr.op == "*":
+        return left * right
+    if expr.op == "/":
+        with np.errstate(divide="ignore", invalid="ignore"):
+            return np.true_divide(left, right)
+    if expr.op == "%":
+        return np.mod(left, right)
+    raise AssertionError(f"unhandled op {expr.op}")
+
+
+def _string_code_comparison(
+    expr: BinOp, table: Table, extra: dict | None
+) -> np.ndarray | None:
+    """Compare dictionary codes instead of decoding, when possible."""
+    ref, lit = None, None
+    if isinstance(expr.left, ColumnRef) and isinstance(expr.right, Literal):
+        ref, lit = expr.left, expr.right
+    elif isinstance(expr.right, ColumnRef) and isinstance(expr.left, Literal):
+        ref, lit = expr.right, expr.left
+    if ref is None or not isinstance(lit.value, str):
+        return None
+    if extra is not None and ref.name in extra:
+        return None
+    if ref.name not in table:
+        return None
+    col = table.column(ref.name)
+    if col.dtype is not DType.STRING:
+        return None
+    code = col.code_for(lit.value)
+    eq = col.data == code if code >= 0 else np.zeros(len(col), dtype=np.bool_)
+    return eq if expr.op == "=" else ~eq
+
+
+def evaluate_predicate(expr: Expr, table: Table, extra: dict | None = None) -> np.ndarray:
+    """Evaluate ``expr`` and coerce the result to a boolean mask."""
+    result = evaluate(expr, table, extra)
+    if result.dtype != np.bool_:
+        result = result.astype(np.bool_)
+    return result
+
+
+# ----------------------------------------------------------------------
+# traversal utilities
+# ----------------------------------------------------------------------
+def _children(expr: Expr) -> tuple:
+    if isinstance(expr, BinOp):
+        return (expr.left, expr.right)
+    if isinstance(expr, UnaryOp):
+        return (expr.operand,)
+    if isinstance(expr, FuncCall):
+        return expr.args
+    if isinstance(expr, Between):
+        return (expr.subject, expr.low, expr.high)
+    if isinstance(expr, InList):
+        return (expr.subject, *expr.options)
+    if isinstance(expr, AggCall):
+        return (expr.arg,) if expr.arg is not None else ()
+    return ()
+
+
+def collect_column_refs(expr: Expr) -> list:
+    """All :class:`ColumnRef` nodes in ``expr``, in visit order."""
+    out = []
+    stack = [expr]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, ColumnRef):
+            out.append(node)
+        stack.extend(reversed(_children(node)))
+    return out
+
+
+def collect_agg_calls(expr: Expr) -> list:
+    """All :class:`AggCall` nodes in ``expr`` (not descending into them)."""
+    out = []
+    stack = [expr]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, AggCall):
+            out.append(node)
+            continue
+        stack.extend(reversed(_children(node)))
+    return out
+
+
+def rewrite(expr: Expr, mapping: dict) -> Expr:
+    """Return a copy of ``expr`` with nodes replaced per ``mapping``.
+
+    ``mapping`` keys are expression nodes (frozen dataclasses hash by
+    value); any subtree equal to a key is replaced by its value.
+    """
+    if expr in mapping:
+        return mapping[expr]
+    if isinstance(expr, BinOp):
+        return BinOp(expr.op, rewrite(expr.left, mapping), rewrite(expr.right, mapping))
+    if isinstance(expr, UnaryOp):
+        return UnaryOp(expr.op, rewrite(expr.operand, mapping))
+    if isinstance(expr, FuncCall):
+        return FuncCall(expr.name, tuple(rewrite(a, mapping) for a in expr.args))
+    if isinstance(expr, Between):
+        return Between(
+            rewrite(expr.subject, mapping),
+            rewrite(expr.low, mapping),
+            rewrite(expr.high, mapping),
+        )
+    if isinstance(expr, InList):
+        return InList(
+            rewrite(expr.subject, mapping),
+            tuple(rewrite(o, mapping) for o in expr.options),
+        )
+    if isinstance(expr, AggCall):
+        arg = rewrite(expr.arg, mapping) if expr.arg is not None else None
+        return AggCall(expr.func, arg)
+    return expr
+
+
+# ----------------------------------------------------------------------
+# SQL rendering (used by tests for parser round-trips and by __repr__)
+# ----------------------------------------------------------------------
+def expr_to_sql(expr: Expr) -> str:
+    if isinstance(expr, Literal):
+        if isinstance(expr.value, str):
+            escaped = expr.value.replace("'", "''")
+            return f"'{escaped}'"
+        if isinstance(expr.value, bool):
+            return "TRUE" if expr.value else "FALSE"
+        return repr(expr.value)
+    if isinstance(expr, ColumnRef):
+        return expr.name
+    if isinstance(expr, Star):
+        return "*"
+    if isinstance(expr, BinOp):
+        return f"({expr_to_sql(expr.left)} {expr.op} {expr_to_sql(expr.right)})"
+    if isinstance(expr, UnaryOp):
+        if expr.op == "NOT":
+            return f"(NOT {expr_to_sql(expr.operand)})"
+        return f"(-{expr_to_sql(expr.operand)})"
+    if isinstance(expr, FuncCall):
+        args = ", ".join(expr_to_sql(a) for a in expr.args)
+        return f"{expr.name}({args})"
+    if isinstance(expr, Between):
+        return (
+            f"({expr_to_sql(expr.subject)} BETWEEN "
+            f"{expr_to_sql(expr.low)} AND {expr_to_sql(expr.high)})"
+        )
+    if isinstance(expr, InList):
+        opts = ", ".join(expr_to_sql(o) for o in expr.options)
+        return f"({expr_to_sql(expr.subject)} IN ({opts}))"
+    if isinstance(expr, AggCall):
+        inner = "*" if isinstance(expr.arg, Star) else (
+            expr_to_sql(expr.arg) if expr.arg is not None else ""
+        )
+        return f"{expr.func}({inner})"
+    raise TypeError(f"cannot render {type(expr).__name__}")

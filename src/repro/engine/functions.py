@@ -1,0 +1,167 @@
+"""Scalar SQL functions, vectorized over numpy arrays.
+
+Timestamps are int64 epoch seconds; the calendar functions convert through
+``datetime64`` so leap years and month lengths are exact.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["SCALAR_FUNCTIONS", "register_scalar_function"]
+
+
+def _as_datetime64(seconds: np.ndarray) -> np.ndarray:
+    return np.asarray(seconds, dtype=np.int64).astype("datetime64[s]")
+
+
+def sql_year(ts: np.ndarray) -> np.ndarray:
+    dt = _as_datetime64(ts)
+    return dt.astype("datetime64[Y]").astype(np.int64) + 1970
+
+
+def sql_month(ts: np.ndarray) -> np.ndarray:
+    dt = _as_datetime64(ts)
+    return dt.astype("datetime64[M]").astype(np.int64) % 12 + 1
+
+
+def sql_day(ts: np.ndarray) -> np.ndarray:
+    dt = _as_datetime64(ts)
+    days = dt.astype("datetime64[D]") - dt.astype("datetime64[M]")
+    return days.astype(np.int64) + 1
+
+
+def sql_hour(ts: np.ndarray) -> np.ndarray:
+    secs = np.asarray(ts, dtype=np.int64)
+    return (secs // 3600) % 24
+
+
+def sql_minute(ts: np.ndarray) -> np.ndarray:
+    secs = np.asarray(ts, dtype=np.int64)
+    return (secs // 60) % 60
+
+
+def sql_dayofweek(ts: np.ndarray) -> np.ndarray:
+    """1=Sunday .. 7=Saturday (MySQL/Hive convention)."""
+    days = np.asarray(ts, dtype=np.int64) // 86400
+    # 1970-01-01 was a Thursday (index 4 with Sunday=0).
+    return (days + 4) % 7 + 1
+
+
+def sql_concat(*parts: np.ndarray) -> np.ndarray:
+    if not parts:
+        raise ValueError("CONCAT requires at least one argument")
+    out = _stringify(parts[0])
+    for part in parts[1:]:
+        out = np.char.add(out, _stringify(part))
+    return out.astype(object)
+
+
+def _stringify(arr: np.ndarray) -> np.ndarray:
+    arr = np.asarray(arr)
+    if arr.dtype.kind in ("U", "S"):
+        return arr.astype(str)
+    if arr.dtype.kind == "O":
+        return np.asarray([str(v) for v in arr], dtype=str)
+    if arr.dtype.kind == "f":
+        # Render integral floats without the trailing .0 (Hive-like).
+        as_int = arr.astype(np.int64)
+        if np.all(arr == as_int):
+            return as_int.astype(str)
+        return arr.astype(str)
+    return arr.astype(str)
+
+
+def sql_if(cond: np.ndarray, then: np.ndarray, otherwise: np.ndarray) -> np.ndarray:
+    return np.where(np.asarray(cond, dtype=np.bool_), then, otherwise)
+
+
+def sql_coalesce(*args: np.ndarray) -> np.ndarray:
+    out = np.asarray(args[0], dtype=np.float64)
+    for arr in args[1:]:
+        out = np.where(np.isnan(out), np.asarray(arr, dtype=np.float64), out)
+    return out
+
+
+def sql_upper(arr: np.ndarray) -> np.ndarray:
+    return np.asarray([str(v).upper() for v in arr], dtype=object)
+
+
+def sql_lower(arr: np.ndarray) -> np.ndarray:
+    return np.asarray([str(v).lower() for v in arr], dtype=object)
+
+
+def sql_least(*args: np.ndarray) -> np.ndarray:
+    out = np.asarray(args[0])
+    for arr in args[1:]:
+        out = np.minimum(out, arr)
+    return out
+
+
+def sql_greatest(*args: np.ndarray) -> np.ndarray:
+    out = np.asarray(args[0])
+    for arr in args[1:]:
+        out = np.maximum(out, arr)
+    return out
+
+
+def sql_sqrt(arr: np.ndarray) -> np.ndarray:
+    with np.errstate(invalid="ignore"):
+        return np.sqrt(np.asarray(arr, dtype=np.float64))
+
+
+def sql_ln(arr: np.ndarray) -> np.ndarray:
+    with np.errstate(divide="ignore", invalid="ignore"):
+        return np.log(np.asarray(arr, dtype=np.float64))
+
+
+def sql_round(arr: np.ndarray, digits: np.ndarray | None = None) -> np.ndarray:
+    if digits is None:
+        return np.round(arr)
+    d = int(np.asarray(digits).flat[0])
+    return np.round(arr, d)
+
+
+def sql_floor(arr: np.ndarray) -> np.ndarray:
+    return np.floor(arr)
+
+
+def sql_ceil(arr: np.ndarray) -> np.ndarray:
+    return np.ceil(arr)
+
+
+def sql_power(base: np.ndarray, exponent: np.ndarray) -> np.ndarray:
+    return np.power(np.asarray(base, dtype=np.float64), exponent)
+
+
+SCALAR_FUNCTIONS = {
+    "YEAR": sql_year,
+    "MONTH": sql_month,
+    "DAY": sql_day,
+    "HOUR": sql_hour,
+    "MINUTE": sql_minute,
+    "DAYOFWEEK": sql_dayofweek,
+    "CONCAT": sql_concat,
+    "IF": sql_if,
+    "COALESCE": sql_coalesce,
+    "ABS": np.abs,
+    "UPPER": sql_upper,
+    "LOWER": sql_lower,
+    "LEAST": sql_least,
+    "GREATEST": sql_greatest,
+    "SQRT": sql_sqrt,
+    "LN": sql_ln,
+    "ROUND": sql_round,
+    "FLOOR": sql_floor,
+    "CEIL": sql_ceil,
+    "POWER": sql_power,
+    "SIGN": np.sign,
+}
+
+
+def register_scalar_function(name: str, fn) -> None:
+    """Extension hook: add a scalar function usable from SQL."""
+    key = name.upper()
+    if key in SCALAR_FUNCTIONS:
+        raise ValueError(f"scalar function {key} already registered")
+    SCALAR_FUNCTIONS[key] = fn

@@ -1,0 +1,139 @@
+"""Vectorized group-by: factorization, grouping sets, and CUBE.
+
+The central object is :class:`GroupKeys` — dense group ids per row plus
+one representative row index per group, from which key values for any
+grouped column can be recovered without re-hashing.
+
+``GROUP BY a, b WITH CUBE`` executes one grouping per subset of
+``{a, b}`` (Hive semantics) and stacks the results; non-grouped key
+columns take the marker value :data:`ALL_MARKER`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from .aggregates import compute_aggregate
+from .schema import DType
+from .table import Column, Table
+
+__all__ = [
+    "ALL_MARKER",
+    "GroupKeys",
+    "factorize",
+    "compute_group_keys",
+    "group_by_aggregate",
+    "cube_grouping_sets",
+]
+
+#: Placeholder for "all values" in CUBE output rows (Hive prints NULL).
+ALL_MARKER = "<ALL>"
+
+
+def factorize(arr: np.ndarray):
+    """Dense codes + first-occurrence row index for each distinct value.
+
+    Returns ``(codes, first_index)`` where ``codes`` is int64 in
+    ``[0, k)`` and ``first_index[j]`` is a row whose value has code ``j``.
+    """
+    uniques, first_index, codes = np.unique(
+        arr, return_index=True, return_inverse=True
+    )
+    return codes.astype(np.int64), first_index
+
+
+@dataclass
+class GroupKeys:
+    """Result of factorizing one or more key columns jointly."""
+
+    by: tuple
+    gids: np.ndarray  # int64 per row, dense 0..num_groups-1
+    num_groups: int
+    representative: np.ndarray  # one source-row index per group
+
+    def key_column(self, table: Table, name: str) -> Column:
+        """Key values per group (length ``num_groups``) for one by-column."""
+        src = table.column(name)
+        return src.take(self.representative)
+
+    def key_tuples(self, table: Table) -> list:
+        """Decoded ``(v1, v2, ...)`` per group, aligned with group ids."""
+        decoded = [
+            self.key_column(table, name).decode() for name in self.by
+        ]
+        return list(zip(*decoded)) if decoded else [()] * self.num_groups
+
+
+def compute_group_keys(table: Table, by: Sequence[str]) -> GroupKeys:
+    """Jointly factorize ``by`` columns into dense group ids."""
+    by = tuple(by)
+    n = table.num_rows
+    if not by:
+        return GroupKeys(
+            by=(),
+            gids=np.zeros(n, dtype=np.int64),
+            num_groups=1 if n > 0 else 0,
+            representative=np.zeros(min(n, 1), dtype=np.int64),
+        )
+    combined = None
+    for name in by:
+        codes, _ = factorize(table.column(name).data)
+        if combined is None:
+            combined = codes
+        else:
+            k = int(codes.max()) + 1 if len(codes) else 1
+            combined = combined * k + codes
+    gids, first_index = factorize(combined)
+    num_groups = len(first_index)
+    return GroupKeys(
+        by=by, gids=gids, num_groups=num_groups, representative=first_index
+    )
+
+
+def group_by_aggregate(
+    table: Table,
+    by: Sequence[str],
+    aggregates: Sequence[tuple],
+    weights: np.ndarray | None = None,
+) -> Table:
+    """Grouped aggregation.
+
+    ``aggregates`` is a sequence of ``(output_name, func, values)`` where
+    ``values`` is a numpy array aligned with the table rows (or ``None``
+    for ``COUNT(*)``). Returns a table with the key columns followed by
+    one float64 column per aggregate.
+    """
+    keys = compute_group_keys(table, by)
+    out = {}
+    for name in keys.by:
+        out[name] = keys.key_column(table, name)
+    for out_name, func, values in aggregates:
+        result = compute_aggregate(
+            func, values, keys.gids, keys.num_groups, weights
+        )
+        out[out_name] = Column(DType.FLOAT64, result)
+    return Table(out, name=table.name)
+
+
+def cube_grouping_sets(attributes: Sequence[str]) -> list:
+    """All subsets of ``attributes`` in Hive's WITH CUBE order.
+
+    The full set comes first, then subsets by decreasing size, then the
+    empty grouping (grand total).
+    """
+    attrs = tuple(attributes)
+    n = len(attrs)
+    sets = []
+    for size in range(n, -1, -1):
+        sets.extend(
+            tuple(a for j, a in enumerate(attrs) if mask >> j & 1)
+            for mask in _masks_of_size(n, size)
+        )
+    return sets
+
+
+def _masks_of_size(n: int, size: int):
+    return sorted(m for m in range(1 << n) if bin(m).count("1") == size)

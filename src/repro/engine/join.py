@@ -1,0 +1,67 @@
+"""Hash join (inner equi-join) between two tables.
+
+Join keys are compared on decoded values so that dictionary-encoded
+string columns from different tables (different category lists) match
+correctly. Output columns are prefixed-disambiguated the way the SQL
+layer expects: columns unique to one side keep their name; a name
+appearing on both sides yields ``<left_alias>.<name>`` and
+``<right_alias>.<name>``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from .table import Table
+
+__all__ = ["hash_join"]
+
+
+def hash_join(
+    left: Table,
+    right: Table,
+    left_keys: Sequence[str],
+    right_keys: Sequence[str],
+    left_alias: str = "left",
+    right_alias: str = "right",
+) -> Table:
+    """Inner equi-join; returns matched rows from both sides."""
+    if len(left_keys) != len(right_keys):
+        raise ValueError("left and right key lists must have equal length")
+    if not left_keys:
+        raise ValueError("join requires at least one key")
+
+    left_tuples = _key_tuples(left, left_keys)
+    right_tuples = _key_tuples(right, right_keys)
+
+    build = {}
+    for idx, key in enumerate(right_tuples):
+        build.setdefault(key, []).append(idx)
+
+    left_idx = []
+    right_idx = []
+    for idx, key in enumerate(left_tuples):
+        matches = build.get(key)
+        if matches:
+            left_idx.extend([idx] * len(matches))
+            right_idx.extend(matches)
+
+    left_take = np.asarray(left_idx, dtype=np.int64)
+    right_take = np.asarray(right_idx, dtype=np.int64)
+
+    shared = set(left.column_names) & set(right.column_names)
+    out = {}
+    for name in left.column_names:
+        out_name = f"{left_alias}.{name}" if name in shared else name
+        out[out_name] = left.column(name).take(left_take)
+    for name in right.column_names:
+        out_name = f"{right_alias}.{name}" if name in shared else name
+        out[out_name] = right.column(name).take(right_take)
+    return Table(out)
+
+
+def _key_tuples(table: Table, keys: Sequence[str]) -> list:
+    decoded = [table.column(k).decode() for k in keys]
+    return list(zip(*decoded))

@@ -1,0 +1,144 @@
+"""Reservoir sampling (Vitter's Algorithm R) and stratified draws.
+
+The paper's offline phase draws, within each stratum, ``s_c`` rows
+uniformly without replacement using reservoir sampling (citing Vitter
+[25]). We provide:
+
+* :class:`Reservoir` — the classic streaming algorithm, one item at a
+  time, exactly Algorithm R.
+* :class:`StratifiedReservoir` — a dictionary of reservoirs keyed by
+  stratum, fed by a single pass over (stratum, row) pairs.
+* :func:`stratified_sample_indices` — a vectorized equivalent used on
+  in-memory tables (identical distribution: each stratum's subset is a
+  uniform ``s_c``-subset), plus weighted sampling without replacement
+  (Efraimidis-Spirakis) for the measure-biased Sample+Seek baseline.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Sequence
+
+import numpy as np
+
+__all__ = [
+    "Reservoir",
+    "StratifiedReservoir",
+    "stratified_sample_indices",
+    "weighted_sample_without_replacement",
+]
+
+
+class Reservoir:
+    """Uniform fixed-size sample of a stream (Algorithm R)."""
+
+    def __init__(self, capacity: int, rng: np.random.Generator) -> None:
+        if capacity < 0:
+            raise ValueError("capacity must be >= 0")
+        self.capacity = capacity
+        self._rng = rng
+        self._items: list = []
+        self._seen = 0
+
+    @property
+    def seen(self) -> int:
+        return self._seen
+
+    def offer(self, item) -> None:
+        """Present one stream item to the reservoir."""
+        self._seen += 1
+        if len(self._items) < self.capacity:
+            self._items.append(item)
+            return
+        if self.capacity == 0:
+            return
+        j = int(self._rng.integers(0, self._seen))
+        if j < self.capacity:
+            self._items[j] = item
+
+    def sample(self) -> list:
+        return list(self._items)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+
+class StratifiedReservoir:
+    """One reservoir per stratum, fed in a single streaming pass."""
+
+    def __init__(
+        self,
+        capacities: Dict[Hashable, int],
+        rng: np.random.Generator,
+    ) -> None:
+        self._reservoirs = {
+            key: Reservoir(cap, rng) for key, cap in capacities.items()
+        }
+
+    def offer(self, stratum: Hashable, item) -> None:
+        reservoir = self._reservoirs.get(stratum)
+        if reservoir is not None:
+            reservoir.offer(item)
+
+    def samples(self) -> Dict[Hashable, list]:
+        return {key: r.sample() for key, r in self._reservoirs.items()}
+
+    def __getitem__(self, stratum: Hashable) -> Reservoir:
+        return self._reservoirs[stratum]
+
+
+def stratified_sample_indices(
+    gids: np.ndarray,
+    sizes_per_stratum: Sequence[int],
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Row indices of a stratified SRS without replacement.
+
+    ``gids`` are dense stratum ids per row; ``sizes_per_stratum[g]`` is
+    the number of rows to draw from stratum ``g`` (clamped at the
+    stratum's population). Returns sorted row indices.
+    """
+    gids = np.asarray(gids, dtype=np.int64)
+    sizes = np.asarray(sizes_per_stratum, dtype=np.int64)
+    n_strata = len(sizes)
+    order = np.argsort(gids, kind="stable")
+    sorted_gids = gids[order]
+    starts = np.searchsorted(sorted_gids, np.arange(n_strata), side="left")
+    ends = np.searchsorted(sorted_gids, np.arange(n_strata), side="right")
+    chosen = []
+    for g in range(n_strata):
+        lo, hi = int(starts[g]), int(ends[g])
+        population = hi - lo
+        want = int(min(sizes[g], population))
+        if want <= 0:
+            continue
+        if want == population:
+            picked = order[lo:hi]
+        else:
+            offsets = rng.choice(population, size=want, replace=False)
+            picked = order[lo + offsets]
+        chosen.append(picked)
+    if not chosen:
+        return np.empty(0, dtype=np.int64)
+    return np.sort(np.concatenate(chosen))
+
+
+def weighted_sample_without_replacement(
+    weights: np.ndarray, size: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Efraimidis-Spirakis: draw ``size`` indices w/o replacement,
+    inclusion biased towards large ``weights``.
+
+    Rows with non-positive weight are never selected. Used by the
+    measure-biased Sample+Seek baseline.
+    """
+    weights = np.asarray(weights, dtype=np.float64)
+    eligible = np.flatnonzero(weights > 0)
+    size = int(min(size, len(eligible)))
+    if size == 0:
+        return np.empty(0, dtype=np.int64)
+    u = rng.random(len(eligible))
+    # keys = u^(1/w); take the largest. Use log for numerical stability.
+    with np.errstate(divide="ignore"):
+        keys = np.log(u) / weights[eligible]
+    top = np.argpartition(keys, -size)[-size:]
+    return np.sort(eligible[top])

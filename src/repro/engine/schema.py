@@ -1,0 +1,133 @@
+"""Column types and schema for the columnar engine.
+
+The engine supports five logical types. Strings are dictionary-encoded
+(int32 codes into a category list) which keeps group-by and comparisons
+vectorized. Timestamps are int64 epoch seconds (UTC) — the scalar
+functions YEAR/MONTH/DAY/HOUR operate on this representation.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["DType", "ColumnSpec", "Schema", "numpy_dtype_for"]
+
+
+class DType(enum.Enum):
+    """Logical column type."""
+
+    INT64 = "int64"
+    FLOAT64 = "float64"
+    BOOL = "bool"
+    STRING = "string"
+    TIMESTAMP = "timestamp"
+
+    @property
+    def is_numeric(self) -> bool:
+        return self in (DType.INT64, DType.FLOAT64, DType.TIMESTAMP)
+
+    @property
+    def storage_dtype(self) -> np.dtype:
+        return numpy_dtype_for(self)
+
+
+def numpy_dtype_for(dtype: DType) -> np.dtype:
+    """Physical numpy dtype backing a logical type."""
+    if dtype is DType.INT64:
+        return np.dtype(np.int64)
+    if dtype is DType.FLOAT64:
+        return np.dtype(np.float64)
+    if dtype is DType.BOOL:
+        return np.dtype(np.bool_)
+    if dtype is DType.STRING:
+        return np.dtype(np.int32)  # dictionary codes
+    if dtype is DType.TIMESTAMP:
+        return np.dtype(np.int64)  # epoch seconds
+    raise ValueError(f"unknown dtype: {dtype!r}")
+
+
+def infer_dtype(values) -> DType:
+    """Infer a logical type from a python sequence or numpy array."""
+    arr = np.asarray(values)
+    if arr.dtype.kind in ("U", "S", "O"):
+        return DType.STRING
+    if arr.dtype.kind == "b":
+        return DType.BOOL
+    if arr.dtype.kind in ("i", "u"):
+        return DType.INT64
+    if arr.dtype.kind == "f":
+        return DType.FLOAT64
+    if arr.dtype.kind == "M":
+        return DType.TIMESTAMP
+    raise TypeError(f"cannot infer engine dtype from numpy dtype {arr.dtype}")
+
+
+@dataclass(frozen=True)
+class ColumnSpec:
+    """Name and type of one column."""
+
+    name: str
+    dtype: DType
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("column name must be non-empty")
+
+
+class Schema:
+    """Ordered collection of :class:`ColumnSpec` with name lookup."""
+
+    def __init__(self, columns) -> None:
+        self._columns = tuple(columns)
+        self._index = {}
+        for i, col in enumerate(self._columns):
+            if col.name in self._index:
+                raise ValueError(f"duplicate column name: {col.name!r}")
+            self._index[col.name] = i
+
+    @property
+    def columns(self) -> tuple:
+        return self._columns
+
+    @property
+    def names(self) -> tuple:
+        return tuple(c.name for c in self._columns)
+
+    def __len__(self) -> int:
+        return len(self._columns)
+
+    def __iter__(self):
+        return iter(self._columns)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._index
+
+    def __getitem__(self, name: str) -> ColumnSpec:
+        try:
+            return self._columns[self._index[name]]
+        except KeyError:
+            raise KeyError(
+                f"no column {name!r}; available: {', '.join(self.names)}"
+            ) from None
+
+    def index_of(self, name: str) -> int:
+        if name not in self._index:
+            raise KeyError(
+                f"no column {name!r}; available: {', '.join(self.names)}"
+            )
+        return self._index[name]
+
+    def dtype_of(self, name: str) -> DType:
+        return self[name].dtype
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, Schema):
+            return NotImplemented
+        return self._columns == other._columns
+
+    def __repr__(self) -> str:
+        cols = ", ".join(f"{c.name}:{c.dtype.value}" for c in self._columns)
+        return f"Schema({cols})"

@@ -1,0 +1,30 @@
+"""SQL subset: lexer, parser, logical query AST, and executor.
+
+The dialect covers everything the paper's twelve evaluation queries use:
+``WITH`` common table expressions, ``SELECT`` expression lists with
+aliases, ``FROM`` over tables / subqueries / inner ``JOIN ... ON``,
+``WHERE`` predicates, ``GROUP BY ... [WITH CUBE]``, ``HAVING``,
+``ORDER BY`` and ``LIMIT``, plus the scalar and aggregate functions of
+:mod:`repro.engine.functions` and :mod:`repro.engine.aggregates`.
+"""
+
+from .parser import parse_query
+from .ast import (
+    JoinClause,
+    NamedTable,
+    SelectItem,
+    SelectQuery,
+    SubqueryTable,
+)
+from .executor import execute_query, execute_sql
+
+__all__ = [
+    "parse_query",
+    "execute_query",
+    "execute_sql",
+    "SelectQuery",
+    "SelectItem",
+    "NamedTable",
+    "SubqueryTable",
+    "JoinClause",
+]

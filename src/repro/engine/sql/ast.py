@@ -1,0 +1,84 @@
+"""Logical query AST produced by the parser."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from ..expr import Expr
+
+__all__ = [
+    "SelectItem",
+    "TableRef",
+    "NamedTable",
+    "SubqueryTable",
+    "JoinClause",
+    "OrderItem",
+    "SelectQuery",
+]
+
+
+@dataclass(frozen=True)
+class SelectItem:
+    """One projection: ``expr [AS alias]``."""
+
+    expr: Expr
+    alias: Optional[str] = None
+
+
+class TableRef:
+    """Base class for FROM items."""
+
+
+@dataclass(frozen=True)
+class NamedTable(TableRef):
+    name: str
+    alias: Optional[str] = None
+
+    @property
+    def binding(self) -> str:
+        return self.alias or self.name
+
+
+@dataclass(frozen=True)
+class SubqueryTable(TableRef):
+    query: "SelectQuery"
+    alias: Optional[str] = None
+
+    @property
+    def binding(self) -> str:
+        return self.alias or "__subquery__"
+
+
+@dataclass(frozen=True)
+class JoinClause(TableRef):
+    left: TableRef
+    right: TableRef
+    condition: Expr  # conjunction of equalities
+
+
+@dataclass(frozen=True)
+class OrderItem:
+    expr: Expr
+    ascending: bool = True
+
+
+@dataclass(frozen=True)
+class SelectQuery:
+    items: Tuple[SelectItem, ...]
+    from_clause: Optional[TableRef] = None
+    where: Optional[Expr] = None
+    group_by: Tuple[Expr, ...] = ()
+    with_cube: bool = False
+    having: Optional[Expr] = None
+    order_by: Tuple[OrderItem, ...] = ()
+    limit: Optional[int] = None
+    ctes: Tuple[Tuple[str, "SelectQuery"], ...] = field(default=())
+
+    @property
+    def is_aggregate(self) -> bool:
+        from ..expr import collect_agg_calls
+
+        if self.group_by:
+            return True
+        return any(collect_agg_calls(item.expr) for item in self.items)

@@ -1,0 +1,160 @@
+"""Tokenizer for the SQL subset.
+
+Produces a flat token list consumed by the recursive-descent parser.
+Identifiers may be dotted (``bc18.avg_value``) — qualification is
+resolved later, during execution. String literals accept single or
+double quotes (Hive-style: the paper's AQ6 writes ``country = "VN"``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Token", "SqlSyntaxError", "tokenize", "KEYWORDS"]
+
+KEYWORDS = {
+    "SELECT", "FROM", "WHERE", "GROUP", "BY", "WITH", "CUBE", "AS",
+    "AND", "OR", "NOT", "BETWEEN", "IN", "JOIN", "INNER", "ON",
+    "HAVING", "ORDER", "LIMIT", "ASC", "DESC", "TRUE", "FALSE",
+    "DISTINCT",
+}
+
+_PUNCT = {
+    "(": "LPAREN",
+    ")": "RPAREN",
+    ",": "COMMA",
+    "*": "STAR",
+    "+": "PLUS",
+    "-": "MINUS",
+    "/": "SLASH",
+    "%": "PERCENT",
+}
+
+
+class SqlSyntaxError(ValueError):
+    """Raised for malformed SQL text."""
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # KEYWORD, IDENT, NUMBER, STRING, operator kinds, EOF
+    value: object
+    position: int
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind}, {self.value!r}@{self.position})"
+
+
+def tokenize(text: str) -> list:
+    tokens = []
+    i, n = 0, len(text)
+    while i < n:
+        ch = text[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if text.startswith("--", i):  # line comment
+            nl = text.find("\n", i)
+            i = n if nl < 0 else nl + 1
+            continue
+        if ch in ("'", '"'):
+            value, i = _read_string(text, i)
+            tokens.append(Token("STRING", value, i))
+            continue
+        if ch.isdigit() or (ch == "." and i + 1 < n and text[i + 1].isdigit()):
+            value, i = _read_number(text, i)
+            tokens.append(Token("NUMBER", value, i))
+            continue
+        if ch.isalpha() or ch == "_":
+            word, j = _read_identifier(text, i)
+            upper = word.upper()
+            if upper in KEYWORDS and "." not in word:
+                tokens.append(Token("KEYWORD", upper, i))
+            else:
+                tokens.append(Token("IDENT", word, i))
+            i = j
+            continue
+        if text.startswith("<>", i) or text.startswith("!=", i):
+            tokens.append(Token("NEQ", "<>", i))
+            i += 2
+            continue
+        if text.startswith("<=", i):
+            tokens.append(Token("LTE", "<=", i))
+            i += 2
+            continue
+        if text.startswith(">=", i):
+            tokens.append(Token("GTE", ">=", i))
+            i += 2
+            continue
+        if ch == "<":
+            tokens.append(Token("LT", "<", i))
+            i += 1
+            continue
+        if ch == ">":
+            tokens.append(Token("GT", ">", i))
+            i += 1
+            continue
+        if ch == "=":
+            tokens.append(Token("EQ", "=", i))
+            i += 1
+            continue
+        if ch in _PUNCT:
+            tokens.append(Token(_PUNCT[ch], ch, i))
+            i += 1
+            continue
+        raise SqlSyntaxError(f"unexpected character {ch!r} at position {i}")
+    tokens.append(Token("EOF", None, n))
+    return tokens
+
+
+def _read_string(text: str, start: int):
+    quote = text[start]
+    i = start + 1
+    parts = []
+    while i < len(text):
+        ch = text[i]
+        if ch == quote:
+            if i + 1 < len(text) and text[i + 1] == quote:  # escaped quote
+                parts.append(quote)
+                i += 2
+                continue
+            return "".join(parts), i + 1
+        parts.append(ch)
+        i += 1
+    raise SqlSyntaxError(f"unterminated string literal starting at {start}")
+
+
+def _read_number(text: str, start: int):
+    i = start
+    n = len(text)
+    seen_dot = False
+    seen_exp = False
+    while i < n:
+        ch = text[i]
+        if ch.isdigit():
+            i += 1
+        elif ch == "." and not seen_dot and not seen_exp:
+            seen_dot = True
+            i += 1
+        elif ch in "eE" and not seen_exp and i > start:
+            seen_exp = True
+            i += 1
+            if i < n and text[i] in "+-":
+                i += 1
+        else:
+            break
+    raw = text[start:i]
+    if seen_dot or seen_exp:
+        return float(raw), i
+    return int(raw), i
+
+
+def _read_identifier(text: str, start: int):
+    i = start
+    n = len(text)
+    while i < n and (text[i].isalnum() or text[i] in "_."):
+        # A trailing dot is not part of the identifier.
+        if text[i] == "." and (i + 1 >= n or not (text[i + 1].isalnum() or text[i + 1] == "_")):
+            break
+        i += 1
+    return text[start:i], i

@@ -1,0 +1,423 @@
+"""Recursive-descent parser for the SQL subset.
+
+Grammar (roughly):
+
+    query       := [WITH cte ("," cte)*] select
+    cte         := IDENT AS "(" select ")"
+    select      := SELECT item ("," item)* [FROM from_ref]
+                   [WHERE expr] [GROUP BY expr ("," expr)* [WITH CUBE]]
+                   [HAVING expr] [ORDER BY order ("," order)*] [LIMIT n]
+    from_ref    := primary (JOIN primary ON expr)*
+    primary     := IDENT [AS? IDENT] | "(" select ")" [AS? IDENT]
+    expr        := or_expr (precedence: OR < AND < NOT < cmp < add < mul < unary)
+
+Aggregate calls are recognized by function name (COUNT/SUM/AVG/...);
+everything else becomes a scalar :class:`FuncCall`.
+"""
+
+from __future__ import annotations
+
+from ..aggregates import AGGREGATE_FUNCTIONS
+from ..expr import (
+    AggCall,
+    Between,
+    BinOp,
+    ColumnRef,
+    Expr,
+    FuncCall,
+    InList,
+    Literal,
+    Star,
+    UnaryOp,
+)
+from .ast import (
+    JoinClause,
+    NamedTable,
+    OrderItem,
+    SelectItem,
+    SelectQuery,
+    SubqueryTable,
+    TableRef,
+)
+from .lexer import SqlSyntaxError, Token, tokenize
+
+__all__ = ["parse_query", "parse_expression", "SqlSyntaxError"]
+
+_AGG_NAMES = set(AGGREGATE_FUNCTIONS)
+
+
+def parse_query(sql: str) -> SelectQuery:
+    """Parse one SELECT statement (optionally prefixed with WITH)."""
+    parser = _Parser(tokenize(sql))
+    query = parser.parse_query()
+    parser.expect("EOF")
+    return query
+
+
+def parse_expression(sql: str) -> Expr:
+    """Parse a standalone scalar/boolean expression (used by tests)."""
+    parser = _Parser(tokenize(sql))
+    expr = parser.parse_expr()
+    parser.expect("EOF")
+    return expr
+
+
+class _Parser:
+    def __init__(self, tokens: list) -> None:
+        self._tokens = tokens
+        self._pos = 0
+
+    # ------------------------------------------------------------------
+    # token plumbing
+    # ------------------------------------------------------------------
+    def peek(self) -> Token:
+        return self._tokens[self._pos]
+
+    def advance(self) -> Token:
+        token = self._tokens[self._pos]
+        self._pos += 1
+        return token
+
+    def check_keyword(self, *words: str) -> bool:
+        token = self.peek()
+        return token.kind == "KEYWORD" and token.value in words
+
+    def accept_keyword(self, *words: str) -> bool:
+        if self.check_keyword(*words):
+            self.advance()
+            return True
+        return False
+
+    def expect_keyword(self, word: str) -> Token:
+        token = self.peek()
+        if token.kind != "KEYWORD" or token.value != word:
+            raise SqlSyntaxError(
+                f"expected {word} but found {token.value!r} at {token.position}"
+            )
+        return self.advance()
+
+    def expect(self, kind: str) -> Token:
+        token = self.peek()
+        if token.kind != kind:
+            raise SqlSyntaxError(
+                f"expected {kind} but found {token.kind}({token.value!r}) "
+                f"at {token.position}"
+            )
+        return self.advance()
+
+    # ------------------------------------------------------------------
+    # statements
+    # ------------------------------------------------------------------
+    def parse_query(self) -> SelectQuery:
+        ctes = []
+        if self.accept_keyword("WITH"):
+            while True:
+                name = self.expect("IDENT").value
+                self.expect_keyword("AS")
+                self.expect("LPAREN")
+                subquery = self.parse_query()
+                self.expect("RPAREN")
+                ctes.append((name, subquery))
+                if not self._accept("COMMA"):
+                    break
+        select = self.parse_select()
+        if ctes:
+            select = SelectQuery(
+                items=select.items,
+                from_clause=select.from_clause,
+                where=select.where,
+                group_by=select.group_by,
+                with_cube=select.with_cube,
+                having=select.having,
+                order_by=select.order_by,
+                limit=select.limit,
+                ctes=tuple(ctes),
+            )
+        return select
+
+    def _accept(self, kind: str) -> bool:
+        if self.peek().kind == kind:
+            self.advance()
+            return True
+        return False
+
+    def parse_select(self) -> SelectQuery:
+        self.expect_keyword("SELECT")
+        self.accept_keyword("DISTINCT")  # tolerated, engine output is grouped
+        items = [self.parse_select_item()]
+        while self._accept("COMMA"):
+            items.append(self.parse_select_item())
+
+        from_clause = None
+        if self.accept_keyword("FROM"):
+            from_clause = self.parse_from()
+
+        where = None
+        if self.accept_keyword("WHERE"):
+            where = self.parse_expr()
+
+        group_by: list = []
+        with_cube = False
+        if self.check_keyword("GROUP"):
+            self.expect_keyword("GROUP")
+            self.expect_keyword("BY")
+            group_by.append(self.parse_expr())
+            while self._accept("COMMA"):
+                group_by.append(self.parse_expr())
+            if self.accept_keyword("WITH"):
+                self.expect_keyword("CUBE")
+                with_cube = True
+
+        having = None
+        if self.accept_keyword("HAVING"):
+            having = self.parse_expr()
+
+        order_by: list = []
+        if self.check_keyword("ORDER"):
+            self.expect_keyword("ORDER")
+            self.expect_keyword("BY")
+            order_by.append(self.parse_order_item())
+            while self._accept("COMMA"):
+                order_by.append(self.parse_order_item())
+
+        limit = None
+        if self.accept_keyword("LIMIT"):
+            token = self.expect("NUMBER")
+            if not isinstance(token.value, int):
+                raise SqlSyntaxError("LIMIT requires an integer")
+            limit = token.value
+
+        return SelectQuery(
+            items=tuple(items),
+            from_clause=from_clause,
+            where=where,
+            group_by=tuple(group_by),
+            with_cube=with_cube,
+            having=having,
+            order_by=tuple(order_by),
+            limit=limit,
+        )
+
+    def parse_select_item(self) -> SelectItem:
+        expr = self.parse_expr()
+        alias = None
+        if self.accept_keyword("AS"):
+            alias = self.expect("IDENT").value
+        elif self.peek().kind == "IDENT":
+            alias = self.advance().value
+        return SelectItem(expr=expr, alias=alias)
+
+    def parse_order_item(self) -> OrderItem:
+        expr = self.parse_expr()
+        ascending = True
+        if self.accept_keyword("DESC"):
+            ascending = False
+        else:
+            self.accept_keyword("ASC")
+        return OrderItem(expr=expr, ascending=ascending)
+
+    # ------------------------------------------------------------------
+    # FROM clause
+    # ------------------------------------------------------------------
+    def parse_from(self) -> TableRef:
+        left = self.parse_table_primary()
+        while True:
+            if self.accept_keyword("INNER"):
+                self.expect_keyword("JOIN")
+            elif not self.accept_keyword("JOIN"):
+                break
+            right = self.parse_table_primary()
+            self.expect_keyword("ON")
+            condition = self.parse_expr()
+            left = JoinClause(left=left, right=right, condition=condition)
+        return left
+
+    def parse_table_primary(self) -> TableRef:
+        if self._accept("LPAREN"):
+            subquery = self.parse_query()
+            self.expect("RPAREN")
+            alias = self._parse_optional_alias()
+            return SubqueryTable(query=subquery, alias=alias)
+        name = self.expect("IDENT").value
+        alias = self._parse_optional_alias()
+        return NamedTable(name=name, alias=alias)
+
+    def _parse_optional_alias(self):
+        if self.accept_keyword("AS"):
+            return self.expect("IDENT").value
+        if self.peek().kind == "IDENT":
+            return self.advance().value
+        return None
+
+    # ------------------------------------------------------------------
+    # expressions (precedence climbing)
+    # ------------------------------------------------------------------
+    def parse_expr(self) -> Expr:
+        return self.parse_or()
+
+    def parse_or(self) -> Expr:
+        left = self.parse_and()
+        while self.accept_keyword("OR"):
+            left = BinOp("OR", left, self.parse_and())
+        return left
+
+    def parse_and(self) -> Expr:
+        left = self.parse_not()
+        while self.accept_keyword("AND"):
+            left = BinOp("AND", left, self.parse_not())
+        return left
+
+    def parse_not(self) -> Expr:
+        if self.accept_keyword("NOT"):
+            return UnaryOp("NOT", self.parse_not())
+        return self.parse_comparison()
+
+    def parse_comparison(self) -> Expr:
+        left = self.parse_additive()
+        token = self.peek()
+        comparison_ops = {
+            "EQ": "=", "NEQ": "<>", "LT": "<", "LTE": "<=",
+            "GT": ">", "GTE": ">=",
+        }
+        if token.kind in comparison_ops:
+            self.advance()
+            right = self.parse_additive()
+            return BinOp(comparison_ops[token.kind], left, right)
+        if self.check_keyword("BETWEEN"):
+            self.advance()
+            low = self.parse_additive()
+            self.expect_keyword("AND")
+            high = self.parse_additive()
+            return Between(left, low, high)
+        if self.check_keyword("NOT"):
+            # NOT IN / NOT BETWEEN
+            saved = self._pos
+            self.advance()
+            if self.check_keyword("IN"):
+                self.advance()
+                return UnaryOp("NOT", self._parse_in_list(left))
+            if self.check_keyword("BETWEEN"):
+                self.advance()
+                low = self.parse_additive()
+                self.expect_keyword("AND")
+                high = self.parse_additive()
+                return UnaryOp("NOT", Between(left, low, high))
+            self._pos = saved
+        if self.check_keyword("IN"):
+            self.advance()
+            return self._parse_in_list(left)
+        return left
+
+    def _parse_in_list(self, subject: Expr) -> Expr:
+        self.expect("LPAREN")
+        options = [self.parse_primary_literal()]
+        while self._accept("COMMA"):
+            options.append(self.parse_primary_literal())
+        self.expect("RPAREN")
+        return InList(subject, tuple(options))
+
+    def parse_primary_literal(self) -> Literal:
+        token = self.peek()
+        if token.kind in ("NUMBER", "STRING"):
+            self.advance()
+            return Literal(token.value)
+        if token.kind == "KEYWORD" and token.value in ("TRUE", "FALSE"):
+            self.advance()
+            return Literal(token.value == "TRUE")
+        if token.kind == "MINUS":
+            self.advance()
+            number = self.expect("NUMBER")
+            return Literal(-number.value)
+        raise SqlSyntaxError(
+            f"IN list expects literals, found {token.value!r} at {token.position}"
+        )
+
+    def parse_additive(self) -> Expr:
+        left = self.parse_multiplicative()
+        while True:
+            token = self.peek()
+            if token.kind == "PLUS":
+                self.advance()
+                left = BinOp("+", left, self.parse_multiplicative())
+            elif token.kind == "MINUS":
+                self.advance()
+                left = BinOp("-", left, self.parse_multiplicative())
+            else:
+                return left
+
+    def parse_multiplicative(self) -> Expr:
+        left = self.parse_unary()
+        while True:
+            token = self.peek()
+            if token.kind == "STAR":
+                self.advance()
+                left = BinOp("*", left, self.parse_unary())
+            elif token.kind == "SLASH":
+                self.advance()
+                left = BinOp("/", left, self.parse_unary())
+            elif token.kind == "PERCENT":
+                self.advance()
+                left = BinOp("%", left, self.parse_unary())
+            else:
+                return left
+
+    def parse_unary(self) -> Expr:
+        token = self.peek()
+        if token.kind == "MINUS":
+            self.advance()
+            return UnaryOp("-", self.parse_unary())
+        if token.kind == "PLUS":
+            self.advance()
+            return self.parse_unary()
+        return self.parse_primary()
+
+    def parse_primary(self) -> Expr:
+        token = self.peek()
+        if token.kind == "NUMBER" or token.kind == "STRING":
+            self.advance()
+            return Literal(token.value)
+        if token.kind == "KEYWORD" and token.value in ("TRUE", "FALSE"):
+            self.advance()
+            return Literal(token.value == "TRUE")
+        if token.kind == "LPAREN":
+            self.advance()
+            expr = self.parse_expr()
+            self.expect("RPAREN")
+            return expr
+        if token.kind == "IDENT":
+            self.advance()
+            if self.peek().kind == "LPAREN":
+                return self._parse_call(token.value)
+            return ColumnRef(token.value)
+        raise SqlSyntaxError(
+            f"unexpected token {token.value!r} at position {token.position}"
+        )
+
+    def _parse_call(self, name: str) -> Expr:
+        upper = name.upper()
+        self.expect("LPAREN")
+        if upper in _AGG_NAMES:
+            return self._parse_agg_call(upper)
+        args = []
+        if self.peek().kind != "RPAREN":
+            args.append(self.parse_expr())
+            while self._accept("COMMA"):
+                args.append(self.parse_expr())
+        self.expect("RPAREN")
+        return FuncCall(upper, tuple(args))
+
+    def _parse_agg_call(self, func: str) -> AggCall:
+        if self.peek().kind == "STAR":
+            self.advance()
+            self.expect("RPAREN")
+            if func != "COUNT":
+                raise SqlSyntaxError(f"{func}(*) is not valid")
+            return AggCall("COUNT", Star())
+        if self.peek().kind == "RPAREN":
+            self.advance()
+            if func != "COUNT":
+                raise SqlSyntaxError(f"{func}() requires an argument")
+            return AggCall("COUNT", Star())
+        arg = self.parse_expr()
+        self.expect("RPAREN")
+        return AggCall(func, arg)

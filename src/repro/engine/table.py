@@ -1,0 +1,322 @@
+"""Columnar in-memory table.
+
+A :class:`Table` is a named, schema'd set of equal-length numpy columns.
+String columns are dictionary-encoded: the physical array holds int32
+codes and the :class:`Column` carries the category list. This keeps
+group-by keys, filters, and joins fully vectorized.
+
+Tables are immutable by convention: every operation returns a new Table
+that shares (never copies) the untouched column buffers.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from .schema import ColumnSpec, DType, Schema, infer_dtype
+
+__all__ = ["Column", "Table"]
+
+
+class Column:
+    """One column: a physical numpy array plus logical-type metadata."""
+
+    __slots__ = ("dtype", "data", "categories")
+
+    def __init__(self, dtype: DType, data: np.ndarray, categories=None) -> None:
+        self.dtype = dtype
+        self.data = data
+        if dtype is DType.STRING:
+            if categories is None:
+                raise ValueError("STRING column requires categories")
+            self.categories = tuple(categories)
+        else:
+            if categories is not None:
+                raise ValueError("only STRING columns carry categories")
+            self.categories = None
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_values(cls, values, dtype: DType | None = None) -> "Column":
+        """Build a column from a python sequence or numpy array."""
+        if dtype is None:
+            dtype = infer_dtype(values)
+        if dtype is DType.STRING:
+            return cls.from_strings(values)
+        arr = np.asarray(values)
+        if dtype is DType.TIMESTAMP and arr.dtype.kind == "M":
+            arr = arr.astype("datetime64[s]").astype(np.int64)
+        return cls(dtype, np.ascontiguousarray(arr, dtype=dtype.storage_dtype))
+
+    @classmethod
+    def from_strings(cls, values) -> "Column":
+        values = np.asarray(values, dtype=object)
+        categories, codes = np.unique(values.astype(str), return_inverse=True)
+        return cls(
+            DType.STRING,
+            codes.astype(np.int32),
+            categories=[str(c) for c in categories],
+        )
+
+    @classmethod
+    def from_codes(cls, codes: np.ndarray, categories) -> "Column":
+        return cls(DType.STRING, np.asarray(codes, dtype=np.int32), categories)
+
+    # ------------------------------------------------------------------
+    # accessors
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def decode(self) -> np.ndarray:
+        """Materialize logical values (strings decoded, timestamps as ints)."""
+        if self.dtype is DType.STRING:
+            cats = np.asarray(self.categories, dtype=object)
+            if len(self.data) == 0:
+                return np.empty(0, dtype=object)
+            return cats[self.data]
+        return self.data
+
+    def values_numeric(self) -> np.ndarray:
+        """Numeric view for aggregation; raises for strings."""
+        if self.dtype is DType.STRING:
+            raise TypeError("cannot aggregate a STRING column numerically")
+        if self.dtype is DType.BOOL:
+            return self.data.astype(np.float64)
+        return self.data
+
+    def code_for(self, value: str) -> int:
+        """Dictionary code of ``value``, or -1 if absent from the column."""
+        try:
+            return self.categories.index(str(value))
+        except ValueError:
+            return -1
+
+    def take(self, indices: np.ndarray) -> "Column":
+        return Column(self.dtype, self.data[indices], self.categories)
+
+    def filter(self, mask: np.ndarray) -> "Column":
+        return Column(self.dtype, self.data[mask], self.categories)
+
+    def concat(self, other: "Column") -> "Column":
+        """Concatenate two columns of the same logical type."""
+        if self.dtype is not other.dtype:
+            raise TypeError(f"cannot concat {self.dtype} with {other.dtype}")
+        if self.dtype is DType.STRING:
+            if self.categories == other.categories:
+                return Column(
+                    self.dtype,
+                    np.concatenate([self.data, other.data]),
+                    self.categories,
+                )
+            merged = list(self.categories)
+            index = {c: i for i, c in enumerate(merged)}
+            remap = np.empty(len(other.categories), dtype=np.int32)
+            for i, cat in enumerate(other.categories):
+                if cat not in index:
+                    index[cat] = len(merged)
+                    merged.append(cat)
+                remap[i] = index[cat]
+            other_codes = remap[other.data] if len(other.data) else other.data
+            return Column(
+                self.dtype,
+                np.concatenate([self.data, other_codes]),
+                merged,
+            )
+        return Column(self.dtype, np.concatenate([self.data, other.data]))
+
+    def __repr__(self) -> str:
+        return f"Column({self.dtype.value}, n={len(self.data)})"
+
+
+class Table:
+    """Immutable columnar table."""
+
+    def __init__(self, columns: Mapping[str, Column], name: str = "") -> None:
+        self._columns = dict(columns)
+        self.name = name
+        lengths = {len(c) for c in self._columns.values()}
+        if len(lengths) > 1:
+            raise ValueError(f"ragged columns: lengths {sorted(lengths)}")
+        self._nrows = lengths.pop() if lengths else 0
+        self._schema = Schema(
+            ColumnSpec(name, col.dtype) for name, col in self._columns.items()
+        )
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_pydict(cls, data: Mapping[str, Sequence], name: str = "") -> "Table":
+        """Build a table from ``{column_name: values}``; types inferred."""
+        return cls(
+            {col: Column.from_values(vals) for col, vals in data.items()},
+            name=name,
+        )
+
+    @classmethod
+    def empty_like(cls, other: "Table") -> "Table":
+        cols = {}
+        for cname in other.column_names:
+            col = other.column(cname)
+            cols[cname] = Column(
+                col.dtype,
+                np.empty(0, dtype=col.data.dtype),
+                col.categories,
+            )
+        return cls(cols, name=other.name)
+
+    # ------------------------------------------------------------------
+    # basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def schema(self) -> Schema:
+        return self._schema
+
+    @property
+    def num_rows(self) -> int:
+        return self._nrows
+
+    @property
+    def column_names(self) -> tuple:
+        return tuple(self._columns.keys())
+
+    def __len__(self) -> int:
+        return self._nrows
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._columns
+
+    def column(self, name: str) -> Column:
+        try:
+            return self._columns[name]
+        except KeyError:
+            raise KeyError(
+                f"no column {name!r}; available: {', '.join(self.column_names)}"
+            ) from None
+
+    def __getitem__(self, name: str) -> np.ndarray:
+        """Decoded values of one column (convenience for tests/examples)."""
+        return self.column(name).decode()
+
+    # ------------------------------------------------------------------
+    # relational operations (all return new tables)
+    # ------------------------------------------------------------------
+    def select(self, names: Iterable[str]) -> "Table":
+        names = list(names)
+        return Table({n: self.column(n) for n in names}, name=self.name)
+
+    def with_column(self, name: str, column: Column) -> "Table":
+        if len(column) != self._nrows:
+            raise ValueError(
+                f"column {name!r} has {len(column)} rows, table has {self._nrows}"
+            )
+        cols = dict(self._columns)
+        cols[name] = column
+        return Table(cols, name=self.name)
+
+    def without_columns(self, names: Iterable[str]) -> "Table":
+        drop = set(names)
+        return Table(
+            {n: c for n, c in self._columns.items() if n not in drop},
+            name=self.name,
+        )
+
+    def rename(self, mapping: Mapping[str, str]) -> "Table":
+        cols = {}
+        for n, c in self._columns.items():
+            cols[mapping.get(n, n)] = c
+        return Table(cols, name=self.name)
+
+    def filter(self, mask: np.ndarray) -> "Table":
+        mask = np.asarray(mask)
+        if mask.dtype != np.bool_:
+            raise TypeError("filter mask must be boolean")
+        if len(mask) != self._nrows:
+            raise ValueError("mask length does not match table")
+        return Table(
+            {n: c.filter(mask) for n, c in self._columns.items()}, name=self.name
+        )
+
+    def take(self, indices: np.ndarray) -> "Table":
+        indices = np.asarray(indices)
+        return Table(
+            {n: c.take(indices) for n, c in self._columns.items()}, name=self.name
+        )
+
+    def head(self, n: int) -> "Table":
+        return self.take(np.arange(min(n, self._nrows)))
+
+    def concat(self, other: "Table") -> "Table":
+        """Vertically stack two tables with identical column names."""
+        if set(self.column_names) != set(other.column_names):
+            raise ValueError("concat requires identical column sets")
+        return Table(
+            {n: self.column(n).concat(other.column(n)) for n in self.column_names},
+            name=self.name,
+        )
+
+    def duplicate(self, times: int) -> "Table":
+        """Stack the table onto itself ``times`` times (paper's OpenAQ-25x)."""
+        if times < 1:
+            raise ValueError("times must be >= 1")
+        cols = {}
+        for n in self.column_names:
+            col = self.column(n)
+            cols[n] = Column(
+                col.dtype, np.tile(col.data, times), col.categories
+            )
+        return Table(cols, name=self.name)
+
+    # ------------------------------------------------------------------
+    # interchange
+    # ------------------------------------------------------------------
+    def to_pydict(self) -> dict:
+        return {n: list(self.column(n).decode()) for n in self.column_names}
+
+    def row(self, i: int) -> dict:
+        return {n: self.column(n).decode()[i] for n in self.column_names}
+
+    def iter_rows(self):
+        decoded = {n: self.column(n).decode() for n in self.column_names}
+        for i in range(self._nrows):
+            yield {n: decoded[n][i] for n in self.column_names}
+
+    # ------------------------------------------------------------------
+    # persistence (npz, columnar)
+    # ------------------------------------------------------------------
+    def save(self, path) -> None:
+        payload = {"__name__": np.asarray([self.name])}
+        for n in self.column_names:
+            col = self.column(n)
+            payload[f"data::{n}"] = col.data
+            payload[f"type::{n}"] = np.asarray([col.dtype.value])
+            if col.categories is not None:
+                payload[f"cats::{n}"] = np.asarray(col.categories, dtype=object)
+        np.savez_compressed(path, **payload, allow_pickle=True)
+
+    @classmethod
+    def load(cls, path) -> "Table":
+        with np.load(path, allow_pickle=True) as npz:
+            name = str(npz["__name__"][0]) if "__name__" in npz else ""
+            cols = {}
+            for key in npz.files:
+                if not key.startswith("data::"):
+                    continue
+                cname = key[len("data::"):]
+                dtype = DType(str(npz[f"type::{cname}"][0]))
+                cats = None
+                if f"cats::{cname}" in npz.files:
+                    cats = [str(c) for c in npz[f"cats::{cname}"]]
+                cols[cname] = Column(dtype, npz[key], cats)
+        return cls(cols, name=name)
+
+    def __repr__(self) -> str:
+        return (
+            f"Table(name={self.name!r}, rows={self._nrows}, "
+            f"columns=[{', '.join(self.column_names)}])"
+        )

@@ -1,0 +1,17 @@
+"""Workload-to-weights derivation (paper Section 4.3)."""
+
+from .model import (
+    AggregationGroup,
+    Workload,
+    WorkloadQuery,
+    derive_aggregation_groups,
+    specs_from_workload,
+)
+
+__all__ = [
+    "AggregationGroup",
+    "Workload",
+    "WorkloadQuery",
+    "derive_aggregation_groups",
+    "specs_from_workload",
+]

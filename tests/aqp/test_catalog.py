@@ -1,0 +1,83 @@
+import pytest
+
+from repro.aqp.catalog import SampleCatalog
+from repro.core.cvopt import CVOptSampler
+from repro.core.spec import GroupByQuerySpec
+
+
+@pytest.fixture()
+def catalog(openaq_small):
+    catalog = SampleCatalog()
+    fine = CVOptSampler(
+        [
+            GroupByQuerySpec.single("value", by=("country", "parameter")),
+        ]
+    ).sample(openaq_small, 800, seed=0)
+    coarse = CVOptSampler(
+        [GroupByQuerySpec.single("value", by=("country",))]
+    ).sample(openaq_small, 800, seed=0)
+    catalog.add("fine", fine)
+    catalog.add("coarse", coarse)
+    return catalog
+
+
+class TestCatalogBasics:
+    def test_add_get_names(self, catalog):
+        assert set(catalog.names()) == {"fine", "coarse"}
+        assert len(catalog) == 2
+        assert catalog.get("fine").allocation.by == ("country", "parameter")
+
+    def test_duplicate_name_rejected(self, catalog):
+        with pytest.raises(ValueError):
+            catalog.add("fine", catalog.get("coarse"))
+
+    def test_missing_name(self, catalog):
+        with pytest.raises(KeyError, match="available"):
+            catalog.get("nope")
+
+
+class TestRouting:
+    def test_tightest_fit_wins(self, catalog):
+        # A country-only query can be served by both; coarse is tighter.
+        sql = "SELECT country, AVG(value) FROM OpenAQ GROUP BY country"
+        assert catalog.route(sql) == "coarse"
+
+    def test_fine_needed_for_two_attrs(self, catalog):
+        sql = (
+            "SELECT country, parameter, AVG(value) FROM OpenAQ "
+            "GROUP BY country, parameter"
+        )
+        assert catalog.route(sql) == "fine"
+
+    def test_unroutable_query(self, catalog):
+        sql = "SELECT location, AVG(value) FROM OpenAQ GROUP BY location"
+        assert catalog.route(sql) is None
+        with pytest.raises(LookupError):
+            catalog.answer(sql, "OpenAQ")
+
+    def test_answer_routes_and_executes(self, catalog, openaq_small):
+        sql = "SELECT country, AVG(value) a FROM OpenAQ GROUP BY country"
+        out = catalog.answer(sql, "OpenAQ")
+        assert out.num_rows > 0
+        assert "a" in out
+
+
+class TestPersistence:
+    def test_save_load_roundtrip(self, catalog, tmp_path):
+        catalog.save(tmp_path / "cat")
+        loaded = SampleCatalog.load(tmp_path / "cat")
+        assert set(loaded.names()) == set(catalog.names())
+        original = catalog.get("fine")
+        restored = loaded.get("fine")
+        assert restored.num_rows == original.num_rows
+        assert restored.allocation.by == original.allocation.by
+        assert list(restored.allocation.sizes) == list(
+            original.allocation.sizes
+        )
+
+    def test_loaded_sample_answers_queries(self, catalog, tmp_path, openaq_small):
+        catalog.save(tmp_path / "cat")
+        loaded = SampleCatalog.load(tmp_path / "cat")
+        sql = "SELECT country, AVG(value) a FROM OpenAQ GROUP BY country"
+        out = loaded.answer(sql, "OpenAQ")
+        assert out.num_rows > 0

@@ -1,0 +1,144 @@
+import numpy as np
+import pytest
+
+from repro.aqp.errors import (
+    GroupErrors,
+    compare_results,
+    result_cells,
+    split_key_value_columns,
+    summarize_many,
+)
+from repro.engine.table import Table
+
+
+@pytest.fixture()
+def truth():
+    return Table.from_pydict(
+        {"g": ["a", "b", "c"], "avg": [10.0, 20.0, 40.0]}
+    )
+
+
+class TestSplitKeyValueColumns:
+    def test_float_is_value(self, truth):
+        keys, values = split_key_value_columns(truth)
+        assert keys == ["g"]
+        assert values == ["avg"]
+
+    def test_int_and_string_keys(self):
+        table = Table.from_pydict(
+            {"g": ["a"], "year": [2017], "s": [1.5], "c": [2.5]}
+        )
+        keys, values = split_key_value_columns(table)
+        assert keys == ["g", "year"]
+        assert values == ["s", "c"]
+
+
+class TestResultCells:
+    def test_mapping(self, truth):
+        cells = result_cells(truth)
+        assert cells[("a",)] == {"avg": 10.0}
+        assert len(cells) == 3
+
+    def test_explicit_columns(self, truth):
+        cells = result_cells(truth, key_columns=["g"], value_columns=["avg"])
+        assert cells[("c",)]["avg"] == 40.0
+
+    def test_multi_key(self):
+        table = Table.from_pydict(
+            {"a": ["x"], "b": [1], "v": [9.0]}
+        )
+        cells = result_cells(table)
+        assert cells[("x", 1)] == {"v": 9.0}
+
+
+class TestCompareResults:
+    def test_exact_match_zero_error(self, truth):
+        errors = compare_results(truth, truth)
+        assert errors.max_error() == 0.0
+        assert errors.mean_error() == 0.0
+        assert errors.missing_groups == 0
+
+    def test_relative_error(self, truth):
+        estimate = Table.from_pydict(
+            {"g": ["a", "b", "c"], "avg": [11.0, 18.0, 40.0]}
+        )
+        errors = compare_results(truth, estimate)
+        assert errors.errors[(("a",), "avg")] == pytest.approx(0.1)
+        assert errors.errors[(("b",), "avg")] == pytest.approx(0.1)
+        assert errors.max_error() == pytest.approx(0.1)
+        assert errors.mean_error() == pytest.approx(0.2 / 3)
+
+    def test_missing_group_counts_full_error(self, truth):
+        estimate = Table.from_pydict({"g": ["a"], "avg": [10.0]})
+        errors = compare_results(truth, estimate)
+        assert errors.missing_groups == 2
+        assert errors.max_error() == 1.0
+
+    def test_custom_missing_error(self, truth):
+        estimate = Table.from_pydict({"g": ["a"], "avg": [10.0]})
+        errors = compare_results(truth, estimate, missing_error=2.0)
+        assert errors.max_error() == 2.0
+
+    def test_extra_groups_counted(self, truth):
+        estimate = Table.from_pydict(
+            {"g": ["a", "b", "c", "zzz"], "avg": [10.0, 20.0, 40.0, 1.0]}
+        )
+        errors = compare_results(truth, estimate)
+        assert errors.extra_groups == 1
+        assert errors.max_error() == 0.0
+
+    def test_zero_truth_skipped(self):
+        truth = Table.from_pydict({"g": ["a", "b"], "v": [0.0, 10.0]})
+        estimate = Table.from_pydict({"g": ["a", "b"], "v": [5.0, 10.0]})
+        errors = compare_results(truth, estimate)
+        assert errors.skipped_zero_truth == 1
+        assert (("a",), "v") not in errors.errors
+
+    def test_zero_truth_zero_estimate_scores_zero(self):
+        truth = Table.from_pydict({"g": ["a"], "v": [0.0]})
+        estimate = Table.from_pydict({"g": ["a"], "v": [0.0]})
+        errors = compare_results(truth, estimate)
+        assert errors.errors[(("a",), "v")] == 0.0
+
+    def test_nan_estimate_counts_as_missing_error(self, truth):
+        estimate = Table.from_pydict(
+            {"g": ["a", "b", "c"], "avg": [float("nan"), 20.0, 40.0]}
+        )
+        errors = compare_results(truth, estimate)
+        assert errors.errors[(("a",), "avg")] == 1.0
+
+    def test_multiple_value_columns(self):
+        truth = Table.from_pydict({"g": ["a"], "s": [100.0], "c": [10.0]})
+        estimate = Table.from_pydict({"g": ["a"], "s": [110.0], "c": [10.0]})
+        errors = compare_results(truth, estimate)
+        assert errors.num_cells == 2
+        assert errors.max_error() == pytest.approx(0.1)
+
+
+class TestSummaries:
+    def test_percentiles(self):
+        errors = GroupErrors(
+            errors={((str(i),), "v"): i / 100 for i in range(101)}
+        )
+        assert errors.percentile(0.5) == pytest.approx(0.5)
+        assert errors.percentile(0.9) == pytest.approx(0.9)
+        assert errors.max_error() == pytest.approx(1.0)
+        profile = errors.percentile_profile()
+        assert profile["p50"] == pytest.approx(0.5)
+        assert profile["max"] == pytest.approx(1.0)
+
+    def test_empty_errors_nan(self):
+        errors = GroupErrors()
+        assert np.isnan(errors.max_error())
+        assert np.isnan(errors.percentile(0.5))
+
+    def test_summarize_many_averages(self):
+        a = GroupErrors(errors={(("x",), "v"): 0.2})
+        b = GroupErrors(errors={(("x",), "v"): 0.4}, missing_groups=2)
+        summary = summarize_many([a, b])
+        assert summary["mean_error"] == pytest.approx(0.3)
+        assert summary["max_error"] == pytest.approx(0.3)
+        assert summary["missing_groups"] == pytest.approx(1.0)
+
+    def test_summarize_empty(self):
+        assert summarize_many([]) == {}

@@ -1,0 +1,111 @@
+import numpy as np
+import pytest
+
+from repro.aqp.estimator import estimate_groups
+from repro.core.cvopt import CVOptSampler
+from repro.core.spec import GroupByQuerySpec
+from repro.datasets.synthetic import make_grouped_table
+
+
+@pytest.fixture(scope="module")
+def table():
+    return make_grouped_table(
+        sizes=[4000, 2000, 500],
+        means=[100.0, 50.0, 10.0],
+        stds=[10.0, 15.0, 2.0],
+        seed=1,
+        exact_moments=True,
+    )
+
+
+@pytest.fixture(scope="module")
+def sample(table):
+    sampler = CVOptSampler(GroupByQuerySpec.single("v", by=("g",)))
+    return sampler.sample(table, 800, seed=0)
+
+
+class TestEstimateGroups:
+    def test_avg_estimates_close(self, sample):
+        estimates = estimate_groups(sample, ["g"], "v", "AVG")
+        assert set(estimates) == {(0,), (1,), (2,)}
+        assert estimates[(0,)].value == pytest.approx(100.0, rel=0.05)
+        assert estimates[(1,)].value == pytest.approx(50.0, rel=0.10)
+
+    def test_count_estimates_population(self, sample):
+        estimates = estimate_groups(sample, ["g"], None, "COUNT")
+        assert estimates[(0,)].value == pytest.approx(4000, rel=1e-9)
+        assert estimates[(1,)].value == pytest.approx(2000, rel=1e-9)
+
+    def test_sum_estimates(self, sample, table):
+        estimates = estimate_groups(sample, ["g"], "v", "SUM")
+        truth = {}
+        g = np.asarray(table["g"])
+        v = np.asarray(table["v"], dtype=float)
+        for key in (0, 1, 2):
+            truth[key] = v[g == key].sum()
+        assert estimates[(0,)].value == pytest.approx(truth[0], rel=0.05)
+
+    def test_std_error_brackets_truth(self, sample):
+        """The 95% CI should contain the true mean for most groups."""
+        estimates = estimate_groups(sample, ["g"], "v", "AVG")
+        truths = {(0,): 100.0, (1,): 50.0, (2,): 10.0}
+        hits = 0
+        for key, est in estimates.items():
+            lo, hi = est.confidence_interval()
+            if lo <= truths[key] <= hi:
+                hits += 1
+        assert hits >= 2
+
+    def test_cv_reported(self, sample):
+        estimates = estimate_groups(sample, ["g"], "v", "AVG")
+        for est in estimates.values():
+            assert est.cv >= 0
+            assert est.supporting_rows > 0
+
+    def test_predicate_filtering(self, sample):
+        estimates = estimate_groups(
+            sample, ["g"], "v", "AVG", predicate="v > 0"
+        )
+        assert len(estimates) >= 1
+
+    def test_predicate_as_text_and_expr_agree(self, sample):
+        from repro.engine.sql.parser import parse_expression
+
+        by_text = estimate_groups(
+            sample, ["g"], "v", "AVG", predicate="v > 50"
+        )
+        by_expr = estimate_groups(
+            sample, ["g"], "v", "AVG", predicate=parse_expression("v > 50")
+        )
+        assert set(by_text) == set(by_expr)
+        for key in by_text:
+            assert by_text[key].value == pytest.approx(by_expr[key].value)
+
+    def test_unknown_function_rejected(self, sample):
+        with pytest.raises(ValueError):
+            estimate_groups(sample, ["g"], "v", "MEDIAN")
+
+    def test_avg_requires_column(self, sample):
+        with pytest.raises(ValueError):
+            estimate_groups(sample, ["g"], None, "AVG")
+
+    def test_census_sample_exact(self, table):
+        sampler = CVOptSampler(GroupByQuerySpec.single("v", by=("g",)))
+        census = sampler.sample(table, table.num_rows, seed=0)
+        estimates = estimate_groups(census, ["g"], "v", "AVG")
+        assert estimates[(0,)].value == pytest.approx(100.0, rel=1e-9)
+        assert estimates[(0,)].std_error == pytest.approx(0.0, abs=1e-9)
+
+    def test_avg_error_within_reported_uncertainty(self, table):
+        """Empirical spread of repeated estimates should be comparable
+        to the reported standard error (within a loose factor)."""
+        sampler = CVOptSampler(GroupByQuerySpec.single("v", by=("g",)))
+        rng = np.random.default_rng(5)
+        values, reported = [], []
+        for _ in range(25):
+            sample = sampler.sample(table, 500, seed=rng)
+            est = estimate_groups(sample, ["g"], "v", "AVG")[(0,)]
+            values.append(est.value)
+            reported.append(est.std_error)
+        empirical = np.std(values)
+        assert np.mean(reported) == pytest.approx(empirical, rel=0.8)

@@ -1,0 +1,230 @@
+import numpy as np
+import pytest
+
+from repro.aqp.planning import (
+    chebyshev_error_bound,
+    expected_l2_norm,
+    plan_sample_rate,
+    predict_group_cvs,
+    required_budget,
+)
+from repro.core.cvopt import CVOptSampler
+from repro.core.spec import GroupByQuerySpec
+from repro.datasets.synthetic import make_grouped_table
+from repro.engine.statistics import collect_strata_statistics
+
+
+class TestPredictGroupCvs:
+    def test_formula(self):
+        out = predict_group_cvs(
+            np.asarray([100]), np.asarray([0.5]), np.asarray([25])
+        )
+        expected = 0.5 * np.sqrt((100 - 25) / (100 * 25))
+        assert out[0] == pytest.approx(expected)
+
+    def test_census_is_exact(self):
+        out = predict_group_cvs(
+            np.asarray([50]), np.asarray([1.0]), np.asarray([50])
+        )
+        assert out[0] == 0.0
+
+    def test_unsampled_group_infinite(self):
+        out = predict_group_cvs(
+            np.asarray([50]), np.asarray([1.0]), np.asarray([0])
+        )
+        assert np.isinf(out[0])
+
+    def test_more_rows_lower_cv(self):
+        populations = np.full(5, 1000)
+        cvs = np.full(5, 0.8)
+        sizes = np.asarray([5, 10, 50, 200, 999])
+        out = predict_group_cvs(populations, cvs, sizes)
+        assert (np.diff(out) < 0).all()
+
+
+class TestChebyshev:
+    def test_bound(self):
+        # Pr[r > eps] <= (cv/eps)^2 = 0.05  =>  eps = cv/sqrt(0.05)
+        assert chebyshev_error_bound(0.1, 0.95) == pytest.approx(
+            0.1 / np.sqrt(0.05)
+        )
+
+    def test_higher_confidence_wider_bound(self):
+        assert chebyshev_error_bound(0.1, 0.99) > chebyshev_error_bound(
+            0.1, 0.9
+        )
+
+    def test_confidence_validation(self):
+        with pytest.raises(ValueError):
+            chebyshev_error_bound(0.1, 1.0)
+
+    def test_empirical_coverage(self):
+        """The Chebyshev bound must over-cover on a real workload."""
+        table = make_grouped_table(
+            sizes=[2000, 2000], means=[100.0, 50.0], stds=[20.0, 5.0],
+            seed=8, exact_moments=True,
+        )
+        sampler = CVOptSampler(GroupByQuerySpec.single("v", by=("g",)))
+        stats = collect_strata_statistics(table, ("g",), ["v"])
+        rng = np.random.default_rng(1)
+        violations = 0
+        trials = 40
+        for _ in range(trials):
+            sample = sampler.sample(table, 200, seed=rng)
+            sizes_by_key = dict(
+                zip(
+                    [k[0] for k in sample.allocation.keys],
+                    sample.allocation.sizes,
+                )
+            )
+            out = sample.answer(
+                "SELECT g, AVG(v) a FROM T GROUP BY g ORDER BY g", "T"
+            )
+            truth = {0: 100.0, 1: 50.0}
+            for key, estimate in zip(out["g"], out["a"]):
+                idx = [k[0] for k in stats.keys].index(key)
+                cv = predict_group_cvs(
+                    stats.sizes[idx : idx + 1],
+                    stats.stats_for("v").cv()[idx : idx + 1],
+                    np.asarray([sizes_by_key[key]]),
+                )[0]
+                eps = chebyshev_error_bound(cv, 0.95)
+                if abs(estimate - truth[key]) / truth[key] > eps:
+                    violations += 1
+        assert violations / (trials * 2) <= 0.05
+
+
+class TestExpectedL2Norm:
+    def test_matches_hand_computation(self):
+        populations = np.asarray([100, 100])
+        cvs = np.asarray([0.2, 0.4])
+        sizes = np.asarray([10, 10])
+        per_group = predict_group_cvs(populations, cvs, sizes)
+        assert expected_l2_norm(populations, cvs, sizes) == pytest.approx(
+            np.sqrt((per_group**2).sum())
+        )
+
+    def test_unsampled_group_infinite(self):
+        assert np.isinf(
+            expected_l2_norm(
+                np.asarray([100]), np.asarray([0.5]), np.asarray([0])
+            )
+        )
+
+    def test_weights(self):
+        populations = np.asarray([100, 100])
+        cvs = np.asarray([0.3, 0.3])
+        sizes = np.asarray([10, 10])
+        unweighted = expected_l2_norm(populations, cvs, sizes)
+        weighted = expected_l2_norm(
+            populations, cvs, sizes, weights=np.asarray([4.0, 4.0])
+        )
+        assert weighted == pytest.approx(2 * unweighted)
+
+
+class TestRequiredBudget:
+    @pytest.fixture(scope="class")
+    def table(self):
+        return make_grouped_table(
+            sizes=[5000, 3000, 500],
+            means=[100.0, 50.0, 20.0],
+            stds=[20.0, 15.0, 6.0],
+            seed=9,
+            exact_moments=True,
+        )
+
+    def test_monotone_in_target(self, table):
+        loose = required_budget(
+            table, group_by=("g",), column="v", target=0.10
+        )
+        tight = required_budget(
+            table, group_by=("g",), column="v", target=0.02
+        )
+        assert tight > loose
+
+    def test_budget_achieves_target(self, table):
+        target = 0.05
+        budget = required_budget(
+            table, group_by=("g",), column="v", target=target
+        )
+        stats = collect_strata_statistics(table, ("g",), ["v"])
+        from repro.aqp.planning import _optimal_cvs_for_budget
+
+        cvs = _optimal_cvs_for_budget(
+            stats.sizes, np.nan_to_num(stats.stats_for("v").cv()), budget
+        )
+        assert cvs.max() <= target * 1.001
+
+    def test_budget_is_minimal(self, table):
+        target = 0.05
+        budget = required_budget(
+            table, group_by=("g",), column="v", target=target
+        )
+        stats = collect_strata_statistics(table, ("g",), ["v"])
+        from repro.aqp.planning import _optimal_cvs_for_budget
+
+        cvs_below = _optimal_cvs_for_budget(
+            stats.sizes,
+            np.nan_to_num(stats.stats_for("v").cv()),
+            budget - 1,
+        )
+        assert cvs_below.max() > target
+
+    def test_l2_criterion(self, table):
+        budget = required_budget(
+            table, group_by=("g",), column="v",
+            target=0.08, criterion="l2",
+        )
+        assert 0 < budget <= table.num_rows
+
+    def test_accepts_stats(self, table):
+        stats = collect_strata_statistics(table, ("g",), ["v"])
+        budget = required_budget(stats, column="v", target=0.05)
+        direct = required_budget(
+            table, group_by=("g",), column="v", target=0.05
+        )
+        assert budget == direct
+
+    def test_validation(self, table):
+        with pytest.raises(ValueError):
+            required_budget(table, group_by=("g",), column="v", target=0)
+        with pytest.raises(ValueError):
+            required_budget(
+                table, group_by=("g",), column="v", criterion="nope"
+            )
+        with pytest.raises(ValueError):
+            required_budget(table)
+        with pytest.raises(TypeError):
+            required_budget([1, 2, 3], column="v")
+
+    def test_plan_sample_rate(self, table):
+        rate = plan_sample_rate(table, ("g",), "v", target=0.05)
+        assert 0 < rate <= 1
+        budget = required_budget(
+            table, group_by=("g",), column="v", target=0.05
+        )
+        assert rate == pytest.approx(budget / table.num_rows)
+
+    def test_end_to_end_accuracy(self, table):
+        """Sampling at the planned budget should actually deliver
+        roughly the target accuracy."""
+        target_cv = 0.04
+        budget = required_budget(
+            table, group_by=("g",), column="v", target=target_cv
+        )
+        sampler = CVOptSampler(
+            GroupByQuerySpec.single("v", by=("g",)), min_per_stratum=1
+        )
+        rng = np.random.default_rng(3)
+        worst = []
+        for _ in range(20):
+            sample = sampler.sample(table, budget, seed=rng)
+            out = sample.answer(
+                "SELECT g, AVG(v) a FROM T GROUP BY g ORDER BY g", "T"
+            )
+            truth = np.asarray([100.0, 50.0, 20.0])
+            rel = np.abs(np.asarray(out["a"]) - truth) / truth
+            worst.append(rel.max())
+        # CV ~ relative std; the average worst-case error should be in
+        # the same ballpark as a ~2x CV normal bound.
+        assert np.mean(worst) <= 3 * target_cv

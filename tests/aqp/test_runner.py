@@ -1,0 +1,102 @@
+import numpy as np
+import pytest
+
+from repro.aqp.runner import QueryTask, ground_truth, run_experiment
+from repro.baselines import make_samplers
+from repro.core.spec import GroupByQuerySpec, specs_from_sql
+from repro.datasets.synthetic import make_grouped_table
+
+
+@pytest.fixture(scope="module")
+def table():
+    return make_grouped_table(
+        sizes=[3000, 1000, 200],
+        means=[100.0, 50.0, 20.0],
+        stds=[20.0, 10.0, 5.0],
+        seed=2,
+        exact_moments=True,
+    )
+
+
+SQL = "SELECT g, AVG(v) a FROM T GROUP BY g"
+TASK = QueryTask(name="q1", sql=SQL, table_name="T")
+
+
+class TestGroundTruth:
+    def test_exact_answer(self, table):
+        truth = ground_truth(TASK, table)
+        lookup = dict(zip(truth["g"], truth["a"]))
+        assert lookup[0] == pytest.approx(100.0)
+        assert lookup[2] == pytest.approx(20.0)
+
+
+class TestRunExperiment:
+    @pytest.fixture(scope="class")
+    def result(self, table):
+        specs, derived = specs_from_sql(SQL)
+        samplers = make_samplers(specs, derived, include_sample_seek=False)
+        return run_experiment(
+            table, [TASK], samplers, rate=0.05, repetitions=3, seed=1
+        )
+
+    def test_all_methods_present(self, result):
+        assert set(result.methods()) == {"Uniform", "CS", "RL", "CVOPT"}
+        assert result.queries() == ["q1"]
+
+    def test_repetition_count(self, result):
+        record = result.get("CVOPT", "q1")
+        assert len(record.runs) == 3
+        assert len(record.answer_seconds) == 3
+
+    def test_summary_fields(self, result):
+        summary = result.get("CVOPT", "q1").summary()
+        for field in ("mean_error", "max_error", "median_error",
+                      "p90_error", "missing_groups", "answer_seconds"):
+            assert field in summary
+
+    def test_stratified_beats_nothing_sampled(self, result):
+        """Errors are finite and below 100% for stratified methods on
+        this easy workload."""
+        for method in ("CS", "RL", "CVOPT"):
+            assert result.get(method, "q1").mean_error() < 0.5
+
+    def test_precompute_seconds_recorded(self, result):
+        assert set(result.precompute_seconds) == {
+            "Uniform", "CS", "RL", "CVOPT"
+        }
+        assert all(v >= 0 for v in result.precompute_seconds.values())
+
+    def test_table_rendering(self, result):
+        text = result.table()
+        assert "CVOPT" in text
+        assert "q1" in text
+        assert "%" in text
+
+    def test_to_dict(self, result):
+        data = result.to_dict("max_error")
+        assert data["CVOPT"]["q1"] >= 0
+
+    def test_truths_can_be_precomputed(self, table):
+        truths = {"q1": ground_truth(TASK, table)}
+        samplers = {"CVOPT": make_samplers(
+            GroupByQuerySpec.single("v", by=("g",)),
+            include_sample_seek=False,
+        )["CVOPT"]}
+        result = run_experiment(
+            table, [TASK], samplers, rate=0.05,
+            repetitions=1, truths=truths,
+        )
+        assert result.get("CVOPT", "q1").mean_error() >= 0
+
+    def test_deterministic_given_seed(self, table):
+        samplers = {
+            "CVOPT": make_samplers(
+                GroupByQuerySpec.single("v", by=("g",)),
+                include_sample_seek=False,
+            )["CVOPT"]
+        }
+        r1 = run_experiment(table, [TASK], samplers, 0.05, 2, seed=9)
+        r2 = run_experiment(table, [TASK], samplers, 0.05, 2, seed=9)
+        assert r1.get("CVOPT", "q1").mean_error() == pytest.approx(
+            r2.get("CVOPT", "q1").mean_error()
+        )

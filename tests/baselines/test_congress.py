@@ -1,0 +1,112 @@
+import numpy as np
+import pytest
+
+from repro.baselines.congress import (
+    CongressSampler,
+    congress_scaled,
+    congress_single_grouping,
+)
+from repro.core.spec import GroupByQuerySpec
+from repro.datasets.synthetic import make_grouped_table
+
+
+class TestCongressSingleGrouping:
+    def test_hybrid_of_house_and_senate(self):
+        # Populations 900/90/10, budget 100.
+        # House: 90/9/1; Senate: 33.3 each; Congress: max -> 90/33/33,
+        # scaled down to 100.
+        out = congress_single_grouping(np.asarray([900, 90, 10]), 100)
+        assert out.sum() == 100
+        # Small strata keep a senate-like floor well above their house
+        # share.
+        assert out[2] >= 10  # house share would be 1 (capped at pop 10)
+        assert out[0] > out[1] >= out[2]
+
+    def test_equal_populations_equal_split(self):
+        out = congress_single_grouping(np.asarray([100, 100]), 50)
+        assert list(out) == [25, 25]
+
+    def test_caps_respected(self):
+        out = congress_single_grouping(np.asarray([5, 1000]), 100)
+        assert out[0] <= 5
+        assert out.sum() == 100
+
+    def test_empty(self):
+        out = congress_single_grouping(np.asarray([], dtype=np.int64), 10)
+        assert len(out) == 0
+
+    def test_budget_exceeds_population(self):
+        out = congress_single_grouping(np.asarray([3, 4]), 100)
+        assert list(out) == [3, 4]
+
+    def test_ignores_variance_by_construction(self):
+        """CS only sees frequencies (the gap CVOPT fills)."""
+        out_a = congress_single_grouping(np.asarray([500, 500]), 100)
+        assert out_a[0] == out_a[1]
+
+
+class TestCongressScaled:
+    def test_two_grouping_sets(self):
+        # Finest strata: (a1,b1) 600, (a1,b2) 300, (a2,b1) 100.
+        populations = np.asarray([600, 300, 100])
+        # Grouping by A: parents a1 (900), a2 (100).
+        a_gids = np.asarray([0, 0, 1])
+        a_sizes = np.asarray([900.0, 100.0])
+        # Grouping by B: parents b1 (700), b2 (300).
+        b_gids = np.asarray([0, 1, 0])
+        b_sizes = np.asarray([700.0, 300.0])
+        out = congress_scaled(
+            populations, [a_gids, b_gids], [a_sizes, b_sizes], 100
+        )
+        assert out.sum() == 100
+        assert (out > 0).all()  # every stratum represented
+
+    def test_single_set_equivalent_to_even_group_split(self):
+        populations = np.asarray([50, 50])
+        gids = np.asarray([0, 1])
+        sizes = np.asarray([50.0, 50.0])
+        out = congress_scaled(populations, [gids], [sizes], 20)
+        assert list(out) == [10, 10]
+
+
+class TestCongressSampler:
+    def test_single_grouping_path(self):
+        table = make_grouped_table(
+            sizes=[900, 90, 10], means=[1.0, 1.0, 1.0], stds=[0.1] * 3
+        )
+        sampler = CongressSampler(GroupByQuerySpec.single("v", by=("g",)))
+        allocation = sampler.allocation(table, 100)
+        assert allocation.total == 100
+        assert allocation.by == ("g",)
+
+    def test_multiple_grouping_path(self, openaq_small):
+        specs = [
+            GroupByQuerySpec.single("value", by=("country",)),
+            GroupByQuerySpec.single("value", by=("parameter",)),
+            GroupByQuerySpec.single("value", by=("country", "parameter")),
+        ]
+        sampler = CongressSampler(specs)
+        allocation = sampler.allocation(openaq_small, 2000)
+        assert allocation.by == ("country", "parameter")
+        assert allocation.total == 2000
+        # Congress guarantees every group of every grouping a share.
+        assert (allocation.sizes > 0).all()
+
+    def test_requires_specs(self):
+        with pytest.raises(ValueError):
+            CongressSampler([])
+
+    def test_variance_blind(self):
+        """Same frequencies, different variances -> same allocation."""
+        low_var = make_grouped_table(
+            sizes=[500, 500], means=[10.0, 10.0], stds=[0.1, 0.1],
+            exact_moments=True,
+        )
+        high_var = make_grouped_table(
+            sizes=[500, 500], means=[10.0, 10.0], stds=[0.1, 9.0],
+            exact_moments=True,
+        )
+        spec = GroupByQuerySpec.single("v", by=("g",))
+        a = CongressSampler(spec).allocation(low_var, 100)
+        b = CongressSampler(spec).allocation(high_var, 100)
+        assert list(a.sizes) == list(b.sizes)

@@ -1,0 +1,89 @@
+import numpy as np
+import pytest
+
+from repro.baselines.neyman import NeymanSampler, neyman_fractional_allocation
+from repro.core.spec import GroupByQuerySpec
+from repro.datasets.synthetic import make_grouped_table
+
+
+class TestNeymanClosedForm:
+    def test_proportional_to_n_sigma(self):
+        out = neyman_fractional_allocation(
+            100, np.asarray([100, 300]), np.asarray([2.0, 2.0])
+        )
+        np.testing.assert_allclose(out, [25.0, 75.0])
+
+    def test_variance_matters(self):
+        out = neyman_fractional_allocation(
+            100, np.asarray([100, 100]), np.asarray([1.0, 3.0])
+        )
+        np.testing.assert_allclose(out, [25.0, 75.0])
+
+    def test_degenerate_even_split(self):
+        out = neyman_fractional_allocation(
+            10, np.asarray([5, 5]), np.asarray([0.0, 0.0])
+        )
+        np.testing.assert_allclose(out, [5.0, 5.0])
+
+
+class TestNeymanSampler:
+    def test_allocation_matches_closed_form(self):
+        table = make_grouped_table(
+            sizes=[1000, 3000],
+            means=[50.0, 50.0],
+            stds=[4.0, 4.0],
+            exact_moments=True,
+        )
+        sampler = NeymanSampler(GroupByQuerySpec.single("v", by=("g",)))
+        allocation = sampler.allocation(table, 100)
+        by_key = dict(zip([k[0] for k in allocation.keys], allocation.sizes))
+        assert by_key[0] == 25 and by_key[1] == 75
+
+    def test_contrast_with_cvopt_on_unequal_means(self):
+        """The introduction's point: Neyman optimizes absolute variance
+        and over-allocates to the large-mean group; CVOPT (relative
+        error) splits evenly when CVs are equal."""
+        from repro.core.cvopt import CVOptSampler
+
+        table = make_grouped_table(
+            sizes=[1000, 1000],
+            means=[1000.0, 10.0],
+            stds=[100.0, 1.0],  # same CV = 0.1
+            exact_moments=True,
+        )
+        spec = GroupByQuerySpec.single("v", by=("g",))
+        neyman = NeymanSampler(spec).allocation(table, 200)
+        cvopt = CVOptSampler(spec).allocation(table, 200)
+        n_by = dict(zip([k[0] for k in neyman.keys], neyman.sizes))
+        c_by = dict(zip([k[0] for k in cvopt.keys], cvopt.sizes))
+        assert n_by[0] > 50 * n_by[1] * 0.8  # Neyman ~100:1
+        assert c_by[0] == c_by[1]  # CVOPT equal
+
+    def test_multiple_aggregates(self):
+        table = make_grouped_table(
+            sizes=[500, 500], means=[10.0, 10.0], stds=[1.0, 1.0],
+            exact_moments=True,
+        )
+        spec = GroupByQuerySpec(group_by=("g",), aggregates=("v", "v"))
+        allocation = NeymanSampler(spec).allocation(table, 100)
+        assert allocation.total == 100
+
+    def test_requires_specs(self):
+        with pytest.raises(ValueError):
+            NeymanSampler([])
+
+
+class TestMakeSamplers:
+    def test_lineup_names_and_order(self):
+        from repro.baselines import make_samplers
+
+        spec = GroupByQuerySpec.single("v", by=("g",))
+        lineup = make_samplers(spec)
+        assert list(lineup) == ["Uniform", "Sample+Seek", "CS", "RL", "CVOPT"]
+
+    def test_without_sample_seek(self):
+        from repro.baselines import make_samplers
+
+        spec = GroupByQuerySpec.single("v", by=("g",))
+        lineup = make_samplers(spec, include_sample_seek=False)
+        assert "Sample+Seek" not in lineup

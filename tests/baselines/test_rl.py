@@ -1,0 +1,110 @@
+import numpy as np
+import pytest
+
+from repro.baselines.rl import RLSampler, rl_single_grouping
+from repro.core.spec import GroupByQuerySpec
+from repro.datasets.synthetic import make_grouped_table
+
+
+class TestRlSingleGrouping:
+    def test_cv_proportional(self):
+        out = rl_single_grouping(
+            np.asarray([10_000, 10_000]), np.asarray([0.3, 0.1]), 100
+        )
+        assert list(out) == [75, 25]
+
+    def test_ignores_group_size(self):
+        """Identical CVs get identical shares regardless of size — RL's
+        defining assumption (and flaw)."""
+        out = rl_single_grouping(
+            np.asarray([100_000, 200]), np.asarray([0.5, 0.5]), 100
+        )
+        assert out[0] == out[1]
+
+    def test_cap_without_redistribution_loses_budget(self):
+        """When the CV share exceeds a small group, RL wastes budget
+        (the paper's critique: 'RL may allocate a sample size greater
+        than the group size')."""
+        out = rl_single_grouping(
+            np.asarray([10, 100_000]), np.asarray([0.9, 0.1]), 100
+        )
+        assert out[0] == 10  # wanted 90, capped at 10
+        assert out[1] == 10  # keeps its own share only
+        assert out.sum() < 100  # 80 rows of budget lost
+
+    def test_zero_cvs_even_split(self):
+        out = rl_single_grouping(
+            np.asarray([100, 100]), np.asarray([0.0, 0.0]), 10
+        )
+        assert list(out) == [5, 5]
+
+    def test_nan_cv_treated_as_zero(self):
+        out = rl_single_grouping(
+            np.asarray([100, 100]), np.asarray([np.nan, 1.0]), 10
+        )
+        assert out[0] == 0 and out[1] == 10
+
+
+class TestRLSampler:
+    def test_single_grouping(self):
+        table = make_grouped_table(
+            sizes=[5000, 5000],
+            means=[100.0, 100.0],
+            stds=[30.0, 10.0],
+            exact_moments=True,
+        )
+        sampler = RLSampler(GroupByQuerySpec.single("v", by=("g",)))
+        allocation = sampler.allocation(table, 100)
+        by_key = dict(zip([k[0] for k in allocation.keys], allocation.sizes))
+        assert by_key[0] == 75 and by_key[1] == 25
+
+    def test_multiple_aggregates_rss(self):
+        table = make_grouped_table(
+            sizes=[1000, 1000], means=[10.0, 10.0], stds=[1.0, 1.0],
+            exact_moments=True,
+        )
+        from repro.engine.schema import DType
+        from repro.engine.table import Column
+
+        # Second measure: flat for group 0, dispersed for group 1.
+        g = np.asarray(table["g"])
+        v = np.asarray(table["v"], dtype=float)
+        w = np.where(g == 1, (v - 10.0) * 8 + 10.0, 10.0)
+        table = table.with_column("w", Column(DType.FLOAT64, w))
+        spec = GroupByQuerySpec(group_by=("g",), aggregates=("v", "w"))
+        allocation = RLSampler(spec).allocation(table, 100)
+        by_key = dict(zip([k[0] for k in allocation.keys], allocation.sizes))
+        assert by_key[1] > by_key[0]
+
+    def test_hierarchical_for_multiple_groupbys(self, openaq_small):
+        specs = [
+            GroupByQuerySpec.single("value", by=("country",)),
+            GroupByQuerySpec.single("value", by=("parameter",)),
+        ]
+        sampler = RLSampler(specs)
+        allocation = sampler.allocation(openaq_small, 1000)
+        assert allocation.by == ("country", "parameter")
+        assert allocation.total <= 1000  # capping may lose budget
+        assert allocation.total > 0
+
+    def test_requires_specs(self):
+        with pytest.raises(ValueError):
+            RLSampler([])
+
+    def test_small_group_starves_budget_vs_cvopt(self):
+        """End-to-end: on data with a tiny high-CV group RL wastes
+        budget that CVOPT re-invests (paper Section 6.1, AQ4
+        discussion)."""
+        from repro.core.cvopt import CVOptSampler
+
+        table = make_grouped_table(
+            sizes=[20, 10_000, 10_000],
+            means=[10.0, 10.0, 10.0],
+            stds=[8.0, 3.0, 3.0],
+            exact_moments=True,
+        )
+        spec = GroupByQuerySpec.single("v", by=("g",))
+        rl = RLSampler(spec).allocation(table, 300)
+        cvopt = CVOptSampler(spec).allocation(table, 300)
+        assert rl.total < 300
+        assert cvopt.total == 300

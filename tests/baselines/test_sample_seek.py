@@ -1,0 +1,108 @@
+import numpy as np
+import pytest
+
+from repro.baselines.sample_seek import SampleSeekSampler, measure_bias_weights
+from repro.core.sample import WEIGHT_COLUMN
+from repro.core.spec import GroupByQuerySpec
+from repro.datasets.synthetic import make_grouped_table
+from repro.engine.table import Table
+
+
+class TestMeasureBiasWeights:
+    def test_single_measure_normalized(self):
+        table = Table.from_pydict({"v": [1.0, 2.0, 3.0]})
+        out = measure_bias_weights(table, ["v"])
+        np.testing.assert_allclose(out, np.asarray([1.0, 2.0, 3.0]) / 2.0)
+
+    def test_multiple_measures_balanced(self):
+        table = Table.from_pydict(
+            {"v": [1.0, 3.0], "w": [1000.0, 3000.0]}
+        )
+        out = measure_bias_weights(table, ["v", "w"])
+        # Each measure normalized to mean 1 before summing.
+        np.testing.assert_allclose(out, [1.0, 3.0])
+
+    def test_absolute_values_used(self):
+        table = Table.from_pydict({"v": [-4.0, 4.0]})
+        out = measure_bias_weights(table, ["v"])
+        assert out[0] == out[1]
+
+    def test_no_measures_uniform(self):
+        table = Table.from_pydict({"v": [1.0, 2.0]})
+        out = measure_bias_weights(table, [])
+        assert out[0] == out[1]
+
+    def test_zero_rows_floored(self):
+        table = Table.from_pydict({"v": [0.0, 10.0]})
+        out = measure_bias_weights(table, ["v"])
+        assert (out > 0).all()
+
+
+class TestSampleSeekSampler:
+    @pytest.fixture()
+    def table(self):
+        return make_grouped_table(
+            sizes=[1000, 1000],
+            means=[100.0, 1.0],  # group 0 has 100x the measure
+            stds=[5.0, 0.05],
+            exact_moments=True,
+            distribution="lognormal",
+        )
+
+    def test_sample_size(self, table):
+        sampler = SampleSeekSampler(GroupByQuerySpec.single("v", by=("g",)))
+        sample = sampler.sample(table, 100, seed=0)
+        assert sample.num_rows == 100
+        assert sample.method == "Sample+Seek"
+
+    def test_measure_bias_favors_heavy_group(self, table):
+        sampler = SampleSeekSampler(GroupByQuerySpec.single("v", by=("g",)))
+        sample = sampler.sample(table, 100, seed=0)
+        groups = np.asarray(sample.table["g"])
+        assert (groups == 0).sum() > 80
+
+    def test_ht_weights_inverse_of_inclusion(self, table):
+        sampler = SampleSeekSampler(GroupByQuerySpec.single("v", by=("g",)))
+        sample = sampler.sample(table, 200, seed=0)
+        weights = np.asarray(sample.table[WEIGHT_COLUMN])
+        assert (weights >= 1.0 - 1e-9).all()
+        # Light rows carry larger weights than heavy rows.
+        groups = np.asarray(sample.table["g"])
+        if (groups == 1).any() and (groups == 0).any():
+            assert weights[groups == 1].mean() > weights[groups == 0].mean()
+
+    def test_sum_estimate_roughly_unbiased(self, table):
+        """Measure-biased HT SUM estimates average near the truth."""
+        truth = float(np.asarray(table["v"], dtype=float).sum())
+        sampler = SampleSeekSampler(GroupByQuerySpec.single("v", by=("g",)))
+        rng = np.random.default_rng(1)
+        estimates = []
+        for _ in range(40):
+            sample = sampler.sample(table, 150, seed=rng)
+            out = sample.answer("SELECT SUM(v) s FROM T", "T")
+            estimates.append(out["s"][0])
+        assert np.mean(estimates) == pytest.approx(truth, rel=0.05)
+
+    def test_ignores_within_group_variability(self):
+        """A group of identical heavy rows still soaks budget — the
+        paper's criticism of measure-biased sampling."""
+        table = make_grouped_table(
+            sizes=[1000, 1000],
+            means=[100.0, 10.0],
+            stds=[0.0, 8.0],  # heavy group is constant!
+            exact_moments=True,
+        )
+        sampler = SampleSeekSampler(GroupByQuerySpec.single("v", by=("g",)))
+        sample = sampler.sample(table, 200, seed=0)
+        groups = np.asarray(sample.table["g"])
+        # Despite zero variance, the heavy constant group dominates.
+        assert (groups == 0).sum() > (groups == 1).sum()
+
+    def test_budget_validation(self, table):
+        sampler = SampleSeekSampler(GroupByQuerySpec.single("v", by=("g",)))
+        with pytest.raises(ValueError):
+            sampler.sample(table, 0)
+
+    def test_requires_specs(self):
+        with pytest.raises(ValueError):
+            SampleSeekSampler([])

@@ -1,0 +1,86 @@
+import numpy as np
+import pytest
+
+from repro.baselines.senate import SenateSampler, equal_allocation
+from repro.core.spec import GroupByQuerySpec
+from repro.datasets.synthetic import make_grouped_table
+
+
+class TestEqualAllocation:
+    def test_even_split(self):
+        out = equal_allocation(np.asarray([100, 100, 100, 100]), 40)
+        assert list(out) == [10, 10, 10, 10]
+
+    def test_cap_and_redistribute(self):
+        out = equal_allocation(np.asarray([3, 100, 100]), 30)
+        assert out[0] == 3
+        assert out.sum() == 30
+        # The capped stratum's surplus flows to the others.
+        assert out[1] + out[2] == 27
+
+    def test_budget_larger_than_population(self):
+        out = equal_allocation(np.asarray([5, 5]), 100)
+        assert list(out) == [5, 5]
+
+    def test_budget_smaller_than_strata(self):
+        out = equal_allocation(np.asarray([10, 10, 10]), 2)
+        assert out.sum() == 2
+        assert out.max() == 1
+
+    def test_empty(self):
+        out = equal_allocation(np.asarray([], dtype=np.int64), 10)
+        assert len(out) == 0
+
+    def test_zero_population_stratum(self):
+        out = equal_allocation(np.asarray([0, 10]), 4)
+        assert out[0] == 0
+        assert out[1] == 4
+
+    def test_never_exceeds_population(self, rng):
+        for _ in range(30):
+            pops = rng.integers(0, 30, size=int(rng.integers(1, 10)))
+            budget = int(rng.integers(0, 100))
+            out = equal_allocation(pops, budget)
+            assert (out <= pops).all()
+            assert out.sum() == min(budget, pops.sum())
+
+
+class TestSenateSampler:
+    def test_equal_sizes_regardless_of_moments(self):
+        table = make_grouped_table(
+            sizes=[5000, 5000],
+            means=[100.0, 100.0],
+            stds=[50.0, 1.0],  # wildly different variance
+            exact_moments=True,
+        )
+        sampler = SenateSampler(GroupByQuerySpec.single("v", by=("g",)))
+        allocation = sampler.allocation(table, 100)
+        assert list(allocation.sizes) == [50, 50]
+
+    def test_finest_stratification_for_multiple_queries(self, openaq_small):
+        specs = [
+            GroupByQuerySpec.single("value", by=("country",)),
+            GroupByQuerySpec.single("value", by=("parameter",)),
+        ]
+        sampler = SenateSampler(specs)
+        allocation = sampler.allocation(openaq_small, 1000)
+        assert allocation.by == ("country", "parameter")
+        assert allocation.total == 1000
+
+    def test_requires_specs(self):
+        with pytest.raises(ValueError):
+            SenateSampler([])
+
+    def test_paper_critique(self):
+        """Senate ignores variance: the high-variance group gets no more
+        than the constant one (Section 3.1's motivating flaw)."""
+        table = make_grouped_table(
+            sizes=[1000, 1000],
+            means=[50.0, 50.0],
+            stds=[25.0, 0.5],
+            exact_moments=True,
+        )
+        sampler = SenateSampler(GroupByQuerySpec.single("v", by=("g",)))
+        allocation = sampler.allocation(table, 200)
+        by_key = dict(zip([k[0] for k in allocation.keys], allocation.sizes))
+        assert by_key[0] == by_key[1]

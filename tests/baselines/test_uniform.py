@@ -1,0 +1,62 @@
+import numpy as np
+import pytest
+
+from repro.baselines.uniform import UniformSampler
+from repro.core.sample import WEIGHT_COLUMN
+from repro.datasets.synthetic import make_grouped_table
+
+
+class TestUniformSampler:
+    @pytest.fixture()
+    def table(self):
+        return make_grouped_table(
+            sizes=[900, 90, 10],
+            means=[10.0, 20.0, 30.0],
+            stds=[1.0, 2.0, 3.0],
+            exact_moments=True,
+        )
+
+    def test_single_stratum(self, table):
+        sample = UniformSampler().sample(table, 100, seed=0)
+        assert sample.allocation.by == ()
+        assert sample.allocation.num_strata == 1
+        assert sample.num_rows == 100
+
+    def test_uniform_weights(self, table):
+        sample = UniformSampler().sample(table, 100, seed=0)
+        weights = np.asarray(sample.table[WEIGHT_COLUMN])
+        assert np.allclose(weights, 1000 / 100)
+
+    def test_budget_capped_at_population(self, table):
+        sample = UniformSampler().sample(table, 10_000, seed=0)
+        assert sample.num_rows == 1000
+
+    def test_representation_proportional_to_volume(self, table):
+        """Groups appear roughly in proportion to their sizes — the
+        failure mode the paper highlights (small groups vanish)."""
+        rng = np.random.default_rng(7)
+        missing_small_group = 0
+        for _ in range(30):
+            sample = UniformSampler().sample(table, 20, seed=rng)
+            groups = set(sample.table["g"])
+            if 2 not in groups:
+                missing_small_group += 1
+        # Group 2 holds 1% of rows; a 2% uniform sample misses it often.
+        assert missing_small_group > 10
+
+    def test_empty_table(self):
+        from repro.engine.table import Table
+
+        table = Table.from_pydict({"v": []})
+        sample = UniformSampler().sample(table, 5, seed=0)
+        assert sample.num_rows == 0
+
+    def test_count_estimate_unbiased(self, table):
+        """Weighted COUNT over many repetitions averages to the truth."""
+        rng = np.random.default_rng(0)
+        totals = []
+        for _ in range(60):
+            sample = UniformSampler().sample(table, 50, seed=rng)
+            out = sample.answer("SELECT COUNT(*) c FROM T", "T")
+            totals.append(out["c"][0])
+        assert np.mean(totals) == pytest.approx(1000, rel=0.02)

@@ -1,0 +1,57 @@
+"""Shared fixtures."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import generate_bikes, generate_openaq, student_table
+from repro.engine.table import Table
+
+
+@pytest.fixture(scope="session")
+def openaq_small() -> Table:
+    """Small OpenAQ instance shared across tests (read-only)."""
+    return generate_openaq(num_rows=30_000, num_countries=20, seed=3)
+
+
+@pytest.fixture(scope="session")
+def bikes_small() -> Table:
+    """Small Bikes instance shared across tests (read-only)."""
+    return generate_bikes(num_rows=20_000, num_stations=60, seed=5)
+
+
+@pytest.fixture()
+def student() -> Table:
+    return student_table()
+
+
+@pytest.fixture()
+def simple_table() -> Table:
+    """Tiny deterministic table used by many engine tests."""
+    return Table.from_pydict(
+        {
+            "g": ["a", "a", "b", "b", "b", "c"],
+            "h": [1, 2, 1, 1, 2, 1],
+            "x": [10.0, 20.0, 1.0, 2.0, 3.0, 100.0],
+            "y": [1, 1, 2, 2, 2, 3],
+        },
+        name="T",
+    )
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    return np.random.default_rng(42)
+
+
+def reference_group_by(rows, key_fields, value_field=None):
+    """Dict-based group-by oracle for engine tests.
+
+    ``rows`` is a list of dicts; returns {key_tuple: list_of_values}.
+    """
+    out = {}
+    for row in rows:
+        key = tuple(row[k] for k in key_fields)
+        out.setdefault(key, []).append(
+            row[value_field] if value_field else 1
+        )
+    return out

@@ -1,0 +1,207 @@
+import numpy as np
+import pytest
+
+from repro.core.allocation import (
+    allocate,
+    box_constrained_allocation,
+    integerize,
+    lemma1_allocation,
+)
+
+
+def objective(alphas, sizes):
+    """Lemma 1 objective sum(alpha_i / s_i)."""
+    alphas = np.asarray(alphas, dtype=float)
+    sizes = np.asarray(sizes, dtype=float)
+    mask = alphas > 0
+    return float((alphas[mask] / sizes[mask]).sum())
+
+
+class TestLemma1:
+    def test_closed_form(self):
+        # alphas 1, 4, 9 -> roots 1, 2, 3 -> shares 1/6, 2/6, 3/6.
+        out = lemma1_allocation([1.0, 4.0, 9.0], 60)
+        np.testing.assert_allclose(out, [10.0, 20.0, 30.0])
+
+    def test_budget_preserved(self):
+        out = lemma1_allocation([3.0, 5.0, 11.0], 100)
+        assert out.sum() == pytest.approx(100.0)
+
+    def test_zero_alpha_gets_zero(self):
+        out = lemma1_allocation([0.0, 4.0], 10)
+        assert out[0] == 0.0 and out[1] == 10.0
+
+    def test_all_zero_spreads_evenly(self):
+        out = lemma1_allocation([0.0, 0.0], 10)
+        np.testing.assert_allclose(out, [5.0, 5.0])
+
+    def test_negative_alpha_rejected(self):
+        with pytest.raises(ValueError):
+            lemma1_allocation([-1.0], 10)
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ValueError):
+            lemma1_allocation([1.0], -1)
+
+    def test_optimality_against_perturbations(self, rng):
+        """Moving budget between any two strata cannot help (Lemma 1)."""
+        alphas = rng.uniform(0.5, 10.0, 8)
+        optimal = lemma1_allocation(alphas, 100)
+        base = objective(alphas, optimal)
+        for _ in range(100):
+            i, j = rng.choice(8, size=2, replace=False)
+            delta = rng.uniform(0, optimal[i] * 0.5)
+            perturbed = optimal.copy()
+            perturbed[i] -= delta
+            perturbed[j] += delta
+            assert objective(alphas, perturbed) >= base - 1e-9
+
+
+class TestBoxConstrained:
+    def test_matches_lemma1_when_unconstrained(self):
+        alphas = np.asarray([1.0, 4.0, 9.0])
+        lower = np.zeros(3)
+        upper = np.full(3, 1e9)
+        out = box_constrained_allocation(alphas, 60, lower, upper)
+        np.testing.assert_allclose(out, [10.0, 20.0, 30.0], rtol=1e-6)
+
+    def test_respects_upper_bounds(self):
+        alphas = np.asarray([100.0, 1.0])
+        out = box_constrained_allocation(
+            alphas, 100, np.zeros(2), np.asarray([10.0, 1000.0])
+        )
+        assert out[0] == pytest.approx(10.0)
+        assert out[1] == pytest.approx(90.0)
+
+    def test_respects_lower_bounds(self):
+        alphas = np.asarray([100.0, 0.0])
+        out = box_constrained_allocation(
+            alphas, 100, np.asarray([0.0, 5.0]), np.asarray([1000.0, 1000.0])
+        )
+        assert out[1] >= 5.0 - 1e-9
+        assert out.sum() == pytest.approx(100.0)
+
+    def test_budget_below_floors_clips(self):
+        out = box_constrained_allocation(
+            np.asarray([1.0, 1.0]), 1,
+            np.asarray([2.0, 2.0]), np.asarray([10.0, 10.0]),
+        )
+        assert out.sum() == pytest.approx(4.0)  # clipped to sum of lowers
+
+    def test_budget_above_caps_takes_everything(self):
+        out = box_constrained_allocation(
+            np.asarray([1.0, 1.0]), 1000,
+            np.zeros(2), np.asarray([3.0, 4.0]),
+        )
+        assert out.sum() == pytest.approx(7.0)
+
+    def test_invalid_bounds(self):
+        with pytest.raises(ValueError):
+            box_constrained_allocation(
+                np.asarray([1.0]), 10, np.asarray([5.0]), np.asarray([2.0])
+            )
+
+    def test_optimal_vs_scipy_reference(self, rng):
+        scipy = pytest.importorskip("scipy.optimize")
+        alphas = rng.uniform(0.1, 5.0, 6)
+        lower = np.full(6, 1.0)
+        upper = rng.uniform(10.0, 60.0, 6)
+        budget = 0.6 * upper.sum()
+        ours = box_constrained_allocation(alphas, budget, lower, upper)
+
+        res = scipy.minimize(
+            lambda s: float((alphas / s).sum()),
+            x0=np.clip(np.full(6, budget / 6), lower, upper),
+            bounds=list(zip(lower, upper)),
+            constraints=[
+                {"type": "eq", "fun": lambda s: s.sum() - budget}
+            ],
+            method="SLSQP",
+        )
+        assert objective(alphas, ours) <= objective(alphas, res.x) + 1e-6
+
+
+class TestIntegerize:
+    def test_exact_total(self):
+        out = integerize(np.asarray([3.3, 3.3, 3.4]), 10, np.asarray([10, 10, 10]))
+        assert out.sum() == 10
+
+    def test_largest_remainder_priority(self):
+        out = integerize(
+            np.asarray([1.9, 1.1, 1.0]), 4, np.asarray([10, 10, 10])
+        )
+        assert out.sum() == 4
+        assert out[0] == 2  # .9 remainder rounded up first
+
+    def test_caps_respected(self):
+        out = integerize(np.asarray([5.6, 5.6]), 11, np.asarray([3, 20]))
+        assert out[0] <= 3
+        assert out.sum() == 11
+
+    def test_budget_above_total_caps(self):
+        out = integerize(np.asarray([2.0, 2.0]), 100, np.asarray([3, 4]))
+        assert out.sum() == 7
+
+    def test_reduction_when_over(self):
+        out = integerize(np.asarray([6.0, 6.0]), 10, np.asarray([10, 10]))
+        assert out.sum() == 10
+
+    def test_non_negative(self, rng):
+        for _ in range(20):
+            n = rng.integers(1, 10)
+            frac = rng.uniform(0, 5, n)
+            caps = rng.integers(1, 10, n)
+            budget = int(rng.integers(0, 30))
+            out = integerize(frac, budget, caps)
+            assert (out >= 0).all()
+            assert (out <= caps).all()
+            assert out.sum() == min(budget, caps.sum())
+
+
+class TestAllocate:
+    def test_end_to_end(self):
+        out = allocate(
+            np.asarray([1.0, 4.0, 9.0]), 60, np.asarray([100, 100, 100])
+        )
+        assert out.sum() == 60
+        # Ordering follows the scores.
+        assert out[0] < out[1] < out[2]
+
+    def test_min_per_stratum(self):
+        out = allocate(
+            np.asarray([0.0, 100.0]), 10, np.asarray([50, 50]),
+            min_per_stratum=1,
+        )
+        assert out[0] >= 1
+
+    def test_min_respects_small_population(self):
+        out = allocate(
+            np.asarray([1.0, 1.0]), 10, np.asarray([1, 100]),
+            min_per_stratum=3,
+        )
+        assert out[0] == 1  # cannot exceed population
+
+    def test_budget_smaller_than_strata_count(self):
+        alphas = np.asarray([5.0, 1.0, 3.0, 2.0])
+        out = allocate(alphas, 2, np.asarray([10, 10, 10, 10]))
+        assert out.sum() == 2
+        # The highest-pressure strata keep their floor.
+        assert out[0] == 1
+
+    def test_budget_exceeds_population(self):
+        out = allocate(np.asarray([1.0, 1.0]), 1000, np.asarray([5, 7]))
+        assert list(out) == [5, 7]
+
+    def test_empty(self):
+        out = allocate(np.asarray([]), 10, np.asarray([], dtype=np.int64))
+        assert len(out) == 0
+
+    def test_caps_never_exceeded(self, rng):
+        for trial in range(25):
+            n = int(rng.integers(1, 12))
+            alphas = rng.uniform(0, 10, n)
+            pops = rng.integers(1, 50, n)
+            budget = int(rng.integers(1, 200))
+            out = allocate(alphas, budget, pops)
+            assert (out <= pops).all()
+            assert out.sum() == min(budget, pops.sum())

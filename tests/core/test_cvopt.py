@@ -1,0 +1,329 @@
+import numpy as np
+import pytest
+
+from repro.core.cvopt import (
+    CVOptSampler,
+    compute_betas,
+    finest_stratification,
+    masg_fractional_allocation,
+    project_parents,
+    sasg_fractional_allocation,
+)
+from repro.core.spec import AggregateSpec, GroupByQuerySpec
+from repro.datasets.synthetic import make_grouped_table
+from repro.engine.statistics import collect_strata_statistics
+
+
+class TestTheorem1:
+    """SASG closed form: s_i proportional to sqrt(w_i) sigma_i / mu_i."""
+
+    def test_proportionality(self):
+        out = sasg_fractional_allocation(
+            budget=100,
+            means=[10.0, 10.0],
+            stds=[3.0, 1.0],
+        )
+        # CVs are 0.3 and 0.1 -> shares 3:1.
+        np.testing.assert_allclose(out, [75.0, 25.0])
+
+    def test_weights_enter_under_sqrt(self):
+        out = sasg_fractional_allocation(
+            budget=100,
+            means=[10.0, 10.0],
+            stds=[1.0, 1.0],
+            weights=[4.0, 1.0],
+        )
+        # sqrt(4):sqrt(1) = 2:1.
+        np.testing.assert_allclose(out, [200 / 3, 100 / 3])
+
+    def test_same_cv_equal_split(self):
+        out = sasg_fractional_allocation(
+            budget=10, means=[1.0, 100.0], stds=[0.5, 50.0]
+        )
+        np.testing.assert_allclose(out, [5.0, 5.0])
+
+    def test_paper_intro_example(self):
+        """Two groups, same size and mean, sigma1 >> sigma2: group 1
+        must receive more samples (Section 1 / Section 3.1)."""
+        out = sasg_fractional_allocation(
+            budget=100, means=[100.0, 100.0], stds=[50.0, 2.0]
+        )
+        assert out[0] > out[1]
+        assert out[0] / out[1] == pytest.approx(25.0)
+
+
+class TestTheorem2:
+    def test_alpha_sums_over_aggregates(self):
+        means = [[10.0, 100.0], [10.0, 100.0]]
+        stds = [[1.0, 10.0], [2.0, 20.0]]
+        out = masg_fractional_allocation(100, means, stds)
+        # alpha_i = sum_j (sigma/mu)^2 -> [0.02, 0.08]; sqrt ratio 1:2.
+        np.testing.assert_allclose(out, [100 / 3, 200 / 3])
+
+    def test_weights_scale_aggregates(self):
+        means = [[10.0, 10.0]] * 2
+        stds = [[1.0, 2.0]] * 2
+        w_first = masg_fractional_allocation(
+            100, means, stds, weights=[[1.0, 0.0]] * 2
+        )
+        np.testing.assert_allclose(w_first, [50.0, 50.0])
+
+    def test_single_aggregate_reduces_to_theorem1(self):
+        means = [[10.0], [20.0]]
+        stds = [[2.0], [2.0]]
+        masg = masg_fractional_allocation(60, means, stds)
+        sasg = sasg_fractional_allocation(60, [10.0, 20.0], [2.0, 2.0])
+        np.testing.assert_allclose(masg, sasg)
+
+
+class TestFinestStratification:
+    def test_union_in_order(self):
+        specs = [
+            GroupByQuerySpec(group_by=("a", "b"), aggregates=("x",)),
+            GroupByQuerySpec(group_by=("b", "c"), aggregates=("x",)),
+        ]
+        assert finest_stratification(specs) == ("a", "b", "c")
+
+    def test_empty_grouping_contributes_nothing(self):
+        specs = [
+            GroupByQuerySpec(group_by=(), aggregates=("x",)),
+            GroupByQuerySpec(group_by=("a",), aggregates=("x",)),
+        ]
+        assert finest_stratification(specs) == ("a",)
+
+
+class TestProjectParents:
+    def test_projection(self):
+        keys = [("m1", "y1"), ("m1", "y2"), ("m2", "y1")]
+        gids, parents = project_parents(keys, ("major", "year"), ("major",))
+        assert parents == [("m1",), ("m2",)]
+        assert list(gids) == [0, 0, 1]
+
+    def test_projection_to_full_set_is_identity(self):
+        keys = [("a", 1), ("b", 2)]
+        gids, parents = project_parents(keys, ("g", "h"), ("g", "h"))
+        assert parents == [("a", 1), ("b", 2)]
+        assert list(gids) == [0, 1]
+
+    def test_projection_to_empty_is_single_parent(self):
+        keys = [("a",), ("b",)]
+        gids, parents = project_parents(keys, ("g",), ())
+        assert parents == [()]
+        assert list(gids) == [0, 0]
+
+    def test_reordered_attrs(self):
+        keys = [("m1", "y1"), ("m2", "y2")]
+        gids, parents = project_parents(keys, ("major", "year"), ("year", "major"))
+        assert parents == [("y1", "m1"), ("y2", "m2")]
+
+
+class TestComputeBetas:
+    def test_sasg_beta_equals_weighted_cv_squared(self):
+        table = make_grouped_table(
+            sizes=[100, 200],
+            means=[10.0, 20.0],
+            stds=[2.0, 8.0],
+            exact_moments=True,
+        )
+        spec = GroupByQuerySpec.single("v", by=("g",))
+        stats = collect_strata_statistics(table, ("g",), ["v"])
+        betas = compute_betas(stats, [spec])
+        by_key = dict(zip([k[0] for k in stats.keys], betas))
+        assert by_key[0] == pytest.approx((2.0 / 10.0) ** 2)
+        assert by_key[1] == pytest.approx((8.0 / 20.0) ** 2)
+
+    def test_group_weight_scales_beta(self):
+        table = make_grouped_table(
+            sizes=[100, 100], means=[10.0, 10.0], stds=[2.0, 2.0],
+            exact_moments=True,
+        )
+        spec = GroupByQuerySpec(
+            group_by=("g",),
+            aggregates=(AggregateSpec("v"),),
+            group_weights={(0,): 9.0},
+        )
+        stats = collect_strata_statistics(table, ("g",), ["v"])
+        betas = compute_betas(stats, [spec])
+        assert betas[0] == pytest.approx(9.0 * betas[1])
+
+    def test_zero_variance_stratum_zero_beta(self):
+        table = make_grouped_table(
+            sizes=[50, 50], means=[5.0, 5.0], stds=[0.0, 1.0],
+            exact_moments=True,
+        )
+        spec = GroupByQuerySpec.single("v", by=("g",))
+        stats = collect_strata_statistics(table, ("g",), ["v"])
+        betas = compute_betas(stats, [spec])
+        assert betas[0] == pytest.approx(0.0)
+        assert betas[1] > 0
+
+    def test_all_zero_means_raise(self):
+        from repro.engine.table import Table
+
+        # Exactly-zero group mean: CV undefined.
+        table = Table.from_pydict({"g": [0, 0], "v": [1.0, -1.0]})
+        spec = GroupByQuerySpec.single("v", by=("g",))
+        stats = collect_strata_statistics(table, ("g",), ["v"])
+        with pytest.raises(ValueError, match="non-zero means"):
+            compute_betas(stats, [spec])
+
+    def test_samg_beta_formula_by_hand(self):
+        """Two group-bys over a 2x2 stratification; check Lemma 2's
+        beta_c against a direct hand computation."""
+        # strata: (a1,b1) n=100, (a1,b2) n=300, (a2,b1) n=100, (a2,b2) n=100
+        import itertools
+
+        sizes = {
+            ("a1", "b1"): 100, ("a1", "b2"): 300,
+            ("a2", "b1"): 100, ("a2", "b2"): 100,
+        }
+        means = {
+            ("a1", "b1"): 10.0, ("a1", "b2"): 20.0,
+            ("a2", "b1"): 30.0, ("a2", "b2"): 40.0,
+        }
+        stds = {k: 4.0 for k in sizes}
+        keys = list(sizes)
+        table = make_grouped_table(
+            sizes=[sizes[k] for k in keys],
+            means=[means[k] for k in keys],
+            stds=[stds[k] for k in keys],
+            exact_moments=True,
+        )
+        # Attach explicit A/B key columns derived from the group index.
+        from repro.engine.table import Column, Table
+
+        g = np.asarray(table["g"])
+        a_col = Column.from_strings(
+            np.asarray([keys[i][0] for i in g], dtype=object)
+        )
+        b_col = Column.from_strings(
+            np.asarray([keys[i][1] for i in g], dtype=object)
+        )
+        table = table.with_column("A", a_col).with_column("B", b_col)
+
+        specs = [
+            GroupByQuerySpec.single("v", by=("A",)),
+            GroupByQuerySpec.single("v", by=("B",)),
+        ]
+        stats = collect_strata_statistics(table, ("A", "B"), ["v"])
+        betas = compute_betas(stats, specs)
+
+        # Hand computation of group-level statistics.
+        def group_stats(attr_index, value):
+            members = [k for k in keys if k[attr_index] == value]
+            n = sum(sizes[k] for k in members)
+            mu = sum(sizes[k] * means[k] for k in members) / n
+            return n, mu
+
+        expected = {}
+        for key in keys:
+            n_c = sizes[key]
+            sigma_sq = stds[key] ** 2
+            na, mua = group_stats(0, key[0])
+            nb, mub = group_stats(1, key[1])
+            expected[key] = n_c**2 * sigma_sq * (
+                1.0 / (na**2 * mua**2) + 1.0 / (nb**2 * mub**2)
+            )
+        got = dict(zip([tuple(k) for k in stats.keys], betas))
+        for key in keys:
+            assert got[key] == pytest.approx(expected[key], rel=1e-6)
+
+
+class TestCVOptSampler:
+    def test_allocation_follows_cv(self):
+        table = make_grouped_table(
+            sizes=[10_000, 10_000],
+            means=[100.0, 100.0],
+            stds=[50.0, 2.0],
+            exact_moments=True,
+        )
+        sampler = CVOptSampler(GroupByQuerySpec.single("v", by=("g",)))
+        allocation = sampler.allocation(table, 260)
+        by_key = dict(zip([k[0] for k in allocation.keys], allocation.sizes))
+        # 25:1 CV ratio -> group 0 gets the lion's share.
+        assert by_key[0] > 20 * by_key[1] * 0.8
+        assert allocation.total == 260
+
+    def test_zero_variance_gets_floor_only(self):
+        table = make_grouped_table(
+            sizes=[1000, 1000], means=[10.0, 10.0], stds=[0.0, 5.0],
+            exact_moments=True,
+        )
+        sampler = CVOptSampler(GroupByQuerySpec.single("v", by=("g",)))
+        allocation = sampler.allocation(table, 100)
+        by_key = dict(zip([k[0] for k in allocation.keys], allocation.sizes))
+        assert by_key[0] == 1
+        assert by_key[1] == 99
+
+    def test_min_per_stratum_zero_drops_constant_groups(self):
+        table = make_grouped_table(
+            sizes=[1000, 1000], means=[10.0, 10.0], stds=[0.0, 5.0],
+            exact_moments=True,
+        )
+        sampler = CVOptSampler(
+            GroupByQuerySpec.single("v", by=("g",)), min_per_stratum=0
+        )
+        allocation = sampler.allocation(table, 100)
+        by_key = dict(zip([k[0] for k in allocation.keys], allocation.sizes))
+        assert by_key[0] == 0
+
+    def test_requires_specs(self):
+        with pytest.raises(ValueError):
+            CVOptSampler([])
+
+    def test_from_sql(self, openaq_small):
+        sampler = CVOptSampler.from_sql(
+            "SELECT country, AVG(value) FROM OpenAQ GROUP BY country"
+        )
+        sample = sampler.sample(openaq_small, 500, seed=0)
+        assert sample.num_rows == 500
+        assert sample.allocation.by == ("country",)
+
+    def test_multiple_groupby_stratifies_by_union(self, openaq_small):
+        specs = [
+            GroupByQuerySpec.single("value", by=("country",)),
+            GroupByQuerySpec.single("value", by=("parameter",)),
+        ]
+        sampler = CVOptSampler(specs)
+        allocation = sampler.allocation(openaq_small, 1000)
+        assert allocation.by == ("country", "parameter")
+
+    def test_objective_beats_senate_and_uniform_allocations(self):
+        """The l2 objective at CVOPT's allocation is no worse than at
+        senate/proportional allocations (it is provably optimal)."""
+        rng = np.random.default_rng(0)
+        sizes = rng.integers(500, 5000, 10)
+        means = rng.uniform(10, 1000, 10)
+        stds = means * rng.uniform(0.05, 1.5, 10)
+        table = make_grouped_table(
+            sizes=sizes, means=means, stds=stds, exact_moments=True
+        )
+        spec = GroupByQuerySpec.single("v", by=("g",))
+        sampler = CVOptSampler(spec, min_per_stratum=0)
+        budget = 500
+        allocation = sampler.allocation(table, budget)
+
+        stats = collect_strata_statistics(table, ("g",), ["v"])
+        order = np.argsort([k[0] for k in stats.keys])
+
+        def objective(s):
+            s = np.asarray(s, dtype=float)
+            n = stats.sizes.astype(float)
+            cs = stats.stats_for("v")
+            mask = s > 0
+            cv_sq = (
+                cs.variance[mask]
+                * (n[mask] - s[mask])
+                / (n[mask] * s[mask] * cs.mean[mask] ** 2)
+            )
+            # Unsampled strata contribute "infinite" CV; penalize hard.
+            penalty = 1e6 * (~mask).sum()
+            return cv_sq.sum() + penalty
+
+        ours = objective(allocation.sizes)
+        senate = objective(np.full(10, budget // 10))
+        proportional = objective(
+            np.maximum((budget * stats.sizes / stats.sizes.sum()), 1).astype(int)
+        )
+        assert ours <= senate + 1e-9
+        assert ours <= proportional + 1e-9

@@ -1,0 +1,204 @@
+import numpy as np
+import pytest
+
+from repro.core.cvopt import CVOptSampler
+from repro.core.cvopt_inf import (
+    CVOptInfSampler,
+    cvopt_inf_sizes,
+    linf_sizes_from_cv_bounds,
+)
+from repro.core.spec import GroupByQuerySpec
+from repro.datasets.synthetic import make_grouped_table
+
+
+def estimate_cvs(populations, means, stds, sizes):
+    """CV[y_i] = (sigma_i/mu_i) sqrt((n_i - s_i) / (n_i s_i))."""
+    populations = np.asarray(populations, dtype=float)
+    means = np.asarray(means, dtype=float)
+    stds = np.asarray(stds, dtype=float)
+    sizes = np.asarray(sizes, dtype=float)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        return (stds / means) * np.sqrt(
+            (populations - sizes) / (populations * sizes)
+        )
+
+
+class TestCvoptInfSizes:
+    def test_equalizes_cvs(self):
+        populations = np.asarray([10_000, 10_000, 10_000])
+        means = np.asarray([100.0, 100.0, 100.0])
+        stds = np.asarray([10.0, 30.0, 90.0])
+        sizes = cvopt_inf_sizes(populations, means, stds, budget=600)
+        cvs = estimate_cvs(populations, means, stds, sizes)
+        # Lemma 4: at the optimum all CVs are (approximately) equal.
+        assert cvs.max() / cvs.min() < 1.25
+
+    def test_respects_budget_up_to_rounding(self):
+        populations = np.asarray([5000] * 8)
+        means = np.full(8, 50.0)
+        stds = np.linspace(1.0, 40.0, 8)
+        sizes = cvopt_inf_sizes(populations, means, stds, budget=400)
+        # ceil-rounding may exceed by at most one per stratum (paper).
+        assert sizes.sum() <= 400 + 8
+
+    def test_caps_at_population(self):
+        populations = np.asarray([10, 10_000])
+        means = np.asarray([10.0, 10.0])
+        stds = np.asarray([9.0, 1.0])
+        sizes = cvopt_inf_sizes(populations, means, stds, budget=500)
+        assert sizes[0] <= 10
+
+    def test_zero_variance_gets_floor(self):
+        populations = np.asarray([1000, 1000])
+        means = np.asarray([10.0, 10.0])
+        stds = np.asarray([0.0, 5.0])
+        sizes = cvopt_inf_sizes(populations, means, stds, budget=100)
+        assert sizes[0] == 1
+
+    def test_all_zero_variance(self):
+        populations = np.asarray([100, 100])
+        sizes = cvopt_inf_sizes(
+            populations,
+            np.asarray([5.0, 5.0]),
+            np.asarray([0.0, 0.0]),
+            budget=10,
+        )
+        assert (sizes <= 1).all()
+
+    def test_budget_must_be_positive(self):
+        with pytest.raises(ValueError):
+            cvopt_inf_sizes(
+                np.asarray([10]), np.asarray([1.0]), np.asarray([1.0]), 0
+            )
+
+    def test_zero_means_raise(self):
+        with pytest.raises(ValueError):
+            cvopt_inf_sizes(
+                np.asarray([10]), np.asarray([0.0]), np.asarray([1.0]), 5
+            )
+
+    def test_lower_max_cv_than_l2(self):
+        """The defining property (Figure 6): CVOPT-INF's max CV is no
+        worse than l2-CVOPT's max CV."""
+        rng = np.random.default_rng(3)
+        populations = rng.integers(1000, 50_000, 12)
+        means = rng.uniform(10, 500, 12)
+        stds = means * rng.uniform(0.05, 2.0, 12)
+        budget = 1500
+
+        inf_sizes = cvopt_inf_sizes(populations, means, stds, budget)
+        from repro.core.allocation import allocate
+
+        alphas = (stds / means) ** 2
+        l2_sizes = allocate(alphas, budget, populations)
+
+        max_inf = estimate_cvs(populations, means, stds, inf_sizes).max()
+        max_l2 = estimate_cvs(populations, means, stds, l2_sizes).max()
+        assert max_inf <= max_l2 * 1.05  # rounding tolerance
+
+
+class TestLinfFromCvBounds:
+    def test_matches_q_search(self):
+        populations = np.asarray([8000, 12_000, 20_000])
+        means = np.asarray([100.0, 50.0, 10.0])
+        stds = np.asarray([20.0, 25.0, 8.0])
+        budget = 900
+        a = cvopt_inf_sizes(populations, means, stds, budget)
+        b = linf_sizes_from_cv_bounds(populations, stds / means, budget)
+        cv_a = estimate_cvs(populations, means, stds, a).max()
+        cv_b = estimate_cvs(populations, means, stds, b).max()
+        assert cv_a == pytest.approx(cv_b, rel=0.1)
+
+    def test_budget_bound(self):
+        populations = np.asarray([1000] * 5)
+        cv = np.linspace(0.1, 2.0, 5)
+        sizes = linf_sizes_from_cv_bounds(populations, cv, 200)
+        assert sizes.sum() <= 200 + 5
+
+    def test_zero_cv_strata_get_floor(self):
+        populations = np.asarray([100, 100])
+        sizes = linf_sizes_from_cv_bounds(
+            populations, np.asarray([0.0, 1.0]), 50
+        )
+        assert sizes[0] == 1
+
+
+class TestCVOptInfSampler:
+    def test_sasg_end_to_end(self):
+        table = make_grouped_table(
+            sizes=[5000, 5000, 5000],
+            means=[100.0, 100.0, 100.0],
+            stds=[10.0, 30.0, 90.0],
+            exact_moments=True,
+        )
+        sampler = CVOptInfSampler(GroupByQuerySpec.single("v", by=("g",)))
+        sample = sampler.sample(table, 600, seed=0)
+        assert sample.method == "CVOPT-INF"
+        by_key = dict(
+            zip(
+                [k[0] for k in sample.allocation.keys],
+                sample.allocation.sizes,
+            )
+        )
+        assert by_key[0] < by_key[1] < by_key[2]
+
+    def test_masg_uses_worst_aggregate(self):
+        table = make_grouped_table(
+            sizes=[5000, 5000], means=[100.0, 100.0],
+            stds=[10.0, 10.0], exact_moments=True,
+        )
+        # Second aggregate: same values scaled (same CV) plus one group
+        # with extra dispersion.
+        import numpy as np
+        from repro.engine.schema import DType
+        from repro.engine.table import Column
+
+        v = np.asarray(table["v"], dtype=float)
+        g = np.asarray(table["g"])
+        w = np.where(g == 1, (v - 100.0) * 5 + 100.0, v)
+        table = table.with_column("w", Column(DType.FLOAT64, w))
+        spec = GroupByQuerySpec(group_by=("g",), aggregates=("v", "w"))
+        sampler = CVOptInfSampler(spec)
+        allocation = sampler.allocation(table, 500)
+        by_key = dict(zip([k[0] for k in allocation.keys], allocation.sizes))
+        assert by_key[1] > by_key[0]
+
+    def test_multiple_groupby_not_implemented(self):
+        specs = [
+            GroupByQuerySpec.single("v", by=("a",)),
+            GroupByQuerySpec.single("v", by=("b",)),
+        ]
+        with pytest.raises(NotImplementedError):
+            CVOptInfSampler(specs)
+
+    def test_from_sql(self, openaq_small):
+        sampler = CVOptInfSampler.from_sql(
+            "SELECT country, AVG(value) FROM OpenAQ GROUP BY country"
+        )
+        sample = sampler.sample(openaq_small, 400, seed=1)
+        assert sample.allocation.by == ("country",)
+
+    def test_inf_vs_l2_max_error_on_table(self):
+        """Figure 6's qualitative claim on real allocations."""
+        rng = np.random.default_rng(9)
+        sizes = rng.integers(2000, 30_000, 10)
+        means = rng.uniform(20, 200, 10)
+        stds = means * rng.uniform(0.1, 1.2, 10)
+        table = make_grouped_table(
+            sizes=sizes, means=means, stds=stds, exact_moments=True
+        )
+        spec = GroupByQuerySpec.single("v", by=("g",))
+        budget = 1000
+        inf_alloc = CVOptInfSampler(spec).allocation(table, budget)
+        l2_alloc = CVOptSampler(spec).allocation(table, budget)
+
+        def max_cv(alloc):
+            order = np.argsort([k[0] for k in alloc.keys])
+            return estimate_cvs(
+                alloc.populations[order],
+                means,
+                stds,
+                np.maximum(alloc.sizes[order], 1),
+            ).max()
+
+        assert max_cv(inf_alloc) <= max_cv(l2_alloc) * 1.1

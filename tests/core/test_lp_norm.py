@@ -1,0 +1,174 @@
+import numpy as np
+import pytest
+
+from repro.core.cvopt import CVOptSampler
+from repro.core.cvopt_inf import CVOptInfSampler
+from repro.core.lp_norm import CVOptLpSampler, lp_fractional_allocation
+from repro.core.spec import GroupByQuerySpec
+from repro.datasets.synthetic import make_grouped_table
+
+
+def estimate_cvs(populations, cvs, sizes):
+    populations = np.asarray(populations, dtype=float)
+    cvs = np.asarray(cvs, dtype=float)
+    sizes = np.asarray(sizes, dtype=float)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        return cvs * np.sqrt(
+            (populations - sizes) / (populations * sizes)
+        )
+
+
+def lp_objective(populations, cvs, sizes, p):
+    est = estimate_cvs(populations, cvs, sizes)
+    return float((est**p).sum())
+
+
+class TestLpFractionalAllocation:
+    def test_p2_matches_lemma1_shape(self):
+        populations = np.asarray([100_000, 100_000])
+        cvs = np.asarray([0.3, 0.1])
+        out = lp_fractional_allocation(cvs, populations, 400, p=2)
+        # Lemma 1: 3:1 split (fpc negligible at these populations).
+        assert out[0] / out[1] == pytest.approx(3.0, rel=0.02)
+
+    def test_budget_respected(self):
+        populations = np.asarray([1000, 1000, 1000])
+        cvs = np.asarray([0.2, 0.5, 1.0])
+        out = lp_fractional_allocation(cvs, populations, 300, p=4)
+        assert out.sum() == pytest.approx(300, rel=1e-4)
+        assert (out <= populations + 1e-9).all()
+
+    def test_caps_respected(self):
+        populations = np.asarray([20, 100_000])
+        cvs = np.asarray([2.0, 0.1])
+        out = lp_fractional_allocation(cvs, populations, 500, p=3)
+        assert out[0] <= 20 + 1e-9
+        assert out.sum() == pytest.approx(500, rel=1e-4)
+
+    def test_zero_cv_gets_floor_only(self):
+        populations = np.asarray([1000, 1000])
+        cvs = np.asarray([0.0, 0.5])
+        out = lp_fractional_allocation(
+            cvs, populations, 100, p=2, min_per_stratum=1
+        )
+        assert out[0] == pytest.approx(1.0)
+
+    def test_p_below_two_rejected(self):
+        with pytest.raises(ValueError, match="p >= 2"):
+            lp_fractional_allocation(
+                np.asarray([0.1]), np.asarray([10]), 5, p=1.5
+            )
+
+    def test_larger_p_lowers_max_cv(self):
+        """Increasing p interpolates toward the l-infinity optimum."""
+        populations = np.asarray([10_000, 10_000, 10_000])
+        cvs = np.asarray([0.1, 0.3, 0.9])
+        budget = 600
+        max_cv = []
+        for p in (2, 4, 8, 16):
+            sizes = lp_fractional_allocation(cvs, populations, budget, p=p)
+            max_cv.append(estimate_cvs(populations, cvs, sizes).max())
+        assert all(
+            later <= earlier + 1e-9
+            for earlier, later in zip(max_cv, max_cv[1:])
+        )
+
+    def test_optimality_vs_perturbation(self, rng):
+        populations = rng.integers(1000, 50_000, 6).astype(float)
+        cvs = rng.uniform(0.05, 1.5, 6)
+        budget = 800
+        p = 4
+        out = lp_fractional_allocation(cvs, populations, budget, p=p)
+        base = lp_objective(populations, cvs, out, p)
+        for _ in range(50):
+            i, j = rng.choice(6, 2, replace=False)
+            delta = min(out[i] * 0.3, populations[j] - out[j])
+            if delta <= 0:
+                continue
+            perturbed = out.copy()
+            perturbed[i] -= delta
+            perturbed[j] += delta
+            assert lp_objective(populations, cvs, perturbed, p) >= base - 1e-9
+
+    def test_empty(self):
+        out = lp_fractional_allocation(
+            np.zeros(0), np.zeros(0), 10, p=2
+        )
+        assert len(out) == 0
+
+
+class TestCVOptLpSampler:
+    @pytest.fixture()
+    def table(self):
+        return make_grouped_table(
+            sizes=[5000, 5000, 5000],
+            means=[100.0, 100.0, 100.0],
+            stds=[10.0, 30.0, 90.0],
+            exact_moments=True,
+        )
+
+    def test_p2_matches_cvopt(self, table):
+        spec = GroupByQuerySpec.single("v", by=("g",))
+        lp = CVOptLpSampler(spec, p=2).allocation(table, 600)
+        l2 = CVOptSampler(spec).allocation(table, 600)
+        lp_by = dict(zip([k[0] for k in lp.keys], lp.sizes))
+        l2_by = dict(zip([k[0] for k in l2.keys], l2.sizes))
+        for key in lp_by:
+            assert abs(lp_by[key] - l2_by[key]) <= 1
+
+    def test_interpolates_between_l2_and_inf(self, table):
+        spec = GroupByQuerySpec.single("v", by=("g",))
+        budget = 600
+        l2 = CVOptSampler(spec).allocation(table, budget)
+        inf = CVOptInfSampler(spec).allocation(table, budget)
+        mid = CVOptLpSampler(spec, p=6).allocation(table, budget)
+
+        def hardest_share(alloc):
+            by = dict(zip([k[0] for k in alloc.keys], alloc.sizes))
+            return by[2] / alloc.total  # group 2 = highest CV
+
+        assert (
+            hardest_share(l2)
+            <= hardest_share(mid)
+            <= hardest_share(inf) + 0.02
+        )
+
+    def test_sampler_name_reflects_p(self):
+        spec = GroupByQuerySpec.single("v", by=("g",))
+        assert CVOptLpSampler(spec, p=4).name == "CVOPT-L4"
+
+    def test_end_to_end_sampling(self, table):
+        spec = GroupByQuerySpec.single("v", by=("g",))
+        sample = CVOptLpSampler(spec, p=4).sample(table, 300, seed=0)
+        assert sample.num_rows == 300
+        out = sample.answer(
+            "SELECT g, AVG(v) a FROM T GROUP BY g ORDER BY g", "T"
+        )
+        np.testing.assert_allclose(
+            out["a"], [100.0, 100.0, 100.0], rtol=0.25
+        )
+
+    def test_multiple_groupby_rejected(self):
+        specs = [
+            GroupByQuerySpec.single("v", by=("a",)),
+            GroupByQuerySpec.single("v", by=("b",)),
+        ]
+        with pytest.raises(NotImplementedError):
+            CVOptLpSampler(specs)
+
+    def test_invalid_p(self):
+        spec = GroupByQuerySpec.single("v", by=("g",))
+        with pytest.raises(ValueError):
+            CVOptLpSampler(spec, p=1.0)
+
+    def test_multiple_aggregates(self, table):
+        from repro.engine.schema import DType
+        from repro.engine.table import Column
+
+        v = np.asarray(table["v"], dtype=float)
+        table = table.with_column(
+            "w", Column(DType.FLOAT64, v * 2.0)
+        )
+        spec = GroupByQuerySpec(group_by=("g",), aggregates=("v", "w"))
+        allocation = CVOptLpSampler(spec, p=3).allocation(table, 300)
+        assert allocation.total == 300

@@ -1,0 +1,162 @@
+import numpy as np
+import pytest
+
+from repro.core.sample import (
+    STRATUM_COLUMN,
+    WEIGHT_COLUMN,
+    Allocation,
+    StratifiedSample,
+    StratifiedSampler,
+)
+from repro.core.cvopt import CVOptSampler
+from repro.core.spec import GroupByQuerySpec
+from repro.datasets.synthetic import make_grouped_table
+
+
+class TestAllocation:
+    def test_alignment_checks(self):
+        with pytest.raises(ValueError, match="align"):
+            Allocation(
+                by=("g",),
+                keys=[(0,), (1,)],
+                populations=np.asarray([10]),
+                sizes=np.asarray([1, 1]),
+            )
+
+    def test_size_exceeding_population_rejected(self):
+        with pytest.raises(ValueError, match="exceeds"):
+            Allocation(
+                by=("g",),
+                keys=[(0,)],
+                populations=np.asarray([5]),
+                sizes=np.asarray([6]),
+            )
+
+    def test_negative_sizes_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            Allocation(
+                by=("g",),
+                keys=[(0,)],
+                populations=np.asarray([5]),
+                sizes=np.asarray([-1]),
+            )
+
+    def test_totals(self):
+        allocation = Allocation(
+            by=("g",),
+            keys=[(0,), (1,)],
+            populations=np.asarray([10, 20]),
+            sizes=np.asarray([2, 3]),
+        )
+        assert allocation.total == 5
+        assert allocation.num_strata == 2
+
+
+class FixedSampler(StratifiedSampler):
+    """Test double with a hard-coded allocation."""
+
+    name = "fixed"
+
+    def __init__(self, sizes):
+        self._sizes = sizes
+
+    def allocation(self, table, budget):
+        from repro.engine.statistics import collect_strata_statistics
+
+        stats = collect_strata_statistics(table, ("g",), [])
+        order = np.argsort([k[0] for k in stats.keys])
+        sizes = np.zeros(stats.num_strata, dtype=np.int64)
+        for pos, size in zip(order, self._sizes):
+            sizes[pos] = size
+        return Allocation(
+            by=("g",),
+            keys=stats.keys,
+            populations=stats.sizes,
+            sizes=sizes,
+        )
+
+
+class TestStratifiedSamplerBase:
+    @pytest.fixture()
+    def table(self):
+        return make_grouped_table(
+            sizes=[100, 50, 10],
+            means=[10.0, 20.0, 30.0],
+            stds=[1.0, 2.0, 3.0],
+            exact_moments=True,
+        )
+
+    def test_sample_sizes_match_allocation(self, table):
+        sample = FixedSampler([10, 5, 2]).sample(table, 17, seed=0)
+        strata = np.asarray(sample.table[STRATUM_COLUMN])
+        counts = np.bincount(strata, minlength=3)
+        # stratum ids are allocation-ordered; totals must match.
+        assert sorted(counts.tolist()) == [2, 5, 10]
+        assert sample.num_rows == 17
+
+    def test_weights_are_scaleups(self, table):
+        sample = FixedSampler([10, 5, 2]).sample(table, 17, seed=0)
+        weights = np.asarray(sample.table[WEIGHT_COLUMN])
+        groups = np.asarray(sample.table["g"])
+        by_group = {g: w for g, w in zip(groups, weights)}
+        assert by_group[0] == pytest.approx(100 / 10)
+        assert by_group[1] == pytest.approx(50 / 5)
+        assert by_group[2] == pytest.approx(10 / 2)
+
+    def test_weighted_count_unbiased_exactly_on_census(self, table):
+        """If every stratum is fully sampled, the weighted answer is
+        exact."""
+        sample = FixedSampler([100, 50, 10]).sample(table, 160, seed=0)
+        out = sample.answer(
+            "SELECT g, COUNT(*) c, AVG(v) a FROM T GROUP BY g ORDER BY g",
+            "T",
+        )
+        assert list(out["c"]) == [100.0, 50.0, 10.0]
+        np.testing.assert_allclose(out["a"], [10.0, 20.0, 30.0], rtol=1e-9)
+
+    def test_seed_reproducibility(self, table):
+        s1 = FixedSampler([10, 5, 2]).sample(table, 17, seed=123)
+        s2 = FixedSampler([10, 5, 2]).sample(table, 17, seed=123)
+        assert list(s1.table["v"]) == list(s2.table["v"])
+
+    def test_different_seeds_differ(self, table):
+        s1 = FixedSampler([10, 5, 2]).sample(table, 17, seed=1)
+        s2 = FixedSampler([10, 5, 2]).sample(table, 17, seed=2)
+        assert list(s1.table["v"]) != list(s2.table["v"])
+
+    def test_generator_seed_accepted(self, table):
+        rng = np.random.default_rng(0)
+        sample = FixedSampler([1, 1, 1]).sample(table, 3, seed=rng)
+        assert sample.num_rows == 3
+
+    def test_budget_positive(self, table):
+        with pytest.raises(ValueError):
+            FixedSampler([1, 1, 1]).sample(table, 0)
+
+    def test_sample_rate(self, table):
+        sampler = CVOptSampler(GroupByQuerySpec.single("v", by=("g",)))
+        sample = sampler.sample_rate(table, 0.10, seed=0)
+        assert sample.num_rows == 16
+        assert sample.sampling_rate == pytest.approx(0.1)
+
+    def test_sample_rate_validation(self, table):
+        sampler = CVOptSampler(GroupByQuerySpec.single("v", by=("g",)))
+        with pytest.raises(ValueError):
+            sampler.sample_rate(table, 0.0)
+        with pytest.raises(ValueError):
+            sampler.sample_rate(table, 1.5)
+
+    def test_repr(self, table):
+        sample = FixedSampler([1, 1, 1]).sample(table, 3, seed=0)
+        assert "fixed" in repr(sample)
+        assert "strata=3" in repr(sample)
+
+    def test_save(self, table, tmp_path):
+        sample = FixedSampler([5, 3, 1]).sample(table, 9, seed=0)
+        sample.save(tmp_path / "s")
+        from repro.engine.table import Table
+
+        rows = Table.load(tmp_path / "s.rows.npz")
+        assert rows.num_rows == 9
+        meta = Table.load(tmp_path / "s.meta.npz")
+        assert meta.num_rows == 3

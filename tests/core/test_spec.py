@@ -1,0 +1,163 @@
+import numpy as np
+import pytest
+
+from repro.core.spec import (
+    AggregateSpec,
+    DerivedColumn,
+    GroupByQuerySpec,
+    apply_derived_columns,
+    specs_from_sql,
+)
+from repro.engine.expr import BinOp, ColumnRef, Literal, Star
+from repro.engine.table import Table
+
+
+class TestAggregateSpec:
+    def test_defaults(self):
+        agg = AggregateSpec("gpa")
+        assert agg.weight == 1.0
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ValueError):
+            AggregateSpec("gpa", weight=-1)
+
+
+class TestGroupByQuerySpec:
+    def test_strings_coerced_to_aggregate_specs(self):
+        spec = GroupByQuerySpec(group_by=("a",), aggregates=("x", "y"))
+        assert all(isinstance(a, AggregateSpec) for a in spec.aggregates)
+        assert spec.agg_columns == ("x", "y")
+
+    def test_requires_aggregates(self):
+        with pytest.raises(ValueError):
+            GroupByQuerySpec(group_by=("a",), aggregates=())
+
+    def test_single_constructor(self):
+        spec = GroupByQuerySpec.single("gpa", by=("major", "year"))
+        assert spec.group_by == ("major", "year")
+        assert spec.agg_columns == ("gpa",)
+
+    def test_effective_weight_layers(self):
+        agg = AggregateSpec("x", weight=2.0)
+        spec = GroupByQuerySpec(
+            group_by=("g",),
+            aggregates=(agg,),
+            weight=3.0,
+            group_weights={("a",): 5.0},
+            cell_weights={(("a",), "x"): 7.0},
+        )
+        assert spec.effective_weight(("a",), agg) == pytest.approx(2 * 3 * 5 * 7)
+        assert spec.effective_weight(("b",), agg) == pytest.approx(6.0)
+
+    def test_reweighted(self):
+        spec = GroupByQuerySpec(group_by=("g",), aggregates=("x", "y"))
+        new = spec.reweighted([0.1, 0.9])
+        assert new.aggregates[0].weight == 0.1
+        assert new.aggregates[1].weight == 0.9
+        assert spec.aggregates[0].weight == 1.0  # original untouched
+
+    def test_reweighted_length_check(self):
+        spec = GroupByQuerySpec(group_by=("g",), aggregates=("x",))
+        with pytest.raises(ValueError):
+            spec.reweighted([1.0, 2.0])
+
+
+class TestApplyDerivedColumns:
+    def test_expression_column(self, simple_table):
+        derived = [
+            DerivedColumn("big", BinOp(">", ColumnRef("x"), Literal(5)))
+        ]
+        out = apply_derived_columns(simple_table, derived)
+        assert list(out["big"]) == [1.0, 1.0, 0.0, 0.0, 0.0, 1.0]
+
+    def test_star_column_is_ones(self, simple_table):
+        out = apply_derived_columns(
+            simple_table, [DerivedColumn("one", Star())]
+        )
+        assert list(out["one"]) == [1.0] * 6
+
+    def test_idempotent(self, simple_table):
+        derived = [DerivedColumn("one", Star())]
+        once = apply_derived_columns(simple_table, derived)
+        twice = apply_derived_columns(once, derived)
+        assert twice.column_names == once.column_names
+
+
+class TestSpecsFromSql:
+    def test_sasg(self):
+        specs, derived = specs_from_sql(
+            "SELECT major, AVG(gpa) FROM S GROUP BY major"
+        )
+        assert len(specs) == 1
+        assert specs[0].group_by == ("major",)
+        assert specs[0].agg_columns == ("gpa",)
+        assert derived == []
+
+    def test_masg_multiple_aggregates(self):
+        specs, _ = specs_from_sql(
+            "SELECT g, AVG(a) x, SUM(b) y FROM S GROUP BY g"
+        )
+        assert specs[0].agg_columns == ("a", "b")
+
+    def test_count_star_derives_constant(self):
+        specs, derived = specs_from_sql(
+            "SELECT g, SUM(v) a, COUNT(*) b FROM S GROUP BY g"
+        )
+        assert specs[0].agg_columns == ("v", "__const_one")
+        assert any(d.name == "__const_one" for d in derived)
+
+    def test_count_if_derives_indicator(self):
+        specs, derived = specs_from_sql(
+            "SELECT g, COUNT_IF(v > 0.04) c FROM S GROUP BY g"
+        )
+        assert len(derived) == 1
+        assert specs[0].agg_columns == (derived[0].name,)
+
+    def test_duplicate_agg_columns_merged(self):
+        specs, _ = specs_from_sql(
+            "SELECT g, AVG(v), SUM(v) FROM S GROUP BY g"
+        )
+        assert specs[0].agg_columns == ("v",)
+
+    def test_cte_query_yields_spec_per_block(self):
+        sql = """
+        WITH a AS (SELECT g, AVG(v) m FROM S GROUP BY g),
+             b AS (SELECT g, AVG(v) m FROM S GROUP BY g)
+        SELECT g, a.m - b.m FROM a JOIN b ON a.g = b.g
+        """
+        specs, _ = specs_from_sql(sql)
+        assert len(specs) == 2
+        assert all(s.group_by == ("g",) for s in specs)
+
+    def test_subquery_group_keys(self):
+        sql = """
+        SELECT AVG(value), country, CONCAT(month, '_', year)
+        FROM (SELECT value, MONTH(t) AS month, YEAR(t) AS year, country
+              FROM S WHERE p = 'co')
+        GROUP BY country, month, year
+        """
+        specs, _ = specs_from_sql(sql)
+        assert specs[0].group_by == ("country", "month", "year")
+
+    def test_cube_expands_grouping_sets(self):
+        specs, _ = specs_from_sql(
+            "SELECT a, b, SUM(v) FROM S GROUP BY a, b WITH CUBE"
+        )
+        groupings = {s.group_by for s in specs}
+        assert groupings == {("a", "b"), ("a",), ("b",), ()}
+
+    def test_non_aggregate_rejected(self):
+        with pytest.raises(ValueError):
+            specs_from_sql("SELECT a FROM S")
+
+    def test_predicates_ignored(self):
+        specs, _ = specs_from_sql(
+            "SELECT g, AVG(v) FROM S WHERE v > 100 GROUP BY g"
+        )
+        assert len(specs) == 1  # predicate does not change the spec
+
+    def test_literal_aggregate_argument_skipped(self):
+        specs, derived = specs_from_sql(
+            "SELECT g, AVG(v) m, SUM(1) s FROM S GROUP BY g"
+        )
+        assert specs[0].agg_columns == ("v",)

@@ -1,0 +1,180 @@
+import numpy as np
+import pytest
+
+from repro.core.cvopt import CVOptSampler
+from repro.core.sample import WEIGHT_COLUMN
+from repro.core.spec import GroupByQuerySpec
+from repro.core.streaming import StreamingCVOptSampler
+from repro.datasets.synthetic import make_grouped_table
+
+
+@pytest.fixture()
+def table():
+    return make_grouped_table(
+        sizes=[6000, 3000, 1000],
+        means=[100.0, 50.0, 10.0],
+        stds=[10.0, 20.0, 4.0],
+        seed=4,
+        exact_moments=True,
+    )
+
+
+def shuffled(table, seed=0):
+    rng = np.random.default_rng(seed)
+    return table.take(rng.permutation(table.num_rows))
+
+
+class TestValidation:
+    def test_positive_budget(self):
+        with pytest.raises(ValueError):
+            StreamingCVOptSampler(("g",), "v", budget=0, pilot_rows=10)
+
+    def test_positive_pilot(self):
+        with pytest.raises(ValueError):
+            StreamingCVOptSampler(("g",), "v", budget=10, pilot_rows=0)
+
+    def test_headroom_bound(self):
+        with pytest.raises(ValueError):
+            StreamingCVOptSampler(
+                ("g",), "v", budget=10, pilot_rows=5, headroom=0.5
+            )
+
+
+class TestStreamingSampler:
+    def test_budget_respected(self, table):
+        sampler = StreamingCVOptSampler(
+            ("g",), "v", budget=200, pilot_rows=1000, seed=1
+        )
+        sampler.observe_table(shuffled(table))
+        sample = sampler.finalize()
+        assert sample.num_rows <= 200
+        assert sample.num_rows >= 150  # budget largely used
+
+    def test_all_strata_represented(self, table):
+        sampler = StreamingCVOptSampler(
+            ("g",), "v", budget=200, pilot_rows=1000, seed=1
+        )
+        sampler.observe_table(shuffled(table))
+        sample = sampler.finalize()
+        assert set(sample.table["g"]) == {0, 1, 2}
+
+    def test_populations_are_exact_stream_counts(self, table):
+        sampler = StreamingCVOptSampler(
+            ("g",), "v", budget=150, pilot_rows=500, seed=2
+        )
+        sampler.observe_table(shuffled(table))
+        sample = sampler.finalize()
+        by_key = dict(
+            zip(
+                [k[0] for k in sample.allocation.keys],
+                sample.allocation.populations,
+            )
+        )
+        assert by_key == {0: 6000, 1: 3000, 2: 1000}
+
+    def test_ht_weights_reconstruct_stream_size(self, table):
+        sampler = StreamingCVOptSampler(
+            ("g",), "v", budget=150, pilot_rows=500, seed=2
+        )
+        sampler.observe_table(shuffled(table))
+        sample = sampler.finalize()
+        weights = np.asarray(sample.table[WEIGHT_COLUMN])
+        assert weights.sum() == pytest.approx(table.num_rows, rel=1e-9)
+
+    def test_group_counts_exact(self, table):
+        sampler = StreamingCVOptSampler(
+            ("g",), "v", budget=150, pilot_rows=500, seed=3
+        )
+        sampler.observe_table(shuffled(table))
+        sample = sampler.finalize()
+        out = sample.answer(
+            "SELECT g, COUNT(*) c FROM T GROUP BY g ORDER BY g", "T"
+        )
+        np.testing.assert_allclose(out["c"], [6000, 3000, 1000], rtol=1e-9)
+
+    def test_avg_estimates_reasonable(self, table):
+        sampler = StreamingCVOptSampler(
+            ("g",), "v", budget=300, pilot_rows=1000, seed=4
+        )
+        sampler.observe_table(shuffled(table))
+        sample = sampler.finalize()
+        out = sample.answer(
+            "SELECT g, AVG(v) a FROM T GROUP BY g ORDER BY g", "T"
+        )
+        np.testing.assert_allclose(out["a"], [100.0, 50.0, 10.0], rtol=0.2)
+
+    def test_allocation_tracks_cv(self, table):
+        """Group 1 has the largest data CV (20/50); it should receive
+        disproportionately many slots relative to its frequency."""
+        sampler = StreamingCVOptSampler(
+            ("g",), "v", budget=300, pilot_rows=2000, seed=5
+        )
+        sampler.observe_table(shuffled(table))
+        sample = sampler.finalize()
+        by_key = dict(
+            zip(
+                [k[0] for k in sample.allocation.keys],
+                sample.allocation.sizes,
+            )
+        )
+        share_of_budget = by_key[1] / sample.num_rows
+        share_of_stream = 3000 / 10_000
+        assert share_of_budget > share_of_stream
+
+    def test_group_ordered_stream_recovers(self, table):
+        """Strata appearing after the pilot still get folded in by the
+        doubling re-balance schedule."""
+        sampler = StreamingCVOptSampler(
+            ("g",), "v", budget=200, pilot_rows=1000, seed=6
+        )
+        sampler.observe_table(table)  # group-ordered: g=0 first
+        sample = sampler.finalize()
+        assert sample.num_rows <= 200
+        assert set(sample.table["g"]) == {0, 1, 2}
+
+    def test_comparable_to_two_pass(self, table):
+        """The one-pass sample's error is within a modest factor of the
+        two-pass CVOPT sample at the same budget."""
+        from repro.aqp.errors import compare_results
+        from repro.engine.sql.executor import execute_sql
+
+        sql = "SELECT g, AVG(v) a FROM T GROUP BY g"
+        truth = execute_sql(sql, {"T": table})
+        budget = 300
+
+        stream_errors, batch_errors = [], []
+        for seed in range(5):
+            sampler = StreamingCVOptSampler(
+                ("g",), "v", budget=budget, pilot_rows=1500, seed=seed
+            )
+            sampler.observe_table(shuffled(table, seed=seed))
+            stream_errors.append(
+                compare_results(
+                    truth, sampler.finalize().answer(sql, "T")
+                ).mean_error()
+            )
+            batch = CVOptSampler(
+                GroupByQuerySpec.single("v", by=("g",))
+            ).sample(table, budget, seed=seed)
+            batch_errors.append(
+                compare_results(truth, batch.answer(sql, "T")).mean_error()
+            )
+        assert np.mean(stream_errors) <= np.mean(batch_errors) * 3 + 0.02
+
+    def test_finalize_empty_stream(self):
+        sampler = StreamingCVOptSampler(
+            ("g",), "v", budget=10, pilot_rows=5
+        )
+        sample = sampler.finalize()
+        assert sample.num_rows == 0
+
+    def test_rows_seen_counter(self, table):
+        sampler = StreamingCVOptSampler(
+            ("g",), "v", budget=10, pilot_rows=50
+        )
+        for i, row in enumerate(table.iter_rows()):
+            sampler.observe(row)
+            if i == 99:
+                break
+        assert sampler.rows_seen == 100
+        assert sampler.rebalanced

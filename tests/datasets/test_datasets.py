@@ -1,0 +1,223 @@
+import numpy as np
+import pytest
+
+from repro.datasets.bikes import generate_bikes
+from repro.datasets.openaq import (
+    OPENAQ_COUNTRIES,
+    OPENAQ_PARAMETERS,
+    generate_openaq,
+)
+from repro.datasets.student import student_table, student_workload
+from repro.datasets.synthetic import (
+    heterogeneity_scenario,
+    make_grouped_table,
+    two_group_example,
+)
+
+
+class TestOpenAQ:
+    def test_shape_and_columns(self, openaq_small):
+        assert openaq_small.num_rows == 30_000
+        assert set(openaq_small.column_names) == {
+            "country", "parameter", "unit", "location",
+            "latitude", "value", "local_time",
+        }
+
+    def test_deterministic(self):
+        a = generate_openaq(num_rows=2000, seed=4)
+        b = generate_openaq(num_rows=2000, seed=4)
+        assert list(a["value"]) == list(b["value"])
+        assert list(a["country"]) == list(b["country"])
+
+    def test_seed_changes_data(self):
+        a = generate_openaq(num_rows=2000, seed=4)
+        b = generate_openaq(num_rows=2000, seed=5)
+        assert list(a["value"]) != list(b["value"])
+
+    def test_country_count_limit(self):
+        with pytest.raises(ValueError):
+            generate_openaq(num_rows=100, num_countries=999)
+
+    def test_zipf_skew(self, openaq_small):
+        counts = np.unique(
+            np.asarray(openaq_small["country"]), return_counts=True
+        )[1]
+        assert counts.max() > 8 * counts.min()
+
+    def test_values_positive(self, openaq_small):
+        assert (np.asarray(openaq_small["value"], dtype=float) > 0).all()
+
+    def test_parameters_valid(self, openaq_small):
+        assert set(openaq_small["parameter"]) <= set(OPENAQ_PARAMETERS)
+
+    def test_units_match_parameters(self, openaq_small):
+        pairs = set(zip(openaq_small["parameter"], openaq_small["unit"]))
+        for param, unit in pairs:
+            if param in ("pm25", "pm10", "bc"):
+                assert unit == "ug/m3"
+            else:
+                assert unit == "ppm"
+
+    def test_both_hemispheres(self):
+        table = generate_openaq(num_rows=20_000, num_countries=48, seed=0)
+        lat = np.asarray(table["latitude"], dtype=float)
+        assert (lat > 0).any() and (lat < 0).any()
+
+    def test_time_range(self, openaq_small):
+        from repro.engine.functions import sql_year
+
+        years = sql_year(np.asarray(openaq_small["local_time"]))
+        assert set(years) <= {2015, 2016, 2017, 2018}
+        assert {2017, 2018} <= set(years)  # AQ1 needs both years
+
+    def test_vn_reports_co_and_bc(self):
+        table = generate_openaq(num_rows=50_000, num_countries=38, seed=7)
+        vn_params = {
+            p
+            for c, p in zip(table["country"], table["parameter"])
+            if c == "VN"
+        }
+        assert "co" in vn_params  # AQ6 needs it
+
+    def test_bc_threshold_meaningful(self):
+        """AQ1's 0.04 cutoff must split bc measurements non-trivially."""
+        table = generate_openaq(num_rows=100_000, seed=7)
+        mask = np.asarray(table["parameter"]) == "bc"
+        values = np.asarray(table["value"], dtype=float)[mask]
+        assert mask.sum() > 100
+        share_high = (values > 0.04).mean()
+        assert 0.05 < share_high < 0.95
+
+
+class TestBikes:
+    def test_shape_and_columns(self, bikes_small):
+        assert bikes_small.num_rows == 20_000
+        assert set(bikes_small.column_names) == {
+            "trip_id", "from_station_id", "to_station_id", "year",
+            "start_time", "trip_duration", "age", "gender",
+        }
+
+    def test_deterministic(self):
+        a = generate_bikes(num_rows=1000, seed=1)
+        b = generate_bikes(num_rows=1000, seed=1)
+        assert list(a["trip_duration"]) == list(b["trip_duration"])
+
+    def test_station_range(self, bikes_small):
+        stations = np.asarray(bikes_small["from_station_id"])
+        assert stations.min() >= 1
+        assert stations.max() <= 60
+
+    def test_station_skew(self, bikes_small):
+        counts = np.unique(
+            np.asarray(bikes_small["from_station_id"]), return_counts=True
+        )[1]
+        assert counts.max() > 5 * counts.min()
+
+    def test_years(self, bikes_small):
+        assert set(bikes_small["year"]) == {2016, 2017, 2018}
+
+    def test_year_matches_start_time(self, bikes_small):
+        from repro.engine.functions import sql_year
+
+        derived = sql_year(np.asarray(bikes_small["start_time"]))
+        declared = np.asarray(bikes_small["year"])
+        # start_time is generated from the year with a <=1-year offset;
+        # allow boundary spillover but demand strong agreement.
+        assert (derived == declared).mean() > 0.95
+
+    def test_invalid_ages_present(self, bikes_small):
+        ages = np.asarray(bikes_small["age"])
+        share_zero = (ages == 0).mean()
+        assert 0.01 < share_zero < 0.15  # B1/B3 filter these
+        valid = ages[ages > 0]
+        assert valid.min() >= 16 and valid.max() <= 80
+
+    def test_durations_positive(self, bikes_small):
+        durations = np.asarray(bikes_small["trip_duration"], dtype=float)
+        assert durations.min() >= 60.0
+
+    def test_genders(self, bikes_small):
+        assert set(bikes_small["gender"]) <= {"Male", "Female", "Unknown"}
+
+    def test_station_count_param(self):
+        table = generate_bikes(num_rows=5000, num_stations=619, seed=2)
+        assert np.asarray(table["from_station_id"]).max() <= 619
+
+
+class TestStudent:
+    def test_exact_paper_table(self, student):
+        assert student.num_rows == 8
+        assert list(student["age"]) == [25, 22, 24, 28, 21, 23, 27, 26]
+        assert list(student["major"]) == [
+            "CS", "CS", "Math", "Math", "EE", "EE", "ME", "ME",
+        ]
+
+    def test_workload_composition(self):
+        workload = student_workload()
+        assert workload.total_queries == 45
+        assert [q.repeats for q in workload.queries] == [20, 10, 15]
+
+
+class TestSynthetic:
+    def test_exact_moments(self):
+        table = make_grouped_table(
+            sizes=[100, 50],
+            means=[10.0, -5.0],
+            stds=[2.0, 1.0],
+            exact_moments=True,
+        )
+        g = np.asarray(table["g"])
+        v = np.asarray(table["v"], dtype=float)
+        assert v[g == 0].mean() == pytest.approx(10.0)
+        assert v[g == 0].std() == pytest.approx(2.0)
+        assert v[g == 1].mean() == pytest.approx(-5.0)
+
+    def test_lognormal_hits_requested_moments_roughly(self):
+        table = make_grouped_table(
+            sizes=[50_000], means=[10.0], stds=[5.0],
+            distribution="lognormal",
+        )
+        v = np.asarray(table["v"], dtype=float)
+        assert v.mean() == pytest.approx(10.0, rel=0.05)
+        assert v.std() == pytest.approx(5.0, rel=0.15)
+        assert (v > 0).all()
+
+    def test_lognormal_needs_positive_mean(self):
+        with pytest.raises(ValueError):
+            make_grouped_table(
+                sizes=[10], means=[-1.0], stds=[1.0],
+                distribution="lognormal",
+            )
+
+    def test_unknown_distribution(self):
+        with pytest.raises(ValueError):
+            make_grouped_table(
+                sizes=[10], means=[1.0], stds=[1.0], distribution="cauchy"
+            )
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            make_grouped_table(sizes=[10], means=[1.0, 2.0], stds=[1.0])
+
+    def test_zero_size_groups_skipped(self):
+        table = make_grouped_table(
+            sizes=[0, 10], means=[1.0, 2.0], stds=[0.1, 0.1]
+        )
+        assert set(table["g"]) == {1}
+
+    def test_two_group_example(self):
+        table = two_group_example()
+        g = np.asarray(table["g"])
+        v = np.asarray(table["v"], dtype=float)
+        assert v[g == 0].std() == pytest.approx(50.0)
+        assert v[g == 1].std() == pytest.approx(2.0)
+
+    @pytest.mark.parametrize("kind", ["sizes", "variances", "means", "mixed"])
+    def test_scenarios(self, kind):
+        table = heterogeneity_scenario(kind, num_groups=5, seed=0)
+        assert table.num_rows > 0
+        assert len(set(table["g"])) == 5
+
+    def test_unknown_scenario(self):
+        with pytest.raises(ValueError):
+            heterogeneity_scenario("nope")

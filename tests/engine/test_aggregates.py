@@ -1,0 +1,173 @@
+import numpy as np
+import pytest
+
+from repro.engine.aggregates import (
+    AGGREGATE_FUNCTIONS,
+    compute_aggregate,
+    group_counts,
+    group_sums,
+)
+
+
+@pytest.fixture()
+def groups():
+    """Three groups: [10,20], [1,2,3], [100]."""
+    gids = np.asarray([0, 0, 1, 1, 1, 2])
+    values = np.asarray([10.0, 20.0, 1.0, 2.0, 3.0, 100.0])
+    return gids, values
+
+
+class TestUnweighted:
+    def test_count(self, groups):
+        gids, values = groups
+        out = compute_aggregate("COUNT", None, gids, 3)
+        assert list(out) == [2, 3, 1]
+
+    def test_sum(self, groups):
+        gids, values = groups
+        out = compute_aggregate("SUM", values, gids, 3)
+        assert list(out) == [30.0, 6.0, 100.0]
+
+    def test_avg(self, groups):
+        gids, values = groups
+        out = compute_aggregate("AVG", values, gids, 3)
+        assert list(out) == [15.0, 2.0, 100.0]
+
+    def test_min_max(self, groups):
+        gids, values = groups
+        assert list(compute_aggregate("MIN", values, gids, 3)) == [10.0, 1.0, 100.0]
+        assert list(compute_aggregate("MAX", values, gids, 3)) == [20.0, 3.0, 100.0]
+
+    def test_var_population(self, groups):
+        gids, values = groups
+        out = compute_aggregate("VAR", values, gids, 3)
+        assert out[0] == pytest.approx(np.var([10.0, 20.0]))
+        assert out[1] == pytest.approx(np.var([1.0, 2.0, 3.0]))
+        assert out[2] == pytest.approx(0.0)
+
+    def test_std(self, groups):
+        gids, values = groups
+        out = compute_aggregate("STD", values, gids, 3)
+        assert out[1] == pytest.approx(np.std([1.0, 2.0, 3.0]))
+
+    def test_median_odd_even(self, groups):
+        gids, values = groups
+        out = compute_aggregate("MEDIAN", values, gids, 3)
+        assert out[0] == pytest.approx(15.0)  # even group: midpoint
+        assert out[1] == pytest.approx(2.0)  # odd group: middle value
+        assert out[2] == pytest.approx(100.0)
+
+    def test_count_if(self, groups):
+        gids, values = groups
+        cond = values > 2.5
+        out = compute_aggregate("COUNT_IF", cond, gids, 3)
+        assert list(out) == [2.0, 1.0, 1.0]
+
+    def test_empty_group_yields_nan(self):
+        gids = np.asarray([0, 0])
+        values = np.asarray([1.0, 2.0])
+        out = compute_aggregate("AVG", values, gids, 3)
+        assert np.isnan(out[1]) and np.isnan(out[2])
+        out = compute_aggregate("MIN", values, gids, 3)
+        assert np.isnan(out[2])
+
+    def test_empty_input(self):
+        out = compute_aggregate(
+            "MEDIAN", np.empty(0), np.empty(0, dtype=np.int64), 2
+        )
+        assert np.isnan(out).all()
+
+
+class TestWeighted:
+    def test_weighted_count(self, groups):
+        gids, values = groups
+        weights = np.asarray([2.0, 2.0, 10.0, 10.0, 10.0, 5.0])
+        out = compute_aggregate("COUNT", None, gids, 3, weights)
+        assert list(out) == [4.0, 30.0, 5.0]
+
+    def test_weighted_sum(self, groups):
+        gids, values = groups
+        weights = np.asarray([2.0, 2.0, 10.0, 10.0, 10.0, 5.0])
+        out = compute_aggregate("SUM", values, gids, 3, weights)
+        assert list(out) == [60.0, 60.0, 500.0]
+
+    def test_weighted_avg_is_ratio(self, groups):
+        gids, values = groups
+        weights = np.asarray([1.0, 3.0, 1.0, 1.0, 1.0, 1.0])
+        out = compute_aggregate("AVG", values, gids, 3, weights)
+        assert out[0] == pytest.approx((10 + 3 * 20) / 4)
+
+    def test_weighted_avg_equal_weights_matches_unweighted(self, groups):
+        gids, values = groups
+        weights = np.full(len(values), 7.0)
+        weighted = compute_aggregate("AVG", values, gids, 3, weights)
+        unweighted = compute_aggregate("AVG", values, gids, 3)
+        np.testing.assert_allclose(weighted, unweighted)
+
+    def test_weighted_var(self, groups):
+        gids, values = groups
+        weights = np.asarray([1.0, 1.0, 1.0, 1.0, 1.0, 1.0])
+        weighted = compute_aggregate("VAR", values, gids, 3, weights)
+        unweighted = compute_aggregate("VAR", values, gids, 3)
+        np.testing.assert_allclose(weighted, unweighted)
+
+    def test_weighted_median(self):
+        gids = np.zeros(3, dtype=np.int64)
+        values = np.asarray([1.0, 2.0, 3.0])
+        weights = np.asarray([1.0, 1.0, 10.0])
+        out = compute_aggregate("MEDIAN", values, gids, 1, weights)
+        assert out[0] == 3.0
+
+    def test_weighted_count_if(self, groups):
+        gids, values = groups
+        cond = values >= 10
+        weights = np.asarray([2.0, 2.0, 1.0, 1.0, 1.0, 3.0])
+        out = compute_aggregate("COUNT_IF", cond, gids, 3, weights)
+        assert list(out) == [4.0, 0.0, 3.0]
+
+
+class TestDispatch:
+    def test_unknown_aggregate(self, groups):
+        gids, values = groups
+        with pytest.raises(ValueError, match="unknown aggregate"):
+            compute_aggregate("P99", values, gids, 3)
+
+    def test_sum_requires_values(self, groups):
+        gids, _ = groups
+        with pytest.raises(ValueError, match="requires an argument"):
+            compute_aggregate("SUM", None, gids, 3)
+
+    def test_bool_values_coerced(self, groups):
+        gids, values = groups
+        out = compute_aggregate("SUM", values > 5, gids, 3)
+        assert list(out) == [2.0, 0.0, 1.0]
+
+    def test_aliases(self, groups):
+        gids, values = groups
+        np.testing.assert_allclose(
+            compute_aggregate("MEAN", values, gids, 3),
+            compute_aggregate("AVG", values, gids, 3),
+        )
+        np.testing.assert_allclose(
+            compute_aggregate("VARIANCE", values, gids, 3),
+            compute_aggregate("VAR", values, gids, 3),
+        )
+        np.testing.assert_allclose(
+            compute_aggregate("STDDEV", values, gids, 3),
+            compute_aggregate("STD", values, gids, 3),
+        )
+
+    def test_case_insensitive(self, groups):
+        gids, values = groups
+        out = compute_aggregate("avg", values, gids, 3)
+        assert list(out) == [15.0, 2.0, 100.0]
+
+    def test_helpers(self, groups):
+        gids, values = groups
+        assert list(group_counts(gids, 3)) == [2, 3, 1]
+        assert list(group_sums(values, gids, 3)) == [30.0, 6.0, 100.0]
+
+    def test_registry_contents(self):
+        for name in ("COUNT", "SUM", "AVG", "MIN", "MAX", "VAR", "STD",
+                     "MEDIAN", "COUNT_IF"):
+            assert name in AGGREGATE_FUNCTIONS

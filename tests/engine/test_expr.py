@@ -1,0 +1,221 @@
+import numpy as np
+import pytest
+
+from repro.engine.expr import (
+    AggCall,
+    Between,
+    BinOp,
+    ColumnRef,
+    FuncCall,
+    InList,
+    Literal,
+    Star,
+    UnaryOp,
+    collect_agg_calls,
+    collect_column_refs,
+    evaluate,
+    evaluate_predicate,
+    expr_to_sql,
+    rewrite,
+)
+from repro.engine.table import Table
+
+
+@pytest.fixture()
+def table():
+    return Table.from_pydict(
+        {
+            "s": ["x", "y", "x", "z"],
+            "a": [1, 2, 3, 4],
+            "b": [10.0, 20.0, 30.0, 40.0],
+        }
+    )
+
+
+class TestEvaluateBasics:
+    def test_literal_broadcast(self, table):
+        out = evaluate(Literal(7), table)
+        assert len(out) == 4
+        assert all(out == 7)
+
+    def test_column_ref(self, table):
+        assert list(evaluate(ColumnRef("a"), table)) == [1, 2, 3, 4]
+
+    def test_column_ref_string_decodes(self, table):
+        assert list(evaluate(ColumnRef("s"), table)) == ["x", "y", "x", "z"]
+
+    def test_extra_env_takes_priority(self, table):
+        extra = {"a": np.asarray([9, 9, 9, 9])}
+        assert list(evaluate(ColumnRef("a"), table, extra)) == [9, 9, 9, 9]
+
+    def test_star_rejected(self, table):
+        with pytest.raises(TypeError):
+            evaluate(Star(), table)
+
+    def test_agg_call_rejected(self, table):
+        with pytest.raises(TypeError, match="planner"):
+            evaluate(AggCall("AVG", ColumnRef("a")), table)
+
+
+class TestArithmetic:
+    def test_add_sub_mul(self, table):
+        expr = BinOp("+", ColumnRef("a"), Literal(1))
+        assert list(evaluate(expr, table)) == [2, 3, 4, 5]
+        expr = BinOp("-", ColumnRef("b"), ColumnRef("a"))
+        assert list(evaluate(expr, table)) == [9.0, 18.0, 27.0, 36.0]
+        expr = BinOp("*", ColumnRef("a"), Literal(2))
+        assert list(evaluate(expr, table)) == [2, 4, 6, 8]
+
+    def test_division_is_true_division(self, table):
+        expr = BinOp("/", ColumnRef("a"), Literal(2))
+        assert list(evaluate(expr, table)) == [0.5, 1.0, 1.5, 2.0]
+
+    def test_division_by_zero_yields_non_finite(self, table):
+        expr = BinOp("/", ColumnRef("a"), Literal(0))
+        out = evaluate(expr, table)
+        assert not np.isfinite(out).any()
+
+    def test_modulo(self, table):
+        expr = BinOp("%", ColumnRef("a"), Literal(2))
+        assert list(evaluate(expr, table)) == [1, 0, 1, 0]
+
+    def test_unary_negation(self, table):
+        expr = UnaryOp("-", ColumnRef("a"))
+        assert list(evaluate(expr, table)) == [-1, -2, -3, -4]
+
+
+class TestComparisons:
+    def test_numeric_comparisons(self, table):
+        cases = {
+            "=": [False, True, False, False],
+            "<>": [True, False, True, True],
+            "<": [True, False, False, False],
+            "<=": [True, True, False, False],
+            ">": [False, False, True, True],
+            ">=": [False, True, True, True],
+        }
+        for op, expected in cases.items():
+            out = evaluate(BinOp(op, ColumnRef("a"), Literal(2)), table)
+            assert list(out) == expected, op
+
+    def test_string_equality_uses_codes(self, table):
+        out = evaluate(BinOp("=", ColumnRef("s"), Literal("x")), table)
+        assert list(out) == [True, False, True, False]
+
+    def test_string_inequality(self, table):
+        out = evaluate(BinOp("<>", ColumnRef("s"), Literal("x")), table)
+        assert list(out) == [False, True, False, True]
+
+    def test_string_equality_absent_literal(self, table):
+        out = evaluate(BinOp("=", ColumnRef("s"), Literal("nope")), table)
+        assert not out.any()
+
+    def test_string_inequality_absent_literal(self, table):
+        out = evaluate(BinOp("<>", ColumnRef("s"), Literal("nope")), table)
+        assert out.all()
+
+    def test_literal_on_left(self, table):
+        out = evaluate(BinOp("=", Literal("y"), ColumnRef("s")), table)
+        assert list(out) == [False, True, False, False]
+
+
+class TestBooleanLogic:
+    def test_and_or(self, table):
+        left = BinOp(">", ColumnRef("a"), Literal(1))
+        right = BinOp("<", ColumnRef("a"), Literal(4))
+        both = evaluate(BinOp("AND", left, right), table)
+        assert list(both) == [False, True, True, False]
+        either = evaluate(BinOp("OR", left, right), table)
+        assert list(either) == [True, True, True, True]
+
+    def test_not(self, table):
+        inner = BinOp("=", ColumnRef("s"), Literal("x"))
+        out = evaluate(UnaryOp("NOT", inner), table)
+        assert list(out) == [False, True, False, True]
+
+    def test_between(self, table):
+        expr = Between(ColumnRef("a"), Literal(2), Literal(3))
+        assert list(evaluate(expr, table)) == [False, True, True, False]
+
+    def test_in_list(self, table):
+        expr = InList(ColumnRef("s"), (Literal("x"), Literal("z")))
+        assert list(evaluate(expr, table)) == [True, False, True, True]
+
+    def test_in_list_numeric(self, table):
+        expr = InList(ColumnRef("a"), (Literal(1), Literal(4)))
+        assert list(evaluate(expr, table)) == [True, False, False, True]
+
+    def test_in_list_requires_literals(self, table):
+        expr = InList(ColumnRef("a"), (ColumnRef("b"),))
+        with pytest.raises(TypeError):
+            evaluate(expr, table)
+
+    def test_evaluate_predicate_coerces(self, table):
+        out = evaluate_predicate(ColumnRef("a"), table)
+        assert out.dtype == np.bool_
+        assert list(out) == [True, True, True, True]
+
+
+class TestValidation:
+    def test_unknown_binop(self):
+        with pytest.raises(ValueError):
+            BinOp("**", Literal(1), Literal(2))
+
+    def test_unknown_unary(self):
+        with pytest.raises(ValueError):
+            UnaryOp("!", Literal(1))
+
+    def test_unknown_function(self, table):
+        with pytest.raises(ValueError, match="unknown scalar function"):
+            evaluate(FuncCall("NOSUCH", (ColumnRef("a"),)), table)
+
+
+class TestTraversal:
+    def test_collect_column_refs(self):
+        expr = BinOp(
+            "+",
+            FuncCall("ABS", (ColumnRef("a"),)),
+            Between(ColumnRef("b"), Literal(0), ColumnRef("c")),
+        )
+        names = [r.name for r in collect_column_refs(expr)]
+        assert names == ["a", "b", "c"]
+
+    def test_collect_agg_calls_does_not_descend(self):
+        inner = AggCall("SUM", ColumnRef("a"))
+        expr = BinOp("/", inner, AggCall("COUNT", Star()))
+        calls = collect_agg_calls(expr)
+        assert len(calls) == 2
+        assert calls[0].func == "SUM"
+
+    def test_rewrite_replaces_subtrees(self):
+        expr = BinOp("+", ColumnRef("a"), ColumnRef("a"))
+        replaced = rewrite(expr, {ColumnRef("a"): Literal(5)})
+        assert replaced == BinOp("+", Literal(5), Literal(5))
+
+    def test_rewrite_inside_functions(self):
+        expr = FuncCall("ABS", (ColumnRef("a"),))
+        out = rewrite(expr, {ColumnRef("a"): ColumnRef("z")})
+        assert out == FuncCall("ABS", (ColumnRef("z"),))
+
+
+class TestSqlRendering:
+    def test_literals(self):
+        assert expr_to_sql(Literal(1)) == "1"
+        assert expr_to_sql(Literal(1.5)) == "1.5"
+        assert expr_to_sql(Literal("it's")) == "'it''s'"
+        assert expr_to_sql(Literal(True)) == "TRUE"
+
+    def test_nested(self):
+        expr = BinOp(
+            "AND",
+            BinOp(">", ColumnRef("a"), Literal(1)),
+            Between(ColumnRef("b"), Literal(0), Literal(9)),
+        )
+        assert expr_to_sql(expr) == "((a > 1) AND (b BETWEEN 0 AND 9))"
+
+    def test_agg_star(self):
+        assert expr_to_sql(AggCall("COUNT", Star())) == "COUNT(*)"
+
+    def test_in_list(self):
+        expr = InList(ColumnRef("s"), (Literal("a"), Literal("b")))
+        assert expr_to_sql(expr) == "(s IN ('a', 'b'))"

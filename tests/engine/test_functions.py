@@ -1,0 +1,164 @@
+import datetime as dt
+
+import numpy as np
+import pytest
+
+from repro.engine.functions import (
+    SCALAR_FUNCTIONS,
+    register_scalar_function,
+    sql_concat,
+    sql_day,
+    sql_dayofweek,
+    sql_hour,
+    sql_if,
+    sql_minute,
+    sql_month,
+    sql_year,
+)
+
+
+def epoch(*args) -> int:
+    return int(
+        dt.datetime(*args, tzinfo=dt.timezone.utc).timestamp()
+    )
+
+
+class TestCalendarFunctions:
+    def test_year(self):
+        ts = np.asarray([epoch(2015, 1, 1), epoch(2018, 12, 31, 23, 59)])
+        assert list(sql_year(ts)) == [2015, 2018]
+
+    def test_month(self):
+        ts = np.asarray([epoch(2017, 1, 15), epoch(2017, 12, 1)])
+        assert list(sql_month(ts)) == [1, 12]
+
+    def test_day(self):
+        ts = np.asarray([epoch(2017, 3, 1), epoch(2017, 3, 31)])
+        assert list(sql_day(ts)) == [1, 31]
+
+    def test_hour(self):
+        ts = np.asarray([epoch(2017, 3, 1, 0), epoch(2017, 3, 1, 23)])
+        assert list(sql_hour(ts)) == [0, 23]
+
+    def test_minute(self):
+        ts = np.asarray([epoch(2017, 3, 1, 5, 42)])
+        assert list(sql_minute(ts)) == [42]
+
+    def test_dayofweek_convention(self):
+        # 1970-01-01 was a Thursday => 5 in the 1=Sunday convention.
+        assert sql_dayofweek(np.asarray([0]))[0] == 5
+        # 2017-01-01 was a Sunday.
+        assert sql_dayofweek(np.asarray([epoch(2017, 1, 1)]))[0] == 1
+
+    def test_leap_year_day(self):
+        ts = np.asarray([epoch(2016, 2, 29, 12)])
+        assert sql_month(ts)[0] == 2
+        assert sql_day(ts)[0] == 29
+
+    def test_calendar_roundtrip_many(self):
+        rng = np.random.default_rng(0)
+        ts = rng.integers(0, 2_000_000_000, size=500)
+        years = sql_year(ts)
+        months = sql_month(ts)
+        days = sql_day(ts)
+        hours = sql_hour(ts)
+        for t, y, m, d, h in zip(ts, years, months, days, hours):
+            expected = dt.datetime.fromtimestamp(int(t), dt.timezone.utc)
+            assert (y, m, d, h) == (
+                expected.year,
+                expected.month,
+                expected.day,
+                expected.hour,
+            )
+
+
+class TestStringFunctions:
+    def test_concat_strings(self):
+        out = sql_concat(
+            np.asarray(["a", "b"], dtype=object),
+            np.asarray(["_x", "_y"], dtype=object),
+        )
+        assert list(out) == ["a_x", "b_y"]
+
+    def test_concat_mixed_numeric(self):
+        out = sql_concat(
+            np.asarray([1, 2]),
+            np.asarray(["_", "_"], dtype=object),
+            np.asarray([2017, 2018]),
+        )
+        assert list(out) == ["1_2017", "2_2018"]
+
+    def test_concat_integral_floats_render_without_decimal(self):
+        out = sql_concat(np.asarray([3.0, 12.0]))
+        assert list(out) == ["3", "12"]
+
+    def test_concat_requires_args(self):
+        with pytest.raises(ValueError):
+            sql_concat()
+
+    def test_upper_lower(self):
+        up = SCALAR_FUNCTIONS["UPPER"](np.asarray(["ab"], dtype=object))
+        lo = SCALAR_FUNCTIONS["LOWER"](np.asarray(["AB"], dtype=object))
+        assert list(up) == ["AB"]
+        assert list(lo) == ["ab"]
+
+
+class TestConditionalFunctions:
+    def test_if(self):
+        out = sql_if(
+            np.asarray([True, False]),
+            np.asarray([1, 1]),
+            np.asarray([0, 0]),
+        )
+        assert list(out) == [1, 0]
+
+    def test_coalesce(self):
+        out = SCALAR_FUNCTIONS["COALESCE"](
+            np.asarray([np.nan, 2.0]), np.asarray([1.0, 9.0])
+        )
+        assert list(out) == [1.0, 2.0]
+
+    def test_least_greatest(self):
+        a = np.asarray([1.0, 5.0])
+        b = np.asarray([3.0, 2.0])
+        assert list(SCALAR_FUNCTIONS["LEAST"](a, b)) == [1.0, 2.0]
+        assert list(SCALAR_FUNCTIONS["GREATEST"](a, b)) == [3.0, 5.0]
+
+
+class TestMathFunctions:
+    def test_sqrt_negative_is_nan(self):
+        out = SCALAR_FUNCTIONS["SQRT"](np.asarray([-1.0, 4.0]))
+        assert np.isnan(out[0]) and out[1] == 2.0
+
+    def test_round_with_digits(self):
+        out = SCALAR_FUNCTIONS["ROUND"](
+            np.asarray([1.2345]), np.asarray([2])
+        )
+        assert out[0] == pytest.approx(1.23)
+
+    def test_round_without_digits(self):
+        assert SCALAR_FUNCTIONS["ROUND"](np.asarray([1.6]))[0] == 2.0
+
+    def test_floor_ceil_power_sign(self):
+        assert SCALAR_FUNCTIONS["FLOOR"](np.asarray([1.7]))[0] == 1.0
+        assert SCALAR_FUNCTIONS["CEIL"](np.asarray([1.2]))[0] == 2.0
+        assert SCALAR_FUNCTIONS["POWER"](np.asarray([2.0]), np.asarray([3.0]))[0] == 8.0
+        assert SCALAR_FUNCTIONS["SIGN"](np.asarray([-5.0]))[0] == -1.0
+
+    def test_ln(self):
+        out = SCALAR_FUNCTIONS["LN"](np.asarray([np.e]))
+        assert out[0] == pytest.approx(1.0)
+
+
+class TestRegistry:
+    def test_register_new_function(self):
+        register_scalar_function("DOUBLE_TEST", lambda a: a * 2)
+        try:
+            out = SCALAR_FUNCTIONS["DOUBLE_TEST"](np.asarray([2.0]))
+            assert out[0] == 4.0
+        finally:
+            del SCALAR_FUNCTIONS["DOUBLE_TEST"]
+
+    def test_register_duplicate_rejected(self):
+        with pytest.raises(ValueError):
+            register_scalar_function("year", lambda a: a)

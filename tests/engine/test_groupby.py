@@ -1,0 +1,158 @@
+import numpy as np
+import pytest
+
+from repro.engine.groupby import (
+    ALL_MARKER,
+    compute_group_keys,
+    cube_grouping_sets,
+    factorize,
+    group_by_aggregate,
+)
+from repro.engine.table import Table
+
+from ..conftest import reference_group_by
+
+
+class TestFactorize:
+    def test_dense_codes(self):
+        codes, first = factorize(np.asarray([5, 3, 5, 7, 3]))
+        assert codes.max() == 2
+        assert len(first) == 3
+        # codes are consistent: same value -> same code
+        assert codes[0] == codes[2]
+        assert codes[1] == codes[4]
+
+    def test_first_index_points_to_value(self):
+        arr = np.asarray([9, 4, 9, 1])
+        codes, first = factorize(arr)
+        for code, idx in enumerate(first):
+            assert codes[idx] == code
+
+    def test_empty(self):
+        codes, first = factorize(np.empty(0, dtype=np.int64))
+        assert len(codes) == 0 and len(first) == 0
+
+
+class TestComputeGroupKeys:
+    def test_single_column(self, simple_table):
+        keys = compute_group_keys(simple_table, ["g"])
+        assert keys.num_groups == 3
+        assert sorted(keys.key_tuples(simple_table)) == [("a",), ("b",), ("c",)]
+
+    def test_two_columns(self, simple_table):
+        keys = compute_group_keys(simple_table, ["g", "h"])
+        expected = {("a", 1), ("a", 2), ("b", 1), ("b", 2), ("c", 1)}
+        assert set(keys.key_tuples(simple_table)) == expected
+        assert keys.num_groups == 5
+
+    def test_gids_are_dense(self, simple_table):
+        keys = compute_group_keys(simple_table, ["g", "h"])
+        assert set(keys.gids) == set(range(keys.num_groups))
+
+    def test_empty_by_single_group(self, simple_table):
+        keys = compute_group_keys(simple_table, [])
+        assert keys.num_groups == 1
+        assert all(keys.gids == 0)
+        assert keys.key_tuples(simple_table) == [()]
+
+    def test_empty_table(self):
+        table = Table.from_pydict({"a": []})
+        keys = compute_group_keys(table, [])
+        assert keys.num_groups == 0
+
+    def test_rows_map_to_right_group(self, simple_table):
+        keys = compute_group_keys(simple_table, ["g"])
+        tuples = keys.key_tuples(simple_table)
+        g = list(simple_table["g"])
+        for row, gid in enumerate(keys.gids):
+            assert tuples[gid] == (g[row],)
+
+
+class TestGroupByAggregate:
+    def test_avg_matches_reference(self, simple_table):
+        values = simple_table.column("x").values_numeric()
+        out = group_by_aggregate(
+            simple_table, ["g"], [("avg_x", "AVG", values)]
+        )
+        ref = reference_group_by(
+            list(simple_table.iter_rows()), ["g"], "x"
+        )
+        got = {
+            (k,): v
+            for k, v in zip(out["g"], out["avg_x"])
+        }
+        for key, vals in ref.items():
+            assert got[key] == pytest.approx(np.mean(vals))
+
+    def test_multiple_aggregates(self, simple_table):
+        values = simple_table.column("x").values_numeric()
+        out = group_by_aggregate(
+            simple_table,
+            ["g"],
+            [("s", "SUM", values), ("c", "COUNT", None)],
+        )
+        lookup = {k: (s, c) for k, s, c in zip(out["g"], out["s"], out["c"])}
+        assert lookup["a"] == (30.0, 2.0)
+        assert lookup["b"] == (6.0, 3.0)
+        assert lookup["c"] == (100.0, 1.0)
+
+    def test_weighted(self, simple_table):
+        values = simple_table.column("x").values_numeric()
+        weights = np.asarray([2.0, 2.0, 1.0, 1.0, 1.0, 4.0])
+        out = group_by_aggregate(
+            simple_table, ["g"], [("c", "COUNT", None)], weights=weights
+        )
+        lookup = dict(zip(out["g"], out["c"]))
+        assert lookup["a"] == 4.0 and lookup["c"] == 4.0
+
+    def test_no_keys_single_row(self, simple_table):
+        values = simple_table.column("x").values_numeric()
+        out = group_by_aggregate(simple_table, [], [("s", "SUM", values)])
+        assert out.num_rows == 1
+        assert out["s"][0] == pytest.approx(136.0)
+
+
+class TestCubeGroupingSets:
+    def test_two_attrs(self):
+        sets = cube_grouping_sets(["a", "b"])
+        assert sets == [("a", "b"), ("a",), ("b",), ()]
+
+    def test_three_attrs_count(self):
+        sets = cube_grouping_sets(["a", "b", "c"])
+        assert len(sets) == 8
+        assert sets[0] == ("a", "b", "c")
+        assert sets[-1] == ()
+
+    def test_sizes_descend(self):
+        sets = cube_grouping_sets(["a", "b", "c"])
+        sizes = [len(s) for s in sets]
+        assert sizes == sorted(sizes, reverse=True)
+
+    def test_single_attr(self):
+        assert cube_grouping_sets(["x"]) == [("x",), ()]
+
+    def test_empty(self):
+        assert cube_grouping_sets([]) == [()]
+
+    def test_all_marker_is_string(self):
+        assert isinstance(ALL_MARKER, str)
+
+
+class TestGroupByOnDataset(object):
+    def test_matches_reference_on_openaq(self, openaq_small):
+        sub = openaq_small.head(2000)
+        keys = compute_group_keys(sub, ["country", "parameter"])
+        ref = reference_group_by(
+            list(sub.iter_rows()), ["country", "parameter"], "value"
+        )
+        assert keys.num_groups == len(ref)
+        values = sub.column("value").values_numeric()
+        out = group_by_aggregate(
+            sub, ["country", "parameter"], [("avg", "AVG", values)]
+        )
+        got = {
+            (c, p): v
+            for c, p, v in zip(out["country"], out["parameter"], out["avg"])
+        }
+        for key, vals in ref.items():
+            assert got[key] == pytest.approx(np.mean(vals))

@@ -1,0 +1,100 @@
+import numpy as np
+import pytest
+
+from repro.engine.join import hash_join
+from repro.engine.table import Table
+
+
+@pytest.fixture()
+def left():
+    return Table.from_pydict(
+        {"k": ["a", "b", "c"], "v": [1, 2, 3]}
+    )
+
+
+@pytest.fixture()
+def right():
+    return Table.from_pydict(
+        {"k": ["b", "c", "d"], "w": [20, 30, 40]}
+    )
+
+
+class TestHashJoin:
+    def test_inner_semantics(self, left, right):
+        out = hash_join(left, right, ["k"], ["k"], "L", "R")
+        assert out.num_rows == 2
+        rows = {
+            (lk, v, w)
+            for lk, v, w in zip(out["L.k"], out["v"], out["w"])
+        }
+        assert rows == {("b", 2, 20), ("c", 3, 30)}
+
+    def test_shared_columns_prefixed(self, left, right):
+        out = hash_join(left, right, ["k"], ["k"], "L", "R")
+        assert "L.k" in out and "R.k" in out
+        assert "v" in out and "w" in out  # unique names unprefixed
+
+    def test_duplicate_matches_multiply(self):
+        left = Table.from_pydict({"k": ["a", "a"], "v": [1, 2]})
+        right = Table.from_pydict({"k": ["a", "a", "a"], "w": [1, 2, 3]})
+        out = hash_join(left, right, ["k"], ["k"])
+        assert out.num_rows == 6
+
+    def test_no_matches(self, left):
+        right = Table.from_pydict({"k": ["zzz"], "w": [0]})
+        out = hash_join(left, right, ["k"], ["k"])
+        assert out.num_rows == 0
+
+    def test_multi_key(self):
+        left = Table.from_pydict(
+            {"a": ["x", "x"], "b": [1, 2], "v": [10, 20]}
+        )
+        right = Table.from_pydict(
+            {"a": ["x", "x"], "b": [2, 3], "w": [200, 300]}
+        )
+        out = hash_join(left, right, ["a", "b"], ["a", "b"])
+        assert out.num_rows == 1
+        assert out["v"][0] == 20 and out["w"][0] == 200
+
+    def test_string_keys_across_different_dictionaries(self):
+        # Same logical values, different category order on each side.
+        left = Table.from_pydict({"k": ["z", "a"], "v": [1, 2]})
+        right = Table.from_pydict({"k": ["a", "z"], "w": [10, 20]})
+        out = hash_join(left, right, ["k"], ["k"])
+        pairs = set(zip(out["v"], out["w"]))
+        assert pairs == {(1, 20), (2, 10)}
+
+    def test_numeric_keys(self):
+        left = Table.from_pydict({"k": [1, 2, 3], "v": [1, 2, 3]})
+        right = Table.from_pydict({"k": [3, 1], "w": [30, 10]})
+        out = hash_join(left, right, ["k"], ["k"])
+        assert set(zip(out["v"], out["w"])) == {(1, 10), (3, 30)}
+
+    def test_key_count_mismatch(self, left, right):
+        with pytest.raises(ValueError):
+            hash_join(left, right, ["k"], ["k", "w"])
+
+    def test_requires_keys(self, left, right):
+        with pytest.raises(ValueError):
+            hash_join(left, right, [], [])
+
+    def test_matches_brute_force(self, rng):
+        n = 300
+        left = Table.from_pydict(
+            {
+                "k": rng.integers(0, 20, n),
+                "v": rng.normal(size=n),
+            }
+        )
+        right = Table.from_pydict(
+            {
+                "k": rng.integers(0, 20, n),
+                "w": rng.normal(size=n),
+            }
+        )
+        out = hash_join(left, right, ["k"], ["k"], "L", "R")
+        expected = 0
+        left_counts = np.bincount(np.asarray(left["k"]), minlength=20)
+        right_counts = np.bincount(np.asarray(right["k"]), minlength=20)
+        expected = int((left_counts * right_counts).sum())
+        assert out.num_rows == expected

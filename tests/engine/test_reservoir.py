@@ -1,0 +1,152 @@
+import numpy as np
+import pytest
+
+from repro.engine.reservoir import (
+    Reservoir,
+    StratifiedReservoir,
+    stratified_sample_indices,
+    weighted_sample_without_replacement,
+)
+
+
+class TestReservoir:
+    def test_fills_up_to_capacity(self, rng):
+        res = Reservoir(5, rng)
+        for i in range(3):
+            res.offer(i)
+        assert sorted(res.sample()) == [0, 1, 2]
+        assert res.seen == 3
+
+    def test_never_exceeds_capacity(self, rng):
+        res = Reservoir(4, rng)
+        for i in range(100):
+            res.offer(i)
+        assert len(res) == 4
+        assert res.seen == 100
+        assert all(0 <= x < 100 for x in res.sample())
+
+    def test_zero_capacity(self, rng):
+        res = Reservoir(0, rng)
+        for i in range(10):
+            res.offer(i)
+        assert res.sample() == []
+
+    def test_negative_capacity_rejected(self, rng):
+        with pytest.raises(ValueError):
+            Reservoir(-1, rng)
+
+    def test_uniformity(self):
+        """Each of 10 items should appear in a size-2 reservoir ~20% of
+        the time (chi-square style tolerance)."""
+        counts = np.zeros(10)
+        trials = 3000
+        rng = np.random.default_rng(0)
+        for _ in range(trials):
+            res = Reservoir(2, rng)
+            for i in range(10):
+                res.offer(i)
+            for item in res.sample():
+                counts[item] += 1
+        expected = trials * 2 / 10
+        assert np.all(np.abs(counts - expected) < 5 * np.sqrt(expected))
+
+
+class TestStratifiedReservoir:
+    def test_per_stratum_capacities(self, rng):
+        sr = StratifiedReservoir({"a": 2, "b": 3}, rng)
+        for i in range(50):
+            sr.offer("a", ("a", i))
+            sr.offer("b", ("b", i))
+            sr.offer("ignored", ("x", i))  # unknown stratum dropped
+        samples = sr.samples()
+        assert len(samples["a"]) == 2
+        assert len(samples["b"]) == 3
+        assert all(item[0] == "a" for item in samples["a"])
+
+    def test_getitem(self, rng):
+        sr = StratifiedReservoir({"a": 1}, rng)
+        sr.offer("a", 42)
+        assert sr["a"].sample() == [42]
+
+
+class TestStratifiedSampleIndices:
+    def test_exact_sizes(self, rng):
+        gids = np.asarray([0] * 100 + [1] * 50 + [2] * 10)
+        out = stratified_sample_indices(gids, [10, 5, 3], rng)
+        sampled_gids = gids[out]
+        assert (sampled_gids == 0).sum() == 10
+        assert (sampled_gids == 1).sum() == 5
+        assert (sampled_gids == 2).sum() == 3
+
+    def test_clamps_at_population(self, rng):
+        gids = np.asarray([0, 0, 1])
+        out = stratified_sample_indices(gids, [10, 10], rng)
+        assert len(out) == 3
+
+    def test_no_duplicates(self, rng):
+        gids = np.asarray([0] * 100)
+        out = stratified_sample_indices(gids, [40], rng)
+        assert len(np.unique(out)) == 40
+
+    def test_sorted_output(self, rng):
+        gids = np.asarray([1, 0, 1, 0, 1, 0] * 10)
+        out = stratified_sample_indices(gids, [5, 5], rng)
+        assert list(out) == sorted(out)
+
+    def test_zero_sizes(self, rng):
+        gids = np.asarray([0, 0, 1, 1])
+        out = stratified_sample_indices(gids, [0, 0], rng)
+        assert len(out) == 0
+
+    def test_interleaved_strata(self, rng):
+        gids = np.asarray([0, 1] * 500)
+        out = stratified_sample_indices(gids, [100, 7], rng)
+        sampled = gids[out]
+        assert (sampled == 0).sum() == 100
+        assert (sampled == 1).sum() == 7
+
+    def test_uniform_within_stratum(self):
+        """Every row of a stratum should be picked equally often."""
+        gids = np.zeros(20, dtype=np.int64)
+        counts = np.zeros(20)
+        rng = np.random.default_rng(1)
+        trials = 2000
+        for _ in range(trials):
+            out = stratified_sample_indices(gids, [5], rng)
+            counts[out] += 1
+        expected = trials * 5 / 20
+        assert np.all(np.abs(counts - expected) < 5 * np.sqrt(expected))
+
+
+class TestWeightedSampling:
+    def test_size_and_uniqueness(self, rng):
+        weights = np.ones(100)
+        out = weighted_sample_without_replacement(weights, 30, rng)
+        assert len(out) == 30
+        assert len(np.unique(out)) == 30
+
+    def test_size_clamped_to_eligible(self, rng):
+        weights = np.asarray([1.0, 0.0, 2.0, 0.0])
+        out = weighted_sample_without_replacement(weights, 10, rng)
+        assert set(out) == {0, 2}
+
+    def test_zero_weight_never_selected(self, rng):
+        weights = np.asarray([0.0, 1.0, 0.0, 1.0])
+        for _ in range(20):
+            out = weighted_sample_without_replacement(weights, 2, rng)
+            assert set(out) == {1, 3}
+
+    def test_bias_towards_heavy_rows(self):
+        rng = np.random.default_rng(2)
+        weights = np.asarray([1.0] * 50 + [50.0] * 50)
+        heavy_hits = 0
+        trials = 300
+        for _ in range(trials):
+            out = weighted_sample_without_replacement(weights, 10, rng)
+            heavy_hits += (out >= 50).sum()
+        # Heavy rows are 50x likelier; nearly all picks should be heavy.
+        assert heavy_hits / (trials * 10) > 0.85
+
+    def test_zero_size(self, rng):
+        out = weighted_sample_without_replacement(np.ones(5), 0, rng)
+        assert len(out) == 0

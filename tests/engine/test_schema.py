@@ -1,0 +1,97 @@
+import numpy as np
+import pytest
+
+from repro.engine.schema import ColumnSpec, DType, Schema, infer_dtype, numpy_dtype_for
+
+
+class TestDType:
+    def test_numeric_flags(self):
+        assert DType.INT64.is_numeric
+        assert DType.FLOAT64.is_numeric
+        assert DType.TIMESTAMP.is_numeric
+        assert not DType.STRING.is_numeric
+        assert not DType.BOOL.is_numeric
+
+    def test_storage_dtypes(self):
+        assert numpy_dtype_for(DType.INT64) == np.dtype(np.int64)
+        assert numpy_dtype_for(DType.FLOAT64) == np.dtype(np.float64)
+        assert numpy_dtype_for(DType.BOOL) == np.dtype(np.bool_)
+        assert numpy_dtype_for(DType.STRING) == np.dtype(np.int32)
+        assert numpy_dtype_for(DType.TIMESTAMP) == np.dtype(np.int64)
+
+    def test_storage_property_matches_function(self):
+        for dtype in DType:
+            assert dtype.storage_dtype == numpy_dtype_for(dtype)
+
+
+class TestInferDtype:
+    def test_infer_int(self):
+        assert infer_dtype([1, 2, 3]) is DType.INT64
+
+    def test_infer_float(self):
+        assert infer_dtype([1.5, 2.5]) is DType.FLOAT64
+
+    def test_infer_bool(self):
+        assert infer_dtype([True, False]) is DType.BOOL
+
+    def test_infer_string(self):
+        assert infer_dtype(["a", "b"]) is DType.STRING
+
+    def test_infer_object_strings(self):
+        arr = np.asarray(["x", "y"], dtype=object)
+        assert infer_dtype(arr) is DType.STRING
+
+    def test_infer_datetime(self):
+        arr = np.asarray(["2020-01-01"], dtype="datetime64[s]")
+        assert infer_dtype(arr) is DType.TIMESTAMP
+
+
+class TestColumnSpec:
+    def test_rejects_empty_name(self):
+        with pytest.raises(ValueError):
+            ColumnSpec("", DType.INT64)
+
+    def test_frozen(self):
+        spec = ColumnSpec("a", DType.INT64)
+        with pytest.raises(AttributeError):
+            spec.name = "b"
+
+
+class TestSchema:
+    def test_basic_lookup(self):
+        schema = Schema(
+            [ColumnSpec("a", DType.INT64), ColumnSpec("b", DType.STRING)]
+        )
+        assert len(schema) == 2
+        assert schema.names == ("a", "b")
+        assert "a" in schema
+        assert "z" not in schema
+        assert schema["b"].dtype is DType.STRING
+        assert schema.dtype_of("a") is DType.INT64
+        assert schema.index_of("b") == 1
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            Schema([ColumnSpec("a", DType.INT64), ColumnSpec("a", DType.BOOL)])
+
+    def test_missing_column_message_lists_available(self):
+        schema = Schema([ColumnSpec("a", DType.INT64)])
+        with pytest.raises(KeyError, match="available: a"):
+            schema["missing"]
+        with pytest.raises(KeyError):
+            schema.index_of("missing")
+
+    def test_equality(self):
+        cols = [ColumnSpec("a", DType.INT64)]
+        assert Schema(cols) == Schema(cols)
+        assert Schema(cols) != Schema([ColumnSpec("a", DType.FLOAT64)])
+
+    def test_iteration_order(self):
+        schema = Schema(
+            [ColumnSpec(n, DType.INT64) for n in ("x", "y", "z")]
+        )
+        assert [c.name for c in schema] == ["x", "y", "z"]
+
+    def test_repr_mentions_types(self):
+        schema = Schema([ColumnSpec("a", DType.STRING)])
+        assert "a:string" in repr(schema)

@@ -1,0 +1,328 @@
+import numpy as np
+import pytest
+
+from repro.engine.groupby import ALL_MARKER
+from repro.engine.sql.executor import QueryExecutionError, execute_sql
+from repro.engine.table import Table
+
+
+@pytest.fixture()
+def tables(simple_table):
+    return {"T": simple_table}
+
+
+def rows_of(table):
+    return list(table.iter_rows())
+
+
+class TestProjection:
+    def test_select_columns(self, tables):
+        out = execute_sql("SELECT g, x FROM T", tables)
+        assert out.column_names == ("g", "x")
+        assert out.num_rows == 6
+
+    def test_computed_column(self, tables):
+        out = execute_sql("SELECT x * 2 AS doubled FROM T", tables)
+        assert list(out["doubled"]) == [20.0, 40.0, 2.0, 4.0, 6.0, 200.0]
+
+    def test_output_name_defaults_to_sql(self, tables):
+        out = execute_sql("SELECT x + 1 FROM T", tables)
+        assert out.column_names == ("(x + 1)",)
+
+    def test_where_filter(self, tables):
+        out = execute_sql("SELECT g FROM T WHERE x > 5", tables)
+        assert list(out["g"]) == ["a", "a", "c"]
+
+    def test_where_string_predicate(self, tables):
+        out = execute_sql("SELECT x FROM T WHERE g = 'b'", tables)
+        assert list(out["x"]) == [1.0, 2.0, 3.0]
+
+    def test_no_from(self, tables):
+        out = execute_sql("SELECT 1 + 1 AS two", tables)
+        assert out.num_rows == 1
+        assert out["two"][0] == 2
+
+    def test_unknown_table(self, tables):
+        with pytest.raises(QueryExecutionError, match="unknown table"):
+            execute_sql("SELECT a FROM missing", tables)
+
+    def test_unknown_column(self, tables):
+        with pytest.raises(QueryExecutionError, match="cannot resolve"):
+            execute_sql("SELECT nope FROM T", tables)
+
+    def test_alias_strip_via_binding(self, tables):
+        out = execute_sql("SELECT t.x FROM T t WHERE t.g = 'c'", tables)
+        assert list(out["x"]) == [100.0]
+
+
+class TestAggregation:
+    def test_group_by_avg(self, tables):
+        out = execute_sql(
+            "SELECT g, AVG(x) a FROM T GROUP BY g ORDER BY g", tables
+        )
+        assert list(out["g"]) == ["a", "b", "c"]
+        assert list(out["a"]) == [15.0, 2.0, 100.0]
+
+    def test_group_by_multiple_keys(self, tables):
+        out = execute_sql(
+            "SELECT g, h, COUNT(*) c FROM T GROUP BY g, h ORDER BY g, h",
+            tables,
+        )
+        assert out.num_rows == 5
+        lookup = {
+            (g, h): c for g, h, c in zip(out["g"], out["h"], out["c"])
+        }
+        assert lookup[("b", 1)] == 2.0
+
+    def test_full_table_aggregate(self, tables):
+        out = execute_sql("SELECT SUM(x) s, COUNT(*) c FROM T", tables)
+        assert out.num_rows == 1
+        assert out["s"][0] == 136.0
+        assert out["c"][0] == 6.0
+
+    def test_expression_over_aggregates(self, tables):
+        out = execute_sql(
+            "SELECT g, SUM(x) / COUNT(*) m FROM T GROUP BY g ORDER BY g",
+            tables,
+        )
+        assert list(out["m"]) == [15.0, 2.0, 100.0]
+
+    def test_aggregate_of_expression(self, tables):
+        out = execute_sql(
+            "SELECT g, SUM(x * 2) s FROM T GROUP BY g ORDER BY g", tables
+        )
+        assert list(out["s"]) == [60.0, 12.0, 200.0]
+
+    def test_count_if(self, tables):
+        out = execute_sql(
+            "SELECT g, COUNT_IF(x >= 10) c FROM T GROUP BY g ORDER BY g",
+            tables,
+        )
+        assert list(out["c"]) == [2.0, 0.0, 1.0]
+
+    def test_scalar_function_of_group_key(self, tables):
+        out = execute_sql(
+            "SELECT CONCAT(g, '!') k, COUNT(*) c FROM T GROUP BY g ORDER BY k",
+            tables,
+        )
+        assert list(out["k"]) == ["a!", "b!", "c!"]
+
+    def test_computed_group_key(self, tables):
+        out = execute_sql(
+            "SELECT COUNT(*) c FROM T GROUP BY x > 5", tables
+        )
+        assert sorted(out["c"]) == [3.0, 3.0]
+
+    def test_group_by_alias(self, tables):
+        out = execute_sql(
+            "SELECT CONCAT(g, h) gk, COUNT(*) c FROM T GROUP BY gk",
+            tables,
+        )
+        assert out.num_rows == 5
+
+    def test_non_grouped_column_rejected(self, tables):
+        with pytest.raises(QueryExecutionError, match="GROUP BY"):
+            execute_sql("SELECT x, COUNT(*) FROM T GROUP BY g", tables)
+
+    def test_having(self, tables):
+        out = execute_sql(
+            "SELECT g, COUNT(*) c FROM T GROUP BY g HAVING COUNT(*) > 1 "
+            "ORDER BY g",
+            tables,
+        )
+        assert list(out["g"]) == ["a", "b"]
+
+    def test_having_on_key(self, tables):
+        out = execute_sql(
+            "SELECT g, COUNT(*) c FROM T GROUP BY g HAVING g <> 'b'",
+            tables,
+        )
+        assert set(out["g"]) == {"a", "c"}
+
+    def test_min_max_median(self, tables):
+        out = execute_sql(
+            "SELECT g, MIN(x) lo, MAX(x) hi, MEDIAN(x) mid "
+            "FROM T GROUP BY g ORDER BY g",
+            tables,
+        )
+        assert list(out["lo"]) == [10.0, 1.0, 100.0]
+        assert list(out["hi"]) == [20.0, 3.0, 100.0]
+        assert list(out["mid"]) == [15.0, 2.0, 100.0]
+
+
+class TestOrderLimit:
+    def test_order_desc(self, tables):
+        out = execute_sql("SELECT x FROM T ORDER BY x DESC", tables)
+        assert list(out["x"]) == sorted(out["x"], reverse=True)
+
+    def test_order_by_string(self, tables):
+        out = execute_sql(
+            "SELECT g, COUNT(*) c FROM T GROUP BY g ORDER BY g DESC", tables
+        )
+        assert list(out["g"]) == ["c", "b", "a"]
+
+    def test_limit(self, tables):
+        out = execute_sql("SELECT x FROM T ORDER BY x LIMIT 2", tables)
+        assert list(out["x"]) == [1.0, 2.0]
+
+    def test_order_by_two_keys(self, tables):
+        out = execute_sql("SELECT g, h FROM T ORDER BY g, h DESC", tables)
+        assert list(out["g"]) == ["a", "a", "b", "b", "b", "c"]
+        assert list(out["h"])[:2] == [2, 1]
+
+
+class TestSubqueriesAndCtes:
+    def test_subquery_in_from(self, tables):
+        out = execute_sql(
+            "SELECT g, AVG(d) a FROM "
+            "(SELECT g, x * 2 AS d FROM T) GROUP BY g ORDER BY g",
+            tables,
+        )
+        assert list(out["a"]) == [30.0, 4.0, 200.0]
+
+    def test_cte(self, tables):
+        out = execute_sql(
+            "WITH big AS (SELECT g, x FROM T WHERE x >= 10) "
+            "SELECT g, COUNT(*) c FROM big GROUP BY g ORDER BY g",
+            tables,
+        )
+        assert list(out["g"]) == ["a", "c"]
+
+    def test_cte_join(self, tables):
+        sql = """
+        WITH lo AS (SELECT g, AVG(x) m FROM T WHERE h = 1 GROUP BY g),
+             hi AS (SELECT g, AVG(x) m FROM T WHERE h = 2 GROUP BY g)
+        SELECT g, hi.m - lo.m diff FROM lo JOIN hi ON lo.g = hi.g
+        ORDER BY g
+        """
+        out = execute_sql(sql, tables)
+        # groups with both h=1 and h=2 rows: a (20-10), b (3-1.5)
+        lookup = dict(zip(out["g"], out["diff"]))
+        assert lookup["a"] == pytest.approx(10.0)
+        assert lookup["b"] == pytest.approx(3.0 - 1.5)
+
+
+class TestJoinExecution:
+    def test_join_with_residual_predicate(self):
+        t = Table.from_pydict({"k": ["a", "b"], "v": [1, 2]})
+        u = Table.from_pydict({"k": ["a", "b"], "w": [10, 20]})
+        out = execute_sql(
+            "SELECT v, w FROM T JOIN U ON T.k = U.k AND w > 15",
+            {"T": t, "U": u},
+        )
+        assert rows_of(out) == [{"v": 2, "w": 20}]
+
+    def test_join_requires_equality(self):
+        t = Table.from_pydict({"k": [1], "v": [1]})
+        u = Table.from_pydict({"k": [1], "w": [1]})
+        with pytest.raises(QueryExecutionError, match="equality"):
+            execute_sql(
+                "SELECT v FROM T JOIN U ON T.k > U.k", {"T": t, "U": u}
+            )
+
+
+class TestCube:
+    def test_cube_group_count(self, tables):
+        out = execute_sql(
+            "SELECT g, h, SUM(x) s FROM T GROUP BY g, h WITH CUBE", tables
+        )
+        # 5 (g,h) + 3 (g) + 2 (h) + 1 () = 11
+        assert out.num_rows == 11
+
+    def test_cube_grand_total(self, tables):
+        out = execute_sql(
+            "SELECT g, h, SUM(x) s FROM T GROUP BY g, h WITH CUBE", tables
+        )
+        total = [
+            s
+            for g, h, s in zip(out["g"], out["h"], out["s"])
+            if g == ALL_MARKER and h == ALL_MARKER
+        ]
+        assert total == [136.0]
+
+    def test_cube_partial_group(self, tables):
+        out = execute_sql(
+            "SELECT g, h, SUM(x) s FROM T GROUP BY g, h WITH CUBE", tables
+        )
+        by_g = {
+            g: s
+            for g, h, s in zip(out["g"], out["h"], out["s"])
+            if h == ALL_MARKER and g != ALL_MARKER
+        }
+        assert by_g == {"a": 30.0, "b": 6.0, "c": 100.0}
+
+    def test_cube_consistency_with_plain_groupby(self, tables):
+        cube = execute_sql(
+            "SELECT g, h, SUM(x) s FROM T GROUP BY g, h WITH CUBE", tables
+        )
+        plain = execute_sql(
+            "SELECT g, h, SUM(x) s FROM T GROUP BY g, h", tables
+        )
+        finest = {
+            (g, h): s
+            for g, h, s in zip(cube["g"], cube["h"], cube["s"])
+            if ALL_MARKER not in (g, h)
+        }
+        for g, h, s in zip(plain["g"], plain["h"], plain["s"]):
+            assert finest[(str(g), str(h))] == s
+
+    def test_cube_rejects_non_key_items(self, tables):
+        with pytest.raises(QueryExecutionError, match="CUBE"):
+            execute_sql(
+                "SELECT x, SUM(y) FROM T GROUP BY g, h WITH CUBE", tables
+            )
+
+
+class TestWeightedExecution:
+    @pytest.fixture()
+    def weighted(self, simple_table):
+        w = np.asarray([2.0, 2.0, 3.0, 3.0, 3.0, 5.0])
+        from repro.engine.schema import DType
+        from repro.engine.table import Column
+
+        return {
+            "T": simple_table.with_column(
+                "__weight__", Column(DType.FLOAT64, w)
+            )
+        }
+
+    def test_weighted_count(self, weighted):
+        out = execute_sql(
+            "SELECT g, COUNT(*) c FROM T GROUP BY g ORDER BY g",
+            weighted,
+            weight_column="__weight__",
+        )
+        assert list(out["c"]) == [4.0, 9.0, 5.0]
+
+    def test_weighted_sum(self, weighted):
+        out = execute_sql(
+            "SELECT g, SUM(x) s FROM T GROUP BY g ORDER BY g",
+            weighted,
+            weight_column="__weight__",
+        )
+        assert list(out["s"]) == [60.0, 18.0, 500.0]
+
+    def test_weighted_avg(self, weighted):
+        out = execute_sql(
+            "SELECT g, AVG(x) a FROM T GROUP BY g ORDER BY g",
+            weighted,
+            weight_column="__weight__",
+        )
+        assert out["a"][0] == pytest.approx(15.0)
+
+    def test_weight_carried_through_subquery(self, weighted):
+        out = execute_sql(
+            "SELECT g, COUNT(*) c FROM (SELECT g FROM T WHERE x > 5) "
+            "GROUP BY g ORDER BY g",
+            weighted,
+            weight_column="__weight__",
+        )
+        assert list(out["c"]) == [4.0, 5.0]
+
+    def test_missing_weight_column_ignored(self, tables):
+        out = execute_sql(
+            "SELECT g, COUNT(*) c FROM T GROUP BY g ORDER BY g",
+            tables,
+            weight_column="__weight__",
+        )
+        assert list(out["c"]) == [2.0, 3.0, 1.0]

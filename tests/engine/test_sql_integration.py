@@ -1,0 +1,226 @@
+"""Composed-query integration tests for the SQL layer: the shapes the
+paper's queries combine (CTE + join + aggregates + predicates), plus
+corner combinations the unit tests don't cover."""
+
+import numpy as np
+import pytest
+
+from repro.engine.sql.executor import QueryExecutionError, execute_sql
+from repro.engine.table import Table
+
+
+@pytest.fixture()
+def sales():
+    return Table.from_pydict(
+        {
+            "region": ["N", "N", "N", "S", "S", "E", "E", "E", "E"],
+            "year": [2020, 2020, 2021, 2020, 2021, 2020, 2021, 2021, 2021],
+            "amount": [10.0, 20.0, 35.0, 5.0, 8.0, 100.0, 110.0, 95.0, 105.0],
+            "units": [1, 2, 3, 1, 1, 10, 11, 9, 10],
+        },
+        name="sales",
+    )
+
+
+class TestNestedComposition:
+    def test_two_level_subquery(self, sales):
+        out = execute_sql(
+            """
+            SELECT region, AVG(doubled) a FROM
+              (SELECT region, amount * 2 AS doubled FROM
+                (SELECT region, amount FROM sales WHERE year = 2021))
+            GROUP BY region ORDER BY region
+            """,
+            {"sales": sales},
+        )
+        lookup = dict(zip(out["region"], out["a"]))
+        assert lookup["N"] == pytest.approx(70.0)
+        assert lookup["E"] == pytest.approx(
+            2 * np.mean([110.0, 95.0, 105.0])
+        )
+
+    def test_cte_referencing_cte(self, sales):
+        out = execute_sql(
+            """
+            WITH recent AS (SELECT region, amount FROM sales WHERE year = 2021),
+                 big AS (SELECT region, amount FROM recent WHERE amount > 50)
+            SELECT region, COUNT(*) c FROM big GROUP BY region
+            """,
+            {"sales": sales},
+        )
+        assert dict(zip(out["region"], out["c"])) == {"E": 3.0}
+
+    def test_paper_aq1_shape(self, sales):
+        """CTE per year, join, difference of aggregates."""
+        out = execute_sql(
+            """
+            WITH y20 AS (
+                SELECT region, AVG(amount) m, COUNT_IF(amount > 15) k
+                FROM sales WHERE year = 2020 GROUP BY region),
+            y21 AS (
+                SELECT region, AVG(amount) m, COUNT_IF(amount > 15) k
+                FROM sales WHERE year = 2021 GROUP BY region)
+            SELECT region, y21.m - y20.m AS dm, y21.k - y20.k AS dk
+            FROM y20 JOIN y21 ON y20.region = y21.region
+            ORDER BY region
+            """,
+            {"sales": sales},
+        )
+        lookup = {
+            r: (dm, dk)
+            for r, dm, dk in zip(out["region"], out["dm"], out["dk"])
+        }
+        # E: mean 100 -> (110+95+105)/3; count>15: 1 -> 3.
+        assert lookup["E"][0] == pytest.approx(np.mean([110, 95, 105]) - 100)
+        assert lookup["E"][1] == pytest.approx(2.0)
+        # N: 15 -> 35; count>15: 1 -> 1.
+        assert lookup["N"] == (pytest.approx(20.0), pytest.approx(0.0))
+
+    def test_three_way_join(self):
+        a = Table.from_pydict({"k": [1, 2], "x": [10, 20]})
+        b = Table.from_pydict({"k": [1, 2], "y": [100, 200]})
+        c = Table.from_pydict({"k": [1, 2], "z": [1000, 2000]})
+        out = execute_sql(
+            "SELECT x, y, z FROM A JOIN B ON A.k = B.k "
+            "JOIN C ON B.k = C.k ORDER BY x",
+            {"A": a, "B": b, "C": c},
+        )
+        assert list(out["z"]) == [1000, 2000]
+
+
+class TestMixedFeatures:
+    def test_group_by_expression_and_order(self, sales):
+        out = execute_sql(
+            """
+            SELECT CONCAT(region, '_', year) period, SUM(amount) s
+            FROM sales GROUP BY region, year ORDER BY s DESC LIMIT 2
+            """,
+            {"sales": sales},
+        )
+        assert list(out["period"]) == ["E_2021", "E_2020"]
+
+    def test_having_with_expression_over_aggs(self, sales):
+        out = execute_sql(
+            """
+            SELECT region, SUM(amount) / COUNT(*) avg_amt
+            FROM sales GROUP BY region
+            HAVING SUM(amount) / COUNT(*) > 20 ORDER BY region
+            """,
+            {"sales": sales},
+        )
+        assert list(out["region"]) == ["E", "N"]
+
+    def test_where_with_in_and_between(self, sales):
+        out = execute_sql(
+            """
+            SELECT COUNT(*) c FROM sales
+            WHERE region IN ('N', 'S') AND amount BETWEEN 8 AND 20
+            """,
+            {"sales": sales},
+        )
+        assert out["c"][0] == 3.0  # 10, 20 (N) and 8 (S)
+
+    def test_arithmetic_between_aggregates_of_different_columns(self, sales):
+        out = execute_sql(
+            """
+            SELECT region, SUM(amount) / SUM(units) price
+            FROM sales GROUP BY region ORDER BY region
+            """,
+            {"sales": sales},
+        )
+        lookup = dict(zip(out["region"], out["price"]))
+        assert lookup["N"] == pytest.approx(65.0 / 6.0)
+
+    def test_not_in_predicate(self, sales):
+        out = execute_sql(
+            "SELECT COUNT(*) c FROM sales WHERE region NOT IN ('E')",
+            {"sales": sales},
+        )
+        assert out["c"][0] == 5.0
+
+    def test_boolean_literals_in_predicate(self, sales):
+        out = execute_sql(
+            "SELECT COUNT(*) c FROM sales WHERE TRUE", {"sales": sales}
+        )
+        assert out["c"][0] == 9.0
+        out = execute_sql(
+            "SELECT COUNT(*) c FROM sales WHERE FALSE", {"sales": sales}
+        )
+        assert out["c"][0] == 0.0
+
+    def test_distinct_tolerated_on_group_by(self, sales):
+        out = execute_sql(
+            "SELECT DISTINCT region, COUNT(*) c FROM sales GROUP BY region",
+            {"sales": sales},
+        )
+        assert out.num_rows == 3
+
+
+class TestCubeComposition:
+    def test_cube_with_predicate(self, sales):
+        out = execute_sql(
+            """
+            SELECT region, year, SUM(amount) s FROM sales
+            WHERE units >= 2 GROUP BY region, year WITH CUBE
+            """,
+            {"sales": sales},
+        )
+        from repro.engine.groupby import ALL_MARKER
+
+        total = [
+            s
+            for r, y, s in zip(out["region"], out["year"], out["s"])
+            if r == ALL_MARKER and y == ALL_MARKER
+        ]
+        # rows with units >= 2: 20+35+100+110+95+105 = 465.
+        assert total == [465.0]
+
+    def test_cube_with_having(self, sales):
+        out = execute_sql(
+            """
+            SELECT region, year, COUNT(*) c FROM sales
+            GROUP BY region, year WITH CUBE
+            """,
+            {"sales": sales},
+        )
+        # 6 finest (region,year) + 3 regions + 2 years + 1 total = 12.
+        assert out.num_rows == 12
+
+    def test_three_attribute_cube(self):
+        table = Table.from_pydict(
+            {
+                "a": ["x", "x", "y"],
+                "b": [1, 2, 1],
+                "c": ["p", "p", "q"],
+                "v": [1.0, 2.0, 3.0],
+            }
+        )
+        out = execute_sql(
+            "SELECT a, b, c, SUM(v) s FROM T GROUP BY a, b, c WITH CUBE",
+            {"T": table},
+        )
+        # Distinct keys per grouping set: (a,b,c)=3, (a,b)=3, (a,c)=2,
+        # (b,c)=3, (a)=2, (b)=2, (c)=2, ()=1.
+        assert out.num_rows == 3 + 3 + 2 + 3 + 2 + 2 + 2 + 1
+
+
+class TestErrorPaths:
+    def test_order_by_unknown_column(self, sales):
+        with pytest.raises(QueryExecutionError):
+            execute_sql(
+                "SELECT region FROM sales ORDER BY nope", {"sales": sales}
+            )
+
+    def test_join_without_cross_side_keys(self, sales):
+        other = Table.from_pydict({"kk": ["N"], "w": [1]})
+        with pytest.raises(QueryExecutionError, match="equality"):
+            execute_sql(
+                "SELECT region FROM sales JOIN O ON region = region",
+                {"sales": sales, "O": other},
+            )
+
+    def test_string_aggregation_rejected(self, sales):
+        with pytest.raises(QueryExecutionError, match="string"):
+            execute_sql(
+                "SELECT SUM(region) FROM sales", {"sales": sales}
+            )

@@ -1,0 +1,117 @@
+import pytest
+
+from repro.engine.sql.lexer import SqlSyntaxError, tokenize
+
+
+def kinds(sql):
+    return [t.kind for t in tokenize(sql)]
+
+
+def values(sql):
+    return [t.value for t in tokenize(sql)[:-1]]  # drop EOF
+
+
+class TestBasicTokens:
+    def test_keywords_case_insensitive(self):
+        tokens = tokenize("select FROM Where")
+        assert [t.kind for t in tokens[:-1]] == ["KEYWORD"] * 3
+        assert [t.value for t in tokens[:-1]] == ["SELECT", "FROM", "WHERE"]
+
+    def test_identifiers(self):
+        tokens = tokenize("country avg_value _x")
+        assert all(t.kind == "IDENT" for t in tokens[:-1])
+
+    def test_dotted_identifier(self):
+        tokens = tokenize("bc18.avg_value")
+        assert tokens[0].kind == "IDENT"
+        assert tokens[0].value == "bc18.avg_value"
+
+    def test_function_names_are_idents(self):
+        tokens = tokenize("AVG(gpa)")
+        assert tokens[0].kind == "IDENT" and tokens[0].value == "AVG"
+
+    def test_eof_token(self):
+        assert tokenize("")[-1].kind == "EOF"
+
+
+class TestNumbers:
+    def test_integer(self):
+        assert values("42") == [42]
+        assert isinstance(values("42")[0], int)
+
+    def test_float(self):
+        assert values("0.04") == [0.04]
+        assert isinstance(values("0.04")[0], float)
+
+    def test_leading_dot(self):
+        assert values(".5") == [0.5]
+
+    def test_scientific(self):
+        assert values("1e3") == [1000.0]
+        assert values("2.5E-2") == [0.025]
+
+
+class TestStrings:
+    def test_single_quotes(self):
+        assert values("'bc'") == ["bc"]
+
+    def test_double_quotes(self):
+        assert values('"VN"') == ["VN"]
+
+    def test_escaped_quote(self):
+        assert values("'it''s'") == ["it's"]
+
+    def test_unterminated(self):
+        with pytest.raises(SqlSyntaxError, match="unterminated"):
+            tokenize("'oops")
+
+
+class TestOperators:
+    def test_comparison_operators(self):
+        assert kinds("= <> != < <= > >=")[:-1] == [
+            "EQ", "NEQ", "NEQ", "LT", "LTE", "GT", "GTE",
+        ]
+
+    def test_punctuation(self):
+        assert kinds("( ) , * + - / %")[:-1] == [
+            "LPAREN", "RPAREN", "COMMA", "STAR", "PLUS", "MINUS",
+            "SLASH", "PERCENT",
+        ]
+
+    def test_unexpected_character(self):
+        with pytest.raises(SqlSyntaxError, match="unexpected character"):
+            tokenize("a ; b")
+
+
+class TestCommentsAndWhitespace:
+    def test_line_comment_skipped(self):
+        tokens = tokenize("SELECT -- comment here\n x")
+        assert [t.value for t in tokens[:-1]] == ["SELECT", "x"]
+
+    def test_comment_at_end(self):
+        tokens = tokenize("x -- trailing")
+        assert [t.value for t in tokens[:-1]] == ["x"]
+
+    def test_newlines_and_tabs(self):
+        tokens = tokenize("SELECT\n\tx\nFROM\tt")
+        assert [t.value for t in tokens[:-1]] == ["SELECT", "x", "FROM", "t"]
+
+
+class TestRealQueries:
+    def test_paper_query_tokenizes(self):
+        sql = """
+        SELECT country, AVG(value) AS avg_value,
+               COUNT_IF(value > 0.04) AS high_cnt
+        FROM openaq WHERE parameter = 'bc'
+          AND YEAR(local_time) = 2018
+        GROUP BY country
+        """
+        tokens = tokenize(sql)
+        assert tokens[-1].kind == "EOF"
+        idents = [t.value for t in tokens if t.kind == "IDENT"]
+        assert "COUNT_IF" in idents and "YEAR" in idents
+
+    def test_positions_monotonic(self):
+        tokens = tokenize("SELECT a FROM b")
+        positions = [t.position for t in tokens]
+        assert positions == sorted(positions)

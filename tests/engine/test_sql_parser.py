@@ -1,0 +1,241 @@
+import pytest
+
+from repro.engine.expr import (
+    AggCall,
+    Between,
+    BinOp,
+    ColumnRef,
+    FuncCall,
+    InList,
+    Literal,
+    Star,
+    UnaryOp,
+)
+from repro.engine.sql.ast import JoinClause, NamedTable, SubqueryTable
+from repro.engine.sql.lexer import SqlSyntaxError
+from repro.engine.sql.parser import parse_expression, parse_query
+
+
+class TestSelectList:
+    def test_simple(self):
+        q = parse_query("SELECT a, b FROM t")
+        assert len(q.items) == 2
+        assert q.items[0].expr == ColumnRef("a")
+        assert isinstance(q.from_clause, NamedTable)
+        assert q.from_clause.name == "t"
+
+    def test_aliases_with_and_without_as(self):
+        q = parse_query("SELECT a AS x, b y FROM t")
+        assert q.items[0].alias == "x"
+        assert q.items[1].alias == "y"
+
+    def test_aggregate_calls(self):
+        q = parse_query("SELECT AVG(gpa), COUNT(*), SUM(a + b) FROM t")
+        assert q.items[0].expr == AggCall("AVG", ColumnRef("gpa"))
+        assert q.items[1].expr == AggCall("COUNT", Star())
+        assert q.items[2].expr == AggCall(
+            "SUM", BinOp("+", ColumnRef("a"), ColumnRef("b"))
+        )
+
+    def test_count_if(self):
+        q = parse_query("SELECT COUNT_IF(v > 0.04) FROM t")
+        call = q.items[0].expr
+        assert call.func == "COUNT_IF"
+        assert call.arg == BinOp(">", ColumnRef("v"), Literal(0.04))
+
+    def test_scalar_function(self):
+        q = parse_query("SELECT CONCAT(m, '_', y) FROM t")
+        assert q.items[0].expr == FuncCall(
+            "CONCAT", (ColumnRef("m"), Literal("_"), ColumnRef("y"))
+        )
+
+    def test_expression_over_aggregates(self):
+        q = parse_query("SELECT SUM(a) / COUNT(*) FROM t")
+        expr = q.items[0].expr
+        assert expr.op == "/"
+        assert isinstance(expr.left, AggCall)
+
+    def test_star_only_for_count(self):
+        with pytest.raises(SqlSyntaxError):
+            parse_query("SELECT SUM(*) FROM t")
+
+    def test_is_aggregate_property(self):
+        assert parse_query("SELECT AVG(a) FROM t").is_aggregate
+        assert parse_query("SELECT a FROM t GROUP BY a").is_aggregate
+        assert not parse_query("SELECT a FROM t").is_aggregate
+
+
+class TestWhere:
+    def test_precedence_or_and(self):
+        expr = parse_expression("a = 1 OR b = 2 AND c = 3")
+        assert expr.op == "OR"
+        assert expr.right.op == "AND"
+
+    def test_not(self):
+        expr = parse_expression("NOT a = 1")
+        assert expr == UnaryOp("NOT", BinOp("=", ColumnRef("a"), Literal(1)))
+
+    def test_between(self):
+        expr = parse_expression("h BETWEEN 0 AND 24")
+        assert expr == Between(ColumnRef("h"), Literal(0), Literal(24))
+
+    def test_not_between(self):
+        expr = parse_expression("h NOT BETWEEN 1 AND 2")
+        assert isinstance(expr, UnaryOp) and expr.op == "NOT"
+        assert isinstance(expr.operand, Between)
+
+    def test_in_list(self):
+        expr = parse_expression("c IN ('US', 'VN')")
+        assert expr == InList(
+            ColumnRef("c"), (Literal("US"), Literal("VN"))
+        )
+
+    def test_not_in(self):
+        expr = parse_expression("c NOT IN (1, -2)")
+        assert expr.op == "NOT"
+        assert expr.operand == InList(
+            ColumnRef("c"), (Literal(1), Literal(-2))
+        )
+
+    def test_arithmetic_precedence(self):
+        expr = parse_expression("1 + 2 * 3")
+        assert expr.op == "+"
+        assert expr.right.op == "*"
+
+    def test_parentheses(self):
+        expr = parse_expression("(1 + 2) * 3")
+        assert expr.op == "*"
+        assert expr.left.op == "+"
+
+    def test_unary_minus(self):
+        expr = parse_expression("-a + 1")
+        assert expr.op == "+"
+        assert expr.left == UnaryOp("-", ColumnRef("a"))
+
+    def test_double_quoted_string(self):
+        expr = parse_expression('country = "VN"')
+        assert expr.right == Literal("VN")
+
+    def test_boolean_literals(self):
+        assert parse_expression("TRUE") == Literal(True)
+        assert parse_expression("FALSE") == Literal(False)
+
+
+class TestGroupByOrderLimit:
+    def test_group_by_with_cube(self):
+        q = parse_query("SELECT a, b, SUM(x) FROM t GROUP BY a, b WITH CUBE")
+        assert q.group_by == (ColumnRef("a"), ColumnRef("b"))
+        assert q.with_cube
+
+    def test_group_by_plain(self):
+        q = parse_query("SELECT a, SUM(x) FROM t GROUP BY a")
+        assert not q.with_cube
+
+    def test_having(self):
+        q = parse_query(
+            "SELECT a, COUNT(*) FROM t GROUP BY a HAVING COUNT(*) > 5"
+        )
+        assert q.having is not None
+        assert q.having.op == ">"
+
+    def test_order_by(self):
+        q = parse_query("SELECT a FROM t ORDER BY a DESC, b ASC, c")
+        assert [o.ascending for o in q.order_by] == [False, True, True]
+
+    def test_limit(self):
+        q = parse_query("SELECT a FROM t LIMIT 10")
+        assert q.limit == 10
+
+    def test_limit_requires_integer(self):
+        with pytest.raises(SqlSyntaxError):
+            parse_query("SELECT a FROM t LIMIT 1.5")
+
+
+class TestFromClause:
+    def test_table_alias(self):
+        q = parse_query("SELECT a FROM t AS x")
+        assert q.from_clause.alias == "x"
+        assert q.from_clause.binding == "x"
+        q = parse_query("SELECT a FROM t x")
+        assert q.from_clause.alias == "x"
+
+    def test_subquery(self):
+        q = parse_query("SELECT a FROM (SELECT a FROM t) sub")
+        assert isinstance(q.from_clause, SubqueryTable)
+        assert q.from_clause.alias == "sub"
+
+    def test_subquery_no_alias(self):
+        q = parse_query("SELECT a FROM (SELECT a FROM t)")
+        assert isinstance(q.from_clause, SubqueryTable)
+        assert q.from_clause.alias is None
+
+    def test_join(self):
+        q = parse_query("SELECT a FROM t JOIN u ON t.k = u.k")
+        assert isinstance(q.from_clause, JoinClause)
+        assert q.from_clause.left.name == "t"
+        assert q.from_clause.right.name == "u"
+
+    def test_inner_join(self):
+        q = parse_query("SELECT a FROM t INNER JOIN u ON t.k = u.k")
+        assert isinstance(q.from_clause, JoinClause)
+
+    def test_chained_joins_left_deep(self):
+        q = parse_query(
+            "SELECT a FROM t JOIN u ON t.k = u.k JOIN v ON u.k = v.k"
+        )
+        outer = q.from_clause
+        assert isinstance(outer, JoinClause)
+        assert isinstance(outer.left, JoinClause)
+        assert outer.right.name == "v"
+
+
+class TestCtes:
+    def test_single_cte(self):
+        q = parse_query(
+            "WITH c AS (SELECT a FROM t) SELECT a FROM c"
+        )
+        assert len(q.ctes) == 1
+        assert q.ctes[0][0] == "c"
+
+    def test_multiple_ctes(self):
+        q = parse_query(
+            "WITH c1 AS (SELECT a FROM t), c2 AS (SELECT b FROM u) "
+            "SELECT a FROM c1 JOIN c2 ON c1.a = c2.b"
+        )
+        assert [name for name, _ in q.ctes] == ["c1", "c2"]
+
+
+class TestErrors:
+    def test_trailing_tokens(self):
+        with pytest.raises(SqlSyntaxError):
+            parse_query("SELECT a FROM t garbage extra ,")
+
+    def test_missing_from_table(self):
+        with pytest.raises(SqlSyntaxError):
+            parse_query("SELECT a FROM ")
+
+    def test_unbalanced_paren(self):
+        with pytest.raises(SqlSyntaxError):
+            parse_expression("(a + 1")
+
+    def test_in_requires_literals(self):
+        with pytest.raises(SqlSyntaxError):
+            parse_expression("a IN (b)")
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "sql",
+        [
+            "(a + 1)",
+            "((a * 2) - (b / 3))",
+            "(h BETWEEN 0 AND 24)",
+            "((a = 1) AND ((b > 2) OR (NOT (c <> 3))))",
+            "(s IN ('x', 'y'))",
+            "CONCAT(a, '_', b)",
+            "IF((v > 0.5), 1, 0)",
+        ],
+    )
+    def test_render_then_reparse(self, sql):
+        expr = parse_expression(sql)
+        assert parse_expression(expr.sql()) == expr

@@ -1,0 +1,169 @@
+import numpy as np
+import pytest
+
+from repro.engine.statistics import (
+    WelfordAccumulator,
+    collect_strata_statistics,
+    rollup,
+)
+from repro.engine.table import Table
+
+
+@pytest.fixture()
+def stats_table():
+    return Table.from_pydict(
+        {
+            "g": ["a", "a", "a", "b", "b", "c"],
+            "x": [1.0, 2.0, 3.0, 10.0, 20.0, 5.0],
+            "y": [2.0, 2.0, 2.0, 1.0, 3.0, 7.0],
+        }
+    )
+
+
+class TestCollectStrataStatistics:
+    def test_sizes_and_keys(self, stats_table):
+        stats = collect_strata_statistics(stats_table, ["g"], ["x"])
+        lookup = dict(zip([k[0] for k in stats.keys], stats.sizes))
+        assert lookup == {"a": 3, "b": 2, "c": 1}
+        assert stats.total_rows == 6
+        assert stats.num_strata == 3
+
+    def test_means(self, stats_table):
+        stats = collect_strata_statistics(stats_table, ["g"], ["x", "y"])
+        cs = stats.stats_for("x")
+        by_key = dict(zip([k[0] for k in stats.keys], cs.mean))
+        assert by_key["a"] == pytest.approx(2.0)
+        assert by_key["b"] == pytest.approx(15.0)
+        assert by_key["c"] == pytest.approx(5.0)
+
+    def test_variance_is_population(self, stats_table):
+        stats = collect_strata_statistics(stats_table, ["g"], ["x"])
+        cs = stats.stats_for("x")
+        by_key = dict(zip([k[0] for k in stats.keys], cs.variance))
+        assert by_key["a"] == pytest.approx(np.var([1.0, 2.0, 3.0]))
+        assert by_key["b"] == pytest.approx(np.var([10.0, 20.0]))
+        assert by_key["c"] == pytest.approx(0.0)
+
+    def test_std_and_cv(self, stats_table):
+        stats = collect_strata_statistics(stats_table, ["g"], ["x"])
+        cs = stats.stats_for("x")
+        by_key = dict(zip([k[0] for k in stats.keys], cs.cv()))
+        assert by_key["b"] == pytest.approx(np.std([10.0, 20.0]) / 15.0)
+
+    def test_cv_mean_floor(self):
+        table = Table.from_pydict(
+            {"g": ["a", "b", "b"], "x": [0.0, 100.0, 100.0]}
+        )
+        stats = collect_strata_statistics(table, ["g"], ["x"])
+        cv = stats.stats_for("x").cv(mean_floor=0.01)
+        assert np.isfinite(cv).all()
+
+    def test_missing_column_raises(self, stats_table):
+        stats = collect_strata_statistics(stats_table, ["g"], ["x"])
+        with pytest.raises(KeyError, match="collected: x"):
+            stats.stats_for("y")
+
+    def test_duplicate_agg_columns_deduped(self, stats_table):
+        stats = collect_strata_statistics(stats_table, ["g"], ["x", "x"])
+        assert list(stats.columns) == ["x"]
+
+    def test_key_index(self, stats_table):
+        stats = collect_strata_statistics(stats_table, ["g"], [])
+        index = stats.key_index()
+        assert set(index) == {("a",), ("b",), ("c",)}
+
+
+class TestRollup:
+    def test_merge_preserves_moments(self, stats_table):
+        fine = collect_strata_statistics(stats_table, ["g"], ["x"])
+        # Merge "a" and "b" into parent 0, "c" into parent 1.
+        parent = np.asarray(
+            [0 if k[0] in ("a", "b") else 1 for k in fine.keys]
+        )
+        merged = rollup(fine, parent, 2)
+        xs = merged.stats_for("x")
+        combined = [1.0, 2.0, 3.0, 10.0, 20.0]
+        assert merged.sizes[0] == 5
+        assert xs.mean[0] == pytest.approx(np.mean(combined))
+        assert xs.variance[0] == pytest.approx(np.var(combined))
+        assert xs.mean[1] == pytest.approx(5.0)
+
+    def test_rollup_identity(self, stats_table):
+        fine = collect_strata_statistics(stats_table, ["g"], ["x"])
+        merged = rollup(fine, np.arange(fine.num_strata), fine.num_strata)
+        np.testing.assert_allclose(
+            merged.stats_for("x").mean, fine.stats_for("x").mean
+        )
+
+    def test_rollup_equals_direct_coarse_stats(self, openaq_small):
+        fine = collect_strata_statistics(
+            openaq_small, ["country", "parameter"], ["value"]
+        )
+        coarse = collect_strata_statistics(
+            openaq_small, ["country"], ["value"]
+        )
+        coarse_index = {k: i for i, k in enumerate(coarse.keys)}
+        parent = np.asarray(
+            [coarse_index[(k[0],)] for k in fine.keys]
+        )
+        merged = rollup(fine, parent, coarse.num_strata)
+        np.testing.assert_allclose(
+            merged.stats_for("value").mean,
+            coarse.stats_for("value").mean,
+            rtol=1e-10,
+        )
+        np.testing.assert_allclose(
+            merged.stats_for("value").variance,
+            coarse.stats_for("value").variance,
+            rtol=1e-9,
+        )
+        np.testing.assert_array_equal(merged.sizes, coarse.sizes)
+
+    def test_rollup_length_check(self, stats_table):
+        fine = collect_strata_statistics(stats_table, ["g"], ["x"])
+        with pytest.raises(ValueError):
+            rollup(fine, np.asarray([0]), 1)
+
+
+class TestWelford:
+    def test_matches_numpy(self, rng):
+        data = rng.normal(5.0, 2.0, size=1000)
+        acc = WelfordAccumulator()
+        acc.add_many(data)
+        assert acc.count == 1000
+        assert acc.mean == pytest.approx(data.mean())
+        assert acc.variance == pytest.approx(data.var())
+        assert acc.std == pytest.approx(data.std())
+        assert acc.cv == pytest.approx(data.std() / abs(data.mean()))
+
+    def test_merge_matches_single_pass(self, rng):
+        a = rng.normal(0.0, 1.0, 400)
+        b = rng.normal(10.0, 3.0, 600)
+        left, right = WelfordAccumulator(), WelfordAccumulator()
+        left.add_many(a)
+        right.add_many(b)
+        left.merge(right)
+        combined = np.concatenate([a, b])
+        assert left.count == 1000
+        assert left.mean == pytest.approx(combined.mean())
+        assert left.variance == pytest.approx(combined.var())
+
+    def test_merge_empty_cases(self):
+        acc = WelfordAccumulator()
+        other = WelfordAccumulator()
+        other.add(5.0)
+        acc.merge(other)  # into empty
+        assert acc.count == 1 and acc.mean == 5.0
+        acc.merge(WelfordAccumulator())  # empty into non-empty
+        assert acc.count == 1
+
+    def test_empty_statistics_are_nan(self):
+        acc = WelfordAccumulator()
+        assert np.isnan(acc.variance)
+        assert np.isnan(acc.cv)
+
+    def test_zero_mean_cv_nan(self):
+        acc = WelfordAccumulator()
+        acc.add(1.0)
+        acc.add(-1.0)
+        assert np.isnan(acc.cv)

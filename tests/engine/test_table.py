@@ -1,0 +1,189 @@
+import numpy as np
+import pytest
+
+from repro.engine.schema import DType
+from repro.engine.table import Column, Table
+
+
+class TestColumn:
+    def test_from_values_numeric(self):
+        col = Column.from_values([1, 2, 3])
+        assert col.dtype is DType.INT64
+        assert list(col.decode()) == [1, 2, 3]
+
+    def test_from_values_float(self):
+        col = Column.from_values([1.5, 2.5])
+        assert col.dtype is DType.FLOAT64
+
+    def test_from_strings_dictionary_encoding(self):
+        col = Column.from_strings(["b", "a", "b", "c"])
+        assert col.dtype is DType.STRING
+        assert sorted(col.categories) == ["a", "b", "c"]
+        assert list(col.decode()) == ["b", "a", "b", "c"]
+        assert col.data.dtype == np.int32
+
+    def test_string_requires_categories(self):
+        with pytest.raises(ValueError):
+            Column(DType.STRING, np.zeros(1, dtype=np.int32))
+
+    def test_non_string_rejects_categories(self):
+        with pytest.raises(ValueError):
+            Column(DType.INT64, np.zeros(1, dtype=np.int64), categories=["a"])
+
+    def test_code_for(self):
+        col = Column.from_strings(["x", "y"])
+        assert col.code_for("x") >= 0
+        assert col.code_for("zzz") == -1
+
+    def test_values_numeric_rejects_strings(self):
+        col = Column.from_strings(["x"])
+        with pytest.raises(TypeError):
+            col.values_numeric()
+
+    def test_values_numeric_bool_to_float(self):
+        col = Column.from_values([True, False])
+        out = col.values_numeric()
+        assert out.dtype == np.float64
+        assert list(out) == [1.0, 0.0]
+
+    def test_take_and_filter(self):
+        col = Column.from_values([10, 20, 30])
+        assert list(col.take(np.asarray([2, 0])).decode()) == [30, 10]
+        assert list(col.filter(np.asarray([True, False, True])).decode()) == [10, 30]
+
+    def test_concat_numeric(self):
+        a = Column.from_values([1, 2])
+        b = Column.from_values([3])
+        assert list(a.concat(b).decode()) == [1, 2, 3]
+
+    def test_concat_strings_merges_categories(self):
+        a = Column.from_strings(["x", "y"])
+        b = Column.from_strings(["y", "z"])
+        merged = a.concat(b)
+        assert list(merged.decode()) == ["x", "y", "y", "z"]
+        assert set(merged.categories) >= {"x", "y", "z"}
+
+    def test_concat_type_mismatch(self):
+        with pytest.raises(TypeError):
+            Column.from_values([1]).concat(Column.from_strings(["a"]))
+
+    def test_timestamp_from_datetime64(self):
+        arr = np.asarray(["2018-01-01T00:00:00"], dtype="datetime64[s]")
+        col = Column.from_values(arr)
+        assert col.dtype is DType.TIMESTAMP
+        assert col.data[0] == 1514764800
+
+
+class TestTable:
+    def test_from_pydict_and_accessors(self, simple_table):
+        assert simple_table.num_rows == 6
+        assert len(simple_table) == 6
+        assert set(simple_table.column_names) == {"g", "h", "x", "y"}
+        assert "g" in simple_table
+        assert list(simple_table["g"]) == ["a", "a", "b", "b", "b", "c"]
+
+    def test_ragged_columns_rejected(self):
+        with pytest.raises(ValueError, match="ragged"):
+            Table(
+                {
+                    "a": Column.from_values([1, 2]),
+                    "b": Column.from_values([1]),
+                }
+            )
+
+    def test_missing_column_error(self, simple_table):
+        with pytest.raises(KeyError, match="available"):
+            simple_table.column("nope")
+
+    def test_select(self, simple_table):
+        sub = simple_table.select(["x", "g"])
+        assert sub.column_names == ("x", "g")
+        assert sub.num_rows == 6
+
+    def test_with_column_length_check(self, simple_table):
+        with pytest.raises(ValueError):
+            simple_table.with_column("z", Column.from_values([1]))
+
+    def test_with_column(self, simple_table):
+        out = simple_table.with_column(
+            "z", Column.from_values(np.arange(6))
+        )
+        assert "z" in out
+        assert "z" not in simple_table  # original untouched
+
+    def test_without_columns(self, simple_table):
+        out = simple_table.without_columns(["x", "y"])
+        assert set(out.column_names) == {"g", "h"}
+
+    def test_rename(self, simple_table):
+        out = simple_table.rename({"g": "grp"})
+        assert "grp" in out and "g" not in out
+
+    def test_filter(self, simple_table):
+        mask = np.asarray([True, False, True, False, True, False])
+        out = simple_table.filter(mask)
+        assert out.num_rows == 3
+        assert list(out["x"]) == [10.0, 1.0, 3.0]
+
+    def test_filter_requires_bool(self, simple_table):
+        with pytest.raises(TypeError):
+            simple_table.filter(np.asarray([1, 0, 1, 0, 1, 0]))
+
+    def test_filter_length_check(self, simple_table):
+        with pytest.raises(ValueError):
+            simple_table.filter(np.asarray([True]))
+
+    def test_take_and_head(self, simple_table):
+        out = simple_table.take(np.asarray([5, 0]))
+        assert list(out["g"]) == ["c", "a"]
+        assert simple_table.head(2).num_rows == 2
+        assert simple_table.head(100).num_rows == 6
+
+    def test_concat(self, simple_table):
+        out = simple_table.concat(simple_table)
+        assert out.num_rows == 12
+        assert list(out["g"])[:6] == list(simple_table["g"])
+
+    def test_concat_column_mismatch(self, simple_table):
+        other = simple_table.without_columns(["x"])
+        with pytest.raises(ValueError):
+            simple_table.concat(other)
+
+    def test_duplicate(self, simple_table):
+        out = simple_table.duplicate(3)
+        assert out.num_rows == 18
+        assert list(out["h"]) == list(simple_table["h"]) * 3
+
+    def test_duplicate_rejects_zero(self, simple_table):
+        with pytest.raises(ValueError):
+            simple_table.duplicate(0)
+
+    def test_row_and_iter_rows(self, simple_table):
+        row = simple_table.row(2)
+        assert row == {"g": "b", "h": 1, "x": 1.0, "y": 2}
+        rows = list(simple_table.iter_rows())
+        assert len(rows) == 6
+        assert rows[5]["g"] == "c"
+
+    def test_to_pydict_roundtrip(self, simple_table):
+        data = simple_table.to_pydict()
+        rebuilt = Table.from_pydict(data)
+        assert rebuilt.num_rows == simple_table.num_rows
+        for name in simple_table.column_names:
+            assert list(rebuilt[name]) == list(simple_table[name])
+
+    def test_empty_like(self, simple_table):
+        empty = Table.empty_like(simple_table)
+        assert empty.num_rows == 0
+        assert empty.column_names == simple_table.column_names
+        assert empty.schema == simple_table.schema
+
+    def test_save_load_roundtrip(self, simple_table, tmp_path):
+        path = tmp_path / "t.npz"
+        simple_table.save(path)
+        loaded = Table.load(path)
+        assert loaded.name == simple_table.name
+        assert set(loaded.column_names) == set(simple_table.column_names)
+        for name in simple_table.column_names:
+            assert list(loaded[name]) == list(simple_table[name])
+            assert loaded.column(name).dtype is simple_table.column(name).dtype

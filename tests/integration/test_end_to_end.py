@@ -1,0 +1,194 @@
+"""Full-pipeline integration tests: dataset -> sampler -> SQL answer ->
+error metrics, with statistical assertions on method ordering."""
+
+import numpy as np
+import pytest
+
+from repro.aqp.errors import compare_results
+from repro.aqp.runner import QueryTask, ground_truth, run_experiment
+from repro.baselines import make_samplers
+from repro.core.cvopt import CVOptSampler
+from repro.core.cvopt_inf import CVOptInfSampler
+from repro.core.spec import specs_from_sql
+from repro.datasets.synthetic import make_grouped_table
+from repro.queries import get_query, task_for
+
+
+class TestSyntheticHeterogeneity:
+    """On strongly heterogeneous groups, CVOPT must beat Uniform and
+    Senate-style allocations on max error (the paper's core claim)."""
+
+    @pytest.fixture(scope="class")
+    def table(self):
+        rng = np.random.default_rng(0)
+        sizes = np.maximum((30_000 * np.arange(1, 16) ** -1.2).astype(int), 40)
+        sizes[-1] = 30  # one genuinely tiny group (uniform misses it)
+        means = rng.uniform(10, 1000, 15)
+        stds = means * rng.uniform(0.05, 1.5, 15)
+        return make_grouped_table(
+            sizes=sizes, means=means, stds=stds, exact_moments=True
+        )
+
+    @pytest.fixture(scope="class")
+    def outcome(self, table):
+        sql = "SELECT g, AVG(v) a FROM T GROUP BY g"
+        specs, derived = specs_from_sql(sql)
+        samplers = make_samplers(specs, derived)
+        task = QueryTask(name="avg", sql=sql, table_name="T")
+        return run_experiment(
+            table, [task], samplers, rate=0.01, repetitions=5, seed=3
+        )
+
+    def test_cvopt_beats_uniform_max_error(self, outcome):
+        assert (
+            outcome.get("CVOPT", "avg").max_error()
+            < outcome.get("Uniform", "avg").max_error()
+        )
+
+    def test_cvopt_beats_cs_max_error(self, outcome):
+        assert (
+            outcome.get("CVOPT", "avg").max_error()
+            < outcome.get("CS", "avg").max_error()
+        )
+
+    def test_cvopt_mean_error_competitive(self, outcome):
+        best_other = min(
+            outcome.get(m, "avg").mean_error()
+            for m in ("Uniform", "Sample+Seek", "CS", "RL")
+        )
+        assert outcome.get("CVOPT", "avg").mean_error() <= best_other * 1.5
+
+    def test_uniform_misses_small_groups(self, outcome):
+        assert (
+            outcome.get("Uniform", "avg").summary()["missing_groups"] > 0
+        )
+
+
+class TestPaperQueriesEndToEnd:
+    def test_aq1_pipeline(self, openaq_small):
+        query = get_query("AQ1")
+        sampler = CVOptSampler.from_sql(query.sql)
+        sample = sampler.sample_rate(openaq_small, 0.05, seed=0)
+        estimate = sample.answer(query.sql, "OpenAQ")
+        truth = ground_truth(task_for("AQ1"), openaq_small)
+        errors = compare_results(truth, estimate)
+        assert errors.num_cells > 0
+
+    def test_aq2_masg(self, openaq_small):
+        query = get_query("AQ2")
+        sampler = CVOptSampler.from_sql(query.sql)
+        sample = sampler.sample_rate(openaq_small, 0.05, seed=0)
+        estimate = sample.answer(query.sql, "OpenAQ")
+        truth = ground_truth(task_for("AQ2"), openaq_small)
+        errors = compare_results(truth, estimate)
+        assert errors.missing_groups == 0  # every stratum floored
+        assert errors.mean_error() < 0.5
+
+    def test_cube_query_pipeline(self, bikes_small):
+        query = get_query("B3")
+        sampler = CVOptSampler.from_sql(query.sql)
+        sample = sampler.sample_rate(bikes_small, 0.10, seed=0)
+        estimate = sample.answer(query.sql, "Bikes")
+        truth = ground_truth(task_for("B3"), bikes_small)
+        errors = compare_results(truth, estimate)
+        assert errors.mean_error() < 0.6
+
+    def test_count_estimates_exact_without_predicate(self, openaq_small):
+        """COUNT per stratum is exactly n_c when no predicate filters
+        the sample (weights sum to the stratum population)."""
+        sql = "SELECT country, COUNT(*) c FROM OpenAQ GROUP BY country"
+        sampler = CVOptSampler.from_sql(sql)
+        sample = sampler.sample_rate(openaq_small, 0.02, seed=1)
+        estimate = sample.answer(sql, "OpenAQ")
+        truth = ground_truth(
+            QueryTask(name="c", sql=sql, table_name="OpenAQ"), openaq_small
+        )
+        errors = compare_results(truth, estimate)
+        assert errors.max_error() == pytest.approx(0.0, abs=1e-9)
+
+    def test_reuse_with_new_predicate(self, openaq_small):
+        """A sample built for AQ3 answers AQ3.a (unseen predicate)."""
+        sampler = CVOptSampler.from_sql(get_query("AQ3").sql)
+        sample = sampler.sample_rate(openaq_small, 0.05, seed=2)
+        variant = get_query("AQ3.a")
+        estimate = sample.answer(variant.sql, "OpenAQ")
+        truth = ground_truth(task_for("AQ3.a"), openaq_small)
+        errors = compare_results(truth, estimate)
+        assert errors.mean_error() < 0.8
+
+    def test_reuse_with_new_grouping(self, openaq_small):
+        """A sample stratified on (country, parameter, unit) answers a
+        country-only rollup (coarsening)."""
+        sampler = CVOptSampler.from_sql(get_query("AQ3").sql)
+        sample = sampler.sample_rate(openaq_small, 0.05, seed=2)
+        sql = "SELECT country, AVG(value) a FROM OpenAQ GROUP BY country"
+        estimate = sample.answer(sql, "OpenAQ")
+        truth = ground_truth(
+            QueryTask(name="q", sql=sql, table_name="OpenAQ"), openaq_small
+        )
+        errors = compare_results(truth, estimate)
+        assert errors.mean_error() < 0.3
+
+
+class TestCvoptVsInf:
+    def test_inf_has_lower_max_higher_median(self):
+        """Figure 6's qualitative shape, averaged over repetitions."""
+        rng = np.random.default_rng(1)
+        sizes = np.maximum((50_000 * np.arange(1, 13) ** -1.3).astype(int), 50)
+        means = rng.uniform(50, 500, 12)
+        stds = means * rng.uniform(0.1, 1.2, 12)
+        table = make_grouped_table(
+            sizes=sizes, means=means, stds=stds, exact_moments=True
+        )
+        sql = "SELECT g, AVG(v) a FROM T GROUP BY g"
+        truth = ground_truth(QueryTask("q", sql, "T"), table)
+
+        max_l2, max_inf = [], []
+        seeds = np.random.default_rng(7)
+        for _ in range(8):
+            l2 = CVOptSampler.from_sql(sql).sample_rate(
+                table, 0.01, seed=seeds
+            )
+            inf = CVOptInfSampler.from_sql(sql).sample_rate(
+                table, 0.01, seed=seeds
+            )
+            max_l2.append(
+                compare_results(truth, l2.answer(sql, "T")).max_error()
+            )
+            max_inf.append(
+                compare_results(truth, inf.answer(sql, "T")).max_error()
+            )
+        assert np.mean(max_inf) <= np.mean(max_l2) * 1.1
+
+
+class TestWeightedAggregates:
+    def test_weight_shifts_error_between_aggregates(self, bikes_small):
+        """Figure 2's mechanism: upweighting agg1 lowers its error."""
+        from repro.core.spec import specs_from_sql
+
+        sql = get_query("B1").sql
+        truth = ground_truth(task_for("B1"), bikes_small)
+        specs, derived = specs_from_sql(sql)
+        spec = specs[0]
+
+        def mean_error_of(agg_index, weights, seed):
+            weighted = spec.reweighted(weights)
+            sampler = CVOptSampler(weighted, derived=derived)
+            rng = np.random.default_rng(seed)
+            errs = []
+            for _ in range(5):
+                sample = sampler.sample_rate(bikes_small, 0.05, seed=rng)
+                errors = compare_results(
+                    truth, sample.answer(sql, "Bikes")
+                )
+                per_agg = [
+                    e
+                    for (key, col), e in errors.errors.items()
+                    if col == f"agg{agg_index + 1}"
+                ]
+                errs.append(np.mean(per_agg))
+            return np.mean(errs)
+
+        favored = mean_error_of(0, [0.95, 0.05], seed=11)
+        unfavored = mean_error_of(0, [0.05, 0.95], seed=11)
+        assert favored <= unfavored * 1.05

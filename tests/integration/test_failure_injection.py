@@ -1,0 +1,223 @@
+"""Failure injection: degenerate data, empty results, extreme budgets.
+
+Every path a production user would eventually hit: the system must
+either produce a well-defined answer or raise a clear error — never a
+crash or a silently wrong number.
+"""
+
+import numpy as np
+import pytest
+
+from repro.aqp.errors import compare_results
+from repro.baselines import make_samplers
+from repro.core.cvopt import CVOptSampler
+from repro.core.cvopt_inf import CVOptInfSampler
+from repro.core.spec import GroupByQuerySpec
+from repro.datasets.synthetic import make_grouped_table
+from repro.engine.sql.executor import execute_sql
+from repro.engine.table import Table
+
+
+SPEC = GroupByQuerySpec.single("v", by=("g",))
+
+
+class TestDegenerateData:
+    def test_single_row_table(self):
+        table = Table.from_pydict({"g": ["a"], "v": [1.0]})
+        sample = CVOptSampler(SPEC).sample(table, 1, seed=0)
+        out = sample.answer("SELECT g, AVG(v) a FROM T GROUP BY g", "T")
+        assert out.num_rows == 1
+        assert out["a"][0] == 1.0
+
+    def test_all_groups_constant(self):
+        table = make_grouped_table(
+            sizes=[100, 100], means=[5.0, 7.0], stds=[0.0, 0.0],
+            exact_moments=True,
+        )
+        sample = CVOptSampler(SPEC).sample(table, 10, seed=0)
+        out = sample.answer(
+            "SELECT g, AVG(v) a FROM T GROUP BY g ORDER BY g", "T"
+        )
+        # Constant groups are estimated exactly from the floor rows.
+        np.testing.assert_allclose(out["a"], [5.0, 7.0])
+
+    def test_single_group(self):
+        table = make_grouped_table(
+            sizes=[500], means=[10.0], stds=[2.0], exact_moments=True
+        )
+        sample = CVOptSampler(SPEC).sample(table, 50, seed=0)
+        assert sample.allocation.num_strata == 1
+        assert sample.num_rows == 50
+
+    def test_every_row_its_own_group(self):
+        table = Table.from_pydict(
+            {"g": list(range(40)), "v": [float(i) for i in range(40)]}
+        )
+        sample = CVOptSampler(SPEC).sample(table, 40, seed=0)
+        out = sample.answer("SELECT g, AVG(v) a FROM T GROUP BY g", "T")
+        assert out.num_rows == 40  # census: all exact
+
+    def test_negative_values(self):
+        table = make_grouped_table(
+            sizes=[300, 300], means=[-50.0, -10.0], stds=[5.0, 1.0],
+            exact_moments=True,
+        )
+        sample = CVOptSampler(SPEC).sample(table, 60, seed=0)
+        out = sample.answer(
+            "SELECT g, AVG(v) a FROM T GROUP BY g ORDER BY g", "T"
+        )
+        np.testing.assert_allclose(out["a"], [-50.0, -10.0], rtol=0.2)
+
+    def test_extreme_scale_values(self):
+        table = make_grouped_table(
+            sizes=[200, 200], means=[1e12, 1e-6], stds=[1e11, 1e-7],
+            exact_moments=True,
+        )
+        sample = CVOptSampler(SPEC).sample(table, 40, seed=0)
+        out = sample.answer(
+            "SELECT g, AVG(v) a FROM T GROUP BY g ORDER BY g", "T"
+        )
+        assert np.isfinite(np.asarray(out["a"])).all()
+
+
+class TestExtremeBudgets:
+    @pytest.fixture()
+    def table(self):
+        return make_grouped_table(
+            sizes=[1000, 100, 10], means=[10.0, 20.0, 30.0],
+            stds=[2.0, 4.0, 6.0], exact_moments=True,
+        )
+
+    def test_budget_one(self, table):
+        sample = CVOptSampler(SPEC).sample(table, 1, seed=0)
+        assert sample.num_rows == 1
+
+    def test_budget_below_strata_count(self, table):
+        sample = CVOptSampler(SPEC).sample(table, 2, seed=0)
+        assert sample.num_rows == 2
+
+    def test_budget_equals_table(self, table):
+        sample = CVOptSampler(SPEC).sample(table, table.num_rows, seed=0)
+        assert sample.num_rows == table.num_rows
+        out = sample.answer(
+            "SELECT g, AVG(v) a FROM T GROUP BY g ORDER BY g", "T"
+        )
+        np.testing.assert_allclose(out["a"], [10.0, 20.0, 30.0], rtol=1e-9)
+
+    def test_budget_above_table(self, table):
+        sample = CVOptSampler(SPEC).sample(table, 10**9, seed=0)
+        assert sample.num_rows == table.num_rows
+
+    def test_all_baselines_handle_extremes(self, table):
+        for budget in (1, 3, table.num_rows, 10**6):
+            for name, sampler in make_samplers(SPEC).items():
+                sample = sampler.sample(table, budget, seed=0)
+                assert sample.num_rows <= min(budget, table.num_rows), (
+                    name, budget,
+                )
+
+
+class TestEmptyResults:
+    @pytest.fixture()
+    def sample(self):
+        table = make_grouped_table(
+            sizes=[500, 500], means=[10.0, 20.0], stds=[2.0, 2.0],
+            exact_moments=True,
+        )
+        return CVOptSampler(SPEC).sample(table, 100, seed=0)
+
+    def test_predicate_selecting_nothing(self, sample):
+        out = sample.answer(
+            "SELECT g, AVG(v) a FROM T WHERE v > 1e18 GROUP BY g", "T"
+        )
+        assert out.num_rows == 0
+
+    def test_full_table_aggregate_on_empty_selection(self, sample):
+        out = sample.answer(
+            "SELECT COUNT(*) c, SUM(v) s FROM T WHERE v > 1e18", "T"
+        )
+        assert out.num_rows == 1
+        assert out["c"][0] == 0.0
+        assert out["s"][0] == 0.0
+
+    def test_having_filtering_everything(self, sample):
+        out = sample.answer(
+            "SELECT g, COUNT(*) c FROM T GROUP BY g HAVING COUNT(*) > 1e9",
+            "T",
+        )
+        assert out.num_rows == 0
+
+    def test_compare_results_with_empty_estimate(self, sample):
+        truth = Table.from_pydict({"g": [0, 1], "a": [10.0, 20.0]})
+        empty = Table.from_pydict({"g": [], "a": []})
+        errors = compare_results(truth, empty)
+        assert errors.missing_groups == 2
+        assert errors.max_error() == 1.0
+
+    def test_empty_table_queries(self):
+        empty = Table.from_pydict({"g": [], "v": []})
+        out = execute_sql(
+            "SELECT g, AVG(v) a FROM T GROUP BY g", {"T": empty}
+        )
+        assert out.num_rows == 0
+        out = execute_sql("SELECT COUNT(*) c FROM T", {"T": empty})
+        assert out["c"][0] == 0.0
+
+
+class TestDegenerateSpecs:
+    def test_groupby_attr_missing_from_table(self):
+        table = Table.from_pydict({"g": ["a"], "v": [1.0]})
+        spec = GroupByQuerySpec.single("v", by=("nope",))
+        with pytest.raises(KeyError):
+            CVOptSampler(spec).sample(table, 1, seed=0)
+
+    def test_agg_column_missing_from_table(self):
+        table = Table.from_pydict({"g": ["a"], "v": [1.0]})
+        spec = GroupByQuerySpec.single("missing", by=("g",))
+        with pytest.raises(KeyError):
+            CVOptSampler(spec).sample(table, 1, seed=0)
+
+    def test_string_agg_column_rejected(self):
+        table = Table.from_pydict({"g": ["a"], "s": ["x"], "v": [1.0]})
+        spec = GroupByQuerySpec.single("s", by=("g",))
+        with pytest.raises(TypeError):
+            CVOptSampler(spec).sample(table, 1, seed=0)
+
+    def test_cvopt_inf_on_degenerate_group(self):
+        table = make_grouped_table(
+            sizes=[100], means=[10.0], stds=[0.0], exact_moments=True
+        )
+        sample = CVOptInfSampler(SPEC).sample(table, 10, seed=0)
+        assert sample.num_rows >= 1
+
+
+class TestUnicodeAndOddStrings:
+    def test_unicode_group_keys(self):
+        table = Table.from_pydict(
+            {
+                "g": ["北京", "北京", "Ålesund", "Ålesund", "--", "--"],
+                "v": [1.0, 2.0, 3.0, 4.0, 5.0, 6.0],
+            }
+        )
+        sample = CVOptSampler(SPEC).sample(table, 6, seed=0)
+        out = sample.answer(
+            "SELECT g, AVG(v) a FROM T GROUP BY g ORDER BY g", "T"
+        )
+        assert out.num_rows == 3
+        lookup = dict(zip(out["g"], out["a"]))
+        assert lookup["北京"] == pytest.approx(1.5)
+
+    def test_quote_in_predicate_literal(self):
+        table = Table.from_pydict({"g": ["o'brien", "x"], "v": [1.0, 2.0]})
+        out = execute_sql(
+            "SELECT COUNT(*) c FROM T WHERE g = 'o''brien'", {"T": table}
+        )
+        assert out["c"][0] == 1.0
+
+    def test_empty_string_category(self):
+        table = Table.from_pydict({"g": ["", "", "a"], "v": [1.0, 2.0, 3.0]})
+        out = execute_sql(
+            "SELECT g, COUNT(*) c FROM T GROUP BY g", {"T": table}
+        )
+        lookup = dict(zip(out["g"], out["c"]))
+        assert lookup[""] == 2.0

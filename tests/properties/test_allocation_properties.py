@@ -1,0 +1,154 @@
+"""Property-based tests of the allocation optimizer (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.allocation import (
+    allocate,
+    box_constrained_allocation,
+    integerize,
+    lemma1_allocation,
+)
+
+alphas_strategy = st.lists(
+    st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+    min_size=1,
+    max_size=20,
+)
+positive_alphas = st.lists(
+    st.floats(min_value=1e-3, max_value=1e6), min_size=2, max_size=15
+)
+
+
+class TestLemma1Properties:
+    @given(alphas=alphas_strategy, budget=st.floats(0.0, 1e6))
+    def test_budget_never_exceeded(self, alphas, budget):
+        out = lemma1_allocation(np.asarray(alphas), budget)
+        assert out.sum() <= budget * (1 + 1e-9) + 1e-9
+        assert (out >= 0).all()
+
+    @given(alphas=positive_alphas, budget=st.floats(1.0, 1e5))
+    def test_budget_fully_used_when_alphas_positive(self, alphas, budget):
+        out = lemma1_allocation(np.asarray(alphas), budget)
+        assert out.sum() == np.float64(budget) or abs(
+            out.sum() - budget
+        ) < 1e-6 * budget
+
+    @given(alphas=positive_alphas, budget=st.floats(1.0, 1e5))
+    def test_monotone_in_alpha(self, alphas, budget):
+        out = lemma1_allocation(np.asarray(alphas), budget)
+        order_alpha = np.argsort(alphas)
+        order_out = np.argsort(out, kind="stable")
+        # Same ranking (sqrt is monotone).
+        np.testing.assert_array_equal(
+            np.asarray(alphas)[order_alpha].round(12),
+            np.sort(np.asarray(alphas)).round(12),
+        )
+        assert (np.diff(out[order_alpha]) >= -1e-9).all()
+
+    @given(
+        alphas=positive_alphas,
+        budget=st.floats(1.0, 1e4),
+        scale=st.floats(0.1, 100.0),
+    )
+    def test_scale_invariance(self, alphas, budget, scale):
+        """Scaling all alphas by a constant leaves the split unchanged."""
+        a = np.asarray(alphas)
+        base = lemma1_allocation(a, budget)
+        scaled = lemma1_allocation(a * scale, budget)
+        np.testing.assert_allclose(base, scaled, rtol=1e-9, atol=1e-9)
+
+    @settings(max_examples=50)
+    @given(alphas=positive_alphas, budget=st.floats(1.0, 1e4), data=st.data())
+    def test_optimality(self, alphas, budget, data):
+        """No feasible perturbation improves the objective."""
+        a = np.asarray(alphas)
+        out = lemma1_allocation(a, budget)
+
+        def objective(s):
+            return float((a / np.maximum(s, 1e-300)).sum())
+
+        base = objective(out)
+        i = data.draw(st.integers(0, len(a) - 1))
+        j = data.draw(st.integers(0, len(a) - 1))
+        frac = data.draw(st.floats(0.0, 0.9))
+        if i == j:
+            return
+        perturbed = out.copy()
+        delta = perturbed[i] * frac
+        perturbed[i] -= delta
+        perturbed[j] += delta
+        assert objective(perturbed) >= base * (1 - 1e-9)
+
+
+class TestBoxConstrainedProperties:
+    @settings(max_examples=60)
+    @given(
+        n=st.integers(1, 12),
+        budget=st.floats(0.0, 5e4),
+        seed=st.integers(0, 2**31 - 1),
+    )
+    def test_feasibility(self, n, budget, seed):
+        rng = np.random.default_rng(seed)
+        alphas = rng.uniform(0, 100, n)
+        lower = rng.uniform(0, 5, n)
+        upper = lower + rng.uniform(0, 100, n)
+        out = box_constrained_allocation(alphas, budget, lower, upper)
+        assert (out >= lower - 1e-9).all()
+        assert (out <= upper + 1e-9).all()
+        target = np.clip(budget, lower.sum(), upper.sum())
+        assert abs(out.sum() - target) < 1e-6 * max(target, 1.0)
+
+
+class TestIntegerizeProperties:
+    @settings(max_examples=80)
+    @given(
+        n=st.integers(1, 15),
+        budget=st.integers(0, 500),
+        seed=st.integers(0, 2**31 - 1),
+    )
+    def test_exact_total_and_caps(self, n, budget, seed):
+        rng = np.random.default_rng(seed)
+        caps = rng.integers(0, 60, n)
+        fractional = rng.uniform(0, 60, n)
+        out = integerize(fractional, budget, caps)
+        assert out.sum() == min(budget, caps.sum())
+        assert (out >= 0).all()
+        assert (out <= caps).all()
+
+    @settings(max_examples=50)
+    @given(
+        n=st.integers(1, 10),
+        seed=st.integers(0, 2**31 - 1),
+    )
+    def test_rounding_distance(self, n, seed):
+        """Integerization moves each stratum by less than 1 from its
+        fractional value whenever no caps interfere."""
+        rng = np.random.default_rng(seed)
+        fractional = rng.uniform(0, 30, n)
+        caps = np.full(n, 1000, dtype=np.int64)
+        budget = int(round(fractional.sum()))
+        out = integerize(fractional, budget, caps)
+        assert (np.abs(out - fractional) < 1.0 + 1e-9).all()
+
+
+class TestAllocateProperties:
+    @settings(max_examples=60)
+    @given(
+        n=st.integers(1, 12),
+        budget=st.integers(1, 1000),
+        min_per=st.integers(0, 3),
+        seed=st.integers(0, 2**31 - 1),
+    )
+    def test_invariants(self, n, budget, min_per, seed):
+        rng = np.random.default_rng(seed)
+        alphas = rng.uniform(0, 10, n)
+        populations = rng.integers(1, 200, n)
+        out = allocate(alphas, budget, populations, min_per_stratum=min_per)
+        assert out.sum() == min(budget, populations.sum())
+        assert (out <= populations).all()
+        assert (out >= 0).all()
+        if budget >= n * min_per:
+            floors = np.minimum(min_per, populations)
+            assert (out >= floors).all()

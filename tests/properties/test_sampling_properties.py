@@ -1,0 +1,170 @@
+"""Property-based tests of samplers and estimation invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.senate import equal_allocation
+from repro.baselines.congress import congress_single_grouping
+from repro.core.cvopt import CVOptSampler, sasg_fractional_allocation
+from repro.core.cvopt_inf import cvopt_inf_sizes
+from repro.core.sample import WEIGHT_COLUMN
+from repro.core.spec import GroupByQuerySpec
+from repro.datasets.synthetic import make_grouped_table
+
+
+group_spec = st.lists(
+    st.tuples(
+        st.integers(5, 300),  # size
+        st.floats(1.0, 1000.0),  # mean
+        st.floats(0.0, 200.0),  # std
+    ),
+    min_size=1,
+    max_size=8,
+)
+
+
+class TestAllocatorProperties:
+    @settings(max_examples=50)
+    @given(groups=group_spec, budget=st.integers(1, 500))
+    def test_equal_allocation_invariants(self, groups, budget):
+        populations = np.asarray([g[0] for g in groups])
+        out = equal_allocation(populations, budget)
+        assert out.sum() == min(budget, populations.sum())
+        assert (out <= populations).all()
+        # Fairness: shares differ by more than 1 only due to caps.
+        open_mask = out < populations
+        if open_mask.sum() > 1:
+            open_sizes = out[open_mask]
+            assert open_sizes.max() - open_sizes.min() <= 1
+
+    @settings(max_examples=50)
+    @given(groups=group_spec, budget=st.integers(1, 500))
+    def test_congress_invariants(self, groups, budget):
+        populations = np.asarray([g[0] for g in groups])
+        out = congress_single_grouping(populations, budget)
+        assert out.sum() == min(budget, populations.sum())
+        assert (out <= populations).all()
+        assert (out >= 0).all()
+
+    @settings(max_examples=50)
+    @given(groups=group_spec, budget=st.floats(1.0, 1e4))
+    def test_sasg_closed_form_invariants(self, groups, budget):
+        means = np.asarray([g[1] for g in groups])
+        stds = np.asarray([g[2] for g in groups])
+        out = sasg_fractional_allocation(budget, means, stds)
+        assert out.sum() <= budget + 1e-6
+        assert (out >= 0).all()
+        # Proportionality: out_i / out_j == cv_i / cv_j where defined
+        # (skip CVs small enough for cv^2 to underflow to zero).
+        cvs = stds / means
+        positive = cvs > 1e-100
+        if positive.sum() >= 2 and cvs[positive].sum() > 0:
+            idx = np.flatnonzero(positive)
+            i, j = idx[0], idx[-1]
+            if i != j and out[j] > 0:
+                np.testing.assert_allclose(
+                    out[i] / out[j], cvs[i] / cvs[j], rtol=1e-6
+                )
+
+    @settings(max_examples=50)
+    @given(groups=group_spec, budget=st.integers(2, 400))
+    def test_cvopt_inf_invariants(self, groups, budget):
+        populations = np.asarray([g[0] for g in groups])
+        means = np.asarray([g[1] for g in groups])
+        stds = np.asarray([g[2] for g in groups])
+        sizes = cvopt_inf_sizes(populations, means, stds, budget)
+        assert (sizes <= populations).all()
+        assert (sizes >= 0).all()
+        # ceil-rounding slack is at most one row per stratum.
+        assert sizes.sum() <= budget + len(groups)
+
+
+class TestSampleInvariants:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        groups=group_spec,
+        rate_pct=st.integers(2, 40),
+        seed=st.integers(0, 1000),
+    )
+    def test_ht_weights_reconstruct_population(self, groups, rate_pct, seed):
+        """sum of HT weights == table size, for any sample CVOPT draws."""
+        table = make_grouped_table(
+            sizes=[g[0] for g in groups],
+            means=[g[1] for g in groups],
+            stds=[g[2] for g in groups],
+            seed=seed,
+            exact_moments=True,
+        )
+        sampler = CVOptSampler(GroupByQuerySpec.single("v", by=("g",)))
+        budget = max(1, table.num_rows * rate_pct // 100)
+        sample = sampler.sample(table, budget, seed=seed)
+        weights = np.asarray(sample.table[WEIGHT_COLUMN])
+        np.testing.assert_allclose(
+            weights.sum(), table.num_rows, rtol=1e-9
+        )
+
+    @settings(max_examples=20, deadline=None)
+    @given(groups=group_spec, seed=st.integers(0, 1000))
+    def test_every_group_represented(self, groups, seed):
+        """min_per_stratum=1 guarantees group coverage."""
+        table = make_grouped_table(
+            sizes=[g[0] for g in groups],
+            means=[g[1] for g in groups],
+            stds=[g[2] for g in groups],
+            seed=seed,
+        )
+        sampler = CVOptSampler(GroupByQuerySpec.single("v", by=("g",)))
+        budget = max(len(groups), table.num_rows // 20)
+        sample = sampler.sample(table, budget, seed=seed)
+        assert set(sample.table["g"]) == set(table["g"])
+
+    @settings(max_examples=15, deadline=None)
+    @given(groups=group_spec, seed=st.integers(0, 1000))
+    def test_group_count_estimates_exact(self, groups, seed):
+        """Without predicates, weighted per-group COUNT is exactly n_g
+        (every stratum's weights sum to its population)."""
+        table = make_grouped_table(
+            sizes=[g[0] for g in groups],
+            means=[g[1] for g in groups],
+            stds=[g[2] for g in groups],
+            seed=seed,
+        )
+        sampler = CVOptSampler(GroupByQuerySpec.single("v", by=("g",)))
+        budget = max(len(groups), table.num_rows // 10)
+        sample = sampler.sample(table, budget, seed=seed)
+        out = sample.answer(
+            "SELECT g, COUNT(*) c FROM T GROUP BY g", "T"
+        )
+        truth = {}
+        for label in table["g"]:
+            truth[label] = truth.get(label, 0) + 1
+        got = dict(zip(out["g"], out["c"]))
+        for label, count in truth.items():
+            np.testing.assert_allclose(got[label], count, rtol=1e-9)
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_avg_estimator_unbiased_statistically(self, seed):
+        """Mean of repeated AVG estimates approaches the truth.
+
+        (Statistical test on a fixed easy instance, randomized by the
+        hypothesis seed; wide tolerance keeps it deterministic enough.)
+        """
+        table = make_grouped_table(
+            sizes=[400, 100],
+            means=[100.0, 10.0],
+            stds=[20.0, 3.0],
+            seed=3,
+            exact_moments=True,
+        )
+        sampler = CVOptSampler(GroupByQuerySpec.single("v", by=("g",)))
+        rng = np.random.default_rng(seed)
+        estimates = []
+        for _ in range(15):
+            sample = sampler.sample(table, 60, seed=rng)
+            out = sample.answer(
+                "SELECT g, AVG(v) a FROM T GROUP BY g ORDER BY g", "T"
+            )
+            estimates.append(out["a"][0])
+        assert abs(np.mean(estimates) - 100.0) < 6.0

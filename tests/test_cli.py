@@ -1,0 +1,109 @@
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_generate_args(self):
+        args = build_parser().parse_args(
+            ["generate", "--dataset", "openaq", "--rows", "100",
+             "--out", "x.npz"]
+        )
+        assert args.command == "generate"
+        assert args.rows == 100
+
+    def test_sample_args(self):
+        args = build_parser().parse_args(
+            ["sample", "--table", "t.npz", "--query", "SELECT 1",
+             "--method", "cvopt-inf", "--out", "s"]
+        )
+        assert args.method == "cvopt-inf"
+        assert args.rate == 0.01
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_invalid_dataset(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["generate", "--dataset", "nope", "--out", "x"]
+            )
+
+
+class TestEndToEnd:
+    def test_generate_query_sample(self, tmp_path, capsys):
+        table_path = str(tmp_path / "bikes.npz")
+        rc = main(
+            ["generate", "--dataset", "bikes", "--rows", "3000",
+             "--seed", "1", "--out", table_path]
+        )
+        assert rc == 0
+        assert "3000 rows" in capsys.readouterr().out
+
+        rc = main(
+            ["query", "--table", table_path, "--name", "Bikes",
+             "--sql",
+             "SELECT year, COUNT(*) c FROM Bikes GROUP BY year ORDER BY year",
+             ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "2016" in out and "c" in out
+
+        sample_path = str(tmp_path / "sample")
+        rc = main(
+            ["sample", "--table", table_path,
+             "--query",
+             "SELECT year, AVG(trip_duration) FROM Bikes GROUP BY year",
+             "--rate", "0.05", "--out", sample_path]
+        )
+        assert rc == 0
+        assert "CVOPT" in capsys.readouterr().out
+
+    def test_query_limit_notice(self, tmp_path, capsys):
+        table_path = str(tmp_path / "aq.npz")
+        main(
+            ["generate", "--dataset", "openaq", "--rows", "2000",
+             "--out", table_path]
+        )
+        capsys.readouterr()
+        main(
+            ["query", "--table", table_path, "--name", "OpenAQ",
+             "--sql", "SELECT country, COUNT(*) c FROM OpenAQ GROUP BY country",
+             "--limit", "3"]
+        )
+        out = capsys.readouterr().out
+        assert "more rows" in out
+
+    def test_experiment_dataset_mismatch(self, capsys):
+        rc = main(
+            ["experiment", "--dataset", "bikes", "--query", "AQ3",
+             "--rows", "1000"]
+        )
+        assert rc == 2
+
+    def test_experiment_runs(self, capsys):
+        rc = main(
+            ["experiment", "--dataset", "bikes", "--query", "B2",
+             "--rows", "4000", "--rate", "0.05", "--repetitions", "1"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "CVOPT" in out and "B2" in out
+
+    def test_sample_methods(self, tmp_path, capsys):
+        table_path = str(tmp_path / "b.npz")
+        main(
+            ["generate", "--dataset", "bikes", "--rows", "2000",
+             "--out", table_path]
+        )
+        for method in ("uniform", "cs", "rl", "sample-seek", "cvopt-inf"):
+            rc = main(
+                ["sample", "--table", table_path,
+                 "--query",
+                 "SELECT year, AVG(trip_duration) FROM Bikes GROUP BY year",
+                 "--rate", "0.02", "--method", method,
+                 "--out", str(tmp_path / f"s_{method}")]
+            )
+            assert rc == 0

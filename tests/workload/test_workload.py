@@ -1,0 +1,137 @@
+import pytest
+
+from repro.core.cvopt import CVOptSampler
+from repro.datasets.student import student_table, student_workload
+from repro.workload.model import (
+    Workload,
+    WorkloadQuery,
+    derive_aggregation_groups,
+    specs_from_workload,
+)
+
+
+class TestWorkloadBasics:
+    def test_add_and_totals(self):
+        workload = Workload()
+        workload.add("SELECT g, AVG(v) FROM T GROUP BY g", repeats=3)
+        workload.add("SELECT h, AVG(v) FROM T GROUP BY h", repeats=2)
+        assert workload.total_queries == 5
+
+    def test_repeats_must_be_positive(self):
+        with pytest.raises(ValueError):
+            WorkloadQuery(sql="SELECT 1", repeats=0)
+
+
+class TestPaperExample:
+    """Paper Tables 1-3: the Student workload's aggregation groups.
+
+    The text's derivation gives frequency 20 for groups produced only by
+    query A, 35 (=20+15) for the (gpa, major in Science) groups shared
+    by A and C, and 10 for B's college groups. (Table 3 prints 25 for
+    the first set — inconsistent with its own Table 2, see DESIGN.md.)
+    """
+
+    @pytest.fixture(scope="class")
+    def groups(self):
+        return derive_aggregation_groups(student_workload(), student_table())
+
+    def lookup(self, groups, column, **assignment):
+        key = tuple(sorted(assignment.items()))
+        for g in groups:
+            if g.agg_column == column and g.assignment == key:
+                return g.frequency
+        raise AssertionError(f"group ({column}, {assignment}) not found")
+
+    def test_age_major_groups(self, groups):
+        for major in ("CS", "Math", "EE", "ME"):
+            assert self.lookup(groups, "age", major=major) == 20
+
+    def test_gpa_science_majors_shared_by_a_and_c(self, groups):
+        assert self.lookup(groups, "gpa", major="CS") == 35
+        assert self.lookup(groups, "gpa", major="Math") == 35
+
+    def test_gpa_engineering_majors_only_a(self, groups):
+        assert self.lookup(groups, "gpa", major="EE") == 20
+        assert self.lookup(groups, "gpa", major="ME") == 20
+
+    def test_college_groups_from_b(self, groups):
+        for college in ("Science", "Engineering"):
+            assert self.lookup(groups, "age", college=college) == 10
+            assert self.lookup(groups, "sat", college=college) == 10
+
+    def test_total_group_count(self, groups):
+        # 4 age-major + 4 gpa-major + 2 age-college + 2 sat-college = 12.
+        assert len(groups) == 12
+
+    def test_describe(self, groups):
+        descriptions = {g.describe() for g in groups}
+        assert "(age, major=CS)" in descriptions
+
+
+class TestSpecsFromWorkload:
+    def test_specs_structure(self):
+        specs, derived = specs_from_workload(
+            student_workload(), student_table()
+        )
+        by_attrs = {spec.group_by: spec for spec in specs}
+        assert set(by_attrs) == {("major",), ("college",)}
+        major_spec = by_attrs[("major",)]
+        assert set(major_spec.agg_columns) == {"age", "gpa"}
+        college_spec = by_attrs[("college",)]
+        assert set(college_spec.agg_columns) == {"age", "sat"}
+
+    def test_cell_weights_are_frequencies(self):
+        specs, _ = specs_from_workload(student_workload(), student_table())
+        major_spec = next(s for s in specs if s.group_by == ("major",))
+        assert major_spec.cell_weights[(("CS",), "gpa")] == 35.0
+        assert major_spec.cell_weights[(("EE",), "gpa")] == 20.0
+        assert major_spec.cell_weights[(("CS",), "age")] == 20.0
+
+    def test_untouched_groups_weight_zero(self):
+        table = student_table()
+        workload = Workload().add(
+            "SELECT AVG(gpa) FROM Student WHERE college = 'Science' "
+            "GROUP BY major",
+            repeats=5,
+        )
+        specs, _ = specs_from_workload(workload, table)
+        spec = specs[0]
+        # Engineering majors never appear under the predicate.
+        assert spec.cell_weights[(("EE",), "gpa")] == 0.0
+        assert spec.cell_weights[(("CS",), "gpa")] == 5.0
+
+    def test_specs_drive_cvopt(self):
+        """Workload-derived specs plug straight into the sampler."""
+        table = student_table()
+        specs, derived = specs_from_workload(student_workload(), table)
+        sampler = CVOptSampler(specs, derived=derived)
+        sample = sampler.sample(table, 4, seed=0)
+        assert sample.num_rows == 4
+        assert sample.allocation.by == ("major", "college")
+
+    def test_weighted_groups_get_more_samples(self, openaq_small):
+        """A group hammered by the workload receives more budget than
+        under the unweighted default."""
+        hot_sql = (
+            "SELECT parameter, AVG(value) FROM OpenAQ "
+            "WHERE parameter = 'pm25' GROUP BY parameter"
+        )
+        cold_sql = "SELECT parameter, AVG(value) FROM OpenAQ GROUP BY parameter"
+        workload = Workload()
+        workload.add(hot_sql, repeats=50)
+        workload.add(cold_sql, repeats=1)
+        specs, derived = specs_from_workload(workload, openaq_small)
+        weighted = CVOptSampler(specs, derived=derived).allocation(
+            openaq_small, 500
+        )
+        from repro.core.spec import GroupByQuerySpec
+
+        unweighted = CVOptSampler(
+            GroupByQuerySpec.single("value", by=("parameter",))
+        ).allocation(openaq_small, 500)
+
+        def share(allocation, key):
+            lookup = dict(zip([k[0] for k in allocation.keys], allocation.sizes))
+            return lookup[key] / allocation.total
+
+        assert share(weighted, "pm25") > share(unweighted, "pm25")
