@@ -5,14 +5,18 @@ Not a paper experiment — these keep the pure-python engine honest
 guard against performance regressions.
 """
 
+import time
+
 import numpy as np
 import pytest
 
+from repro.aqp.session import AQPSession
 from repro.core.cvopt import CVOptSampler
 from repro.core.spec import GroupByQuerySpec
 from repro.engine.groupby import compute_group_keys
 from repro.engine.reservoir import stratified_sample_indices
-from repro.engine.sql.executor import execute_sql
+from repro.engine.sql.executor import execute_sql, plan_query
+from repro.engine.sql.parser import parse_query
 from repro.engine.statistics import collect_strata_statistics
 
 
@@ -80,6 +84,82 @@ def test_stratified_draw(benchmark, openaq):
 
     out = benchmark(run)
     assert len(out) > 0
+
+
+@pytest.mark.benchmark(group="planner")
+def test_planner_overhead(benchmark, openaq):
+    """Parse + lower + rewrite + compile, without execution.
+
+    extra_info records the share of one full execution the planning
+    path costs — it should be a small fraction.
+    """
+    sql = (
+        "SELECT country, parameter, AVG(value) a, COUNT(*) c "
+        "FROM OpenAQ GROUP BY country, parameter"
+    )
+
+    def plan():
+        return plan_query(parse_query(sql), weight_column="__weight__")
+
+    compiled = benchmark(plan)
+    start = time.perf_counter()
+    result = compiled.run({"OpenAQ": openaq})
+    execute_seconds = time.perf_counter() - start
+    assert result.num_rows > 0
+    benchmark.extra_info["execute_seconds"] = execute_seconds
+
+
+@pytest.mark.benchmark(group="planner")
+def test_plan_cache_hit_speedup(benchmark, openaq):
+    """AQP session answering a repeated query shape from the plan cache.
+
+    The benchmark times the cache-hit path; extra_info records cold
+    (cache cleared each time: route + lower + rewrite + compile) vs
+    cached timings and their ratio.
+    """
+    session = AQPSession({"OpenAQ": openaq})
+    sampler = CVOptSampler(
+        GroupByQuerySpec.single("value", by=("country", "parameter"))
+    )
+    session.register_sample(
+        "aq3", sampler.sample_rate(openaq, 0.01, seed=0), "OpenAQ"
+    )
+    sql = (
+        "SELECT country, AVG(value) a FROM OpenAQ "
+        "WHERE value > 10 GROUP BY country"
+    )
+
+    cold = []
+    for _ in range(7):
+        session.clear_plan_cache()
+        start = time.perf_counter()
+        result = session.query(sql)
+        cold.append(time.perf_counter() - start)
+        assert result.approximate
+    cold_seconds = float(np.median(cold))
+
+    session.query(sql)  # prime the cache
+
+    def cached():
+        return session.query(sql)
+
+    result = benchmark(cached)
+    assert result.plan_cached
+    assert session.plan_cache_hits > 0
+
+    warm = []
+    for _ in range(7):
+        start = time.perf_counter()
+        session.query(sql)
+        warm.append(time.perf_counter() - start)
+    warm_seconds = float(np.median(warm))
+
+    benchmark.extra_info["cold_plan_seconds"] = cold_seconds
+    benchmark.extra_info["cached_plan_seconds"] = warm_seconds
+    benchmark.extra_info["speedup"] = cold_seconds / max(warm_seconds, 1e-12)
+    # Generous slack: both paths share the (dominant) execution cost,
+    # so a scheduler blip must not fail the bench suite.
+    assert warm_seconds <= cold_seconds * 1.5
 
 
 @pytest.mark.benchmark(group="engine")

@@ -38,6 +38,7 @@ from .baselines import (
     make_samplers,
 )
 from .aqp import (
+    AQPSession,
     QueryTask,
     SampleCatalog,
     compare_results,
@@ -75,6 +76,7 @@ __all__ = [
     "NeymanSampler",
     "make_samplers",
     "SampleCatalog",
+    "AQPSession",
     "QueryTask",
     "compare_results",
     "estimate_groups",

@@ -1,6 +1,7 @@
 """Approximate query processing layer: estimation, errors, experiments."""
 
 from .catalog import SampleCatalog
+from .session import AQPResult, AQPSession, RouteDecision
 from .errors import (
     GroupErrors,
     compare_results,
@@ -26,6 +27,9 @@ from .runner import (
 
 __all__ = [
     "SampleCatalog",
+    "AQPSession",
+    "AQPResult",
+    "RouteDecision",
     "GroupErrors",
     "compare_results",
     "result_cells",

@@ -1,0 +1,473 @@
+"""AQP session: sample-aware query routing over the planner pipeline.
+
+An :class:`AQPSession` owns base tables and a catalog of materialized
+:class:`~repro.core.sample.StratifiedSample` objects, and answers exact
+SQL strings approximately by:
+
+1. **routing** the query to the best stored sample — a sample qualifies
+   when its stratification attributes cover the query's group-by
+   attributes (paper Section 6: any coarsening of the finest
+   stratification is answerable); among qualifying samples the router
+   picks the one with the lowest *predicted* estimate CV, computed from
+   the CV math in :mod:`repro.aqp.planning`;
+2. **rewriting** the plan: base-table scans are redirected to the
+   sample's rows and every aggregate becomes its weighted
+   Horvitz-Thompson estimator (:func:`repro.engine.sql.planner.apply_weighting`);
+3. **memoizing** compiled plans keyed by normalized query *shape*
+   (literals parameterized out), so repeated query shapes skip parsing
+   analysis, routing, lowering, and rewriting, and exact repeats skip
+   compilation too.
+
+Queries no sample can serve (no grouping coverage, no aggregation to
+reweight, or joins of two samples) fall back to exact execution over the
+base tables — same pipeline, no weighting.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional, Tuple
+
+import numpy as np
+
+from ..core.sample import STRATUM_COLUMN, WEIGHT_COLUMN, StratifiedSample
+from ..engine.expr import ColumnRef, collect_agg_calls, collect_column_refs
+from ..engine.sql.ast import (
+    JoinClause,
+    NamedTable,
+    SelectQuery,
+    SubqueryTable,
+)
+from ..engine.sql.errors import QueryExecutionError
+from ..engine.sql.operators import PhysicalPlan, compile_plan
+from ..engine.sql.parser import parse_query
+from ..engine.sql.planner import (
+    apply_weighting,
+    bind_plan,
+    lower_query,
+    parameterize_query,
+    rename_tables,
+)
+from ..engine.table import Table
+from .catalog import SampleCatalog
+from .planning import predict_group_cvs
+
+__all__ = ["AQPSession", "AQPResult", "RouteDecision"]
+
+#: Catalog prefix for sample tables injected by the router, chosen so it
+#: can never collide with a user table or CTE name from the dialect.
+_SAMPLE_PREFIX = "__sample__:"
+
+#: Predicted-CV stand-in for groups a sample cannot estimate (empty
+#: strata) — large enough to lose every comparison, finite so a sample
+#: with one dead stratum still beats having no sample at all.
+_DEAD_GROUP_CV = 10.0
+
+#: Cap on compiled plans kept per query shape (one per literal tuple);
+#: rebinding is cheap, unbounded growth on literal-varying dashboards
+#: is not.
+_MAX_BOUND_PLANS = 64
+
+
+@dataclass(frozen=True)
+class RouteDecision:
+    """Where the router sent a query and why."""
+
+    sample_name: Optional[str]  # None = exact execution
+    table_name: Optional[str]  # base table the sample stands in for
+    predicted_cv: Optional[float]  # routing score of the chosen sample
+    reason: str
+
+    @property
+    def approximate(self) -> bool:
+        return self.sample_name is not None
+
+
+@dataclass
+class AQPResult:
+    """Answer plus routing/caching provenance."""
+
+    table: Table
+    route: RouteDecision
+    plan_cached: bool
+    elapsed_seconds: float
+
+    @property
+    def approximate(self) -> bool:
+        return self.route.approximate
+
+    @property
+    def sample_name(self) -> Optional[str]:
+        return self.route.sample_name
+
+
+@dataclass
+class _CachedShape:
+    """One plan-cache entry: a parameterized plan plus its routing."""
+
+    plan: object  # parameterized logical plan (weighted + scan-rewritten)
+    route: RouteDecision
+    bound: Dict[tuple, PhysicalPlan] = field(default_factory=dict)
+
+
+class AQPSession:
+    """Stateful query endpoint over base tables and stored samples."""
+
+    def __init__(
+        self,
+        tables: Optional[Mapping[str, Table]] = None,
+        catalog: Optional[SampleCatalog] = None,
+    ) -> None:
+        self.tables: Dict[str, Table] = dict(tables or {})
+        self.catalog = catalog if catalog is not None else SampleCatalog()
+        self._sample_sources: Dict[str, str] = {}  # sample -> base table
+        self._shape_cache: Dict[tuple, _CachedShape] = {}
+        self.plan_cache_hits = 0
+        self.plan_cache_misses = 0
+
+    # ------------------------------------------------------------------
+    # registration
+    # ------------------------------------------------------------------
+    def register_table(self, name: str, table: Table) -> None:
+        self.tables[name] = table
+        self.clear_plan_cache()
+
+    def register_sample(
+        self, name: str, sample: StratifiedSample, table_name: str
+    ) -> None:
+        """Add a materialized sample standing in for ``table_name``."""
+        if table_name not in self.tables:
+            raise KeyError(
+                f"unknown base table {table_name!r}; "
+                f"known: {', '.join(sorted(self.tables)) or '-'}"
+            )
+        self.catalog.add(name, sample)
+        self._sample_sources[name] = table_name
+        self.clear_plan_cache()
+
+    def build_sample(
+        self,
+        name: str,
+        table_name: str,
+        optimize_for: str,
+        rate: float = 0.01,
+        seed: int = 0,
+    ) -> StratifiedSample:
+        """Build and register a CVOPT sample optimized for one query."""
+        from ..core.cvopt import CVOptSampler
+        from ..core.spec import specs_from_sql
+
+        if table_name not in self.tables:
+            raise KeyError(f"unknown base table {table_name!r}")
+        specs, derived = specs_from_sql(optimize_for)
+        sampler = CVOptSampler(specs, derived=derived)
+        sample = sampler.sample_rate(self.tables[table_name], rate, seed=seed)
+        self.register_sample(name, sample, table_name)
+        return sample
+
+    def samples(self) -> list:
+        return self.catalog.names()
+
+    def clear_plan_cache(self) -> None:
+        self._shape_cache.clear()
+
+    # ------------------------------------------------------------------
+    # querying
+    # ------------------------------------------------------------------
+    def query(self, sql: str, mode: str = "auto") -> AQPResult:
+        """Answer ``sql``, routing to a stored sample when possible.
+
+        ``mode`` is ``"auto"`` (route if a sample qualifies, else
+        exact), ``"approx"`` (raise if no sample qualifies), or
+        ``"exact"`` (always run on the base tables).
+        """
+        if mode not in ("auto", "approx", "exact"):
+            raise ValueError("mode must be 'auto', 'approx' or 'exact'")
+        start = time.perf_counter()
+        parsed = parse_query(sql)
+        shape, literals = parameterize_query(parsed)
+        key = (shape, mode)
+        entry = self._shape_cache.get(key)
+        cached = entry is not None
+        if entry is None:
+            self.plan_cache_misses += 1
+            entry = self._plan_shape(parsed, shape, mode)
+            self._shape_cache[key] = entry
+        else:
+            self.plan_cache_hits += 1
+        # Key bound plans by (type, value) — 1, 1.0 and True hash equal
+        # but must not share a plan, or binding would change dtypes.
+        bound_key = tuple((type(v), v) for v in literals)
+        physical = entry.bound.get(bound_key)
+        if physical is None:
+            if len(entry.bound) >= _MAX_BOUND_PLANS:
+                entry.bound.clear()  # cheap to rebind; don't grow forever
+            physical = compile_plan(bind_plan(entry.plan, literals))
+            entry.bound[bound_key] = physical
+        table = physical.run(self._execution_catalog(entry.route))
+        return AQPResult(
+            table=table,
+            route=entry.route,
+            plan_cached=cached,
+            elapsed_seconds=time.perf_counter() - start,
+        )
+
+    def execute(self, sql: str) -> Table:
+        """Exact execution over the base tables (no sampling)."""
+        return self.query(sql, mode="exact").table
+
+    # ------------------------------------------------------------------
+    # planning internals
+    # ------------------------------------------------------------------
+    def _plan_shape(
+        self, parsed: SelectQuery, shape: SelectQuery, mode: str
+    ) -> _CachedShape:
+        # Route on the *parsed* query (literals intact) so predicate
+        # columns etc. are visible; cache under the parameterized shape.
+        route = (
+            RouteDecision(None, None, None, "exact mode requested")
+            if mode == "exact"
+            else self._route(parsed, mode)
+        )
+        plan = lower_query(shape)
+        if route.approximate:
+            scan_name = _SAMPLE_PREFIX + route.sample_name
+            renamed = rename_tables(plan, {route.table_name: scan_name})
+            if _produces_weighted_rows(renamed, scan_name):
+                # Some path carries sample rows to the output without an
+                # aggregation to consume their weights — the estimate
+                # would silently be a row subset, not an answer.
+                route = self._fallback(
+                    mode,
+                    "sampled rows would reach the output unaggregated",
+                )
+            else:
+                plan = apply_weighting(renamed, WEIGHT_COLUMN)
+        return _CachedShape(plan=plan, route=route)
+
+    def _execution_catalog(self, route: RouteDecision) -> dict:
+        catalog = dict(self.tables)
+        if route.approximate:
+            sample = self.catalog.get(route.sample_name)
+            catalog[_SAMPLE_PREFIX + route.sample_name] = sample.table
+        return catalog
+
+    def _route(self, query: SelectQuery, mode: str) -> RouteDecision:
+        if not self._sample_sources:
+            return self._fallback(mode, "no samples registered")
+        if not _has_aggregate(query):
+            return self._fallback(
+                mode, "query has no aggregation to reweight"
+            )
+        referenced = _referenced_tables(query)
+        needed = _grouping_attributes(query)
+        agg_columns = _aggregate_columns(query)
+
+        best = None  # (score, extra_attrs, name, table_name)
+        for name, table_name in self._sample_sources.items():
+            if table_name not in referenced:
+                continue
+            sample = self.catalog.get(name)
+            attrs = set(sample.allocation.by)
+            if not needed <= attrs:
+                continue
+            score = self._predicted_cv(sample, agg_columns)
+            extra = len(attrs - needed)
+            candidate = (score, extra, name, table_name)
+            if best is None or candidate[:2] < best[:2]:
+                best = candidate
+        if best is None:
+            return self._fallback(
+                mode,
+                "no stored sample stratifies a superset of the query's "
+                "group-by attributes",
+            )
+        score, _, name, table_name = best
+        return RouteDecision(
+            sample_name=name,
+            table_name=table_name,
+            predicted_cv=score,
+            reason=f"sample {name!r} covers grouping {sorted(needed) or '*'} "
+            f"with predicted CV {score:.4f}",
+        )
+
+    def _fallback(self, mode: str, reason: str) -> RouteDecision:
+        if mode == "approx":
+            raise QueryExecutionError(
+                f"cannot answer approximately: {reason}"
+            )
+        return RouteDecision(None, None, None, reason + "; executing exactly")
+
+    def _predicted_cv(
+        self, sample: StratifiedSample, agg_columns
+    ) -> float:
+        """Routing score: mean predicted estimate CV over aggregates.
+
+        Uses the a-priori CV prediction of :mod:`repro.aqp.planning`
+        with per-stratum data CVs measured on the sample's own rows —
+        the best available estimate without touching the base table.
+        """
+        allocation = sample.allocation
+        scores = []
+        for column in agg_columns:
+            data_cvs = _sample_data_cvs(sample, column)
+            if data_cvs is None:
+                continue
+            cvs = predict_group_cvs(
+                allocation.populations, data_cvs, allocation.sizes
+            )
+            cvs = np.where(np.isfinite(cvs), cvs, _DEAD_GROUP_CV)
+            scores.append(float(cvs.mean()) if len(cvs) else 0.0)
+        if not scores:
+            # COUNT(*)-style queries: the estimate CV is driven purely by
+            # the sampling fractions.
+            with np.errstate(divide="ignore", invalid="ignore"):
+                fraction = np.where(
+                    allocation.populations > 0,
+                    allocation.sizes / np.maximum(allocation.populations, 1),
+                    1.0,
+                )
+            return float(1.0 - fraction.mean()) if len(fraction) else 0.0
+        return float(np.mean(scores))
+
+
+# ----------------------------------------------------------------------
+# query-shape analysis helpers
+# ----------------------------------------------------------------------
+def _walk_blocks(query: SelectQuery):
+    """Yield every SELECT block in the query tree."""
+    yield query
+    for _, cte in query.ctes:
+        yield from _walk_blocks(cte)
+    stack = [query.from_clause]
+    while stack:
+        ref = stack.pop()
+        if ref is None:
+            continue
+        if isinstance(ref, SubqueryTable):
+            yield from _walk_blocks(ref.query)
+        elif isinstance(ref, JoinClause):
+            stack.append(ref.left)
+            stack.append(ref.right)
+
+
+def _has_aggregate(query: SelectQuery) -> bool:
+    return any(block.is_aggregate for block in _walk_blocks(query))
+
+
+def _referenced_tables(query: SelectQuery) -> set:
+    """Base-table names scanned anywhere in the query (minus CTE names)."""
+    names: set = set()
+    cte_names: set = set()
+    for block in _walk_blocks(query):
+        cte_names.update(name for name, _ in block.ctes)
+        stack = [block.from_clause]
+        while stack:
+            ref = stack.pop()
+            if ref is None:
+                continue
+            if isinstance(ref, NamedTable):
+                names.add(ref.name)
+            elif isinstance(ref, JoinClause):
+                stack.append(ref.left)
+                stack.append(ref.right)
+    return names - cte_names
+
+
+def _grouping_attributes(query: SelectQuery) -> set:
+    """All group-by attributes across the query's blocks.
+
+    Computed keys contribute the columns they reference (same rule as
+    sample construction in :func:`repro.core.spec.specs_from_sql`);
+    aliases are resolved through each block's SELECT list.
+    """
+    needed: set = set()
+    for block in _walk_blocks(query):
+        alias_map = {
+            item.alias: item.expr for item in block.items if item.alias
+        }
+        for expr in block.group_by:
+            if isinstance(expr, ColumnRef) and expr.name in alias_map:
+                expr = alias_map[expr.name]
+            if isinstance(expr, ColumnRef):
+                needed.add(expr.name.split(".")[-1])
+            else:
+                needed.update(
+                    ref.name.split(".")[-1]
+                    for ref in collect_column_refs(expr)
+                )
+    return needed
+
+
+def _aggregate_columns(query: SelectQuery) -> Tuple[str, ...]:
+    """Plain columns aggregated anywhere in the query, deduplicated."""
+    columns = []
+    for block in _walk_blocks(query):
+        for item in block.items:
+            for call in collect_agg_calls(item.expr):
+                if isinstance(call.arg, ColumnRef):
+                    columns.append(call.arg.name.split(".")[-1])
+    return tuple(dict.fromkeys(columns))
+
+
+def _produces_weighted_rows(plan, sample_scan: str, env=None) -> bool:
+    """Whether ``plan``'s output rows can still carry sample weights.
+
+    Mirrors the weighting rewrite's dataflow: scans of the sample
+    introduce weighted rows, projections/filters/joins/CTEs pass them
+    through, and aggregation consumes them. A plan whose root is still
+    weighted would emit raw sample rows as if they were an answer, so
+    the router must refuse it.
+    """
+    from ..engine.sql import planner as lp
+
+    env = env or {}
+    if isinstance(plan, lp.Scan):
+        if plan.table == sample_scan:
+            return True
+        return env.get(plan.table, False)
+    if isinstance(plan, lp.Dual):
+        return False
+    if isinstance(plan, lp.SubqueryScan):
+        return _produces_weighted_rows(plan.plan, sample_scan, env)
+    if isinstance(plan, lp.Join):
+        return _produces_weighted_rows(
+            plan.left, sample_scan, env
+        ) or _produces_weighted_rows(plan.right, sample_scan, env)
+    if isinstance(plan, (lp.Filter, lp.Project, lp.OrderBy, lp.Limit)):
+        return _produces_weighted_rows(plan.child, sample_scan, env)
+    if isinstance(plan, (lp.GroupAggregate, lp.CubeAggregate)):
+        return False  # aggregation consumes the weights
+    if isinstance(plan, lp.WithCTE):
+        extended = dict(env)
+        extended[plan.name] = _produces_weighted_rows(
+            plan.definition, sample_scan, env
+        )
+        return _produces_weighted_rows(plan.body, sample_scan, extended)
+    raise TypeError(f"unknown plan node {type(plan).__name__}")
+
+
+def _sample_data_cvs(
+    sample: StratifiedSample, column: str
+) -> Optional[np.ndarray]:
+    """Per-stratum |sigma/mu| of ``column`` measured on the sample rows."""
+    table = sample.table
+    if column not in table or STRATUM_COLUMN not in table:
+        return None
+    col = table.column(column)
+    try:
+        values = col.values_numeric().astype(np.float64)
+    except TypeError:
+        return None
+    gids = table.column(STRATUM_COLUMN).data.astype(np.int64)
+    n = sample.allocation.num_strata
+    counts = np.bincount(gids, minlength=n).astype(np.float64)
+    sums = np.bincount(gids, weights=values, minlength=n)
+    sums_sq = np.bincount(gids, weights=values**2, minlength=n)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        mean = np.where(counts > 0, sums / counts, np.nan)
+        ex2 = np.where(counts > 0, sums_sq / counts, np.nan)
+        var = np.maximum(ex2 - mean**2, 0.0)
+        cv = np.where(np.abs(mean) > 0, np.sqrt(var) / np.abs(mean), 0.0)
+    return np.nan_to_num(cv)

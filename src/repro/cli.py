@@ -5,7 +5,8 @@ Subcommands::
     repro-cvopt generate --dataset openaq --rows 200000 --out openaq.npz
     repro-cvopt sample   --table openaq.npz --query "SELECT ..." \
                          --rate 0.01 --method cvopt --out sample
-    repro-cvopt query    --table openaq.npz --sql "SELECT ..."
+    repro-cvopt query    --table openaq.npz --sql "SELECT ..." [--explain]
+    repro-cvopt aqp      --table openaq.npz --sql "SELECT ..." --rate 0.01
     repro-cvopt experiment --dataset openaq --query AQ3 --rate 0.01
 """
 
@@ -59,6 +60,26 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--name", default=None, help="table name in the SQL")
     query.add_argument("--sql", required=True)
     query.add_argument("--limit", type=int, default=20)
+    query.add_argument(
+        "--explain",
+        action="store_true",
+        help="print the logical plan instead of executing",
+    )
+
+    aqp = sub.add_parser(
+        "aqp", help="answer SQL approximately through an AQP session"
+    )
+    aqp.add_argument("--table", required=True, help="npz table path")
+    aqp.add_argument("--name", default=None, help="table name in the SQL")
+    aqp.add_argument("--sql", required=True)
+    aqp.add_argument(
+        "--optimize-for",
+        default=None,
+        help="SQL the sample is built for (default: the query itself)",
+    )
+    aqp.add_argument("--rate", type=float, default=0.01)
+    aqp.add_argument("--seed", type=int, default=0)
+    aqp.add_argument("--limit", type=int, default=20)
 
     exp = sub.add_parser(
         "experiment", help="compare methods on a paper query"
@@ -112,8 +133,43 @@ def _cmd_sample(args) -> int:
 def _cmd_query(args) -> int:
     table = Table.load(args.table)
     name = args.name or table.name or "T"
+    if args.explain:
+        from .engine.sql.parser import parse_query
+        from .engine.sql.planner import format_plan, lower_query
+
+        print(format_plan(lower_query(parse_query(args.sql))))
+        return 0
     result = execute_sql(args.sql, {name: table})
     _print_table(result, args.limit)
+    return 0
+
+
+def _cmd_aqp(args) -> int:
+    from .aqp.session import AQPSession
+
+    table = Table.load(args.table)
+    name = args.name or table.name or "T"
+    session = AQPSession({name: table})
+    optimize_for = args.optimize_for or args.sql
+    try:
+        sample = session.build_sample(
+            "cli", name, optimize_for, rate=args.rate, seed=args.seed
+        )
+    except ValueError as exc:
+        print(f"cannot build a sample for this query: {exc}", file=sys.stderr)
+        return 2
+    print(
+        f"built {sample.method} sample: {sample.num_rows} rows over "
+        f"{sample.allocation.num_strata} strata "
+        f"(rate {sample.sampling_rate:.2%})"
+    )
+    result = session.query(args.sql)
+    route = result.route
+    if route.approximate:
+        print(f"routed to sample {route.sample_name!r}: {route.reason}")
+    else:
+        print(f"exact execution: {route.reason}")
+    _print_table(result.table, args.limit)
     return 0
 
 
@@ -174,6 +230,7 @@ def main(argv=None) -> int:
         "generate": _cmd_generate,
         "sample": _cmd_sample,
         "query": _cmd_query,
+        "aqp": _cmd_aqp,
         "experiment": _cmd_experiment,
     }
     return handlers[args.command](args)

@@ -29,6 +29,7 @@ __all__ = [
     "Literal",
     "ColumnRef",
     "Star",
+    "Parameter",
     "BinOp",
     "UnaryOp",
     "FuncCall",
@@ -68,6 +69,17 @@ class ColumnRef(Expr):
 @dataclass(frozen=True)
 class Star(Expr):
     """``*`` — only valid inside COUNT(*)."""
+
+
+@dataclass(frozen=True)
+class Parameter(Expr):
+    """A literal slot in a parameterized (plan-cache) query shape.
+
+    Parameters never reach evaluation: the planner binds them back to
+    :class:`Literal` values before a plan is compiled.
+    """
+
+    index: int
 
 
 @dataclass(frozen=True)
@@ -154,6 +166,10 @@ def evaluate(expr: Expr, table: Table, extra: dict | None = None) -> np.ndarray:
         return table.column(expr.name).decode()
     if isinstance(expr, Star):
         raise TypeError("'*' is only valid inside COUNT(*)")
+    if isinstance(expr, Parameter):
+        raise TypeError(
+            f"unbound parameter ${expr.index}; bind literals before execution"
+        )
     if isinstance(expr, UnaryOp):
         inner = evaluate(expr.operand, table, extra)
         if expr.op == "NOT":
@@ -358,6 +374,8 @@ def expr_to_sql(expr: Expr) -> str:
         return expr.name
     if isinstance(expr, Star):
         return "*"
+    if isinstance(expr, Parameter):
+        return f"${expr.index}"
     if isinstance(expr, BinOp):
         return f"({expr_to_sql(expr.left)} {expr.op} {expr_to_sql(expr.right)})"
     if isinstance(expr, UnaryOp):

@@ -11,8 +11,21 @@ import numpy as np
 __all__ = ["SCALAR_FUNCTIONS", "register_scalar_function"]
 
 
+def _coerce(arr, dtype) -> np.ndarray:
+    """Numeric coercion that reports ill-typed input as a TypeError.
+
+    ``np.asarray('x', dtype=float)`` raises ValueError; evaluation
+    treats TypeError as the well-defined "ill-typed expression" signal,
+    so normalize to that.
+    """
+    try:
+        return np.asarray(arr, dtype=dtype)
+    except ValueError as exc:
+        raise TypeError(f"expected a numeric argument: {exc}") from exc
+
+
 def _as_datetime64(seconds: np.ndarray) -> np.ndarray:
-    return np.asarray(seconds, dtype=np.int64).astype("datetime64[s]")
+    return _coerce(seconds, np.int64).astype("datetime64[s]")
 
 
 def sql_year(ts: np.ndarray) -> np.ndarray:
@@ -32,18 +45,18 @@ def sql_day(ts: np.ndarray) -> np.ndarray:
 
 
 def sql_hour(ts: np.ndarray) -> np.ndarray:
-    secs = np.asarray(ts, dtype=np.int64)
+    secs = _coerce(ts, np.int64)
     return (secs // 3600) % 24
 
 
 def sql_minute(ts: np.ndarray) -> np.ndarray:
-    secs = np.asarray(ts, dtype=np.int64)
+    secs = _coerce(ts, np.int64)
     return (secs // 60) % 60
 
 
 def sql_dayofweek(ts: np.ndarray) -> np.ndarray:
     """1=Sunday .. 7=Saturday (MySQL/Hive convention)."""
-    days = np.asarray(ts, dtype=np.int64) // 86400
+    days = _coerce(ts, np.int64) // 86400
     # 1970-01-01 was a Thursday (index 4 with Sunday=0).
     return (days + 4) % 7 + 1
 
@@ -73,13 +86,13 @@ def _stringify(arr: np.ndarray) -> np.ndarray:
 
 
 def sql_if(cond: np.ndarray, then: np.ndarray, otherwise: np.ndarray) -> np.ndarray:
-    return np.where(np.asarray(cond, dtype=np.bool_), then, otherwise)
+    return np.where(_coerce(cond, np.bool_), then, otherwise)
 
 
 def sql_coalesce(*args: np.ndarray) -> np.ndarray:
-    out = np.asarray(args[0], dtype=np.float64)
+    out = _coerce(args[0], np.float64)
     for arr in args[1:]:
-        out = np.where(np.isnan(out), np.asarray(arr, dtype=np.float64), out)
+        out = np.where(np.isnan(out), _coerce(arr, np.float64), out)
     return out
 
 
@@ -107,18 +120,18 @@ def sql_greatest(*args: np.ndarray) -> np.ndarray:
 
 def sql_sqrt(arr: np.ndarray) -> np.ndarray:
     with np.errstate(invalid="ignore"):
-        return np.sqrt(np.asarray(arr, dtype=np.float64))
+        return np.sqrt(_coerce(arr, np.float64))
 
 
 def sql_ln(arr: np.ndarray) -> np.ndarray:
     with np.errstate(divide="ignore", invalid="ignore"):
-        return np.log(np.asarray(arr, dtype=np.float64))
+        return np.log(_coerce(arr, np.float64))
 
 
 def sql_round(arr: np.ndarray, digits: np.ndarray | None = None) -> np.ndarray:
     if digits is None:
         return np.round(arr)
-    d = int(np.asarray(digits).flat[0])
+    d = int(_coerce(np.asarray(digits).flat[0], np.float64))
     return np.round(arr, d)
 
 
@@ -131,7 +144,7 @@ def sql_ceil(arr: np.ndarray) -> np.ndarray:
 
 
 def sql_power(base: np.ndarray, exponent: np.ndarray) -> np.ndarray:
-    return np.power(np.asarray(base, dtype=np.float64), exponent)
+    return np.power(_coerce(base, np.float64), exponent)
 
 
 SCALAR_FUNCTIONS = {

@@ -25,6 +25,7 @@ __all__ = [
     "GroupKeys",
     "factorize",
     "compute_group_keys",
+    "compute_group_keys_sorted",
     "group_by_aggregate",
     "cube_grouping_sets",
 ]
@@ -90,6 +91,40 @@ def compute_group_keys(table: Table, by: Sequence[str]) -> GroupKeys:
     num_groups = len(first_index)
     return GroupKeys(
         by=by, gids=gids, num_groups=num_groups, representative=first_index
+    )
+
+
+def compute_group_keys_sorted(table: Table, by: Sequence[str]) -> GroupKeys:
+    """Sort-based alternative to :func:`compute_group_keys`.
+
+    Instead of combining per-column codes into one hashable key (which
+    multiplies cardinalities and can overflow int64 for wide keys), rows
+    are lexsorted by their per-column codes and group boundaries read
+    off the sorted order. Produces *identical* output to the hash path:
+    the same dense group ids in ascending lexicographic key order and
+    the same first-occurrence representatives (lexsort is stable).
+    """
+    by = tuple(by)
+    n = table.num_rows
+    if not by or n == 0:
+        return compute_group_keys(table, by)
+    codes = [factorize(table.column(name).data)[0] for name in by]
+    # lexsort: last key is primary, so reverse to make by[0] primary.
+    order = np.lexsort(tuple(reversed(codes)))
+    stacked = np.stack([c[order] for c in codes], axis=0)
+    change = np.empty(n, dtype=np.bool_)
+    change[0] = True
+    if n > 1:
+        change[1:] = np.any(stacked[:, 1:] != stacked[:, :-1], axis=0)
+    segment = np.cumsum(change) - 1
+    gids = np.empty(n, dtype=np.int64)
+    gids[order] = segment
+    starts = np.flatnonzero(change)
+    return GroupKeys(
+        by=by,
+        gids=gids,
+        num_groups=len(starts),
+        representative=order[starts],
     )
 
 

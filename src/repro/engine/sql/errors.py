@@ -1,0 +1,11 @@
+"""Shared SQL-execution error type.
+
+Lives in its own module so the planner, the physical operators, and the
+public executor facade can all raise it without import cycles.
+"""
+
+__all__ = ["QueryExecutionError"]
+
+
+class QueryExecutionError(RuntimeError):
+    """Raised when a query cannot be executed against the given tables."""

@@ -1,7 +1,11 @@
-"""Executor for the SQL subset.
+"""Public execution facade for the SQL subset.
 
-Runs a parsed :class:`SelectQuery` against a catalog of named tables and
-returns a result :class:`~repro.engine.table.Table`.
+``execute_sql``/``execute_query`` are thin wrappers over the three-layer
+pipeline: the logical planner (:mod:`repro.engine.sql.planner`) lowers a
+parsed :class:`SelectQuery` into a plan tree, an optional rewrite pass
+turns exact aggregates into weighted Horvitz-Thompson estimators, and
+the physical layer (:mod:`repro.engine.sql.operators`) compiles the plan
+into composable operators over :class:`~repro.engine.table.Table`.
 
 Weighted (approximate) execution: pass ``weight_column`` naming a
 numeric column carrying per-row Horvitz-Thompson weights (``n_c / s_c``
@@ -15,44 +19,31 @@ sample was not optimized for.
 
 from __future__ import annotations
 
-import numpy as np
-
-from ..expr import (
-    AggCall,
-    BinOp,
-    ColumnRef,
-    Expr,
-    Star,
-    collect_agg_calls,
-    collect_column_refs,
-    evaluate,
-    evaluate_predicate,
-    expr_to_sql,
-    rewrite,
-)
-from ..groupby import (
-    ALL_MARKER,
-    compute_group_keys,
-    cube_grouping_sets,
-)
-from ..aggregates import compute_aggregate
-from ..join import hash_join
-from ..schema import DType
-from ..table import Column, Table
-from .ast import (
-    JoinClause,
-    NamedTable,
-    SelectQuery,
-    SubqueryTable,
-    TableRef,
-)
+from ..table import Table
+from .ast import SelectQuery
+from .errors import QueryExecutionError
+from .operators import compile_plan
 from .parser import parse_query
+from .planner import apply_weighting, lower_query
 
-__all__ = ["execute_sql", "execute_query", "QueryExecutionError"]
+__all__ = [
+    "execute_sql",
+    "execute_query",
+    "plan_query",
+    "QueryExecutionError",
+]
 
 
-class QueryExecutionError(RuntimeError):
-    """Raised when a query cannot be executed against the given tables."""
+def plan_query(
+    query: SelectQuery,
+    weight_column: str | None = None,
+    group_strategy: str | None = None,
+):
+    """Lower, rewrite, and compile ``query`` into a runnable plan."""
+    plan = lower_query(query)
+    if weight_column:
+        plan = apply_weighting(plan, weight_column)
+    return compile_plan(plan, group_strategy)
 
 
 def execute_sql(
@@ -65,436 +56,4 @@ def execute_sql(
 def execute_query(
     query: SelectQuery, tables: dict, weight_column: str | None = None
 ) -> Table:
-    catalog = dict(tables)
-    for name, cte in query.ctes:
-        catalog[name] = execute_query(cte, catalog, weight_column)
-
-    working, bindings = _resolve_from(query.from_clause, catalog, weight_column)
-
-    if query.where is not None:
-        predicate = _resolve_expr(query.where, working, bindings)
-        working = working.filter(evaluate_predicate(predicate, working))
-
-    if query.is_aggregate:
-        result = _execute_aggregate(query, working, bindings, weight_column)
-    else:
-        result = _execute_projection(query, working, bindings, weight_column)
-
-    if query.order_by:
-        result = _apply_order_by(result, query.order_by)
-    if query.limit is not None:
-        result = result.head(query.limit)
-    return result
-
-
-# ----------------------------------------------------------------------
-# FROM resolution
-# ----------------------------------------------------------------------
-_DUAL = Table({"__dual__": Column(DType.INT64, np.zeros(1, dtype=np.int64))})
-
-
-def _resolve_from(
-    ref: TableRef | None, catalog: dict, weight_column: str | None
-):
-    if ref is None:
-        return _DUAL, []
-    if isinstance(ref, NamedTable):
-        if ref.name not in catalog:
-            raise QueryExecutionError(
-                f"unknown table {ref.name!r}; "
-                f"known: {', '.join(sorted(catalog))}"
-            )
-        return catalog[ref.name], [ref.binding]
-    if isinstance(ref, SubqueryTable):
-        table = execute_query(ref.query, catalog, weight_column)
-        return table, [ref.binding]
-    if isinstance(ref, JoinClause):
-        return _execute_join(ref, catalog, weight_column)
-    raise QueryExecutionError(f"unsupported FROM clause {type(ref).__name__}")
-
-
-def _execute_join(ref: JoinClause, catalog: dict, weight_column: str | None):
-    left, left_bindings = _resolve_from(ref.left, catalog, weight_column)
-    right, right_bindings = _resolve_from(ref.right, catalog, weight_column)
-
-    if (
-        weight_column
-        and weight_column in left
-        and weight_column in right
-    ):
-        raise QueryExecutionError(
-            "cannot join two weighted samples: sampling for joins is "
-            "future work in the paper (Section 8)"
-        )
-
-    equalities, residual = _split_join_condition(ref.condition)
-    left_keys, right_keys = [], []
-    for lhs, rhs in equalities:
-        placed = _place_equality(
-            lhs, rhs, left, left_bindings, right, right_bindings
-        )
-        if placed is None:
-            residual.append(BinOp("=", lhs, rhs))
-        else:
-            left_keys.append(placed[0])
-            right_keys.append(placed[1])
-    if not left_keys:
-        raise QueryExecutionError(
-            "JOIN ... ON requires at least one cross-side equality"
-        )
-
-    left_alias = left_bindings[0] if len(left_bindings) == 1 else "left"
-    right_alias = right_bindings[0] if len(right_bindings) == 1 else "right"
-    joined = hash_join(
-        left, right, left_keys, right_keys,
-        left_alias=left_alias, right_alias=right_alias,
-    )
-    bindings = left_bindings + right_bindings
-    for condition in residual:
-        predicate = _resolve_expr(condition, joined, bindings)
-        joined = joined.filter(evaluate_predicate(predicate, joined))
-    return joined, bindings
-
-
-def _split_join_condition(condition: Expr):
-    """Flatten an AND-tree into (equality pairs, residual predicates)."""
-    equalities, residual = [], []
-    stack = [condition]
-    while stack:
-        node = stack.pop()
-        if isinstance(node, BinOp) and node.op == "AND":
-            stack.append(node.left)
-            stack.append(node.right)
-        elif (
-            isinstance(node, BinOp)
-            and node.op == "="
-            and isinstance(node.left, ColumnRef)
-            and isinstance(node.right, ColumnRef)
-        ):
-            equalities.append((node.left, node.right))
-        else:
-            residual.append(node)
-    return equalities, residual
-
-
-def _place_equality(lhs, rhs, left, left_bindings, right, right_bindings):
-    """Assign an equality's two refs to the join sides, or None."""
-    lhs_left = _try_resolve_name(lhs.name, left, left_bindings)
-    lhs_right = _try_resolve_name(lhs.name, right, right_bindings)
-    rhs_left = _try_resolve_name(rhs.name, left, left_bindings)
-    rhs_right = _try_resolve_name(rhs.name, right, right_bindings)
-    if lhs_left and rhs_right:
-        return lhs_left, rhs_right
-    if rhs_left and lhs_right:
-        return rhs_left, lhs_right
-    return None
-
-
-# ----------------------------------------------------------------------
-# column-reference resolution
-# ----------------------------------------------------------------------
-def _try_resolve_name(name: str, table: Table, bindings) -> str | None:
-    if name in table:
-        return name
-    if "." in name:
-        prefix, rest = name.split(".", 1)
-        if prefix in bindings and rest in table:
-            return rest
-    qualified = [c for c in table.column_names if c.endswith("." + name)]
-    if qualified:
-        return qualified[0]  # leftmost source wins (documented dialect rule)
-    return None
-
-
-def _resolve_name(name: str, table: Table, bindings) -> str:
-    resolved = _try_resolve_name(name, table, bindings)
-    if resolved is None:
-        raise QueryExecutionError(
-            f"cannot resolve column {name!r}; "
-            f"available: {', '.join(table.column_names)}"
-        )
-    return resolved
-
-
-def _resolve_expr(expr: Expr, table: Table, bindings) -> Expr:
-    mapping = {}
-    for ref in collect_column_refs(expr):
-        if ref in mapping:
-            continue
-        mapping[ref] = ColumnRef(_resolve_name(ref.name, table, bindings))
-    return rewrite(expr, mapping)
-
-
-# ----------------------------------------------------------------------
-# projection (no aggregation)
-# ----------------------------------------------------------------------
-def _execute_projection(
-    query: SelectQuery, working: Table, bindings, weight_column
-) -> Table:
-    out = {}
-    for i, item in enumerate(query.items):
-        expr = _resolve_expr(item.expr, working, bindings)
-        name = item.alias or _output_name(item.expr, i)
-        if isinstance(expr, ColumnRef):
-            out[name] = working.column(expr.name)
-        else:
-            out[name] = _column_from_array(evaluate(expr, working))
-    if (
-        weight_column
-        and weight_column in working
-        and weight_column not in out
-    ):
-        out[weight_column] = working.column(weight_column)
-    return Table(out)
-
-
-def _output_name(expr: Expr, index: int) -> str:
-    if isinstance(expr, ColumnRef):
-        return expr.name.split(".")[-1]
-    return expr_to_sql(expr)
-
-
-def _column_from_array(arr: np.ndarray) -> Column:
-    arr = np.asarray(arr)
-    if arr.dtype.kind in ("O", "U", "S"):
-        return Column.from_strings(arr)
-    if arr.dtype.kind == "b":
-        return Column(DType.BOOL, arr)
-    if arr.dtype.kind in ("i", "u"):
-        return Column(DType.INT64, arr.astype(np.int64))
-    return Column(DType.FLOAT64, arr.astype(np.float64))
-
-
-# ----------------------------------------------------------------------
-# aggregation
-# ----------------------------------------------------------------------
-def _execute_aggregate(
-    query: SelectQuery, working: Table, bindings, weight_column
-) -> Table:
-    alias_map = {
-        item.alias: item.expr for item in query.items if item.alias
-    }
-
-    # Group keys: plain refs use the table column; computed keys become
-    # derived columns.
-    key_names = []
-    key_exprs = {}  # resolved group expr -> working column name
-    derived = 0
-    for expr in query.group_by:
-        if isinstance(expr, ColumnRef) and expr.name in alias_map:
-            expr = alias_map[expr.name]
-        resolved = _resolve_expr(expr, working, bindings)
-        if isinstance(resolved, ColumnRef):
-            key_names.append(resolved.name)
-            key_exprs[resolved] = resolved.name
-        else:
-            name = f"__key_{derived}"
-            derived += 1
-            working = working.with_column(
-                name, _column_from_array(evaluate(resolved, working))
-            )
-            key_names.append(name)
-            key_exprs[resolved] = name
-
-    weights = None
-    if weight_column and weight_column in working:
-        weights = working.column(weight_column).values_numeric()
-
-    # Collect every aggregate call in SELECT + HAVING, deduplicated.
-    agg_calls = []
-    for item in query.items:
-        agg_calls.extend(collect_agg_calls(item.expr))
-    if query.having is not None:
-        agg_calls.extend(collect_agg_calls(query.having))
-    agg_calls = list(dict.fromkeys(agg_calls))
-
-    agg_inputs = []
-    for call in agg_calls:
-        if isinstance(call.arg, Star) or call.arg is None:
-            agg_inputs.append((call.func, None))
-        else:
-            arg = _resolve_expr(call.arg, working, bindings)
-            values = evaluate(arg, working)
-            if values.dtype.kind in ("O", "U", "S"):
-                raise QueryExecutionError(
-                    f"cannot aggregate string expression {expr_to_sql(call.arg)}"
-                )
-            agg_inputs.append((call.func, values))
-
-    placeholders = {
-        call: ColumnRef(f"__agg_{i}") for i, call in enumerate(agg_calls)
-    }
-
-    if query.with_cube:
-        return _execute_cube(
-            query, working, bindings, key_names, key_exprs,
-            agg_calls, agg_inputs, placeholders, weights, alias_map,
-        )
-
-    keys = compute_group_keys(working, key_names)
-    num_groups = keys.num_groups
-    if not key_names and num_groups == 0:
-        # SQL semantics: a full-table aggregate over zero rows still
-        # returns one row (COUNT = 0, SUM = 0, AVG = NULL/NaN).
-        num_groups = 1
-    if key_names:
-        gtable = Table(
-            {name: keys.key_column(working, name) for name in key_names}
-        )
-    else:
-        gtable = _empty_context(num_groups)
-    extra = {}
-    for i, (func, values) in enumerate(agg_inputs):
-        extra[f"__agg_{i}"] = compute_aggregate(
-            func, values, keys.gids, num_groups, weights
-        )
-    return _assemble_group_output(
-        query, gtable, extra, key_exprs, placeholders, bindings
-    )
-
-
-def _assemble_group_output(
-    query, gtable, extra, key_exprs, placeholders, bindings
-) -> Table:
-    if query.having is not None:
-        having = _resolve_group_expr(
-            rewrite(query.having, placeholders), gtable, key_exprs, bindings
-        )
-        mask = evaluate_predicate(having, gtable, extra)
-        gtable = gtable.filter(mask)
-        extra = {k: v[mask] for k, v in extra.items()}
-
-    out = {}
-    for i, item in enumerate(query.items):
-        expr = _resolve_group_expr(
-            rewrite(item.expr, placeholders), gtable, key_exprs, bindings
-        )
-        name = item.alias or _output_name(item.expr, i)
-        if isinstance(expr, ColumnRef) and expr.name in gtable:
-            out[name] = gtable.column(expr.name)
-        else:
-            out[name] = _column_from_array(evaluate(expr, gtable, extra))
-    return Table(out)
-
-
-def _resolve_group_expr(expr, gtable, key_exprs, bindings) -> Expr:
-    """Resolve an expression in group context.
-
-    Aggregate calls were already replaced by ``__agg_i`` placeholder
-    refs. A subtree equal to a GROUP BY expression maps to its key
-    column; any other plain column reference must be a key column
-    (standard SQL rule).
-    """
-    if expr in key_exprs:
-        return ColumnRef(key_exprs[expr])
-    if isinstance(expr, ColumnRef):
-        if expr.name.startswith("__agg_"):
-            return expr
-        resolved = _try_resolve_name(expr.name, gtable, bindings)
-        if resolved is None:
-            raise QueryExecutionError(
-                f"column {expr.name!r} must appear in GROUP BY or inside "
-                "an aggregate"
-            )
-        return ColumnRef(resolved)
-    mapping = {}
-    for child_key, column in key_exprs.items():
-        mapping[child_key] = ColumnRef(column)
-    partially = rewrite(expr, mapping)
-    # Resolve any remaining refs against the group table.
-    refs = {}
-    for ref in collect_column_refs(partially):
-        if ref.name in gtable or ref.name.startswith("__agg_"):
-            continue
-        resolved = _try_resolve_name(ref.name, gtable, bindings)
-        if resolved is None:
-            raise QueryExecutionError(
-                f"column {ref.name!r} must appear in GROUP BY or inside "
-                "an aggregate"
-            )
-        refs[ref] = ColumnRef(resolved)
-    return rewrite(partially, refs)
-
-
-def _execute_cube(
-    query, working, bindings, key_names, key_exprs,
-    agg_calls, agg_inputs, placeholders, weights, alias_map,
-) -> Table:
-    """GROUP BY ... WITH CUBE: one grouping per subset, stacked.
-
-    Key columns are stringified so that :data:`ALL_MARKER` can stand in
-    for "all values" on the non-grouped attributes (Hive prints NULL).
-    """
-    pieces = []
-    for subset in cube_grouping_sets(key_names):
-        keys = compute_group_keys(working, list(subset))
-        extra = {}
-        for i, (func, values) in enumerate(agg_inputs):
-            extra[f"__agg_{i}"] = compute_aggregate(
-                func, values, keys.gids, keys.num_groups, weights
-            )
-        out = {}
-        for i, item in enumerate(query.items):
-            expr = item.expr
-            if isinstance(expr, ColumnRef) and expr.name in alias_map:
-                expr = alias_map[expr.name]
-            resolved = _resolve_expr(expr, working, bindings) if not isinstance(
-                expr, AggCall
-            ) else expr
-            name = item.alias or _output_name(item.expr, i)
-            if isinstance(resolved, AggCall) or collect_agg_calls(expr):
-                rewritten = rewrite(
-                    expr if isinstance(expr, AggCall) else resolved,
-                    placeholders,
-                )
-                out[name] = _column_from_array(
-                    evaluate(rewritten, _empty_context(keys.num_groups), extra)
-                )
-            elif isinstance(resolved, ColumnRef) and resolved.name in key_names:
-                if resolved.name in subset:
-                    values = keys.key_column(working, resolved.name).decode()
-                    out[name] = Column.from_strings(
-                        np.asarray([str(v) for v in values], dtype=object)
-                    )
-                else:
-                    out[name] = Column.from_strings(
-                        np.asarray([ALL_MARKER] * keys.num_groups, dtype=object)
-                    )
-            else:
-                raise QueryExecutionError(
-                    "WITH CUBE SELECT items must be grouped columns or "
-                    f"aggregates, got {expr_to_sql(item.expr)}"
-                )
-        pieces.append(Table(out))
-    result = pieces[0]
-    for piece in pieces[1:]:
-        result = result.concat(piece)
-    return result
-
-
-def _empty_context(n: int) -> Table:
-    return Table({"__rows__": Column(DType.INT64, np.zeros(n, dtype=np.int64))})
-
-
-def _apply_order_by(result: Table, order_by) -> Table:
-    sort_keys = []
-    for item in order_by:
-        expr = _resolve_expr(item.expr, result, [])
-        values = evaluate(expr, result)
-        if values.dtype.kind in ("O", "U", "S"):
-            values = np.asarray([str(v) for v in values])
-        sort_keys.append((values, item.ascending))
-    # numpy lexsort: last key is primary.
-    arrays = []
-    for values, ascending in reversed(sort_keys):
-        if not ascending:
-            if values.dtype.kind in ("U", "S"):
-                # Invert string order via negative rank.
-                _, inverse = np.unique(values, return_inverse=True)
-                arrays.append(-inverse)
-            else:
-                arrays.append(-values)
-        else:
-            arrays.append(values)
-    order = np.lexsort(arrays)
-    return result.take(order)
+    return plan_query(query, weight_column).run(tables)

@@ -1,0 +1,541 @@
+"""Logical planner: lowers a parsed :class:`SelectQuery` into a plan tree.
+
+The plan is a small algebra of relational nodes — :class:`Scan`,
+:class:`SubqueryScan`, :class:`Join`, :class:`Filter`, :class:`Project`,
+:class:`GroupAggregate`, :class:`CubeAggregate`, :class:`OrderBy`,
+:class:`Limit`, :class:`WithCTE` — that the physical layer
+(:mod:`repro.engine.sql.operators`) compiles into executable operators.
+
+Besides lowering, this module provides the plan-level rewrite passes
+that make the AQP path explicit:
+
+* :func:`apply_weighting` — the Horvitz-Thompson rewrite: every
+  aggregation node is turned into its weighted variant (``SUM ->
+  sum(w * x)``, ``COUNT -> sum(w)``, ``AVG`` their ratio) and every
+  projection is marked to carry the weight column, so a query over a
+  stratified sample estimates the full-data answer (paper Section 6.3);
+* :func:`rename_tables` — redirects base-table scans to a stored
+  sample (used by the AQP session's query router);
+* :func:`parameterize_query` / :func:`bind_plan` — literal
+  parameterization, the basis of plan caching keyed by *query shape*:
+  two queries that differ only in constants share one cached plan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from ..expr import Expr, Literal, Parameter, rewrite
+from .ast import (
+    JoinClause,
+    NamedTable,
+    OrderItem,
+    SelectItem,
+    SelectQuery,
+    SubqueryTable,
+    TableRef,
+)
+
+__all__ = [
+    "LogicalPlan",
+    "Scan",
+    "Dual",
+    "SubqueryScan",
+    "Join",
+    "Filter",
+    "Project",
+    "GroupAggregate",
+    "CubeAggregate",
+    "OrderBy",
+    "Limit",
+    "WithCTE",
+    "lower_query",
+    "apply_weighting",
+    "rename_tables",
+    "transform_plan_exprs",
+    "parameterize_query",
+    "bind_plan",
+    "format_plan",
+]
+
+
+class LogicalPlan:
+    """Base class for logical plan nodes."""
+
+
+@dataclass(frozen=True)
+class Scan(LogicalPlan):
+    """Read a named table from the execution catalog."""
+
+    table: str
+    binding: str
+
+
+@dataclass(frozen=True)
+class Dual(LogicalPlan):
+    """The implicit one-row table of a ``FROM``-less query."""
+
+
+@dataclass(frozen=True)
+class SubqueryScan(LogicalPlan):
+    """A derived table: ``FROM (SELECT ...) alias``."""
+
+    plan: LogicalPlan
+    binding: str
+
+
+@dataclass(frozen=True)
+class Join(LogicalPlan):
+    """Inner equi-join with optional residual predicates."""
+
+    left: LogicalPlan
+    right: LogicalPlan
+    condition: Expr
+    weight_column: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class Filter(LogicalPlan):
+    child: LogicalPlan
+    predicate: Expr
+
+
+@dataclass(frozen=True)
+class Project(LogicalPlan):
+    """Row-wise projection; carries the weight column when weighted."""
+
+    child: LogicalPlan
+    items: Tuple[SelectItem, ...]
+    weight_column: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class GroupAggregate(LogicalPlan):
+    """``GROUP BY`` aggregation (or a full-table aggregate).
+
+    When ``weight_column`` is set, aggregates are the weighted
+    Horvitz-Thompson estimators; this is where the weight column is
+    consumed.
+    """
+
+    child: LogicalPlan
+    group_by: Tuple[Expr, ...]
+    items: Tuple[SelectItem, ...]
+    having: Optional[Expr] = None
+    weight_column: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class CubeAggregate(LogicalPlan):
+    """``GROUP BY ... WITH CUBE``: one grouping per key subset."""
+
+    child: LogicalPlan
+    group_by: Tuple[Expr, ...]
+    items: Tuple[SelectItem, ...]
+    having: Optional[Expr] = None
+    weight_column: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class OrderBy(LogicalPlan):
+    child: LogicalPlan
+    keys: Tuple[OrderItem, ...]
+
+
+@dataclass(frozen=True)
+class Limit(LogicalPlan):
+    child: LogicalPlan
+    count: int
+
+
+@dataclass(frozen=True)
+class WithCTE(LogicalPlan):
+    """Bind ``name`` to ``definition``'s result while executing ``body``."""
+
+    name: str
+    definition: LogicalPlan
+    body: LogicalPlan
+
+
+# ----------------------------------------------------------------------
+# lowering
+# ----------------------------------------------------------------------
+def lower_query(query: SelectQuery) -> LogicalPlan:
+    """Lower a parsed query into a logical plan tree.
+
+    The shape mirrors SQL's evaluation order: FROM (scans and joins),
+    WHERE, GROUP BY / projection, ORDER BY, LIMIT, with CTEs wrapped
+    outermost so they are materialized first.
+    """
+    plan = _lower_from(query.from_clause)
+    if query.where is not None:
+        plan = Filter(plan, query.where)
+    if query.is_aggregate:
+        node = CubeAggregate if query.with_cube else GroupAggregate
+        plan = node(
+            plan, tuple(query.group_by), tuple(query.items), query.having
+        )
+    else:
+        plan = Project(plan, tuple(query.items))
+    if query.order_by:
+        plan = OrderBy(plan, tuple(query.order_by))
+    if query.limit is not None:
+        plan = Limit(plan, query.limit)
+    # Earlier CTEs wrap outermost: they execute first, and each later
+    # definition sees the names bound before it.
+    for name, cte in reversed(query.ctes):
+        plan = WithCTE(name, lower_query(cte), plan)
+    return plan
+
+
+def _lower_from(ref: Optional[TableRef]) -> LogicalPlan:
+    if ref is None:
+        return Dual()
+    if isinstance(ref, NamedTable):
+        return Scan(ref.name, ref.binding)
+    if isinstance(ref, SubqueryTable):
+        return SubqueryScan(lower_query(ref.query), ref.binding)
+    if isinstance(ref, JoinClause):
+        return Join(_lower_from(ref.left), _lower_from(ref.right), ref.condition)
+    raise TypeError(f"unsupported FROM clause {type(ref).__name__}")
+
+
+# ----------------------------------------------------------------------
+# rewrite passes
+# ----------------------------------------------------------------------
+def apply_weighting(plan: LogicalPlan, weight_column: str) -> LogicalPlan:
+    """Turn exact aggregates into weighted HT estimators.
+
+    Projections and subqueries carry the weight column through;
+    aggregation nodes consume it at the first aggregation they perform
+    (the operators check at run time that the column is actually in
+    scope, so joining a sample against an unweighted dimension table
+    behaves exactly like the monolithic executor did).
+    """
+    if isinstance(plan, Scan) or isinstance(plan, Dual):
+        return plan
+    if isinstance(plan, SubqueryScan):
+        return SubqueryScan(apply_weighting(plan.plan, weight_column), plan.binding)
+    if isinstance(plan, Join):
+        return Join(
+            apply_weighting(plan.left, weight_column),
+            apply_weighting(plan.right, weight_column),
+            plan.condition,
+            weight_column=weight_column,
+        )
+    if isinstance(plan, Filter):
+        return Filter(apply_weighting(plan.child, weight_column), plan.predicate)
+    if isinstance(plan, Project):
+        return Project(
+            apply_weighting(plan.child, weight_column),
+            plan.items,
+            weight_column=weight_column,
+        )
+    if isinstance(plan, GroupAggregate):
+        return GroupAggregate(
+            apply_weighting(plan.child, weight_column),
+            plan.group_by,
+            plan.items,
+            plan.having,
+            weight_column=weight_column,
+        )
+    if isinstance(plan, CubeAggregate):
+        return CubeAggregate(
+            apply_weighting(plan.child, weight_column),
+            plan.group_by,
+            plan.items,
+            plan.having,
+            weight_column=weight_column,
+        )
+    if isinstance(plan, OrderBy):
+        return OrderBy(apply_weighting(plan.child, weight_column), plan.keys)
+    if isinstance(plan, Limit):
+        return Limit(apply_weighting(plan.child, weight_column), plan.count)
+    if isinstance(plan, WithCTE):
+        return WithCTE(
+            plan.name,
+            apply_weighting(plan.definition, weight_column),
+            apply_weighting(plan.body, weight_column),
+        )
+    raise TypeError(f"unknown plan node {type(plan).__name__}")
+
+
+def rename_tables(plan: LogicalPlan, mapping: dict) -> LogicalPlan:
+    """Redirect :class:`Scan` nodes per ``mapping`` (old -> new name).
+
+    Bindings are preserved, so qualified column references keep
+    resolving against the original alias. A CTE that shadows a renamed
+    name stops the rename inside its body (the definition itself still
+    sees the base table, matching catalog-shadowing semantics).
+    """
+    if isinstance(plan, Scan):
+        if plan.table in mapping:
+            return Scan(mapping[plan.table], plan.binding)
+        return plan
+    if isinstance(plan, Dual):
+        return plan
+    if isinstance(plan, SubqueryScan):
+        return SubqueryScan(rename_tables(plan.plan, mapping), plan.binding)
+    if isinstance(plan, Join):
+        return Join(
+            rename_tables(plan.left, mapping),
+            rename_tables(plan.right, mapping),
+            plan.condition,
+            plan.weight_column,
+        )
+    if isinstance(plan, Filter):
+        return Filter(rename_tables(plan.child, mapping), plan.predicate)
+    if isinstance(plan, Project):
+        return Project(
+            rename_tables(plan.child, mapping), plan.items, plan.weight_column
+        )
+    if isinstance(plan, GroupAggregate):
+        return GroupAggregate(
+            rename_tables(plan.child, mapping),
+            plan.group_by,
+            plan.items,
+            plan.having,
+            plan.weight_column,
+        )
+    if isinstance(plan, CubeAggregate):
+        return CubeAggregate(
+            rename_tables(plan.child, mapping),
+            plan.group_by,
+            plan.items,
+            plan.having,
+            plan.weight_column,
+        )
+    if isinstance(plan, OrderBy):
+        return OrderBy(rename_tables(plan.child, mapping), plan.keys)
+    if isinstance(plan, Limit):
+        return Limit(rename_tables(plan.child, mapping), plan.count)
+    if isinstance(plan, WithCTE):
+        body_mapping = mapping
+        if plan.name in mapping:
+            body_mapping = {
+                k: v for k, v in mapping.items() if k != plan.name
+            }
+        return WithCTE(
+            plan.name,
+            rename_tables(plan.definition, mapping),
+            rename_tables(plan.body, body_mapping),
+        )
+    raise TypeError(f"unknown plan node {type(plan).__name__}")
+
+
+def transform_plan_exprs(plan: LogicalPlan, fn) -> LogicalPlan:
+    """Rebuild ``plan`` with ``fn`` applied to every expression."""
+    if isinstance(plan, (Scan, Dual)):
+        return plan
+    if isinstance(plan, SubqueryScan):
+        return SubqueryScan(transform_plan_exprs(plan.plan, fn), plan.binding)
+    if isinstance(plan, Join):
+        return Join(
+            transform_plan_exprs(plan.left, fn),
+            transform_plan_exprs(plan.right, fn),
+            fn(plan.condition),
+            plan.weight_column,
+        )
+    if isinstance(plan, Filter):
+        return Filter(transform_plan_exprs(plan.child, fn), fn(plan.predicate))
+    if isinstance(plan, Project):
+        return Project(
+            transform_plan_exprs(plan.child, fn),
+            _map_items(plan.items, fn),
+            plan.weight_column,
+        )
+    if isinstance(plan, (GroupAggregate, CubeAggregate)):
+        node = type(plan)
+        return node(
+            transform_plan_exprs(plan.child, fn),
+            tuple(fn(e) for e in plan.group_by),
+            _map_items(plan.items, fn),
+            fn(plan.having) if plan.having is not None else None,
+            plan.weight_column,
+        )
+    if isinstance(plan, OrderBy):
+        return OrderBy(
+            transform_plan_exprs(plan.child, fn),
+            tuple(OrderItem(fn(k.expr), k.ascending) for k in plan.keys),
+        )
+    if isinstance(plan, Limit):
+        return Limit(transform_plan_exprs(plan.child, fn), plan.count)
+    if isinstance(plan, WithCTE):
+        return WithCTE(
+            plan.name,
+            transform_plan_exprs(plan.definition, fn),
+            transform_plan_exprs(plan.body, fn),
+        )
+    raise TypeError(f"unknown plan node {type(plan).__name__}")
+
+
+def _map_items(items, fn):
+    return tuple(SelectItem(fn(item.expr), item.alias) for item in items)
+
+
+# ----------------------------------------------------------------------
+# literal parameterization (plan-cache keys)
+# ----------------------------------------------------------------------
+def parameterize_query(query: SelectQuery):
+    """Replace every literal with a :class:`~repro.engine.expr.Parameter`.
+
+    Returns ``(shape, values)``: a hashable query skeleton that
+    identifies the *shape* of the query, and the tuple of literal values
+    to bind back before execution. Literals that compare equal but have
+    different python types (``1`` / ``1.0`` / ``True``) get distinct
+    parameters so binding can never change a result's dtype.
+    """
+    registry: dict = {}
+    values: list = []
+
+    def convert(expr: Expr) -> Expr:
+        return _parameterize_expr(expr, registry, values)
+
+    shape = _transform_query(query, convert)
+    return shape, tuple(values)
+
+
+def _parameterize_expr(expr, registry, values):
+    if isinstance(expr, Literal):
+        key = (type(expr.value), expr.value)
+        param = registry.get(key)
+        if param is None:
+            param = Parameter(len(values))
+            registry[key] = param
+            values.append(expr.value)
+        return param
+    from ..expr import (
+        AggCall,
+        Between,
+        BinOp,
+        FuncCall,
+        InList,
+        UnaryOp,
+    )
+
+    def recurse(e):
+        return _parameterize_expr(e, registry, values)
+    if isinstance(expr, BinOp):
+        return BinOp(expr.op, recurse(expr.left), recurse(expr.right))
+    if isinstance(expr, UnaryOp):
+        return UnaryOp(expr.op, recurse(expr.operand))
+    if isinstance(expr, FuncCall):
+        return FuncCall(expr.name, tuple(recurse(a) for a in expr.args))
+    if isinstance(expr, Between):
+        return Between(
+            recurse(expr.subject), recurse(expr.low), recurse(expr.high)
+        )
+    if isinstance(expr, InList):
+        return InList(
+            recurse(expr.subject), tuple(recurse(o) for o in expr.options)
+        )
+    if isinstance(expr, AggCall):
+        arg = recurse(expr.arg) if expr.arg is not None else None
+        return AggCall(expr.func, arg)
+    return expr
+
+
+def _transform_query(query: SelectQuery, fn) -> SelectQuery:
+    return SelectQuery(
+        items=tuple(SelectItem(fn(i.expr), i.alias) for i in query.items),
+        from_clause=_transform_from(query.from_clause, fn),
+        where=fn(query.where) if query.where is not None else None,
+        group_by=tuple(fn(e) for e in query.group_by),
+        with_cube=query.with_cube,
+        having=fn(query.having) if query.having is not None else None,
+        order_by=tuple(
+            OrderItem(fn(o.expr), o.ascending) for o in query.order_by
+        ),
+        limit=query.limit,
+        ctes=tuple(
+            (name, _transform_query(cte, fn)) for name, cte in query.ctes
+        ),
+    )
+
+
+def _transform_from(ref, fn):
+    if ref is None:
+        return None
+    if isinstance(ref, NamedTable):
+        return ref
+    if isinstance(ref, SubqueryTable):
+        return SubqueryTable(_transform_query(ref.query, fn), ref.alias)
+    if isinstance(ref, JoinClause):
+        return JoinClause(
+            _transform_from(ref.left, fn),
+            _transform_from(ref.right, fn),
+            fn(ref.condition),
+        )
+    raise TypeError(f"unsupported FROM clause {type(ref).__name__}")
+
+
+def bind_plan(plan: LogicalPlan, values) -> LogicalPlan:
+    """Substitute parameter slots with concrete literal values."""
+    mapping = {
+        Parameter(i): Literal(value) for i, value in enumerate(values)
+    }
+    if not mapping:
+        return plan
+    return transform_plan_exprs(plan, lambda e: rewrite(e, mapping))
+
+
+# ----------------------------------------------------------------------
+# EXPLAIN rendering
+# ----------------------------------------------------------------------
+def format_plan(plan: LogicalPlan, indent: int = 0) -> str:
+    """Human-readable plan tree (used by ``repro-cvopt query --explain``)."""
+    pad = "  " * indent
+    if isinstance(plan, Scan):
+        return f"{pad}Scan({plan.table} AS {plan.binding})"
+    if isinstance(plan, Dual):
+        return f"{pad}Dual()"
+    if isinstance(plan, SubqueryScan):
+        return (
+            f"{pad}SubqueryScan(AS {plan.binding})\n"
+            + format_plan(plan.plan, indent + 1)
+        )
+    if isinstance(plan, Join):
+        return (
+            f"{pad}Join(on {plan.condition.sql()}"
+            + (f", weighted={plan.weight_column}" if plan.weight_column else "")
+            + ")\n"
+            + format_plan(plan.left, indent + 1)
+            + "\n"
+            + format_plan(plan.right, indent + 1)
+        )
+    if isinstance(plan, Filter):
+        return (
+            f"{pad}Filter({plan.predicate.sql()})\n"
+            + format_plan(plan.child, indent + 1)
+        )
+    if isinstance(plan, Project):
+        cols = ", ".join(
+            i.alias or i.expr.sql() for i in plan.items
+        )
+        tag = f", carry={plan.weight_column}" if plan.weight_column else ""
+        return f"{pad}Project({cols}{tag})\n" + format_plan(plan.child, indent + 1)
+    if isinstance(plan, (GroupAggregate, CubeAggregate)):
+        name = type(plan).__name__
+        keys = ", ".join(e.sql() for e in plan.group_by)
+        tag = f", weighted={plan.weight_column}" if plan.weight_column else ""
+        having = f", having={plan.having.sql()}" if plan.having is not None else ""
+        return (
+            f"{pad}{name}(by [{keys}]{having}{tag})\n"
+            + format_plan(plan.child, indent + 1)
+        )
+    if isinstance(plan, OrderBy):
+        keys = ", ".join(
+            k.expr.sql() + ("" if k.ascending else " DESC") for k in plan.keys
+        )
+        return f"{pad}OrderBy({keys})\n" + format_plan(plan.child, indent + 1)
+    if isinstance(plan, Limit):
+        return f"{pad}Limit({plan.count})\n" + format_plan(plan.child, indent + 1)
+    if isinstance(plan, WithCTE):
+        return (
+            f"{pad}WithCTE({plan.name})\n"
+            + format_plan(plan.definition, indent + 1)
+            + "\n"
+            + format_plan(plan.body, indent + 1)
+        )
+    raise TypeError(f"unknown plan node {type(plan).__name__}")

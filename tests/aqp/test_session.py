@@ -1,0 +1,233 @@
+"""AQP session: routing, exact fallback, and plan caching."""
+
+import numpy as np
+import pytest
+
+from repro.aqp.session import AQPSession
+from repro.core.cvopt import CVOptSampler
+from repro.core.spec import GroupByQuerySpec
+from repro.engine.sql.errors import QueryExecutionError
+
+
+@pytest.fixture()
+def session(openaq_small):
+    s = AQPSession({"OpenAQ": openaq_small})
+    sampler = CVOptSampler(
+        GroupByQuerySpec.single("value", by=("country", "parameter"))
+    )
+    s.register_sample(
+        "aq3", sampler.sample_rate(openaq_small, 0.05, seed=1), "OpenAQ"
+    )
+    return s
+
+
+def _relative_errors(exact, approx, key, value):
+    truth = dict(zip(exact[key], exact[value]))
+    est = dict(zip(approx[key], approx[value]))
+    return [
+        abs(est[k] - v) / abs(v)
+        for k, v in truth.items()
+        if k in est and v != 0
+    ]
+
+
+class TestRouting:
+    def test_routes_query_sample_was_built_for(self, session):
+        sql = (
+            "SELECT country, parameter, AVG(value) a FROM OpenAQ "
+            "GROUP BY country, parameter"
+        )
+        result = session.query(sql)
+        assert result.approximate and result.sample_name == "aq3"
+
+    def test_routes_unseen_predicate_and_coarser_grouping(self, session):
+        # Neither the predicate nor the single-attribute grouping was in
+        # the sample's build spec — weighted execution answers it anyway.
+        sql = (
+            "SELECT country, AVG(value) a FROM OpenAQ "
+            "WHERE parameter = 'pm25' GROUP BY country"
+        )
+        result = session.query(sql)
+        assert result.approximate
+        exact = session.execute(sql)
+        errors = _relative_errors(exact, result.table, "country", "a")
+        assert errors and float(np.median(errors)) < 0.5
+
+    def test_full_table_aggregate_routes(self, session):
+        result = session.query("SELECT COUNT(*) c FROM OpenAQ")
+        assert result.approximate
+        truth = session.execute("SELECT COUNT(*) c FROM OpenAQ")
+        assert result.table["c"][0] == pytest.approx(
+            truth["c"][0], rel=0.15
+        )
+
+    def test_uncovered_grouping_falls_back_to_exact(self, session):
+        result = session.query(
+            "SELECT location, COUNT(*) c FROM OpenAQ GROUP BY location"
+        )
+        assert not result.approximate
+        assert "no stored sample" in result.route.reason
+
+    def test_plain_select_never_routes(self, session):
+        result = session.query("SELECT country, value FROM OpenAQ LIMIT 5")
+        assert not result.approximate
+        assert result.table.num_rows == 5
+
+    def test_approx_mode_raises_without_coverage(self, session):
+        with pytest.raises(QueryExecutionError, match="approximately"):
+            session.query(
+                "SELECT location, COUNT(*) c FROM OpenAQ GROUP BY location",
+                mode="approx",
+            )
+
+    def test_exact_mode_skips_samples(self, session):
+        sql = (
+            "SELECT country, parameter, AVG(value) a FROM OpenAQ "
+            "GROUP BY country, parameter"
+        )
+        result = session.query(sql, mode="exact")
+        assert not result.approximate
+
+    def test_detail_rows_of_sampled_table_never_routed(self, session):
+        # The aggregation lives in a different block: the sampled
+        # table's own rows would reach the output unaggregated, so the
+        # router must fall back to exact even though *a* block
+        # aggregates and the grouping is covered.
+        from repro.engine.table import Table
+
+        session.register_table(
+            "Dim",
+            Table.from_pydict(
+                {"country": ["US", "IN"], "w": [1.0, 2.0]}, name="Dim"
+            ),
+        )
+        sql = (
+            "SELECT a.country, a.value FROM OpenAQ a "
+            "JOIN (SELECT country, COUNT(*) c FROM Dim GROUP BY country) s "
+            "ON a.country = s.country"
+        )
+        result = session.query(sql)
+        assert not result.approximate
+        assert "unaggregated" in result.route.reason
+        exact = session.execute(sql)
+        assert result.table.num_rows == exact.num_rows
+
+    def test_cte_passthrough_then_aggregate_routes(self, session):
+        # Weights survive the non-aggregating CTE and are consumed by
+        # the outer aggregation — routable.
+        result = session.query(
+            "WITH f AS (SELECT country, value FROM OpenAQ) "
+            "SELECT country, AVG(value) a FROM f GROUP BY country"
+        )
+        assert result.approximate
+
+    def test_tightest_stratification_wins(self, session, openaq_small):
+        # A second, coarser sample also covers country-only queries; the
+        # CV-based router must still pick a usable one and record a score.
+        sampler = CVOptSampler(
+            GroupByQuerySpec.single("value", by=("country",))
+        )
+        session.register_sample(
+            "by_country",
+            sampler.sample_rate(openaq_small, 0.05, seed=2),
+            "OpenAQ",
+        )
+        result = session.query(
+            "SELECT country, AVG(value) a FROM OpenAQ GROUP BY country"
+        )
+        assert result.approximate
+        assert result.route.predicted_cv is not None
+        assert result.sample_name in ("aq3", "by_country")
+
+
+class TestPlanCache:
+    def test_repeat_query_hits(self, session):
+        sql = (
+            "SELECT country, AVG(value) a FROM OpenAQ GROUP BY country"
+        )
+        first = session.query(sql)
+        second = session.query(sql)
+        assert not first.plan_cached and second.plan_cached
+        assert session.plan_cache_hits == 1
+
+    def test_shape_shared_across_literals(self, session):
+        a = session.query(
+            "SELECT country, COUNT(*) c FROM OpenAQ "
+            "WHERE value > 10 GROUP BY country"
+        )
+        b = session.query(
+            "SELECT country, COUNT(*) c FROM OpenAQ "
+            "WHERE value > 99 GROUP BY country"
+        )
+        assert not a.plan_cached and b.plan_cached
+        # ...and the literal still takes effect.
+        assert a.table.num_rows >= b.table.num_rows
+
+    def test_whitespace_and_case_normalized(self, session):
+        session.query("SELECT country, COUNT(*) c FROM OpenAQ GROUP BY country")
+        other = session.query(
+            "select   country, count(*) c from OpenAQ group by country"
+        )
+        assert other.plan_cached
+
+    def test_registration_invalidates(self, session, openaq_small):
+        sql = "SELECT country, COUNT(*) c FROM OpenAQ GROUP BY country"
+        session.query(sql)
+        sampler = CVOptSampler(
+            GroupByQuerySpec.single("value", by=("country",))
+        )
+        session.register_sample(
+            "late", sampler.sample_rate(openaq_small, 0.02, seed=3), "OpenAQ"
+        )
+        assert not session.query(sql).plan_cached
+
+    def test_equal_literals_of_different_types_not_conflated(self, session):
+        # 1 and 1.0 hash equal; the bound-plan cache must still keep
+        # them apart or the second query inherits the first's dtype.
+        a = session.query("SELECT 1 x FROM OpenAQ LIMIT 1")
+        b = session.query("SELECT 1.0 x FROM OpenAQ LIMIT 1")
+        from repro.engine.schema import DType
+
+        assert a.table.column("x").dtype is DType.INT64
+        assert b.table.column("x").dtype is DType.FLOAT64
+
+    def test_bound_plans_capped(self, session):
+        from repro.aqp import session as session_module
+
+        for i in range(session_module._MAX_BOUND_PLANS + 10):
+            session.query(
+                f"SELECT country, COUNT(*) c FROM OpenAQ "
+                f"WHERE value > {i}.5 GROUP BY country"
+            )
+        entry = next(iter(session._shape_cache.values()))
+        assert len(entry.bound) <= session_module._MAX_BOUND_PLANS
+
+    def test_modes_cached_separately(self, session):
+        sql = "SELECT country, COUNT(*) c FROM OpenAQ GROUP BY country"
+        approx = session.query(sql)
+        exact = session.query(sql, mode="exact")
+        assert approx.approximate and not exact.approximate
+
+
+class TestResultFidelity:
+    def test_routed_results_track_truth(self, session):
+        sql = (
+            "SELECT parameter, SUM(value) s FROM OpenAQ GROUP BY parameter"
+        )
+        approx = session.query(sql)
+        assert approx.approximate
+        exact = session.execute(sql)
+        errors = _relative_errors(exact, approx.table, "parameter", "s")
+        assert errors and float(np.median(errors)) < 0.5
+
+    def test_exact_mode_matches_execute_sql(self, session, openaq_small):
+        from repro.engine.sql.executor import execute_sql
+
+        sql = (
+            "SELECT country, AVG(value) a FROM OpenAQ "
+            "GROUP BY country ORDER BY a DESC LIMIT 5"
+        )
+        via_session = session.query(sql, mode="exact").table
+        direct = execute_sql(sql, {"OpenAQ": openaq_small})
+        assert list(via_session["country"]) == list(direct["country"])
+        assert list(via_session["a"]) == list(direct["a"])

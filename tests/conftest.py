@@ -41,17 +41,3 @@ def simple_table() -> Table:
 @pytest.fixture()
 def rng() -> np.random.Generator:
     return np.random.default_rng(42)
-
-
-def reference_group_by(rows, key_fields, value_field=None):
-    """Dict-based group-by oracle for engine tests.
-
-    ``rows`` is a list of dicts; returns {key_tuple: list_of_values}.
-    """
-    out = {}
-    for row in rows:
-        key = tuple(row[k] for k in key_fields)
-        out.setdefault(key, []).append(
-            row[value_field] if value_field else 1
-        )
-    return out

@@ -10,7 +10,7 @@ from repro.engine.groupby import (
 )
 from repro.engine.table import Table
 
-from ..conftest import reference_group_by
+from helpers import reference_group_by
 
 
 class TestFactorize:

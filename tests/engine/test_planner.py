@@ -1,0 +1,216 @@
+"""Logical planner: lowering, rewrite passes, parameterization."""
+
+import pytest
+
+from repro.engine.expr import BinOp, ColumnRef, Literal, Parameter
+from repro.engine.sql.parser import parse_query
+from repro.engine.sql.planner import (
+    CubeAggregate,
+    Dual,
+    Filter,
+    GroupAggregate,
+    Join,
+    Limit,
+    OrderBy,
+    Project,
+    Scan,
+    SubqueryScan,
+    WithCTE,
+    apply_weighting,
+    bind_plan,
+    format_plan,
+    lower_query,
+    parameterize_query,
+    rename_tables,
+)
+from repro.engine.sql.operators import compile_plan
+from repro.engine.table import Table
+
+
+@pytest.fixture()
+def tiny():
+    return Table.from_pydict(
+        {"g": ["a", "a", "b"], "x": [1.0, 2.0, 3.0]}, name="T"
+    )
+
+
+class TestLowering:
+    def test_select_constant_lowers_to_dual(self):
+        plan = lower_query(parse_query("SELECT 1 + 1 two"))
+        assert isinstance(plan, Project)
+        assert isinstance(plan.child, Dual)
+
+    def test_clause_order(self):
+        plan = lower_query(
+            parse_query(
+                "SELECT g, SUM(x) s FROM T WHERE x > 0 GROUP BY g "
+                "HAVING SUM(x) > 1 ORDER BY s LIMIT 5"
+            )
+        )
+        assert isinstance(plan, Limit)
+        assert isinstance(plan.child, OrderBy)
+        agg = plan.child.child
+        assert isinstance(agg, GroupAggregate)
+        assert agg.having is not None
+        assert isinstance(agg.child, Filter)
+        assert isinstance(agg.child.child, Scan)
+
+    def test_cube_lowers_to_cube_node(self):
+        plan = lower_query(
+            parse_query("SELECT g, SUM(x) s FROM T GROUP BY g WITH CUBE")
+        )
+        assert isinstance(plan, CubeAggregate)
+
+    def test_join_and_subquery(self):
+        plan = lower_query(
+            parse_query(
+                "SELECT t.g FROM T t JOIN (SELECT g FROM U) u ON t.g = u.g"
+            )
+        )
+        assert isinstance(plan, Project)
+        join = plan.child
+        assert isinstance(join, Join)
+        assert isinstance(join.left, Scan) and join.left.binding == "t"
+        assert isinstance(join.right, SubqueryScan)
+
+    def test_ctes_wrap_outermost_in_order(self):
+        plan = lower_query(
+            parse_query(
+                "WITH a AS (SELECT g FROM T), b AS (SELECT g FROM a) "
+                "SELECT g FROM b"
+            )
+        )
+        assert isinstance(plan, WithCTE) and plan.name == "a"
+        assert isinstance(plan.body, WithCTE) and plan.body.name == "b"
+
+    def test_plans_are_hashable_and_comparable(self):
+        sql = "SELECT g, COUNT(*) c FROM T WHERE x > 3 GROUP BY g"
+        assert lower_query(parse_query(sql)) == lower_query(parse_query(sql))
+        assert hash(lower_query(parse_query(sql))) is not None
+
+
+class TestWeightingRewrite:
+    def test_marks_aggregate_and_projection(self):
+        plan = apply_weighting(
+            lower_query(
+                parse_query("SELECT g, SUM(x) s FROM T GROUP BY g")
+            ),
+            "__weight__",
+        )
+        assert isinstance(plan, GroupAggregate)
+        assert plan.weight_column == "__weight__"
+
+    def test_descends_into_subqueries_and_ctes(self):
+        plan = apply_weighting(
+            lower_query(
+                parse_query(
+                    "WITH f AS (SELECT g, x FROM T) "
+                    "SELECT g, SUM(x) s FROM (SELECT g, x FROM f) i GROUP BY g"
+                )
+            ),
+            "w",
+        )
+        assert isinstance(plan, WithCTE)
+        assert plan.definition.weight_column == "w"  # CTE projection carries
+        agg = plan.body
+        assert agg.weight_column == "w"
+        assert agg.child.plan.weight_column == "w"  # subquery projection
+
+    def test_join_gets_weight_guard(self):
+        plan = apply_weighting(
+            lower_query(
+                parse_query(
+                    "SELECT COUNT(*) c FROM A a JOIN B b ON a.k = b.k"
+                )
+            ),
+            "w",
+        )
+        assert plan.child.weight_column == "w"
+
+
+class TestRenameTables:
+    def test_renames_scan_keeps_binding(self):
+        plan = rename_tables(
+            lower_query(parse_query("SELECT x FROM T t")), {"T": "S"}
+        )
+        scan = plan.child
+        assert scan.table == "S" and scan.binding == "t"
+
+    def test_cte_shadowing_stops_rename_in_body(self):
+        plan = rename_tables(
+            lower_query(
+                parse_query("WITH T AS (SELECT x FROM T) SELECT x FROM T")
+            ),
+            {"T": "S"},
+        )
+        # The definition reads the (renamed) base table...
+        assert plan.definition.child.table == "S"
+        # ...but the body reads the CTE, which shadows the name.
+        assert plan.body.child.table == "T"
+
+
+class TestParameterization:
+    def test_same_shape_different_literals(self):
+        s1, v1 = parameterize_query(
+            parse_query("SELECT g FROM T WHERE x > 5")
+        )
+        s2, v2 = parameterize_query(
+            parse_query("SELECT g FROM T WHERE x > 99")
+        )
+        assert s1 == s2
+        assert v1 == (5,) and v2 == (99,)
+
+    def test_distinct_types_get_distinct_slots(self):
+        shape, values = parameterize_query(
+            parse_query("SELECT g FROM T WHERE x > 1 AND y > 1.0")
+        )
+        assert values == (1, 1.0)
+
+    def test_equal_literals_share_a_slot(self):
+        shape, values = parameterize_query(
+            parse_query("SELECT g FROM T WHERE x > 7 AND y < 7")
+        )
+        assert values == (7,)
+
+    def test_bind_restores_literals(self, tiny):
+        from repro.engine.sql.executor import execute_sql
+
+        parsed = parse_query("SELECT g, x FROM T WHERE x >= 2.0")
+        shape, values = parameterize_query(parsed)
+        where = shape.where
+        assert isinstance(where.right, Parameter)
+        plan = bind_plan(lower_query(shape), values)
+        result = compile_plan(plan).run({"T": tiny})
+        expected = execute_sql("SELECT g, x FROM T WHERE x >= 2.0", {"T": tiny})
+        assert list(result["x"]) == list(expected["x"])
+
+    def test_binding_different_literals_changes_result(self, tiny):
+        shape, _ = parameterize_query(
+            parse_query("SELECT g, x FROM T WHERE x >= 2.0")
+        )
+        rebound = compile_plan(bind_plan(lower_query(shape), (3.0,)))
+        assert rebound.run({"T": tiny}).num_rows == 1
+
+
+class TestFormatPlan:
+    def test_mentions_every_layer(self):
+        text = format_plan(
+            apply_weighting(
+                lower_query(
+                    parse_query(
+                        "SELECT g, SUM(x) s FROM T WHERE x > 0 GROUP BY g "
+                        "ORDER BY s LIMIT 2"
+                    )
+                ),
+                "__weight__",
+            )
+        )
+        for fragment in (
+            "Limit(2)",
+            "OrderBy(s)",
+            "GroupAggregate",
+            "weighted=__weight__",
+            "Filter((x > 0))",
+            "Scan(T AS T)",
+        ):
+            assert fragment in text, text

@@ -1,0 +1,197 @@
+"""Weight-column propagation through the operator pipeline.
+
+The Horvitz-Thompson contract: with per-row weights ``w``, ``SUM(x)``
+estimates ``sum(w * x)``, ``COUNT(*)`` estimates ``sum(w)``, ``AVG``
+their ratio — and the weight column must survive filters, projections,
+subqueries, CTEs and joins untouched until the first aggregation
+consumes it. Every expectation here is computed by hand from the
+fixture rows, so any regression in the planner's weighting rewrite or
+the operators' pass-through logic shows up as a numeric mismatch.
+"""
+
+import numpy as np
+import pytest
+
+from repro.engine.groupby import ALL_MARKER
+from repro.engine.sql.executor import execute_sql
+from repro.engine.table import Table
+
+W = "__weight__"
+
+
+@pytest.fixture()
+def sample():
+    """A hand-built 'sample' with non-uniform HT weights."""
+    return Table.from_pydict(
+        {
+            "g": ["a", "a", "b", "b", "c"],
+            "h": [1, 2, 1, 2, 1],
+            "x": [10.0, 20.0, 2.0, 4.0, 100.0],
+            W: [2.0, 2.0, 3.0, 3.0, 5.0],
+        },
+        name="S",
+    )
+
+
+@pytest.fixture()
+def dimension():
+    return Table.from_pydict(
+        {"g": ["a", "b", "c"], "label": ["A", "B", "C"]}, name="D"
+    )
+
+
+def _lookup(table, key_col, value_col):
+    return dict(zip(table[key_col], table[value_col]))
+
+
+class TestWeightedAggregates:
+    def test_sum_count_avg(self, sample):
+        out = execute_sql(
+            "SELECT g, SUM(x) s, COUNT(*) c, AVG(x) a FROM S GROUP BY g",
+            {"S": sample},
+            weight_column=W,
+        )
+        s = _lookup(out, "g", "s")
+        c = _lookup(out, "g", "c")
+        a = _lookup(out, "g", "a")
+        # group a: 2*10 + 2*20 = 60 over weight 4
+        assert s["a"] == pytest.approx(60.0)
+        assert c["a"] == pytest.approx(4.0)
+        assert a["a"] == pytest.approx(15.0)
+        # group b: 3*2 + 3*4 = 18 over weight 6
+        assert s["b"] == pytest.approx(18.0)
+        assert c["b"] == pytest.approx(6.0)
+        assert a["b"] == pytest.approx(3.0)
+        # group c: 5*100 = 500 over weight 5
+        assert s["c"] == pytest.approx(500.0)
+        assert c["c"] == pytest.approx(5.0)
+
+    def test_filter_keeps_weights(self, sample):
+        out = execute_sql(
+            "SELECT g, COUNT(*) c FROM S WHERE x < 50 GROUP BY g",
+            {"S": sample},
+            weight_column=W,
+        )
+        c = _lookup(out, "g", "c")
+        assert c["a"] == pytest.approx(4.0)
+        assert c["b"] == pytest.approx(6.0)
+        assert "c" not in c
+
+
+class TestWeightedSubqueries:
+    def test_subquery_projection_carries_weight(self, sample):
+        out = execute_sql(
+            "SELECT g, SUM(x) s FROM (SELECT g, x FROM S WHERE x > 3) i "
+            "GROUP BY g",
+            {"S": sample},
+            weight_column=W,
+        )
+        s = _lookup(out, "g", "s")
+        assert s["a"] == pytest.approx(60.0)
+        assert s["b"] == pytest.approx(12.0)  # only x=4 row survives: 3*4
+        assert s["c"] == pytest.approx(500.0)
+
+    def test_cte_carries_weight(self, sample):
+        out = execute_sql(
+            "WITH f AS (SELECT g, h, x FROM S) "
+            "SELECT h, COUNT(*) c FROM f GROUP BY h",
+            {"S": sample},
+            weight_column=W,
+        )
+        c = _lookup(out, "h", "c")
+        assert c[1] == pytest.approx(2.0 + 3.0 + 5.0)
+        assert c[2] == pytest.approx(2.0 + 3.0)
+
+    def test_weight_consumed_at_first_aggregation(self, sample):
+        # The inner aggregate consumes the weights; the outer block sees
+        # exact (already scaled) numbers and must NOT rescale them.
+        out = execute_sql(
+            "WITH per_g AS (SELECT g, SUM(x) s FROM S GROUP BY g) "
+            "SELECT COUNT(*) n, SUM(s) total FROM per_g",
+            {"S": sample},
+            weight_column=W,
+        )
+        assert out["n"][0] == pytest.approx(3.0)
+        assert out["total"][0] == pytest.approx(60.0 + 18.0 + 500.0)
+
+
+class TestWeightedJoins:
+    def test_sample_join_dimension(self, sample, dimension):
+        out = execute_sql(
+            "SELECT d.label, SUM(s.x) total FROM S s "
+            "JOIN D d ON s.g = d.g GROUP BY d.label",
+            {"S": sample, "D": dimension},
+            weight_column=W,
+        )
+        total = _lookup(out, "label", "total")
+        assert total["A"] == pytest.approx(60.0)
+        assert total["B"] == pytest.approx(18.0)
+        assert total["C"] == pytest.approx(500.0)
+
+    def test_joining_two_weighted_samples_refused(self, sample):
+        from repro.engine.sql.executor import QueryExecutionError
+
+        other = Table.from_pydict(
+            {"g": ["a"], "y": [1.0], W: [2.0]}, name="O"
+        )
+        with pytest.raises(QueryExecutionError, match="future work"):
+            execute_sql(
+                "SELECT COUNT(*) c FROM S s JOIN O o ON s.g = o.g",
+                {"S": sample, "O": other},
+                weight_column=W,
+            )
+
+
+class TestWeightedCube:
+    def test_cube_scales_every_grouping_set(self, sample):
+        out = execute_sql(
+            "SELECT g, h, SUM(x) s FROM S GROUP BY g, h WITH CUBE",
+            {"S": sample},
+            weight_column=W,
+        )
+        cells = {
+            (g, h): v
+            for g, h, v in zip(out["g"], out["h"], out["s"])
+        }
+        # finest cells
+        assert cells[("a", "1")] == pytest.approx(20.0)
+        assert cells[("a", "2")] == pytest.approx(40.0)
+        assert cells[("b", "1")] == pytest.approx(6.0)
+        assert cells[("b", "2")] == pytest.approx(12.0)
+        # one-attribute roll-ups
+        assert cells[("a", ALL_MARKER)] == pytest.approx(60.0)
+        assert cells[(ALL_MARKER, "1")] == pytest.approx(20.0 + 6.0 + 500.0)
+        # grand total
+        assert cells[(ALL_MARKER, ALL_MARKER)] == pytest.approx(578.0)
+
+    def test_cube_weighted_count(self, sample):
+        out = execute_sql(
+            "SELECT g, COUNT(*) c FROM S GROUP BY g WITH CUBE",
+            {"S": sample},
+            weight_column=W,
+        )
+        cells = dict(zip(out["g"], out["c"]))
+        assert cells[ALL_MARKER] == pytest.approx(15.0)
+
+
+class TestUnweightedBaseline:
+    """Without weight_column the same queries are exact — guard that the
+    weighting rewrite is opt-in."""
+
+    def test_no_weight_column_is_exact(self, sample):
+        out = execute_sql(
+            "SELECT g, COUNT(*) c, SUM(x) s FROM S GROUP BY g",
+            {"S": sample},
+        )
+        c = _lookup(out, "g", "c")
+        s = _lookup(out, "g", "s")
+        assert c["a"] == 2.0 and s["a"] == 30.0
+
+    def test_missing_weight_column_ignored(self, sample):
+        # weight_column set but absent from the table: exact execution.
+        out = execute_sql(
+            "SELECT g, COUNT(*) c FROM S GROUP BY g",
+            {"S": sample.without_columns([W])},
+            weight_column=W,
+        )
+        assert _lookup(out, "g", "c")["a"] == 2.0

@@ -1,0 +1,17 @@
+"""Importable test helpers (kept out of conftest.py so test modules can
+import them directly — conftest is loaded as a pytest plugin, not a
+package, and relative imports from it break collection)."""
+
+
+def reference_group_by(rows, key_fields, value_field=None):
+    """Dict-based group-by oracle for engine tests.
+
+    ``rows`` is a list of dicts; returns {key_tuple: list_of_values}.
+    """
+    out = {}
+    for row in rows:
+        key = tuple(row[k] for k in key_fields)
+        out.setdefault(key, []).append(
+            row[value_field] if value_field else 1
+        )
+    return out
