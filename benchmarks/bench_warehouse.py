@@ -1,0 +1,216 @@
+"""Warehouse benchmark: build/persist/refresh/serve throughput.
+
+Unlike the paper-figure benches (pytest-benchmark), this is a
+standalone script so CI can run it in smoke mode and archive the JSON::
+
+    PYTHONPATH=src python benchmarks/bench_warehouse.py --smoke \
+        --out bench_warehouse.json
+
+Measured phases:
+
+* ``build``      — two-pass CVOPT build + first store.put
+* ``reload``     — cold store.get (deserialization)
+* ``refresh``    — one-pass incremental ingest per appended batch
+* ``serve_cold`` — distinct query shapes through the service (routing,
+                   planning, weighted execution)
+* ``serve_hot``  — repeated queries (answer-cache hits)
+* ``concurrent`` — reader threads hammering the service while a
+                   refresh swaps versions underneath them
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import tempfile
+import threading
+import time
+
+import numpy as np
+
+from repro.datasets import generate_openaq
+from repro.warehouse import WarehouseService
+
+
+def timed(fn):
+    start = time.perf_counter()
+    out = fn()
+    return time.perf_counter() - start, out
+
+
+def run(rows: int, budget: int, batches: int, threads: int,
+        hot_queries: int, root: str) -> dict:
+    table = generate_openaq(num_rows=rows, num_countries=20, seed=7)
+    n = table.num_rows
+    base = table.take(np.arange(0, int(n * 0.6)))
+    step = (n - base.num_rows) // batches
+    batch_tables = [
+        table.take(
+            np.arange(
+                base.num_rows + i * step,
+                base.num_rows + (i + 1) * step if i < batches - 1 else n,
+            )
+        )
+        for i in range(batches)
+    ]
+
+    results: dict = {
+        "config": {
+            "rows": rows,
+            "budget": budget,
+            "batches": batches,
+            "threads": threads,
+            "hot_queries": hot_queries,
+        }
+    }
+
+    service = WarehouseService(root, {"OpenAQ": base})
+    elapsed, report = timed(
+        lambda: service.build(
+            "bench", "OpenAQ", group_by=["country", "parameter"],
+            value_columns=["value"], budget=budget,
+        )
+    )
+    results["build"] = {
+        "seconds": elapsed,
+        "rows": report.rows,
+        "strata": report.strata,
+    }
+
+    elapsed, stored = timed(lambda: service.store.get("bench"))
+    results["reload"] = {
+        "seconds": elapsed,
+        "rows": stored.sample.num_rows,
+    }
+
+    # Hold the last batch back: the concurrency phase ingests it while
+    # readers run, so no rows are ever folded in twice.
+    refresh_times = []
+    for i, batch in enumerate(batch_tables[:-1]):
+        elapsed, report = timed(
+            lambda b=batch, s=i: service.refresh("bench", b, seed=s)
+        )
+        refresh_times.append(elapsed)
+    results["refresh"] = {
+        "seconds_per_batch": refresh_times,
+        "rows_per_second": (
+            sum(b.num_rows for b in batch_tables[:-1]) / sum(refresh_times)
+            if refresh_times
+            else 0.0
+        ),
+    }
+    if refresh_times:
+        results["refresh"].update(
+            final_action=report.action,
+            staleness=report.staleness,
+            drift=report.drift,
+        )
+
+    shapes = [
+        "SELECT country, AVG(value) a FROM OpenAQ GROUP BY country",
+        "SELECT parameter, AVG(value) a FROM OpenAQ GROUP BY parameter",
+        "SELECT country, parameter, SUM(value) s FROM OpenAQ "
+        "GROUP BY country, parameter",
+        "SELECT country, COUNT(*) c FROM OpenAQ GROUP BY country",
+    ]
+    elapsed, _ = timed(lambda: [service.query(s) for s in shapes])
+    results["serve_cold"] = {
+        "seconds": elapsed,
+        "queries": len(shapes),
+    }
+
+    start = time.perf_counter()
+    for i in range(hot_queries):
+        service.query(shapes[i % len(shapes)])
+    hot_elapsed = time.perf_counter() - start
+    results["serve_hot"] = {
+        "seconds": hot_elapsed,
+        "queries": hot_queries,
+        "qps": hot_queries / hot_elapsed if hot_elapsed else float("inf"),
+    }
+
+    counts = [0] * threads
+    errors: list = []
+    stop = threading.Event()
+
+    def reader(idx: int) -> None:
+        while not stop.is_set():
+            try:
+                service.query(shapes[counts[idx] % len(shapes)])
+                counts[idx] += 1
+            except Exception as exc:  # pragma: no cover
+                errors.append(repr(exc))
+                return
+
+    workers = [
+        threading.Thread(target=reader, args=(i,)) for i in range(threads)
+    ]
+    start = time.perf_counter()
+    for w in workers:
+        w.start()
+    service.refresh("bench", batch_tables[-1], seed=99)
+    time.sleep(0.2)
+    stop.set()
+    for w in workers:
+        w.join()
+    concurrent_elapsed = time.perf_counter() - start
+    results["concurrent"] = {
+        "seconds": concurrent_elapsed,
+        "reads": sum(counts),
+        "qps": sum(counts) / concurrent_elapsed,
+        "reader_errors": errors,
+    }
+
+    stats = service.stats()
+    results["cache"] = stats["answer_cache"]
+    results["store"] = {
+        name: {"versions": s["versions"], "bytes": s["bytes"]}
+        for name, s in stats["samples"].items()
+    }
+    return results
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="tiny sizes for CI (seconds, not minutes)",
+    )
+    parser.add_argument("--rows", type=int, default=None)
+    parser.add_argument("--budget", type=int, default=None)
+    parser.add_argument("--batches", type=int, default=4)
+    parser.add_argument("--threads", type=int, default=4)
+    parser.add_argument("--hot-queries", type=int, default=None)
+    parser.add_argument("--root", default=None, help="store directory")
+    parser.add_argument("--out", default="bench_warehouse.json")
+    args = parser.parse_args(argv)
+
+    rows = args.rows or (8_000 if args.smoke else 120_000)
+    budget = args.budget or (600 if args.smoke else 6_000)
+    hot = args.hot_queries or (200 if args.smoke else 5_000)
+    root = args.root or tempfile.mkdtemp(prefix="bench_warehouse_")
+
+    results = run(
+        rows=rows, budget=budget, batches=args.batches,
+        threads=args.threads, hot_queries=hot, root=root,
+    )
+    with open(args.out, "w") as fh:
+        json.dump(results, fh, indent=2)
+
+    print(f"build     {results['build']['seconds']:.3f}s "
+          f"({results['build']['rows']} rows, "
+          f"{results['build']['strata']} strata)")
+    print(f"reload    {results['reload']['seconds']:.3f}s")
+    print(f"refresh   {results['refresh']['rows_per_second']:.0f} rows/s "
+          f"over {len(results['refresh']['seconds_per_batch'])} batches")
+    print(f"serve     cold {results['serve_cold']['seconds']:.3f}s, "
+          f"hot {results['serve_hot']['qps']:.0f} qps")
+    print(f"concurrent {results['concurrent']['qps']:.0f} qps "
+          f"across readers during refresh "
+          f"(errors: {len(results['concurrent']['reader_errors'])})")
+    print(f"wrote {args.out}")
+    return 1 if results["concurrent"]["reader_errors"] else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

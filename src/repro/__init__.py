@@ -56,6 +56,12 @@ from .datasets import (
 from .engine import Table, execute_sql
 from .queries import PAPER_QUERIES, get_query, task_for
 from .workload import Workload, WorkloadQuery, specs_from_workload
+from .warehouse import (
+    SampleMaintainer,
+    SampleStore,
+    WarehouseService,
+    advise,
+)
 
 __version__ = "1.0.0"
 
@@ -95,5 +101,9 @@ __all__ = [
     "Workload",
     "WorkloadQuery",
     "specs_from_workload",
+    "SampleStore",
+    "SampleMaintainer",
+    "WarehouseService",
+    "advise",
     "__version__",
 ]

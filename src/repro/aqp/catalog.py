@@ -30,10 +30,22 @@ class SampleCatalog:
     def __init__(self) -> None:
         self._samples: Dict[str, StratifiedSample] = {}
 
-    def add(self, name: str, sample: StratifiedSample) -> None:
-        if name in self._samples:
-            raise ValueError(f"sample {name!r} already registered")
+    def add(
+        self, name: str, sample: StratifiedSample, replace: bool = False
+    ) -> None:
+        """Register a sample; ``replace=True`` makes re-registration
+        idempotent (the warehouse swaps refreshed versions in place)."""
+        if name in self._samples and not replace:
+            raise ValueError(
+                f"sample {name!r} already registered; "
+                "pass replace=True to swap it"
+            )
         self._samples[name] = sample
+
+    def remove(self, name: str) -> None:
+        if name not in self._samples:
+            raise KeyError(f"no sample {name!r}")
+        del self._samples[name]
 
     def get(self, name: str) -> StratifiedSample:
         if name not in self._samples:
@@ -83,30 +95,44 @@ class SampleCatalog:
         return self.get(name).answer(sql, table_name)
 
     # ------------------------------------------------------------------
-    # persistence
+    # persistence (routed through the warehouse store)
     # ------------------------------------------------------------------
     def save(self, directory) -> None:
-        directory = pathlib.Path(directory)
-        directory.mkdir(parents=True, exist_ok=True)
-        manifest = {}
+        """Persist every sample as a versioned warehouse store.
+
+        A catalog save is a checkpoint, not a maintenance history, so
+        only the newest version of each sample is kept on disk.
+        """
+        from ..warehouse.store import SampleStore  # lazy: avoids a cycle
+
+        store = SampleStore(directory)
         for name, sample in self._samples.items():
-            stem = f"sample_{len(manifest)}"
-            sample.table.save(directory / f"{stem}.rows.npz")
-            manifest[name] = {
-                "stem": stem,
-                "method": sample.method,
-                "by": list(sample.allocation.by),
-                "keys": [list(k) for k in sample.allocation.keys],
-                "populations": [int(x) for x in sample.allocation.populations],
-                "sizes": [int(x) for x in sample.allocation.sizes],
-                "source_rows": sample.source_rows,
-                "budget": sample.budget,
-            }
-        (directory / "manifest.json").write_text(json.dumps(manifest))
+            store.put(name, sample)
+            store.prune(name, keep=1)
+        for name in store.names():
+            if name not in self._samples:
+                store.delete(name)  # mirror the catalog exactly
 
     @classmethod
     def load(cls, directory) -> "SampleCatalog":
+        """Load a catalog from a warehouse store directory.
+
+        Directories written by pre-warehouse versions (a flat
+        ``manifest.json``) are still readable.
+        """
         directory = pathlib.Path(directory)
+        if (directory / "manifest.json").exists():
+            return cls._load_legacy(directory)
+        from ..warehouse.store import SampleStore  # lazy: avoids a cycle
+
+        store = SampleStore(directory)
+        catalog = cls()
+        for name in store.names():
+            catalog.add(name, store.get(name).sample)
+        return catalog
+
+    @classmethod
+    def _load_legacy(cls, directory: pathlib.Path) -> "SampleCatalog":
         manifest = json.loads((directory / "manifest.json").read_text())
         catalog = cls()
         for name, meta in manifest.items():

@@ -134,16 +134,30 @@ class AQPSession:
         self.clear_plan_cache()
 
     def register_sample(
-        self, name: str, sample: StratifiedSample, table_name: str
+        self,
+        name: str,
+        sample: StratifiedSample,
+        table_name: str,
+        replace: bool = False,
     ) -> None:
-        """Add a materialized sample standing in for ``table_name``."""
+        """Add a materialized sample standing in for ``table_name``.
+
+        ``replace=True`` swaps an already-registered sample in place —
+        the warehouse uses this to publish refreshed versions.
+        """
         if table_name not in self.tables:
             raise KeyError(
                 f"unknown base table {table_name!r}; "
                 f"known: {', '.join(sorted(self.tables)) or '-'}"
             )
-        self.catalog.add(name, sample)
+        self.catalog.add(name, sample, replace=replace)
         self._sample_sources[name] = table_name
+        self.clear_plan_cache()
+
+    def drop_sample(self, name: str) -> None:
+        """Remove a sample from routing."""
+        self.catalog.remove(name)
+        self._sample_sources.pop(name, None)
         self.clear_plan_cache()
 
     def build_sample(

@@ -8,6 +8,14 @@ Subcommands::
     repro-cvopt query    --table openaq.npz --sql "SELECT ..." [--explain]
     repro-cvopt aqp      --table openaq.npz --sql "SELECT ..." --rate 0.01
     repro-cvopt experiment --dataset openaq --query AQ3 --rate 0.01
+    repro-cvopt warehouse build   --root wh --table openaq.npz --name s \
+                                  --group-by country,parameter --value value \
+                                  --budget 2000
+    repro-cvopt warehouse refresh --root wh --name s --batch more.npz
+    repro-cvopt warehouse advise  --root wh --table openaq.npz \
+                                  --workload queries.log --storage-budget 5000
+    repro-cvopt warehouse serve   --root wh --table openaq.npz --sql "..."
+    repro-cvopt warehouse stats   --root wh
 """
 
 from __future__ import annotations
@@ -92,6 +100,74 @@ def build_parser() -> argparse.ArgumentParser:
     exp.add_argument("--rate", type=float, default=0.01)
     exp.add_argument("--repetitions", type=int, default=3)
     exp.add_argument("--seed", type=int, default=0)
+
+    wh = sub.add_parser(
+        "warehouse", help="persistent sample warehouse operations"
+    )
+    whsub = wh.add_subparsers(dest="wh_command", required=True)
+
+    whb = whsub.add_parser("build", help="two-pass build into the store")
+    whb.add_argument("--root", required=True, help="store directory")
+    whb.add_argument("--table", required=True, help="npz base-table path")
+    whb.add_argument("--name", required=True, help="sample name")
+    whb.add_argument("--table-name", default=None, help="SQL table name")
+    whb.add_argument(
+        "--group-by", required=True, help="comma-separated stratification"
+    )
+    whb.add_argument(
+        "--value", required=True, help="comma-separated value columns"
+    )
+    group = whb.add_mutually_exclusive_group(required=True)
+    group.add_argument("--budget", type=int, help="sample rows")
+    group.add_argument("--rate", type=float, help="sampling rate (0, 1]")
+    whb.add_argument("--seed", type=int, default=0)
+
+    whr = whsub.add_parser(
+        "refresh", help="fold an appended batch into a stored sample"
+    )
+    whr.add_argument("--root", required=True)
+    whr.add_argument("--name", required=True)
+    whr.add_argument("--batch", required=True, help="npz batch path")
+    whr.add_argument(
+        "--full-table",
+        default=None,
+        help="npz of the complete data; enables full-rebuild escalation",
+    )
+    whr.add_argument("--seed", type=int, default=0)
+
+    wha = whsub.add_parser(
+        "advise", help="recommend samples for a query-log workload"
+    )
+    wha.add_argument("--root", default=None, help="store (for --materialize)")
+    wha.add_argument("--table", required=True, help="npz base-table path")
+    wha.add_argument("--table-name", default=None)
+    wha.add_argument(
+        "--workload", required=True,
+        help="query log: one SQL statement or JSON object per line",
+    )
+    wha.add_argument("--storage-budget", type=int, required=True)
+    wha.add_argument("--target-cv", type=float, default=0.05)
+    wha.add_argument(
+        "--materialize", action="store_true",
+        help="build the recommended samples into --root",
+    )
+    wha.add_argument("--seed", type=int, default=0)
+
+    whs = whsub.add_parser(
+        "serve", help="answer SQL through the warehouse service"
+    )
+    whs.add_argument("--root", required=True)
+    whs.add_argument("--table", required=True, help="npz base-table path")
+    whs.add_argument("--table-name", default=None)
+    whs.add_argument("--sql", required=True, action="append",
+                     help="repeatable; each SQL is answered in order")
+    whs.add_argument(
+        "--mode", choices=["auto", "approx", "exact"], default="auto"
+    )
+    whs.add_argument("--limit", type=int, default=20)
+
+    wht = whsub.add_parser("stats", help="store + serving accounting")
+    wht.add_argument("--root", required=True)
     return parser
 
 
@@ -207,6 +283,131 @@ def _cmd_experiment(args) -> int:
     return 0
 
 
+def _cmd_warehouse(args) -> int:
+    handlers = {
+        "build": _cmd_warehouse_build,
+        "refresh": _cmd_warehouse_refresh,
+        "advise": _cmd_warehouse_advise,
+        "serve": _cmd_warehouse_serve,
+        "stats": _cmd_warehouse_stats,
+    }
+    return handlers[args.wh_command](args)
+
+
+def _cmd_warehouse_build(args) -> int:
+    from .warehouse import SampleMaintainer, SampleStore
+
+    table = Table.load(args.table)
+    table_name = args.table_name or table.name or "T"
+    budget = args.budget
+    if budget is None:
+        if not 0 < args.rate <= 1:
+            print("--rate must be in (0, 1]", file=sys.stderr)
+            return 2
+        budget = max(1, int(round(table.num_rows * args.rate)))
+    elif budget <= 0:
+        print("--budget must be positive", file=sys.stderr)
+        return 2
+    maintainer = SampleMaintainer(SampleStore(args.root))
+    report = maintainer.build(
+        args.name,
+        table,
+        group_by=[c for c in args.group_by.split(",") if c],
+        value_columns=[c for c in args.value.split(",") if c],
+        budget=budget,
+        table_name=table_name,
+        seed=args.seed,
+    )
+    print(
+        f"built {args.name} {report.version}: {report.rows} rows over "
+        f"{report.strata} strata (budget {report.budget}, "
+        f"source {report.source_rows} rows) -> {args.root}"
+    )
+    return 0
+
+
+def _cmd_warehouse_refresh(args) -> int:
+    from .warehouse import SampleMaintainer, SampleStore
+
+    batch = Table.load(args.batch)
+    full_table = Table.load(args.full_table) if args.full_table else None
+    maintainer = SampleMaintainer(SampleStore(args.root))
+    report = maintainer.refresh(
+        args.name, batch, full_table=full_table, seed=args.seed
+    )
+    print(
+        f"{report.action} refresh of {args.name} -> {report.version}: "
+        f"+{report.rows_ingested} rows (population {report.source_rows}), "
+        f"{report.sample_rows} sampled, staleness {report.staleness:.2%}, "
+        f"drift {report.drift:.3f}"
+        + (", NEEDS REBUILD" if report.needs_rebuild else "")
+    )
+    return 0
+
+
+def _cmd_warehouse_advise(args) -> int:
+    from .warehouse import SampleMaintainer, SampleStore, advise
+    from .workload import Workload
+
+    table = Table.load(args.table)
+    workload = Workload.from_log(args.workload)
+    if not workload.queries:
+        print("workload log contains no queries", file=sys.stderr)
+        return 2
+    plan = advise(
+        workload, table, args.storage_budget, target_cv=args.target_cv
+    )
+    print(plan.summary())
+    if args.materialize:
+        if not args.root:
+            print("--materialize requires --root", file=sys.stderr)
+            return 2
+        maintainer = SampleMaintainer(SampleStore(args.root))
+        table_name = args.table_name or table.name or "T"
+        built = plan.materialize(
+            maintainer, table, table_name=table_name, seed=args.seed
+        )
+        print(f"materialized: {', '.join(built) or '-'}")
+    return 0
+
+
+def _cmd_warehouse_serve(args) -> int:
+    from .warehouse import WarehouseService
+
+    table = Table.load(args.table)
+    table_name = args.table_name or table.name or "T"
+    service = WarehouseService(args.root, {table_name: table})
+    for sql in args.sql:
+        result = service.query(sql, mode=args.mode)
+        route = result.route
+        if route.approximate:
+            served = service.served_versions().get(route.sample_name, "?")
+            print(
+                f"routed to {route.sample_name!r} ({served}): {route.reason}"
+            )
+        else:
+            print(f"exact execution: {route.reason}")
+        _print_table(result.table, args.limit)
+    return 0
+
+
+def _cmd_warehouse_stats(args) -> int:
+    from .warehouse import SampleStore
+
+    entries = SampleStore(args.root).stats()
+    if not entries:
+        print("store is empty")
+        return 0
+    print("name\tversion\tversions\trows\tstrata\tby\tmethod\tbytes\tstale")
+    for e in entries:
+        print(
+            f"{e.name}\t{e.current_version}\t{e.num_versions}\t{e.rows}\t"
+            f"{e.strata}\t{','.join(e.by)}\t{e.method}\t{e.bytes_on_disk}\t"
+            f"{e.lineage.get('staleness', 0.0):.2%}"
+        )
+    return 0
+
+
 def _print_table(table: Table, limit: int) -> None:
     names = table.column_names
     print("\t".join(names))
@@ -232,6 +433,7 @@ def main(argv=None) -> int:
         "query": _cmd_query,
         "aqp": _cmd_aqp,
         "experiment": _cmd_experiment,
+        "warehouse": _cmd_warehouse,
     }
     return handlers[args.command](args)
 

@@ -201,6 +201,7 @@ class CVOptSampler(StratifiedSampler):
             populations=stats.sizes,
             sizes=sizes,
             scores=betas,
+            stats=stats,
         )
 
 

@@ -25,6 +25,7 @@ from ..engine.groupby import compute_group_keys
 from ..engine.reservoir import stratified_sample_indices
 from ..engine.schema import DType
 from ..engine.sql.executor import execute_sql
+from ..engine.statistics import StrataStatistics
 from ..engine.table import Column, Table
 
 __all__ = [
@@ -49,6 +50,10 @@ class Allocation:
     populations: np.ndarray  # n_c (int64)
     sizes: np.ndarray  # s_c (int64)
     scores: Optional[np.ndarray] = None  # beta_c / alpha_c, for diagnostics
+    #: Pass-1 per-stratum statistics (aligned with ``keys``), when the
+    #: sampler kept them. The warehouse persists these so incremental
+    #: maintenance can merge appended batches without a full rescan.
+    stats: Optional["StrataStatistics"] = None
 
     def __post_init__(self) -> None:
         self.populations = np.asarray(self.populations, dtype=np.int64)

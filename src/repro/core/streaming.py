@@ -37,7 +37,11 @@ import numpy as np
 
 from ..engine.reservoir import Reservoir
 from ..engine.schema import DType
-from ..engine.statistics import WelfordAccumulator
+from ..engine.statistics import (
+    ColumnStats,
+    StrataStatistics,
+    WelfordAccumulator,
+)
 from ..engine.table import Column, Table
 from .allocation import box_constrained_allocation, integerize
 from .sample import STRATUM_COLUMN, WEIGHT_COLUMN, Allocation, StratifiedSample
@@ -106,6 +110,90 @@ class StreamingCVOptSampler:
         self._next_rebalance = self.pilot_rows
 
     # ------------------------------------------------------------------
+    # warm start (incremental maintenance)
+    # ------------------------------------------------------------------
+    @classmethod
+    def resume(
+        cls,
+        sample: StratifiedSample,
+        value_column: str,
+        statistics: StrataStatistics | None = None,
+        headroom: float = 2.0,
+        mean_floor: float = 1e-9,
+        seed: int | np.random.Generator = 0,
+    ) -> "StreamingCVOptSampler":
+        """Warm-start a streaming sampler from a materialized sample.
+
+        Within stratum ``c`` the existing sample is an SRS of size
+        ``s_c`` from ``n_c`` rows — exactly the state of Algorithm R
+        after ``n_c`` offers — so seeding each reservoir with the stored
+        rows and ``seen = n_c`` and continuing the stream yields a valid
+        SRS over the *extended* population. Re-balancing stays
+        shrink-only: a stratum's capacity starts at its current size.
+
+        ``statistics`` supplies exact per-stratum moments of
+        ``value_column`` over the full population (pass-1 output,
+        persisted by the warehouse). When absent they are estimated from
+        the sample rows, scaled to the stratum population — good enough
+        to drive the allocation, noted in the sampler's provenance.
+        """
+        stats = statistics if statistics is not None else sample.allocation.stats
+        allocation = sample.allocation
+        sampler = cls(
+            group_by=allocation.by,
+            value_column=value_column,
+            budget=sample.budget,
+            pilot_rows=max(1, sample.source_rows),
+            headroom=headroom,
+            mean_floor=mean_floor,
+            seed=seed,
+        )
+        table = sample.table
+        gids = (
+            table.column(STRATUM_COLUMN).data.astype(np.int64)
+            if STRATUM_COLUMN in table
+            else np.zeros(table.num_rows, dtype=np.int64)
+        )
+        payload = table.without_columns([WEIGHT_COLUMN, STRATUM_COLUMN])
+        decoded = {n: payload.column(n).decode() for n in payload.column_names}
+        rows_by_stratum: Dict[int, list] = {}
+        for i in range(payload.num_rows):
+            rows_by_stratum.setdefault(int(gids[i]), []).append(
+                {n: decoded[n][i] for n in payload.column_names}
+            )
+        col_stats = None
+        if stats is not None and value_column in stats.columns:
+            col_stats = stats.stats_for(value_column)
+        for idx, key in enumerate(allocation.keys):
+            population = int(allocation.populations[idx])
+            items = rows_by_stratum.get(idx, [])
+            state = _StratumState(len(items), sampler._rng)
+            state.reservoir._items = items
+            state.reservoir._seen = population
+            state.seen = population
+            if col_stats is not None:
+                _restore_welford(
+                    state.stats,
+                    population,
+                    float(col_stats.total[idx]),
+                    float(col_stats.total_sq[idx]),
+                )
+            else:
+                for row in items:
+                    state.stats.add(float(row[value_column]))
+                # Scale sample moments to the population so the CV math
+                # weighs this stratum like pass-1 statistics would.
+                if items:
+                    factor = population / len(items)
+                    state.stats.count = population
+                    state.stats.m2 *= factor
+            sampler._strata[tuple(key)] = state
+        sampler._rows_seen = sample.source_rows
+        sampler._rebalanced = True
+        sampler._next_rebalance = max(2 * sample.source_rows, 1)
+        return sampler
+
+    # ------------------------------------------------------------------
     # streaming API
     # ------------------------------------------------------------------
     @property
@@ -150,6 +238,10 @@ class StreamingCVOptSampler:
     # ------------------------------------------------------------------
     # re-balancing
     # ------------------------------------------------------------------
+    def rebalance(self) -> None:
+        """Force a shrink-only re-balance now (batch maintenance)."""
+        self._rebalance()
+
     def _rebalance(self) -> None:
         self._rebalanced = True
         keys = list(self._strata)
@@ -199,6 +291,35 @@ class StreamingCVOptSampler:
     # ------------------------------------------------------------------
     # finalization
     # ------------------------------------------------------------------
+    def statistics(self) -> StrataStatistics:
+        """Stream statistics of the value column, per current stratum.
+
+        Keys are aligned with :meth:`finalize`'s allocation, so the
+        result can be persisted next to the sample and handed back to
+        :meth:`resume` for the next maintenance round.
+        """
+        keys = list(self._strata)
+        counts = np.asarray(
+            [self._strata[k].stats.count for k in keys], dtype=np.float64
+        )
+        means = np.asarray(
+            [self._strata[k].stats.mean for k in keys], dtype=np.float64
+        )
+        m2s = np.asarray(
+            [self._strata[k].stats.m2 for k in keys], dtype=np.float64
+        )
+        totals = means * counts
+        totals_sq = m2s + counts * means**2
+        stats = StrataStatistics(
+            by=self.group_by,
+            keys=keys,
+            sizes=counts.astype(np.int64),
+        )
+        stats.columns[self.value_column] = ColumnStats(
+            count=counts, total=totals, total_sq=totals_sq
+        )
+        return stats
+
     def finalize(self) -> StratifiedSample:
         """Materialize the retained rows as a StratifiedSample."""
         if self._strata:
@@ -233,6 +354,7 @@ class StreamingCVOptSampler:
             keys=keys,
             populations=populations,
             sizes=sizes,
+            stats=self.statistics(),
         )
         return StratifiedSample(
             table=table,
@@ -250,3 +372,12 @@ class StreamingCVOptSampler:
             name: [row[name] for row in rows] for name in columns
         }
         return Table.from_pydict(data)
+
+
+def _restore_welford(
+    acc: WelfordAccumulator, count: int, total: float, total_sq: float
+) -> None:
+    """Rebuild a Welford state from additive moments (store round-trip)."""
+    acc.count = int(count)
+    acc.mean = total / count if count else 0.0
+    acc.m2 = max(total_sq - count * acc.mean**2, 0.0) if count else 0.0

@@ -1,0 +1,39 @@
+"""Sample warehouse: persistent versioned samples, incremental
+maintenance, workload-driven advising, and a concurrent serving layer.
+
+The warehouse turns the in-memory sampling machinery into a long-lived
+system: samples are built once (two-pass CVOPT), persisted with their
+statistics, kept fresh in one pass per appended batch (streaming
+CVOPT warm-start with shrink-only re-balance and a full-rebuild
+escalation rule), and served to concurrent readers through the AQP
+router behind a read-write lock and an answer cache.
+"""
+
+from .advisor import AdvisorPlan, Candidate, Recommendation, advise
+from .maintenance import (
+    BuildReport,
+    RefreshReport,
+    SampleMaintainer,
+    StalenessInfo,
+    allocation_drift,
+)
+from .service import LRUCache, RWLock, WarehouseService
+from .store import SampleStore, StoredSample, StoreEntryStats
+
+__all__ = [
+    "SampleStore",
+    "StoredSample",
+    "StoreEntryStats",
+    "SampleMaintainer",
+    "BuildReport",
+    "RefreshReport",
+    "StalenessInfo",
+    "allocation_drift",
+    "advise",
+    "AdvisorPlan",
+    "Candidate",
+    "Recommendation",
+    "WarehouseService",
+    "RWLock",
+    "LRUCache",
+]

@@ -1,0 +1,305 @@
+"""Workload-driven materialization advisor.
+
+Given a query workload (from a log) and a storage budget, decide which
+stratifications to materialize. The paper's economics (Section 6) make
+this a covering problem: a sample stratified on attribute set ``C``
+answers every group-by over a subset of ``C``, so one fine sample can
+serve a whole family of queries — but the finer the stratification, the
+more rows it needs to hit a target CV.
+
+The advisor:
+
+1. preprocesses the workload into *aggregation groups*
+   (:func:`repro.workload.model.derive_aggregation_groups`) — the
+   frequency mass each (aggregation column, group assignment) pair
+   contributes is exactly the weight CVOPT optimizes for;
+2. enumerates candidate stratifications: each query's grouping
+   attribute set, plus the union of all of them (the finest
+   stratification, which covers everything);
+3. prices each candidate with the a-priori CV planner
+   (:func:`repro.aqp.planning.required_budget`): the smallest sample
+   whose optimal allocation meets ``target_cv`` on every group, maxed
+   over the candidate's aggregation columns;
+4. greedily picks candidates by *marginal* covered frequency per stored
+   row until the storage budget is exhausted (classic budgeted
+   set-cover; re-scored each round so a fine pick subsumes the coarser
+   ones it covers).
+
+The resulting :class:`AdvisorPlan` can be materialized straight into a
+:class:`~repro.warehouse.maintenance.SampleMaintainer`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..aqp.planning import required_budget
+from ..core.spec import apply_derived_columns, specs_from_sql
+from ..engine.table import Table
+from ..workload.model import Workload, derive_aggregation_groups
+from .maintenance import SampleMaintainer
+
+__all__ = ["Candidate", "Recommendation", "AdvisorPlan", "advise"]
+
+
+@dataclass(frozen=True)
+class Candidate:
+    """One possible stratification to materialize."""
+
+    attrs: Tuple[str, ...]  # stratification attributes (sorted)
+    agg_columns: Tuple[str, ...]  # value columns it must answer
+    budget: int  # rows needed to meet the target CV
+    covered_frequency: int  # total frequency mass it can serve
+
+
+@dataclass
+class Recommendation:
+    """A picked candidate with its marginal value at pick time."""
+
+    candidate: Candidate
+    marginal_frequency: int
+    rank: int
+
+    @property
+    def name(self) -> str:
+        return "wh_" + "_".join(self.candidate.attrs)
+
+
+@dataclass
+class AdvisorPlan:
+    """Ranked materialization plan under a storage budget."""
+
+    recommendations: List[Recommendation] = field(default_factory=list)
+    storage_budget: int = 0
+    rows_used: int = 0
+    covered_frequency: int = 0
+    total_frequency: int = 0
+    uncovered_queries: List[str] = field(default_factory=list)
+
+    @property
+    def coverage(self) -> float:
+        if self.total_frequency == 0:
+            return 1.0
+        return self.covered_frequency / self.total_frequency
+
+    def summary(self) -> str:
+        lines = [
+            f"storage budget {self.storage_budget} rows, "
+            f"{self.rows_used} used, "
+            f"{self.coverage:.0%} of workload frequency covered"
+        ]
+        for rec in self.recommendations:
+            cand = rec.candidate
+            lines.append(
+                f"  {rec.rank}. {rec.name}: stratify by "
+                f"({', '.join(cand.attrs)}) x columns "
+                f"({', '.join(cand.agg_columns)}) — {cand.budget} rows, "
+                f"marginal frequency {rec.marginal_frequency}"
+            )
+        if self.uncovered_queries:
+            lines.append(
+                "  uncovered: " + ", ".join(self.uncovered_queries)
+            )
+        return "\n".join(lines)
+
+    def materialize(
+        self,
+        maintainer: SampleMaintainer,
+        table: Table,
+        table_name: Optional[str] = None,
+        seed: int = 0,
+    ) -> List[str]:
+        """Build every recommended sample into the maintainer's store."""
+        built = []
+        for rec in self.recommendations:
+            cand = rec.candidate
+            maintainer.build(
+                rec.name,
+                table,
+                group_by=cand.attrs,
+                value_columns=cand.agg_columns,
+                budget=cand.budget,
+                table_name=table_name,
+                seed=seed,
+            )
+            built.append(rec.name)
+        return built
+
+
+def advise(
+    workload: Workload,
+    table: Table,
+    storage_budget: int,
+    target_cv: float = 0.05,
+    max_candidates: int = 32,
+) -> AdvisorPlan:
+    """Recommend stratifications to materialize under ``storage_budget``
+    total sample rows."""
+    if storage_budget <= 0:
+        raise ValueError("storage_budget must be positive")
+
+    queries = _analyze_queries(workload)
+    if not queries:
+        return AdvisorPlan(storage_budget=storage_budget)
+
+    # Frequency mass per aggregation group, attributed to the attribute
+    # set the group's assignment spans.
+    groups = derive_aggregation_groups(workload, table)
+    mass_by_attrs: Dict[Tuple[str, ...], int] = {}
+    for group in groups:
+        attrs = tuple(sorted(attr for attr, _ in group.assignment))
+        mass_by_attrs[attrs] = (
+            mass_by_attrs.get(attrs, 0) + group.frequency
+        )
+    total_frequency = sum(mass_by_attrs.values())
+
+    candidates = _build_candidates(
+        queries, mass_by_attrs, table, target_cv, max_candidates
+    )
+
+    # Budgeted greedy set-cover on marginal frequency per stored row.
+    plan = AdvisorPlan(
+        storage_budget=storage_budget, total_frequency=total_frequency
+    )
+    covered: set = set()  # attr sets already answerable
+    remaining = storage_budget
+    rank = 0
+    while True:
+        best = None
+        best_density = 0.0
+        for cand in candidates:
+            if cand.budget > remaining:
+                continue
+            marginal = sum(
+                mass
+                for attrs, mass in mass_by_attrs.items()
+                if attrs not in covered and set(attrs) <= set(cand.attrs)
+            )
+            if marginal <= 0:
+                continue
+            density = marginal / max(cand.budget, 1)
+            if best is None or density > best_density:
+                best, best_density, best_marginal = cand, density, marginal
+        if best is None:
+            break
+        rank += 1
+        plan.recommendations.append(
+            Recommendation(
+                candidate=best, marginal_frequency=best_marginal, rank=rank
+            )
+        )
+        plan.rows_used += best.budget
+        plan.covered_frequency += best_marginal
+        remaining -= best.budget
+        covered.update(
+            attrs
+            for attrs in mass_by_attrs
+            if set(attrs) <= set(best.attrs)
+        )
+        candidates = [c for c in candidates if c is not best]
+
+    picked = [set(rec.candidate.attrs) for rec in plan.recommendations]
+    for name, attr_sets, _ in queries:
+        if not all(
+            any(set(attrs) <= p for p in picked) for attrs in attr_sets
+        ):
+            plan.uncovered_queries.append(name)
+    return plan
+
+
+# ----------------------------------------------------------------------
+# internals
+# ----------------------------------------------------------------------
+def _analyze_queries(workload: Workload):
+    """Per query: (display name, grouping attr sets, agg columns)."""
+    out = []
+    for i, wq in enumerate(workload.queries):
+        try:
+            specs, _ = specs_from_sql(wq.sql)
+        except ValueError:
+            continue  # no group-by aggregation: nothing to materialize
+        attr_sets = [tuple(sorted(spec.group_by)) for spec in specs]
+        columns: list = []
+        for spec in specs:
+            columns.extend(spec.agg_columns)
+        name = wq.name or f"q{i}"
+        out.append((name, attr_sets, tuple(dict.fromkeys(columns))))
+    return out
+
+
+def _build_candidates(
+    queries,
+    mass_by_attrs: Dict[Tuple[str, ...], int],
+    table: Table,
+    target_cv: float,
+    max_candidates: int,
+) -> List[Candidate]:
+    # Candidate attr sets: every grouping in the workload + their union.
+    attr_sets: Dict[Tuple[str, ...], None] = {}
+    union: Dict[str, None] = {}
+    for _, sets_, _ in queries:
+        for attrs in sets_:
+            attr_sets.setdefault(attrs, None)
+            for a in attrs:
+                union.setdefault(a, None)
+    finest = tuple(sorted(union))
+    if finest:
+        attr_sets.setdefault(finest, None)
+
+    # Columns each candidate must answer: the union over covered
+    # queries, restricted to real table columns — synthesized aggregate
+    # arguments (COUNT(*)'s constant, COUNT_IF indicators) need no
+    # dedicated statistics and cannot be handed to the maintainer.
+    candidates: List[Candidate] = []
+    for attrs in attr_sets:
+        columns: list = []
+        for _, sets_, cols in queries:
+            if all(set(s) <= set(attrs) for s in sets_):
+                columns.extend(c for c in cols if c in table)
+        columns = tuple(dict.fromkeys(columns))
+        if not columns:
+            continue
+        budget = _price_candidate(table, attrs, columns, target_cv)
+        covered_frequency = sum(
+            mass
+            for a, mass in mass_by_attrs.items()
+            if set(a) <= set(attrs)
+        )
+        candidates.append(
+            Candidate(
+                attrs=attrs,
+                agg_columns=columns,
+                budget=budget,
+                covered_frequency=covered_frequency,
+            )
+        )
+    candidates.sort(key=lambda c: (-c.covered_frequency, c.budget))
+    return candidates[:max_candidates]
+
+
+def _price_candidate(
+    table: Table,
+    attrs: Sequence[str],
+    columns: Sequence[str],
+    target_cv: float,
+) -> int:
+    """Rows needed so every group of every column meets ``target_cv``."""
+    budget = 1
+    for column in columns:
+        if column not in table:
+            # Derived columns (COUNT(*) indicators etc.) are synthesized
+            # by the samplers; price them as constant — one row per
+            # stratum suffices, which max() already covers.
+            continue
+        budget = max(
+            budget,
+            required_budget(
+                table,
+                group_by=tuple(attrs),
+                column=column,
+                target=target_cv,
+                criterion="max_cv",
+            ),
+        )
+    return int(budget)

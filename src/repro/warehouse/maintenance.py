@@ -1,0 +1,423 @@
+"""Incremental sample maintenance (paper Section 8 made durable).
+
+Samples in the warehouse go stale as the base table grows. The
+maintenance pipeline folds appended batches into a stored sample in one
+pass over *only the new rows*, using the streaming CVOPT
+(:class:`~repro.core.streaming.StreamingCVOptSampler`) warm-started
+from the persisted sample + its pass-1 statistics:
+
+* within each stratum the stored rows seed a reservoir whose ``seen``
+  counter is the stratum population, so continuing Algorithm R over the
+  batch yields an exact SRS of the extended population;
+* per-stratum moments are merged exactly (moments are additive), so the
+  Horvitz-Thompson weights and the CV-driven re-balance use true
+  populations, not estimates;
+* re-balancing is **shrink-only** (growing a reservoir would bias
+  toward late rows), so a stratum whose optimal share *grows* over time
+  cannot be topped up incrementally. That is the drift the
+  **escalation rule** watches: when the predicted-CV objective of the
+  maintained allocation degrades past ``cv_degradation_threshold``
+  times the optimum for the same budget, the maintainer escalates to a
+  full two-pass rebuild (when handed the full table) or flags
+  ``needs_rebuild`` in the lineage.
+
+Every refresh writes a *new immutable version* to the store and prunes
+old ones, so concurrent readers keep serving the previous version until
+the atomic pointer swap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from ..core.allocation import allocate
+from ..core.cvopt import CVOptSampler
+from ..core.sample import StratifiedSample
+from ..core.spec import GroupByQuerySpec
+from ..core.streaming import StreamingCVOptSampler
+from ..engine.statistics import (
+    ColumnStats,
+    StrataStatistics,
+    collect_strata_statistics,
+)
+from ..engine.table import Table
+from .store import SampleStore, StoredSample
+
+__all__ = [
+    "SampleMaintainer",
+    "BuildReport",
+    "RefreshReport",
+    "StalenessInfo",
+    "allocation_drift",
+]
+
+#: Stand-in CV for groups an allocation cannot estimate (no rows) when
+#: comparing objectives — finite so ratios stay comparable.
+_CV_CAP = 10.0
+
+
+@dataclass
+class BuildReport:
+    """Outcome of a full two-pass build."""
+
+    name: str
+    version: str
+    rows: int
+    strata: int
+    budget: int
+    source_rows: int
+
+
+@dataclass
+class RefreshReport:
+    """Outcome of one maintenance round."""
+
+    name: str
+    version: str
+    action: str  # "incremental" or "rebuild"
+    rows_ingested: int
+    source_rows: int  # population covered after the refresh
+    sample_rows: int
+    new_strata: int
+    staleness: float  # rows ingested since last full build / base rows
+    drift: float  # achieved / optimal predicted-CV objective (>= 1)
+    needs_rebuild: bool
+
+
+@dataclass
+class StalenessInfo:
+    """Lineage summary of a stored sample's maintenance state."""
+
+    name: str
+    version: str
+    refresh_count: int
+    rows_ingested: int
+    base_rows: int
+    staleness: float
+    drift: float
+    needs_rebuild: bool
+
+
+class SampleMaintainer:
+    """Builds samples into a store and keeps them fresh.
+
+    Parameters
+    ----------
+    store:
+        The :class:`~repro.warehouse.store.SampleStore` to read/write.
+    cv_degradation_threshold:
+        Escalate to a full rebuild when the maintained allocation's
+        predicted-CV objective exceeds this multiple of the optimal
+        objective at the same budget (on current statistics).
+    keep_versions:
+        Versions retained per sample after each write (older ones are
+        pruned; the current version is always kept).
+    """
+
+    def __init__(
+        self,
+        store: SampleStore,
+        cv_degradation_threshold: float = 1.5,
+        keep_versions: int = 4,
+        headroom: float = 2.0,
+    ) -> None:
+        if cv_degradation_threshold < 1.0:
+            raise ValueError("cv_degradation_threshold must be >= 1")
+        self.store = store
+        self.cv_degradation_threshold = float(cv_degradation_threshold)
+        self.keep_versions = int(keep_versions)
+        self.headroom = float(headroom)
+
+    # ------------------------------------------------------------------
+    # building
+    # ------------------------------------------------------------------
+    def build(
+        self,
+        name: str,
+        table: Table,
+        group_by: Sequence[str],
+        value_columns: Sequence[str],
+        budget: int,
+        table_name: Optional[str] = None,
+        seed: int = 0,
+    ) -> BuildReport:
+        """Two-pass CVOPT build, persisted as a new version."""
+        value_columns = list(value_columns)
+        if not value_columns:
+            raise ValueError("need at least one value column")
+        spec = GroupByQuerySpec(
+            group_by=tuple(group_by), aggregates=tuple(value_columns)
+        )
+        sampler = CVOptSampler([spec])
+        sample = sampler.sample(table, budget, seed=seed)
+        lineage = _fresh_lineage(value_columns[0], sample.source_rows)
+        version = self.store.put(
+            name, sample, table_name=table_name, lineage=lineage
+        )
+        self.store.prune(name, keep=self.keep_versions)
+        return BuildReport(
+            name=name,
+            version=version,
+            rows=sample.num_rows,
+            strata=sample.allocation.num_strata,
+            budget=sample.budget,
+            source_rows=sample.source_rows,
+        )
+
+    # ------------------------------------------------------------------
+    # refreshing
+    # ------------------------------------------------------------------
+    def refresh(
+        self,
+        name: str,
+        batch: Table,
+        full_table: Optional[Table] = None,
+        seed: int = 0,
+    ) -> RefreshReport:
+        """Fold an appended ``batch`` into the stored sample.
+
+        ``full_table`` (base table + all batches so far) enables the
+        escalation path: when drift crosses the threshold and the full
+        table is available, a two-pass rebuild replaces the incremental
+        result; without it the refresh still lands but the new version's
+        lineage carries ``needs_rebuild: True``.
+        """
+        stored = self.store.get(name)
+        lineage = dict(stored.lineage)
+        value_column = self._value_column(stored)
+        batch = _align_batch(stored.sample, batch)
+
+        sampler = StreamingCVOptSampler.resume(
+            stored.sample,
+            value_column,
+            headroom=self.headroom,
+            seed=seed,
+        )
+        old_strata = stored.sample.allocation.num_strata
+        sampler.observe_table(batch)
+        sample = sampler.finalize()
+        # The streaming pass tracks only the maintenance column; fold
+        # the batch's moments into every other column the build kept,
+        # so the persisted statistics stay exact across refreshes.
+        _merge_statistics(stored.sample.allocation.stats, batch, sample)
+
+        drift = allocation_drift(sample, value_column)
+        rows_ingested = (
+            int(lineage.get("rows_ingested", 0)) + batch.num_rows
+        )
+        base_rows = int(lineage.get("base_rows", 0)) or stored.sample.source_rows
+        staleness = rows_ingested / base_rows if base_rows else float("inf")
+        needs_rebuild = bool(drift > self.cv_degradation_threshold)
+
+        action = "incremental"
+        if needs_rebuild and full_table is not None:
+            # Rebuild for every column the original build tracked, not
+            # just the maintenance column.
+            stored_stats = stored.sample.allocation.stats
+            spec = GroupByQuerySpec(
+                group_by=sample.allocation.by,
+                aggregates=tuple(
+                    stored_stats.columns if stored_stats else (value_column,)
+                ),
+            )
+            sample = CVOptSampler([spec]).sample(
+                full_table, stored.sample.budget, seed=seed
+            )
+            drift = allocation_drift(sample, value_column)
+            action = "rebuild"
+            needs_rebuild = False
+            lineage = _fresh_lineage(value_column, sample.source_rows)
+            lineage["action"] = "rebuild"
+        else:
+            lineage.update(
+                action=action,
+                refresh_count=int(lineage.get("refresh_count", 0)) + 1,
+                rows_ingested=rows_ingested,
+                base_rows=base_rows,
+                parent_version=stored.version,
+            )
+        lineage.update(
+            value_column=value_column,
+            staleness=0.0 if action == "rebuild" else staleness,
+            drift=float(drift),
+            needs_rebuild=needs_rebuild,
+        )
+        version = self.store.put(
+            name,
+            sample,
+            table_name=stored.table_name,
+            lineage=lineage,
+            extra=stored.extra,
+        )
+        self.store.prune(name, keep=self.keep_versions)
+        return RefreshReport(
+            name=name,
+            version=version,
+            action=action,
+            rows_ingested=batch.num_rows,
+            source_rows=sample.source_rows,
+            sample_rows=sample.num_rows,
+            new_strata=sample.allocation.num_strata - old_strata,
+            staleness=0.0 if action == "rebuild" else staleness,
+            drift=float(drift),
+            needs_rebuild=needs_rebuild,
+        )
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+    def staleness(self, name: str) -> StalenessInfo:
+        stored = self.store.get(name)
+        lineage = stored.lineage
+        base_rows = int(lineage.get("base_rows", 0)) or stored.sample.source_rows
+        rows_ingested = int(lineage.get("rows_ingested", 0))
+        return StalenessInfo(
+            name=name,
+            version=stored.version,
+            refresh_count=int(lineage.get("refresh_count", 0)),
+            rows_ingested=rows_ingested,
+            base_rows=base_rows,
+            staleness=(
+                rows_ingested / base_rows if base_rows else float("inf")
+            ),
+            drift=float(lineage.get("drift", 1.0)),
+            needs_rebuild=bool(lineage.get("needs_rebuild", False)),
+        )
+
+    def _value_column(self, stored: StoredSample) -> str:
+        column = stored.lineage.get("value_column")
+        if column:
+            return column
+        stats = stored.sample.allocation.stats
+        if stats is not None and stats.columns:
+            return next(iter(stats.columns))
+        raise ValueError(
+            f"sample {stored.name!r} carries no value column for "
+            "maintenance; rebuild it through SampleMaintainer.build"
+        )
+
+
+def allocation_drift(
+    sample: StratifiedSample, value_column: str, cv_cap: float = _CV_CAP
+) -> float:
+    """How far a sample's allocation is from optimal for its own stats.
+
+    Returns the ratio of the achieved predicted-CV l2 objective to the
+    objective of the *optimal* allocation at the same budget, both
+    computed from the sample's per-stratum statistics; 1.0 is perfect.
+    """
+    from ..aqp.planning import predict_group_cvs
+
+    allocation = sample.allocation
+    stats = allocation.stats
+    if stats is None or value_column not in stats.columns:
+        return 1.0
+    data_cvs = np.nan_to_num(
+        stats.stats_for(value_column).cv(mean_floor=1e-9)
+    )
+    achieved = predict_group_cvs(
+        allocation.populations, data_cvs, allocation.sizes
+    )
+    optimal_sizes = allocate(
+        data_cvs**2, sample.budget, allocation.populations
+    )
+    optimal = predict_group_cvs(
+        allocation.populations, data_cvs, optimal_sizes
+    )
+    achieved = np.where(np.isfinite(achieved), achieved, cv_cap)
+    optimal = np.where(np.isfinite(optimal), optimal, cv_cap)
+    a = float(np.sqrt((achieved**2).sum()))
+    o = float(np.sqrt((optimal**2).sum()))
+    if o == 0.0:
+        return 1.0 if a == 0.0 else float("inf")
+    return a / o
+
+
+def _merge_statistics(
+    stored: Optional[StrataStatistics],
+    batch: Table,
+    sample: StratifiedSample,
+) -> None:
+    """Extend the refreshed sample's statistics beyond the maintenance
+    column.
+
+    Moments are additive, so for every other column the original build
+    tracked, per-stratum ``(count, total, total_sq)`` over the extended
+    population is exactly ``stored + batch`` — one vectorized pass over
+    the batch, no rescan of old data.
+    """
+    final = sample.allocation.stats
+    if stored is None or final is None:
+        return
+    columns = [
+        c
+        for c in stored.columns
+        if c not in final.columns and c in batch
+    ]
+    if not columns:
+        return
+    batch_stats = collect_strata_statistics(
+        batch, sample.allocation.by, columns
+    )
+    stored_idx = {tuple(k): i for i, k in enumerate(stored.keys)}
+    batch_idx = {tuple(k): i for i, k in enumerate(batch_stats.keys)}
+    n = final.num_strata
+    for column in columns:
+        s_cs = stored.stats_for(column)
+        b_cs = batch_stats.stats_for(column)
+        count = np.zeros(n)
+        total = np.zeros(n)
+        total_sq = np.zeros(n)
+        for i, key in enumerate(final.keys):
+            k = tuple(key)
+            si = stored_idx.get(k)
+            if si is not None:
+                count[i] += s_cs.count[si]
+                total[i] += s_cs.total[si]
+                total_sq[i] += s_cs.total_sq[si]
+            bi = batch_idx.get(k)
+            if bi is not None:
+                count[i] += b_cs.count[bi]
+                total[i] += b_cs.total[bi]
+                total_sq[i] += b_cs.total_sq[bi]
+        final.columns[column] = ColumnStats(
+            count=count, total=total, total_sq=total_sq
+        )
+
+
+def _fresh_lineage(value_column: str, base_rows: int) -> Dict:
+    return {
+        "action": "build",
+        "refresh_count": 0,
+        "rows_ingested": 0,
+        "base_rows": int(base_rows),
+        "value_column": value_column,
+        "staleness": 0.0,
+        "drift": 1.0,
+        "needs_rebuild": False,
+    }
+
+
+def _align_batch(sample: StratifiedSample, batch: Table) -> Table:
+    """Project ``batch`` onto the sample's payload columns.
+
+    Missing columns are an error; extra ones are dropped — reservoir
+    rows from different eras must share one column set, or finalizing
+    the mixed rows would fail.
+    """
+    from ..core.sample import STRATUM_COLUMN, WEIGHT_COLUMN
+
+    needed = [
+        n
+        for n in sample.table.column_names
+        if n not in (WEIGHT_COLUMN, STRATUM_COLUMN)
+    ]
+    missing = [n for n in needed if n not in batch]
+    if missing:
+        raise ValueError(
+            f"batch is missing sample columns: {', '.join(missing)}"
+        )
+    return batch.select(needed)

@@ -1,0 +1,391 @@
+"""Concurrent serving front for the sample warehouse.
+
+:class:`WarehouseService` glues the persistent store, the maintenance
+pipeline and the AQP router into one thread-safe endpoint:
+
+* **reads** (:meth:`query`) run concurrently under a read-write lock's
+  shared side, route through an :class:`~repro.aqp.session.AQPSession`
+  (sample routing + HT-weighted plans + compiled-plan cache), and are
+  memoized in an LRU *answer* cache keyed by the store epoch — so a
+  dashboard re-issuing the same SQL is a dictionary hit;
+* **writes** (:meth:`build`, :meth:`refresh`, :meth:`register_table`)
+  do their heavy lifting — two-pass builds, streaming ingests, store
+  I/O — *outside* the write lock, then take it only for the in-memory
+  swap: replace the routed sample, append the batch to the base table
+  (so exact fallback stays consistent), bump the epoch, drop stale
+  cached answers. Readers therefore block only for the swap, never for
+  the sampling work; concurrent writers are serialized by a separate
+  maintenance mutex.
+
+Thread-safety note: the session's internal plan cache is shared by
+concurrent readers; its mutations are benign under the GIL (worst case
+a plan is compiled twice), while every structural change to tables or
+samples happens under the exclusive side of the lock.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from contextlib import contextmanager
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from ..aqp.session import AQPResult, AQPSession
+from ..engine.table import Table
+from ..workload.model import Workload
+from .advisor import AdvisorPlan, advise
+from .maintenance import (
+    BuildReport,
+    RefreshReport,
+    SampleMaintainer,
+    StalenessInfo,
+)
+from .store import SampleStore, StoreEntryStats
+
+__all__ = ["WarehouseService", "RWLock", "LRUCache"]
+
+
+class RWLock:
+    """Reader-writer lock, writer-preferring.
+
+    Many readers may hold the lock at once; a writer waits for them to
+    drain and blocks new readers while waiting (no writer starvation).
+    """
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._readers = 0
+        self._writer = False
+        self._writers_waiting = 0
+
+    @contextmanager
+    def read(self):
+        self.acquire_read()
+        try:
+            yield
+        finally:
+            self.release_read()
+
+    @contextmanager
+    def write(self):
+        self.acquire_write()
+        try:
+            yield
+        finally:
+            self.release_write()
+
+    def acquire_read(self) -> None:
+        with self._cond:
+            while self._writer or self._writers_waiting:
+                self._cond.wait()
+            self._readers += 1
+
+    def release_read(self) -> None:
+        with self._cond:
+            self._readers -= 1
+            if self._readers == 0:
+                self._cond.notify_all()
+
+    def acquire_write(self) -> None:
+        with self._cond:
+            self._writers_waiting += 1
+            try:
+                while self._writer or self._readers:
+                    self._cond.wait()
+            finally:
+                self._writers_waiting -= 1
+            self._writer = True
+
+    def release_write(self) -> None:
+        with self._cond:
+            self._writer = False
+            self._cond.notify_all()
+
+
+class LRUCache:
+    """Small thread-safe LRU map for answered queries."""
+
+    def __init__(self, capacity: int = 128) -> None:
+        if capacity < 0:
+            raise ValueError("capacity must be >= 0")
+        self.capacity = capacity
+        self._entries: OrderedDict = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key):
+        with self._lock:
+            try:
+                value = self._entries.pop(key)
+            except KeyError:
+                self.misses += 1
+                return None
+            self._entries[key] = value  # move to MRU end
+            self.hits += 1
+            return value
+
+    def put(self, key, value) -> None:
+        if self.capacity == 0:
+            return
+        with self._lock:
+            self._entries.pop(key, None)
+            self._entries[key] = value
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+
+class WarehouseService:
+    """Thread-safe query endpoint over a persistent sample warehouse."""
+
+    def __init__(
+        self,
+        store,
+        tables: Optional[Mapping[str, Table]] = None,
+        cache_size: int = 128,
+        cv_degradation_threshold: float = 1.5,
+        keep_versions: int = 4,
+    ) -> None:
+        self.store = (
+            store if isinstance(store, SampleStore) else SampleStore(store)
+        )
+        self.maintainer = SampleMaintainer(
+            self.store,
+            cv_degradation_threshold=cv_degradation_threshold,
+            keep_versions=keep_versions,
+        )
+        self._session = AQPSession(tables)
+        self._lock = RWLock()
+        self._maintenance = threading.Lock()  # serializes writers' work
+        self._cache = LRUCache(cache_size)
+        self._epoch = 0
+        self._versions: Dict[str, str] = {}  # sample -> served version
+        self._orphans: Dict[str, str] = {}  # sample -> missing base table
+        self.queries_served = 0
+        self._warm_start()
+
+    # ------------------------------------------------------------------
+    # registration / building
+    # ------------------------------------------------------------------
+    def register_table(self, name: str, table: Table) -> None:
+        """Register (or replace) a base table; adopts any stored samples
+        that were waiting for it."""
+        with self._maintenance:
+            adopted = [
+                s for s, t in self._orphans.items() if t == name
+            ]
+            loaded = {s: self.store.get(s) for s in adopted}
+            with self._lock.write():
+                self._session.register_table(name, table)
+                for sample_name, stored in loaded.items():
+                    self._session.register_sample(
+                        sample_name, stored.sample, name, replace=True
+                    )
+                    self._versions[sample_name] = stored.version
+                    del self._orphans[sample_name]
+                self._bump()
+
+    def build(
+        self,
+        name: str,
+        table_name: str,
+        group_by: Sequence[str],
+        value_columns: Sequence[str],
+        budget: int,
+        seed: int = 0,
+    ) -> BuildReport:
+        """Two-pass build into the store, then swap it live."""
+        with self._maintenance:
+            with self._lock.read():
+                table = self._session.tables.get(table_name)
+            if table is None:
+                raise KeyError(f"unknown base table {table_name!r}")
+            report = self.maintainer.build(
+                name,
+                table,
+                group_by=group_by,
+                value_columns=value_columns,
+                budget=budget,
+                table_name=table_name,
+                seed=seed,
+            )
+            stored = self.store.get(name, report.version)
+            with self._lock.write():
+                self._session.register_sample(
+                    name, stored.sample, table_name, replace=True
+                )
+                self._versions[name] = report.version
+                self._bump()
+        return report
+
+    # ------------------------------------------------------------------
+    # maintenance
+    # ------------------------------------------------------------------
+    def refresh(self, name: str, batch: Table, seed: int = 0) -> RefreshReport:
+        """Fold an appended batch into sample ``name`` and swap the new
+        version live; the base table grows by ``batch`` too, so exact
+        fallback keeps matching the sampled reality."""
+        with self._maintenance:
+            stored = self.store.get(name)
+            table_name = stored.table_name
+            with self._lock.read():
+                base = (
+                    self._session.tables.get(table_name)
+                    if table_name
+                    else None
+                )
+            grown = base.concat(batch) if base is not None else None
+            report = self.maintainer.refresh(
+                name, batch, full_table=grown, seed=seed
+            )
+            fresh = self.store.get(name, report.version)
+            with self._lock.write():
+                if grown is not None:
+                    self._session.register_table(table_name, grown)
+                if table_name and table_name in self._session.tables:
+                    self._session.register_sample(
+                        name, fresh.sample, table_name, replace=True
+                    )
+                    self._versions[name] = report.version
+                self._bump()
+        return report
+
+    def staleness(self, name: str) -> StalenessInfo:
+        return self.maintainer.staleness(name)
+
+    # ------------------------------------------------------------------
+    # advising
+    # ------------------------------------------------------------------
+    def advise(
+        self,
+        workload: Workload,
+        table_name: str,
+        storage_budget: int,
+        target_cv: float = 0.05,
+        materialize: bool = False,
+        seed: int = 0,
+    ) -> AdvisorPlan:
+        """Recommend (and optionally build) samples for a workload."""
+        with self._lock.read():
+            table = self._session.tables.get(table_name)
+        if table is None:
+            raise KeyError(f"unknown base table {table_name!r}")
+        plan = advise(
+            workload, table, storage_budget, target_cv=target_cv
+        )
+        if materialize:
+            for rec in plan.recommendations:
+                cand = rec.candidate
+                self.build(
+                    rec.name,
+                    table_name,
+                    group_by=cand.attrs,
+                    value_columns=cand.agg_columns,
+                    budget=cand.budget,
+                    seed=seed,
+                )
+        return plan
+
+    # ------------------------------------------------------------------
+    # serving
+    # ------------------------------------------------------------------
+    def query(self, sql: str, mode: str = "auto") -> AQPResult:
+        """Answer ``sql``; concurrent-safe, memoized per store epoch."""
+        key = (self._epoch, mode, sql)
+        cached = self._cache.get(key)
+        if cached is not None:
+            self.queries_served += 1
+            return cached
+        with self._lock.read():
+            result = self._session.query(sql, mode=mode)
+        self.queries_served += 1
+        # A writer may have swapped while we executed; only cache
+        # results that are still current.
+        if key[0] == self._epoch:
+            self._cache.put(key, result)
+        return result
+
+    def execute(self, sql: str) -> Table:
+        """Exact execution over the base tables."""
+        return self.query(sql, mode="exact").table
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def samples(self) -> List[str]:
+        with self._lock.read():
+            return self._session.samples()
+
+    def served_versions(self) -> Dict[str, str]:
+        with self._lock.read():
+            return dict(self._versions)
+
+    def stats(self) -> Dict:
+        """Store accounting + serving counters in one snapshot."""
+        entries: List[StoreEntryStats] = self.store.stats()
+        with self._lock.read():
+            session = self._session
+            return {
+                "epoch": self._epoch,
+                "queries_served": self.queries_served,
+                "answer_cache": {
+                    "size": len(self._cache),
+                    "capacity": self._cache.capacity,
+                    "hits": self._cache.hits,
+                    "misses": self._cache.misses,
+                },
+                "plan_cache": {
+                    "hits": session.plan_cache_hits,
+                    "misses": session.plan_cache_misses,
+                },
+                "tables": {
+                    name: table.num_rows
+                    for name, table in session.tables.items()
+                },
+                "samples": {
+                    e.name: {
+                        "version": e.current_version,
+                        "served_version": self._versions.get(e.name),
+                        "versions": e.num_versions,
+                        "rows": e.rows,
+                        "strata": e.strata,
+                        "by": list(e.by),
+                        "method": e.method,
+                        "bytes": e.bytes_on_disk,
+                        "staleness": e.lineage.get("staleness", 0.0),
+                        "needs_rebuild": e.lineage.get(
+                            "needs_rebuild", False
+                        ),
+                    }
+                    for e in entries
+                },
+            }
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _warm_start(self) -> None:
+        """Adopt every stored sample whose base table is registered."""
+        for name in self.store.names():
+            stored = self.store.get(name)
+            table_name = stored.table_name
+            if table_name and table_name in self._session.tables:
+                self._session.register_sample(
+                    name, stored.sample, table_name, replace=True
+                )
+                self._versions[name] = stored.version
+            else:
+                self._orphans[name] = table_name or ""
+
+    def _bump(self) -> None:
+        """Invalidate answers; caller must hold the write lock."""
+        self._epoch += 1
+        self._cache.clear()

@@ -1,0 +1,428 @@
+"""Persistent, versioned sample store.
+
+A :class:`SampleStore` keeps materialized
+:class:`~repro.core.sample.StratifiedSample` objects on disk, each under
+its own name with an append-only sequence of immutable versions::
+
+    root/
+      <name>/
+        CURRENT          # one line: the live version id, e.g. "v000003"
+        v000001/
+          rows.npz       # the sample table (dtypes + categories intact)
+          meta.json      # allocation, statistics, lineage, provenance
+        v000002/
+          ...
+
+Writes are atomic at two levels: a new version is assembled in a hidden
+staging directory and renamed into place with ``os.replace``, and the
+``CURRENT`` pointer is swapped the same way — a reader either sees the
+old version or the new one, never a half-written directory. Readers
+never take locks; concurrent writers within one process are serialized
+by an internal mutex (cross-process write coordination is a ROADMAP
+item).
+
+Besides the sample itself, a version persists the allocation's pass-1
+per-stratum statistics (when the sampler kept them) so the maintenance
+pipeline can resume the streaming CVOPT exactly where the last build
+left off, plus a free-form ``lineage`` dict tracking refresh history
+and staleness.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import shutil
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..core.sample import Allocation, StratifiedSample
+from ..engine.statistics import ColumnStats, StrataStatistics
+from ..engine.table import Table
+
+__all__ = ["SampleStore", "StoredSample", "StoreEntryStats"]
+
+_FORMAT_VERSION = 1
+_CURRENT_FILE = "CURRENT"
+_ROWS_FILE = "rows.npz"
+_META_FILE = "meta.json"
+
+
+@dataclass
+class StoredSample:
+    """One loaded version: the sample plus its warehouse metadata."""
+
+    name: str
+    version: str
+    sample: StratifiedSample
+    table_name: Optional[str] = None
+    lineage: Dict = field(default_factory=dict)
+    extra: Dict = field(default_factory=dict)
+    path: Optional[pathlib.Path] = None
+
+    @property
+    def statistics(self) -> Optional[StrataStatistics]:
+        return self.sample.allocation.stats
+
+
+@dataclass
+class StoreEntryStats:
+    """Size/version accounting for one stored sample."""
+
+    name: str
+    current_version: Optional[str]
+    num_versions: int
+    rows: int
+    strata: int
+    bytes_on_disk: int
+    method: str
+    by: tuple
+    lineage: Dict = field(default_factory=dict)
+
+
+class SampleStore:
+    """Directory-backed store of named, versioned stratified samples."""
+
+    def __init__(self, root) -> None:
+        self.root = pathlib.Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self._write_lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # writing
+    # ------------------------------------------------------------------
+    def put(
+        self,
+        name: str,
+        sample: StratifiedSample,
+        table_name: Optional[str] = None,
+        lineage: Optional[Dict] = None,
+        extra: Optional[Dict] = None,
+    ) -> str:
+        """Write ``sample`` as the next version of ``name``; returns the
+        new version id. The version becomes visible atomically."""
+        _validate_name(name)
+        with self._write_lock:
+            sample_dir = self.root / name
+            sample_dir.mkdir(parents=True, exist_ok=True)
+            version = _next_version(sample_dir)
+            staging = sample_dir / f".staging-{version}"
+            if staging.exists():
+                shutil.rmtree(staging)
+            staging.mkdir()
+            try:
+                sample.table.save(staging / _ROWS_FILE)
+                meta = self._encode_meta(
+                    name, version, sample, table_name, lineage, extra
+                )
+                (staging / _META_FILE).write_text(json.dumps(meta, indent=2))
+                os.replace(staging, sample_dir / version)
+            except BaseException:
+                shutil.rmtree(staging, ignore_errors=True)
+                raise
+            _swap_current(sample_dir, version)
+        return version
+
+    def delete(self, name: str) -> None:
+        """Remove a sample and all its versions."""
+        path = self._sample_dir(name)
+        shutil.rmtree(path)
+
+    def prune(self, name: str, keep: int = 2) -> List[str]:
+        """Drop all but the newest ``keep`` versions; returns the ids
+        removed. The current version is always kept."""
+        if keep < 1:
+            raise ValueError("keep must be >= 1")
+        sample_dir = self._sample_dir(name)
+        with self._write_lock:
+            versions = _list_versions(sample_dir)
+            current = _read_current(sample_dir)
+            doomed = [
+                v
+                for v in versions[:-keep]
+                if v != current
+            ]
+            for version in doomed:
+                shutil.rmtree(sample_dir / version, ignore_errors=True)
+        return doomed
+
+    # ------------------------------------------------------------------
+    # reading
+    # ------------------------------------------------------------------
+    def names(self) -> List[str]:
+        if not self.root.exists():
+            return []
+        return sorted(
+            p.name
+            for p in self.root.iterdir()
+            if p.is_dir() and _list_versions(p)
+        )
+
+    def __contains__(self, name: str) -> bool:
+        try:
+            sample_dir = self._sample_dir(name)
+        except KeyError:
+            return False
+        return bool(_list_versions(sample_dir))
+
+    def versions(self, name: str) -> List[str]:
+        return _list_versions(self._sample_dir(name))
+
+    def current_version(self, name: str) -> Optional[str]:
+        return _read_current(self._sample_dir(name))
+
+    def get(self, name: str, version: Optional[str] = None) -> StoredSample:
+        """Load ``name`` at ``version`` (default: the current one)."""
+        sample_dir = self._sample_dir(name)
+        if version is None:
+            version = _read_current(sample_dir)
+            if version is None:
+                raise KeyError(f"sample {name!r} has no current version")
+        version_dir = sample_dir / version
+        if not version_dir.is_dir():
+            raise KeyError(
+                f"sample {name!r} has no version {version!r}; "
+                f"available: {', '.join(_list_versions(sample_dir))}"
+            )
+        meta = json.loads((version_dir / _META_FILE).read_text())
+        table = Table.load(version_dir / _ROWS_FILE)
+        sample = self._decode_sample(table, meta)
+        return StoredSample(
+            name=name,
+            version=version,
+            sample=sample,
+            table_name=meta.get("table_name"),
+            lineage=meta.get("lineage") or {},
+            extra=meta.get("extra") or {},
+            path=version_dir,
+        )
+
+    def stats(self) -> List[StoreEntryStats]:
+        """Per-sample accounting over the whole store.
+
+        Safe against concurrent writers: a sample pruned or deleted
+        mid-walk is skipped rather than raising (the snapshot simply
+        reflects one side of the race).
+        """
+        out = []
+        for name in self.names():
+            try:
+                entry = self._entry_stats(name)
+            except FileNotFoundError:
+                continue  # pruned/deleted underneath us
+            out.append(entry)
+        return out
+
+    def _entry_stats(self, name: str) -> StoreEntryStats:
+        sample_dir = self.root / name
+        versions = _list_versions(sample_dir)
+        current = _read_current(sample_dir)
+        rows = strata = 0
+        method = ""
+        by: tuple = ()
+        lineage: Dict = {}
+        if current is not None:
+            meta = json.loads(
+                (sample_dir / current / _META_FILE).read_text()
+            )
+            rows = int(meta.get("sample_rows", 0))
+            strata = len(meta["allocation"]["keys"])
+            method = meta.get("method", "")
+            by = tuple(meta["allocation"]["by"])
+            lineage = meta.get("lineage") or {}
+        nbytes = 0
+        for f in sample_dir.rglob("*"):
+            try:
+                if f.is_file():
+                    nbytes += f.stat().st_size
+            except FileNotFoundError:
+                continue  # file pruned between listing and stat
+        return StoreEntryStats(
+            name=name,
+            current_version=current,
+            num_versions=len(versions),
+            rows=rows,
+            strata=strata,
+            bytes_on_disk=nbytes,
+            method=method,
+            by=by,
+            lineage=lineage,
+        )
+
+    # ------------------------------------------------------------------
+    # encoding
+    # ------------------------------------------------------------------
+    def _encode_meta(
+        self, name, version, sample, table_name, lineage, extra
+    ) -> Dict:
+        allocation = sample.allocation
+        meta = {
+            "format": _FORMAT_VERSION,
+            "name": name,
+            "version": version,
+            "method": sample.method,
+            "budget": int(sample.budget),
+            "source_rows": int(sample.source_rows),
+            "sample_rows": int(sample.num_rows),
+            "table_name": table_name,
+            "allocation": {
+                "by": list(allocation.by),
+                "keys": [_encode_key(k) for k in allocation.keys],
+                "populations": [int(x) for x in allocation.populations],
+                "sizes": [int(x) for x in allocation.sizes],
+            },
+            "lineage": dict(lineage or {}),
+            "extra": dict(extra or {}),
+        }
+        if allocation.scores is not None:
+            meta["allocation"]["scores"] = [
+                float(x) for x in allocation.scores
+            ]
+        if allocation.stats is not None:
+            meta["statistics"] = {
+                column: {
+                    "count": [float(x) for x in cs.count],
+                    "total": [float(x) for x in cs.total],
+                    "total_sq": [float(x) for x in cs.total_sq],
+                }
+                for column, cs in allocation.stats.columns.items()
+            }
+        return meta
+
+    def _decode_sample(self, table: Table, meta: Dict) -> StratifiedSample:
+        alloc_meta = meta["allocation"]
+        keys = [_decode_key(k) for k in alloc_meta["keys"]]
+        populations = np.asarray(alloc_meta["populations"], dtype=np.int64)
+        stats = None
+        if meta.get("statistics"):
+            stats = StrataStatistics(
+                by=tuple(alloc_meta["by"]),
+                keys=keys,
+                sizes=populations,
+            )
+            for column, cs in meta["statistics"].items():
+                stats.columns[column] = ColumnStats(
+                    count=np.asarray(cs["count"], dtype=np.float64),
+                    total=np.asarray(cs["total"], dtype=np.float64),
+                    total_sq=np.asarray(cs["total_sq"], dtype=np.float64),
+                )
+        scores = alloc_meta.get("scores")
+        allocation = Allocation(
+            by=tuple(alloc_meta["by"]),
+            keys=keys,
+            populations=populations,
+            sizes=np.asarray(alloc_meta["sizes"], dtype=np.int64),
+            scores=(
+                np.asarray(scores, dtype=np.float64)
+                if scores is not None
+                else None
+            ),
+            stats=stats,
+        )
+        return StratifiedSample(
+            table=table,
+            allocation=allocation,
+            method=meta["method"],
+            source_rows=int(meta["source_rows"]),
+            budget=int(meta["budget"]),
+        )
+
+    def _sample_dir(self, name: str) -> pathlib.Path:
+        _validate_name(name)
+        path = self.root / name
+        if not path.is_dir():
+            raise KeyError(
+                f"no stored sample {name!r}; "
+                f"available: {', '.join(self.names()) or '-'}"
+            )
+        return path
+
+
+# ----------------------------------------------------------------------
+# directory/version helpers
+# ----------------------------------------------------------------------
+def _validate_name(name: str) -> None:
+    if (
+        not name
+        or name != name.strip()
+        or any(sep in name for sep in ("/", "\\", os.sep))
+        or name.startswith(".")
+    ):
+        raise ValueError(f"invalid sample name {name!r}")
+
+
+def _list_versions(sample_dir: pathlib.Path) -> List[str]:
+    if not sample_dir.is_dir():
+        return []
+    return sorted(
+        p.name
+        for p in sample_dir.iterdir()
+        if p.is_dir() and p.name.startswith("v") and p.name[1:].isdigit()
+    )
+
+
+def _next_version(sample_dir: pathlib.Path) -> str:
+    versions = _list_versions(sample_dir)
+    last = int(versions[-1][1:]) if versions else 0
+    return f"v{last + 1:06d}"
+
+
+def _read_current(sample_dir: pathlib.Path) -> Optional[str]:
+    pointer = sample_dir / _CURRENT_FILE
+    try:
+        version = pointer.read_text().strip()
+    except FileNotFoundError:
+        versions = _list_versions(sample_dir)
+        return versions[-1] if versions else None
+    return version or None
+
+
+def _swap_current(sample_dir: pathlib.Path, version: str) -> None:
+    tmp = sample_dir / f".{_CURRENT_FILE}.tmp"
+    tmp.write_text(version + "\n")
+    os.replace(tmp, sample_dir / _CURRENT_FILE)
+
+
+# ----------------------------------------------------------------------
+# key-tuple (de)serialization — JSON with type tags so group keys
+# round-trip exactly (int vs float vs str vs bool vs null)
+# ----------------------------------------------------------------------
+def _encode_key(key) -> list:
+    return [_encode_value(v) for v in key]
+
+
+def _encode_value(value) -> list:
+    if isinstance(value, np.generic):
+        value = value.item()
+    if value is None:
+        return ["n", None]
+    if isinstance(value, bool):
+        return ["b", value]
+    if isinstance(value, int):
+        return ["i", value]
+    if isinstance(value, float):
+        return ["f", value]
+    return ["s", str(value)]
+
+
+def _decode_value(tagged) -> object:
+    tag, value = tagged
+    if tag == "n":
+        return None
+    if tag == "b":
+        return bool(value)
+    if tag == "i":
+        return int(value)
+    if tag == "f":
+        return float(value)
+    if tag == "s":
+        return str(value)
+    raise ValueError(f"unknown key tag {tag!r}")
+
+
+def _decode_key(tagged_key) -> tuple:
+    return tuple(_decode_value(t) for t in tagged_key)

@@ -63,6 +63,61 @@ class Workload:
     def total_queries(self) -> int:
         return sum(q.repeats for q in self.queries)
 
+    @classmethod
+    def from_log(cls, source) -> "Workload":
+        """Parse a query log into a workload.
+
+        ``source`` is a path, a multi-line log string, or an iterable
+        of lines. Two line formats are accepted (blank lines and ``--``
+        comments are skipped):
+
+        * a JSON object ``{"sql": ..., "repeats": N, "name": ...}``
+          (repeats and name optional);
+        * a raw SQL statement — repeated identical statements are
+          aggregated into one :class:`WorkloadQuery` with the total
+          count, which is how the paper turns a log into frequencies.
+
+        A single-line string is treated as a path unless it plainly is
+        a query (starts with SELECT/WITH or a JSON object), so a
+        mistyped log path raises ``FileNotFoundError`` instead of being
+        silently parsed as SQL.
+        """
+        import json
+        import pathlib
+        import re
+
+        if isinstance(source, pathlib.Path):
+            lines = source.read_text().splitlines()
+        elif isinstance(source, str):
+            if "\n" in source:
+                lines = source.splitlines()
+            elif re.match(r"\s*(\{|(?i:select|with)\b)", source):
+                lines = [source]
+            else:
+                lines = pathlib.Path(source).read_text().splitlines()
+        else:
+            lines = list(source)
+
+        workload = cls()
+        raw_counts: Dict[str, int] = {}
+        for line in lines:
+            line = line.strip()
+            if not line or line.startswith("--"):
+                continue
+            if line.startswith("{"):
+                entry = json.loads(line)
+                workload.add(
+                    entry["sql"],
+                    repeats=int(entry.get("repeats", 1)),
+                    name=str(entry.get("name", "")),
+                )
+            else:
+                sql = line.rstrip(";")
+                raw_counts[sql] = raw_counts.get(sql, 0) + 1
+        for sql, repeats in raw_counts.items():
+            workload.add(sql, repeats=repeats)
+        return workload
+
 
 @dataclass(frozen=True)
 class AggregationGroup:

@@ -28,8 +28,20 @@ class TestCatalogBasics:
         assert catalog.get("fine").allocation.by == ("country", "parameter")
 
     def test_duplicate_name_rejected(self, catalog):
-        with pytest.raises(ValueError):
+        with pytest.raises(ValueError, match="replace=True"):
             catalog.add("fine", catalog.get("coarse"))
+
+    def test_replace_swaps_in_place(self, catalog):
+        coarse = catalog.get("coarse")
+        catalog.add("fine", coarse, replace=True)
+        assert catalog.get("fine") is coarse
+        assert len(catalog) == 2
+
+    def test_remove(self, catalog):
+        catalog.remove("fine")
+        assert catalog.names() == ["coarse"]
+        with pytest.raises(KeyError):
+            catalog.remove("fine")
 
     def test_missing_name(self, catalog):
         with pytest.raises(KeyError, match="available"):
@@ -81,3 +93,49 @@ class TestPersistence:
         sql = "SELECT country, AVG(value) a FROM OpenAQ GROUP BY country"
         out = loaded.answer(sql, "OpenAQ")
         assert out.num_rows > 0
+
+    def test_save_writes_versioned_store_layout(self, catalog, tmp_path):
+        from repro.warehouse.store import SampleStore
+
+        catalog.save(tmp_path / "cat")
+        store = SampleStore(tmp_path / "cat")
+        assert set(store.names()) == {"fine", "coarse"}
+        assert store.current_version("fine") == "v000001"
+        # Saving again swaps the version atomically but keeps only the
+        # newest — a checkpoint, not an unbounded history.
+        catalog.save(tmp_path / "cat")
+        assert store.current_version("fine") == "v000002"
+        assert store.versions("fine") == ["v000002"]
+
+    def test_save_mirrors_removals(self, catalog, tmp_path):
+        catalog.save(tmp_path / "cat")
+        catalog.remove("fine")
+        catalog.save(tmp_path / "cat")
+        loaded = SampleCatalog.load(tmp_path / "cat")
+        assert loaded.names() == ["coarse"]
+
+    def test_legacy_manifest_still_loads(self, catalog, tmp_path):
+        import json
+
+        directory = tmp_path / "legacy"
+        directory.mkdir()
+        manifest = {}
+        for name in catalog.names():
+            sample = catalog.get(name)
+            stem = f"sample_{len(manifest)}"
+            sample.table.save(directory / f"{stem}.rows.npz")
+            manifest[name] = {
+                "stem": stem,
+                "method": sample.method,
+                "by": list(sample.allocation.by),
+                "keys": [list(k) for k in sample.allocation.keys],
+                "populations": [
+                    int(x) for x in sample.allocation.populations
+                ],
+                "sizes": [int(x) for x in sample.allocation.sizes],
+                "source_rows": sample.source_rows,
+                "budget": sample.budget,
+            }
+        (directory / "manifest.json").write_text(json.dumps(manifest))
+        loaded = SampleCatalog.load(directory)
+        assert set(loaded.names()) == set(catalog.names())

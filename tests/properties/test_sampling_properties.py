@@ -88,7 +88,9 @@ class TestSampleInvariants:
         seed=st.integers(0, 1000),
     )
     def test_ht_weights_reconstruct_population(self, groups, rate_pct, seed):
-        """sum of HT weights == table size, for any sample CVOPT draws."""
+        """sum of HT weights == the population of every stratum that
+        received rows — and the whole table once the budget affords the
+        one-row representation floor for each stratum."""
         table = make_grouped_table(
             sizes=[g[0] for g in groups],
             means=[g[1] for g in groups],
@@ -100,9 +102,11 @@ class TestSampleInvariants:
         budget = max(1, table.num_rows * rate_pct // 100)
         sample = sampler.sample(table, budget, seed=seed)
         weights = np.asarray(sample.table[WEIGHT_COLUMN])
-        np.testing.assert_allclose(
-            weights.sum(), table.num_rows, rtol=1e-9
-        )
+        allocation = sample.allocation
+        covered = allocation.populations[allocation.sizes > 0].sum()
+        np.testing.assert_allclose(weights.sum(), covered, rtol=1e-9)
+        if budget >= allocation.num_strata:
+            assert covered == table.num_rows
 
     @settings(max_examples=20, deadline=None)
     @given(groups=group_spec, seed=st.integers(0, 1000))

@@ -107,3 +107,135 @@ class TestEndToEnd:
                  "--out", str(tmp_path / f"s_{method}")]
             )
             assert rc == 0
+
+
+class TestWarehouseCLI:
+    """`repro warehouse` round-trip: build -> refresh -> serve -> stats."""
+
+    def _generate(self, tmp_path):
+        import numpy as np
+
+        from repro.datasets import generate_openaq
+        from repro.engine.table import Table
+
+        table = generate_openaq(num_rows=8000, num_countries=12, seed=3)
+        n = table.num_rows
+        base = table.take(np.arange(0, int(n * 0.7)))
+        batch = table.take(np.arange(int(n * 0.7), n))
+        base_path = str(tmp_path / "base.npz")
+        batch_path = str(tmp_path / "batch.npz")
+        base.save(base_path)
+        batch.save(batch_path)
+        return base_path, batch_path, table
+
+    def test_build_refresh_serve_stats(self, tmp_path, capsys):
+        base_path, batch_path, table = self._generate(tmp_path)
+        root = str(tmp_path / "wh")
+
+        rc = main(
+            ["warehouse", "build", "--root", root, "--table", base_path,
+             "--name", "s", "--table-name", "OpenAQ",
+             "--group-by", "country", "--value", "value",
+             "--budget", "600"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "built s v000001" in out
+
+        rc = main(
+            ["warehouse", "refresh", "--root", root, "--name", "s",
+             "--batch", batch_path]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "refresh of s -> v000002" in out
+
+        # Serve against the *full* data (base + batch): the refreshed
+        # sample must route and answer for the whole population.
+        full_path = str(tmp_path / "full.npz")
+        table.save(full_path)
+        rc = main(
+            ["warehouse", "serve", "--root", root, "--table", full_path,
+             "--table-name", "OpenAQ",
+             "--sql",
+             "SELECT country, AVG(value) a FROM OpenAQ GROUP BY country"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "routed to 's' (v000002)" in out
+        assert "a" in out
+
+        rc = main(["warehouse", "stats", "--root", root])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "s\tv000002\t2\t" in out
+
+    def test_build_with_rate(self, tmp_path, capsys):
+        base_path, _, _ = self._generate(tmp_path)
+        root = str(tmp_path / "wh")
+        rc = main(
+            ["warehouse", "build", "--root", root, "--table", base_path,
+             "--name", "r", "--group-by", "country", "--value", "value",
+             "--rate", "0.05"]
+        )
+        assert rc == 0
+        assert "built r v000001" in capsys.readouterr().out
+
+    def test_advise_and_materialize(self, tmp_path, capsys):
+        base_path, _, _ = self._generate(tmp_path)
+        root = str(tmp_path / "wh")
+        log = tmp_path / "queries.log"
+        log.write_text(
+            "SELECT country, AVG(value) a FROM OpenAQ GROUP BY country\n"
+            "SELECT country, AVG(value) a FROM OpenAQ GROUP BY country\n"
+            "SELECT parameter, SUM(value) s FROM OpenAQ "
+            "GROUP BY parameter\n"
+        )
+        rc = main(
+            ["warehouse", "advise", "--root", root, "--table", base_path,
+             "--workload", str(log), "--storage-budget", "6000",
+             "--target-cv", "0.25", "--materialize"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "storage budget 6000" in out
+        assert "materialized: wh_" in out
+
+    def test_serve_exact_mode(self, tmp_path, capsys):
+        base_path, _, _ = self._generate(tmp_path)
+        root = str(tmp_path / "wh")
+        main(
+            ["warehouse", "build", "--root", root, "--table", base_path,
+             "--name", "s", "--table-name", "OpenAQ",
+             "--group-by", "country", "--value", "value",
+             "--budget", "400"]
+        )
+        capsys.readouterr()
+        rc = main(
+            ["warehouse", "serve", "--root", root, "--table", base_path,
+             "--table-name", "OpenAQ", "--mode", "exact",
+             "--sql", "SELECT COUNT(*) c FROM OpenAQ"]
+        )
+        assert rc == 0
+        assert "exact execution" in capsys.readouterr().out
+
+    def test_advise_empty_log_fails(self, tmp_path, capsys):
+        base_path, _, _ = self._generate(tmp_path)
+        log = tmp_path / "empty.log"
+        log.write_text("-- nothing here\n")
+        rc = main(
+            ["warehouse", "advise", "--table", base_path,
+             "--workload", str(log), "--storage-budget", "100"]
+        )
+        assert rc == 2
+
+    def test_build_rejects_nonpositive_budget(self, tmp_path, capsys):
+        base_path, _, _ = self._generate(tmp_path)
+        rc = main(
+            ["warehouse", "build", "--root", str(tmp_path / "wh"),
+             "--table", base_path, "--name", "s",
+             "--group-by", "country", "--value", "value",
+             "--budget", "0"]
+        )
+        assert rc == 2
+        assert "--budget must be positive" in capsys.readouterr().err

@@ -1,0 +1,138 @@
+"""Workload-driven advisor: candidate pricing, greedy cover, logs."""
+
+import pytest
+
+from repro.warehouse import SampleMaintainer, SampleStore, advise
+from repro.workload import Workload
+
+Q_COUNTRY = "SELECT country, AVG(value) a FROM OpenAQ GROUP BY country"
+Q_FINE = (
+    "SELECT country, parameter, AVG(value) a FROM OpenAQ "
+    "GROUP BY country, parameter"
+)
+Q_PARAM = "SELECT parameter, SUM(value) s FROM OpenAQ GROUP BY parameter"
+
+
+@pytest.fixture()
+def workload():
+    return (
+        Workload()
+        .add(Q_COUNTRY, repeats=20, name="by_country")
+        .add(Q_FINE, repeats=5, name="fine")
+        .add(Q_PARAM, repeats=10, name="by_param")
+    )
+
+
+class TestAdvise:
+    def test_fine_stratification_subsumes_coarse(
+        self, workload, openaq_small
+    ):
+        plan = advise(
+            workload, openaq_small, storage_budget=30_000, target_cv=0.2
+        )
+        # One sample on (country, parameter) answers all three queries.
+        assert len(plan.recommendations) == 1
+        rec = plan.recommendations[0]
+        assert rec.candidate.attrs == ("country", "parameter")
+        assert plan.coverage == pytest.approx(1.0)
+        assert plan.uncovered_queries == []
+
+    def test_budget_respected(self, workload, openaq_small):
+        plan = advise(
+            workload, openaq_small, storage_budget=30_000, target_cv=0.2
+        )
+        assert plan.rows_used <= plan.storage_budget
+        for rec in plan.recommendations:
+            assert rec.candidate.budget <= plan.storage_budget
+
+    def test_tiny_budget_leaves_queries_uncovered(
+        self, workload, openaq_small
+    ):
+        plan = advise(
+            workload, openaq_small, storage_budget=10, target_cv=0.05
+        )
+        assert plan.rows_used <= 10
+        assert plan.uncovered_queries  # nothing affordable covers all
+
+    def test_tighter_cv_costs_more_rows(self, workload, openaq_small):
+        loose = advise(
+            workload, openaq_small, storage_budget=10**9, target_cv=0.3
+        )
+        tight = advise(
+            workload, openaq_small, storage_budget=10**9, target_cv=0.05
+        )
+        assert tight.rows_used > loose.rows_used
+
+    def test_empty_workload(self, openaq_small):
+        plan = advise(Workload(), openaq_small, storage_budget=1000)
+        assert plan.recommendations == []
+        assert plan.coverage == 1.0
+
+    def test_count_star_workload_materializes(
+        self, openaq_small, tmp_path
+    ):
+        # COUNT(*) synthesizes a derived constant column; the advisor
+        # must not hand that synthetic name to the maintainer.
+        workload = (
+            Workload()
+            .add(
+                "SELECT country, COUNT(*) c, AVG(value) a FROM OpenAQ "
+                "GROUP BY country",
+                repeats=5,
+            )
+        )
+        plan = advise(
+            workload, openaq_small, storage_budget=30_000, target_cv=0.25
+        )
+        (rec,) = plan.recommendations
+        assert rec.candidate.agg_columns == ("value",)
+        store = SampleStore(tmp_path / "wh")
+        built = plan.materialize(SampleMaintainer(store), openaq_small)
+        assert built and store.get(built[0]).sample.num_rows > 0
+
+    def test_materialize_builds_into_store(
+        self, workload, openaq_small, tmp_path
+    ):
+        plan = advise(
+            workload, openaq_small, storage_budget=30_000, target_cv=0.25
+        )
+        store = SampleStore(tmp_path / "wh")
+        built = plan.materialize(
+            SampleMaintainer(store), openaq_small, table_name="OpenAQ"
+        )
+        assert built == [r.name for r in plan.recommendations]
+        for name in built:
+            stored = store.get(name)
+            assert stored.table_name == "OpenAQ"
+            assert stored.sample.num_rows > 0
+
+
+class TestWorkloadLog:
+    def test_plain_sql_lines_aggregate(self):
+        lines = [Q_COUNTRY, Q_COUNTRY + ";", "-- a comment", "", Q_PARAM]
+        workload = Workload.from_log(lines)
+        by_sql = {q.sql: q.repeats for q in workload.queries}
+        assert by_sql[Q_COUNTRY] == 2
+        assert by_sql[Q_PARAM] == 1
+
+    def test_json_lines(self):
+        lines = [
+            '{"sql": "%s", "repeats": 7, "name": "c"}' % Q_COUNTRY,
+        ]
+        workload = Workload.from_log(lines)
+        assert workload.queries[0].repeats == 7
+        assert workload.queries[0].name == "c"
+
+    def test_from_file(self, tmp_path):
+        log = tmp_path / "queries.log"
+        log.write_text(Q_COUNTRY + "\n" + Q_COUNTRY + "\n")
+        workload = Workload.from_log(log)
+        assert workload.total_queries == 2
+
+    def test_missing_path_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            Workload.from_log(str(tmp_path / "typo.log"))
+
+    def test_single_query_string_is_not_a_path(self):
+        workload = Workload.from_log(Q_COUNTRY)
+        assert workload.queries[0].sql == Q_COUNTRY
