@@ -1,0 +1,300 @@
+"""Serving benchmark: async/HTTP throughput + latency under load.
+
+Standalone like ``bench_warehouse.py`` so CI can run it in smoke mode
+and archive the JSON::
+
+    PYTHONPATH=src python benchmarks/bench_serve.py --smoke \
+        --out bench_serve.json
+
+Measured phases (all stdlib asyncio, no HTTP library):
+
+* ``direct``     — concurrent queries through AsyncWarehouseService
+                   (no network): pool + contract overhead
+* ``http``       — keep-alive client connections hammering
+                   ``POST /query`` over real sockets: end-to-end
+                   request throughput and latency percentiles
+* ``http_swap``  — the same load while a refresh hot-swaps the served
+                   version mid-flight: errors must stay zero and both
+                   versions must appear in contracts
+* ``contract``   — constraint paths: exact-fallback and 412 rejection
+                   round-trips
+
+Each phase reports queries, wall seconds, qps, and latency p50/p95/p99
+in milliseconds.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import tempfile
+import time
+
+import numpy as np
+
+from repro.datasets import generate_openaq
+from repro.serve import (
+    AsyncWarehouseService,
+    HTTPConnection,
+    WarehouseHTTPServer,
+)
+from repro.warehouse import WarehouseService
+
+SHAPES = [
+    "SELECT country, AVG(value) a FROM OpenAQ GROUP BY country",
+    "SELECT country, SUM(value) s FROM OpenAQ GROUP BY country",
+    "SELECT country, COUNT(*) c FROM OpenAQ GROUP BY country",
+    "SELECT COUNT(*) c FROM OpenAQ",
+]
+
+CONTRACT_KEYS = {
+    "executed", "sample_name", "sample_version", "predicted_cv",
+    "max_group_cv", "staleness", "fallback_exact", "satisfied",
+}
+
+
+def _percentiles(latencies: list) -> dict:
+    if not latencies:
+        return {"p50_ms": 0.0, "p95_ms": 0.0, "p99_ms": 0.0}
+    array = np.asarray(latencies) * 1000.0
+    return {
+        "p50_ms": float(np.percentile(array, 50)),
+        "p95_ms": float(np.percentile(array, 95)),
+        "p99_ms": float(np.percentile(array, 99)),
+    }
+
+
+def _phase(latencies: list, elapsed: float, errors: int = 0) -> dict:
+    out = {
+        "queries": len(latencies),
+        "seconds": elapsed,
+        "qps": len(latencies) / elapsed if elapsed else float("inf"),
+        "errors": errors,
+        **_percentiles(latencies),
+    }
+    return out
+
+
+async def _direct_phase(service, queries: int, clients: int) -> dict:
+    latencies: list = []
+
+    async def worker(count: int) -> None:
+        for i in range(count):
+            start = time.perf_counter()
+            await service.query(SHAPES[i % len(SHAPES)])
+            latencies.append(time.perf_counter() - start)
+
+    start = time.perf_counter()
+    share = max(1, queries // clients)
+    await asyncio.gather(*(worker(share) for _ in range(clients)))
+    return _phase(latencies, time.perf_counter() - start)
+
+
+async def _http_phase(
+    port: int, queries: int, clients: int
+) -> dict:
+    latencies: list = []
+    errors = [0]
+
+    async def worker(count: int) -> None:
+        conn = await HTTPConnection.open("127.0.0.1", port)
+        try:
+            for i in range(count):
+                start = time.perf_counter()
+                status, payload = await conn.request(
+                    "POST", "/query",
+                    {"sql": SHAPES[i % len(SHAPES)], "limit": 5},
+                )
+                if status != 200 or not (
+                    CONTRACT_KEYS <= set(payload.get("contract", {}))
+                ):
+                    errors[0] += 1
+                    continue
+                latencies.append(time.perf_counter() - start)
+        finally:
+            await conn.close()
+
+    start = time.perf_counter()
+    share = max(1, queries // clients)
+    await asyncio.gather(*(worker(share) for _ in range(clients)))
+    return _phase(latencies, time.perf_counter() - start, errors[0])
+
+
+async def _swap_phase(
+    service, port: int, batch, queries: int, clients: int
+) -> dict:
+    latencies: list = []
+    errors = [0]
+    versions: set = set()
+
+    async def worker(count: int) -> None:
+        conn = await HTTPConnection.open("127.0.0.1", port)
+        try:
+            for _ in range(count):
+                start = time.perf_counter()
+                status, payload = await conn.request(
+                    "POST", "/query",
+                    {"sql": SHAPES[0], "limit": 5},
+                )
+                if status != 200:
+                    errors[0] += 1
+                    continue
+                versions.add(
+                    payload["contract"].get("sample_version")
+                )
+                latencies.append(time.perf_counter() - start)
+        finally:
+            await conn.close()
+
+    start = time.perf_counter()
+    share = max(1, queries // clients)
+    workers = [
+        asyncio.ensure_future(worker(share)) for _ in range(clients)
+    ]
+    report = await service.refresh("bench", batch)
+    await asyncio.gather(*workers)
+    out = _phase(latencies, time.perf_counter() - start, errors[0])
+    out["refresh_action"] = report.action
+    out["versions_observed"] = sorted(
+        v for v in versions if v is not None
+    )
+    return out
+
+
+async def _contract_phase(port: int, repeats: int) -> dict:
+    latencies: list = []
+    fallbacks = rejections = errors = 0
+    conn = await HTTPConnection.open("127.0.0.1", port)
+    start = time.perf_counter()
+    try:
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            status, payload = await conn.request(
+                "POST", "/query",
+                {"sql": SHAPES[0], "max_cv": 1e-12},
+            )
+            latencies.append(time.perf_counter() - t0)
+            if (
+                status == 200
+                and payload["contract"]["fallback_exact"]
+            ):
+                fallbacks += 1
+            else:
+                errors += 1
+            t0 = time.perf_counter()
+            status, payload = await conn.request(
+                "POST", "/query",
+                {"sql": SHAPES[0], "max_cv": 1e-12,
+                 "on_violation": "reject"},
+            )
+            latencies.append(time.perf_counter() - t0)
+            if status == 412 and payload.get("violations"):
+                rejections += 1
+            else:
+                errors += 1
+    finally:
+        await conn.close()
+    out = _phase(latencies, time.perf_counter() - start, errors)
+    out["exact_fallbacks"] = fallbacks
+    out["rejections_412"] = rejections
+    return out
+
+
+async def run(
+    rows: int, budget: int, queries: int, clients: int, root: str
+) -> dict:
+    table = generate_openaq(num_rows=rows, num_countries=20, seed=7)
+    n = table.num_rows
+    base = table.take(np.arange(0, int(n * 0.8)))
+    batch = table.take(np.arange(int(n * 0.8), n))
+
+    sync_service = WarehouseService(root, {"OpenAQ": base})
+    sync_service.build(
+        "bench", "OpenAQ", group_by=["country", "parameter"],
+        value_columns=["value"], budget=budget,
+    )
+    service = AsyncWarehouseService(
+        sync_service, max_concurrency=max(4, clients)
+    )
+    server = await WarehouseHTTPServer(service, port=0).start()
+
+    results = {
+        "config": {
+            "rows": rows,
+            "budget": budget,
+            "queries": queries,
+            "clients": clients,
+        }
+    }
+    try:
+        results["direct"] = await _direct_phase(
+            service, queries, clients
+        )
+        results["http"] = await _http_phase(
+            server.port, queries, clients
+        )
+        results["http_swap"] = await _swap_phase(
+            service, server.port, batch, queries, clients
+        )
+        results["contract"] = await _contract_phase(
+            server.port, max(5, queries // (8 * clients))
+        )
+        results["pool"] = service.pool_stats()
+    finally:
+        await server.stop()
+    return results
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="tiny sizes for CI (seconds, not minutes)",
+    )
+    parser.add_argument("--rows", type=int, default=None)
+    parser.add_argument("--budget", type=int, default=None)
+    parser.add_argument("--queries", type=int, default=None,
+                        help="requests per phase")
+    parser.add_argument("--clients", type=int, default=None,
+                        help="concurrent connections")
+    parser.add_argument("--root", default=None, help="store directory")
+    parser.add_argument("--out", default="bench_serve.json")
+    args = parser.parse_args(argv)
+
+    rows = args.rows or (8_000 if args.smoke else 120_000)
+    budget = args.budget or (600 if args.smoke else 6_000)
+    queries = args.queries or (200 if args.smoke else 4_000)
+    clients = args.clients or (4 if args.smoke else 16)
+    root = args.root or tempfile.mkdtemp(prefix="bench_serve_")
+
+    results = asyncio.run(
+        run(
+            rows=rows, budget=budget, queries=queries,
+            clients=clients, root=root,
+        )
+    )
+    with open(args.out, "w") as fh:
+        json.dump(results, fh, indent=2)
+
+    for phase in ("direct", "http", "http_swap", "contract"):
+        r = results[phase]
+        print(
+            f"{phase:10s} {r['qps']:8.0f} qps  "
+            f"p50 {r['p50_ms']:6.2f}ms  p95 {r['p95_ms']:6.2f}ms  "
+            f"p99 {r['p99_ms']:6.2f}ms  errors {r['errors']}"
+        )
+    print(
+        f"swap observed versions: "
+        f"{results['http_swap']['versions_observed']} "
+        f"({results['http_swap']['refresh_action']})"
+    )
+    print(f"wrote {args.out}")
+    failed = any(
+        results[p]["errors"] for p in ("direct", "http", "http_swap")
+    )
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -57,10 +57,17 @@ from .engine import Table, execute_sql
 from .queries import PAPER_QUERIES, get_query, task_for
 from .workload import Workload, WorkloadQuery, specs_from_workload
 from .warehouse import (
+    AccuracyContract,
+    AccuracyContractViolation,
     SampleMaintainer,
     SampleStore,
     WarehouseService,
     advise,
+)
+from .serve import (
+    AsyncWarehouseService,
+    MaintenanceDaemon,
+    WarehouseHTTPServer,
 )
 
 __version__ = "1.0.0"
@@ -105,5 +112,10 @@ __all__ = [
     "SampleMaintainer",
     "WarehouseService",
     "advise",
+    "AccuracyContract",
+    "AccuracyContractViolation",
+    "AsyncWarehouseService",
+    "WarehouseHTTPServer",
+    "MaintenanceDaemon",
     "__version__",
 ]

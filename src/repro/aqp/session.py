@@ -72,16 +72,32 @@ _MAX_BOUND_PLANS = 64
 
 @dataclass(frozen=True)
 class RouteDecision:
-    """Where the router sent a query and why."""
+    """Where the router sent a query and why.
+
+    ``predicted_cv`` is the routing score — the mean a-priori estimate
+    CV over the chosen sample's strata and the query's aggregate
+    columns; ``group_cvs`` is the same prediction *per stratum*
+    (aligned with the sample's ``allocation.keys``), surfaced so the
+    serving layer can embed per-group accuracy contracts in responses.
+    Both are ``None`` for exact execution.
+    """
 
     sample_name: Optional[str]  # None = exact execution
     table_name: Optional[str]  # base table the sample stands in for
     predicted_cv: Optional[float]  # routing score of the chosen sample
     reason: str
+    group_cvs: Optional[Tuple[float, ...]] = None  # per-stratum CVs
 
     @property
     def approximate(self) -> bool:
         return self.sample_name is not None
+
+    @property
+    def max_group_cv(self) -> Optional[float]:
+        """Worst per-stratum predicted CV (None for exact routes)."""
+        if not self.group_cvs:
+            return self.predicted_cv
+        return max(self.group_cvs)
 
 
 @dataclass
@@ -130,6 +146,13 @@ class AQPSession:
     # registration
     # ------------------------------------------------------------------
     def register_table(self, name: str, table: Table) -> None:
+        """Register (or replace) base table ``name``.
+
+        Invalidates the compiled-plan cache, since cached plans may
+        scan the table being replaced. Not thread-safe on its own — the
+        warehouse layer serializes structural changes behind a write
+        lock.
+        """
         self.tables[name] = table
         self.clear_plan_cache()
 
@@ -144,6 +167,10 @@ class AQPSession:
 
         ``replace=True`` swaps an already-registered sample in place —
         the warehouse uses this to publish refreshed versions.
+
+        Raises :class:`KeyError` when ``table_name`` is unknown and
+        :class:`ValueError` when ``name`` is already registered without
+        ``replace``. Invalidates the compiled-plan cache.
         """
         if table_name not in self.tables:
             raise KeyError(
@@ -181,9 +208,16 @@ class AQPSession:
         return sample
 
     def samples(self) -> list:
+        """Names of every registered sample, in catalog order."""
         return self.catalog.names()
 
     def clear_plan_cache(self) -> None:
+        """Drop every compiled plan (routing decisions included).
+
+        Called automatically whenever a table or sample changes; safe
+        to call at any time — the next query of each shape re-routes
+        and re-compiles.
+        """
         self._shape_cache.clear()
 
     # ------------------------------------------------------------------
@@ -278,7 +312,7 @@ class AQPSession:
         needed = _grouping_attributes(query)
         agg_columns = _aggregate_columns(query)
 
-        best = None  # (score, extra_attrs, name, table_name)
+        best = None  # (score, extra_attrs, name, table_name, group_cvs)
         for name, table_name in self._sample_sources.items():
             if table_name not in referenced:
                 continue
@@ -286,9 +320,9 @@ class AQPSession:
             attrs = set(sample.allocation.by)
             if not needed <= attrs:
                 continue
-            score = self._predicted_cv(sample, agg_columns)
+            score, group_cvs = self._predict_cvs(sample, agg_columns)
             extra = len(attrs - needed)
-            candidate = (score, extra, name, table_name)
+            candidate = (score, extra, name, table_name, group_cvs)
             if best is None or candidate[:2] < best[:2]:
                 best = candidate
         if best is None:
@@ -297,13 +331,14 @@ class AQPSession:
                 "no stored sample stratifies a superset of the query's "
                 "group-by attributes",
             )
-        score, _, name, table_name = best
+        score, _, name, table_name, group_cvs = best
         return RouteDecision(
             sample_name=name,
             table_name=table_name,
             predicted_cv=score,
             reason=f"sample {name!r} covers grouping {sorted(needed) or '*'} "
             f"with predicted CV {score:.4f}",
+            group_cvs=tuple(float(v) for v in group_cvs),
         )
 
     def _fallback(self, mode: str, reason: str) -> RouteDecision:
@@ -313,17 +348,24 @@ class AQPSession:
             )
         return RouteDecision(None, None, None, reason + "; executing exactly")
 
-    def _predicted_cv(
+    def _predict_cvs(
         self, sample: StratifiedSample, agg_columns
-    ) -> float:
-        """Routing score: mean predicted estimate CV over aggregates.
+    ) -> Tuple[float, np.ndarray]:
+        """Routing score plus per-stratum predicted CVs.
 
-        Uses the a-priori CV prediction of :mod:`repro.aqp.planning`
-        with per-stratum data CVs measured on the sample's own rows —
-        the best available estimate without touching the base table.
+        Returns ``(score, group_cvs)`` where ``group_cvs`` has one
+        entry per stratum of ``sample`` (aligned with
+        ``sample.allocation.keys``, averaged elementwise over the
+        query's aggregate columns) and ``score`` is its mean — the
+        number the router ranks candidates by. Uses the a-priori CV
+        prediction of :mod:`repro.aqp.planning` with per-stratum data
+        CVs measured on the sample's own rows — the best available
+        estimate without touching the base table. Strata the sample
+        cannot estimate (no rows) contribute the finite
+        ``_DEAD_GROUP_CV`` sentinel rather than ``inf``.
         """
         allocation = sample.allocation
-        scores = []
+        per_group = []
         for column in agg_columns:
             data_cvs = _sample_data_cvs(sample, column)
             if data_cvs is None:
@@ -331,9 +373,10 @@ class AQPSession:
             cvs = predict_group_cvs(
                 allocation.populations, data_cvs, allocation.sizes
             )
-            cvs = np.where(np.isfinite(cvs), cvs, _DEAD_GROUP_CV)
-            scores.append(float(cvs.mean()) if len(cvs) else 0.0)
-        if not scores:
+            per_group.append(
+                np.where(np.isfinite(cvs), cvs, _DEAD_GROUP_CV)
+            )
+        if not per_group:
             # COUNT(*)-style queries: the estimate CV is driven purely by
             # the sampling fractions.
             with np.errstate(divide="ignore", invalid="ignore"):
@@ -342,8 +385,12 @@ class AQPSession:
                     allocation.sizes / np.maximum(allocation.populations, 1),
                     1.0,
                 )
-            return float(1.0 - fraction.mean()) if len(fraction) else 0.0
-        return float(np.mean(scores))
+            group_cvs = 1.0 - fraction
+            score = float(group_cvs.mean()) if len(group_cvs) else 0.0
+            return score, group_cvs
+        group_cvs = np.mean(per_group, axis=0)
+        score = float(group_cvs.mean()) if len(group_cvs) else 0.0
+        return score, group_cvs
 
 
 # ----------------------------------------------------------------------

@@ -15,6 +15,10 @@ Subcommands::
     repro-cvopt warehouse advise  --root wh --table openaq.npz \
                                   --workload queries.log --storage-budget 5000
     repro-cvopt warehouse serve   --root wh --table openaq.npz --sql "..."
+    repro-cvopt warehouse serve   --root wh --table openaq.npz --http \
+                                  --port 8080 --watch incoming/
+    repro-cvopt warehouse daemon  --root wh --table openaq.npz \
+                                  --watch incoming/
     repro-cvopt warehouse stats   --root wh
 """
 
@@ -154,17 +158,78 @@ def build_parser() -> argparse.ArgumentParser:
     wha.add_argument("--seed", type=int, default=0)
 
     whs = whsub.add_parser(
-        "serve", help="answer SQL through the warehouse service"
+        "serve", help="answer SQL through the warehouse service "
+        "(one-shot with --sql, or an HTTP server with --http)"
     )
     whs.add_argument("--root", required=True)
     whs.add_argument("--table", required=True, help="npz base-table path")
     whs.add_argument("--table-name", default=None)
-    whs.add_argument("--sql", required=True, action="append",
+    whs.add_argument("--sql", default=None, action="append",
                      help="repeatable; each SQL is answered in order")
     whs.add_argument(
         "--mode", choices=["auto", "approx", "exact"], default="auto"
     )
     whs.add_argument("--limit", type=int, default=20)
+    whs.add_argument(
+        "--max-cv", type=float, default=None,
+        help="reject/fall back when the predicted per-group CV exceeds this",
+    )
+    whs.add_argument(
+        "--max-staleness", type=float, default=None,
+        help="reject/fall back when the served sample is staler than this",
+    )
+    whs.add_argument(
+        "--on-violation", choices=["fallback", "reject"],
+        default="fallback",
+        help="what a violated accuracy constraint does (default: exact "
+        "fallback)",
+    )
+    whs.add_argument(
+        "--http", action="store_true",
+        help="start an HTTP server instead of answering --sql once",
+    )
+    whs.add_argument("--host", default="127.0.0.1")
+    whs.add_argument("--port", type=int, default=8080,
+                     help="0 picks an ephemeral port")
+    whs.add_argument("--max-concurrency", type=int, default=8)
+    whs.add_argument("--max-pending", type=int, default=64)
+    whs.add_argument("--queue-timeout", type=float, default=30.0)
+    whs.add_argument(
+        "--watch", default=None,
+        help="with --http: also run the maintenance daemon on this "
+        "directory",
+    )
+    whs.add_argument(
+        "--default-sample", default=None,
+        help="daemon target for batch files without a '<sample>__' prefix",
+    )
+    whs.add_argument("--daemon-interval", type=float, default=1.0)
+
+    whd = whsub.add_parser(
+        "daemon",
+        help="watch a directory; refresh stored samples from dropped "
+        "batch files",
+    )
+    whd.add_argument("--root", required=True, help="store directory")
+    whd.add_argument(
+        "--table", action="append", default=[],
+        help="npz base-table path (repeatable; enables exact fallback "
+        "and rebuild escalation)",
+    )
+    whd.add_argument(
+        "--table-name", action="append", default=[],
+        help="SQL table name for the matching --table (positional pairing)",
+    )
+    whd.add_argument("--watch", required=True, help="incoming batch dir")
+    whd.add_argument(
+        "--sample", default=None,
+        help="default sample for batch files without a '<sample>__' prefix",
+    )
+    whd.add_argument("--interval", type=float, default=1.0)
+    whd.add_argument(
+        "--once", action="store_true",
+        help="ingest the current backlog and exit",
+    )
 
     wht = whsub.add_parser("stats", help="store + serving accounting")
     wht.add_argument("--root", required=True)
@@ -289,6 +354,7 @@ def _cmd_warehouse(args) -> int:
         "refresh": _cmd_warehouse_refresh,
         "advise": _cmd_warehouse_advise,
         "serve": _cmd_warehouse_serve,
+        "daemon": _cmd_warehouse_daemon,
         "stats": _cmd_warehouse_stats,
     }
     return handlers[args.wh_command](args)
@@ -372,23 +438,155 @@ def _cmd_warehouse_advise(args) -> int:
 
 
 def _cmd_warehouse_serve(args) -> int:
-    from .warehouse import WarehouseService
+    from .warehouse import AccuracyContractViolation, WarehouseService
 
     table = Table.load(args.table)
     table_name = args.table_name or table.name or "T"
     service = WarehouseService(args.root, {table_name: table})
+    if args.http:
+        return _serve_http(args, service)
+    if not args.sql:
+        print("provide --sql (one-shot) or --http (server)", file=sys.stderr)
+        return 2
     for sql in args.sql:
-        result = service.query(sql, mode=args.mode)
-        route = result.route
-        if route.approximate:
-            served = service.served_versions().get(route.sample_name, "?")
+        try:
+            answer = service.query_with_contract(
+                sql,
+                mode=args.mode,
+                max_cv=args.max_cv,
+                max_staleness=args.max_staleness,
+                on_violation=args.on_violation,
+            )
+        except AccuracyContractViolation as exc:
+            print(f"rejected: {exc}", file=sys.stderr)
+            return 4
+        contract = answer.contract
+        if contract.executed == "approximate":
             print(
-                f"routed to {route.sample_name!r} ({served}): {route.reason}"
+                f"routed to {contract.sample_name!r} "
+                f"({contract.sample_version}): {contract.reason}"
+            )
+            print(
+                f"contract: predicted CV {contract.predicted_cv:.4f} "
+                f"(max group {contract.max_group_cv:.4f}), "
+                f"staleness {contract.staleness:.2%}, "
+                f"drift {contract.drift:.3f}"
             )
         else:
-            print(f"exact execution: {route.reason}")
-        _print_table(result.table, args.limit)
+            print(f"exact execution: {contract.reason}")
+        _print_table(answer.table, args.limit)
     return 0
+
+
+def _serve_http(args, service) -> int:
+    """Run the asyncio/HTTP front (and optionally the daemon) until
+    interrupted."""
+    import asyncio
+
+    from .serve import (
+        AsyncWarehouseService,
+        MaintenanceDaemon,
+        WarehouseHTTPServer,
+    )
+
+    async def amain() -> int:
+        async_service = AsyncWarehouseService(
+            service,
+            max_concurrency=args.max_concurrency,
+            max_pending=args.max_pending,
+            queue_timeout=args.queue_timeout,
+        )
+        server = WarehouseHTTPServer(
+            async_service, host=args.host, port=args.port
+        )
+        await server.start()
+        daemon = None
+        if args.watch:
+            daemon = MaintenanceDaemon(
+                async_service,
+                args.watch,
+                sample=args.default_sample,
+                poll_interval=args.daemon_interval,
+            )
+            daemon.start()
+            print(f"maintenance daemon watching {args.watch}")
+        print(
+            f"serving on http://{args.host}:{server.port} "
+            "(POST /query, GET /samples, GET /stats, GET /healthz)",
+            flush=True,
+        )
+        try:
+            await server.serve_forever()
+        finally:
+            if daemon is not None:
+                await daemon.stop()
+            await server.stop()
+        return 0
+
+    try:
+        return asyncio.run(amain())
+    except KeyboardInterrupt:
+        return 0
+
+
+def _cmd_warehouse_daemon(args) -> int:
+    import asyncio
+
+    from .serve import MaintenanceDaemon
+    from .warehouse import WarehouseService
+
+    tables = {}
+    names = list(args.table_name)
+    for i, path in enumerate(args.table):
+        loaded = Table.load(path)
+        name = names[i] if i < len(names) else (loaded.name or f"T{i}")
+        tables[name] = loaded
+    service = WarehouseService(args.root, tables)
+    daemon = MaintenanceDaemon(
+        service,
+        args.watch,
+        sample=args.sample,
+        poll_interval=args.interval,
+        require_stable=not args.once,
+    )
+
+    async def amain() -> int:
+        if args.once:
+            for outcome in await daemon.poll():
+                _print_outcome(outcome)
+            return 1 if daemon.batches_failed else 0
+        daemon.start()
+        print(
+            f"daemon watching {args.watch} for *.npz batches "
+            "(Ctrl-C to stop)",
+            flush=True,
+        )
+        printed = 0
+        try:
+            while True:
+                await asyncio.sleep(min(args.interval, 1.0))
+                outcomes = list(daemon.outcomes)
+                for outcome in outcomes[printed:]:
+                    _print_outcome(outcome)
+                printed = len(outcomes)
+        finally:
+            await daemon.stop()
+
+    try:
+        return asyncio.run(amain())
+    except KeyboardInterrupt:
+        return 0
+
+
+def _print_outcome(outcome) -> None:
+    if outcome.ok:
+        print(
+            f"applied {outcome.file} -> {outcome.sample} "
+            f"{outcome.version} ({outcome.action}, +{outcome.rows} rows, "
+            f"{outcome.elapsed_seconds:.2f}s)"
+        )
+    else:
+        print(f"FAILED {outcome.file}: {outcome.error}", file=sys.stderr)
 
 
 def _cmd_warehouse_stats(args) -> int:

@@ -1,0 +1,36 @@
+"""Async serving layer: network front + background maintenance.
+
+This package puts the warehouse on the wire without any new
+dependencies:
+
+* :class:`~repro.serve.service.AsyncWarehouseService` — asyncio wrapper
+  over the thread-safe :class:`~repro.warehouse.service.WarehouseService`
+  with a bounded worker pool, back-pressure, queue timeouts, and
+  graceful draining;
+* :class:`~repro.serve.http.WarehouseHTTPServer` — HTTP/1.1 on stdlib
+  asyncio streams (``POST /query``, ``GET /samples``, ``GET /stats``,
+  ``GET /healthz``); every ``/query`` response embeds an accuracy
+  contract and honors ``max_cv`` / ``max_staleness`` constraints;
+* :class:`~repro.serve.daemon.MaintenanceDaemon` — async task that
+  watches a directory of dropped batch files and drives streaming
+  refreshes (with full-rebuild escalation) that hot-swap versions in
+  the live service.
+
+See ``docs/ARCHITECTURE.md`` for where this layer sits and
+``docs/API.md`` for the HTTP surface.
+"""
+
+from .daemon import BatchOutcome, MaintenanceDaemon
+from .http import HTTPConnection, WarehouseHTTPServer, request
+from .service import AsyncWarehouseService, ServiceClosed, ServiceOverloaded
+
+__all__ = [
+    "AsyncWarehouseService",
+    "ServiceClosed",
+    "ServiceOverloaded",
+    "WarehouseHTTPServer",
+    "HTTPConnection",
+    "request",
+    "MaintenanceDaemon",
+    "BatchOutcome",
+]

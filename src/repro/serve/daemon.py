@@ -1,0 +1,266 @@
+"""Background refresh daemon: a watched directory drives maintenance.
+
+A :class:`MaintenanceDaemon` is an asyncio task that polls a directory
+for dropped batch files (``.npz`` tables) and folds each into a stored
+sample through :meth:`WarehouseService.refresh` — i.e. the one-pass
+:meth:`StreamingCVOptSampler.resume` ingest with the existing
+drift-escalation rule (a batch that pushes allocation drift past the
+CV-degradation threshold triggers a full two-pass rebuild, because the
+service hands maintenance the grown base table). Every applied batch
+hot-swaps a new immutable version into the live service between
+requests; concurrent readers keep the old version until the swap.
+
+File protocol
+-------------
+* ``<sample>__anything.npz`` refreshes sample ``<sample>``;
+* any other ``*.npz`` refreshes the daemon's default ``sample`` (when
+  configured), otherwise it is quarantined;
+* producers should write elsewhere and ``os.replace`` into the watch
+  directory; as a second line of defense a file is only picked up once
+  its size and mtime are unchanged between two consecutive polls;
+* applied batches move to ``<watch>/processed/``, failures to
+  ``<watch>/failed/`` (with a ``.error.txt`` note) — the directory is
+  the queue, and it drains even when batches are bad.
+
+The heavy lifting (``Table.load``, the refresh itself) runs in worker
+threads via :func:`asyncio.to_thread`, so the daemon can share an event
+loop with the HTTP front without stalling it.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import pathlib
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, List, Optional, Tuple
+
+from ..engine.table import Table
+from ..warehouse.service import WarehouseService
+from .service import AsyncWarehouseService
+
+__all__ = ["MaintenanceDaemon", "BatchOutcome"]
+
+_PROCESSED_DIR = "processed"
+_FAILED_DIR = "failed"
+_SAMPLE_SEPARATOR = "__"
+
+
+@dataclass
+class BatchOutcome:
+    """What happened to one dropped batch file."""
+
+    file: str
+    sample: Optional[str]
+    ok: bool
+    action: Optional[str] = None  # "incremental" / "rebuild" when ok
+    version: Optional[str] = None
+    rows: int = 0
+    error: Optional[str] = None
+    elapsed_seconds: float = 0.0
+
+
+class MaintenanceDaemon:
+    """Watch a directory; refresh stored samples from dropped batches.
+
+    Parameters
+    ----------
+    service:
+        The warehouse to refresh — a sync :class:`WarehouseService` or
+        an :class:`AsyncWarehouseService` (its wrapped sync service is
+        used; refreshes are serialized by its maintenance mutex either
+        way).
+    watch_dir:
+        Directory to poll; created (with its ``processed``/``failed``
+        subdirectories) if missing.
+    sample:
+        Default sample for batch files without a ``<sample>__`` prefix.
+    poll_interval:
+        Seconds between directory scans while running.
+    require_stable:
+        Only ingest a file whose size/mtime matched on two consecutive
+        scans (guards against half-written drops). Disable for
+        single-shot catch-up runs where the producer is known quiescent.
+    keep_outcomes:
+        How many recent :class:`BatchOutcome` records to retain.
+
+    Single-loop object like the async service: drive it from one event
+    loop via :meth:`start`/:meth:`stop` (or call :meth:`poll` directly).
+    """
+
+    def __init__(
+        self,
+        service,
+        watch_dir,
+        sample: Optional[str] = None,
+        poll_interval: float = 1.0,
+        require_stable: bool = True,
+        keep_outcomes: int = 200,
+    ) -> None:
+        if isinstance(service, AsyncWarehouseService):
+            service = service.service
+        if not isinstance(service, WarehouseService):
+            raise TypeError(
+                "service must be a WarehouseService or "
+                "AsyncWarehouseService"
+            )
+        self.service = service
+        self.watch_dir = pathlib.Path(watch_dir)
+        self.sample = sample
+        self.poll_interval = float(poll_interval)
+        self.require_stable = bool(require_stable)
+        self.watch_dir.mkdir(parents=True, exist_ok=True)
+        (self.watch_dir / _PROCESSED_DIR).mkdir(exist_ok=True)
+        (self.watch_dir / _FAILED_DIR).mkdir(exist_ok=True)
+        self._seen: Dict[str, Tuple[int, int]] = {}  # name -> (size, mtime)
+        self._task: Optional[asyncio.Task] = None
+        self._stop = asyncio.Event()
+        self.outcomes: Deque[BatchOutcome] = deque(maxlen=keep_outcomes)
+        self.batches_applied = 0
+        self.batches_failed = 0
+        self.polls = 0
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> asyncio.Task:
+        """Spawn the polling loop on the running event loop."""
+        if self._task is not None and not self._task.done():
+            raise RuntimeError("daemon already running")
+        self._stop.clear()
+        self._task = asyncio.get_running_loop().create_task(
+            self._run(), name="warehouse-maintenance-daemon"
+        )
+        return self._task
+
+    async def stop(self) -> None:
+        """Finish the in-progress poll (if any) and stop. Idempotent."""
+        self._stop.set()
+        if self._task is not None:
+            await self._task
+            self._task = None
+
+    async def _run(self) -> None:
+        while not self._stop.is_set():
+            await self.poll()
+            try:
+                await asyncio.wait_for(
+                    self._stop.wait(), self.poll_interval
+                )
+            except asyncio.TimeoutError:
+                pass
+
+    # ------------------------------------------------------------------
+    # polling
+    # ------------------------------------------------------------------
+    async def poll(self) -> List[BatchOutcome]:
+        """Scan once and ingest every ready batch; returns outcomes.
+
+        With ``require_stable`` a new file is recorded on the first
+        scan and ingested on the next one whose size/mtime still match,
+        so a dropped batch needs two polls to land.
+        """
+        self.polls += 1
+        snapshot: Dict[str, Tuple[int, int]] = {}
+        ready = []
+        for path in sorted(self.watch_dir.glob("*.npz")):
+            try:
+                stat = path.stat()
+            except FileNotFoundError:
+                continue  # raced with another consumer
+            fingerprint = (stat.st_size, stat.st_mtime_ns)
+            snapshot[path.name] = fingerprint
+            if (
+                not self.require_stable
+                or self._seen.get(path.name) == fingerprint
+            ):
+                ready.append(path)
+        outcomes = []
+        for path in ready:
+            outcome = await self._ingest(path)
+            outcomes.append(outcome)
+            self.outcomes.append(outcome)
+            snapshot.pop(path.name, None)
+        self._seen = snapshot
+        return outcomes
+
+    async def _ingest(self, path: pathlib.Path) -> BatchOutcome:
+        sample = self._route(path)
+        started = time.perf_counter()
+        if sample is None:
+            return self._quarantine(
+                path,
+                sample,
+                "no '<sample>__' prefix and the daemon has no default "
+                "sample",
+                started,
+            )
+        try:
+            batch = await asyncio.to_thread(Table.load, path)
+            report = await asyncio.to_thread(
+                self.service.refresh, sample, batch
+            )
+        except Exception as exc:
+            return self._quarantine(
+                path, sample, f"{type(exc).__name__}: {exc}", started
+            )
+        path.replace(self.watch_dir / _PROCESSED_DIR / path.name)
+        self.batches_applied += 1
+        return BatchOutcome(
+            file=path.name,
+            sample=sample,
+            ok=True,
+            action=report.action,
+            version=report.version,
+            rows=report.rows_ingested,
+            elapsed_seconds=time.perf_counter() - started,
+        )
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict:
+        """Counters + the most recent outcome, JSON-ready."""
+        last = self.outcomes[-1] if self.outcomes else None
+        return {
+            "watch_dir": str(self.watch_dir),
+            "polls": self.polls,
+            "batches_applied": self.batches_applied,
+            "batches_failed": self.batches_failed,
+            "running": self._task is not None and not self._task.done(),
+            "last_outcome": vars(last) if last else None,
+        }
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _route(self, path: pathlib.Path) -> Optional[str]:
+        stem = path.name[: -len(".npz")]
+        if _SAMPLE_SEPARATOR in stem:
+            prefix = stem.split(_SAMPLE_SEPARATOR, 1)[0]
+            if prefix:
+                return prefix
+        return self.sample
+
+    def _quarantine(
+        self,
+        path: pathlib.Path,
+        sample: Optional[str],
+        error: str,
+        started: float,
+    ) -> BatchOutcome:
+        failed = self.watch_dir / _FAILED_DIR / path.name
+        try:
+            path.replace(failed)
+            failed.with_suffix(".error.txt").write_text(error + "\n")
+        except OSError:
+            pass  # the outcome record still carries the error
+        self.batches_failed += 1
+        return BatchOutcome(
+            file=path.name,
+            sample=sample,
+            ok=False,
+            error=error,
+            elapsed_seconds=time.perf_counter() - started,
+        )

@@ -1,0 +1,446 @@
+"""HTTP/1.1 front for the warehouse on stdlib asyncio streams.
+
+No web framework, no third-party deps: a hand-rolled request parser
+(request line + headers + Content-Length body, keep-alive supported)
+over :func:`asyncio.start_server`, answering JSON on four routes:
+
+===========  =========================================================
+``POST /query``    answer SQL; every response embeds an accuracy
+                   contract, and the body may carry ``max_cv`` /
+                   ``max_staleness`` constraints (violations → exact
+                   fallback or ``412 Precondition Failed``)
+``GET /samples``   live samples with served version + staleness
+``GET /stats``     full store/serving statistics
+``GET /healthz``   cheap liveness probe (no store I/O)
+===========  =========================================================
+
+Error mapping: malformed requests and SQL errors → 400, unknown paths →
+404, wrong method → 405, contract violations → 412, unexpected faults →
+500, saturation/shutdown → 503. Bodies are always JSON with an
+``error`` key. See ``docs/API.md`` for request/response examples.
+
+:class:`HTTPConnection` at the bottom is the matching minimal client,
+used by the test suite and ``benchmarks/bench_serve.py`` so neither
+needs an HTTP library either.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ..engine.sql.errors import QueryExecutionError
+from ..engine.sql.lexer import SqlSyntaxError
+from ..engine.table import Table
+from ..warehouse.contracts import AccuracyContractViolation
+from .service import AsyncWarehouseService, ServiceClosed, ServiceOverloaded
+
+__all__ = ["WarehouseHTTPServer", "HTTPConnection", "request"]
+
+_MAX_HEADER_BYTES = 64 * 1024
+_MAX_BODY_BYTES = 8 * 1024 * 1024
+_DEFAULT_ROW_LIMIT = 1_000
+
+_STATUS_TEXT = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    412: "Precondition Failed",
+    413: "Payload Too Large",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+def _json_default(value):
+    """Make numpy scalars (and anything else odd) JSON-serializable."""
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    if isinstance(value, np.bool_):
+        return bool(value)
+    return str(value)
+
+
+def _dumps(payload: Dict) -> bytes:
+    return json.dumps(payload, default=_json_default).encode("utf-8")
+
+
+def _table_payload(table: Table, limit: int) -> Dict:
+    """Answer rows as ``{columns, rows, row_count, truncated}``.
+
+    Slices to ``limit`` rows *before* decoding so the per-request cost
+    is bounded by the response size, not the answer size (negative
+    limit = all rows).
+    """
+    names = list(table.column_names)
+    total = table.num_rows
+    shown = total if limit < 0 else min(limit, total)
+    view = table.take(np.arange(shown)) if shown < total else table
+    decoded = [view.column(n).decode() for n in names]
+    rows = [
+        [column[i] for column in decoded] for i in range(shown)
+    ]
+    return {
+        "columns": names,
+        "rows": rows,
+        "row_count": total,
+        "truncated": shown < total,
+    }
+
+
+class _BadRequest(Exception):
+    """Internal: malformed HTTP or JSON input (mapped to 400/413)."""
+
+    def __init__(self, message: str, status: int = 400):
+        self.status = status
+        super().__init__(message)
+
+
+class WarehouseHTTPServer:
+    """Serve an :class:`AsyncWarehouseService` over HTTP.
+
+    ``port=0`` binds an ephemeral port; read :attr:`port` after
+    :meth:`start`. :meth:`stop` closes the listener, then drains the
+    wrapped service so every admitted query finishes before the
+    coroutine returns — in-flight responses are written, new
+    connections are refused.
+    """
+
+    def __init__(
+        self,
+        service: AsyncWarehouseService,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_contract_groups: int = 100,
+    ) -> None:
+        self.service = service
+        self.host = host
+        self.port = port
+        self.max_contract_groups = int(max_contract_groups)
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._connections: set = set()  # live connection-handler tasks
+        self._busy: set = set()  # handlers mid-request (response unsent)
+        self._stopping = False
+        self.requests_handled = 0
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> "WarehouseHTTPServer":
+        """Bind and start accepting connections; returns ``self``."""
+        if self._server is not None:
+            raise RuntimeError("server already started")
+        self._stopping = False
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self
+
+    async def serve_forever(self) -> None:
+        """Block until the server is cancelled or stopped."""
+        if self._server is None:
+            await self.start()
+        try:
+            await self._server.serve_forever()
+        except asyncio.CancelledError:
+            pass
+
+    async def stop(self, grace: float = 5.0) -> None:
+        """Graceful shutdown: stop accepting, drain in-flight requests.
+
+        Closes the listener, waits for the wrapped service to drain
+        every admitted query, gives busy handlers up to ``grace``
+        seconds to write their responses, then drops idle keep-alive
+        connections. Idempotent.
+        """
+        self._stopping = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        await self.service.close()
+        deadline = asyncio.get_running_loop().time() + grace
+        while self._busy and asyncio.get_running_loop().time() < deadline:
+            await asyncio.sleep(0.01)
+        for task in list(self._connections):
+            task.cancel()
+        if self._connections:
+            await asyncio.gather(
+                *self._connections, return_exceptions=True
+            )
+
+    # ------------------------------------------------------------------
+    # connection handling
+    # ------------------------------------------------------------------
+    async def _handle_connection(self, reader, writer) -> None:
+        task = asyncio.current_task()
+        self._connections.add(task)
+        try:
+            await self._serve_requests(reader, writer)
+        except asyncio.CancelledError:
+            pass  # shutdown dropped this idle connection; close quietly
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            self._connections.discard(task)
+            self._busy.discard(task)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (
+                asyncio.CancelledError,
+                ConnectionResetError,
+                BrokenPipeError,
+            ):
+                pass
+
+    async def _serve_requests(self, reader, writer) -> None:
+        """Keep-alive loop: one request/response at a time until EOF,
+        a ``Connection: close``, or server shutdown."""
+        task = asyncio.current_task()
+        while True:
+            try:
+                parsed = await _read_request(reader)
+            except (asyncio.IncompleteReadError, ConnectionResetError):
+                break  # client went away between requests
+            except _BadRequest as exc:
+                await _write_response(
+                    writer, exc.status, {"error": str(exc)}, close=True
+                )
+                break
+            if parsed is None:
+                break  # clean EOF
+            self._busy.add(task)
+            try:
+                method, path, headers, body = parsed
+                status, payload = await self._dispatch(
+                    method, path, body
+                )
+                self.requests_handled += 1
+                keep = (
+                    headers.get("connection", "keep-alive") != "close"
+                    and not self._stopping
+                )
+                await _write_response(
+                    writer, status, payload, close=not keep
+                )
+            finally:
+                self._busy.discard(task)
+            if not keep:
+                break
+
+    async def _dispatch(
+        self, method: str, path: str, body: bytes
+    ) -> Tuple[int, Dict]:
+        """Route one request; returns ``(status, json payload)``."""
+        path = path.split("?", 1)[0]
+        try:
+            if path == "/query":
+                if method != "POST":
+                    return 405, {"error": "use POST /query"}
+                return await self._handle_query(body)
+            if path == "/healthz":
+                if method != "GET":
+                    return 405, {"error": "use GET /healthz"}
+                return 200, self.service.health()
+            if path == "/samples":
+                if method != "GET":
+                    return 405, {"error": "use GET /samples"}
+                samples = await asyncio.to_thread(
+                    self.service.service.sample_summaries
+                )
+                return 200, {"samples": samples}
+            if path == "/stats":
+                if method != "GET":
+                    return 405, {"error": "use GET /stats"}
+                return 200, await self.service.stats()
+            return 404, {
+                "error": f"no route {path!r}; try POST /query, "
+                "GET /samples, GET /stats, GET /healthz"
+            }
+        except ServiceOverloaded as exc:
+            return 503, {"error": str(exc), "retry": True}
+        except ServiceClosed as exc:
+            return 503, {"error": str(exc), "retry": False}
+        except Exception as exc:  # pragma: no cover - last resort
+            return 500, {"error": f"{type(exc).__name__}: {exc}"}
+
+    async def _handle_query(self, body: bytes) -> Tuple[int, Dict]:
+        try:
+            request_body = json.loads(body.decode("utf-8")) if body else {}
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            return 400, {"error": f"body is not valid JSON: {exc}"}
+        if not isinstance(request_body, dict):
+            return 400, {"error": "body must be a JSON object"}
+        sql = request_body.get("sql")
+        if not sql or not isinstance(sql, str):
+            return 400, {"error": "body must carry a 'sql' string"}
+        limit = request_body.get("limit", _DEFAULT_ROW_LIMIT)
+        if isinstance(limit, bool) or not isinstance(limit, int):
+            return 400, {
+                "error": "'limit' must be an integer (negative = all rows)"
+            }
+        try:
+            answer = await self.service.query(
+                sql,
+                mode=request_body.get("mode", "auto"),
+                max_cv=request_body.get("max_cv"),
+                max_staleness=request_body.get("max_staleness"),
+                on_violation=request_body.get("on_violation", "fallback"),
+            )
+        except AccuracyContractViolation as exc:
+            return 412, {
+                "error": str(exc),
+                "violations": exc.violations,
+                "contract": exc.contract.to_dict(self.max_contract_groups),
+            }
+        except (SqlSyntaxError, QueryExecutionError, ValueError,
+                TypeError, KeyError) as exc:
+            return 400, {"error": f"{type(exc).__name__}: {exc}"}
+        payload = _table_payload(answer.result.table, limit)
+        payload["contract"] = answer.contract.to_dict(
+            self.max_contract_groups
+        )
+        payload["plan_cached"] = answer.result.plan_cached
+        payload["elapsed_seconds"] = answer.result.elapsed_seconds
+        return 200, payload
+
+
+# ----------------------------------------------------------------------
+# wire helpers (shared shapes between server and client)
+# ----------------------------------------------------------------------
+async def _read_request(reader):
+    """Parse one request; None on clean EOF before any bytes.
+
+    Raises :class:`_BadRequest` on malformed input and propagates
+    ``IncompleteReadError`` when the peer disconnects mid-request.
+    """
+    try:
+        head = await reader.readuntil(b"\r\n\r\n")
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise
+    except asyncio.LimitOverrunError:
+        raise _BadRequest("headers too large", status=413) from None
+    if len(head) > _MAX_HEADER_BYTES:
+        raise _BadRequest("headers too large", status=413)
+    lines = head.decode("latin-1").split("\r\n")
+    parts = lines[0].split()
+    if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+        raise _BadRequest(f"malformed request line {lines[0]!r}")
+    method, path, _version = parts
+    headers: Dict[str, str] = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, sep, value = line.partition(":")
+        if not sep:
+            raise _BadRequest(f"malformed header {line!r}")
+        headers[name.strip().lower()] = value.strip().lower()
+    length_text = headers.get("content-length", "0")
+    try:
+        length = int(length_text)
+    except ValueError:
+        raise _BadRequest(
+            f"bad Content-Length {length_text!r}"
+        ) from None
+    if length > _MAX_BODY_BYTES:
+        raise _BadRequest("body too large", status=413)
+    body = await reader.readexactly(length) if length else b""
+    return method.upper(), path, headers, body
+
+
+async def _write_response(
+    writer, status: int, payload: Dict, close: bool
+) -> None:
+    body = _dumps(payload)
+    head = (
+        f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Unknown')}\r\n"
+        f"Content-Type: application/json\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        f"Connection: {'close' if close else 'keep-alive'}\r\n"
+        "\r\n"
+    ).encode("latin-1")
+    writer.write(head + body)
+    await writer.drain()
+
+
+class HTTPConnection:
+    """Tiny keep-alive JSON-over-HTTP client for the warehouse server.
+
+    Stdlib-only counterpart to :class:`WarehouseHTTPServer`, used by
+    the tests and the serving benchmark::
+
+        conn = await HTTPConnection.open("127.0.0.1", port)
+        status, payload = await conn.request(
+            "POST", "/query", {"sql": "SELECT ..."}
+        )
+        await conn.close()
+
+    One request at a time per connection (HTTP/1.1 without pipelining).
+    """
+
+    def __init__(self, reader, writer):
+        self._reader = reader
+        self._writer = writer
+
+    @classmethod
+    async def open(cls, host: str, port: int) -> "HTTPConnection":
+        reader, writer = await asyncio.open_connection(host, port)
+        return cls(reader, writer)
+
+    async def request(
+        self, method: str, path: str, body: Optional[Dict] = None
+    ) -> Tuple[int, Dict]:
+        """Send one request; returns ``(status, decoded JSON body)``."""
+        encoded = _dumps(body) if body is not None else b""
+        head = (
+            f"{method} {path} HTTP/1.1\r\n"
+            f"Host: localhost\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(encoded)}\r\n"
+            "\r\n"
+        ).encode("latin-1")
+        self._writer.write(head + encoded)
+        await self._writer.drain()
+        status_line = await self._reader.readline()
+        if not status_line:
+            raise ConnectionResetError("server closed the connection")
+        status = int(status_line.split()[1])
+        headers: Dict[str, str] = {}
+        while True:
+            line = await self._reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0"))
+        raw = await self._reader.readexactly(length) if length else b""
+        return status, json.loads(raw.decode("utf-8")) if raw else {}
+
+    async def close(self) -> None:
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+
+
+async def request(
+    host: str, port: int, method: str, path: str,
+    body: Optional[Dict] = None,
+) -> Tuple[int, Dict]:
+    """One-shot convenience wrapper around :class:`HTTPConnection`."""
+    conn = await HTTPConnection.open(host, port)
+    try:
+        return await conn.request(method, path, body)
+    finally:
+        await conn.close()

@@ -1,0 +1,242 @@
+"""Asyncio front for the warehouse: bounded worker pool + back-pressure.
+
+:class:`AsyncWarehouseService` makes the thread-safe (but synchronous)
+:class:`~repro.warehouse.service.WarehouseService` usable from an event
+loop. Queries run in worker threads via :func:`asyncio.to_thread`; a
+semaphore caps how many execute at once, a pending bound rejects work
+outright when the queue is full (fail fast beats unbounded latency),
+and a queue timeout rejects requests that waited too long for a slot.
+Writes (build/refresh/register) also run in threads — the sync layer
+already serializes them behind its maintenance mutex.
+
+Shutdown is graceful: :meth:`close` stops admitting new requests and
+waits for every admitted one to finish, so an HTTP front can drain
+in-flight answers before the process exits.
+
+All coordination state (counters, semaphore, events) is touched only on
+the event-loop thread — the GIL-crossing work happens inside
+``to_thread`` where the sync service's own locks take over.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Dict, Optional
+
+from ..engine.table import Table
+from ..warehouse.contracts import AccuracyContractViolation, ContractedResult
+from ..warehouse.maintenance import BuildReport, RefreshReport
+from ..warehouse.service import WarehouseService
+
+__all__ = [
+    "AsyncWarehouseService",
+    "ServiceClosed",
+    "ServiceOverloaded",
+]
+
+
+class ServiceOverloaded(RuntimeError):
+    """Raised when the pending-request bound or queue timeout trips.
+
+    The HTTP layer maps this to 503 Service Unavailable; callers should
+    back off and retry.
+    """
+
+
+class ServiceClosed(RuntimeError):
+    """Raised for requests arriving after :meth:`close` began."""
+
+
+class AsyncWarehouseService:
+    """Bounded asyncio wrapper around a :class:`WarehouseService`.
+
+    Parameters
+    ----------
+    service:
+        The synchronous :class:`WarehouseService` to front (construct
+        it yourself — ownership of tables and stores stays explicit).
+    max_concurrency:
+        Queries executing in worker threads at once.
+    max_pending:
+        Requests allowed to *wait* for a slot beyond the executing
+        ones; the next request is rejected immediately with
+        :class:`ServiceOverloaded`.
+    queue_timeout:
+        Seconds a request may wait for a slot before it is rejected
+        with :class:`ServiceOverloaded`.
+
+    Not thread-safe: call it from one event loop. (The wrapped sync
+    service remains fully thread-safe and may be shared elsewhere.)
+    """
+
+    def __init__(
+        self,
+        service: WarehouseService,
+        max_concurrency: int = 8,
+        max_pending: int = 64,
+        queue_timeout: float = 30.0,
+    ) -> None:
+        if max_concurrency < 1:
+            raise ValueError("max_concurrency must be >= 1")
+        if max_pending < 0:
+            raise ValueError("max_pending must be >= 0")
+        self.service = service
+        self.max_concurrency = int(max_concurrency)
+        self.max_pending = int(max_pending)
+        self.queue_timeout = float(queue_timeout)
+        self._sem = asyncio.Semaphore(self.max_concurrency)
+        self._pending = 0  # admitted requests: waiting + executing
+        self._inflight = 0  # executing right now
+        self._closing = False
+        self._drained = asyncio.Event()
+        self._drained.set()
+        # counters surfaced in stats()
+        self.queries = 0
+        self.rejected_overload = 0
+        self.rejected_contract = 0
+        self.peak_inflight = 0
+
+    # ------------------------------------------------------------------
+    # serving
+    # ------------------------------------------------------------------
+    async def query(
+        self,
+        sql: str,
+        mode: str = "auto",
+        max_cv: Optional[float] = None,
+        max_staleness: Optional[float] = None,
+        on_violation: str = "fallback",
+    ) -> ContractedResult:
+        """Answer ``sql`` with an accuracy contract, off the event loop.
+
+        Same semantics (and exceptions) as
+        :meth:`WarehouseService.query_with_contract`, plus
+        :class:`ServiceOverloaded` when the pool is saturated and
+        :class:`ServiceClosed` during shutdown.
+        """
+        self._admit()
+        try:
+            try:
+                await asyncio.wait_for(
+                    self._sem.acquire(), self.queue_timeout
+                )
+            except asyncio.TimeoutError:
+                self.rejected_overload += 1
+                raise ServiceOverloaded(
+                    f"no worker slot freed within {self.queue_timeout}s"
+                ) from None
+            self._inflight += 1
+            self.peak_inflight = max(self.peak_inflight, self._inflight)
+            try:
+                answer = await asyncio.to_thread(
+                    self.service.query_with_contract,
+                    sql,
+                    mode,
+                    max_cv,
+                    max_staleness,
+                    on_violation,
+                )
+            except AccuracyContractViolation:
+                self.rejected_contract += 1
+                raise
+            finally:
+                self._inflight -= 1
+                self._sem.release()
+            self.queries += 1
+            return answer
+        finally:
+            self._release()
+
+    # ------------------------------------------------------------------
+    # maintenance (threaded pass-throughs)
+    # ------------------------------------------------------------------
+    async def refresh(
+        self, name: str, batch: Table, seed: int = 0
+    ) -> RefreshReport:
+        """Fold ``batch`` into sample ``name`` and hot-swap the new
+        version live (runs in a worker thread; serialized with other
+        writers by the sync service)."""
+        return await asyncio.to_thread(
+            self.service.refresh, name, batch, seed
+        )
+
+    async def build(self, *args, **kwargs) -> BuildReport:
+        """Threaded :meth:`WarehouseService.build`."""
+        return await asyncio.to_thread(
+            self.service.build, *args, **kwargs
+        )
+
+    async def register_table(self, name: str, table: Table) -> None:
+        """Threaded :meth:`WarehouseService.register_table`."""
+        await asyncio.to_thread(self.service.register_table, name, table)
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    async def stats(self) -> Dict:
+        """Sync-service stats plus the async pool's counters."""
+        stats = await asyncio.to_thread(self.service.stats)
+        stats["serving"] = self.pool_stats()
+        return stats
+
+    def pool_stats(self) -> Dict:
+        """Pool counters only (no store I/O, safe on the loop)."""
+        return {
+            "max_concurrency": self.max_concurrency,
+            "max_pending": self.max_pending,
+            "queue_timeout": self.queue_timeout,
+            "inflight": self._inflight,
+            "pending": self._pending,
+            "peak_inflight": self.peak_inflight,
+            "queries": self.queries,
+            "rejected_overload": self.rejected_overload,
+            "rejected_contract": self.rejected_contract,
+            "closing": self._closing,
+        }
+
+    def health(self) -> Dict:
+        """Sync health snapshot plus pool liveness (cheap)."""
+        health = self.service.health()
+        health["serving"] = {
+            "inflight": self._inflight,
+            "pending": self._pending,
+            "closing": self._closing,
+        }
+        return health
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def closing(self) -> bool:
+        return self._closing
+
+    async def close(self) -> None:
+        """Stop admitting requests and wait for admitted ones to drain.
+
+        Idempotent. Requests arriving after this starts fail with
+        :class:`ServiceClosed`; every request admitted before it keeps
+        its worker slot and completes normally.
+        """
+        self._closing = True
+        await self._drained.wait()
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _admit(self) -> None:
+        if self._closing:
+            raise ServiceClosed("service is shutting down")
+        if self._pending >= self.max_concurrency + self.max_pending:
+            self.rejected_overload += 1
+            raise ServiceOverloaded(
+                f"{self._pending} requests already pending "
+                f"(max {self.max_concurrency + self.max_pending})"
+            )
+        self._pending += 1
+        self._drained.clear()
+
+    def _release(self) -> None:
+        self._pending -= 1
+        if self._pending == 0:
+            self._drained.set()

@@ -10,12 +10,18 @@ router behind a read-write lock and an answer cache.
 """
 
 from .advisor import AdvisorPlan, Candidate, Recommendation, advise
+from .contracts import (
+    AccuracyContract,
+    AccuracyContractViolation,
+    ContractedResult,
+)
 from .maintenance import (
     BuildReport,
     RefreshReport,
     SampleMaintainer,
     StalenessInfo,
     allocation_drift,
+    staleness_from_lineage,
 )
 from .service import LRUCache, RWLock, WarehouseService
 from .store import SampleStore, StoredSample, StoreEntryStats
@@ -29,6 +35,7 @@ __all__ = [
     "RefreshReport",
     "StalenessInfo",
     "allocation_drift",
+    "staleness_from_lineage",
     "advise",
     "AdvisorPlan",
     "Candidate",
@@ -36,4 +43,7 @@ __all__ = [
     "WarehouseService",
     "RWLock",
     "LRUCache",
+    "AccuracyContract",
+    "AccuracyContractViolation",
+    "ContractedResult",
 ]

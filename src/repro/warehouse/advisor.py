@@ -79,11 +79,13 @@ class AdvisorPlan:
 
     @property
     def coverage(self) -> float:
+        """Fraction of workload frequency mass the plan can answer."""
         if self.total_frequency == 0:
             return 1.0
         return self.covered_frequency / self.total_frequency
 
     def summary(self) -> str:
+        """Human-readable plan: budget use, ranked picks, gaps."""
         lines = [
             f"storage budget {self.storage_budget} rows, "
             f"{self.rows_used} used, "

@@ -52,6 +52,7 @@ __all__ = [
     "RefreshReport",
     "StalenessInfo",
     "allocation_drift",
+    "staleness_from_lineage",
 ]
 
 #: Stand-in CV for groups an allocation cannot estimate (no rows) when
@@ -270,6 +271,13 @@ class SampleMaintainer:
     # inspection
     # ------------------------------------------------------------------
     def staleness(self, name: str) -> StalenessInfo:
+        """Maintenance state of the *current* stored version of ``name``.
+
+        Reads the store (one ``meta.json``); raises :class:`KeyError`
+        for unknown samples. For a lock-free in-memory view of the
+        *served* version, use the warehouse service's lineage snapshot
+        instead.
+        """
         stored = self.store.get(name)
         lineage = stored.lineage
         base_rows = int(lineage.get("base_rows", 0)) or stored.sample.source_rows
@@ -280,8 +288,8 @@ class SampleMaintainer:
             refresh_count=int(lineage.get("refresh_count", 0)),
             rows_ingested=rows_ingested,
             base_rows=base_rows,
-            staleness=(
-                rows_ingested / base_rows if base_rows else float("inf")
+            staleness=staleness_from_lineage(
+                lineage, stored.sample.source_rows
             ),
             drift=float(lineage.get("drift", 1.0)),
             needs_rebuild=bool(lineage.get("needs_rebuild", False)),
@@ -298,6 +306,23 @@ class SampleMaintainer:
             f"sample {stored.name!r} carries no value column for "
             "maintenance; rebuild it through SampleMaintainer.build"
         )
+
+
+def staleness_from_lineage(lineage: Dict, fallback_base_rows: int = 0) -> float:
+    """Staleness ratio recorded in a version's lineage dict.
+
+    Staleness is *rows ingested since the last full build* divided by
+    the base-table size at that build. A freshly built (or never
+    refreshed) sample is 0.0; legacy metadata without ``base_rows``
+    falls back to ``fallback_base_rows``, and a positive ingest against
+    an unknown base yields ``inf`` (maximally stale — nothing can be
+    promised about it).
+    """
+    rows_ingested = int(lineage.get("rows_ingested", 0))
+    if not rows_ingested:
+        return 0.0
+    base_rows = int(lineage.get("base_rows", 0)) or int(fallback_base_rows)
+    return rows_ingested / base_rows if base_rows else float("inf")
 
 
 def allocation_drift(

@@ -30,15 +30,21 @@ from collections import OrderedDict
 from contextlib import contextmanager
 from typing import Dict, List, Mapping, Optional, Sequence
 
-from ..aqp.session import AQPResult, AQPSession
+from ..aqp.session import AQPResult, AQPSession, RouteDecision
 from ..engine.table import Table
 from ..workload.model import Workload
 from .advisor import AdvisorPlan, advise
+from .contracts import (
+    AccuracyContract,
+    AccuracyContractViolation,
+    ContractedResult,
+)
 from .maintenance import (
     BuildReport,
     RefreshReport,
     SampleMaintainer,
     StalenessInfo,
+    staleness_from_lineage,
 )
 from .store import SampleStore, StoreEntryStats
 
@@ -144,7 +150,18 @@ class LRUCache:
 
 
 class WarehouseService:
-    """Thread-safe query endpoint over a persistent sample warehouse."""
+    """Thread-safe query endpoint over a persistent sample warehouse.
+
+    Construct with a store root (or :class:`SampleStore`) and a mapping
+    of base tables; stored samples whose base table is registered are
+    adopted immediately, the rest wait as orphans until
+    :meth:`register_table` supplies their table. :meth:`query` answers
+    SQL through the AQP router; :meth:`query_with_contract` additionally
+    attaches a per-query :class:`~repro.warehouse.contracts.AccuracyContract`
+    and enforces caller accuracy constraints. All public methods are
+    safe to call from many threads; see the module docstring for the
+    locking discipline.
+    """
 
     def __init__(
         self,
@@ -168,6 +185,7 @@ class WarehouseService:
         self._cache = LRUCache(cache_size)
         self._epoch = 0
         self._versions: Dict[str, str] = {}  # sample -> served version
+        self._lineages: Dict[str, Dict] = {}  # sample -> served lineage
         self._orphans: Dict[str, str] = {}  # sample -> missing base table
         self.queries_served = 0
         self._warm_start()
@@ -190,6 +208,7 @@ class WarehouseService:
                         sample_name, stored.sample, name, replace=True
                     )
                     self._versions[sample_name] = stored.version
+                    self._lineages[sample_name] = dict(stored.lineage)
                     del self._orphans[sample_name]
                 self._bump()
 
@@ -223,6 +242,7 @@ class WarehouseService:
                     name, stored.sample, table_name, replace=True
                 )
                 self._versions[name] = report.version
+                self._lineages[name] = dict(stored.lineage)
                 self._bump()
         return report
 
@@ -255,10 +275,15 @@ class WarehouseService:
                         name, fresh.sample, table_name, replace=True
                     )
                     self._versions[name] = report.version
+                    self._lineages[name] = dict(fresh.lineage)
                 self._bump()
         return report
 
     def staleness(self, name: str) -> StalenessInfo:
+        """Maintenance state of the current *stored* version of
+        ``name`` (reads the store; raises :class:`KeyError` for unknown
+        samples). See :meth:`served_lineages` for the in-memory view of
+        what is being served."""
         return self.maintainer.staleness(name)
 
     # ------------------------------------------------------------------
@@ -313,20 +338,130 @@ class WarehouseService:
             self._cache.put(key, result)
         return result
 
+    def query_with_contract(
+        self,
+        sql: str,
+        mode: str = "auto",
+        max_cv: Optional[float] = None,
+        max_staleness: Optional[float] = None,
+        on_violation: str = "fallback",
+    ) -> ContractedResult:
+        """Answer ``sql`` with an accuracy contract attached.
+
+        The contract (per-group predicted CV, served sample version,
+        staleness, exact-fallback flag) is snapshotted under the same
+        read lock as the execution, so it names exactly the version
+        whose rows produced the answer — even while writers hot-swap
+        versions concurrently.
+
+        ``max_cv`` bounds the worst per-group predicted CV and
+        ``max_staleness`` bounds the served sample's staleness ratio.
+        When the routed sample violates either, the query is re-run
+        exactly (``on_violation="fallback"``, the default — exact
+        answers satisfy any accuracy constraint) or rejected with
+        :class:`AccuracyContractViolation` (``on_violation="reject"``,
+        or ``mode="approx"`` where exact execution is not allowed).
+
+        Thread-safe; memoized per store epoch like :meth:`query`.
+        Raises :class:`ValueError` for a bad ``mode``/``on_violation``
+        and propagates SQL errors from the engine.
+        """
+        if on_violation not in ("fallback", "reject"):
+            raise ValueError("on_violation must be 'fallback' or 'reject'")
+        key = ("contract", self._epoch, mode, sql, max_cv, max_staleness,
+               on_violation)
+        cached = self._cache.get(key)
+        if cached is not None:
+            self.queries_served += 1
+            return cached
+        with self._lock.read():
+            result = self._session.query(sql, mode=mode)
+            contract, violations = self._contract_for(
+                result.route, mode, max_cv, max_staleness
+            )
+            if violations:
+                if on_violation == "reject" or mode == "approx":
+                    raise AccuracyContractViolation(violations, contract)
+                result = self._session.query(sql, mode="exact")
+                contract = AccuracyContract(
+                    executed="exact",
+                    fallback_exact=True,
+                    reason="accuracy constraints unsatisfied by stored "
+                    "samples (" + "; ".join(violations) + "); executed "
+                    "exactly",
+                    constraints=contract.constraints,
+                    satisfied=True,
+                )
+        self.queries_served += 1
+        answer = ContractedResult(result=result, contract=contract)
+        if key[1] == self._epoch:
+            self._cache.put(key, answer)
+        return answer
+
     def execute(self, sql: str) -> Table:
-        """Exact execution over the base tables."""
+        """Exact execution over the base tables; returns the answer
+        :class:`~repro.engine.table.Table` (no routing provenance)."""
         return self.query(sql, mode="exact").table
 
     # ------------------------------------------------------------------
     # introspection
     # ------------------------------------------------------------------
+    @property
+    def epoch(self) -> int:
+        """Monotonic swap counter; bumps on every structural change."""
+        return self._epoch
+
     def samples(self) -> List[str]:
+        """Names of the samples currently live in the router."""
         with self._lock.read():
             return self._session.samples()
 
     def served_versions(self) -> Dict[str, str]:
+        """Snapshot of ``{sample name: served store version}``."""
         with self._lock.read():
             return dict(self._versions)
+
+    def served_lineages(self) -> Dict[str, Dict]:
+        """Snapshot of each served sample's lineage (staleness, drift,
+        refresh history) — in-memory, no store I/O."""
+        with self._lock.read():
+            return {name: dict(li) for name, li in self._lineages.items()}
+
+    def sample_summaries(self) -> List[Dict]:
+        """One JSON-ready dict per live sample (version, shape,
+        staleness, drift) from in-memory state — cheap enough to serve
+        on every ``GET /samples`` without touching the store."""
+        with self._lock.read():
+            out = []
+            for name in self._session.samples():
+                sample = self._session.catalog.get(name)
+                lineage = self._lineages.get(name, {})
+                out.append(
+                    {
+                        "name": name,
+                        "version": self._versions.get(name),
+                        "rows": sample.num_rows,
+                        "strata": sample.allocation.num_strata,
+                        "by": list(sample.allocation.by),
+                        "staleness": staleness_from_lineage(lineage),
+                        "drift": float(lineage.get("drift", 1.0)),
+                        "needs_rebuild": bool(
+                            lineage.get("needs_rebuild", False)
+                        ),
+                    }
+                )
+            return out
+
+    def health(self) -> Dict:
+        """Liveness snapshot (no store I/O) for ``GET /healthz``."""
+        with self._lock.read():
+            return {
+                "status": "ok",
+                "epoch": self._epoch,
+                "tables": len(self._session.tables),
+                "samples": len(self._versions),
+                "queries_served": self.queries_served,
+            }
 
     def stats(self) -> Dict:
         """Store accounting + serving counters in one snapshot."""
@@ -372,6 +507,71 @@ class WarehouseService:
     # ------------------------------------------------------------------
     # internals
     # ------------------------------------------------------------------
+    def _contract_for(
+        self,
+        route: RouteDecision,
+        mode: str,
+        max_cv: Optional[float],
+        max_staleness: Optional[float],
+    ):
+        """Contract + violation list for a routing decision.
+
+        Caller must hold the read lock, so the version/lineage snapshot
+        is consistent with the sample the route was computed against.
+        """
+        constraints: Dict[str, float] = {}
+        if max_cv is not None:
+            constraints["max_cv"] = float(max_cv)
+        if max_staleness is not None:
+            constraints["max_staleness"] = float(max_staleness)
+        if not route.approximate:
+            return (
+                AccuracyContract(
+                    executed="exact",
+                    # Exact by the router's hand, not the caller's, is a
+                    # fallback worth flagging.
+                    fallback_exact=mode != "exact",
+                    reason=route.reason,
+                    constraints=constraints,
+                    satisfied=True,
+                ),
+                [],
+            )
+        name = route.sample_name
+        lineage = self._lineages.get(name, {})
+        staleness = staleness_from_lineage(lineage)
+        sample = self._session.catalog.get(name)
+        group_keys = tuple(tuple(k) for k in sample.allocation.keys)
+        violations = []
+        cv_bound = route.max_group_cv
+        if max_cv is not None and cv_bound is not None and cv_bound > max_cv:
+            violations.append(
+                f"predicted per-group CV {cv_bound:.4f} of sample "
+                f"{name!r} exceeds max_cv {max_cv:.4f}"
+            )
+        if max_staleness is not None and staleness > max_staleness:
+            violations.append(
+                f"staleness {staleness:.4f} of sample {name!r} exceeds "
+                f"max_staleness {max_staleness:.4f}"
+            )
+        contract = AccuracyContract(
+            executed="approximate",
+            sample_name=name,
+            sample_version=self._versions.get(name),
+            predicted_cv=route.predicted_cv,
+            max_group_cv=cv_bound,
+            group_cvs=route.group_cvs,
+            group_keys=group_keys,
+            staleness=staleness,
+            drift=float(lineage.get("drift", 1.0)),
+            needs_rebuild=bool(lineage.get("needs_rebuild", False)),
+            fallback_exact=False,
+            reason=route.reason,
+            constraints=constraints,
+            satisfied=not violations,
+        )
+        return contract, violations
+
     def _warm_start(self) -> None:
         """Adopt every stored sample whose base table is registered."""
         for name in self.store.names():
@@ -382,6 +582,7 @@ class WarehouseService:
                     name, stored.sample, table_name, replace=True
                 )
                 self._versions[name] = stored.version
+                self._lineages[name] = dict(stored.lineage)
             else:
                 self._orphans[name] = table_name or ""
 

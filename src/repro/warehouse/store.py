@@ -154,6 +154,7 @@ class SampleStore:
     # reading
     # ------------------------------------------------------------------
     def names(self) -> List[str]:
+        """Sorted names of every sample with at least one version."""
         if not self.root.exists():
             return []
         return sorted(
@@ -163,16 +164,23 @@ class SampleStore:
         )
 
     def __contains__(self, name: str) -> bool:
+        """Whether ``name`` exists with at least one version (never
+        raises, even for syntactically invalid names)."""
         try:
             sample_dir = self._sample_dir(name)
-        except KeyError:
+        except (KeyError, ValueError):
             return False
         return bool(_list_versions(sample_dir))
 
     def versions(self, name: str) -> List[str]:
+        """All version ids of ``name``, oldest first; raises
+        :class:`KeyError` for unknown samples."""
         return _list_versions(self._sample_dir(name))
 
     def current_version(self, name: str) -> Optional[str]:
+        """The live version id of ``name`` (None when the pointer is
+        missing and no versions exist); raises :class:`KeyError` for
+        unknown samples."""
         return _read_current(self._sample_dir(name))
 
     def get(self, name: str, version: Optional[str] = None) -> StoredSample:

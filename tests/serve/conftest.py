@@ -1,0 +1,34 @@
+"""Shared fixtures for the async serving layer.
+
+The tests drive real asyncio event loops (via ``asyncio.run`` inside
+each test, no plugin needed) against a real warehouse on ``tmp_path``.
+"""
+
+import pytest
+
+from repro.warehouse import WarehouseService
+
+from serve_helpers import split
+
+
+@pytest.fixture()
+def warehouse(tmp_path, openaq_small):
+    """A service over the full small table with one country sample."""
+    service = WarehouseService(tmp_path / "wh", {"OpenAQ": openaq_small})
+    service.build(
+        "s", "OpenAQ", group_by=["country"], value_columns=["value"],
+        budget=800,
+    )
+    return service
+
+
+@pytest.fixture()
+def split_warehouse(tmp_path, openaq_small):
+    """(service, batch): service over 75% of the rows, batch = the rest."""
+    base, batch = split(openaq_small)
+    service = WarehouseService(tmp_path / "wh", {"OpenAQ": base})
+    service.build(
+        "s", "OpenAQ", group_by=["country"], value_columns=["value"],
+        budget=800,
+    )
+    return service, batch

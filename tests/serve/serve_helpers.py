@@ -1,0 +1,32 @@
+"""Importable helpers for the serving tests (kept out of conftest.py —
+conftest loads as a pytest plugin, so test modules can't import from
+it)."""
+
+import time
+
+import numpy as np
+
+from repro.warehouse import WarehouseService
+
+
+def split(table, fraction=0.75):
+    """(base, batch) split of a table along the row axis."""
+    n = table.num_rows
+    cut = int(n * fraction)
+    return table.take(np.arange(0, cut)), table.take(np.arange(cut, n))
+
+
+class SlowWarehouseService(WarehouseService):
+    """Warehouse whose contract queries take ``delay`` seconds.
+
+    Lets the tests hold requests in flight deterministically
+    (back-pressure, draining) without relying on real query latency.
+    """
+
+    def __init__(self, *args, delay=0.2, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.delay = delay
+
+    def query_with_contract(self, *args, **kwargs):
+        time.sleep(self.delay)
+        return super().query_with_contract(*args, **kwargs)

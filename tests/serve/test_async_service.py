@@ -1,0 +1,169 @@
+"""AsyncWarehouseService: pool bounds, back-pressure, draining."""
+
+import asyncio
+
+import pytest
+
+from repro.serve import (
+    AsyncWarehouseService,
+    ServiceClosed,
+    ServiceOverloaded,
+)
+from repro.warehouse import AccuracyContractViolation
+
+from serve_helpers import SlowWarehouseService
+
+SQL = "SELECT country, AVG(value) a FROM OpenAQ GROUP BY country"
+
+
+class TestQuery:
+    def test_returns_contracted_result(self, warehouse):
+        async def main():
+            service = AsyncWarehouseService(warehouse)
+            answer = await service.query(SQL)
+            assert answer.contract.executed == "approximate"
+            assert answer.contract.sample_version == "v000001"
+            assert answer.table.num_rows > 0
+            assert service.queries == 1
+
+        asyncio.run(main())
+
+    def test_contract_rejection_counted(self, warehouse):
+        async def main():
+            service = AsyncWarehouseService(warehouse)
+            with pytest.raises(AccuracyContractViolation):
+                await service.query(
+                    SQL, max_cv=1e-12, on_violation="reject"
+                )
+            assert service.rejected_contract == 1
+            # the slot was released despite the raise
+            answer = await service.query(SQL)
+            assert answer.contract.satisfied
+
+        asyncio.run(main())
+
+    def test_concurrent_queries_share_pool(self, warehouse):
+        async def main():
+            service = AsyncWarehouseService(warehouse, max_concurrency=4)
+            answers = await asyncio.gather(
+                *(service.query(SQL) for _ in range(16))
+            )
+            assert len(answers) == 16
+            assert all(
+                a.contract.sample_version == "v000001" for a in answers
+            )
+            assert service.peak_inflight <= 4
+
+        asyncio.run(main())
+
+
+class TestBackPressure:
+    def test_pending_bound_rejects_immediately(
+        self, tmp_path, openaq_small
+    ):
+        slow = SlowWarehouseService(
+            tmp_path / "wh", {"OpenAQ": openaq_small}, delay=0.3
+        )
+        slow.build(
+            "s", "OpenAQ", group_by=["country"], value_columns=["value"],
+            budget=400,
+        )
+
+        async def main():
+            service = AsyncWarehouseService(
+                slow, max_concurrency=1, max_pending=0
+            )
+            first = asyncio.ensure_future(service.query(SQL))
+            await asyncio.sleep(0.05)  # first request occupies the slot
+            with pytest.raises(ServiceOverloaded):
+                await service.query(SQL)
+            assert service.rejected_overload == 1
+            answer = await first
+            assert answer.contract.executed == "approximate"
+
+        asyncio.run(main())
+
+    def test_queue_timeout_rejects_waiters(self, tmp_path, openaq_small):
+        slow = SlowWarehouseService(
+            tmp_path / "wh", {"OpenAQ": openaq_small}, delay=0.5
+        )
+        slow.build(
+            "s", "OpenAQ", group_by=["country"], value_columns=["value"],
+            budget=400,
+        )
+
+        async def main():
+            service = AsyncWarehouseService(
+                slow, max_concurrency=1, max_pending=4,
+                queue_timeout=0.05,
+            )
+            first = asyncio.ensure_future(service.query(SQL))
+            await asyncio.sleep(0.05)
+            with pytest.raises(ServiceOverloaded):
+                await service.query(SQL)  # waited > queue_timeout
+            await first
+
+        asyncio.run(main())
+
+
+class TestShutdown:
+    def test_close_drains_inflight(self, tmp_path, openaq_small):
+        """close() waits for admitted queries; they complete normally."""
+        slow = SlowWarehouseService(
+            tmp_path / "wh", {"OpenAQ": openaq_small}, delay=0.3
+        )
+        slow.build(
+            "s", "OpenAQ", group_by=["country"], value_columns=["value"],
+            budget=400,
+        )
+
+        async def main():
+            service = AsyncWarehouseService(slow, max_concurrency=2)
+            inflight = asyncio.ensure_future(service.query(SQL))
+            await asyncio.sleep(0.05)  # admitted, executing
+            await service.close()
+            assert inflight.done()  # drained before close returned
+            answer = inflight.result()
+            assert answer.contract.executed == "approximate"
+            with pytest.raises(ServiceClosed):
+                await service.query(SQL)
+
+        asyncio.run(main())
+
+    def test_close_idempotent_when_idle(self, warehouse):
+        async def main():
+            service = AsyncWarehouseService(warehouse)
+            await service.close()
+            await service.close()
+            assert service.closing
+
+        asyncio.run(main())
+
+
+class TestMaintenancePassThrough:
+    def test_refresh_hot_swaps(self, split_warehouse):
+        service_sync, batch = split_warehouse
+
+        async def main():
+            service = AsyncWarehouseService(service_sync)
+            before = (await service.query(SQL)).contract.sample_version
+            report = await service.refresh("s", batch)
+            after = (await service.query(SQL)).contract.sample_version
+            assert before == "v000001"
+            assert after == report.version != before
+
+        asyncio.run(main())
+
+    def test_stats_include_pool(self, warehouse):
+        async def main():
+            service = AsyncWarehouseService(warehouse, max_concurrency=3)
+            await service.query(SQL)
+            stats = await service.stats()
+            assert stats["serving"]["max_concurrency"] == 3
+            assert stats["serving"]["queries"] == 1
+            assert stats["epoch"] >= 1
+            health = service.health()
+            assert health["status"] == "ok"
+            assert health["serving"]["inflight"] == 0
+
+        asyncio.run(main())

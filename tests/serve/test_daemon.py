@@ -1,0 +1,182 @@
+"""MaintenanceDaemon: pickup, hot-swap, routing, quarantine."""
+
+import asyncio
+import os
+
+from repro.serve import (
+    AsyncWarehouseService,
+    MaintenanceDaemon,
+    WarehouseHTTPServer,
+    request,
+)
+
+SQL = "SELECT country, AVG(value) a FROM OpenAQ GROUP BY country"
+
+
+def drop(batch, watch_dir, name, tmp_path):
+    """Atomically drop a batch table into the watch directory."""
+    staging = tmp_path / f".staging-{name}"
+    batch.save(staging)
+    os.replace(staging, watch_dir / name)
+
+
+async def wait_for(predicate, timeout=10.0, step=0.02):
+    deadline = asyncio.get_running_loop().time() + timeout
+    while not predicate():
+        if asyncio.get_running_loop().time() > deadline:
+            raise AssertionError("condition not reached in time")
+        await asyncio.sleep(step)
+
+
+class TestPickup:
+    def test_dropped_batch_hot_swaps_served_version(
+        self, split_warehouse, tmp_path
+    ):
+        """A dropped file refreshes the sample and the *next HTTP
+        response* reflects the new version — the full serve loop."""
+        sync_service, batch = split_warehouse
+        watch = tmp_path / "incoming"
+
+        async def main():
+            service = AsyncWarehouseService(sync_service)
+            server = await WarehouseHTTPServer(service, port=0).start()
+            daemon = MaintenanceDaemon(
+                service, watch, poll_interval=0.02
+            )
+            daemon.start()
+            try:
+                before = await request(
+                    "127.0.0.1", server.port, "POST", "/query",
+                    {"sql": SQL},
+                )
+                assert before[1]["contract"]["sample_version"] == "v000001"
+                drop(batch, watch, "s__day1.npz", tmp_path)
+                await wait_for(
+                    lambda: sync_service.served_versions()["s"]
+                    != "v000001"
+                )
+                after = await request(
+                    "127.0.0.1", server.port, "POST", "/query",
+                    {"sql": SQL},
+                )
+                contract = after[1]["contract"]
+                assert (
+                    contract["sample_version"]
+                    == sync_service.served_versions()["s"]
+                    != "v000001"
+                )
+                if daemon.outcomes[-1].action == "incremental":
+                    assert contract["staleness"] > 0.0
+                # the file moved out of the queue
+                assert not list(watch.glob("*.npz"))
+                assert list((watch / "processed").glob("*.npz"))
+                assert daemon.batches_applied == 1
+            finally:
+                await daemon.stop()
+                await server.stop()
+
+        asyncio.run(main())
+
+    def test_unprefixed_file_uses_default_sample(
+        self, split_warehouse, tmp_path
+    ):
+        sync_service, batch = split_warehouse
+        watch = tmp_path / "incoming"
+
+        async def main():
+            daemon = MaintenanceDaemon(
+                sync_service, watch, sample="s", poll_interval=0.02
+            )
+            drop(batch, watch, "day1.npz", tmp_path)
+            await daemon.poll()  # records the fingerprint
+            outcomes = await daemon.poll()  # stable -> ingested
+            assert [o.ok for o in outcomes] == [True]
+            assert outcomes[0].sample == "s"
+            assert sync_service.served_versions()["s"] != "v000001"
+
+        asyncio.run(main())
+
+    def test_unroutable_file_is_quarantined(
+        self, split_warehouse, tmp_path
+    ):
+        sync_service, batch = split_warehouse
+        watch = tmp_path / "incoming"
+
+        async def main():
+            daemon = MaintenanceDaemon(
+                sync_service, watch, sample=None, poll_interval=0.02,
+                require_stable=False,
+            )
+            drop(batch, watch, "mystery.npz", tmp_path)
+            outcomes = await daemon.poll()
+            assert [o.ok for o in outcomes] == [False]
+            assert "no '<sample>__' prefix" in outcomes[0].error
+            assert daemon.batches_failed == 1
+            failed = list((watch / "failed").glob("*.npz"))
+            assert len(failed) == 1
+            note = failed[0].with_suffix(".error.txt")
+            assert note.exists()
+
+        asyncio.run(main())
+
+    def test_bad_batch_quarantined_daemon_survives(
+        self, split_warehouse, tmp_path
+    ):
+        """A corrupt file is quarantined; the next good file applies."""
+        sync_service, batch = split_warehouse
+        watch = tmp_path / "incoming"
+
+        async def main():
+            daemon = MaintenanceDaemon(
+                sync_service, watch, poll_interval=0.02,
+                require_stable=False,
+            )
+            (watch / "s__corrupt.npz").write_bytes(b"this is not numpy")
+            outcomes = await daemon.poll()
+            assert [o.ok for o in outcomes] == [False]
+            drop(batch, watch, "s__good.npz", tmp_path)
+            outcomes = await daemon.poll()
+            assert [o.ok for o in outcomes] == [True]
+            assert daemon.batches_applied == 1
+            assert daemon.batches_failed == 1
+            stats = daemon.stats()
+            assert stats["batches_applied"] == 1
+            assert stats["last_outcome"]["ok"]
+
+        asyncio.run(main())
+
+
+class TestStability:
+    def test_file_needs_two_scans_before_ingest(
+        self, split_warehouse, tmp_path
+    ):
+        sync_service, batch = split_warehouse
+        watch = tmp_path / "incoming"
+
+        async def main():
+            daemon = MaintenanceDaemon(
+                sync_service, watch, poll_interval=0.02
+            )
+            drop(batch, watch, "s__day1.npz", tmp_path)
+            first = await daemon.poll()
+            assert first == []  # fingerprint recorded, not ingested
+            second = await daemon.poll()
+            assert [o.ok for o in second] == [True]
+
+        asyncio.run(main())
+
+    def test_stop_is_idempotent(self, split_warehouse, tmp_path):
+        sync_service, _ = split_warehouse
+
+        async def main():
+            daemon = MaintenanceDaemon(
+                sync_service, tmp_path / "incoming", poll_interval=0.02
+            )
+            daemon.start()
+            await asyncio.sleep(0.05)
+            await daemon.stop()
+            await daemon.stop()
+            assert not daemon.stats()["running"]
+            assert daemon.polls >= 1
+
+        asyncio.run(main())

@@ -1,0 +1,282 @@
+"""HTTP front: routes, contracts over the wire, concurrency, shutdown."""
+
+import asyncio
+
+from repro.serve import (
+    AsyncWarehouseService,
+    HTTPConnection,
+    WarehouseHTTPServer,
+    request,
+)
+
+from serve_helpers import SlowWarehouseService
+
+SQL = "SELECT country, AVG(value) a FROM OpenAQ GROUP BY country"
+COUNT_SQL = "SELECT COUNT(*) c FROM OpenAQ"
+
+CONTRACT_KEYS = {
+    "executed",
+    "sample_name",
+    "sample_version",
+    "predicted_cv",
+    "max_group_cv",
+    "staleness",
+    "drift",
+    "needs_rebuild",
+    "fallback_exact",
+    "reason",
+    "constraints",
+    "satisfied",
+}
+
+
+async def _started(sync_service, **kwargs):
+    service = AsyncWarehouseService(sync_service, **kwargs)
+    server = WarehouseHTTPServer(service, port=0)
+    await server.start()
+    return server
+
+
+class TestRoutes:
+    def test_query_embeds_contract(self, warehouse):
+        async def main():
+            server = await _started(warehouse)
+            try:
+                status, payload = await request(
+                    "127.0.0.1", server.port, "POST", "/query",
+                    {"sql": SQL},
+                )
+                assert status == 200
+                assert CONTRACT_KEYS <= set(payload["contract"])
+                assert payload["contract"]["executed"] == "approximate"
+                assert payload["contract"]["sample_version"] == "v000001"
+                assert payload["contract"]["group_cvs"]  # per-group detail
+                assert payload["columns"] == ["country", "a"]
+                assert payload["row_count"] == len(payload["rows"])
+            finally:
+                await server.stop()
+
+        asyncio.run(main())
+
+    def test_row_limit_truncates(self, warehouse):
+        async def main():
+            server = await _started(warehouse)
+            try:
+                status, payload = await request(
+                    "127.0.0.1", server.port, "POST", "/query",
+                    {"sql": SQL, "limit": 2},
+                )
+                assert status == 200
+                assert len(payload["rows"]) == 2
+                assert payload["truncated"]
+                assert payload["row_count"] > 2
+            finally:
+                await server.stop()
+
+        asyncio.run(main())
+
+    def test_healthz_samples_stats(self, warehouse):
+        async def main():
+            server = await _started(warehouse)
+            try:
+                status, health = await request(
+                    "127.0.0.1", server.port, "GET", "/healthz"
+                )
+                assert status == 200 and health["status"] == "ok"
+                status, samples = await request(
+                    "127.0.0.1", server.port, "GET", "/samples"
+                )
+                assert status == 200
+                assert samples["samples"][0]["name"] == "s"
+                assert samples["samples"][0]["version"] == "v000001"
+                status, stats = await request(
+                    "127.0.0.1", server.port, "GET", "/stats"
+                )
+                assert status == 200
+                assert "serving" in stats and "samples" in stats
+            finally:
+                await server.stop()
+
+        asyncio.run(main())
+
+    def test_error_mapping(self, warehouse):
+        async def main():
+            server = await _started(warehouse)
+            try:
+                for method, path, body, expect in [
+                    ("GET", "/nope", None, 404),
+                    ("GET", "/query", None, 405),
+                    ("POST", "/query", {}, 400),  # no sql
+                    ("POST", "/query", {"sql": "NOT SQL AT ALL"}, 400),
+                    ("POST", "/query", {"sql": SQL, "mode": "bogus"}, 400),
+                    ("POST", "/query", {"sql": SQL, "limit": "five"}, 400),
+                    ("POST", "/query", {"sql": SQL, "limit": None}, 400),
+                ]:
+                    status, payload = await request(
+                        "127.0.0.1", server.port, method, path, body
+                    )
+                    assert status == expect, (path, payload)
+                    assert "error" in payload
+            finally:
+                await server.stop()
+
+        asyncio.run(main())
+
+
+class TestAccuracyConstraints:
+    def test_max_cv_falls_back_to_exact(self, warehouse):
+        async def main():
+            server = await _started(warehouse)
+            try:
+                status, payload = await request(
+                    "127.0.0.1", server.port, "POST", "/query",
+                    {"sql": SQL, "max_cv": 1e-12},
+                )
+                assert status == 200
+                contract = payload["contract"]
+                assert contract["executed"] == "exact"
+                assert contract["fallback_exact"]
+                assert contract["satisfied"]
+                assert contract["constraints"] == {"max_cv": 1e-12}
+            finally:
+                await server.stop()
+
+        asyncio.run(main())
+
+    def test_max_cv_rejection_is_412(self, warehouse):
+        async def main():
+            server = await _started(warehouse)
+            try:
+                status, payload = await request(
+                    "127.0.0.1", server.port, "POST", "/query",
+                    {"sql": SQL, "max_cv": 1e-12,
+                     "on_violation": "reject"},
+                )
+                assert status == 412
+                assert payload["violations"]
+                assert "max_cv" in payload["error"]
+                assert not payload["contract"]["satisfied"]
+            finally:
+                await server.stop()
+
+        asyncio.run(main())
+
+    def test_satisfiable_max_cv_stays_approximate(self, warehouse):
+        async def main():
+            server = await _started(warehouse)
+            try:
+                status, payload = await request(
+                    "127.0.0.1", server.port, "POST", "/query",
+                    {"sql": SQL, "max_cv": 10.0},
+                )
+                assert status == 200
+                assert payload["contract"]["executed"] == "approximate"
+                assert payload["contract"]["satisfied"]
+            finally:
+                await server.stop()
+
+        asyncio.run(main())
+
+
+class TestConcurrentSwap:
+    def test_versions_stay_consistent_during_swap(self, split_warehouse):
+        """Concurrent /query responses bind version to answer: a
+        response claiming version v must carry v's population, even
+        while the daemon-style refresh hot-swaps underneath."""
+        sync_service, batch = split_warehouse
+        base_rows = sync_service.stats()["tables"]["OpenAQ"]
+        full_rows = base_rows + batch.num_rows
+
+        async def client(port, results):
+            conn = await HTTPConnection.open("127.0.0.1", port)
+            try:
+                for _ in range(12):
+                    status, payload = await conn.request(
+                        "POST", "/query", {"sql": COUNT_SQL}
+                    )
+                    assert status == 200, payload
+                    contract = payload["contract"]
+                    if contract["executed"] == "approximate":
+                        results.append(
+                            (
+                                contract["sample_version"],
+                                payload["rows"][0][0],
+                            )
+                        )
+            finally:
+                await conn.close()
+
+        async def main():
+            server = await _started(sync_service, max_concurrency=6)
+            results = []
+            try:
+                clients = [
+                    asyncio.ensure_future(client(server.port, results))
+                    for _ in range(4)
+                ]
+                swap = asyncio.ensure_future(
+                    AsyncWarehouseService(sync_service).refresh(
+                        "s", batch
+                    )
+                )
+                await asyncio.gather(*clients)
+                report = await swap
+                # After the swap settles, responses carry the new version.
+                status, payload = await request(
+                    "127.0.0.1", server.port, "POST", "/query",
+                    {"sql": COUNT_SQL},
+                )
+                assert (
+                    payload["contract"]["sample_version"] == report.version
+                )
+            finally:
+                await server.stop()
+            # The HT COUNT(*) estimate equals the population exactly, so
+            # each response must pair its version with that version's
+            # population — never a torn combination.
+            assert results
+            seen = {v for v, _ in results}
+            assert seen <= {"v000001", report.version}
+            for version, count in results:
+                expected = (
+                    base_rows if version == "v000001" else full_rows
+                )
+                assert abs(count - expected) < 1e-6 * expected + 1e-3
+
+        asyncio.run(main())
+
+
+class TestGracefulShutdown:
+    def test_stop_drains_inflight_requests(self, tmp_path, openaq_small):
+        slow = SlowWarehouseService(
+            tmp_path / "wh", {"OpenAQ": openaq_small}, delay=0.3
+        )
+        slow.build(
+            "s", "OpenAQ", group_by=["country"], value_columns=["value"],
+            budget=400,
+        )
+
+        async def main():
+            server = await _started(slow, max_concurrency=2)
+            inflight = asyncio.ensure_future(
+                request(
+                    "127.0.0.1", server.port, "POST", "/query",
+                    {"sql": SQL},
+                )
+            )
+            await asyncio.sleep(0.1)  # request admitted and executing
+            await server.stop()
+            status, payload = await inflight
+            assert status == 200
+            assert payload["contract"]["executed"] == "approximate"
+            # new connections are refused after shutdown
+            try:
+                await request(
+                    "127.0.0.1", server.port, "GET", "/healthz"
+                )
+            except OSError:
+                pass
+            else:  # pragma: no cover
+                raise AssertionError("listener still accepting")
+
+        asyncio.run(main())

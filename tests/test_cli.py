@@ -219,6 +219,110 @@ class TestWarehouseCLI:
         assert rc == 0
         assert "exact execution" in capsys.readouterr().out
 
+    def test_serve_prints_contract(self, tmp_path, capsys):
+        base_path, _, _ = self._generate(tmp_path)
+        root = str(tmp_path / "wh")
+        main(
+            ["warehouse", "build", "--root", root, "--table", base_path,
+             "--name", "s", "--table-name", "OpenAQ",
+             "--group-by", "country", "--value", "value",
+             "--budget", "400"]
+        )
+        capsys.readouterr()
+        rc = main(
+            ["warehouse", "serve", "--root", root, "--table", base_path,
+             "--table-name", "OpenAQ",
+             "--sql",
+             "SELECT country, AVG(value) a FROM OpenAQ GROUP BY country"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "contract: predicted CV" in out
+        assert "staleness 0.00%" in out
+
+    def test_serve_max_cv_reject_exits_nonzero(self, tmp_path, capsys):
+        base_path, _, _ = self._generate(tmp_path)
+        root = str(tmp_path / "wh")
+        main(
+            ["warehouse", "build", "--root", root, "--table", base_path,
+             "--name", "s", "--table-name", "OpenAQ",
+             "--group-by", "country", "--value", "value",
+             "--budget", "400"]
+        )
+        capsys.readouterr()
+        rc = main(
+            ["warehouse", "serve", "--root", root, "--table", base_path,
+             "--table-name", "OpenAQ",
+             "--max-cv", "0.0000001", "--on-violation", "reject",
+             "--sql",
+             "SELECT country, AVG(value) a FROM OpenAQ GROUP BY country"]
+        )
+        assert rc == 4
+        assert "rejected:" in capsys.readouterr().err
+
+    def test_serve_max_cv_fallback_is_exact(self, tmp_path, capsys):
+        base_path, _, _ = self._generate(tmp_path)
+        root = str(tmp_path / "wh")
+        main(
+            ["warehouse", "build", "--root", root, "--table", base_path,
+             "--name", "s", "--table-name", "OpenAQ",
+             "--group-by", "country", "--value", "value",
+             "--budget", "400"]
+        )
+        capsys.readouterr()
+        rc = main(
+            ["warehouse", "serve", "--root", root, "--table", base_path,
+             "--table-name", "OpenAQ", "--max-cv", "0.0000001",
+             "--sql",
+             "SELECT country, AVG(value) a FROM OpenAQ GROUP BY country"]
+        )
+        assert rc == 0
+        assert "exact execution" in capsys.readouterr().out
+
+    def test_serve_requires_sql_or_http(self, tmp_path, capsys):
+        base_path, _, _ = self._generate(tmp_path)
+        root = str(tmp_path / "wh")
+        main(
+            ["warehouse", "build", "--root", root, "--table", base_path,
+             "--name", "s", "--table-name", "OpenAQ",
+             "--group-by", "country", "--value", "value",
+             "--budget", "400"]
+        )
+        capsys.readouterr()
+        rc = main(
+            ["warehouse", "serve", "--root", root, "--table", base_path]
+        )
+        assert rc == 2
+        assert "--sql" in capsys.readouterr().err
+
+    def test_daemon_once_ingests_backlog(self, tmp_path, capsys):
+        base_path, batch_path, _ = self._generate(tmp_path)
+        root = str(tmp_path / "wh")
+        main(
+            ["warehouse", "build", "--root", root, "--table", base_path,
+             "--name", "s", "--table-name", "OpenAQ",
+             "--group-by", "country", "--value", "value",
+             "--budget", "600"]
+        )
+        capsys.readouterr()
+        watch = tmp_path / "incoming"
+        watch.mkdir()
+        import shutil
+
+        shutil.copy(batch_path, watch / "s__day1.npz")
+        rc = main(
+            ["warehouse", "daemon", "--root", root,
+             "--table", base_path, "--table-name", "OpenAQ",
+             "--watch", str(watch), "--once"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "applied s__day1.npz -> s v000002" in out
+        assert not list(watch.glob("*.npz"))
+        rc = main(["warehouse", "stats", "--root", root])
+        assert rc == 0
+        assert "s\tv000002\t" in capsys.readouterr().out
+
     def test_advise_empty_log_fails(self, tmp_path, capsys):
         base_path, _, _ = self._generate(tmp_path)
         log = tmp_path / "empty.log"
