@@ -1,0 +1,144 @@
+"""Storage-backend benchmark: put/get throughput per backend.
+
+Standalone script (like bench_warehouse / bench_serve) so CI can run it
+in smoke mode and archive the JSON::
+
+    PYTHONPATH=src python benchmarks/bench_store.py --smoke \
+        --out bench_store.json
+
+For every backend (npz, parquet, memory) it measures, against one
+freshly built CVOPT sample:
+
+* ``put``         — versions/second written (staging + rename + fsync'd
+                    manifest commit + CURRENT swap)
+* ``get_cold``    — loads/second through a *new* store instance
+                    (manifest replay + meta decode + blob decode)
+* ``get_hot``     — loads/second through the same instance (manifest
+                    already tailed)
+* ``versions``    — manifest-view listings/second
+* ``bytes``       — on-disk footprint of one version
+
+The parquet row reports whether pyarrow was actually available or the
+backend ran in its npz-fallback mode.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import shutil
+import tempfile
+import time
+
+from repro.core.cvopt import CVOptSampler
+from repro.core.spec import GroupByQuerySpec
+from repro.datasets import generate_openaq
+from repro.warehouse.backends import BACKENDS, ParquetArrowBackend
+from repro.warehouse.store import SampleStore
+
+
+def _throughput(fn, repetitions: int) -> dict:
+    start = time.perf_counter()
+    for _ in range(repetitions):
+        fn()
+    elapsed = time.perf_counter() - start
+    return {
+        "seconds": elapsed,
+        "repetitions": repetitions,
+        "per_second": repetitions / elapsed if elapsed else float("inf"),
+    }
+
+
+def bench_backend(
+    backend_name: str, sample, root: str, puts: int, gets: int
+) -> dict:
+    shutil.rmtree(root, ignore_errors=True)
+    store = SampleStore(root, backend=backend_name)
+    out: dict = {"backend": backend_name}
+    if backend_name == "parquet":
+        out["pyarrow"] = ParquetArrowBackend().available
+
+    out["put"] = _throughput(
+        lambda: store.put("bench", sample, table_name="OpenAQ"), puts
+    )
+    out["get_hot"] = _throughput(lambda: store.get("bench"), gets)
+    out["get_cold"] = _throughput(
+        lambda: SampleStore(root, backend=backend_name).get("bench"), gets
+    )
+    out["versions"] = _throughput(
+        lambda: store.versions("bench"), gets * 10
+    )
+
+    current = store.current_version("bench")
+    version_dir = store.root / "bench" / current
+    out["bytes"] = sum(
+        f.stat().st_size for f in version_dir.rglob("*") if f.is_file()
+    )
+    out["manifest"] = store.manifest_position()
+    return out
+
+
+def run(rows: int, budget: int, puts: int, gets: int, root: str) -> dict:
+    table = generate_openaq(num_rows=rows, num_countries=20, seed=7)
+    sample = CVOptSampler(
+        [GroupByQuerySpec.single("value", by=("country", "parameter"))]
+    ).sample(table, budget, seed=0)
+    results = {
+        "config": {
+            "rows": rows,
+            "budget": budget,
+            "puts": puts,
+            "gets": gets,
+            "sample_rows": sample.num_rows,
+            "strata": sample.allocation.num_strata,
+        },
+        "backends": [],
+    }
+    for backend_name in BACKENDS:
+        results["backends"].append(
+            bench_backend(
+                backend_name, sample, f"{root}/{backend_name}", puts, gets
+            )
+        )
+    return results
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--rows", type=int, default=200_000)
+    parser.add_argument("--budget", type=int, default=10_000)
+    parser.add_argument("--puts", type=int, default=20)
+    parser.add_argument("--gets", type=int, default=50)
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="small sizes for CI (overrides --rows/--budget/...)",
+    )
+    parser.add_argument("--out", default=None, help="write JSON here")
+    args = parser.parse_args()
+    if args.smoke:
+        args.rows, args.budget = 20_000, 1_500
+        args.puts, args.gets = 5, 10
+
+    with tempfile.TemporaryDirectory(prefix="bench-store-") as root:
+        results = run(args.rows, args.budget, args.puts, args.gets, root)
+
+    for entry in results["backends"]:
+        note = ""
+        if entry["backend"] == "parquet":
+            note = " (pyarrow)" if entry["pyarrow"] else " (npz fallback)"
+        print(
+            f"{entry['backend']:>8}{note}: "
+            f"put {entry['put']['per_second']:8.1f}/s  "
+            f"get cold {entry['get_cold']['per_second']:8.1f}/s  "
+            f"hot {entry['get_hot']['per_second']:8.1f}/s  "
+            f"{entry['bytes'] / 1024:8.1f} KiB/version"
+        )
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(results, fh, indent=2)
+        print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

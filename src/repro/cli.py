@@ -20,6 +20,10 @@ Subcommands::
     repro-cvopt warehouse daemon  --root wh --table openaq.npz \
                                   --watch incoming/
     repro-cvopt warehouse stats   --root wh
+
+``warehouse build/refresh/serve/daemon`` additionally accept
+``--backend {npz,parquet,memory}`` to pick the physical rows format of
+new versions (reads auto-detect per version; see docs/STORAGE.md).
 """
 
 from __future__ import annotations
@@ -112,6 +116,10 @@ def build_parser() -> argparse.ArgumentParser:
 
     whb = whsub.add_parser("build", help="two-pass build into the store")
     whb.add_argument("--root", required=True, help="store directory")
+    whb.add_argument(
+        "--backend", choices=["npz", "parquet", "memory"], default="npz",
+        help="rows storage backend (default npz; parquet needs pyarrow, falls back to npz)",
+    )
     whb.add_argument("--table", required=True, help="npz base-table path")
     whb.add_argument("--name", required=True, help="sample name")
     whb.add_argument("--table-name", default=None, help="SQL table name")
@@ -130,6 +138,10 @@ def build_parser() -> argparse.ArgumentParser:
         "refresh", help="fold an appended batch into a stored sample"
     )
     whr.add_argument("--root", required=True)
+    whr.add_argument(
+        "--backend", choices=["npz", "parquet", "memory"], default="npz",
+        help="rows storage backend (default npz; parquet needs pyarrow, falls back to npz)",
+    )
     whr.add_argument("--name", required=True)
     whr.add_argument("--batch", required=True, help="npz batch path")
     whr.add_argument(
@@ -162,6 +174,10 @@ def build_parser() -> argparse.ArgumentParser:
         "(one-shot with --sql, or an HTTP server with --http)"
     )
     whs.add_argument("--root", required=True)
+    whs.add_argument(
+        "--backend", choices=["npz", "parquet", "memory"], default="npz",
+        help="rows storage backend (default npz; parquet needs pyarrow, falls back to npz)",
+    )
     whs.add_argument("--table", required=True, help="npz base-table path")
     whs.add_argument("--table-name", default=None)
     whs.add_argument("--sql", default=None, action="append",
@@ -211,6 +227,10 @@ def build_parser() -> argparse.ArgumentParser:
         "batch files",
     )
     whd.add_argument("--root", required=True, help="store directory")
+    whd.add_argument(
+        "--backend", choices=["npz", "parquet", "memory"], default="npz",
+        help="rows storage backend (default npz; parquet needs pyarrow, falls back to npz)",
+    )
     whd.add_argument(
         "--table", action="append", default=[],
         help="npz base-table path (repeatable; enables exact fallback "
@@ -374,7 +394,9 @@ def _cmd_warehouse_build(args) -> int:
     elif budget <= 0:
         print("--budget must be positive", file=sys.stderr)
         return 2
-    maintainer = SampleMaintainer(SampleStore(args.root))
+    maintainer = SampleMaintainer(
+        SampleStore(args.root, backend=args.backend)
+    )
     report = maintainer.build(
         args.name,
         table,
@@ -397,7 +419,9 @@ def _cmd_warehouse_refresh(args) -> int:
 
     batch = Table.load(args.batch)
     full_table = Table.load(args.full_table) if args.full_table else None
-    maintainer = SampleMaintainer(SampleStore(args.root))
+    maintainer = SampleMaintainer(
+        SampleStore(args.root, backend=args.backend)
+    )
     report = maintainer.refresh(
         args.name, batch, full_table=full_table, seed=args.seed
     )
@@ -442,7 +466,9 @@ def _cmd_warehouse_serve(args) -> int:
 
     table = Table.load(args.table)
     table_name = args.table_name or table.name or "T"
-    service = WarehouseService(args.root, {table_name: table})
+    service = WarehouseService(
+        args.root, {table_name: table}, backend=args.backend
+    )
     if args.http:
         return _serve_http(args, service)
     if not args.sql:
@@ -541,7 +567,7 @@ def _cmd_warehouse_daemon(args) -> int:
         loaded = Table.load(path)
         name = names[i] if i < len(names) else (loaded.name or f"T{i}")
         tables[name] = loaded
-    service = WarehouseService(args.root, tables)
+    service = WarehouseService(args.root, tables, backend=args.backend)
     daemon = MaintenanceDaemon(
         service,
         args.watch,
@@ -596,12 +622,15 @@ def _cmd_warehouse_stats(args) -> int:
     if not entries:
         print("store is empty")
         return 0
-    print("name\tversion\tversions\trows\tstrata\tby\tmethod\tbytes\tstale")
+    print(
+        "name\tversion\tversions\trows\tstrata\tby\tmethod\tbackend\t"
+        "bytes\tstale"
+    )
     for e in entries:
         print(
             f"{e.name}\t{e.current_version}\t{e.num_versions}\t{e.rows}\t"
-            f"{e.strata}\t{','.join(e.by)}\t{e.method}\t{e.bytes_on_disk}\t"
-            f"{e.lineage.get('staleness', 0.0):.2%}"
+            f"{e.strata}\t{','.join(e.by)}\t{e.method}\t{e.backend}\t"
+            f"{e.bytes_on_disk}\t{e.lineage.get('staleness', 0.0):.2%}"
         )
     return 0
 

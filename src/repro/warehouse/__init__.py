@@ -3,18 +3,31 @@ maintenance, workload-driven advising, and a concurrent serving layer.
 
 The warehouse turns the in-memory sampling machinery into a long-lived
 system: samples are built once (two-pass CVOPT), persisted with their
-statistics, kept fresh in one pass per appended batch (streaming
+statistics behind a pluggable storage backend (npz / parquet / memory)
+with cross-process write coordination (fsync'd manifest log + advisory
+lock files), kept fresh in one pass per appended batch (streaming
 CVOPT warm-start with shrink-only re-balance and a full-rebuild
 escalation rule), and served to concurrent readers through the AQP
 router behind a read-write lock and an answer cache.
 """
 
 from .advisor import AdvisorPlan, Candidate, Recommendation, advise
+from .backends import (
+    BACKENDS,
+    MemoryBackend,
+    NpzBackend,
+    ParquetArrowBackend,
+    StorageBackend,
+    available_backends,
+    backend_for_format,
+    resolve_backend,
+)
 from .contracts import (
     AccuracyContract,
     AccuracyContractViolation,
     ContractedResult,
 )
+from .coordination import FileLock, LockTimeout, ManifestLog, ManifestRecord
 from .maintenance import (
     BuildReport,
     RefreshReport,
@@ -30,6 +43,18 @@ __all__ = [
     "SampleStore",
     "StoredSample",
     "StoreEntryStats",
+    "StorageBackend",
+    "NpzBackend",
+    "ParquetArrowBackend",
+    "MemoryBackend",
+    "BACKENDS",
+    "resolve_backend",
+    "backend_for_format",
+    "available_backends",
+    "FileLock",
+    "LockTimeout",
+    "ManifestLog",
+    "ManifestRecord",
     "SampleMaintainer",
     "BuildReport",
     "RefreshReport",

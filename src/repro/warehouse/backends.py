@@ -1,0 +1,398 @@
+"""Pluggable physical storage for sample rows.
+
+The :class:`~repro.warehouse.store.SampleStore` owns naming, versioning,
+metadata, the manifest log and cross-process locks; a
+:class:`StorageBackend` owns only the *rows blob* inside one version
+directory. Every version's ``meta.json`` records which backend/format
+wrote its rows (a ``storage`` block), so a store may hold versions in
+mixed formats and any store instance can read all of them regardless of
+its own default backend — decode dispatches on the stored format, not
+on the configured backend.
+
+Built-in backends (``docs/STORAGE.md`` has the full matrix):
+
+``npz`` (:class:`NpzBackend`)
+    The default: ``rows.npz`` via :meth:`Table.save`, dtypes and
+    dictionary categories intact. No extra dependencies.
+``parquet`` (:class:`ParquetArrowBackend`)
+    ``rows.parquet`` via pyarrow — string columns as dictionary arrays,
+    logical dtypes in the Arrow schema metadata. When pyarrow is not
+    installed the backend degrades gracefully: writes land as npz
+    (recorded as such in the ``storage`` block, so they stay readable
+    everywhere) instead of failing, unless constructed with
+    ``strict=True``.
+``memory`` (:class:`MemoryBackend`)
+    Rows live in a process-wide dict keyed by version path; only a tiny
+    JSON marker file lands on disk. For tests and benchmarks — blobs do
+    not survive the process.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+from typing import Dict, List, Optional, Protocol, runtime_checkable
+
+import numpy as np
+
+from ..engine.schema import DType
+from ..engine.table import Column, Table
+
+__all__ = [
+    "StorageBackend",
+    "NpzBackend",
+    "ParquetArrowBackend",
+    "MemoryBackend",
+    "BACKENDS",
+    "resolve_backend",
+    "backend_for_format",
+    "available_backends",
+    "infer_storage",
+]
+
+
+@runtime_checkable
+class StorageBackend(Protocol):
+    """What the store needs from a physical rows format.
+
+    A backend reads and writes one opaque blob per version directory;
+    ``put_rows`` returns the ``storage`` block persisted in that
+    version's ``meta.json`` (at minimum ``backend``, ``format`` and
+    ``rows_file``), and ``get_rows`` must be able to decode any blob
+    whose block names its format.
+    """
+
+    name: str
+
+    def put_rows(self, version_dir: pathlib.Path, table: Table) -> Dict:
+        """Write ``table``'s rows into ``version_dir``; returns the
+        ``storage`` block describing what was written."""
+        ...
+
+    def get_rows(self, version_dir: pathlib.Path, storage: Dict) -> Table:
+        """Load the rows blob described by ``storage``."""
+        ...
+
+    def list(self, version_dir: pathlib.Path) -> List[str]:
+        """Blob file names this backend recognizes in ``version_dir``."""
+        ...
+
+    def delete(self, version_dir: pathlib.Path) -> None:
+        """Release backend-side resources for one version (called
+        before the version directory itself is removed)."""
+        ...
+
+
+class NpzBackend:
+    """Default backend: compressed npz via :meth:`Table.save`."""
+
+    name = "npz"
+    rows_file = "rows.npz"
+
+    def put_rows(self, version_dir: pathlib.Path, table: Table) -> Dict:
+        table.save(version_dir / self.rows_file)
+        return {
+            "backend": self.name,
+            "format": "npz",
+            "rows_file": self.rows_file,
+        }
+
+    def get_rows(self, version_dir: pathlib.Path, storage: Dict) -> Table:
+        return Table.load(version_dir / storage.get("rows_file", self.rows_file))
+
+    def list(self, version_dir: pathlib.Path) -> List[str]:
+        return [
+            p.name for p in version_dir.glob("rows.npz") if p.is_file()
+        ]
+
+    def delete(self, version_dir: pathlib.Path) -> None:
+        pass  # rows live inside the directory; rmtree handles them
+
+
+class ParquetArrowBackend:
+    """Parquet rows via pyarrow, with a graceful npz fallback.
+
+    String columns are written as Arrow dictionary arrays (codes +
+    categories, mirroring the engine's encoding) and the logical engine
+    dtypes ride in the Parquet schema metadata, so a round-trip
+    preserves types exactly. Without pyarrow installed, writes fall
+    back to npz — recorded truthfully in the ``storage`` block — unless
+    ``strict=True`` was requested.
+    """
+
+    name = "parquet"
+    rows_file = "rows.parquet"
+    _DTYPES_KEY = b"repro:dtypes"
+    _NAME_KEY = b"repro:name"
+
+    def __init__(self, strict: bool = False) -> None:
+        try:
+            import pyarrow as pa
+            import pyarrow.parquet as pq
+        except ImportError:
+            pa = pq = None
+        if strict and pa is None:
+            raise RuntimeError(
+                "ParquetArrowBackend(strict=True) requires pyarrow, "
+                "which is not installed"
+            )
+        self._pa = pa
+        self._pq = pq
+        self._fallback = NpzBackend()
+
+    @property
+    def available(self) -> bool:
+        """Whether pyarrow is importable (False = npz fallback mode)."""
+        return self._pa is not None
+
+    # ------------------------------------------------------------------
+    # writing
+    # ------------------------------------------------------------------
+    def put_rows(self, version_dir: pathlib.Path, table: Table) -> Dict:
+        if self._pa is None:
+            block = self._fallback.put_rows(version_dir, table)
+            block["backend"] = self.name
+            block["fallback"] = "pyarrow unavailable"
+            return block
+        pa, pq = self._pa, self._pq
+        arrays = []
+        names = list(table.column_names)
+        dtypes = {}
+        for cname in names:
+            col = table.column(cname)
+            dtypes[cname] = col.dtype.value
+            if col.dtype is DType.STRING:
+                arrays.append(
+                    pa.DictionaryArray.from_arrays(
+                        pa.array(col.data, type=pa.int32()),
+                        pa.array(list(col.categories), type=pa.string()),
+                    )
+                )
+            elif col.dtype is DType.BOOL:
+                arrays.append(pa.array(col.data, type=pa.bool_()))
+            elif col.dtype is DType.FLOAT64:
+                arrays.append(pa.array(col.data, type=pa.float64()))
+            else:  # INT64 / TIMESTAMP: int64 storage
+                arrays.append(pa.array(col.data, type=pa.int64()))
+        metadata = {
+            self._DTYPES_KEY: json.dumps(dtypes).encode("utf-8"),
+            self._NAME_KEY: table.name.encode("utf-8"),
+        }
+        arrow_table = pa.Table.from_arrays(arrays, names=names)
+        arrow_table = arrow_table.replace_schema_metadata(metadata)
+        pq.write_table(arrow_table, version_dir / self.rows_file)
+        return {
+            "backend": self.name,
+            "format": "parquet",
+            "rows_file": self.rows_file,
+        }
+
+    # ------------------------------------------------------------------
+    # reading
+    # ------------------------------------------------------------------
+    def get_rows(self, version_dir: pathlib.Path, storage: Dict) -> Table:
+        if storage.get("format") == "npz":
+            return self._fallback.get_rows(version_dir, storage)
+        if self._pa is None:
+            raise RuntimeError(
+                "version was written as parquet but pyarrow is not "
+                "installed; install pyarrow to read it"
+            )
+        pa, pq = self._pa, self._pq
+        arrow_table = pq.read_table(
+            version_dir / storage.get("rows_file", self.rows_file)
+        )
+        schema_meta = arrow_table.schema.metadata or {}
+        dtypes = json.loads(
+            schema_meta.get(self._DTYPES_KEY, b"{}").decode("utf-8")
+        )
+        name = schema_meta.get(self._NAME_KEY, b"").decode("utf-8")
+        cols = {}
+        for cname in arrow_table.column_names:
+            arr = self._one_chunk(pa, arrow_table.column(cname))
+            dtype = DType(dtypes[cname]) if cname in dtypes else None
+            if pa.types.is_dictionary(arr.type):
+                codes = np.asarray(
+                    arr.indices.to_numpy(zero_copy_only=False),
+                    dtype=np.int32,
+                )
+                cats = [str(c) for c in arr.dictionary.to_pylist()]
+                cols[cname] = Column.from_codes(codes, cats)
+                continue
+            data = np.asarray(arr.to_numpy(zero_copy_only=False))
+            if dtype is None:
+                cols[cname] = Column.from_values(data)
+            else:
+                cols[cname] = Column(
+                    dtype,
+                    np.ascontiguousarray(data, dtype=dtype.storage_dtype),
+                )
+        return Table(cols, name=name)
+
+    @staticmethod
+    def _one_chunk(pa, chunked):
+        """Collapse a (possibly multi-chunk) column to one Array."""
+        if chunked.num_chunks == 1:
+            return chunked.chunk(0)
+        if chunked.num_chunks == 0:
+            return pa.array([], type=chunked.type)
+        combined = chunked.combine_chunks()
+        if isinstance(combined, pa.ChunkedArray):
+            combined = (
+                combined.chunk(0)
+                if combined.num_chunks == 1
+                else pa.concat_arrays(list(combined.chunks))
+            )
+        return combined
+
+    def list(self, version_dir: pathlib.Path) -> List[str]:
+        return sorted(
+            p.name
+            for pattern in ("rows.parquet", "rows.npz")
+            for p in version_dir.glob(pattern)
+            if p.is_file()
+        )
+
+    def delete(self, version_dir: pathlib.Path) -> None:
+        pass
+
+
+class MemoryBackend:
+    """Rows held in a process-wide dict; tests and benchmarks only.
+
+    On disk a version carries just ``rows.mem`` — a small JSON marker
+    so directory scans, byte accounting and completeness checks behave
+    like the durable backends. The blob itself never leaves the
+    process: a second *process* opening the store will find the marker
+    but no rows and treat the version as unreadable (see the corrupt-
+    version skip path in :meth:`SampleStore.get`).
+    """
+
+    name = "memory"
+    rows_file = "rows.mem"
+
+    #: version-dir path -> Table, shared by every store in the process
+    _blobs: Dict[str, Table] = {}
+
+    def put_rows(self, version_dir: pathlib.Path, table: Table) -> Dict:
+        key = os.path.abspath(str(version_dir))
+        type(self)._blobs[key] = table
+        (version_dir / self.rows_file).write_text(
+            json.dumps({"rows": table.num_rows, "resident": "process"})
+            + "\n"
+        )
+        return {
+            "backend": self.name,
+            "format": "memory",
+            "rows_file": self.rows_file,
+        }
+
+    def get_rows(self, version_dir: pathlib.Path, storage: Dict) -> Table:
+        key = os.path.abspath(str(version_dir))
+        # Staged writes land under a hidden directory that is renamed
+        # into place, so the blob may be registered under the staging
+        # path; the store re-registers on rename (see SampleStore.put).
+        try:
+            return type(self)._blobs[key]
+        except KeyError:
+            raise OSError(
+                f"memory backend has no resident rows for {version_dir} "
+                "(written by another process, or the process restarted)"
+            ) from None
+
+    def rename(self, old_dir: pathlib.Path, new_dir: pathlib.Path) -> None:
+        """Follow a staging-directory rename (store-internal hook)."""
+        blobs = type(self)._blobs
+        old_key = os.path.abspath(str(old_dir))
+        if old_key in blobs:
+            blobs[os.path.abspath(str(new_dir))] = blobs.pop(old_key)
+
+    def list(self, version_dir: pathlib.Path) -> List[str]:
+        return [
+            p.name for p in version_dir.glob("rows.mem") if p.is_file()
+        ]
+
+    def delete(self, version_dir: pathlib.Path) -> None:
+        type(self)._blobs.pop(os.path.abspath(str(version_dir)), None)
+
+
+BACKENDS = {
+    NpzBackend.name: NpzBackend,
+    ParquetArrowBackend.name: ParquetArrowBackend,
+    MemoryBackend.name: MemoryBackend,
+}
+
+#: format tag in a version's ``storage`` block -> backend able to read it
+_FORMAT_READERS = {
+    "npz": NpzBackend,
+    "parquet": ParquetArrowBackend,
+    "memory": MemoryBackend,
+}
+
+
+def available_backends() -> Dict[str, bool]:
+    """Backend name -> fully functional on this host.
+
+    ``parquet: False`` means pyarrow is missing: the backend still
+    *writes* (npz fallback) but cannot read parquet-format versions."""
+    return {
+        NpzBackend.name: True,
+        ParquetArrowBackend.name: ParquetArrowBackend().available,
+        MemoryBackend.name: True,
+    }
+
+
+def resolve_backend(backend) -> StorageBackend:
+    """Accept a backend name, instance, or None (-> default npz)."""
+    if backend is None:
+        return NpzBackend()
+    if isinstance(backend, str):
+        try:
+            return BACKENDS[backend]()
+        except KeyError:
+            raise ValueError(
+                f"unknown storage backend {backend!r}; "
+                f"available: {', '.join(sorted(BACKENDS))}"
+            ) from None
+    if isinstance(backend, StorageBackend):
+        return backend
+    raise TypeError(
+        f"backend must be a name or StorageBackend, got {type(backend)!r}"
+    )
+
+
+#: rows-file suffix -> storage format tag
+_SUFFIX_FORMATS = {".npz": "npz", ".parquet": "parquet", ".mem": "memory"}
+
+
+def infer_storage(version_dir) -> Optional[Dict]:
+    """Reconstruct the ``storage`` block of a version directory whose
+    meta predates storage blocks: ask each backend's :meth:`list`
+    whether it recognizes a rows blob. npz is probed first — every
+    pre-backend version was npz. Returns None when no backend claims a
+    blob (the version is incomplete and must not be adopted)."""
+    version_dir = pathlib.Path(version_dir)
+    for name, cls in BACKENDS.items():
+        blobs = cls().list(version_dir)
+        if blobs:
+            rows_file = blobs[0]
+            fmt = _SUFFIX_FORMATS.get(
+                pathlib.Path(rows_file).suffix, "npz"
+            )
+            return {"backend": fmt, "format": fmt, "rows_file": rows_file}
+    return None
+
+
+def backend_for_format(fmt: Optional[str]) -> StorageBackend:
+    """Decode backend for a version's recorded format (legacy versions
+    without a ``storage`` block decode as npz)."""
+    if not fmt:
+        return NpzBackend()
+    try:
+        return _FORMAT_READERS[fmt]()
+    except KeyError:
+        raise ValueError(
+            f"version was written in unknown format {fmt!r}; "
+            f"readable formats: {', '.join(sorted(_FORMAT_READERS))}"
+        ) from None

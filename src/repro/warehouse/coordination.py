@@ -1,0 +1,331 @@
+"""Cross-process write coordination for the sample store.
+
+Two primitives, both plain files so any number of processes (the HTTP
+front's watch mode, the standalone ``warehouse daemon``, ad-hoc CLI
+builds) can share one store directory without a coordination service:
+
+:class:`FileLock`
+    An advisory lock: ``O_CREAT | O_EXCL`` creation of a lock file
+    whose body records the holder (pid, host, timestamp). Waiters poll;
+    a lock whose holder is a dead process on the same host is broken
+    immediately, and one whose holder cannot be probed (other host,
+    unreadable body) is broken once the file ages past
+    ``stale_timeout`` seconds. A verified-alive holder is never
+    broken — waiters time out instead. Breaking is best-effort (two
+    breakers can race on a truly dead lock), which is acceptable for an
+    advisory protocol: the store's writes stay safe regardless because
+    versions are immutable and commits are atomic appends/renames.
+
+:class:`ManifestLog`
+    An append-only log of JSON records, one per line, fsync'd on every
+    append. A record is *committed* when its full line (terminated by
+    ``\\n``) is durable; replay ignores a torn trailing line, so a
+    crash mid-append can never corrupt the history — at worst the last
+    write is simply absent and the version directory it described is
+    invisible until :meth:`SampleStore.rebuild_manifest` adopts it.
+    Readers tail the log incrementally: :meth:`replay` returns the
+    records past a byte offset plus the new offset, so a polling reader
+    pays only for what changed.
+
+See ``docs/STORAGE.md`` for the record schema and the lock protocol,
+and ``docs/OPERATIONS.md`` for the operational runbook.
+"""
+
+from __future__ import annotations
+
+import errno
+import json
+import os
+import pathlib
+import socket
+import threading
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["FileLock", "LockTimeout", "ManifestLog", "ManifestRecord"]
+
+
+class LockTimeout(OSError):
+    """Could not acquire an advisory lock within the timeout."""
+
+
+class FileLock:
+    """Advisory cross-process lock file with stale-lock detection.
+
+    Usage::
+
+        with FileLock(store_root / "name" / ".lock"):
+            ...  # exclusive writer section
+
+    Parameters
+    ----------
+    path:
+        Lock file location. The parent directory must exist.
+    timeout:
+        Seconds to wait for the lock before raising :class:`LockTimeout`.
+    stale_timeout:
+        Age (by mtime) beyond which a lock whose holder *cannot be
+        probed* (other host, unreadable body) is presumed abandoned
+        and broken. Same-host holders are probed with
+        ``os.kill(pid, 0)`` instead: dead ones are broken immediately,
+        live ones are never broken regardless of age.
+    poll_interval:
+        Seconds between acquisition attempts while waiting.
+    """
+
+    def __init__(
+        self,
+        path,
+        timeout: float = 10.0,
+        stale_timeout: float = 30.0,
+        poll_interval: float = 0.02,
+    ) -> None:
+        self.path = pathlib.Path(path)
+        self.timeout = float(timeout)
+        self.stale_timeout = float(stale_timeout)
+        self.poll_interval = float(poll_interval)
+        self._held = False
+
+    # ------------------------------------------------------------------
+    # acquisition
+    # ------------------------------------------------------------------
+    def acquire(self) -> None:
+        deadline = time.monotonic() + self.timeout
+        while True:
+            if self._try_create():
+                self._held = True
+                return
+            if self._break_if_stale():
+                continue  # freed it; race others for the create
+            if time.monotonic() >= deadline:
+                raise LockTimeout(
+                    f"could not acquire {self.path} within "
+                    f"{self.timeout:.1f}s (holder: {self._describe()})"
+                )
+            time.sleep(self.poll_interval)
+
+    def release(self) -> None:
+        if not self._held:
+            return
+        self._held = False
+        # Only remove the file if it is still *our* lock: a waiter may
+        # have aged us out (e.g. cross-host, no liveness probe) and
+        # created its own — unlinking that would let a third writer in.
+        holder = self._holder()
+        if holder is not None and (
+            holder.get("pid") != os.getpid()
+            or holder.get("host") != socket.gethostname()
+        ):
+            return  # broken and re-acquired by someone else
+        try:
+            self.path.unlink()
+        except FileNotFoundError:
+            pass  # broken by someone who presumed us dead
+
+    def __enter__(self) -> "FileLock":
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.release()
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _try_create(self) -> bool:
+        body = json.dumps(
+            {
+                "pid": os.getpid(),
+                "host": socket.gethostname(),
+                "created": time.time(),
+            }
+        ).encode("utf-8")
+        try:
+            fd = os.open(
+                self.path, os.O_CREAT | os.O_EXCL | os.O_WRONLY, 0o644
+            )
+        except FileExistsError:
+            return False
+        try:
+            os.write(fd, body)
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+        return True
+
+    def _holder(self) -> Optional[Dict]:
+        try:
+            return json.loads(self.path.read_text())
+        except (OSError, ValueError):
+            return None
+
+    def _describe(self) -> str:
+        holder = self._holder()
+        if not holder:
+            return "unknown"
+        return f"pid {holder.get('pid')}@{holder.get('host')}"
+
+    def _break_if_stale(self) -> bool:
+        """Remove an abandoned lock; True when the caller should retry
+        immediately."""
+        holder = self._holder()
+        if (
+            holder
+            and holder.get("host") == socket.gethostname()
+            and isinstance(holder.get("pid"), int)
+        ):
+            # Same host: the liveness probe is authoritative. A
+            # verified-alive holder is never broken, however long it
+            # has held the lock (waiters time out instead).
+            stale = not _pid_alive(holder["pid"])
+        else:
+            # Other host or unreadable body: liveness is unknowable,
+            # fall back to the age heuristic.
+            try:
+                age = time.time() - self.path.stat().st_mtime
+            except FileNotFoundError:
+                return True  # released while we looked
+            stale = age > self.stale_timeout
+        if not stale:
+            return False
+        try:
+            self.path.unlink()
+        except FileNotFoundError:
+            pass
+        return True
+
+
+def _pid_alive(pid: int) -> bool:
+    if pid <= 0:
+        return False
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:
+        return True  # exists, owned by someone else
+    except OSError as exc:  # pragma: no cover - exotic platforms
+        return exc.errno != errno.ESRCH
+    return True
+
+
+# ----------------------------------------------------------------------
+# manifest log
+# ----------------------------------------------------------------------
+@dataclass
+class ManifestRecord:
+    """One committed manifest entry."""
+
+    op: str  # "put" | "prune" | "delete"
+    name: str
+    version: Optional[str] = None
+    versions: Optional[List[str]] = None  # prune: ids removed
+    storage: Optional[Dict] = None  # put: backend/format/rows_file
+    ts: float = 0.0
+    recovered: bool = False
+
+    def to_json(self) -> str:
+        payload = {"op": self.op, "name": self.name, "ts": self.ts}
+        if self.version is not None:
+            payload["version"] = self.version
+        if self.versions is not None:
+            payload["versions"] = list(self.versions)
+        if self.storage is not None:
+            payload["storage"] = dict(self.storage)
+        if self.recovered:
+            payload["recovered"] = True
+        return json.dumps(payload, separators=(",", ":"))
+
+    @classmethod
+    def from_dict(cls, payload: Dict) -> "ManifestRecord":
+        return cls(
+            op=str(payload.get("op", "")),
+            name=str(payload.get("name", "")),
+            version=payload.get("version"),
+            versions=payload.get("versions"),
+            storage=payload.get("storage"),
+            ts=float(payload.get("ts", 0.0)),
+            recovered=bool(payload.get("recovered", False)),
+        )
+
+
+class ManifestLog:
+    """Append-only, fsync'd JSON-lines log of store mutations.
+
+    Appends are a single ``write`` on an ``O_APPEND`` descriptor
+    followed by ``fsync`` — on POSIX filesystems concurrent appenders
+    in different processes cannot interleave bytes for records of this
+    size, so every committed line is one whole record. Within a process
+    appends are additionally serialized by a mutex.
+    """
+
+    def __init__(self, path) -> None:
+        self.path = pathlib.Path(path)
+        self._append_mutex = threading.Lock()
+
+    def exists(self) -> bool:
+        return self.path.exists()
+
+    def size(self) -> int:
+        try:
+            return self.path.stat().st_size
+        except FileNotFoundError:
+            return 0
+
+    # ------------------------------------------------------------------
+    # writing
+    # ------------------------------------------------------------------
+    def append(self, record: ManifestRecord) -> None:
+        """Durably commit one record (atomic: all-or-nothing on crash)."""
+        if not record.ts:
+            record.ts = time.time()
+        line = (record.to_json() + "\n").encode("utf-8")
+        with self._append_mutex:
+            fd = os.open(
+                self.path, os.O_CREAT | os.O_WRONLY | os.O_APPEND, 0o644
+            )
+            try:
+                os.write(fd, line)
+                os.fsync(fd)
+            finally:
+                os.close(fd)
+
+    # ------------------------------------------------------------------
+    # reading
+    # ------------------------------------------------------------------
+    def replay(
+        self, since_offset: int = 0
+    ) -> Tuple[List[ManifestRecord], int, int]:
+        """Records committed past ``since_offset``.
+
+        Returns ``(records, new_offset, skipped)``: the offset only
+        advances past *complete* lines, so a torn trailing write is
+        re-examined on the next call (and adopted once its newline
+        lands). ``skipped`` counts complete-but-unparsable lines —
+        zero on a healthy log.
+        """
+        try:
+            with open(self.path, "rb") as fh:
+                fh.seek(since_offset)
+                data = fh.read()
+        except FileNotFoundError:
+            return [], 0, 0
+        records: List[ManifestRecord] = []
+        skipped = 0
+        offset = since_offset
+        for line in data.splitlines(keepends=True):
+            if not line.endswith(b"\n"):
+                break  # torn trailing append: not committed yet
+            offset += len(line)
+            text = line.strip()
+            if not text:
+                continue
+            try:
+                payload = json.loads(text.decode("utf-8"))
+                if not isinstance(payload, dict):
+                    raise ValueError("record is not an object")
+                records.append(ManifestRecord.from_dict(payload))
+            except (ValueError, UnicodeDecodeError):
+                skipped += 1
+        return records, offset, skipped

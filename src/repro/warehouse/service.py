@@ -170,9 +170,12 @@ class WarehouseService:
         cache_size: int = 128,
         cv_degradation_threshold: float = 1.5,
         keep_versions: int = 4,
+        backend=None,
     ) -> None:
         self.store = (
-            store if isinstance(store, SampleStore) else SampleStore(store)
+            store
+            if isinstance(store, SampleStore)
+            else SampleStore(store, backend=backend)
         )
         self.maintainer = SampleMaintainer(
             self.store,
@@ -466,11 +469,17 @@ class WarehouseService:
     def stats(self) -> Dict:
         """Store accounting + serving counters in one snapshot."""
         entries: List[StoreEntryStats] = self.store.stats()
+        store_info = {
+            "root": str(self.store.root),
+            "backend": getattr(self.store.backend, "name", "npz"),
+            "manifest": self.store.manifest_position(),
+        }
         with self._lock.read():
             session = self._session
             return {
                 "epoch": self._epoch,
                 "queries_served": self.queries_served,
+                "store": store_info,
                 "answer_cache": {
                     "size": len(self._cache),
                     "capacity": self._cache.capacity,
@@ -494,6 +503,7 @@ class WarehouseService:
                         "strata": e.strata,
                         "by": list(e.by),
                         "method": e.method,
+                        "backend": e.backend,
                         "bytes": e.bytes_on_disk,
                         "staleness": e.lineage.get("staleness", 0.0),
                         "needs_rebuild": e.lineage.get(
@@ -573,9 +583,17 @@ class WarehouseService:
         return contract, violations
 
     def _warm_start(self) -> None:
-        """Adopt every stored sample whose base table is registered."""
+        """Adopt every stored sample whose base table is registered.
+
+        A sample with no readable version (e.g. memory-backend blobs
+        from another process) is skipped rather than failing startup —
+        the store keeps it for whoever can read it.
+        """
         for name in self.store.names():
-            stored = self.store.get(name)
+            try:
+                stored = self.store.get(name)
+            except KeyError:
+                continue
             table_name = stored.table_name
             if table_name and table_name in self._session.tables:
                 self._session.register_sample(

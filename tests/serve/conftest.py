@@ -4,17 +4,24 @@ The tests drive real asyncio event loops (via ``asyncio.run`` inside
 each test, no plugin needed) against a real warehouse on ``tmp_path``.
 """
 
+import os
+
 import pytest
 
 from repro.warehouse import WarehouseService
 
 from serve_helpers import split
 
+# CI legs re-run the serving suite per storage backend
+_BACKEND = os.environ.get("REPRO_TEST_BACKEND", "npz")
+
 
 @pytest.fixture()
 def warehouse(tmp_path, openaq_small):
     """A service over the full small table with one country sample."""
-    service = WarehouseService(tmp_path / "wh", {"OpenAQ": openaq_small})
+    service = WarehouseService(
+        tmp_path / "wh", {"OpenAQ": openaq_small}, backend=_BACKEND
+    )
     service.build(
         "s", "OpenAQ", group_by=["country"], value_columns=["value"],
         budget=800,
@@ -26,7 +33,9 @@ def warehouse(tmp_path, openaq_small):
 def split_warehouse(tmp_path, openaq_small):
     """(service, batch): service over 75% of the rows, batch = the rest."""
     base, batch = split(openaq_small)
-    service = WarehouseService(tmp_path / "wh", {"OpenAQ": base})
+    service = WarehouseService(
+        tmp_path / "wh", {"OpenAQ": base}, backend=_BACKEND
+    )
     service.build(
         "s", "OpenAQ", group_by=["country"], value_columns=["value"],
         budget=800,

@@ -2,6 +2,7 @@
 conftest loads as a pytest plugin, so test modules can't import from
 it)."""
 
+import os
 import time
 
 import numpy as np
@@ -24,6 +25,9 @@ class SlowWarehouseService(WarehouseService):
     """
 
     def __init__(self, *args, delay=0.2, **kwargs):
+        kwargs.setdefault(
+            "backend", os.environ.get("REPRO_TEST_BACKEND", "npz")
+        )
         super().__init__(*args, **kwargs)
         self.delay = delay
 

@@ -1,0 +1,17 @@
+"""Warehouse test fixtures.
+
+``REPRO_TEST_BACKEND`` selects the storage backend the store fixtures
+write with (default ``npz``). CI runs the suite once per backend; the
+parquet leg installs pyarrow so the real Arrow path is exercised (on
+machines without pyarrow the backend's npz fallback is what gets
+tested, which is itself a supported configuration).
+"""
+
+import os
+
+import pytest
+
+
+@pytest.fixture()
+def store_backend():
+    return os.environ.get("REPRO_TEST_BACKEND", "npz")

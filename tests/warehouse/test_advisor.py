@@ -1,5 +1,7 @@
 """Workload-driven advisor: candidate pricing, greedy cover, logs."""
 
+import os
+
 import pytest
 
 from repro.warehouse import SampleMaintainer, SampleStore, advise
@@ -11,6 +13,8 @@ Q_FINE = (
     "GROUP BY country, parameter"
 )
 Q_PARAM = "SELECT parameter, SUM(value) s FROM OpenAQ GROUP BY parameter"
+
+_BACKEND = os.environ.get("REPRO_TEST_BACKEND", "npz")
 
 
 @pytest.fixture()
@@ -86,7 +90,7 @@ class TestAdvise:
         )
         (rec,) = plan.recommendations
         assert rec.candidate.agg_columns == ("value",)
-        store = SampleStore(tmp_path / "wh")
+        store = SampleStore(tmp_path / "wh", backend=_BACKEND)
         built = plan.materialize(SampleMaintainer(store), openaq_small)
         assert built and store.get(built[0]).sample.num_rows > 0
 
@@ -96,7 +100,7 @@ class TestAdvise:
         plan = advise(
             workload, openaq_small, storage_budget=30_000, target_cv=0.25
         )
-        store = SampleStore(tmp_path / "wh")
+        store = SampleStore(tmp_path / "wh", backend=_BACKEND)
         built = plan.materialize(
             SampleMaintainer(store), openaq_small, table_name="OpenAQ"
         )

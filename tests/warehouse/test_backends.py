@@ -1,0 +1,241 @@
+"""Storage backends: round-trips, format dispatch, mixed stores."""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.core.cvopt import CVOptSampler
+from repro.core.spec import GroupByQuerySpec
+from repro.engine.schema import DType
+from repro.engine.table import Table
+from repro.warehouse.backends import (
+    BACKENDS,
+    MemoryBackend,
+    NpzBackend,
+    ParquetArrowBackend,
+    available_backends,
+    backend_for_format,
+    resolve_backend,
+)
+from repro.warehouse.store import SampleStore
+from repro.warehouse.service import WarehouseService
+
+ALL_BACKENDS = ["npz", "parquet", "memory"]
+
+try:
+    import pyarrow  # noqa: F401
+
+    HAVE_PYARROW = True
+except ImportError:
+    HAVE_PYARROW = False
+
+
+@pytest.fixture()
+def typed_table():
+    return Table.from_pydict(
+        {
+            "country": ["US", "IN", "US", "CN", "IN", "US"],
+            "value": [1.5, 2.0, -3.25, 4.0, 0.0, 7.5],
+            "count": [1, 2, 3, 4, 5, 6],
+            "flag": [True, False, True, True, False, False],
+        },
+        name="Typed",
+    )
+
+
+class TestBlobRoundTrip:
+    @pytest.mark.parametrize("backend_name", ALL_BACKENDS)
+    def test_table_round_trips_exactly(
+        self, tmp_path, typed_table, backend_name
+    ):
+        backend = resolve_backend(backend_name)
+        storage = backend.put_rows(tmp_path, typed_table)
+        assert storage["backend"] == backend_name
+        assert (tmp_path / storage["rows_file"]).is_file()
+        back = backend.get_rows(tmp_path, storage)
+        assert back.column_names == typed_table.column_names
+        for name in typed_table.column_names:
+            orig, rest = typed_table.column(name), back.column(name)
+            assert rest.dtype is orig.dtype
+            np.testing.assert_array_equal(rest.decode(), orig.decode())
+
+    @pytest.mark.parametrize("backend_name", ALL_BACKENDS)
+    def test_timestamp_column_round_trips(self, tmp_path, backend_name):
+        col = np.array(
+            ["2020-01-01T00:00:00", "2021-06-15T12:30:00"],
+            dtype="datetime64[s]",
+        )
+        table = Table.from_pydict({"ts": col, "v": [1.0, 2.0]})
+        assert table.column("ts").dtype is DType.TIMESTAMP
+        backend = resolve_backend(backend_name)
+        storage = backend.put_rows(tmp_path, table)
+        back = backend.get_rows(tmp_path, storage)
+        assert back.column("ts").dtype is DType.TIMESTAMP
+        np.testing.assert_array_equal(
+            back.column("ts").data, table.column("ts").data
+        )
+
+    @pytest.mark.parametrize("backend_name", ALL_BACKENDS)
+    def test_empty_table_round_trips(self, tmp_path, backend_name):
+        table = Table.from_pydict({"g": [], "v": []})
+        backend = resolve_backend(backend_name)
+        storage = backend.put_rows(tmp_path, table)
+        back = backend.get_rows(tmp_path, storage)
+        assert back.num_rows == 0
+        assert set(back.column_names) == {"g", "v"}
+
+
+class TestParquetFallback:
+    def test_storage_block_is_truthful(self, tmp_path, typed_table):
+        backend = ParquetArrowBackend()
+        storage = backend.put_rows(tmp_path, typed_table)
+        assert storage["backend"] == "parquet"
+        if HAVE_PYARROW:
+            assert storage["format"] == "parquet"
+            assert storage["rows_file"] == "rows.parquet"
+        else:
+            assert storage["format"] == "npz"
+            assert storage["rows_file"] == "rows.npz"
+            assert "fallback" in storage
+        # Whatever was written is readable through format dispatch.
+        reader = backend_for_format(storage["format"])
+        back = reader.get_rows(tmp_path, storage)
+        assert back.num_rows == typed_table.num_rows
+
+    @pytest.mark.skipif(HAVE_PYARROW, reason="pyarrow is installed")
+    def test_strict_requires_pyarrow(self):
+        with pytest.raises(RuntimeError, match="pyarrow"):
+            ParquetArrowBackend(strict=True)
+
+    @pytest.mark.skipif(not HAVE_PYARROW, reason="pyarrow not installed")
+    def test_strict_constructs_with_pyarrow(self):
+        assert ParquetArrowBackend(strict=True).available
+
+
+class TestResolution:
+    def test_names_and_instances(self):
+        assert isinstance(resolve_backend(None), NpzBackend)
+        assert isinstance(resolve_backend("npz"), NpzBackend)
+        assert isinstance(resolve_backend("memory"), MemoryBackend)
+        inst = NpzBackend()
+        assert resolve_backend(inst) is inst
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError, match="unknown storage backend"):
+            resolve_backend("s3")
+        with pytest.raises(TypeError):
+            resolve_backend(42)
+
+    def test_unknown_format_rejected(self):
+        with pytest.raises(ValueError, match="unknown format"):
+            backend_for_format("orc")
+        assert isinstance(backend_for_format(None), NpzBackend)
+
+    def test_registry_covers_all(self):
+        assert set(BACKENDS) == set(ALL_BACKENDS)
+        assert set(available_backends()) == set(ALL_BACKENDS)
+
+
+@pytest.fixture()
+def small_sample(openaq_small):
+    return CVOptSampler(
+        [GroupByQuerySpec.single("value", by=("country", "parameter"))]
+    ).sample(openaq_small, 600, seed=0)
+
+
+class TestStoreWithBackends:
+    @pytest.mark.parametrize("backend_name", ALL_BACKENDS)
+    def test_put_get_and_meta_record_backend(
+        self, tmp_path, small_sample, backend_name
+    ):
+        store = SampleStore(tmp_path / "wh", backend=backend_name)
+        version = store.put("s", small_sample, table_name="OpenAQ")
+        stored = store.get("s")
+        assert stored.version == version
+        assert stored.storage["backend"] == backend_name
+        meta = json.loads(
+            (store.root / "s" / version / "meta.json").read_text()
+        )
+        assert meta["storage"] == stored.storage
+        assert stored.sample.num_rows == small_sample.num_rows
+
+    def test_mixed_format_store_fully_readable(
+        self, tmp_path, small_sample
+    ):
+        """A store whose versions were written by different backends is
+        readable by any store instance — decode dispatches on each
+        version's recorded format."""
+        root = tmp_path / "wh"
+        v1 = SampleStore(root, backend="npz").put("s", small_sample)
+        v2 = SampleStore(root, backend="memory").put("s", small_sample)
+        reader = SampleStore(root, backend="parquet")
+        assert reader.versions("s") == [v1, v2]
+        assert reader.get("s", v1).storage["backend"] == "npz"
+        assert reader.get("s", v2).storage["backend"] == "memory"
+        assert reader.get("s").version == v2
+
+    def test_memory_blobs_do_not_survive_eviction(
+        self, tmp_path, small_sample
+    ):
+        """Simulated process restart: resident blobs gone, marker files
+        left — the sample has no readable version and says so."""
+        store = SampleStore(tmp_path / "wh", backend="memory")
+        version = store.put("s", small_sample)
+        key = os.path.abspath(str(store.root / "s" / version))
+        assert key in MemoryBackend._blobs
+        MemoryBackend._blobs.pop(key)
+        with pytest.raises(KeyError, match="no readable version"):
+            store.get("s")
+
+    def test_memory_backend_prune_evicts_blobs(
+        self, tmp_path, small_sample
+    ):
+        store = SampleStore(tmp_path / "wh", backend="memory")
+        for _ in range(3):
+            store.put("s", small_sample)
+        removed = store.prune("s", keep=1)
+        assert removed == ["v000001", "v000002"]
+        for version in removed:
+            key = os.path.abspath(str(store.root / "s" / version))
+            assert key not in MemoryBackend._blobs
+
+
+class TestServiceRoundTrip:
+    """Acceptance: the same build/refresh/query round-trip passes under
+    all three backends."""
+
+    SQL = "SELECT country, AVG(value) a FROM OpenAQ GROUP BY country"
+
+    @pytest.mark.parametrize("backend_name", ALL_BACKENDS)
+    def test_build_refresh_query(
+        self, tmp_path, openaq_small, backend_name
+    ):
+        n = openaq_small.num_rows
+        base = openaq_small.take(np.arange(0, int(n * 0.8)))
+        batch = openaq_small.take(np.arange(int(n * 0.8), n))
+        service = WarehouseService(
+            tmp_path / "wh",
+            {"OpenAQ": base},
+            backend=backend_name,
+        )
+        report = service.build(
+            "aq", "OpenAQ", group_by=["country", "parameter"],
+            value_columns=["value"], budget=600,
+        )
+        assert report.version == "v000001"
+        first = service.query(self.SQL)
+        assert first.route.approximate
+        assert first.table.num_rows > 0
+
+        refreshed = service.refresh("aq", batch)
+        assert refreshed.rows_ingested == batch.num_rows
+        again = service.query(self.SQL)
+        assert again.table.num_rows > 0
+        assert service.served_versions()["aq"] == refreshed.version
+
+        stats = service.stats()
+        assert stats["store"]["backend"] == backend_name
+        assert stats["store"]["manifest"]["records"] >= 2
+        assert stats["samples"]["aq"]["backend"] == backend_name

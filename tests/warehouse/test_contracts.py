@@ -1,5 +1,7 @@
 """Accuracy contracts: construction, constraints, consistency."""
 
+import os
+
 import numpy as np
 import pytest
 
@@ -11,10 +13,14 @@ from repro.warehouse import (
 
 SQL = "SELECT country, AVG(value) a FROM OpenAQ GROUP BY country"
 
+_BACKEND = os.environ.get("REPRO_TEST_BACKEND", "npz")
+
 
 @pytest.fixture()
 def service(tmp_path, openaq_small):
-    svc = WarehouseService(tmp_path / "wh", {"OpenAQ": openaq_small})
+    svc = WarehouseService(
+        tmp_path / "wh", {"OpenAQ": openaq_small}, backend=_BACKEND
+    )
     svc.build(
         "s", "OpenAQ", group_by=["country"], value_columns=["value"],
         budget=800,
@@ -123,7 +129,9 @@ class TestConstraints:
         n = openaq_small.num_rows
         base = openaq_small.take(np.arange(0, int(n * 0.6)))
         batch = openaq_small.take(np.arange(int(n * 0.6), n))
-        svc = WarehouseService(tmp_path / "wh2", {"OpenAQ": base})
+        svc = WarehouseService(
+            tmp_path / "wh2", {"OpenAQ": base}, backend=_BACKEND
+        )
         svc.build(
             "s", "OpenAQ", group_by=["country"], value_columns=["value"],
             budget=600,

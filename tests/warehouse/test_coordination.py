@@ -1,0 +1,370 @@
+"""Cross-process coordination: lock files, manifest log, torn reads."""
+
+import json
+import os
+import subprocess
+import sys
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.cvopt import CVOptSampler
+from repro.core.spec import GroupByQuerySpec
+from repro.engine.table import Table
+from repro.warehouse.coordination import (
+    FileLock,
+    LockTimeout,
+    ManifestLog,
+    ManifestRecord,
+)
+from repro.warehouse.store import SampleStore
+
+
+def _tiny_sample(seed=0):
+    table = Table.from_pydict(
+        {
+            "g": ["a", "b", "a", "c", "b", "a", "c", "b"] * 8,
+            "v": list(np.arange(64, dtype=float)),
+        },
+        name="T",
+    )
+    return CVOptSampler(
+        [GroupByQuerySpec.single("v", by=("g",))]
+    ).sample(table, 24, seed=seed)
+
+
+# ----------------------------------------------------------------------
+# FileLock
+# ----------------------------------------------------------------------
+class TestFileLock:
+    def test_acquire_release_cycle(self, tmp_path):
+        lock = FileLock(tmp_path / "x.lock")
+        with lock:
+            assert (tmp_path / "x.lock").exists()
+            holder = json.loads((tmp_path / "x.lock").read_text())
+            assert holder["pid"] == os.getpid()
+        assert not (tmp_path / "x.lock").exists()
+
+    def test_held_lock_times_out_waiter(self, tmp_path):
+        path = tmp_path / "x.lock"
+        with FileLock(path):
+            waiter = FileLock(path, timeout=0.2, stale_timeout=60.0)
+            started = time.monotonic()
+            with pytest.raises(LockTimeout):
+                waiter.acquire()
+            assert time.monotonic() - started >= 0.2
+
+    def test_dead_holder_is_broken_immediately(self, tmp_path):
+        path = tmp_path / "x.lock"
+        import socket
+
+        path.write_text(
+            json.dumps(
+                {
+                    # far beyond this machine's pid space -> not alive
+                    "pid": 99_999_999,
+                    "host": socket.gethostname(),
+                    "created": time.time(),
+                }
+            )
+        )
+        lock = FileLock(path, timeout=1.0, stale_timeout=3600.0)
+        lock.acquire()  # breaks the stale lock instead of timing out
+        lock.release()
+
+    def test_alive_holder_is_never_broken_by_age(self, tmp_path):
+        """A verified-alive same-host holder keeps the lock however
+        old the file is; waiters time out instead of breaking it."""
+        import socket
+
+        path = tmp_path / "x.lock"
+        path.write_text(
+            json.dumps(
+                {
+                    "pid": os.getpid(),  # us: definitely alive
+                    "host": socket.gethostname(),
+                    "created": time.time() - 300,
+                }
+            )
+        )
+        old = time.time() - 300
+        os.utime(path, (old, old))
+        waiter = FileLock(path, timeout=0.3, stale_timeout=30.0)
+        with pytest.raises(LockTimeout):
+            waiter.acquire()
+        assert path.exists()  # still held
+
+    def test_aged_lock_is_broken(self, tmp_path):
+        path = tmp_path / "x.lock"
+        path.write_text(json.dumps({"pid": None, "host": "elsewhere"}))
+        old = time.time() - 120
+        os.utime(path, (old, old))
+        lock = FileLock(path, timeout=1.0, stale_timeout=30.0)
+        lock.acquire()
+        lock.release()
+
+    def test_store_put_breaks_stale_lock(self, tmp_path):
+        import socket
+
+        store = SampleStore(tmp_path / "wh", lock_timeout=2.0)
+        sample_dir = store.root / "s"
+        sample_dir.mkdir()
+        (sample_dir / ".lock").write_text(
+            json.dumps(
+                {
+                    "pid": 99_999_999,
+                    "host": socket.gethostname(),
+                    "created": time.time(),
+                }
+            )
+        )
+        assert store.put("s", _tiny_sample()) == "v000001"
+
+    def test_store_put_times_out_on_live_lock(self, tmp_path):
+        store = SampleStore(
+            tmp_path / "wh", lock_timeout=0.2, stale_lock_timeout=3600.0
+        )
+        sample_dir = store.root / "s"
+        sample_dir.mkdir()
+        with FileLock(sample_dir / ".lock"):  # held by a live pid (us)
+            with pytest.raises(LockTimeout):
+                store.put("s", _tiny_sample())
+
+
+# ----------------------------------------------------------------------
+# ManifestLog
+# ----------------------------------------------------------------------
+class TestManifestLog:
+    def test_append_replay_round_trip(self, tmp_path):
+        log = ManifestLog(tmp_path / "manifest.log")
+        log.append(
+            ManifestRecord(
+                op="put", name="s", version="v000001",
+                storage={"backend": "npz", "format": "npz"},
+            )
+        )
+        log.append(ManifestRecord(op="prune", name="s",
+                                  versions=["v000001"]))
+        records, offset, skipped = log.replay(0)
+        assert [r.op for r in records] == ["put", "prune"]
+        assert records[0].storage["backend"] == "npz"
+        assert skipped == 0
+        assert offset == log.size()
+
+    def test_incremental_replay(self, tmp_path):
+        log = ManifestLog(tmp_path / "manifest.log")
+        log.append(ManifestRecord(op="put", name="s", version="v000001"))
+        _, offset, _ = log.replay(0)
+        log.append(ManifestRecord(op="put", name="s", version="v000002"))
+        records, new_offset, _ = log.replay(offset)
+        assert [r.version for r in records] == ["v000002"]
+        assert new_offset > offset
+
+    def test_torn_trailing_line_is_not_committed(self, tmp_path):
+        log = ManifestLog(tmp_path / "manifest.log")
+        log.append(ManifestRecord(op="put", name="s", version="v000001"))
+        with open(log.path, "ab") as fh:
+            fh.write(b'{"op":"put","name":"s","version":"v0000')  # torn
+        records, offset, skipped = log.replay(0)
+        assert [r.version for r in records] == ["v000001"]
+        assert skipped == 0
+        assert offset < log.size()
+        # Completing the line commits it.
+        with open(log.path, "ab") as fh:
+            fh.write(b'02"}\n')
+        records, _, _ = log.replay(offset)
+        assert [r.version for r in records] == ["v000002"]
+
+    def test_garbage_line_counted_as_skipped(self, tmp_path):
+        log = ManifestLog(tmp_path / "manifest.log")
+        with open(log.path, "ab") as fh:
+            fh.write(b"!!! not json !!!\n")
+        log.append(ManifestRecord(op="put", name="s", version="v000001"))
+        records, _, skipped = log.replay(0)
+        assert [r.version for r in records] == ["v000001"]
+        assert skipped == 1
+
+
+# ----------------------------------------------------------------------
+# store integration
+# ----------------------------------------------------------------------
+class TestManifestDrivenStore:
+    def test_every_mutation_is_logged(self, tmp_path):
+        store = SampleStore(tmp_path / "wh")
+        sample = _tiny_sample()
+        store.put("s", sample)
+        store.put("s", sample)
+        store.prune("s", keep=1)
+        store.put("other", sample)
+        store.delete("other")
+        records, _, skipped = store.manifest.replay(0)
+        assert [r.op for r in records] == [
+            "put", "put", "prune", "put", "delete",
+        ]
+        assert skipped == 0
+        assert store.names() == ["s"]
+        assert store.versions("s") == ["v000002"]
+        position = store.manifest_position()
+        assert position["records"] == 5
+        assert position["skipped"] == 0
+        assert position["offset"] == store.manifest.size()
+
+    def test_uncommitted_version_dir_is_invisible(self, tmp_path):
+        """Crash between the directory rename and the manifest append:
+        the orphan is not listed, and rebuild_manifest adopts it."""
+        store = SampleStore(tmp_path / "wh")
+        sample = _tiny_sample()
+        store.put("s", sample)
+        # Forge the orphan: a fully-written v000002 with no log record.
+        import shutil
+
+        src = store.root / "s" / "v000001"
+        dst = store.root / "s" / "v000002"
+        shutil.copytree(src, dst)
+        meta = json.loads((dst / "meta.json").read_text())
+        meta["version"] = "v000002"
+        (dst / "meta.json").write_text(json.dumps(meta))
+
+        assert store.versions("s") == ["v000001"]
+        assert store.get("s").version == "v000001"
+        adopted = store.rebuild_manifest()
+        assert adopted == [{"name": "s", "version": "v000002"}]
+        assert store.versions("s") == ["v000001", "v000002"]
+
+    def test_rebuild_skips_version_with_torn_meta(self, tmp_path):
+        """A version whose meta.json is unparsable can never be
+        loaded, so a rebuild must not adopt it into the manifest."""
+        store = SampleStore(tmp_path / "wh")
+        store.put("s", _tiny_sample())
+        import shutil
+
+        src = store.root / "s" / "v000001"
+        dst = store.root / "s" / "v000002"
+        shutil.copytree(src, dst)
+        meta_text = (dst / "meta.json").read_text()
+        (dst / "meta.json").write_text(meta_text[: len(meta_text) // 2])
+        assert store.rebuild_manifest() == []
+        assert store.versions("s") == ["v000001"]
+
+    def test_next_version_never_reuses_orphan_ids(self, tmp_path):
+        store = SampleStore(tmp_path / "wh")
+        sample = _tiny_sample()
+        store.put("s", sample)
+        (store.root / "s" / "v000007").mkdir()  # orphan debris
+        assert store.put("s", sample) == "v000008"
+
+    def test_premanifest_store_is_migrated_on_open(self, tmp_path):
+        """A store written before the manifest existed (or whose log
+        was lost) rebuilds it from the directory tree at open time."""
+        store = SampleStore(tmp_path / "wh")
+        sample = _tiny_sample()
+        store.put("s", sample)
+        store.put("s", sample)
+        store.manifest.path.unlink()
+
+        reopened = SampleStore(tmp_path / "wh")
+        assert reopened.manifest.exists()
+        assert reopened.versions("s") == ["v000001", "v000002"]
+        records, _, _ = reopened.manifest.replay(0)
+        assert all(r.recovered for r in records)
+        assert reopened.get("s").version == "v000002"
+
+    def test_second_store_instance_sees_new_commits(self, tmp_path):
+        """Two store handles on one root (stand-in for two processes):
+        the reader's manifest view follows the writer's appends."""
+        writer = SampleStore(tmp_path / "wh")
+        sample = _tiny_sample()
+        writer.put("s", sample)
+        reader = SampleStore(tmp_path / "wh")
+        assert reader.versions("s") == ["v000001"]
+        writer.put("s", sample)
+        assert reader.versions("s") == ["v000001", "v000002"]
+        assert reader.get("s").version == "v000002"
+
+
+# ----------------------------------------------------------------------
+# two processes, one store
+# ----------------------------------------------------------------------
+_WRITER_SCRIPT = """
+import sys
+import numpy as np
+from repro.core.cvopt import CVOptSampler
+from repro.core.spec import GroupByQuerySpec
+from repro.engine.table import Table
+from repro.warehouse.store import SampleStore
+
+root, puts = sys.argv[1], int(sys.argv[2])
+table = Table.from_pydict(
+    {
+        "g": ["a", "b", "a", "c", "b", "a", "c", "b"] * 8,
+        "v": list(np.arange(64, dtype=float)),
+    },
+    name="T",
+)
+sample = CVOptSampler(
+    [GroupByQuerySpec.single("v", by=("g",))]
+).sample(table, 24, seed=1)
+store = SampleStore(root)
+for i in range(puts):
+    store.put("shared", sample, table_name="T")
+print("writer done", flush=True)
+"""
+
+
+class TestTwoProcessCoordination:
+    def test_reader_never_observes_a_torn_version(self, tmp_path):
+        """A writer subprocess commits versions while this process
+        reads; every successful read must be a complete sample, and at
+        the end the manifest replay equals the directory scan."""
+        root = tmp_path / "wh"
+        puts = 25
+        env = dict(os.environ)
+        src = os.path.join(os.getcwd(), "src")
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        writer = subprocess.Popen(
+            [sys.executable, "-c", _WRITER_SCRIPT, str(root), str(puts)],
+            env=env,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+        )
+        try:
+            reader = SampleStore(root)
+            expected_rows = _tiny_sample(seed=1).num_rows
+            good_reads = 0
+            seen_versions = set()
+            deadline = time.monotonic() + 60
+            while writer.poll() is None and time.monotonic() < deadline:
+                try:
+                    stored = reader.get("shared")
+                except KeyError as exc:
+                    # Acceptable only while nothing is committed yet; a
+                    # torn version would surface as "no readable".
+                    assert "no readable" not in str(exc), exc
+                    continue
+                assert stored.sample.num_rows == expected_rows
+                assert stored.sample.table.num_rows == expected_rows
+                good_reads += 1
+                seen_versions.add(stored.version)
+            out, err = writer.communicate(timeout=60)
+            assert writer.returncode == 0, err.decode()
+        finally:
+            if writer.poll() is None:
+                writer.kill()
+                writer.communicate()
+
+        assert good_reads > 0
+        # Manifest replay == directory scan: every committed version is
+        # on disk and every on-disk version was committed.
+        committed = {r.version for r in reader.manifest.replay(0)[0]}
+        on_disk = {
+            p.name
+            for p in (root / "shared").iterdir()
+            if p.is_dir() and p.name.startswith("v")
+        }
+        assert committed == on_disk
+        assert len(on_disk) == puts
+        assert reader.versions("shared") == sorted(on_disk)
+        assert reader.get("shared").version == f"v{puts:06d}"
+        # No lock debris left behind.
+        assert not (root / "shared" / ".lock").exists()

@@ -11,7 +11,12 @@ from repro.core.spec import GroupByQuerySpec
 from repro.core.streaming import StreamingCVOptSampler
 from repro.engine.statistics import collect_strata_statistics
 from repro.engine.table import Table
+import os
+
 from repro.warehouse import SampleMaintainer, SampleStore
+
+# CI legs re-run this suite per storage backend (see tests/warehouse/conftest.py)
+_BACKEND = os.environ.get("REPRO_TEST_BACKEND", "npz")
 
 
 def split_rows(table, *fractions):
@@ -26,7 +31,7 @@ def split_rows(table, *fractions):
 
 @pytest.fixture()
 def store(tmp_path):
-    return SampleStore(tmp_path / "wh")
+    return SampleStore(tmp_path / "wh", backend=_BACKEND)
 
 
 @pytest.fixture()
@@ -163,7 +168,7 @@ class TestMaintainer:
                 "x": list(np.abs(rng.normal(5, 200, 4000)) + 0.1),
             }
         )
-        store = SampleStore(tmp_path / "wh")
+        store = SampleStore(tmp_path / "wh", backend=_BACKEND)
         maintainer = SampleMaintainer(store, cv_degradation_threshold=1.5)
         maintainer.build(
             "s", base, group_by=["g"], value_columns=["x"], budget=120,
@@ -190,7 +195,7 @@ class TestMaintainer:
             }
         )
         full = base.concat(batch)
-        store = SampleStore(tmp_path / "wh")
+        store = SampleStore(tmp_path / "wh", backend=_BACKEND)
         maintainer = SampleMaintainer(store, cv_degradation_threshold=1.5)
         maintainer.build(
             "s", base, group_by=["g"], value_columns=["x"], budget=120,
@@ -276,7 +281,7 @@ class TestAccuracyPin:
         self, tmp_path, openaq_small
     ):
         base, b1, b2 = split_rows(openaq_small, 0.6, 0.8)
-        store = SampleStore(tmp_path / "wh")
+        store = SampleStore(tmp_path / "wh", backend=_BACKEND)
         maintainer = SampleMaintainer(store)
         maintainer.build(
             "s", base, group_by=["country"], value_columns=["value"],
@@ -321,7 +326,7 @@ class TestAccuracyPin:
         self, tmp_path, openaq_small
     ):
         base, batch = split_rows(openaq_small, 0.7)
-        store = SampleStore(tmp_path / "wh")
+        store = SampleStore(tmp_path / "wh", backend=_BACKEND)
         maintainer = SampleMaintainer(store)
         maintainer.build(
             "s", base, group_by=["country"], value_columns=["value"],

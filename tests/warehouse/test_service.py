@@ -1,5 +1,6 @@
 """WarehouseService: routing, caching, swaps, and concurrency."""
 
+import os
 import threading
 
 import numpy as np
@@ -7,6 +8,9 @@ import pytest
 
 from repro.engine.sql.executor import execute_sql
 from repro.warehouse import LRUCache, RWLock, WarehouseService
+
+# CI legs re-run this suite per storage backend (see conftest.py)
+_BACKEND = os.environ.get("REPRO_TEST_BACKEND", "npz")
 
 SQL = "SELECT country, AVG(value) a FROM OpenAQ GROUP BY country"
 
@@ -21,7 +25,9 @@ def halves(table):
 
 @pytest.fixture()
 def service(tmp_path, openaq_small):
-    svc = WarehouseService(tmp_path / "wh", {"OpenAQ": openaq_small})
+    svc = WarehouseService(
+        tmp_path / "wh", {"OpenAQ": openaq_small}, backend=_BACKEND
+    )
     svc.build(
         "s", "OpenAQ", group_by=["country"], value_columns=["value"],
         budget=800,
@@ -59,14 +65,16 @@ class TestServing:
 
     def test_warm_start_from_store(self, service, tmp_path, openaq_small):
         # A second service over the same root adopts the stored sample.
-        twin = WarehouseService(tmp_path / "wh", {"OpenAQ": openaq_small})
+        twin = WarehouseService(
+            tmp_path / "wh", {"OpenAQ": openaq_small}, backend=_BACKEND
+        )
         assert "s" in twin.samples()
         assert twin.query(SQL).route.sample_name == "s"
 
     def test_orphan_adopted_on_table_registration(
         self, service, tmp_path, openaq_small
     ):
-        twin = WarehouseService(tmp_path / "wh")
+        twin = WarehouseService(tmp_path / "wh", backend=_BACKEND)
         assert twin.samples() == []
         twin.register_table("OpenAQ", openaq_small)
         assert "s" in twin.samples()
@@ -85,7 +93,9 @@ class TestRefresh:
         self, tmp_path, openaq_small
     ):
         base, batch = halves(openaq_small)
-        svc = WarehouseService(tmp_path / "wh", {"OpenAQ": base})
+        svc = WarehouseService(
+            tmp_path / "wh", {"OpenAQ": base}, backend=_BACKEND
+        )
         svc.build(
             "s", "OpenAQ", group_by=["country"], value_columns=["value"],
             budget=600,
@@ -101,7 +111,9 @@ class TestRefresh:
         self, tmp_path, openaq_small
     ):
         base, batch = halves(openaq_small)
-        svc = WarehouseService(tmp_path / "wh", {"OpenAQ": base})
+        svc = WarehouseService(
+            tmp_path / "wh", {"OpenAQ": base}, backend=_BACKEND
+        )
         svc.build(
             "s", "OpenAQ", group_by=["country"], value_columns=["value"],
             budget=600,
@@ -124,7 +136,9 @@ class TestConcurrency:
         writer swaps refreshed versions underneath them."""
         base, rest = halves(openaq_small)
         batches = halves(rest)
-        svc = WarehouseService(tmp_path / "wh", {"OpenAQ": base})
+        svc = WarehouseService(
+            tmp_path / "wh", {"OpenAQ": base}, backend=_BACKEND
+        )
         svc.build(
             "s", "OpenAQ", group_by=["country"], value_columns=["value"],
             budget=500,

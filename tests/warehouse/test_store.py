@@ -24,8 +24,8 @@ def sample(openaq_small):
 
 
 @pytest.fixture()
-def store(tmp_path):
-    return SampleStore(tmp_path / "wh")
+def store(tmp_path, store_backend):
+    return SampleStore(tmp_path / "wh", backend=store_backend)
 
 
 class TestRoundTrip:
@@ -198,6 +198,94 @@ class TestVersioning:
         assert entry.lineage["staleness"] == 0.5
 
 
+def _corrupt_version(store, name, version):
+    """Simulate a crash mid-write: truncate the rows blob to half its
+    bytes (and, for the memory backend, evict the resident blob the
+    marker points at — its file is only accounting)."""
+    from repro.warehouse.backends import MemoryBackend
+
+    import os
+
+    stored = store.get(name, version)
+    rows_path = store.root / name / version / stored.storage["rows_file"]
+    data = rows_path.read_bytes()
+    rows_path.write_bytes(data[: len(data) // 2])
+    MemoryBackend._blobs.pop(os.path.abspath(str(rows_path.parent)), None)
+
+
+class TestCorruptVersionRecovery:
+    """A partially-written version directory (crash mid-put) must be
+    skipped by the default ``get``, not raise."""
+
+    def test_get_skips_truncated_current_version(self, store, sample):
+        v1 = store.put("s", sample)
+        v2 = store.put("s", sample)
+        _corrupt_version(store, "s", v2)
+        stored = store.get("s")
+        assert stored.version == v1
+        assert stored.sample.num_rows == sample.num_rows
+
+    def test_get_skips_version_with_missing_meta(self, store, sample):
+        v1 = store.put("s", sample)
+        v2 = store.put("s", sample)
+        (store.root / "s" / v2 / "meta.json").unlink()
+        assert store.get("s").version == v1
+
+    def test_get_skips_version_with_missing_rows(self, store, sample):
+        import os
+
+        from repro.warehouse.backends import MemoryBackend
+
+        v1 = store.put("s", sample)
+        v2 = store.put("s", sample)
+        stored = store.get("s", v2)
+        rows_path = store.root / "s" / v2 / stored.storage["rows_file"]
+        rows_path.unlink()
+        MemoryBackend._blobs.pop(
+            os.path.abspath(str(rows_path.parent)), None
+        )
+        assert store.get("s").version == v1
+
+    def test_all_versions_corrupt_raises_key_error(self, store, sample):
+        v1 = store.put("s", sample)
+        _corrupt_version(store, "s", v1)
+        with pytest.raises(KeyError, match="no readable version"):
+            store.get("s")
+
+    def test_explicit_version_still_surfaces_corruption(self, store, sample):
+        store.put("s", sample)
+        v2 = store.put("s", sample)
+        _corrupt_version(store, "s", v2)
+        with pytest.raises(Exception):
+            store.get("s", v2)
+
+    def test_corrupt_current_does_not_break_stats(self, store, sample):
+        v1 = store.put("s", sample)
+        _corrupt_version(store, "s", v1)
+        (entry,) = store.stats()
+        assert entry.name == "s"
+        assert entry.bytes_on_disk >= 0
+
+    def test_maintainer_refresh_survives_torn_current(
+        self, store, sample, openaq_small
+    ):
+        """The maintenance path reads through the same skip logic: a
+        torn current version falls back to the previous one."""
+        from repro.warehouse.maintenance import SampleMaintainer
+
+        maintainer = SampleMaintainer(store)
+        maintainer.build(
+            "m", openaq_small, group_by=["country", "parameter"],
+            value_columns=["value"], budget=600,
+        )
+        v2 = store.put("m", store.get("m").sample)
+        _corrupt_version(store, "m", v2)
+        batch = openaq_small.take(np.arange(200))
+        report = maintainer.refresh("m", batch)
+        assert report.rows_ingested == 200
+        assert store.get("m").version == report.version
+
+
 class TestKeyEncoding:
     def test_mixed_types_round_trip(self):
         key = ("US", 3, 2.5, True, None)
@@ -213,5 +301,6 @@ class TestKeyEncoding:
         store.put("s", sample)
         meta_path = store.root / "s" / "v000001" / "meta.json"
         meta = json.loads(meta_path.read_text())
-        assert meta["format"] == 1
+        assert meta["format"] == 2
+        assert meta["storage"]["format"] in ("npz", "parquet", "memory")
         assert len(meta["allocation"]["keys"]) == sample.allocation.num_strata
