@@ -30,9 +30,13 @@ def main() -> None:
     rng = np.random.default_rng(0)
     stream = table.take(rng.permutation(table.num_rows))
 
+    # Track two aggregate columns: "value" (the primary, driving the
+    # re-balance) and "latitude" — the sampler keeps exact per-stratum
+    # moments for both, so either AVG(value) or AVG(latitude) contracts
+    # can be predicted from the finished sample.
     sampler = StreamingCVOptSampler(
         group_by=("country",),
-        value_column="value",
+        value_columns=("value", "latitude"),
         budget=BUDGET,
         pilot_rows=10_000,
         seed=1,
@@ -66,6 +70,17 @@ def main() -> None:
             f"\n{label}: {sample.num_rows} rows, "
             f"mean error {errors.mean_error():.2%}, "
             f"max {errors.max_error():.2%}"
+        )
+
+    stats = final.allocation.stats
+    print(
+        "\nper-column moments tracked by the stream "
+        f"({', '.join(stats.columns)}):"
+    )
+    for column, summary in stats.column_summaries().items():
+        print(
+            f"  {column}: {summary['populated_strata']} strata, "
+            f"mean data CV {summary['mean_data_cv']:.3f}"
         )
 
     print(

@@ -8,8 +8,15 @@ SQL strings approximately by:
    when its stratification attributes cover the query's group-by
    attributes (paper Section 6: any coarsening of the finest
    stratification is answerable); among qualifying samples the router
-   picks the one with the lowest *predicted* estimate CV, computed from
-   the CV math in :mod:`repro.aqp.planning`;
+   picks the one with the lowest *predicted* estimate CV for the
+   columns the query actually aggregates, computed from each sample's
+   persisted per-column moments and the CV math in
+   :mod:`repro.aqp.planning`. When the caller states a ``max_cv``
+   constraint the routing is **contract-aware**: a sample whose
+   worst per-group predicted CV on the queried columns satisfies the
+   constraint is preferred over the globally-lowest-CV sample, so a
+   satisfiable request is served approximately instead of falling back
+   to exact execution;
 2. **rewriting** the plan: base-table scans are redirected to the
    sample's rows and every aggregate becomes its weighted
    Horvitz-Thompson estimator (:func:`repro.engine.sql.planner.apply_weighting`);
@@ -69,6 +76,11 @@ _DEAD_GROUP_CV = 10.0
 #: is not.
 _MAX_BOUND_PLANS = 64
 
+#: Cap on cached query shapes. The cache key includes the caller's
+#: max_cv constraint, which HTTP clients control — without a bound a
+#: caller varying max_cv per request would grow the dict forever.
+_MAX_CACHED_SHAPES = 256
+
 
 @dataclass(frozen=True)
 class RouteDecision:
@@ -79,7 +91,9 @@ class RouteDecision:
     columns; ``group_cvs`` is the same prediction *per stratum*
     (aligned with the sample's ``allocation.keys``), surfaced so the
     serving layer can embed per-group accuracy contracts in responses.
-    Both are ``None`` for exact execution.
+    Both are ``None`` for exact execution. ``cv_columns`` names the
+    aggregate columns whose statistics actually drove the prediction —
+    the columns the contract covers.
     """
 
     sample_name: Optional[str]  # None = exact execution
@@ -87,6 +101,7 @@ class RouteDecision:
     predicted_cv: Optional[float]  # routing score of the chosen sample
     reason: str
     group_cvs: Optional[Tuple[float, ...]] = None  # per-stratum CVs
+    cv_columns: Optional[Tuple[str, ...]] = None  # columns predicted from
 
     @property
     def approximate(self) -> bool:
@@ -223,24 +238,36 @@ class AQPSession:
     # ------------------------------------------------------------------
     # querying
     # ------------------------------------------------------------------
-    def query(self, sql: str, mode: str = "auto") -> AQPResult:
+    def query(
+        self, sql: str, mode: str = "auto", max_cv: Optional[float] = None
+    ) -> AQPResult:
         """Answer ``sql``, routing to a stored sample when possible.
 
         ``mode`` is ``"auto"`` (route if a sample qualifies, else
         exact), ``"approx"`` (raise if no sample qualifies), or
-        ``"exact"`` (always run on the base tables).
+        ``"exact"`` (always run on the base tables). ``max_cv`` makes
+        the routing contract-aware: among qualifying samples, one whose
+        worst per-group predicted CV on the queried columns meets the
+        bound is preferred over the globally-lowest-CV sample; when no
+        sample meets it the lowest-CV sample is still chosen and the
+        caller decides whether to fall back (the session itself never
+        rejects on ``max_cv``).
         """
         if mode not in ("auto", "approx", "exact"):
             raise ValueError("mode must be 'auto', 'approx' or 'exact'")
+        if max_cv is not None:
+            max_cv = float(max_cv)
         start = time.perf_counter()
         parsed = parse_query(sql)
         shape, literals = parameterize_query(parsed)
-        key = (shape, mode)
+        key = (shape, mode, max_cv)
         entry = self._shape_cache.get(key)
         cached = entry is not None
         if entry is None:
             self.plan_cache_misses += 1
-            entry = self._plan_shape(parsed, shape, mode)
+            entry = self._plan_shape(parsed, shape, mode, max_cv)
+            if len(self._shape_cache) >= _MAX_CACHED_SHAPES:
+                self._shape_cache.clear()  # re-planning is cheap
             self._shape_cache[key] = entry
         else:
             self.plan_cache_hits += 1
@@ -269,14 +296,18 @@ class AQPSession:
     # planning internals
     # ------------------------------------------------------------------
     def _plan_shape(
-        self, parsed: SelectQuery, shape: SelectQuery, mode: str
+        self,
+        parsed: SelectQuery,
+        shape: SelectQuery,
+        mode: str,
+        max_cv: Optional[float] = None,
     ) -> _CachedShape:
         # Route on the *parsed* query (literals intact) so predicate
         # columns etc. are visible; cache under the parameterized shape.
         route = (
             RouteDecision(None, None, None, "exact mode requested")
             if mode == "exact"
-            else self._route(parsed, mode)
+            else self._route(parsed, mode, max_cv)
         )
         plan = lower_query(shape)
         if route.approximate:
@@ -301,7 +332,12 @@ class AQPSession:
             catalog[_SAMPLE_PREFIX + route.sample_name] = sample.table
         return catalog
 
-    def _route(self, query: SelectQuery, mode: str) -> RouteDecision:
+    def _route(
+        self,
+        query: SelectQuery,
+        mode: str,
+        max_cv: Optional[float] = None,
+    ) -> RouteDecision:
         if not self._sample_sources:
             return self._fallback(mode, "no samples registered")
         if not _has_aggregate(query):
@@ -312,7 +348,9 @@ class AQPSession:
         needed = _grouping_attributes(query)
         agg_columns = _aggregate_columns(query)
 
-        best = None  # (score, extra_attrs, name, table_name, group_cvs)
+        # (score, extra_attrs, name, table_name, group_cvs, cv_columns)
+        best = None  # globally-lowest predicted CV
+        best_ok = None  # lowest predicted CV among max_cv-satisfying
         for name, table_name in self._sample_sources.items():
             if table_name not in referenced:
                 continue
@@ -320,25 +358,51 @@ class AQPSession:
             attrs = set(sample.allocation.by)
             if not needed <= attrs:
                 continue
-            score, group_cvs = self._predict_cvs(sample, agg_columns)
+            score, group_cvs, cv_columns = self._predict_cvs(
+                sample, agg_columns
+            )
             extra = len(attrs - needed)
-            candidate = (score, extra, name, table_name, group_cvs)
+            candidate = (
+                score, extra, name, table_name, group_cvs, cv_columns,
+            )
             if best is None or candidate[:2] < best[:2]:
                 best = candidate
+            if max_cv is not None:
+                worst = float(max(group_cvs)) if len(group_cvs) else 0.0
+                if worst <= max_cv and (
+                    best_ok is None or candidate[:2] < best_ok[:2]
+                ):
+                    best_ok = candidate
         if best is None:
             return self._fallback(
                 mode,
                 "no stored sample stratifies a superset of the query's "
                 "group-by attributes",
             )
-        score, _, name, table_name, group_cvs = best
+        # Contract-aware preference: a sample that *meets* the caller's
+        # max_cv on the queried columns beats the globally-lowest-CV
+        # sample that would violate it.
+        contract_note = ""
+        if best_ok is not None and best_ok[2] != best[2]:
+            contract_note = (
+                f", preferred over {best[2]!r} (CV {best[0]:.4f}) because "
+                f"its per-group CV meets max_cv {max_cv:.4f}"
+            )
+            best = best_ok
+        elif best_ok is not None:
+            contract_note = f", meets max_cv {max_cv:.4f}"
+        score, _, name, table_name, group_cvs, cv_columns = best
+        columns_note = (
+            f" on column(s) {', '.join(cv_columns)}" if cv_columns else ""
+        )
         return RouteDecision(
             sample_name=name,
             table_name=table_name,
             predicted_cv=score,
             reason=f"sample {name!r} covers grouping {sorted(needed) or '*'} "
-            f"with predicted CV {score:.4f}",
+            f"with predicted CV {score:.4f}{columns_note}{contract_note}",
             group_cvs=tuple(float(v) for v in group_cvs),
+            cv_columns=tuple(cv_columns),
         )
 
     def _fallback(self, mode: str, reason: str) -> RouteDecision:
@@ -350,24 +414,28 @@ class AQPSession:
 
     def _predict_cvs(
         self, sample: StratifiedSample, agg_columns
-    ) -> Tuple[float, np.ndarray]:
+    ) -> Tuple[float, np.ndarray, Tuple[str, ...]]:
         """Routing score plus per-stratum predicted CVs.
 
-        Returns ``(score, group_cvs)`` where ``group_cvs`` has one
-        entry per stratum of ``sample`` (aligned with
+        Returns ``(score, group_cvs, cv_columns)`` where ``group_cvs``
+        has one entry per stratum of ``sample`` (aligned with
         ``sample.allocation.keys``, averaged elementwise over the
-        query's aggregate columns) and ``score`` is its mean — the
-        number the router ranks candidates by. Uses the a-priori CV
-        prediction of :mod:`repro.aqp.planning` with per-stratum data
-        CVs measured on the sample's own rows — the best available
-        estimate without touching the base table. Strata the sample
-        cannot estimate (no rows) contribute the finite
-        ``_DEAD_GROUP_CV`` sentinel rather than ``inf``.
+        query's aggregate columns), ``score`` is its mean — the number
+        the router ranks candidates by — and ``cv_columns`` names the
+        aggregate columns whose statistics the prediction covers. Uses
+        the a-priori CV prediction of :mod:`repro.aqp.planning` with
+        per-stratum data CVs taken from the sample's persisted pass-1
+        moments for the *queried* column when available (exact over the
+        full population, kept exact by maintenance), falling back to
+        CVs measured on the sample's own rows. Strata the sample cannot
+        estimate (no rows) contribute the finite ``_DEAD_GROUP_CV``
+        sentinel rather than ``inf``.
         """
         allocation = sample.allocation
         per_group = []
+        covered = []
         for column in agg_columns:
-            data_cvs = _sample_data_cvs(sample, column)
+            data_cvs = _column_data_cvs(sample, column)
             if data_cvs is None:
                 continue
             cvs = predict_group_cvs(
@@ -376,6 +444,7 @@ class AQPSession:
             per_group.append(
                 np.where(np.isfinite(cvs), cvs, _DEAD_GROUP_CV)
             )
+            covered.append(column)
         if not per_group:
             # COUNT(*)-style queries: the estimate CV is driven purely by
             # the sampling fractions.
@@ -387,10 +456,10 @@ class AQPSession:
                 )
             group_cvs = 1.0 - fraction
             score = float(group_cvs.mean()) if len(group_cvs) else 0.0
-            return score, group_cvs
+            return score, group_cvs, ()
         group_cvs = np.mean(per_group, axis=0)
         score = float(group_cvs.mean()) if len(group_cvs) else 0.0
-        return score, group_cvs
+        return score, group_cvs, tuple(covered)
 
 
 # ----------------------------------------------------------------------
@@ -507,6 +576,27 @@ def _produces_weighted_rows(plan, sample_scan: str, env=None) -> bool:
         )
         return _produces_weighted_rows(plan.body, sample_scan, extended)
     raise TypeError(f"unknown plan node {type(plan).__name__}")
+
+
+def _column_data_cvs(
+    sample: StratifiedSample, column: str
+) -> Optional[np.ndarray]:
+    """Per-stratum data CVs of ``column``, preferring exact moments.
+
+    A warehouse sample carries per-column pass-1 moments in its
+    allocation statistics (aligned with ``allocation.keys``) — exact
+    over the full population and kept exact across refreshes — so CV
+    predictions for the queried column come from *that column's*
+    moments, not from whichever column the sample happened to be
+    re-balanced on. Samples without persisted moments for the column
+    fall back to measuring on their own rows.
+    """
+    stats = sample.allocation.stats
+    if stats is not None and column in stats.columns:
+        return np.nan_to_num(
+            stats.stats_for(column).cv(mean_floor=1e-9)
+        )
+    return _sample_data_cvs(sample, column)
 
 
 def _sample_data_cvs(

@@ -9,8 +9,8 @@ Subcommands::
     repro-cvopt aqp      --table openaq.npz --sql "SELECT ..." --rate 0.01
     repro-cvopt experiment --dataset openaq --query AQ3 --rate 0.01
     repro-cvopt warehouse build   --root wh --table openaq.npz --name s \
-                                  --group-by country,parameter --value value \
-                                  --budget 2000
+                                  --group-by country,parameter \
+                                  --columns value,latitude --budget 2000
     repro-cvopt warehouse refresh --root wh --name s --batch more.npz
     repro-cvopt warehouse advise  --root wh --table openaq.npz \
                                   --workload queries.log --storage-budget 5000
@@ -126,8 +126,15 @@ def build_parser() -> argparse.ArgumentParser:
     whb.add_argument(
         "--group-by", required=True, help="comma-separated stratification"
     )
-    whb.add_argument(
-        "--value", required=True, help="comma-separated value columns"
+    columns = whb.add_mutually_exclusive_group(required=True)
+    columns.add_argument(
+        "--columns",
+        help="comma-separated value columns to track (first = primary); "
+        "per-stratum moments of every tracked column are persisted and "
+        "kept exact by refreshes",
+    )
+    columns.add_argument(
+        "--value", help="legacy alias of --columns"
     )
     group = whb.add_mutually_exclusive_group(required=True)
     group.add_argument("--budget", type=int, help="sample rows")
@@ -148,6 +155,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--full-table",
         default=None,
         help="npz of the complete data; enables full-rebuild escalation",
+    )
+    whr.add_argument(
+        "--columns", default=None,
+        help="comma-separated override of the tracked value columns "
+        "(default: the columns recorded at build time)",
     )
     whr.add_argument("--seed", type=int, default=0)
 
@@ -249,6 +261,12 @@ def build_parser() -> argparse.ArgumentParser:
     whd.add_argument(
         "--once", action="store_true",
         help="ingest the current backlog and exit",
+    )
+    whd.add_argument(
+        "--max-retries", type=int, default=None,
+        help="re-attempts (with capped exponential backoff) before a "
+        "failed batch is quarantined (default 3; --once implies 0 — a "
+        "single-shot run cannot wait out a backoff)",
     )
 
     wht = whsub.add_parser("stats", help="store + serving accounting")
@@ -394,6 +412,11 @@ def _cmd_warehouse_build(args) -> int:
     elif budget <= 0:
         print("--budget must be positive", file=sys.stderr)
         return 2
+    raw_columns = args.columns or args.value or ""
+    value_columns = [c for c in raw_columns.split(",") if c]
+    if not value_columns:
+        print("--columns must name at least one column", file=sys.stderr)
+        return 2
     maintainer = SampleMaintainer(
         SampleStore(args.root, backend=args.backend)
     )
@@ -401,7 +424,7 @@ def _cmd_warehouse_build(args) -> int:
         args.name,
         table,
         group_by=[c for c in args.group_by.split(",") if c],
-        value_columns=[c for c in args.value.split(",") if c],
+        value_columns=value_columns,
         budget=budget,
         table_name=table_name,
         seed=args.seed,
@@ -409,7 +432,8 @@ def _cmd_warehouse_build(args) -> int:
     print(
         f"built {args.name} {report.version}: {report.rows} rows over "
         f"{report.strata} strata (budget {report.budget}, "
-        f"source {report.source_rows} rows) -> {args.root}"
+        f"source {report.source_rows} rows, tracking "
+        f"{','.join(report.columns)}) -> {args.root}"
     )
     return 0
 
@@ -419,17 +443,25 @@ def _cmd_warehouse_refresh(args) -> int:
 
     batch = Table.load(args.batch)
     full_table = Table.load(args.full_table) if args.full_table else None
+    columns = (
+        [c for c in args.columns.split(",") if c] if args.columns else None
+    )
     maintainer = SampleMaintainer(
         SampleStore(args.root, backend=args.backend)
     )
     report = maintainer.refresh(
-        args.name, batch, full_table=full_table, seed=args.seed
+        args.name, batch, full_table=full_table, seed=args.seed,
+        columns=columns,
+    )
+    per_column = ", ".join(
+        f"{c}={d:.3f}" for c, d in report.drift_by_column.items()
     )
     print(
         f"{report.action} refresh of {args.name} -> {report.version}: "
         f"+{report.rows_ingested} rows (population {report.source_rows}), "
         f"{report.sample_rows} sampled, staleness {report.staleness:.2%}, "
         f"drift {report.drift:.3f}"
+        + (f" ({per_column})" if per_column else "")
         + (", NEEDS REBUILD" if report.needs_rebuild else "")
     )
     return 0
@@ -568,12 +600,16 @@ def _cmd_warehouse_daemon(args) -> int:
         name = names[i] if i < len(names) else (loaded.name or f"T{i}")
         tables[name] = loaded
     service = WarehouseService(args.root, tables, backend=args.backend)
+    max_retries = args.max_retries
+    if max_retries is None:
+        max_retries = 0 if args.once else 3
     daemon = MaintenanceDaemon(
         service,
         args.watch,
         sample=args.sample,
         poll_interval=args.interval,
         require_stable=not args.once,
+        max_retries=max_retries,
     )
 
     async def amain() -> int:
@@ -623,15 +659,33 @@ def _cmd_warehouse_stats(args) -> int:
         print("store is empty")
         return 0
     print(
-        "name\tversion\tversions\trows\tstrata\tby\tmethod\tbackend\t"
-        "bytes\tstale"
+        "name\tversion\tversions\trows\tstrata\tby\tcolumns\tmethod\t"
+        "backend\tbytes\tstale"
     )
     for e in entries:
+        tracked = list(e.columns.get("tracked") or [])
+        primary = e.columns.get("primary")
+        shown = [
+            (c + "*" if c == primary and len(tracked) > 1 else c)
+            for c in tracked
+        ]
         print(
             f"{e.name}\t{e.current_version}\t{e.num_versions}\t{e.rows}\t"
-            f"{e.strata}\t{','.join(e.by)}\t{e.method}\t{e.backend}\t"
+            f"{e.strata}\t{','.join(e.by)}\t{','.join(shown) or '-'}\t"
+            f"{e.method}\t{e.backend}\t"
             f"{e.bytes_on_disk}\t{e.lineage.get('staleness', 0.0):.2%}"
         )
+        for column, summary in (e.columns.get("stats") or {}).items():
+            mean_cv = summary.get("mean_data_cv")
+            max_cv = summary.get("max_data_cv")
+            print(
+                f"  column {column}: strata "
+                f"{summary.get('populated_strata', 0)}/"
+                f"{summary.get('strata', 0)}, data CV mean "
+                + (f"{mean_cv:.3f}" if mean_cv is not None else "-")
+                + ", max "
+                + (f"{max_cv:.3f}" if max_cv is not None else "-")
+            )
     return 0
 
 

@@ -19,13 +19,20 @@ the budget exactly (largest-remainder, cap-respecting).
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING, Sequence
+
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (engine is lower)
+    from ..engine.statistics import StrataStatistics
 
 __all__ = [
     "lemma1_allocation",
     "box_constrained_allocation",
     "integerize",
     "allocate",
+    "multi_column_alphas",
+    "allocate_for_columns",
 ]
 
 
@@ -182,3 +189,52 @@ def allocate(
     upper = populations.astype(np.float64)
     fractional = box_constrained_allocation(alphas, budget, lower, upper)
     return integerize(fractional, budget, populations)
+
+
+def multi_column_alphas(
+    stats: "StrataStatistics",
+    columns: Sequence[str],
+    mean_floor: float = 1e-9,
+) -> np.ndarray:
+    """Per-stratum optimization pressure over several value columns.
+
+    Theorem 2's shape for one grouping: ``alpha_c = sum_l
+    (sigma_{c,l} / mu_{c,l})^2`` — every tracked aggregate column
+    contributes its squared data CV, so the resulting allocation
+    balances all of them rather than just one. With a single column
+    this reduces exactly to the familiar ``(sigma/mu)^2`` alphas.
+
+    Columns without statistics raise :class:`KeyError` (via
+    :meth:`StrataStatistics.stats_for`); means are floored per column
+    like the offline CVOPT path so zero-mean strata stay finite.
+    """
+    columns = list(dict.fromkeys(columns))
+    if not columns:
+        raise ValueError("need at least one column")
+    alphas = np.zeros(stats.num_strata)
+    for column in columns:
+        data_cvs = np.nan_to_num(
+            stats.stats_for(column).cv(mean_floor=mean_floor)
+        )
+        alphas += data_cvs**2
+    return alphas
+
+
+def allocate_for_columns(
+    stats: "StrataStatistics",
+    columns: Sequence[str],
+    budget: int,
+    min_per_stratum: int = 1,
+    mean_floor: float = 1e-9,
+) -> np.ndarray:
+    """CVOPT allocation balancing every column in ``columns``.
+
+    The multi-column counterpart of :func:`allocate`: alphas come from
+    :func:`multi_column_alphas`, populations from ``stats.sizes``.
+    """
+    return allocate(
+        multi_column_alphas(stats, columns, mean_floor=mean_floor),
+        budget,
+        stats.sizes,
+        min_per_stratum=min_per_stratum,
+    )

@@ -6,15 +6,16 @@ stream neither pass can be repeated, so this module implements a
 on stratified sampling over streams, Nguyen et al., EDBT 2019 [17]):
 
 * **Pilot phase** (the first ``pilot_fraction`` of an expected stream
-  length, or an explicit row count): every stratum runs a Welford
-  accumulator and an over-provisioned uniform reservoir (``headroom``
-  times its fair share of the budget).
+  length, or an explicit row count): every stratum runs one Welford
+  accumulator *per tracked value column* and an over-provisioned
+  uniform reservoir (``headroom`` times its fair share of the budget).
 * **Re-balance** at the pilot boundary: CVOPT's box-constrained
-  allocation is computed from the pilot statistics, with each stratum's
-  *current reservoir capacity* as the upper bound. Capacities only
-  **shrink** — shrinking a reservoir (uniform subsample, then continue
-  Algorithm R with the smaller capacity) preserves exact per-stratum
-  uniformity, whereas growing one would bias toward late items.
+  allocation is computed from the pilot statistics of the designated
+  **primary column**, with each stratum's *current reservoir capacity*
+  as the upper bound. Capacities only **shrink** — shrinking a
+  reservoir (uniform subsample, then continue Algorithm R with the
+  smaller capacity) preserves exact per-stratum uniformity, whereas
+  growing one would bias toward late items.
 * **Tail phase**: re-balancing repeats on a doubling schedule (at
   ``pilot_rows``, ``2 * pilot_rows``, ``4 * pilot_rows``, ...) and once
   more at :meth:`finalize`, so strata that first appear late in the
@@ -22,6 +23,14 @@ on stratified sampling over streams, Nguyen et al., EDBT 2019 [17]):
   re-balance is shrink-only, and the budget bound is enforced at each
   one. Statistics keep accumulating so the final Horvitz-Thompson
   weights use exact stream counts.
+
+A sample is typically built to serve *several* aggregate columns, so
+the sampler tracks exact per-stratum moments for **every** column in
+``value_columns`` (one Welford state each) and emits them all from
+:meth:`statistics` — only the re-balance decision is driven by the
+primary column. Downstream, the warehouse persists the whole
+per-column block so accuracy contracts can predict CVs for whichever
+column a query actually aggregates.
 
 The price of one pass is that the allocation is computed from pilot
 estimates and capped by the pilot's headroom; accuracy approaches the
@@ -31,7 +40,7 @@ two-pass optimum as the pilot grows (tested in
 
 from __future__ import annotations
 
-from typing import Dict, Mapping, Sequence, Tuple
+from typing import Dict, Mapping, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -48,12 +57,29 @@ from .sample import STRATUM_COLUMN, WEIGHT_COLUMN, Allocation, StratifiedSample
 
 __all__ = ["StreamingCVOptSampler"]
 
+#: Either one column name or an ordered collection of them.
+Columns = Union[str, Sequence[str]]
+
+
+def _as_columns(value_columns: Columns) -> Tuple[str, ...]:
+    if isinstance(value_columns, str):
+        return (value_columns,)
+    columns = tuple(dict.fromkeys(value_columns))  # dedupe, keep order
+    return columns
+
 
 class _StratumState:
     __slots__ = ("stats", "reservoir", "seen")
 
-    def __init__(self, capacity: int, rng: np.random.Generator) -> None:
-        self.stats = WelfordAccumulator()
+    def __init__(
+        self,
+        columns: Tuple[str, ...],
+        capacity: int,
+        rng: np.random.Generator,
+    ) -> None:
+        self.stats: Dict[str, WelfordAccumulator] = {
+            column: WelfordAccumulator() for column in columns
+        }
         self.reservoir = Reservoir(capacity, rng)
         self.seen = 0
 
@@ -65,8 +91,11 @@ class StreamingCVOptSampler:
     ----------
     group_by:
         Attribute names forming the stratification key.
-    value_column:
-        The aggregation column driving the CV-based allocation.
+    value_columns:
+        The aggregation column(s) whose per-stratum moments are
+        tracked — a single name or an ordered sequence. Every column
+        gets its own Welford state per stratum and appears in
+        :meth:`statistics`.
     budget:
         Total rows to retain.
     pilot_rows:
@@ -75,17 +104,21 @@ class StreamingCVOptSampler:
         Over-provisioning factor for pilot reservoir capacities: each
         newly seen stratum starts with ``headroom * budget /
         max(#strata, 1)`` slots (at least 1).
+    primary_column:
+        The column driving the CV-based re-balance (default: the first
+        of ``value_columns``). Must be one of ``value_columns``.
     """
 
     def __init__(
         self,
         group_by: Sequence[str],
-        value_column: str,
+        value_columns: Columns,
         budget: int,
         pilot_rows: int,
         headroom: float = 2.0,
         mean_floor: float = 1e-9,
         seed: int | np.random.Generator = 0,
+        primary_column: str | None = None,
     ) -> None:
         if budget <= 0:
             raise ValueError("budget must be positive")
@@ -94,7 +127,15 @@ class StreamingCVOptSampler:
         if headroom < 1.0:
             raise ValueError("headroom must be >= 1")
         self.group_by = tuple(group_by)
-        self.value_column = value_column
+        self.value_columns = _as_columns(value_columns)
+        if not self.value_columns:
+            raise ValueError("need at least one value column")
+        self.primary_column = primary_column or self.value_columns[0]
+        if self.primary_column not in self.value_columns:
+            raise ValueError(
+                f"primary column {self.primary_column!r} is not tracked; "
+                f"tracked: {', '.join(self.value_columns)}"
+            )
         self.budget = int(budget)
         self.pilot_rows = int(pilot_rows)
         self.headroom = float(headroom)
@@ -109,6 +150,11 @@ class StreamingCVOptSampler:
         self._rebalanced = False
         self._next_rebalance = self.pilot_rows
 
+    @property
+    def value_column(self) -> str:
+        """Backward-compatible alias: the primary (re-balance) column."""
+        return self.primary_column
+
     # ------------------------------------------------------------------
     # warm start (incremental maintenance)
     # ------------------------------------------------------------------
@@ -116,11 +162,12 @@ class StreamingCVOptSampler:
     def resume(
         cls,
         sample: StratifiedSample,
-        value_column: str,
+        value_columns: Columns,
         statistics: StrataStatistics | None = None,
         headroom: float = 2.0,
         mean_floor: float = 1e-9,
         seed: int | np.random.Generator = 0,
+        primary_column: str | None = None,
     ) -> "StreamingCVOptSampler":
         """Warm-start a streaming sampler from a materialized sample.
 
@@ -131,22 +178,25 @@ class StreamingCVOptSampler:
         SRS over the *extended* population. Re-balancing stays
         shrink-only: a stratum's capacity starts at its current size.
 
-        ``statistics`` supplies exact per-stratum moments of
-        ``value_column`` over the full population (pass-1 output,
-        persisted by the warehouse). When absent they are estimated from
-        the sample rows, scaled to the stratum population — good enough
-        to drive the allocation, noted in the sampler's provenance.
+        ``statistics`` supplies exact per-stratum moments of the
+        tracked columns over the full population (pass-1 output,
+        persisted by the warehouse). Each tracked column whose moments
+        are present is restored exactly; a column absent from the
+        statistics is estimated from the sample rows, scaled to the
+        stratum population — good enough to drive the allocation, and
+        replaced by exact moments at the next full rebuild.
         """
         stats = statistics if statistics is not None else sample.allocation.stats
         allocation = sample.allocation
         sampler = cls(
             group_by=allocation.by,
-            value_column=value_column,
+            value_columns=value_columns,
             budget=sample.budget,
             pilot_rows=max(1, sample.source_rows),
             headroom=headroom,
             mean_floor=mean_floor,
             seed=seed,
+            primary_column=primary_column,
         )
         table = sample.table
         gids = (
@@ -161,32 +211,42 @@ class StreamingCVOptSampler:
             rows_by_stratum.setdefault(int(gids[i]), []).append(
                 {n: decoded[n][i] for n in payload.column_names}
             )
-        col_stats = None
-        if stats is not None and value_column in stats.columns:
-            col_stats = stats.stats_for(value_column)
+        col_stats: Dict[str, ColumnStats | None] = {
+            column: (
+                stats.stats_for(column)
+                if stats is not None and column in stats.columns
+                else None
+            )
+            for column in sampler.value_columns
+        }
         for idx, key in enumerate(allocation.keys):
             population = int(allocation.populations[idx])
             items = rows_by_stratum.get(idx, [])
-            state = _StratumState(len(items), sampler._rng)
+            state = _StratumState(
+                sampler.value_columns, len(items), sampler._rng
+            )
             state.reservoir._items = items
             state.reservoir._seen = population
             state.seen = population
-            if col_stats is not None:
-                _restore_welford(
-                    state.stats,
-                    population,
-                    float(col_stats.total[idx]),
-                    float(col_stats.total_sq[idx]),
-                )
-            else:
-                for row in items:
-                    state.stats.add(float(row[value_column]))
-                # Scale sample moments to the population so the CV math
-                # weighs this stratum like pass-1 statistics would.
-                if items:
-                    factor = population / len(items)
-                    state.stats.count = population
-                    state.stats.m2 *= factor
+            for column, cs in col_stats.items():
+                acc = state.stats[column]
+                if cs is not None:
+                    _restore_welford(
+                        acc,
+                        population,
+                        float(cs.total[idx]),
+                        float(cs.total_sq[idx]),
+                    )
+                else:
+                    for row in items:
+                        acc.add(float(row[column]))
+                    # Scale sample moments to the population so the CV
+                    # math weighs this stratum like pass-1 statistics
+                    # would.
+                    if items:
+                        factor = population / len(items)
+                        acc.count = population
+                        acc.m2 *= factor
             sampler._strata[tuple(key)] = state
         sampler._rows_seen = sample.source_rows
         sampler._rebalanced = True
@@ -218,10 +278,11 @@ class StreamingCVOptSampler:
                     / max(len(self._strata) + 1, 1)
                 ),
             )
-            state = _StratumState(capacity, self._rng)
+            state = _StratumState(self.value_columns, capacity, self._rng)
             self._strata[key] = state
         state.seen += 1
-        state.stats.add(float(record[self.value_column]))
+        for column in self.value_columns:
+            state.stats[column].add(float(record[column]))
         state.reservoir.offer(dict(record))
         self._rows_seen += 1
         if self._rows_seen >= self._next_rebalance:
@@ -247,10 +308,13 @@ class StreamingCVOptSampler:
         keys = list(self._strata)
         if not keys:
             return
+        primary = self.primary_column
         means = np.asarray(
-            [abs(self._strata[k].stats.mean) for k in keys]
+            [abs(self._strata[k].stats[primary].mean) for k in keys]
         )
-        stds = np.asarray([self._strata[k].stats.std for k in keys])
+        stds = np.asarray(
+            [self._strata[k].stats[primary].std for k in keys]
+        )
         finite = means[means > 0]
         floor = (
             self.mean_floor * float(finite.max()) if len(finite) else 1.0
@@ -292,32 +356,41 @@ class StreamingCVOptSampler:
     # finalization
     # ------------------------------------------------------------------
     def statistics(self) -> StrataStatistics:
-        """Stream statistics of the value column, per current stratum.
+        """Stream statistics of every tracked column, per stratum.
 
         Keys are aligned with :meth:`finalize`'s allocation, so the
         result can be persisted next to the sample and handed back to
-        :meth:`resume` for the next maintenance round.
+        :meth:`resume` for the next maintenance round. Moments are
+        exact over the whole observed stream (warm-start population
+        included), per column.
         """
         keys = list(self._strata)
-        counts = np.asarray(
-            [self._strata[k].stats.count for k in keys], dtype=np.float64
+        sizes = np.asarray(
+            [self._strata[k].seen for k in keys], dtype=np.int64
         )
-        means = np.asarray(
-            [self._strata[k].stats.mean for k in keys], dtype=np.float64
-        )
-        m2s = np.asarray(
-            [self._strata[k].stats.m2 for k in keys], dtype=np.float64
-        )
-        totals = means * counts
-        totals_sq = m2s + counts * means**2
         stats = StrataStatistics(
             by=self.group_by,
             keys=keys,
-            sizes=counts.astype(np.int64),
+            sizes=sizes,
         )
-        stats.columns[self.value_column] = ColumnStats(
-            count=counts, total=totals, total_sq=totals_sq
-        )
+        for column in self.value_columns:
+            counts = np.asarray(
+                [self._strata[k].stats[column].count for k in keys],
+                dtype=np.float64,
+            )
+            means = np.asarray(
+                [self._strata[k].stats[column].mean for k in keys],
+                dtype=np.float64,
+            )
+            m2s = np.asarray(
+                [self._strata[k].stats[column].m2 for k in keys],
+                dtype=np.float64,
+            )
+            totals = means * counts
+            totals_sq = m2s + counts * means**2
+            stats.columns[column] = ColumnStats(
+                count=counts, total=totals, total_sq=totals_sq
+            )
         return stats
 
     def finalize(self) -> StratifiedSample:

@@ -26,6 +26,7 @@ __all__ = [
     "WelfordAccumulator",
     "collect_strata_statistics",
     "rollup",
+    "summarize_column_stats",
 ]
 
 
@@ -104,6 +105,13 @@ class StrataStatistics:
             )
         return self.columns[column]
 
+    def column_summaries(self, mean_floor: float = 1e-9) -> Dict[str, Dict]:
+        """JSON-ready per-column summary (``/stats``, CLI accounting)."""
+        return {
+            name: summarize_column_stats(cs, mean_floor=mean_floor)
+            for name, cs in self.columns.items()
+        }
+
 
 def collect_strata_statistics(
     table: Table,
@@ -170,6 +178,27 @@ def rollup(
             ),
         )
     return merged
+
+
+def summarize_column_stats(
+    cs: ColumnStats, mean_floor: float = 1e-9
+) -> Dict:
+    """Scalar summary of one column's per-stratum moments.
+
+    Collapses the stratum arrays into the figures monitoring cares
+    about — how many strata carry data and how dispersed the column is
+    (mean/max per-stratum data CV). Never raises on empty or
+    degenerate strata; CVs that stay undefined are reported as None.
+    """
+    populated = int(np.count_nonzero(np.asarray(cs.count) > 0))
+    cvs = cs.cv(mean_floor=mean_floor)
+    finite = cvs[np.isfinite(cvs)]
+    return {
+        "strata": int(len(cs.count)),
+        "populated_strata": populated,
+        "mean_data_cv": float(finite.mean()) if len(finite) else None,
+        "max_data_cv": float(finite.max()) if len(finite) else None,
+    }
 
 
 class WelfordAccumulator:

@@ -18,9 +18,16 @@ File protocol
 * producers should write elsewhere and ``os.replace`` into the watch
   directory; as a second line of defense a file is only picked up once
   its size and mtime are unchanged between two consecutive polls;
-* applied batches move to ``<watch>/processed/``, failures to
-  ``<watch>/failed/`` (with a ``.error.txt`` note) — the directory is
-  the queue, and it drains even when batches are bad.
+* applied batches move to ``<watch>/processed/``; a batch that fails is
+  **retried with capped, jittered exponential backoff** (the file
+  stays in the watch directory between attempts — transient faults
+  like a mid-write read, a briefly held lock, or a sample whose build
+  has not landed yet heal themselves) and only quarantined to
+  ``<watch>/failed/`` (with a ``.error.txt`` note) once
+  ``max_retries`` re-attempts are exhausted. Files the daemon cannot
+  even route (no ``<sample>__`` prefix and no default sample) are
+  quarantined immediately — retrying cannot fix a name. The directory
+  is the queue, and it drains even when batches are bad.
 
 The heavy lifting (``Table.load``, the refresh itself) runs in worker
 threads via :func:`asyncio.to_thread`, so the daemon can share an event
@@ -31,6 +38,7 @@ from __future__ import annotations
 
 import asyncio
 import pathlib
+import random
 import time
 from collections import deque
 from dataclasses import dataclass
@@ -59,6 +67,20 @@ class BatchOutcome:
     rows: int = 0
     error: Optional[str] = None
     elapsed_seconds: float = 0.0
+    #: 1-based attempt number this outcome describes.
+    attempts: int = 1
+    #: True when the file was moved to ``failed/`` (no more retries).
+    quarantined: bool = False
+    #: Seconds until the next retry (None when ok or quarantined).
+    retry_in: Optional[float] = None
+
+
+@dataclass
+class _RetryState:
+    """Backoff bookkeeping for one failing batch file."""
+
+    attempts: int = 0
+    next_due: float = 0.0  # monotonic clock
 
 
 class MaintenanceDaemon:
@@ -84,6 +106,18 @@ class MaintenanceDaemon:
         single-shot catch-up runs where the producer is known quiescent.
     keep_outcomes:
         How many recent :class:`BatchOutcome` records to retain.
+    max_retries:
+        Re-attempts after a failed ingest before the file is
+        quarantined (0 restores quarantine-on-first-failure). Files
+        that cannot be routed to a sample are never retried.
+    retry_initial_delay:
+        Backoff before the first retry, in seconds; doubles per
+        attempt.
+    retry_max_delay:
+        Cap on the backoff delay.
+    retry_jitter:
+        Relative jitter applied to each delay (0.25 = up to +25%), so a
+        burst of bad files does not retry in lockstep.
 
     Single-loop object like the async service: drive it from one event
     loop via :meth:`start`/:meth:`stop` (or call :meth:`poll` directly).
@@ -97,6 +131,10 @@ class MaintenanceDaemon:
         poll_interval: float = 1.0,
         require_stable: bool = True,
         keep_outcomes: int = 200,
+        max_retries: int = 3,
+        retry_initial_delay: float = 2.0,
+        retry_max_delay: float = 60.0,
+        retry_jitter: float = 0.25,
     ) -> None:
         if isinstance(service, AsyncWarehouseService):
             service = service.service
@@ -105,20 +143,33 @@ class MaintenanceDaemon:
                 "service must be a WarehouseService or "
                 "AsyncWarehouseService"
             )
+        if max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if retry_initial_delay < 0 or retry_max_delay < 0:
+            raise ValueError("retry delays must be >= 0")
+        if retry_jitter < 0:
+            raise ValueError("retry_jitter must be >= 0")
         self.service = service
         self.watch_dir = pathlib.Path(watch_dir)
         self.sample = sample
         self.poll_interval = float(poll_interval)
         self.require_stable = bool(require_stable)
+        self.max_retries = int(max_retries)
+        self.retry_initial_delay = float(retry_initial_delay)
+        self.retry_max_delay = float(retry_max_delay)
+        self.retry_jitter = float(retry_jitter)
         self.watch_dir.mkdir(parents=True, exist_ok=True)
         (self.watch_dir / _PROCESSED_DIR).mkdir(exist_ok=True)
         (self.watch_dir / _FAILED_DIR).mkdir(exist_ok=True)
         self._seen: Dict[str, Tuple[int, int]] = {}  # name -> (size, mtime)
+        self._retries: Dict[str, _RetryState] = {}  # name -> backoff state
+        self._jitter_rng = random.Random()
         self._task: Optional[asyncio.Task] = None
         self._stop = asyncio.Event()
         self.outcomes: Deque[BatchOutcome] = deque(maxlen=keep_outcomes)
         self.batches_applied = 0
         self.batches_failed = 0
+        self.batches_retried = 0
         self.polls = 0
 
     # ------------------------------------------------------------------
@@ -159,9 +210,13 @@ class MaintenanceDaemon:
 
         With ``require_stable`` a new file is recorded on the first
         scan and ingested on the next one whose size/mtime still match,
-        so a dropped batch needs two polls to land.
+        so a dropped batch needs two polls to land. A file awaiting a
+        retry is skipped until its backoff delay has elapsed (and is
+        then re-attempted without a fresh stability round — it already
+        sat through one).
         """
         self.polls += 1
+        now = time.monotonic()
         snapshot: Dict[str, Tuple[int, int]] = {}
         ready = []
         for path in sorted(self.watch_dir.glob("*.npz")):
@@ -171,30 +226,47 @@ class MaintenanceDaemon:
                 continue  # raced with another consumer
             fingerprint = (stat.st_size, stat.st_mtime_ns)
             snapshot[path.name] = fingerprint
+            retry = self._retries.get(path.name)
+            if retry is not None:
+                if now >= retry.next_due:
+                    ready.append(path)
+                continue  # backing off; leave the file queued
             if (
                 not self.require_stable
                 or self._seen.get(path.name) == fingerprint
             ):
                 ready.append(path)
+        # A file that vanished (operator cleanup, another consumer)
+        # takes its backoff state with it — a later drop under the same
+        # name is a fresh batch, not attempt N+1, and must go through
+        # the normal stability round.
+        for name in list(self._retries):
+            if name not in snapshot:
+                del self._retries[name]
         outcomes = []
         for path in ready:
             outcome = await self._ingest(path)
             outcomes.append(outcome)
             self.outcomes.append(outcome)
-            snapshot.pop(path.name, None)
+            if outcome.ok or outcome.quarantined:
+                snapshot.pop(path.name, None)
+                self._retries.pop(path.name, None)
         self._seen = snapshot
         return outcomes
 
     async def _ingest(self, path: pathlib.Path) -> BatchOutcome:
         sample = self._route(path)
         started = time.perf_counter()
+        attempts = self._retries.get(path.name, _RetryState()).attempts + 1
         if sample is None:
+            # Unroutable: no amount of retrying fixes a file name.
             return self._quarantine(
                 path,
                 sample,
                 "no '<sample>__' prefix and the daemon has no default "
                 "sample",
                 started,
+                attempts,
             )
         try:
             batch = await asyncio.to_thread(Table.load, path)
@@ -202,8 +274,13 @@ class MaintenanceDaemon:
                 self.service.refresh, sample, batch
             )
         except Exception as exc:
-            return self._quarantine(
-                path, sample, f"{type(exc).__name__}: {exc}", started
+            error = f"{type(exc).__name__}: {exc}"
+            if attempts > self.max_retries:
+                return self._quarantine(
+                    path, sample, error, started, attempts
+                )
+            return self._schedule_retry(
+                path, sample, error, started, attempts
             )
         path.replace(self.watch_dir / _PROCESSED_DIR / path.name)
         self.batches_applied += 1
@@ -215,6 +292,7 @@ class MaintenanceDaemon:
             version=report.version,
             rows=report.rows_ingested,
             elapsed_seconds=time.perf_counter() - started,
+            attempts=attempts,
         )
 
     # ------------------------------------------------------------------
@@ -223,11 +301,20 @@ class MaintenanceDaemon:
     def stats(self) -> Dict:
         """Counters + the most recent outcome, JSON-ready."""
         last = self.outcomes[-1] if self.outcomes else None
+        now = time.monotonic()
         return {
             "watch_dir": str(self.watch_dir),
             "polls": self.polls,
             "batches_applied": self.batches_applied,
             "batches_failed": self.batches_failed,
+            "batches_retried": self.batches_retried,
+            "pending_retries": {
+                name: {
+                    "attempts": state.attempts,
+                    "due_in_seconds": max(0.0, state.next_due - now),
+                }
+                for name, state in self._retries.items()
+            },
             "running": self._task is not None and not self._task.done(),
             "last_outcome": vars(last) if last else None,
         }
@@ -243,19 +330,57 @@ class MaintenanceDaemon:
                 return prefix
         return self.sample
 
+    def _backoff_delay(self, attempts: int) -> float:
+        """Capped exponential backoff with relative jitter."""
+        delay = min(
+            self.retry_initial_delay * (2.0 ** max(attempts - 1, 0)),
+            self.retry_max_delay,
+        )
+        if self.retry_jitter:
+            delay *= 1.0 + self.retry_jitter * self._jitter_rng.random()
+        return delay
+
+    def _schedule_retry(
+        self,
+        path: pathlib.Path,
+        sample: Optional[str],
+        error: str,
+        started: float,
+        attempts: int,
+    ) -> BatchOutcome:
+        delay = self._backoff_delay(attempts)
+        self._retries[path.name] = _RetryState(
+            attempts=attempts, next_due=time.monotonic() + delay
+        )
+        self.batches_retried += 1
+        return BatchOutcome(
+            file=path.name,
+            sample=sample,
+            ok=False,
+            error=error,
+            elapsed_seconds=time.perf_counter() - started,
+            attempts=attempts,
+            quarantined=False,
+            retry_in=delay,
+        )
+
     def _quarantine(
         self,
         path: pathlib.Path,
         sample: Optional[str],
         error: str,
         started: float,
+        attempts: int = 1,
     ) -> BatchOutcome:
         failed = self.watch_dir / _FAILED_DIR / path.name
         try:
             path.replace(failed)
-            failed.with_suffix(".error.txt").write_text(error + "\n")
+            failed.with_suffix(".error.txt").write_text(
+                error + f" (after {attempts} attempt(s))\n"
+            )
         except OSError:
             pass  # the outcome record still carries the error
+        self._retries.pop(path.name, None)
         self.batches_failed += 1
         return BatchOutcome(
             file=path.name,
@@ -263,4 +388,6 @@ class MaintenanceDaemon:
             ok=False,
             error=error,
             elapsed_seconds=time.perf_counter() - started,
+            attempts=attempts,
+            quarantined=True,
         )

@@ -34,7 +34,9 @@ from .maintenance import (
     SampleMaintainer,
     StalenessInfo,
     allocation_drift,
+    allocation_drift_by_column,
     staleness_from_lineage,
+    tracked_columns_from_lineage,
 )
 from .service import LRUCache, RWLock, WarehouseService
 from .store import SampleStore, StoredSample, StoreEntryStats
@@ -60,7 +62,9 @@ __all__ = [
     "RefreshReport",
     "StalenessInfo",
     "allocation_drift",
+    "allocation_drift_by_column",
     "staleness_from_lineage",
+    "tracked_columns_from_lineage",
     "advise",
     "AdvisorPlan",
     "Candidate",

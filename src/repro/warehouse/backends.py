@@ -59,7 +59,9 @@ class StorageBackend(Protocol):
     A backend reads and writes one opaque blob per version directory;
     ``put_rows`` returns the ``storage`` block persisted in that
     version's ``meta.json`` (at minimum ``backend``, ``format`` and
-    ``rows_file``), and ``get_rows`` must be able to decode any blob
+    ``rows_file``; the built-ins also record the rows schema as
+    ``columns`` so operators can inspect what a blob holds without
+    decoding it), and ``get_rows`` must be able to decode any blob
     whose block names its format.
     """
 
@@ -96,6 +98,7 @@ class NpzBackend:
             "backend": self.name,
             "format": "npz",
             "rows_file": self.rows_file,
+            "columns": list(table.column_names),
         }
 
     def get_rows(self, version_dir: pathlib.Path, storage: Dict) -> Table:
@@ -154,7 +157,7 @@ class ParquetArrowBackend:
             block = self._fallback.put_rows(version_dir, table)
             block["backend"] = self.name
             block["fallback"] = "pyarrow unavailable"
-            return block
+            return block  # fallback block already records the schema
         pa, pq = self._pa, self._pq
         arrays = []
         names = list(table.column_names)
@@ -186,6 +189,7 @@ class ParquetArrowBackend:
             "backend": self.name,
             "format": "parquet",
             "rows_file": self.rows_file,
+            "columns": names,
         }
 
     # ------------------------------------------------------------------
@@ -286,6 +290,7 @@ class MemoryBackend:
             "backend": self.name,
             "format": "memory",
             "rows_file": self.rows_file,
+            "columns": list(table.column_names),
         }
 
     def get_rows(self, version_dir: pathlib.Path, storage: Dict) -> Table:

@@ -17,7 +17,9 @@ layer maps that to a 412 Precondition Failed.
 The CV figures are the a-priori predictions of
 :mod:`repro.aqp.planning` (see ``docs/ACCURACY.md`` for how they relate
 to the paper's guarantees); they are estimates computed from the
-sample's own per-stratum statistics, not post-hoc measured errors.
+sample's persisted per-stratum moments of the column(s) the query
+actually aggregates (``cv_columns`` names them — that is what the
+contract *covers*), not post-hoc measured errors.
 """
 
 from __future__ import annotations
@@ -55,6 +57,11 @@ class AccuracyContract:
     predicted_cv: Optional[float] = None
     #: Worst per-stratum predicted CV (None for exact execution).
     max_group_cv: Optional[float] = None
+    #: Aggregate columns whose persisted moments the CV prediction was
+    #: computed from — the columns this contract *covers*. Empty for
+    #: COUNT(*)-style queries (prediction from sampling fractions
+    #: alone), None for exact execution.
+    cv_columns: Optional[Tuple[str, ...]] = None
     #: Per-stratum predicted CVs, aligned with ``group_keys``.
     group_cvs: Optional[Tuple[float, ...]] = None
     #: Stratification key tuples, aligned with ``group_cvs``.
@@ -89,6 +96,11 @@ class AccuracyContract:
             "sample_version": self.sample_version,
             "predicted_cv": self.predicted_cv,
             "max_group_cv": self.max_group_cv,
+            "cv_columns": (
+                list(self.cv_columns)
+                if self.cv_columns is not None
+                else None
+            ),
             "staleness": self.staleness,
             "drift": self.drift,
             "needs_rebuild": self.needs_rebuild,

@@ -9,17 +9,20 @@ from the persisted sample + its pass-1 statistics:
 * within each stratum the stored rows seed a reservoir whose ``seen``
   counter is the stratum population, so continuing Algorithm R over the
   batch yields an exact SRS of the extended population;
-* per-stratum moments are merged exactly (moments are additive), so the
-  Horvitz-Thompson weights and the CV-driven re-balance use true
-  populations, not estimates;
+* per-stratum moments are merged exactly **per tracked column**
+  (moments are additive), so the Horvitz-Thompson weights, the
+  CV-driven re-balance and every column's accuracy contract use true
+  populations, not estimates — a refresh never silently invalidates
+  the statistics of the other aggregates the sample was built for;
 * re-balancing is **shrink-only** (growing a reservoir would bias
   toward late rows), so a stratum whose optimal share *grows* over time
   cannot be topped up incrementally. That is the drift the
-  **escalation rule** watches: when the predicted-CV objective of the
-  maintained allocation degrades past ``cv_degradation_threshold``
-  times the optimum for the same budget, the maintainer escalates to a
-  full two-pass rebuild (when handed the full table) or flags
-  ``needs_rebuild`` in the lineage.
+  **escalation rule** watches: drift is measured per tracked column
+  against the allocation a fresh multi-column rebuild would choose,
+  and when *any* column's predicted-CV objective degrades past
+  ``cv_degradation_threshold`` times that optimum, the maintainer
+  escalates to a full two-pass rebuild (when handed the full table) or
+  flags ``needs_rebuild`` in the lineage.
 
 Every refresh writes a *new immutable version* to the store and prunes
 old ones, so concurrent readers keep serving the previous version until
@@ -28,14 +31,14 @@ the atomic pointer swap.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Optional, Sequence
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
-from ..core.allocation import allocate
+from ..core.allocation import allocate_for_columns
 from ..core.cvopt import CVOptSampler
-from ..core.sample import StratifiedSample
+from ..core.sample import STRATUM_COLUMN, WEIGHT_COLUMN, StratifiedSample
 from ..core.spec import GroupByQuerySpec
 from ..core.streaming import StreamingCVOptSampler
 from ..engine.statistics import (
@@ -44,7 +47,7 @@ from ..engine.statistics import (
     collect_strata_statistics,
 )
 from ..engine.table import Table
-from .store import SampleStore, StoredSample
+from .store import SampleStore, StoredSample, derive_columns_block
 
 __all__ = [
     "SampleMaintainer",
@@ -52,7 +55,9 @@ __all__ = [
     "RefreshReport",
     "StalenessInfo",
     "allocation_drift",
+    "allocation_drift_by_column",
     "staleness_from_lineage",
+    "tracked_columns_from_lineage",
 ]
 
 #: Stand-in CV for groups an allocation cannot estimate (no rows) when
@@ -70,6 +75,7 @@ class BuildReport:
     strata: int
     budget: int
     source_rows: int
+    columns: List[str] = field(default_factory=list)
 
 
 @dataclass
@@ -84,8 +90,10 @@ class RefreshReport:
     sample_rows: int
     new_strata: int
     staleness: float  # rows ingested since last full build / base rows
-    drift: float  # achieved / optimal predicted-CV objective (>= 1)
+    drift: float  # worst per-column achieved/optimal objective (>= 1)
     needs_rebuild: bool
+    columns: List[str] = field(default_factory=list)
+    drift_by_column: Dict[str, float] = field(default_factory=dict)
 
 
 @dataclass
@@ -100,6 +108,8 @@ class StalenessInfo:
     staleness: float
     drift: float
     needs_rebuild: bool
+    columns: List[str] = field(default_factory=list)
+    drift_by_column: Dict[str, float] = field(default_factory=dict)
 
 
 class SampleMaintainer:
@@ -110,7 +120,7 @@ class SampleMaintainer:
     store:
         The :class:`~repro.warehouse.store.SampleStore` to read/write.
     cv_degradation_threshold:
-        Escalate to a full rebuild when the maintained allocation's
+        Escalate to a full rebuild when any tracked column's
         predicted-CV objective exceeds this multiple of the optimal
         objective at the same budget (on current statistics).
     keep_versions:
@@ -145,8 +155,14 @@ class SampleMaintainer:
         table_name: Optional[str] = None,
         seed: int = 0,
     ) -> BuildReport:
-        """Two-pass CVOPT build, persisted as a new version."""
-        value_columns = list(value_columns)
+        """Two-pass CVOPT build, persisted as a new version.
+
+        Every column in ``value_columns`` is *tracked*: its per-stratum
+        moments are collected, persisted, and kept exact by subsequent
+        refreshes. The first column is the primary (re-balance driver)
+        for incremental maintenance.
+        """
+        value_columns = list(dict.fromkeys(value_columns))
         if not value_columns:
             raise ValueError("need at least one value column")
         spec = GroupByQuerySpec(
@@ -154,7 +170,7 @@ class SampleMaintainer:
         )
         sampler = CVOptSampler([spec])
         sample = sampler.sample(table, budget, seed=seed)
-        lineage = _fresh_lineage(value_columns[0], sample.source_rows)
+        lineage = _fresh_lineage(value_columns, sample.source_rows)
         version = self.store.put(
             name, sample, table_name=table_name, lineage=lineage
         )
@@ -166,6 +182,7 @@ class SampleMaintainer:
             strata=sample.allocation.num_strata,
             budget=sample.budget,
             source_rows=sample.source_rows,
+            columns=list(value_columns),
         )
 
     # ------------------------------------------------------------------
@@ -177,6 +194,7 @@ class SampleMaintainer:
         batch: Table,
         full_table: Optional[Table] = None,
         seed: int = 0,
+        columns: Optional[Sequence[str]] = None,
     ) -> RefreshReport:
         """Fold an appended ``batch`` into the stored sample.
 
@@ -185,27 +203,35 @@ class SampleMaintainer:
         table is available, a two-pass rebuild replaces the incremental
         result; without it the refresh still lands but the new version's
         lineage carries ``needs_rebuild: True``.
+
+        ``columns`` overrides the tracked column set for this and
+        subsequent refreshes (default: the columns recorded in the
+        sample's lineage at build time). Every tracked column's
+        per-stratum moments are merged exactly from the batch.
         """
         stored = self.store.get(name)
         lineage = dict(stored.lineage)
-        value_column = self._value_column(stored)
+        value_columns = self._value_columns(stored, batch, columns)
+        primary = value_columns[0]
         batch = _align_batch(stored.sample, batch)
 
         sampler = StreamingCVOptSampler.resume(
             stored.sample,
-            value_column,
+            value_columns,
             headroom=self.headroom,
             seed=seed,
         )
         old_strata = stored.sample.allocation.num_strata
         sampler.observe_table(batch)
         sample = sampler.finalize()
-        # The streaming pass tracks only the maintenance column; fold
-        # the batch's moments into every other column the build kept,
+        # The streaming pass tracks every lineage column; fold the
+        # batch's moments into any *other* column the build kept (e.g.
+        # a legacy meta whose lineage predates multi-column tracking),
         # so the persisted statistics stay exact across refreshes.
         _merge_statistics(stored.sample.allocation.stats, batch, sample)
 
-        drift = allocation_drift(sample, value_column)
+        drift_by_column = allocation_drift_by_column(sample, value_columns)
+        drift = max(drift_by_column.values())
         rows_ingested = (
             int(lineage.get("rows_ingested", 0)) + batch.num_rows
         )
@@ -216,21 +242,28 @@ class SampleMaintainer:
         action = "incremental"
         if needs_rebuild and full_table is not None:
             # Rebuild for every column the original build tracked, not
-            # just the maintenance column.
+            # just the maintenance columns.
             stored_stats = stored.sample.allocation.stats
+            rebuild_columns = list(
+                dict.fromkeys(
+                    list(value_columns)
+                    + list(stored_stats.columns if stored_stats else ())
+                )
+            )
             spec = GroupByQuerySpec(
                 group_by=sample.allocation.by,
-                aggregates=tuple(
-                    stored_stats.columns if stored_stats else (value_column,)
-                ),
+                aggregates=tuple(rebuild_columns),
             )
             sample = CVOptSampler([spec]).sample(
                 full_table, stored.sample.budget, seed=seed
             )
-            drift = allocation_drift(sample, value_column)
+            drift_by_column = allocation_drift_by_column(
+                sample, value_columns
+            )
+            drift = max(drift_by_column.values())
             action = "rebuild"
             needs_rebuild = False
-            lineage = _fresh_lineage(value_column, sample.source_rows)
+            lineage = _fresh_lineage(value_columns, sample.source_rows)
             lineage["action"] = "rebuild"
         else:
             lineage.update(
@@ -241,9 +274,14 @@ class SampleMaintainer:
                 parent_version=stored.version,
             )
         lineage.update(
-            value_column=value_column,
+            value_columns=list(value_columns),
+            value_column=primary,  # legacy single-column readers
+            primary_column=primary,
             staleness=0.0 if action == "rebuild" else staleness,
             drift=float(drift),
+            drift_by_column={
+                c: float(d) for c, d in drift_by_column.items()
+            },
             needs_rebuild=needs_rebuild,
         )
         version = self.store.put(
@@ -265,6 +303,10 @@ class SampleMaintainer:
             staleness=0.0 if action == "rebuild" else staleness,
             drift=float(drift),
             needs_rebuild=needs_rebuild,
+            columns=list(value_columns),
+            drift_by_column={
+                c: float(d) for c, d in drift_by_column.items()
+            },
         )
 
     # ------------------------------------------------------------------
@@ -293,19 +335,88 @@ class SampleMaintainer:
             ),
             drift=float(lineage.get("drift", 1.0)),
             needs_rebuild=bool(lineage.get("needs_rebuild", False)),
+            columns=tracked_columns_from_lineage(
+                lineage, stored.sample.allocation.stats
+            ),
+            drift_by_column={
+                c: float(d)
+                for c, d in (lineage.get("drift_by_column") or {}).items()
+            },
         )
 
+    def _value_columns(
+        self,
+        stored: StoredSample,
+        batch: Optional[Table] = None,
+        override: Optional[Sequence[str]] = None,
+    ) -> List[str]:
+        """The columns a refresh must keep exact, validated against the
+        batch.
+
+        Lineage is authoritative (``value_columns``, or the legacy
+        single ``value_column``); stored statistics are the fallback
+        for metas that predate lineage columns. A tracked column that
+        is missing from the batch is a hard error — silently
+        maintaining a different column would corrupt every contract
+        predicted from its moments.
+        """
+        if override is not None:
+            columns = list(dict.fromkeys(override))
+            if not columns:
+                raise ValueError("columns override must not be empty")
+            not_in_sample = [
+                c for c in columns if c not in stored.sample.table
+            ]
+            if not_in_sample:
+                payload = [
+                    n
+                    for n in stored.sample.table.column_names
+                    if n not in (WEIGHT_COLUMN, STRATUM_COLUMN)
+                ]
+                raise ValueError(
+                    f"sample {stored.name!r} does not carry column(s) "
+                    f"{', '.join(sorted(not_in_sample))}; its rows hold: "
+                    f"{', '.join(payload) or '-'} — rebuild the sample to "
+                    "track a new column"
+                )
+        else:
+            columns = tracked_columns_from_lineage(
+                stored.lineage, stored.sample.allocation.stats
+            )
+        if not columns:
+            raise ValueError(
+                f"sample {stored.name!r} carries no value column for "
+                "maintenance; rebuild it through SampleMaintainer.build"
+            )
+        if batch is not None:
+            missing = [c for c in columns if c not in batch]
+            if missing:
+                raise ValueError(
+                    f"sample {stored.name!r} tracks value column(s) "
+                    f"{', '.join(sorted(missing))} that the batch does not "
+                    "carry; batch columns: "
+                    f"{', '.join(batch.column_names) or '-'}"
+                )
+        return columns
+
+    # Backward-compatible single-column accessor (primary column).
     def _value_column(self, stored: StoredSample) -> str:
-        column = stored.lineage.get("value_column")
-        if column:
-            return column
-        stats = stored.sample.allocation.stats
-        if stats is not None and stats.columns:
-            return next(iter(stats.columns))
-        raise ValueError(
-            f"sample {stored.name!r} carries no value column for "
-            "maintenance; rebuild it through SampleMaintainer.build"
-        )
+        return self._value_columns(stored)[0]
+
+
+def tracked_columns_from_lineage(
+    lineage: Dict, stats: Optional[StrataStatistics] = None
+) -> List[str]:
+    """Tracked value columns recorded in a version's lineage.
+
+    Order matters: the first column is the primary (re-balance driver).
+    Legacy lineages carry a single ``value_column``; metas older still
+    carry nothing, in which case the persisted statistics columns are
+    the best available record. Delegates to the store's canonical
+    derivation so the meta ``columns`` block and the maintainer can
+    never disagree.
+    """
+    return list(derive_columns_block(lineage, stats)["tracked"])
 
 
 def staleness_from_lineage(lineage: Dict, fallback_base_rows: int = 0) -> float:
@@ -328,37 +439,66 @@ def staleness_from_lineage(lineage: Dict, fallback_base_rows: int = 0) -> float:
 def allocation_drift(
     sample: StratifiedSample, value_column: str, cv_cap: float = _CV_CAP
 ) -> float:
-    """How far a sample's allocation is from optimal for its own stats.
+    """How far a sample's allocation is from optimal for one column.
 
     Returns the ratio of the achieved predicted-CV l2 objective to the
     objective of the *optimal* allocation at the same budget, both
     computed from the sample's per-stratum statistics; 1.0 is perfect.
     """
+    return allocation_drift_by_column(
+        sample, [value_column], cv_cap=cv_cap
+    )[value_column]
+
+
+def allocation_drift_by_column(
+    sample: StratifiedSample,
+    columns: Sequence[str],
+    cv_cap: float = _CV_CAP,
+) -> Dict[str, float]:
+    """Per-column drift of a sample's allocation.
+
+    The reference allocation is the one a fresh multi-column rebuild
+    would choose for the *same* budget and column set
+    (:func:`~repro.core.allocation.allocate_for_columns`), so a freshly
+    rebuilt sample measures ~1.0 on every column by construction. Each
+    column's drift is then the ratio of its achieved predicted-CV l2
+    objective to its objective under that reference — "how much would a
+    rebuild help this column". Columns without persisted statistics
+    report 1.0 (nothing to compare).
+    """
     from ..aqp.planning import predict_group_cvs
 
+    columns = list(dict.fromkeys(columns))
     allocation = sample.allocation
     stats = allocation.stats
-    if stats is None or value_column not in stats.columns:
-        return 1.0
-    data_cvs = np.nan_to_num(
-        stats.stats_for(value_column).cv(mean_floor=1e-9)
+    out = {c: 1.0 for c in columns}
+    if stats is None:
+        return out
+    known = [c for c in columns if c in stats.columns]
+    if not known:
+        return out
+    optimal_sizes = allocate_for_columns(
+        stats, known, sample.budget
     )
-    achieved = predict_group_cvs(
-        allocation.populations, data_cvs, allocation.sizes
-    )
-    optimal_sizes = allocate(
-        data_cvs**2, sample.budget, allocation.populations
-    )
-    optimal = predict_group_cvs(
-        allocation.populations, data_cvs, optimal_sizes
-    )
-    achieved = np.where(np.isfinite(achieved), achieved, cv_cap)
-    optimal = np.where(np.isfinite(optimal), optimal, cv_cap)
-    a = float(np.sqrt((achieved**2).sum()))
-    o = float(np.sqrt((optimal**2).sum()))
-    if o == 0.0:
-        return 1.0 if a == 0.0 else float("inf")
-    return a / o
+    for column in known:
+        data_cvs = np.nan_to_num(
+            stats.stats_for(column).cv(mean_floor=1e-9)
+        )
+        achieved = predict_group_cvs(
+            allocation.populations, data_cvs, allocation.sizes
+        )
+        optimal = predict_group_cvs(
+            allocation.populations, data_cvs, optimal_sizes
+        )
+        achieved = np.where(np.isfinite(achieved), achieved, cv_cap)
+        optimal = np.where(np.isfinite(optimal), optimal, cv_cap)
+        a = float(np.sqrt((achieved**2).sum()))
+        o = float(np.sqrt((optimal**2).sum()))
+        if o == 0.0:
+            out[column] = 1.0 if a == 0.0 else float("inf")
+        else:
+            out[column] = a / o
+    return out
 
 
 def _merge_statistics(
@@ -366,13 +506,14 @@ def _merge_statistics(
     batch: Table,
     sample: StratifiedSample,
 ) -> None:
-    """Extend the refreshed sample's statistics beyond the maintenance
-    column.
+    """Extend the refreshed sample's statistics beyond the streamed
+    columns.
 
-    Moments are additive, so for every other column the original build
-    tracked, per-stratum ``(count, total, total_sq)`` over the extended
-    population is exactly ``stored + batch`` — one vectorized pass over
-    the batch, no rescan of old data.
+    Moments are additive, so for every column the original build
+    tracked but the streaming pass did not (legacy metas), per-stratum
+    ``(count, total, total_sq)`` over the extended population is
+    exactly ``stored + batch`` — one vectorized pass over the batch, no
+    rescan of old data.
     """
     final = sample.allocation.stats
     if stored is None or final is None:
@@ -413,15 +554,19 @@ def _merge_statistics(
         )
 
 
-def _fresh_lineage(value_column: str, base_rows: int) -> Dict:
+def _fresh_lineage(value_columns: Sequence[str], base_rows: int) -> Dict:
+    columns = list(dict.fromkeys(value_columns))
     return {
         "action": "build",
         "refresh_count": 0,
         "rows_ingested": 0,
         "base_rows": int(base_rows),
-        "value_column": value_column,
+        "value_columns": columns,
+        "value_column": columns[0],  # legacy single-column readers
+        "primary_column": columns[0],
         "staleness": 0.0,
         "drift": 1.0,
+        "drift_by_column": {c: 1.0 for c in columns},
         "needs_rebuild": False,
     }
 
@@ -433,8 +578,6 @@ def _align_batch(sample: StratifiedSample, batch: Table) -> Table:
     rows from different eras must share one column set, or finalizing
     the mixed rows would fail.
     """
-    from ..core.sample import STRATUM_COLUMN, WEIGHT_COLUMN
-
     needed = [
         n
         for n in sample.table.column_names

@@ -45,6 +45,7 @@ from .maintenance import (
     SampleMaintainer,
     StalenessInfo,
     staleness_from_lineage,
+    tracked_columns_from_lineage,
 )
 from .store import SampleStore, StoreEntryStats
 
@@ -252,10 +253,18 @@ class WarehouseService:
     # ------------------------------------------------------------------
     # maintenance
     # ------------------------------------------------------------------
-    def refresh(self, name: str, batch: Table, seed: int = 0) -> RefreshReport:
+    def refresh(
+        self,
+        name: str,
+        batch: Table,
+        seed: int = 0,
+        columns: Optional[Sequence[str]] = None,
+    ) -> RefreshReport:
         """Fold an appended batch into sample ``name`` and swap the new
         version live; the base table grows by ``batch`` too, so exact
-        fallback keeps matching the sampled reality."""
+        fallback keeps matching the sampled reality. ``columns``
+        overrides the tracked value-column set for this and subsequent
+        refreshes (default: the build-time lineage)."""
         with self._maintenance:
             stored = self.store.get(name)
             table_name = stored.table_name
@@ -267,7 +276,7 @@ class WarehouseService:
                 )
             grown = base.concat(batch) if base is not None else None
             report = self.maintainer.refresh(
-                name, batch, full_table=grown, seed=seed
+                name, batch, full_table=grown, seed=seed, columns=columns
             )
             fresh = self.store.get(name, report.version)
             with self._lock.write():
@@ -357,9 +366,13 @@ class WarehouseService:
         whose rows produced the answer — even while writers hot-swap
         versions concurrently.
 
-        ``max_cv`` bounds the worst per-group predicted CV and
-        ``max_staleness`` bounds the served sample's staleness ratio.
-        When the routed sample violates either, the query is re-run
+        ``max_cv`` bounds the worst per-group predicted CV for the
+        column(s) the query aggregates and ``max_staleness`` bounds the
+        served sample's staleness ratio. ``max_cv`` is also handed to
+        the router, which *prefers* a sample satisfying it on the
+        queried columns over the globally-lowest-CV sample — exact
+        fallback happens only when no stored sample qualifies. When the
+        routed sample still violates a constraint, the query is re-run
         exactly (``on_violation="fallback"``, the default — exact
         answers satisfy any accuracy constraint) or rejected with
         :class:`AccuracyContractViolation` (``on_violation="reject"``,
@@ -378,7 +391,7 @@ class WarehouseService:
             self.queries_served += 1
             return cached
         with self._lock.read():
-            result = self._session.query(sql, mode=mode)
+            result = self._session.query(sql, mode=mode, max_cv=max_cv)
             contract, violations = self._contract_for(
                 result.route, mode, max_cv, max_staleness
             )
@@ -439,6 +452,9 @@ class WarehouseService:
             for name in self._session.samples():
                 sample = self._session.catalog.get(name)
                 lineage = self._lineages.get(name, {})
+                tracked = tracked_columns_from_lineage(
+                    lineage, sample.allocation.stats
+                )
                 out.append(
                     {
                         "name": name,
@@ -446,8 +462,16 @@ class WarehouseService:
                         "rows": sample.num_rows,
                         "strata": sample.allocation.num_strata,
                         "by": list(sample.allocation.by),
+                        "columns": tracked,
+                        "primary_column": tracked[0] if tracked else None,
                         "staleness": staleness_from_lineage(lineage),
                         "drift": float(lineage.get("drift", 1.0)),
+                        "drift_by_column": {
+                            c: float(d)
+                            for c, d in (
+                                lineage.get("drift_by_column") or {}
+                            ).items()
+                        },
                         "needs_rebuild": bool(
                             lineage.get("needs_rebuild", False)
                         ),
@@ -502,6 +526,7 @@ class WarehouseService:
                         "rows": e.rows,
                         "strata": e.strata,
                         "by": list(e.by),
+                        "columns": dict(e.columns),
                         "method": e.method,
                         "backend": e.backend,
                         "bytes": e.bytes_on_disk,
@@ -555,9 +580,14 @@ class WarehouseService:
         violations = []
         cv_bound = route.max_group_cv
         if max_cv is not None and cv_bound is not None and cv_bound > max_cv:
+            covered = (
+                f" on column(s) {', '.join(route.cv_columns)}"
+                if route.cv_columns
+                else ""
+            )
             violations.append(
                 f"predicted per-group CV {cv_bound:.4f} of sample "
-                f"{name!r} exceeds max_cv {max_cv:.4f}"
+                f"{name!r}{covered} exceeds max_cv {max_cv:.4f}"
             )
         if max_staleness is not None and staleness > max_staleness:
             violations.append(
@@ -570,6 +600,7 @@ class WarehouseService:
             sample_version=self._versions.get(name),
             predicted_cv=route.predicted_cv,
             max_group_cv=cv_bound,
+            cv_columns=route.cv_columns,
             group_cvs=route.group_cvs,
             group_keys=group_keys,
             staleness=staleness,

@@ -65,7 +65,11 @@ from typing import Dict, List, Optional
 import numpy as np
 
 from ..core.sample import Allocation, StratifiedSample
-from ..engine.statistics import ColumnStats, StrataStatistics
+from ..engine.statistics import (
+    ColumnStats,
+    StrataStatistics,
+    summarize_column_stats,
+)
 from ..engine.table import Table
 from .backends import (
     StorageBackend,
@@ -75,9 +79,21 @@ from .backends import (
 )
 from .coordination import FileLock, ManifestLog, ManifestRecord
 
-__all__ = ["SampleStore", "StoredSample", "StoreEntryStats"]
+__all__ = [
+    "SampleStore",
+    "StoredSample",
+    "StoreEntryStats",
+    "derive_columns_block",
+]
 
-_FORMAT_VERSION = 2  # 1 = pre-backend layout (no storage block)
+# Meta format history:
+#   1 — pre-backend layout (no storage block)
+#   2 — storage block (pluggable backends)
+#   3 — per-column pipeline: a ``columns`` block ({tracked, primary})
+#       names the value columns whose moment blocks the version keeps
+#       exact; formats 1/2 still load (tracked columns are derived from
+#       the lineage / statistics keys).
+_FORMAT_VERSION = 3
 _CURRENT_FILE = "CURRENT"
 _META_FILE = "meta.json"
 _LOCK_FILE = ".lock"
@@ -110,10 +126,24 @@ class StoredSample:
     extra: Dict = field(default_factory=dict)
     path: Optional[pathlib.Path] = None
     storage: Dict = field(default_factory=dict)
+    #: The version's ``columns`` block: ``{"tracked": [...], "primary":
+    #: ...}`` — derived for pre-format-3 metas.
+    columns: Dict = field(default_factory=dict)
 
     @property
     def statistics(self) -> Optional[StrataStatistics]:
         return self.sample.allocation.stats
+
+    @property
+    def tracked_columns(self) -> list:
+        """Value columns whose per-stratum moments this version keeps
+        exact (primary first)."""
+        return list(self.columns.get("tracked") or [])
+
+    @property
+    def primary_column(self) -> Optional[str]:
+        """The column driving incremental re-balancing."""
+        return self.columns.get("primary")
 
 
 @dataclass
@@ -130,6 +160,10 @@ class StoreEntryStats:
     by: tuple
     lineage: Dict = field(default_factory=dict)
     backend: str = "npz"
+    #: ``{"tracked": [...], "primary": ..., "stats": {col: summary}}``
+    #: where each summary is
+    #: :func:`~repro.engine.statistics.summarize_column_stats` output.
+    columns: Dict = field(default_factory=dict)
 
 
 class SampleStore:
@@ -521,6 +555,7 @@ class SampleStore:
             extra=meta.get("extra") or {},
             path=version_dir,
             storage=storage,
+            columns=_columns_block_of(meta),
         )
 
     def _reader_for(self, storage: Dict) -> StorageBackend:
@@ -545,6 +580,7 @@ class SampleStore:
         by: tuple = ()
         lineage: Dict = {}
         backend = "npz"
+        columns: Dict = {}
         if current is not None and (sample_dir / current).is_dir():
             try:
                 meta = json.loads(
@@ -559,6 +595,8 @@ class SampleStore:
             by = tuple(allocation.get("by", ()))
             lineage = meta.get("lineage") or {}
             backend = (meta.get("storage") or {}).get("backend", "npz")
+            columns = _columns_block_of(meta)
+            columns["stats"] = _column_stat_summaries(meta)
         nbytes = 0
         for f in sample_dir.rglob("*"):
             try:
@@ -577,6 +615,7 @@ class SampleStore:
             by=by,
             lineage=lineage,
             backend=backend,
+            columns=columns,
         )
 
     # ------------------------------------------------------------------
@@ -604,6 +643,9 @@ class SampleStore:
             },
             "lineage": dict(lineage or {}),
             "extra": dict(extra or {}),
+            "columns": derive_columns_block(
+                dict(lineage or {}), allocation.stats
+            ),
         }
         if allocation.scores is not None:
             meta["allocation"]["scores"] = [
@@ -706,6 +748,73 @@ class SampleStore:
                 f"available: {', '.join(self.names()) or '-'}"
             )
         return path
+
+
+# ----------------------------------------------------------------------
+# per-column metadata helpers
+# ----------------------------------------------------------------------
+def derive_columns_block(
+    lineage: Dict, stats: Optional[StrataStatistics] = None
+) -> Dict:
+    """The canonical lineage-to-tracked-columns derivation.
+
+    Tracked columns come from the lineage (``value_columns``, or the
+    legacy single ``value_column``), falling back to the persisted
+    statistics keys for metas that predate column lineage. The primary
+    column defaults to the first tracked one and is moved to the front
+    of ``tracked``. This is the single implementation of the fallback
+    chain — the store's meta ``columns`` block and the maintainer's
+    tracked set both come from here, so they cannot disagree.
+    """
+    tracked = list(dict.fromkeys(lineage.get("value_columns") or []))
+    if not tracked:
+        single = lineage.get("value_column")
+        if single:
+            tracked = [single]
+    if not tracked and stats is not None:
+        tracked = list(stats.columns)
+    primary = lineage.get("primary_column")
+    if not primary or primary not in tracked:
+        primary = tracked[0] if tracked else None
+    if primary and tracked[0] != primary:
+        tracked.remove(primary)
+        tracked.insert(0, primary)
+    return {"tracked": tracked, "primary": primary}
+
+
+def _columns_block_of(meta: Dict) -> Dict:
+    """A meta's ``columns`` block, derived for pre-format-3 metas."""
+    block = meta.get("columns")
+    if isinstance(block, dict) and block.get("tracked"):
+        return {
+            "tracked": list(block.get("tracked") or []),
+            "primary": block.get("primary"),
+        }
+    tracked = list((meta.get("statistics") or {}).keys())
+    lineage = dict(meta.get("lineage") or {})
+    derived = derive_columns_block(lineage)
+    if not derived["tracked"]:
+        derived = {
+            "tracked": tracked,
+            "primary": tracked[0] if tracked else None,
+        }
+    return derived
+
+
+def _column_stat_summaries(meta: Dict) -> Dict:
+    """Per-column moment summaries from a meta's statistics block."""
+    out: Dict = {}
+    for column, cs in (meta.get("statistics") or {}).items():
+        try:
+            stats = ColumnStats(
+                count=np.asarray(cs["count"], dtype=np.float64),
+                total=np.asarray(cs["total"], dtype=np.float64),
+                total_sq=np.asarray(cs["total_sq"], dtype=np.float64),
+            )
+        except (KeyError, TypeError, ValueError):
+            continue  # torn statistics block: skip the column
+        out[column] = summarize_column_stats(stats)
+    return out
 
 
 # ----------------------------------------------------------------------

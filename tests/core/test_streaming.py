@@ -39,6 +39,56 @@ class TestValidation:
                 ("g",), "v", budget=10, pilot_rows=5, headroom=0.5
             )
 
+    def test_needs_a_value_column(self):
+        with pytest.raises(ValueError):
+            StreamingCVOptSampler(("g",), (), budget=10, pilot_rows=5)
+
+    def test_primary_must_be_tracked(self):
+        with pytest.raises(ValueError, match="primary column"):
+            StreamingCVOptSampler(
+                ("g",), ("v",), budget=10, pilot_rows=5,
+                primary_column="other",
+            )
+
+
+class TestMultiColumn:
+    def test_statistics_cover_every_tracked_column(self, table):
+        from repro.engine.schema import DType
+        from repro.engine.table import Column
+
+        v = np.asarray(table["v"], dtype=float)
+        x = v * 0.5 + np.random.default_rng(0).normal(10.0, 1.0, len(v))
+        table = table.with_column("x", Column(DType.FLOAT64, x))
+        sampler = StreamingCVOptSampler(
+            ("g",), ("v", "x"), budget=100, pilot_rows=500, seed=1
+        )
+        sampler.observe_table(shuffled(table))
+        stats = sampler.statistics()
+        assert set(stats.columns) == {"v", "x"}
+        full_v = np.asarray(table["v"], dtype=float)
+        full_x = np.asarray(table["x"], dtype=float)
+        np.testing.assert_allclose(
+            stats.stats_for("v").total.sum(), full_v.sum(), rtol=1e-9
+        )
+        np.testing.assert_allclose(
+            stats.stats_for("x").total.sum(), full_x.sum(), rtol=1e-9
+        )
+
+    def test_value_column_alias_is_primary(self):
+        sampler = StreamingCVOptSampler(
+            ("g",), ("a", "b"), budget=10, pilot_rows=5,
+            primary_column="b",
+        )
+        assert sampler.value_column == "b"
+        assert sampler.value_columns == ("a", "b")
+
+    def test_single_string_still_accepted(self, table):
+        sampler = StreamingCVOptSampler(
+            ("g",), "v", budget=50, pilot_rows=200, seed=1
+        )
+        sampler.observe_table(shuffled(table))
+        assert set(sampler.statistics().columns) == {"v"}
+
 
 class TestStreamingSampler:
     def test_budget_respected(self, table):

@@ -3,6 +3,8 @@
 import asyncio
 import os
 
+import pytest
+
 from repro.serve import (
     AsyncWarehouseService,
     MaintenanceDaemon,
@@ -122,18 +124,20 @@ class TestPickup:
     def test_bad_batch_quarantined_daemon_survives(
         self, split_warehouse, tmp_path
     ):
-        """A corrupt file is quarantined; the next good file applies."""
+        """With retries disabled a corrupt file is quarantined on first
+        failure; the next good file applies."""
         sync_service, batch = split_warehouse
         watch = tmp_path / "incoming"
 
         async def main():
             daemon = MaintenanceDaemon(
                 sync_service, watch, poll_interval=0.02,
-                require_stable=False,
+                require_stable=False, max_retries=0,
             )
             (watch / "s__corrupt.npz").write_bytes(b"this is not numpy")
             outcomes = await daemon.poll()
             assert [o.ok for o in outcomes] == [False]
+            assert outcomes[0].quarantined
             drop(batch, watch, "s__good.npz", tmp_path)
             outcomes = await daemon.poll()
             assert [o.ok for o in outcomes] == [True]
@@ -142,6 +146,132 @@ class TestPickup:
             stats = daemon.stats()
             assert stats["batches_applied"] == 1
             assert stats["last_outcome"]["ok"]
+
+        asyncio.run(main())
+
+
+class TestRetryBackoff:
+    def test_failure_backs_off_then_quarantines(
+        self, split_warehouse, tmp_path
+    ):
+        """A failing batch stays queued through capped, backed-off
+        retries and only lands in failed/ once they are exhausted."""
+        sync_service, _ = split_warehouse
+        watch = tmp_path / "incoming"
+
+        async def main():
+            daemon = MaintenanceDaemon(
+                sync_service, watch, poll_interval=0.02,
+                require_stable=False, max_retries=2,
+                retry_initial_delay=0.01, retry_max_delay=0.05,
+                retry_jitter=0.0,
+            )
+            (watch / "s__corrupt.npz").write_bytes(b"junk")
+            first = await daemon.poll()
+            assert [o.ok for o in first] == [False]
+            assert not first[0].quarantined
+            assert first[0].attempts == 1
+            assert first[0].retry_in == pytest.approx(0.01)
+            # Still queued, not quarantined; an immediate re-poll skips
+            # it because the backoff has not elapsed.
+            assert list(watch.glob("*.npz"))
+            assert await daemon.poll() == []
+            assert daemon.stats()["pending_retries"]
+            # Retry 1 (after backoff) fails again with a longer delay.
+            await asyncio.sleep(0.02)
+            second = await daemon.poll()
+            assert [o.quarantined for o in second] == [False]
+            assert second[0].attempts == 2
+            assert second[0].retry_in == pytest.approx(0.02)
+            # Retry 2 exhausts max_retries -> quarantined.
+            await asyncio.sleep(0.03)
+            third = await daemon.poll()
+            assert [o.quarantined for o in third] == [True]
+            assert third[0].attempts == 3
+            assert daemon.batches_failed == 1
+            assert daemon.batches_retried == 2
+            assert not list(watch.glob("*.npz"))
+            failed = list((watch / "failed").glob("*.npz"))
+            assert len(failed) == 1
+            note = failed[0].with_suffix(".error.txt").read_text()
+            assert "3 attempt" in note
+
+        asyncio.run(main())
+
+    def test_transient_failure_heals_on_retry(
+        self, split_warehouse, tmp_path
+    ):
+        """A file that becomes readable between attempts is applied on
+        the retry instead of being quarantined."""
+        sync_service, batch = split_warehouse
+        watch = tmp_path / "incoming"
+
+        async def main():
+            daemon = MaintenanceDaemon(
+                sync_service, watch, poll_interval=0.02,
+                require_stable=False, max_retries=3,
+                retry_initial_delay=0.01, retry_jitter=0.0,
+            )
+            (watch / "s__day1.npz").write_bytes(b"half-written")
+            first = await daemon.poll()
+            assert [o.ok for o in first] == [False]
+            assert not first[0].quarantined
+            # The producer finishes the write under the same name.
+            drop(batch, watch, "s__day1.npz", tmp_path)
+            await asyncio.sleep(0.02)
+            second = await daemon.poll()
+            assert [o.ok for o in second] == [True]
+            assert second[0].attempts == 2
+            assert daemon.batches_applied == 1
+            assert daemon.batches_failed == 0
+            assert not daemon.stats()["pending_retries"]
+            assert sync_service.served_versions()["s"] != "v000001"
+
+        asyncio.run(main())
+
+    def test_vanished_file_drops_its_retry_state(
+        self, split_warehouse, tmp_path
+    ):
+        """Deleting a failing file clears its backoff state: a later
+        drop under the same name is a fresh batch, not attempt N+1."""
+        sync_service, batch = split_warehouse
+        watch = tmp_path / "incoming"
+
+        async def main():
+            daemon = MaintenanceDaemon(
+                sync_service, watch, poll_interval=0.02,
+                require_stable=False, max_retries=1,
+                retry_initial_delay=0.01, retry_jitter=0.0,
+            )
+            (watch / "s__b1.npz").write_bytes(b"junk")
+            await daemon.poll()
+            assert daemon.stats()["pending_retries"]
+            (watch / "s__b1.npz").unlink()  # operator cleanup
+            await daemon.poll()
+            assert not daemon.stats()["pending_retries"]
+            # Same name again: ingested as attempt 1, applied cleanly
+            # even though the old state had exhausted max_retries.
+            drop(batch, watch, "s__b1.npz", tmp_path)
+            await asyncio.sleep(0.02)
+            outcomes = await daemon.poll()
+            assert [o.ok for o in outcomes] == [True]
+            assert outcomes[0].attempts == 1
+
+        asyncio.run(main())
+
+    def test_unroutable_file_never_retried(self, split_warehouse, tmp_path):
+        sync_service, batch = split_warehouse
+        watch = tmp_path / "incoming"
+
+        async def main():
+            daemon = MaintenanceDaemon(
+                sync_service, watch, sample=None, poll_interval=0.02,
+                require_stable=False, max_retries=5,
+            )
+            drop(batch, watch, "noprefix.npz", tmp_path)
+            outcomes = await daemon.poll()
+            assert [o.quarantined for o in outcomes] == [True]
+            assert daemon.batches_retried == 0
 
         asyncio.run(main())
 

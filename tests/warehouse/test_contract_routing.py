@@ -1,0 +1,219 @@
+"""Contract-aware routing: a max_cv-satisfying sample beats the
+globally-lowest-CV sample that violates the constraint.
+
+The two candidate samples are crafted so the preference is
+deterministic:
+
+* sample ``lopsided`` has the lower *mean* predicted CV (the router's
+  default score) but one starved stratum whose predicted CV blows
+  through any reasonable ``max_cv``;
+* sample ``even`` has a slightly higher mean predicted CV but every
+  stratum comfortably under the bound.
+
+Without a constraint the router must pick ``lopsided``; with
+``max_cv`` it must prefer ``even`` and serve the request from a sample
+(HTTP 200 with a contract) instead of falling back to exact / 412.
+"""
+
+import asyncio
+import os
+
+import numpy as np
+import pytest
+
+from repro.aqp.session import AQPSession
+from repro.core.sample import (
+    STRATUM_COLUMN,
+    WEIGHT_COLUMN,
+    Allocation,
+    StratifiedSample,
+)
+from repro.engine.schema import DType
+from repro.engine.table import Column, Table
+from repro.engine.statistics import ColumnStats, StrataStatistics
+from repro.warehouse import SampleStore, WarehouseService
+
+_BACKEND = os.environ.get("REPRO_TEST_BACKEND", "npz")
+
+SQL = "SELECT g, AVG(v) a FROM T GROUP BY g"
+
+NUM_STRATA = 10
+POPULATION = 10_000  # per stratum
+DATA_CV = 0.5  # per stratum, column v
+
+
+def crafted_sample(sizes):
+    """A stratified sample over strata k0..k9 with controlled moments.
+
+    Every stratum has population 10k and data CV 0.5 on column ``v``
+    (mean 1), so the predicted estimate CV per stratum is exactly
+    ``0.5 * sqrt((n - s) / (n * s))`` — the router's preference is a
+    pure function of the allocation ``sizes``.
+    """
+    sizes = np.asarray(sizes, dtype=np.int64)
+    assert len(sizes) == NUM_STRATA
+    keys = [(f"k{i}",) for i in range(NUM_STRATA)]
+    populations = np.full(NUM_STRATA, POPULATION, dtype=np.int64)
+    g, v, w, gid = [], [], [], []
+    for i, size in enumerate(sizes):
+        g.extend([f"k{i}"] * int(size))
+        v.extend([1.0] * int(size))
+        w.extend([POPULATION / size] * int(size))
+        gid.extend([i] * int(size))
+    table = Table.from_pydict({"g": g, "v": v})
+    table = table.with_column(
+        WEIGHT_COLUMN, Column(DType.FLOAT64, np.asarray(w))
+    )
+    table = table.with_column(
+        STRATUM_COLUMN, Column(DType.INT64, np.asarray(gid, dtype=np.int64))
+    )
+    stats = StrataStatistics(by=("g",), keys=keys, sizes=populations)
+    counts = populations.astype(np.float64)
+    stats.columns["v"] = ColumnStats(
+        count=counts,
+        total=counts * 1.0,  # mean 1
+        total_sq=counts * (1.0 + DATA_CV**2),  # variance = DATA_CV^2
+    )
+    allocation = Allocation(
+        by=("g",), keys=keys, populations=populations, sizes=sizes,
+        stats=stats,
+    )
+    return StratifiedSample(
+        table=table,
+        allocation=allocation,
+        method="TEST",
+        source_rows=NUM_STRATA * POPULATION,
+        budget=int(sizes.sum()),
+    )
+
+
+def predicted(size):
+    n = POPULATION
+    return DATA_CV * np.sqrt((n - size) / (n * size))
+
+
+@pytest.fixture()
+def base_table():
+    return Table.from_pydict(
+        {"g": [f"k{i}" for i in range(NUM_STRATA)], "v": [1.0] * NUM_STRATA},
+        name="T",
+    )
+
+
+# lopsided: nine well-fed strata, one starved; even: all moderate.
+LOPSIDED = [2000] * 9 + [2]
+EVEN = [100] * NUM_STRATA
+
+
+@pytest.fixture()
+def session(base_table):
+    s = AQPSession({"T": base_table})
+    s.register_sample("lopsided", crafted_sample(LOPSIDED), "T")
+    s.register_sample("even", crafted_sample(EVEN), "T")
+    return s
+
+
+def test_crafted_cv_ordering():
+    """The construction really produces the intended crossover."""
+    lop = [predicted(s) for s in LOPSIDED]
+    even = [predicted(s) for s in EVEN]
+    assert np.mean(lop) < np.mean(even)  # lopsided wins on the score
+    assert max(lop) > 0.1 > max(even)  # ...but violates max_cv=0.1
+
+
+class TestSessionRouting:
+    def test_without_constraint_lowest_mean_cv_wins(self, session):
+        result = session.query(SQL)
+        assert result.route.sample_name == "lopsided"
+        assert result.route.cv_columns == ("v",)
+
+    def test_max_cv_prefers_satisfying_sample(self, session):
+        result = session.query(SQL, max_cv=0.1)
+        route = result.route
+        assert route.sample_name == "even"
+        assert max(route.group_cvs) <= 0.1
+        assert "meets max_cv" in route.reason
+        assert "'lopsided'" in route.reason  # names the sample it beat
+
+    def test_unsatisfiable_max_cv_still_routes_lowest(self, session):
+        # No candidate satisfies: the router returns the best sample
+        # and leaves the violation decision to the caller.
+        result = session.query(SQL, max_cv=1e-6)
+        assert result.route.sample_name == "lopsided"
+
+    def test_constraint_values_cached_separately(self, session):
+        first = session.query(SQL)
+        constrained = session.query(SQL, max_cv=0.1)
+        again = session.query(SQL, max_cv=0.1)
+        assert first.route.sample_name == "lopsided"
+        assert constrained.route.sample_name == "even"
+        assert not constrained.plan_cached and again.plan_cached
+
+    def test_shape_cache_bounded_under_varying_max_cv(self, session):
+        # max_cv is caller-controlled and part of the cache key; a
+        # client sweeping constraint values must not grow the shape
+        # cache without bound.
+        from repro.aqp import session as session_module
+
+        for i in range(session_module._MAX_CACHED_SHAPES + 10):
+            session.query(SQL, max_cv=0.2 + i * 1e-6)
+        assert (
+            len(session._shape_cache)
+            <= session_module._MAX_CACHED_SHAPES
+        )
+
+
+class TestServiceRouting:
+    @pytest.fixture()
+    def service(self, tmp_path, base_table):
+        store = SampleStore(tmp_path / "wh", backend=_BACKEND)
+        store.put("lopsided", crafted_sample(LOPSIDED), table_name="T")
+        store.put("even", crafted_sample(EVEN), table_name="T")
+        return WarehouseService(store, {"T": base_table})
+
+    def test_satisfying_sample_served_not_rejected(self, service):
+        # Even with on_violation="reject": the router found a
+        # satisfying sample, so there is nothing to reject.
+        answer = service.query_with_contract(
+            SQL, max_cv=0.1, on_violation="reject"
+        )
+        contract = answer.contract
+        assert contract.executed == "approximate"
+        assert contract.sample_name == "even"
+        assert contract.max_group_cv <= 0.1
+        assert contract.cv_columns == ("v",)
+        assert contract.satisfied and not contract.fallback_exact
+
+    def test_http_request_served_with_contract(self, service):
+        """Acceptance: the HTTP answer is 200 + contract, not 412."""
+        from repro.serve import (
+            AsyncWarehouseService,
+            WarehouseHTTPServer,
+            request,
+        )
+
+        async def main():
+            async_service = AsyncWarehouseService(service)
+            server = await WarehouseHTTPServer(
+                async_service, port=0
+            ).start()
+            try:
+                status, payload = await request(
+                    "127.0.0.1", server.port, "POST", "/query",
+                    {
+                        "sql": SQL,
+                        "max_cv": 0.1,
+                        "on_violation": "reject",
+                    },
+                )
+            finally:
+                await server.stop()
+            assert status == 200, payload
+            contract = payload["contract"]
+            assert contract["executed"] == "approximate"
+            assert contract["sample_name"] == "even"
+            assert contract["cv_columns"] == ["v"]
+            assert contract["max_group_cv"] <= 0.1
+            assert contract["satisfied"]
+
+        asyncio.run(main())

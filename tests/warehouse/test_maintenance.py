@@ -242,8 +242,54 @@ class TestMaintainer:
             budget=500, seed=0,
         )
         bad = Table.from_pydict({"country": ["US"], "other": [1.0]})
-        with pytest.raises(ValueError, match="missing sample columns"):
+        # The tracked value column is named in the error along with what
+        # the batch actually carries — no heuristic fallback.
+        with pytest.raises(
+            ValueError, match="tracks value column\\(s\\) value"
+        ) as excinfo:
             maintainer.refresh("s", bad)
+        assert "'s'" in str(excinfo.value)
+        assert "country" in str(excinfo.value)
+
+    def test_columns_override_unknown_to_sample_rejected(
+        self, maintainer, openaq_small
+    ):
+        # The override may only narrow/reorder what the sample's rows
+        # carry; a column the stored sample never kept cannot be
+        # tracked incrementally and must fail up front with a clear
+        # error, not a KeyError deep in the sampler.
+        base, batch = split_rows(openaq_small, 0.7)
+        maintainer.build(
+            "s", base, group_by=["country"], value_columns=["value"],
+            budget=500, seed=0,
+        )
+        from repro.engine.schema import DType
+        from repro.engine.table import Column
+
+        widened = batch.with_column(
+            "brand_new",
+            Column(DType.FLOAT64, np.ones(batch.num_rows)),
+        )
+        with pytest.raises(
+            ValueError, match="does not carry column"
+        ) as excinfo:
+            maintainer.refresh("s", widened, columns=["brand_new"])
+        assert "'s'" in str(excinfo.value)
+        assert "rebuild" in str(excinfo.value)
+
+    def test_batch_missing_untracked_payload_column_rejected(
+        self, maintainer, openaq_small
+    ):
+        base, batch = split_rows(openaq_small, 0.7)
+        maintainer.build(
+            "s", base, group_by=["country"], value_columns=["value"],
+            budget=500, seed=0,
+        )
+        narrowed = batch.select(
+            [n for n in batch.column_names if n != "latitude"]
+        )
+        with pytest.raises(ValueError, match="missing sample columns"):
+            maintainer.refresh("s", narrowed)
 
     def test_batch_with_extra_columns_is_projected(
         self, maintainer, openaq_small
