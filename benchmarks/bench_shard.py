@@ -1,0 +1,283 @@
+"""Sharded scatter-gather benchmark: throughput and latency vs shards.
+
+Standalone like ``bench_serve.py`` so CI can run it in smoke mode and
+archive the JSON::
+
+    PYTHONPATH=src python benchmarks/bench_shard.py --smoke \
+        --out bench_shard.json
+
+For each topology (default 1, 2, 4 shards) the same sample is built
+from the same seed and the same query mix is replayed:
+
+* ``shards=1``  — the plain ``WarehouseService`` (the baseline path
+                  ``--shards 1`` deployments use)
+* ``shards=N``  — ``ShardedWarehouseService`` fanning every query out
+                  to N shard workers and merging per-group moments
+
+Every query carries a distinct WHERE literal so the per-epoch answer
+cache never hits — each request pays the full scatter-gather path.
+Reported per topology: qps, latency p50/p95/p99, refresh seconds for
+one batch fold (parallel per-shard maintenance), and the answer of a
+fixed probe query (must agree across topologies to rel 1e-9 — the
+merge is exact, so a speedup that changes answers is a bug, not a
+win).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import tempfile
+import threading
+import time
+
+import numpy as np
+
+from repro.datasets import generate_openaq
+from repro.warehouse import ShardedWarehouseService, WarehouseService
+
+PROBE = "SELECT country, AVG(value) a FROM OpenAQ GROUP BY country"
+
+SHAPES = [
+    "SELECT country, AVG(value) a FROM OpenAQ WHERE value > {lit:.4f} "
+    "GROUP BY country",
+    "SELECT country, SUM(value) s, COUNT(*) c FROM OpenAQ "
+    "WHERE value > {lit:.4f} GROUP BY country",
+    "SELECT parameter, MIN(value) lo, MAX(value) hi FROM OpenAQ "
+    "WHERE value > {lit:.4f} GROUP BY parameter",
+    "SELECT country, STD(value) sd FROM OpenAQ "
+    "WHERE value > {lit:.4f} GROUP BY country",
+]
+
+
+def _percentiles(latencies: list) -> dict:
+    if not latencies:
+        return {"p50_ms": 0.0, "p95_ms": 0.0, "p99_ms": 0.0}
+    array = np.asarray(latencies) * 1000.0
+    return {
+        "p50_ms": float(np.percentile(array, 50)),
+        "p95_ms": float(np.percentile(array, 95)),
+        "p99_ms": float(np.percentile(array, 99)),
+    }
+
+
+def _probe_answer(service) -> dict:
+    table = service.query(PROBE).table
+    return dict(
+        zip(
+            table.column("country").decode(),
+            (float(x) for x in table.column("a").data),
+        )
+    )
+
+
+def _drive(service, queries: int, clients: int) -> tuple:
+    """Replay the query mix from ``clients`` concurrent threads.
+
+    Every request carries a unique literal (no cache hits), and the
+    whole mix is pre-generated so the threads measure the service, not
+    the generator. Concurrent clients are the realistic serving load —
+    and the shape under which shard workers on separate cores can
+    overlap work across in-flight queries.
+    """
+    rng = np.random.default_rng(123)
+    mix = [
+        SHAPES[i % len(SHAPES)].format(
+            lit=float(rng.uniform(0.0, 5.0))
+        )
+        for i in range(queries)
+    ]
+    latencies: list = []
+    errors = [0]
+    lock = threading.Lock()
+
+    def worker(chunk) -> None:
+        local = []
+        bad = 0
+        for sql in chunk:
+            t0 = time.perf_counter()
+            try:
+                result = service.query(sql)
+                if not result.route.approximate:
+                    bad += 1
+            except Exception:
+                bad += 1
+                continue
+            local.append(time.perf_counter() - t0)
+        with lock:
+            latencies.extend(local)
+            errors[0] += bad
+
+    threads = [
+        threading.Thread(target=worker, args=(mix[i::clients],))
+        for i in range(clients)
+    ]
+    start = time.perf_counter()
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    return latencies, time.perf_counter() - start, errors[0]
+
+
+def _bench_topology(
+    shards: int, base, batch, budget: int, queries: int,
+    clients: int, root: str, workers: str,
+) -> dict:
+    if shards == 1:
+        service = WarehouseService(root, {"OpenAQ": base})
+        closer = lambda: None  # noqa: E731
+    else:
+        service = ShardedWarehouseService(
+            root, {"OpenAQ": base}, shards=shards, workers=workers
+        )
+        closer = service.close
+    try:
+        t0 = time.perf_counter()
+        service.build(
+            "bench", "OpenAQ", group_by=["country", "parameter"],
+            value_columns=["value"], budget=budget, seed=7,
+        )
+        build_seconds = time.perf_counter() - t0
+        # Probe BEFORE any refresh: at build time the shard slices are
+        # an exact partition of the identical seed-7 sample, so every
+        # topology must produce the same numbers. (After a refresh the
+        # per-shard reservoirs draw different random rows — still
+        # correct, but no longer bit-comparable.)
+        probe = _probe_answer(service)
+        latencies, elapsed, errors = _drive(service, queries, clients)
+        t0 = time.perf_counter()
+        report = service.refresh("bench", batch, seed=1)
+        refresh_seconds = time.perf_counter() - t0
+        return {
+            "shards": shards,
+            "queries": len(latencies),
+            "seconds": elapsed,
+            "qps": len(latencies) / elapsed if elapsed else 0.0,
+            "errors": errors,
+            **_percentiles(latencies),
+            "build_seconds": build_seconds,
+            "refresh_seconds": refresh_seconds,
+            "refresh_action": report.action,
+            "probe": probe,
+        }
+    finally:
+        closer()
+
+
+def run(
+    rows: int, budget: int, queries: int, clients: int,
+    topologies, workers: str,
+) -> dict:
+    table = generate_openaq(num_rows=rows, num_countries=20, seed=7)
+    n = table.num_rows
+    base = table.take(np.arange(0, int(n * 0.9)))
+    batch = table.take(np.arange(int(n * 0.9), n))
+
+    results = {
+        "config": {
+            "rows": rows,
+            "budget": budget,
+            "queries": queries,
+            "clients": clients,
+            "topologies": list(topologies),
+            "workers": workers,
+        },
+        "topologies": {},
+    }
+    for shards in topologies:
+        root = tempfile.mkdtemp(prefix=f"bench_shard_{shards}_")
+        results["topologies"][str(shards)] = _bench_topology(
+            shards, base, batch, budget, queries, clients, root,
+            workers,
+        )
+
+    # Cross-topology checks: exact merge means identical probe answers.
+    probes = {
+        shards: entry.pop("probe")
+        for shards, entry in results["topologies"].items()
+    }
+    reference = probes[str(topologies[0])]
+    mismatches = 0
+    for probe in probes.values():
+        if set(probe) != set(reference):
+            mismatches += 1
+            continue
+        for key, value in reference.items():
+            if abs(probe[key] - value) > 1e-9 * max(
+                abs(value), 1e-12
+            ):
+                mismatches += 1
+                break
+    results["probe_mismatches"] = mismatches
+
+    baseline = results["topologies"].get("1")
+    if baseline:
+        results["speedup_vs_1"] = {
+            shards: entry["qps"] / baseline["qps"]
+            for shards, entry in results["topologies"].items()
+            if baseline["qps"]
+        }
+    return results
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="tiny sizes for CI (seconds, not minutes)",
+    )
+    parser.add_argument("--rows", type=int, default=None)
+    parser.add_argument("--budget", type=int, default=None)
+    parser.add_argument("--queries", type=int, default=None,
+                        help="requests per topology")
+    parser.add_argument("--clients", type=int, default=None,
+                        help="concurrent client threads")
+    parser.add_argument(
+        "--shards", default=None,
+        help="comma-separated topologies (default 1,2,4)",
+    )
+    parser.add_argument(
+        "--workers", choices=["process", "inprocess"],
+        default="process",
+        help="shard worker mode for the sharded topologies",
+    )
+    parser.add_argument("--out", default="bench_shard.json")
+    args = parser.parse_args(argv)
+
+    rows = args.rows or (10_000 if args.smoke else 150_000)
+    budget = args.budget or (2_000 if args.smoke else 30_000)
+    queries = args.queries or (40 if args.smoke else 400)
+    clients = args.clients or (4 if args.smoke else 8)
+    topologies = [
+        int(s) for s in (args.shards or "1,2,4").split(",") if s
+    ]
+
+    results = run(
+        rows, budget, queries, clients, topologies, args.workers
+    )
+    with open(args.out, "w") as fh:
+        json.dump(results, fh, indent=2)
+
+    for shards, entry in results["topologies"].items():
+        line = (
+            f"shards={shards:>2s} {entry['qps']:8.1f} qps  "
+            f"p50 {entry['p50_ms']:7.2f}ms  "
+            f"p95 {entry['p95_ms']:7.2f}ms  "
+            f"refresh {entry['refresh_seconds']:6.2f}s  "
+            f"errors {entry['errors']}"
+        )
+        speedup = results.get("speedup_vs_1", {}).get(shards)
+        if speedup is not None and shards != "1":
+            line += f"  ({speedup:.2f}x vs 1)"
+        print(line)
+    print(f"probe mismatches: {results['probe_mismatches']}")
+    print(f"wrote {args.out}")
+    failed = results["probe_mismatches"] or any(
+        entry["errors"] for entry in results["topologies"].values()
+    )
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

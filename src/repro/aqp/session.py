@@ -60,7 +60,12 @@ from ..engine.table import Table
 from .catalog import SampleCatalog
 from .planning import predict_group_cvs
 
-__all__ = ["AQPSession", "AQPResult", "RouteDecision"]
+__all__ = [
+    "AQPSession",
+    "AQPResult",
+    "RouteDecision",
+    "predict_allocation_cvs",
+]
 
 #: Catalog prefix for sample tables injected by the router, chosen so it
 #: can never collide with a user table or CTE name from the dialect.
@@ -292,6 +297,27 @@ class AQPSession:
         """Exact execution over the base tables (no sampling)."""
         return self.query(sql, mode="exact").table
 
+    def route(
+        self,
+        query: SelectQuery,
+        mode: str = "auto",
+        max_cv: Optional[float] = None,
+    ) -> RouteDecision:
+        """Routing decision for an already-parsed query, without
+        executing it.
+
+        This is the router on its own: the sharded scatter-gather front
+        registers metadata-only stand-ins for its samples (merged shard
+        allocations under an empty row table) and calls this to pick
+        one, so sample selection, CV prediction and ``max_cv``
+        preference are byte-identical to the unsharded path. Raises
+        :class:`~repro.engine.sql.errors.QueryExecutionError` in
+        ``"approx"`` mode when no sample qualifies.
+        """
+        if mode == "exact":
+            return RouteDecision(None, None, None, "exact mode requested")
+        return self._route(query, mode, max_cv)
+
     # ------------------------------------------------------------------
     # planning internals
     # ------------------------------------------------------------------
@@ -431,35 +457,50 @@ class AQPSession:
         estimate (no rows) contribute the finite ``_DEAD_GROUP_CV``
         sentinel rather than ``inf``.
         """
-        allocation = sample.allocation
-        per_group = []
-        covered = []
-        for column in agg_columns:
-            data_cvs = _column_data_cvs(sample, column)
-            if data_cvs is None:
-                continue
-            cvs = predict_group_cvs(
-                allocation.populations, data_cvs, allocation.sizes
+        return predict_allocation_cvs(
+            sample.allocation,
+            agg_columns,
+            lambda column: _column_data_cvs(sample, column),
+        )
+
+
+def predict_allocation_cvs(
+    allocation, agg_columns, data_cvs_for
+) -> Tuple[float, np.ndarray, Tuple[str, ...]]:
+    """Core of the routing-score prediction, shared with the sharded
+    scatter-gather front (which computes it over *merged* shard
+    allocations — single-sourced here so the two paths cannot
+    disagree). ``data_cvs_for(column)`` returns the per-stratum data
+    CVs of one column, or ``None`` when it has no statistics.
+    """
+    per_group = []
+    covered = []
+    for column in agg_columns:
+        data_cvs = data_cvs_for(column)
+        if data_cvs is None:
+            continue
+        cvs = predict_group_cvs(
+            allocation.populations, data_cvs, allocation.sizes
+        )
+        per_group.append(
+            np.where(np.isfinite(cvs), cvs, _DEAD_GROUP_CV)
+        )
+        covered.append(column)
+    if not per_group:
+        # COUNT(*)-style queries: the estimate CV is driven purely by
+        # the sampling fractions.
+        with np.errstate(divide="ignore", invalid="ignore"):
+            fraction = np.where(
+                allocation.populations > 0,
+                allocation.sizes / np.maximum(allocation.populations, 1),
+                1.0,
             )
-            per_group.append(
-                np.where(np.isfinite(cvs), cvs, _DEAD_GROUP_CV)
-            )
-            covered.append(column)
-        if not per_group:
-            # COUNT(*)-style queries: the estimate CV is driven purely by
-            # the sampling fractions.
-            with np.errstate(divide="ignore", invalid="ignore"):
-                fraction = np.where(
-                    allocation.populations > 0,
-                    allocation.sizes / np.maximum(allocation.populations, 1),
-                    1.0,
-                )
-            group_cvs = 1.0 - fraction
-            score = float(group_cvs.mean()) if len(group_cvs) else 0.0
-            return score, group_cvs, ()
-        group_cvs = np.mean(per_group, axis=0)
+        group_cvs = 1.0 - fraction
         score = float(group_cvs.mean()) if len(group_cvs) else 0.0
-        return score, group_cvs, tuple(covered)
+        return score, group_cvs, ()
+    group_cvs = np.mean(per_group, axis=0)
+    score = float(group_cvs.mean()) if len(group_cvs) else 0.0
+    return score, group_cvs, tuple(covered)
 
 
 # ----------------------------------------------------------------------

@@ -140,6 +140,11 @@ def build_parser() -> argparse.ArgumentParser:
     group.add_argument("--budget", type=int, help="sample rows")
     group.add_argument("--rate", type=float, help="sampling rate (0, 1]")
     whb.add_argument("--seed", type=int, default=0)
+    whb.add_argument(
+        "--shards", type=int, default=None,
+        help="stratum-hash shard count for a new store (default: "
+        "auto-detect from the store; 1 = the plain single-store layout)",
+    )
 
     whr = whsub.add_parser(
         "refresh", help="fold an appended batch into a stored sample"
@@ -162,6 +167,10 @@ def build_parser() -> argparse.ArgumentParser:
         "(default: the columns recorded at build time)",
     )
     whr.add_argument("--seed", type=int, default=0)
+    whr.add_argument(
+        "--shards", type=int, default=None,
+        help="shard count (default: auto-detect from the store)",
+    )
 
     wha = whsub.add_parser(
         "advise", help="recommend samples for a query-log workload"
@@ -232,6 +241,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="daemon target for batch files without a '<sample>__' prefix",
     )
     whs.add_argument("--daemon-interval", type=float, default=1.0)
+    whs.add_argument(
+        "--shards", type=int, default=None,
+        help="shard count (default: auto-detect from the store)",
+    )
+    whs.add_argument(
+        "--shard-workers", choices=["process", "inprocess"],
+        default="process",
+        help="run shard workers as separate OS processes (default) or "
+        "in-process (single-core hosts, memory backend)",
+    )
 
     whd = whsub.add_parser(
         "daemon",
@@ -267,6 +286,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="re-attempts (with capped exponential backoff) before a "
         "failed batch is quarantined (default 3; --once implies 0 — a "
         "single-shot run cannot wait out a backoff)",
+    )
+    whd.add_argument(
+        "--shards", type=int, default=None,
+        help="shard count (default: auto-detect from the store)",
+    )
+    whd.add_argument(
+        "--shard-workers", choices=["process", "inprocess"],
+        default="process",
+        help="run shard workers as separate OS processes (default) or "
+        "in-process (single-core hosts, memory backend)",
     )
 
     wht = whsub.add_parser("stats", help="store + serving accounting")
@@ -398,6 +427,23 @@ def _cmd_warehouse(args) -> int:
     return handlers[args.wh_command](args)
 
 
+def _resolve_shards(root, requested) -> int:
+    """Effective shard count: the store's recorded topology wins; a
+    conflicting explicit request is an error; a fresh store defaults to
+    unsharded."""
+    from .warehouse import ShardedSampleStore
+
+    recorded = ShardedSampleStore.shard_count(root)
+    if recorded is not None:
+        if requested is not None and int(requested) != recorded:
+            raise SystemExit(
+                f"store {root} is sharded {recorded} ways; "
+                f"requested --shards {requested}"
+            )
+        return recorded
+    return int(requested) if requested else 1
+
+
 def _cmd_warehouse_build(args) -> int:
     from .warehouse import SampleMaintainer, SampleStore
 
@@ -417,23 +463,40 @@ def _cmd_warehouse_build(args) -> int:
     if not value_columns:
         print("--columns must name at least one column", file=sys.stderr)
         return 2
-    maintainer = SampleMaintainer(
-        SampleStore(args.root, backend=args.backend)
-    )
-    report = maintainer.build(
-        args.name,
-        table,
-        group_by=[c for c in args.group_by.split(",") if c],
-        value_columns=value_columns,
-        budget=budget,
-        table_name=table_name,
-        seed=args.seed,
-    )
+    group_by = [c for c in args.group_by.split(",") if c]
+    shards = _resolve_shards(args.root, args.shards)
+    if shards > 1:
+        from .warehouse import ShardedWarehouseService
+
+        with ShardedWarehouseService(
+            args.root, {table_name: table}, shards=shards,
+            backend=args.backend, workers="inprocess",
+        ) as service:
+            report = service.build(
+                args.name, table_name, group_by=group_by,
+                value_columns=value_columns, budget=budget,
+                seed=args.seed,
+            )
+        suffix = f" across {shards} shards"
+    else:
+        maintainer = SampleMaintainer(
+            SampleStore(args.root, backend=args.backend)
+        )
+        report = maintainer.build(
+            args.name,
+            table,
+            group_by=group_by,
+            value_columns=value_columns,
+            budget=budget,
+            table_name=table_name,
+            seed=args.seed,
+        )
+        suffix = ""
     print(
         f"built {args.name} {report.version}: {report.rows} rows over "
         f"{report.strata} strata (budget {report.budget}, "
         f"source {report.source_rows} rows, tracking "
-        f"{','.join(report.columns)}) -> {args.root}"
+        f"{','.join(report.columns)}) -> {args.root}{suffix}"
     )
     return 0
 
@@ -446,13 +509,31 @@ def _cmd_warehouse_refresh(args) -> int:
     columns = (
         [c for c in args.columns.split(",") if c] if args.columns else None
     )
-    maintainer = SampleMaintainer(
-        SampleStore(args.root, backend=args.backend)
-    )
-    report = maintainer.refresh(
-        args.name, batch, full_table=full_table, seed=args.seed,
-        columns=columns,
-    )
+    shards = _resolve_shards(args.root, args.shards)
+    if shards > 1:
+        from .warehouse import ShardedSampleStore, ShardedWarehouseService
+
+        tables = {}
+        if full_table is not None:
+            # The front needs the table under its SQL name to offer the
+            # rebuild-escalation path; the stored sample records it.
+            stored = ShardedSampleStore(args.root).get_shards(args.name)
+            table_name = stored[0].table_name or full_table.name or "T"
+            tables[table_name] = full_table
+        with ShardedWarehouseService(
+            args.root, tables, backend=args.backend, workers="inprocess",
+        ) as service:
+            report = service.refresh(
+                args.name, batch, seed=args.seed, columns=columns
+            )
+    else:
+        maintainer = SampleMaintainer(
+            SampleStore(args.root, backend=args.backend)
+        )
+        report = maintainer.refresh(
+            args.name, batch, full_table=full_table, seed=args.seed,
+            columns=columns,
+        )
     per_column = ", ".join(
         f"{c}={d:.3f}" for c, d in report.drift_by_column.items()
     )
@@ -498,9 +579,18 @@ def _cmd_warehouse_serve(args) -> int:
 
     table = Table.load(args.table)
     table_name = args.table_name or table.name or "T"
-    service = WarehouseService(
-        args.root, {table_name: table}, backend=args.backend
-    )
+    shards = _resolve_shards(args.root, args.shards)
+    if shards > 1:
+        from .warehouse import ShardedWarehouseService
+
+        service = ShardedWarehouseService(
+            args.root, {table_name: table}, backend=args.backend,
+            workers=args.shard_workers,
+        )
+    else:
+        service = WarehouseService(
+            args.root, {table_name: table}, backend=args.backend
+        )
     if args.http:
         return _serve_http(args, service)
     if not args.sql:
@@ -599,7 +689,16 @@ def _cmd_warehouse_daemon(args) -> int:
         loaded = Table.load(path)
         name = names[i] if i < len(names) else (loaded.name or f"T{i}")
         tables[name] = loaded
-    service = WarehouseService(args.root, tables, backend=args.backend)
+    shards = _resolve_shards(args.root, args.shards)
+    if shards > 1:
+        from .warehouse import ShardedWarehouseService
+
+        service = ShardedWarehouseService(
+            args.root, tables, backend=args.backend,
+            workers=args.shard_workers,
+        )
+    else:
+        service = WarehouseService(args.root, tables, backend=args.backend)
     max_retries = args.max_retries
     if max_retries is None:
         max_retries = 0 if args.once else 3
@@ -652,12 +751,34 @@ def _print_outcome(outcome) -> None:
 
 
 def _cmd_warehouse_stats(args) -> int:
-    from .warehouse import SampleStore
+    from .warehouse import SHARD_SCHEME, SampleStore, ShardedSampleStore
 
+    if ShardedSampleStore.is_sharded_root(args.root):
+        store = ShardedSampleStore(args.root)
+        print(
+            f"sharded store: {store.num_shards} shards "
+            f"(scheme {SHARD_SCHEME})"
+        )
+        empty = True
+        for index, entries in enumerate(store.stats()):
+            print(f"-- shard {index:02d} --")
+            if not entries:
+                print("(empty)")
+                continue
+            empty = False
+            _print_store_entries(entries)
+        if empty:
+            print("store is empty")
+        return 0
     entries = SampleStore(args.root).stats()
     if not entries:
         print("store is empty")
         return 0
+    _print_store_entries(entries)
+    return 0
+
+
+def _print_store_entries(entries) -> None:
     print(
         "name\tversion\tversions\trows\tstrata\tby\tcolumns\tmethod\t"
         "backend\tbytes\tstale"
@@ -686,7 +807,6 @@ def _cmd_warehouse_stats(args) -> int:
                 + ", max "
                 + (f"{max_cv:.3f}" if max_cv is not None else "-")
             )
-    return 0
 
 
 def _print_table(table: Table, limit: int) -> None:

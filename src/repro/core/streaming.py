@@ -10,9 +10,10 @@ on stratified sampling over streams, Nguyen et al., EDBT 2019 [17]):
   accumulator *per tracked value column* and an over-provisioned
   uniform reservoir (``headroom`` times its fair share of the budget).
 * **Re-balance** at the pilot boundary: CVOPT's box-constrained
-  allocation is computed from the pilot statistics of the designated
-  **primary column**, with each stratum's *current reservoir capacity*
-  as the upper bound. Capacities only **shrink** — shrinking a
+  allocation is computed from the pilot statistics of **every tracked
+  column** (squared data CVs summed per stratum, the Theorem-2
+  multi-column objective of :func:`~repro.core.allocation.multi_column_alphas`),
+  with each stratum's *current reservoir capacity* as the upper bound. Capacities only **shrink** — shrinking a
   reservoir (uniform subsample, then continue Algorithm R with the
   smaller capacity) preserves exact per-stratum uniformity, whereas
   growing one would bias toward late items.
@@ -27,8 +28,9 @@ on stratified sampling over streams, Nguyen et al., EDBT 2019 [17]):
 A sample is typically built to serve *several* aggregate columns, so
 the sampler tracks exact per-stratum moments for **every** column in
 ``value_columns`` (one Welford state each) and emits them all from
-:meth:`statistics` — only the re-balance decision is driven by the
-primary column. Downstream, the warehouse persists the whole
+:meth:`statistics` — and the re-balance decision combines all of them,
+so secondary columns drift no more than the primary between
+refreshes. Downstream, the warehouse persists the whole
 per-column block so accuracy contracts can predict CVs for whichever
 column a query actually aggregates.
 
@@ -105,8 +107,9 @@ class StreamingCVOptSampler:
         newly seen stratum starts with ``headroom * budget /
         max(#strata, 1)`` slots (at least 1).
     primary_column:
-        The column driving the CV-based re-balance (default: the first
-        of ``value_columns``). Must be one of ``value_columns``.
+        Label for the sample's headline column (default: the first of
+        ``value_columns``); re-balancing itself optimizes the combined
+        multi-column objective. Must be one of ``value_columns``.
     """
 
     def __init__(
@@ -308,19 +311,25 @@ class StreamingCVOptSampler:
         keys = list(self._strata)
         if not keys:
             return
-        primary = self.primary_column
-        means = np.asarray(
-            [abs(self._strata[k].stats[primary].mean) for k in keys]
-        )
-        stds = np.asarray(
-            [self._strata[k].stats[primary].std for k in keys]
-        )
-        finite = means[means > 0]
-        floor = (
-            self.mean_floor * float(finite.max()) if len(finite) else 1.0
-        )
-        means = np.maximum(means, max(floor, 1e-300))
-        alphas = (stds / means) ** 2
+        # Combined multi-column objective (Theorem 2 summed across the
+        # tracked columns, mirroring ``allocation.multi_column_alphas``):
+        # alpha_c = sum over columns of that column's squared data CV,
+        # each column floored independently so a near-zero-mean column
+        # cannot blow up the whole allocation.
+        alphas = np.zeros(len(keys), dtype=np.float64)
+        for column in self.value_columns:
+            means = np.asarray(
+                [abs(self._strata[k].stats[column].mean) for k in keys]
+            )
+            stds = np.asarray(
+                [self._strata[k].stats[column].std for k in keys]
+            )
+            finite = means[means > 0]
+            floor = (
+                self.mean_floor * float(finite.max()) if len(finite) else 1.0
+            )
+            means = np.maximum(means, max(floor, 1e-300))
+            alphas += (stds / means) ** 2
 
         capacities = np.asarray(
             [self._strata[k].reservoir.capacity for k in keys],

@@ -33,6 +33,11 @@ __all__ = [
 #: Placeholder for "all values" in CUBE output rows (Hive prints NULL).
 ALL_MARKER = "<ALL>"
 
+#: Largest combined-code space the hash path can represent. Beyond this
+#: the per-column code multiply would wrap int64 and alias distinct
+#: keys, so grouping routes to the sort path instead.
+_MAX_COMBINED_KEYSPACE = np.iinfo(np.int64).max
+
 
 def factorize(arr: np.ndarray):
     """Dense codes + first-occurrence row index for each distinct value.
@@ -69,7 +74,13 @@ class GroupKeys:
 
 
 def compute_group_keys(table: Table, by: Sequence[str]) -> GroupKeys:
-    """Jointly factorize ``by`` columns into dense group ids."""
+    """Jointly factorize ``by`` columns into dense group ids.
+
+    Wide or high-cardinality keys whose combined code space does not fit
+    in int64 are routed to :func:`compute_group_keys_sorted` (identical
+    output), so the combined-code multiply can never wrap and alias
+    distinct keys.
+    """
     by = tuple(by)
     n = table.num_rows
     if not by:
@@ -79,14 +90,18 @@ def compute_group_keys(table: Table, by: Sequence[str]) -> GroupKeys:
             num_groups=1 if n > 0 else 0,
             representative=np.zeros(min(n, 1), dtype=np.int64),
         )
-    combined = None
+    all_codes = []
+    keyspace = 1  # python int: exact, no wraparound while checking
     for name in by:
         codes, _ = factorize(table.column(name).data)
-        if combined is None:
-            combined = codes
-        else:
-            k = int(codes.max()) + 1 if len(codes) else 1
-            combined = combined * k + codes
+        all_codes.append(codes)
+        keyspace *= int(codes.max()) + 1 if len(codes) else 1
+    if keyspace > _MAX_COMBINED_KEYSPACE:
+        return _group_keys_from_codes(by, all_codes, n)
+    combined = all_codes[0]
+    for codes in all_codes[1:]:
+        k = int(codes.max()) + 1 if len(codes) else 1
+        combined = combined * k + codes
     gids, first_index = factorize(combined)
     num_groups = len(first_index)
     return GroupKeys(
@@ -109,6 +124,18 @@ def compute_group_keys_sorted(table: Table, by: Sequence[str]) -> GroupKeys:
     if not by or n == 0:
         return compute_group_keys(table, by)
     codes = [factorize(table.column(name).data)[0] for name in by]
+    return _group_keys_from_codes(by, codes, n)
+
+
+def _group_keys_from_codes(by: tuple, codes: list, n: int) -> GroupKeys:
+    """Sort-based grouping over pre-factorized per-column codes."""
+    if n == 0:
+        return GroupKeys(
+            by=by,
+            gids=np.zeros(0, dtype=np.int64),
+            num_groups=0,
+            representative=np.zeros(0, dtype=np.int64),
+        )
     # lexsort: last key is primary, so reverse to make by[0] primary.
     order = np.lexsort(tuple(reversed(codes)))
     stacked = np.stack([c[order] for c in codes], axis=0)

@@ -14,7 +14,13 @@ dependencies:
 * :class:`~repro.serve.daemon.MaintenanceDaemon` — async task that
   watches a directory of dropped batch files and drives streaming
   refreshes (with full-rebuild escalation) that hot-swap versions in
-  the live service.
+  the live service;
+* :mod:`~repro.serve.worker` — shard worker processes for the sharded
+  scatter-gather warehouse: each owns one ``shard-NN/`` sub-store
+  behind its own :class:`~repro.warehouse.service.WarehouseService`
+  and answers partial-aggregate / refresh requests from the
+  :class:`~repro.warehouse.sharded_service.ShardedWarehouseService`
+  front.
 
 See ``docs/ARCHITECTURE.md`` for where this layer sits and
 ``docs/API.md`` for the HTTP surface.
@@ -23,6 +29,13 @@ See ``docs/ARCHITECTURE.md`` for where this layer sits and
 from .daemon import BatchOutcome, MaintenanceDaemon
 from .http import HTTPConnection, WarehouseHTTPServer, request
 from .service import AsyncWarehouseService, ServiceClosed, ServiceOverloaded
+from .worker import (
+    InProcessShardClient,
+    ProcessShardClient,
+    ShardServer,
+    ShardWorkerError,
+    worker_main,
+)
 
 __all__ = [
     "AsyncWarehouseService",
@@ -33,4 +46,9 @@ __all__ = [
     "request",
     "MaintenanceDaemon",
     "BatchOutcome",
+    "ShardServer",
+    "ShardWorkerError",
+    "ProcessShardClient",
+    "InProcessShardClient",
+    "worker_main",
 ]

@@ -38,7 +38,24 @@ from .maintenance import (
     staleness_from_lineage,
     tracked_columns_from_lineage,
 )
+from .partials import (
+    DecomposedQuery,
+    ShardPartials,
+    compute_partials,
+    decompose,
+    finalize_partials,
+    merge_partials,
+)
 from .service import LRUCache, RWLock, WarehouseService
+from .sharded_service import ShardedWarehouseService
+from .sharding import (
+    SHARD_SCHEME,
+    ShardedSampleStore,
+    merge_shard_allocations,
+    partition_table,
+    shard_of_key,
+    split_sample,
+)
 from .store import SampleStore, StoredSample, StoreEntryStats
 
 __all__ = [
@@ -75,4 +92,17 @@ __all__ = [
     "AccuracyContract",
     "AccuracyContractViolation",
     "ContractedResult",
+    "SHARD_SCHEME",
+    "ShardedSampleStore",
+    "ShardedWarehouseService",
+    "shard_of_key",
+    "split_sample",
+    "merge_shard_allocations",
+    "partition_table",
+    "DecomposedQuery",
+    "ShardPartials",
+    "decompose",
+    "compute_partials",
+    "merge_partials",
+    "finalize_partials",
 ]

@@ -31,6 +31,7 @@ __all__ = [
     "AccuracyContract",
     "AccuracyContractViolation",
     "ContractedResult",
+    "build_contract",
 ]
 
 #: Per-group CV detail is elided from ``to_dict`` beyond this many
@@ -132,6 +133,84 @@ class ContractedResult:
     def table(self):
         """The answer table (same object as ``result.table``)."""
         return self.result.table
+
+
+def build_contract(
+    route,
+    mode: str,
+    max_cv: Optional[float],
+    max_staleness: Optional[float],
+    *,
+    sample_version: Optional[str],
+    lineage: Dict,
+    staleness: float,
+    group_keys: Optional[Tuple[Tuple, ...]],
+):
+    """Contract + violation list for one routing decision.
+
+    The single implementation behind both the in-process
+    :class:`~repro.warehouse.service.WarehouseService` and the sharded
+    scatter-gather front — the two serving paths must emit contracts of
+    identical shape from identical inputs, so the derivation lives
+    here. ``route`` is an :class:`~repro.aqp.session.RouteDecision`;
+    ``sample_version``/``lineage``/``staleness``/``group_keys``
+    describe the served sample (merged across shards when sharded) and
+    are ignored for exact routes. Returns ``(contract, violations)``.
+    """
+    constraints: Dict[str, float] = {}
+    if max_cv is not None:
+        constraints["max_cv"] = float(max_cv)
+    if max_staleness is not None:
+        constraints["max_staleness"] = float(max_staleness)
+    if not route.approximate:
+        return (
+            AccuracyContract(
+                executed="exact",
+                # Exact by the router's hand, not the caller's, is a
+                # fallback worth flagging.
+                fallback_exact=mode != "exact",
+                reason=route.reason,
+                constraints=constraints,
+                satisfied=True,
+            ),
+            [],
+        )
+    name = route.sample_name
+    violations = []
+    cv_bound = route.max_group_cv
+    if max_cv is not None and cv_bound is not None and cv_bound > max_cv:
+        covered = (
+            f" on column(s) {', '.join(route.cv_columns)}"
+            if route.cv_columns
+            else ""
+        )
+        violations.append(
+            f"predicted per-group CV {cv_bound:.4f} of sample "
+            f"{name!r}{covered} exceeds max_cv {max_cv:.4f}"
+        )
+    if max_staleness is not None and staleness > max_staleness:
+        violations.append(
+            f"staleness {staleness:.4f} of sample {name!r} exceeds "
+            f"max_staleness {max_staleness:.4f}"
+        )
+    contract = AccuracyContract(
+        executed="approximate",
+        sample_name=name,
+        sample_version=sample_version,
+        predicted_cv=route.predicted_cv,
+        max_group_cv=cv_bound,
+        cv_columns=route.cv_columns,
+        group_cvs=route.group_cvs,
+        group_keys=group_keys,
+        staleness=staleness,
+        drift=float(lineage.get("drift", 1.0)),
+        needs_rebuild=bool(lineage.get("needs_rebuild", False)),
+        fallback_exact=False,
+        reason=route.reason,
+        constraints=constraints,
+        satisfied=not violations,
+    )
+    return contract, violations
 
 
 class AccuracyContractViolation(Exception):

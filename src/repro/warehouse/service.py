@@ -38,6 +38,7 @@ from .contracts import (
     AccuracyContract,
     AccuracyContractViolation,
     ContractedResult,
+    build_contract,
 )
 from .maintenance import (
     BuildReport,
@@ -290,6 +291,48 @@ class WarehouseService:
                     self._lineages[name] = dict(fresh.lineage)
                 self._bump()
         return report
+
+    def publish_stored(self, name: str, stored=None) -> bool:
+        """Swap a store version of ``name`` live (current unless a
+        :class:`~repro.warehouse.store.StoredSample` is given).
+
+        This is the adoption half of :meth:`refresh` on its own, used
+        by shard workers after an out-of-band store write (their own
+        maintainer run, or a central rebuild pushed into the shard
+        store) to hot-swap the new version without re-running the
+        ingest. Returns ``True`` when the sample went live, ``False``
+        when it stays orphaned (base table not registered).
+        """
+        with self._maintenance:
+            if stored is None:
+                stored = self.store.get(name)
+            table_name = stored.table_name
+            with self._lock.write():
+                if table_name and table_name in self._session.tables:
+                    self._session.register_sample(
+                        name, stored.sample, table_name, replace=True
+                    )
+                    self._versions[name] = stored.version
+                    self._lineages[name] = dict(stored.lineage)
+                    self._orphans.pop(name, None)
+                    live = True
+                else:
+                    self._orphans[name] = table_name or ""
+                    live = False
+                self._bump()
+        return live
+
+    def snapshot_sample(self, name: str):
+        """Consistent ``(sample, version, lineage)`` snapshot of one
+        live sample under the read lock. Versions are immutable, so the
+        returned objects stay valid after a concurrent hot-swap."""
+        with self._lock.read():
+            sample = self._session.catalog.get(name)
+            return (
+                sample,
+                self._versions.get(name),
+                dict(self._lineages.get(name, {})),
+            )
 
     def staleness(self, name: str) -> StalenessInfo:
         """Maintenance state of the current *stored* version of
@@ -554,64 +597,22 @@ class WarehouseService:
         Caller must hold the read lock, so the version/lineage snapshot
         is consistent with the sample the route was computed against.
         """
-        constraints: Dict[str, float] = {}
-        if max_cv is not None:
-            constraints["max_cv"] = float(max_cv)
-        if max_staleness is not None:
-            constraints["max_staleness"] = float(max_staleness)
         if not route.approximate:
-            return (
-                AccuracyContract(
-                    executed="exact",
-                    # Exact by the router's hand, not the caller's, is a
-                    # fallback worth flagging.
-                    fallback_exact=mode != "exact",
-                    reason=route.reason,
-                    constraints=constraints,
-                    satisfied=True,
-                ),
-                [],
+            return build_contract(
+                route, mode, max_cv, max_staleness,
+                sample_version=None, lineage={}, staleness=0.0,
+                group_keys=None,
             )
         name = route.sample_name
         lineage = self._lineages.get(name, {})
-        staleness = staleness_from_lineage(lineage)
         sample = self._session.catalog.get(name)
-        group_keys = tuple(tuple(k) for k in sample.allocation.keys)
-        violations = []
-        cv_bound = route.max_group_cv
-        if max_cv is not None and cv_bound is not None and cv_bound > max_cv:
-            covered = (
-                f" on column(s) {', '.join(route.cv_columns)}"
-                if route.cv_columns
-                else ""
-            )
-            violations.append(
-                f"predicted per-group CV {cv_bound:.4f} of sample "
-                f"{name!r}{covered} exceeds max_cv {max_cv:.4f}"
-            )
-        if max_staleness is not None and staleness > max_staleness:
-            violations.append(
-                f"staleness {staleness:.4f} of sample {name!r} exceeds "
-                f"max_staleness {max_staleness:.4f}"
-            )
-        contract = AccuracyContract(
-            executed="approximate",
-            sample_name=name,
+        return build_contract(
+            route, mode, max_cv, max_staleness,
             sample_version=self._versions.get(name),
-            predicted_cv=route.predicted_cv,
-            max_group_cv=cv_bound,
-            cv_columns=route.cv_columns,
-            group_cvs=route.group_cvs,
-            group_keys=group_keys,
-            staleness=staleness,
-            drift=float(lineage.get("drift", 1.0)),
-            needs_rebuild=bool(lineage.get("needs_rebuild", False)),
-            fallback_exact=False,
-            reason=route.reason,
-            constraints=constraints,
-            satisfied=not violations,
+            lineage=lineage,
+            staleness=staleness_from_lineage(lineage),
+            group_keys=tuple(tuple(k) for k in sample.allocation.keys),
         )
-        return contract, violations
 
     def _warm_start(self) -> None:
         """Adopt every stored sample whose base table is registered.

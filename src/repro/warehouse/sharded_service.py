@@ -1,0 +1,817 @@
+"""Scatter-gather front over a sharded sample warehouse.
+
+:class:`ShardedWarehouseService` presents the same surface as
+:class:`~repro.warehouse.service.WarehouseService` — ``query``,
+``query_with_contract``, ``build``, ``refresh``, ``register_table``,
+``stats``, ``health`` — but its samples live in N ``shard-NN/``
+sub-stores, each owned by a shard worker
+(:mod:`repro.serve.worker`). The division of labor:
+
+* **Routing, contracts, exact execution stay central.** The front
+  keeps the real base tables and an :class:`~repro.aqp.session.AQPSession`
+  whose "samples" are metadata stand-ins: the *merged* shard
+  allocations (exact — strata are never split across shards, so keys,
+  populations, sizes and per-column moments concatenate verbatim)
+  under an empty row table. Sample selection, CV prediction and
+  contract math therefore run the session's own code on the same
+  numbers the unsharded service would see.
+* **Row work scatters.** A decomposable aggregate query fans out to
+  every shard worker concurrently; each returns per-group
+  ``(count, total, total_sq)`` moment blocks over its slice, the front
+  adds them (:func:`~repro.warehouse.partials.merge_partials`) and
+  finalizes one answer table — numerically the unsharded answer up to
+  float summation order. Non-decomposable queries (MEDIAN, HAVING,
+  joins, ...) execute exactly at the front.
+* **Maintenance parallelizes per shard.** A refresh batch is
+  partitioned by stratum hash and folded into every shard at once,
+  each worker hot-swapping its own new version; rebuild escalation is
+  decided centrally (a shard only sees its strata) and pushed back
+  down as freshly split pieces.
+
+``--shards 1`` deployments should not construct this class at all —
+the CLI routes them to the plain ``WarehouseService`` so the
+single-store layout stays byte-identical to previous releases.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from ..aqp.session import AQPResult, AQPSession, RouteDecision
+from ..core.cvopt import CVOptSampler
+from ..core.sample import StratifiedSample
+from ..core.spec import GroupByQuerySpec
+from ..engine.sql.errors import QueryExecutionError
+from ..engine.sql.parser import parse_query
+from ..engine.table import Table
+from ..serve.worker import (
+    InProcessShardClient,
+    ProcessShardClient,
+    ShardWorkerError,
+)
+from .contracts import (
+    AccuracyContract,
+    AccuracyContractViolation,
+    ContractedResult,
+    build_contract,
+)
+from .maintenance import (
+    BuildReport,
+    RefreshReport,
+    _fresh_lineage,
+    staleness_from_lineage,
+)
+from .partials import decompose, finalize_partials, merge_partials
+from .service import LRUCache, RWLock
+from .sharding import (
+    SHARD_SCHEME,
+    ShardedSampleStore,
+    merge_shard_allocations,
+    partition_table,
+)
+
+__all__ = ["ShardedWarehouseService"]
+
+
+class ShardedWarehouseService:
+    """Thread-safe scatter-gather endpoint over N shard workers.
+
+    ``store`` is a :class:`~repro.warehouse.sharding.ShardedSampleStore`
+    or its root path (``shards`` is required when creating a new one).
+    ``workers="process"`` spawns one OS process per shard (the
+    deployment topology); ``"inprocess"`` runs the same protocol
+    without process boundaries (tests, single-process setups, and any
+    backend — like the memory backend — whose blobs other processes
+    cannot read).
+    """
+
+    def __init__(
+        self,
+        store,
+        tables: Optional[Mapping[str, Table]] = None,
+        shards: Optional[int] = None,
+        backend=None,
+        cache_size: int = 128,
+        cv_degradation_threshold: float = 1.5,
+        keep_versions: int = 4,
+        workers: str = "process",
+    ) -> None:
+        if workers not in ("process", "inprocess"):
+            raise ValueError("workers must be 'process' or 'inprocess'")
+        self.store = (
+            store
+            if isinstance(store, ShardedSampleStore)
+            else ShardedSampleStore(store, shards=shards, backend=backend)
+        )
+        self.num_shards = self.store.num_shards
+        self.cv_degradation_threshold = float(cv_degradation_threshold)
+        self.keep_versions = int(keep_versions)
+        self._session = AQPSession(tables)
+        self._lock = RWLock()
+        self._maintenance = threading.Lock()
+        self._cache = LRUCache(cache_size)
+        self._epoch = 0
+        self._meta: Dict[str, Dict] = {}  # live merged per-sample view
+        self._orphans: Dict[str, Dict] = {}  # base table not registered
+        self.queries_served = 0
+        self._pool = ThreadPoolExecutor(
+            max_workers=max(self.num_shards, 1),
+            thread_name_prefix="shard-fanout",
+        )
+        worker_opts = {
+            "cv_degradation_threshold": self.cv_degradation_threshold,
+            "keep_versions": self.keep_versions,
+        }
+        if workers == "process":
+            backend_name = (
+                backend
+                if isinstance(backend, str) or backend is None
+                else getattr(backend, "name", None)
+            )
+            self.clients = [
+                ProcessShardClient(
+                    self.store.root, i, backend=backend_name, **worker_opts
+                )
+                for i in range(self.num_shards)
+            ]
+        else:
+            self.clients = [
+                InProcessShardClient(
+                    self.store.root, i, backend=backend, **worker_opts
+                )
+                for i in range(self.num_shards)
+            ]
+        self.refresh_metadata()
+
+    # ------------------------------------------------------------------
+    # scatter plumbing
+    # ------------------------------------------------------------------
+    def _scatter(self, op: str, payloads=None) -> List[Dict]:
+        """Send ``op`` to every shard concurrently; raises the first
+        shard failure. ``payloads`` is one kwargs dict per shard (or
+        None for an empty payload everywhere)."""
+        payloads = payloads or [{} for _ in self.clients]
+        futures = [
+            self._pool.submit(client.request, op, **payload)
+            for client, payload in zip(self.clients, payloads)
+        ]
+        return [f.result() for f in futures]
+
+    # ------------------------------------------------------------------
+    # merged metadata
+    # ------------------------------------------------------------------
+    def refresh_metadata(self) -> None:
+        """Rebuild the front's merged per-sample view from the shards.
+
+        Pulls every shard's ``sample_meta``, merges the disjoint
+        allocations and lineages, and swaps metadata stand-ins into the
+        routing session (samples whose base table is not registered
+        wait as orphans). Called after every structural change; cheap —
+        metadata only, no sample rows cross the wire.
+        """
+        metas = self._scatter("sample_meta")
+        names: Dict[str, None] = {}
+        for meta in metas:
+            for name in meta["samples"]:
+                names.setdefault(name, None)
+        merged: Dict[str, Dict] = {}
+        for name in names:
+            shard_metas = [meta["samples"].get(name) for meta in metas]
+            if any(m is None for m in shard_metas):
+                # A sample not yet live on every shard (mid-publish) is
+                # not routable: merging a subset would under-count.
+                continue
+            allocation = merge_shard_allocations(
+                [m["allocation"] for m in shard_metas]
+            )
+            table_name = next(
+                (
+                    meta["tables"].get(name)
+                    for meta in metas
+                    if meta["tables"].get(name)
+                ),
+                None,
+            )
+            versions = [m["version"] for m in shard_metas]
+            merged[name] = {
+                "table_name": table_name,
+                "allocation": allocation,
+                "versions": versions,
+                "version": _join_versions(versions),
+                "lineage": _merge_lineages(
+                    [m["lineage"] for m in shard_metas]
+                ),
+                "method": shard_metas[0]["method"],
+                "rows": sum(m["rows"] for m in shard_metas),
+                "source_rows": sum(m["source_rows"] for m in shard_metas),
+                "budget": sum(m["budget"] for m in shard_metas),
+            }
+        with self._lock.write():
+            for name in list(self._meta):
+                if name not in merged:
+                    self._session.drop_sample(name)
+            self._meta = {}
+            self._orphans = {}
+            for name, info in merged.items():
+                table_name = info["table_name"]
+                if table_name and table_name in self._session.tables:
+                    stand_in = StratifiedSample(
+                        table=Table({}),
+                        allocation=info["allocation"],
+                        method=info["method"],
+                        source_rows=info["source_rows"],
+                        budget=info["budget"],
+                    )
+                    self._session.register_sample(
+                        name, stand_in, table_name, replace=True
+                    )
+                    self._meta[name] = info
+                else:
+                    self._orphans[name] = info
+            self._bump()
+
+    # ------------------------------------------------------------------
+    # registration / building
+    # ------------------------------------------------------------------
+    def register_table(self, name: str, table: Table) -> None:
+        """Register (or replace) a base table at the front; orphaned
+        shard samples waiting for it become routable."""
+        with self._maintenance:
+            with self._lock.write():
+                self._session.register_table(name, table)
+                self._bump()
+        if any(
+            info["table_name"] == name for info in self._orphans.values()
+        ):
+            self.refresh_metadata()
+
+    def build(
+        self,
+        name: str,
+        table_name: str,
+        group_by: Sequence[str],
+        value_columns: Sequence[str],
+        budget: int,
+        seed: int = 0,
+    ) -> BuildReport:
+        """Two-pass CVOPT build at the front, split by stratum hash,
+        committed to every shard sub-store, then hot-swapped live on
+        every worker."""
+        value_columns = list(dict.fromkeys(value_columns))
+        if not value_columns:
+            raise ValueError("need at least one value column")
+        with self._maintenance:
+            with self._lock.read():
+                table = self._session.tables.get(table_name)
+            if table is None:
+                raise KeyError(f"unknown base table {table_name!r}")
+            spec = GroupByQuerySpec(
+                group_by=tuple(group_by), aggregates=tuple(value_columns)
+            )
+            sample = CVOptSampler([spec]).sample(table, budget, seed=seed)
+            lineage = _fresh_lineage(value_columns, sample.source_rows)
+            versions = self.store.put(
+                name, sample, table_name=table_name, lineage=lineage
+            )
+            self.store.prune(name, keep=self.keep_versions)
+            self._scatter("reload", [{"name": name}] * self.num_shards)
+        self.refresh_metadata()
+        return BuildReport(
+            name=name,
+            version=_join_versions(versions),
+            rows=sample.num_rows,
+            strata=sample.allocation.num_strata,
+            budget=sample.budget,
+            source_rows=sample.source_rows,
+            columns=list(value_columns),
+        )
+
+    # ------------------------------------------------------------------
+    # maintenance
+    # ------------------------------------------------------------------
+    def refresh(
+        self,
+        name: str,
+        batch: Table,
+        seed: int = 0,
+        columns: Optional[Sequence[str]] = None,
+    ) -> RefreshReport:
+        """Fold a batch into every shard in parallel.
+
+        The batch is partitioned by the stratum hash of each row's
+        group key, so every worker's streaming maintainer sees exactly
+        the rows the unsharded maintainer would have folded into its
+        strata; each shard hot-swaps its new version independently.
+        When the merged drift crosses the escalation threshold, the
+        front — which holds the full base table no single shard has —
+        runs the two-pass rebuild centrally and pushes freshly split
+        pieces back down.
+        """
+        with self._maintenance:
+            info = self._meta.get(name) or self._orphans.get(name)
+            if info is None:
+                raise KeyError(f"unknown sample {name!r}")
+            by = info["allocation"].by
+            table_name = info["table_name"]
+            with self._lock.read():
+                base = (
+                    self._session.tables.get(table_name)
+                    if table_name
+                    else None
+                )
+            pieces = partition_table(batch, by, self.num_shards)
+            payloads = [
+                {
+                    "name": name,
+                    "batch": piece,
+                    "seed": seed,
+                    "columns": list(columns) if columns else None,
+                }
+                for piece in pieces
+            ]
+            live = [i for i, p in enumerate(pieces) if p.num_rows]
+            reports = [None] * self.num_shards
+            futures = {
+                i: self._pool.submit(
+                    self.clients[i].request, "refresh", **payloads[i]
+                )
+                for i in live
+            }
+            for i, future in futures.items():
+                reports[i] = future.result()["report"]
+            grown = base.concat(batch) if base is not None else None
+            if grown is not None:
+                with self._lock.write():
+                    self._session.register_table(table_name, grown)
+                    self._bump()
+            report = _merge_reports(name, reports, info)
+            if report.needs_rebuild and grown is not None:
+                report = self._rebuild(name, info, grown, table_name, seed)
+        self.refresh_metadata()
+        return report
+
+    def _rebuild(
+        self, name: str, info: Dict, full_table: Table,
+        table_name: Optional[str], seed: int,
+    ) -> RefreshReport:
+        """Central escalation: rebuild from the full base table at the
+        shards' combined budget, split, commit, swap everywhere."""
+        lineage = info["lineage"]
+        value_columns = list(
+            lineage.get("value_columns")
+            or ([lineage["value_column"]] if "value_column" in lineage else [])
+        ) or list(info["allocation"].stats.columns if info["allocation"].stats else [])
+        spec = GroupByQuerySpec(
+            group_by=tuple(info["allocation"].by),
+            aggregates=tuple(value_columns),
+        )
+        sample = CVOptSampler([spec]).sample(
+            full_table, info["budget"], seed=seed
+        )
+        fresh = _fresh_lineage(value_columns, sample.source_rows)
+        fresh["action"] = "rebuild"
+        fresh["refresh_count"] = int(lineage.get("refresh_count", 0)) + 1
+        versions = self.store.put(
+            name, sample, table_name=table_name, lineage=fresh
+        )
+        self.store.prune(name, keep=self.keep_versions)
+        self._scatter("reload", [{"name": name}] * self.num_shards)
+        return RefreshReport(
+            name=name,
+            version=_join_versions(versions),
+            action="rebuild",
+            rows_ingested=0,
+            source_rows=sample.source_rows,
+            sample_rows=sample.num_rows,
+            new_strata=0,
+            staleness=0.0,
+            drift=1.0,
+            needs_rebuild=False,
+            columns=value_columns,
+        )
+
+    # ------------------------------------------------------------------
+    # serving
+    # ------------------------------------------------------------------
+    def query(self, sql: str, mode: str = "auto") -> AQPResult:
+        """Answer ``sql`` by scatter-gather when the router picks a
+        sample and the query decomposes; exactly at the front
+        otherwise. Memoized per store epoch."""
+        if mode not in ("auto", "approx", "exact"):
+            raise ValueError("mode must be 'auto', 'approx' or 'exact'")
+        key = (self._epoch, mode, sql)
+        cached = self._cache.get(key)
+        if cached is not None:
+            self.queries_served += 1
+            return cached
+        result = self._answer(sql, mode)
+        self.queries_served += 1
+        if key[0] == self._epoch:
+            self._cache.put(key, result)
+        return result
+
+    def query_with_contract(
+        self,
+        sql: str,
+        mode: str = "auto",
+        max_cv: Optional[float] = None,
+        max_staleness: Optional[float] = None,
+        on_violation: str = "fallback",
+    ) -> ContractedResult:
+        """Answer with an accuracy contract — same shape, semantics and
+        violation handling as the unsharded service's method; the
+        contract's ``sample_version`` names every shard's served
+        version and its CV figures come from the merged allocation."""
+        if on_violation not in ("fallback", "reject"):
+            raise ValueError("on_violation must be 'fallback' or 'reject'")
+        if mode not in ("auto", "approx", "exact"):
+            raise ValueError("mode must be 'auto', 'approx' or 'exact'")
+        key = ("contract", self._epoch, mode, sql, max_cv, max_staleness,
+               on_violation)
+        cached = self._cache.get(key)
+        if cached is not None:
+            self.queries_served += 1
+            return cached
+        result = self._answer(sql, mode, max_cv=max_cv)
+        contract, violations = self._contract_for(
+            result.route, mode, max_cv, max_staleness
+        )
+        if violations:
+            if on_violation == "reject" or mode == "approx":
+                raise AccuracyContractViolation(violations, contract)
+            result = self._exact(sql)
+            contract = AccuracyContract(
+                executed="exact",
+                fallback_exact=True,
+                reason="accuracy constraints unsatisfied by stored "
+                "samples (" + "; ".join(violations) + "); executed "
+                "exactly",
+                constraints=contract.constraints,
+                satisfied=True,
+            )
+        self.queries_served += 1
+        answer = ContractedResult(result=result, contract=contract)
+        if key[1] == self._epoch:
+            self._cache.put(key, answer)
+        return answer
+
+    def execute(self, sql: str) -> Table:
+        """Exact execution over the front's base tables."""
+        return self.query(sql, mode="exact").table
+
+    def _exact(self, sql: str) -> AQPResult:
+        with self._lock.read():
+            return self._session.query(sql, mode="exact")
+
+    def _answer(
+        self, sql: str, mode: str, max_cv: Optional[float] = None
+    ) -> AQPResult:
+        start = time.perf_counter()
+        if mode == "exact":
+            return self._exact(sql)
+        parsed = parse_query(sql)
+        dq = decompose(parsed)
+        if dq is None:
+            # MEDIAN / HAVING / joins / subqueries: no per-shard
+            # partials exist. The front has no sample rows either, so
+            # approximation is off the table — unlike the unsharded
+            # service, which could still run such a query over its
+            # local sample.
+            if mode == "approx":
+                raise QueryExecutionError(
+                    "cannot answer approximately on a sharded warehouse: "
+                    "query does not decompose into per-shard partials"
+                )
+            result = self._exact(sql)
+            route = RouteDecision(
+                None, None, None,
+                "query does not decompose into per-shard partials; "
+                "executing exactly",
+            )
+            return AQPResult(
+                table=result.table,
+                route=route,
+                plan_cached=result.plan_cached,
+                elapsed_seconds=time.perf_counter() - start,
+            )
+        with self._lock.read():
+            route = self._session.route(parsed, mode, max_cv)
+            sample_name = route.sample_name
+        if not route.approximate:
+            result = self._exact(sql)
+            return AQPResult(
+                table=result.table,
+                route=route,
+                plan_cached=result.plan_cached,
+                elapsed_seconds=time.perf_counter() - start,
+            )
+        try:
+            responses = self._scatter(
+                "partials",
+                [{"sql": sql, "name": sample_name}] * self.num_shards,
+            )
+        except ShardWorkerError as exc:
+            if mode == "approx":
+                raise
+            result = self._exact(sql)
+            route = RouteDecision(
+                None, None, None,
+                f"shard fan-out failed ({exc}); executing exactly",
+            )
+            return AQPResult(
+                table=result.table,
+                route=route,
+                plan_cached=result.plan_cached,
+                elapsed_seconds=time.perf_counter() - start,
+            )
+        merged = merge_partials(
+            [r["partials"] for r in responses], len(dq.agg_calls)
+        )
+        table = finalize_partials(dq, merged)
+        return AQPResult(
+            table=table,
+            route=route,
+            plan_cached=False,
+            elapsed_seconds=time.perf_counter() - start,
+        )
+
+    def _contract_for(
+        self,
+        route: RouteDecision,
+        mode: str,
+        max_cv: Optional[float],
+        max_staleness: Optional[float],
+    ):
+        if not route.approximate:
+            return build_contract(
+                route, mode, max_cv, max_staleness,
+                sample_version=None, lineage={}, staleness=0.0,
+                group_keys=None,
+            )
+        with self._lock.read():
+            info = self._meta.get(route.sample_name, {})
+            lineage = info.get("lineage", {})
+            allocation = info.get("allocation")
+        return build_contract(
+            route, mode, max_cv, max_staleness,
+            sample_version=info.get("version"),
+            lineage=lineage,
+            staleness=staleness_from_lineage(lineage),
+            group_keys=(
+                tuple(tuple(k) for k in allocation.keys)
+                if allocation is not None
+                else None
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def epoch(self) -> int:
+        return self._epoch
+
+    def samples(self) -> List[str]:
+        with self._lock.read():
+            return list(self._meta)
+
+    def served_versions(self) -> Dict[str, str]:
+        with self._lock.read():
+            return {
+                name: info["version"] for name, info in self._meta.items()
+            }
+
+    def served_lineages(self) -> Dict[str, Dict]:
+        with self._lock.read():
+            return {
+                name: dict(info["lineage"])
+                for name, info in self._meta.items()
+            }
+
+    def sample_summaries(self) -> List[Dict]:
+        with self._lock.read():
+            out = []
+            for name, info in self._meta.items():
+                lineage = info["lineage"]
+                tracked = list(lineage.get("value_columns") or [])
+                out.append(
+                    {
+                        "name": name,
+                        "version": info["version"],
+                        "rows": info["rows"],
+                        "strata": info["allocation"].num_strata,
+                        "by": list(info["allocation"].by),
+                        "columns": tracked,
+                        "primary_column": tracked[0] if tracked else None,
+                        "staleness": staleness_from_lineage(lineage),
+                        "drift": float(lineage.get("drift", 1.0)),
+                        "drift_by_column": {
+                            c: float(d)
+                            for c, d in (
+                                lineage.get("drift_by_column") or {}
+                            ).items()
+                        },
+                        "needs_rebuild": bool(
+                            lineage.get("needs_rebuild", False)
+                        ),
+                        "shards": self.num_shards,
+                    }
+                )
+            return out
+
+    def health(self) -> Dict:
+        with self._lock.read():
+            return {
+                "status": "ok",
+                "epoch": self._epoch,
+                "tables": len(self._session.tables),
+                "samples": len(self._meta),
+                "queries_served": self.queries_served,
+                "shards": {
+                    "count": self.num_shards,
+                    "alive": sum(1 for c in self.clients if c.alive),
+                },
+            }
+
+    def stats(self) -> Dict:
+        """Front counters plus a per-shard block gathered from every
+        worker (each entry is that worker's full ``stats()`` snapshot —
+        store accounting, caches, served versions)."""
+        shard_stats = []
+        for client in self.clients:
+            try:
+                shard_stats.append(client.request("stats")["stats"])
+            except ShardWorkerError as exc:
+                shard_stats.append(
+                    {"shard": client.shard_index, "error": str(exc)}
+                )
+        with self._lock.read():
+            return {
+                "epoch": self._epoch,
+                "queries_served": self.queries_served,
+                "store": {
+                    "root": str(self.store.root),
+                    "shards": {
+                        "count": self.num_shards,
+                        "scheme": SHARD_SCHEME,
+                    },
+                },
+                "answer_cache": {
+                    "size": len(self._cache),
+                    "capacity": self._cache.capacity,
+                    "hits": self._cache.hits,
+                    "misses": self._cache.misses,
+                },
+                "tables": {
+                    name: table.num_rows
+                    for name, table in self._session.tables.items()
+                },
+                "samples": {
+                    name: {
+                        "version": info["version"],
+                        "versions": list(info["versions"]),
+                        "rows": info["rows"],
+                        "strata": info["allocation"].num_strata,
+                        "by": list(info["allocation"].by),
+                        "staleness": staleness_from_lineage(
+                            info["lineage"]
+                        ),
+                        "needs_rebuild": bool(
+                            info["lineage"].get("needs_rebuild", False)
+                        ),
+                    }
+                    for name, info in self._meta.items()
+                },
+                "shards": shard_stats,
+            }
+
+    def close(self) -> None:
+        """Shut down every worker and the fan-out pool."""
+        for client in self.clients:
+            try:
+                client.close()
+            except Exception:
+                pass
+        self._pool.shutdown(wait=False)
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _bump(self) -> None:
+        self._epoch += 1
+        self._cache.clear()
+
+
+# ----------------------------------------------------------------------
+# merge helpers
+# ----------------------------------------------------------------------
+def _join_versions(versions: Sequence[str]) -> str:
+    """One display string for N per-shard versions: the common version
+    when they agree (the usual case after a build/rebuild), else an
+    explicit per-shard list."""
+    unique = list(dict.fromkeys(versions))
+    if len(unique) == 1:
+        return unique[0]
+    return "|".join(
+        f"shard{i:02d}={v}" for i, v in enumerate(versions)
+    )
+
+
+def _merge_lineages(lineages: Sequence[Dict]) -> Dict:
+    """Whole-warehouse lineage from per-shard lineages.
+
+    Counters add (each shard ingested its disjoint rows of every
+    batch), drift takes the worst shard (the contract must not promise
+    better than the worst slice), and ``needs_rebuild`` is sticky if
+    any shard raised it."""
+    merged: Dict = dict(lineages[0]) if lineages else {}
+    rows_ingested = sum(
+        int(li.get("rows_ingested", 0)) for li in lineages
+    )
+    base_rows = sum(int(li.get("base_rows", 0)) for li in lineages)
+    merged["rows_ingested"] = rows_ingested
+    merged["base_rows"] = base_rows
+    merged["staleness"] = (
+        rows_ingested / base_rows if base_rows else 0.0
+    )
+    merged["drift"] = max(
+        (float(li.get("drift", 1.0)) for li in lineages), default=1.0
+    )
+    drift_by_column: Dict[str, float] = {}
+    for li in lineages:
+        for column, drift in (li.get("drift_by_column") or {}).items():
+            drift_by_column[column] = max(
+                drift_by_column.get(column, 1.0), float(drift)
+            )
+    merged["drift_by_column"] = drift_by_column
+    merged["needs_rebuild"] = any(
+        bool(li.get("needs_rebuild", False)) for li in lineages
+    )
+    merged["refresh_count"] = max(
+        (int(li.get("refresh_count", 0)) for li in lineages), default=0
+    )
+    columns: Dict[str, None] = {}
+    for li in lineages:
+        for column in li.get("value_columns") or []:
+            columns.setdefault(column, None)
+    if columns:
+        merged["value_columns"] = list(columns)
+    return merged
+
+
+def _merge_reports(
+    name: str, reports: Sequence[Optional[RefreshReport]], info: Dict
+) -> RefreshReport:
+    """One warehouse-level report from the per-shard refresh reports
+    (``None`` for shards whose batch slice was empty)."""
+    done = [r for r in reports if r is not None]
+    versions = [
+        r.version if r is not None else v
+        for r, v in zip(reports, info["versions"])
+    ]
+    rows_ingested = sum(r.rows_ingested for r in done)
+    columns: Dict[str, None] = {}
+    for r in done:
+        for c in r.columns:
+            columns.setdefault(c, None)
+    drift = max((r.drift for r in done), default=1.0)
+    lineage = info["lineage"]
+    prior_ingested = int(lineage.get("rows_ingested", 0))
+    base_rows = int(lineage.get("base_rows", 0))
+    staleness = (
+        (prior_ingested + rows_ingested) / base_rows
+        if base_rows
+        else float("inf")
+    )
+    return RefreshReport(
+        name=name,
+        version=_join_versions(versions),
+        action="incremental",
+        rows_ingested=rows_ingested,
+        # Shards with an empty slice keep their prior population, so
+        # the covered total is simply prior + newly ingested rows.
+        source_rows=info["source_rows"] + rows_ingested,
+        sample_rows=sum(r.sample_rows for r in done),
+        new_strata=sum(r.new_strata for r in done),
+        staleness=staleness,
+        drift=drift,
+        needs_rebuild=any(r.needs_rebuild for r in done),
+        columns=list(columns),
+        drift_by_column={
+            c: max(
+                (r.drift_by_column.get(c, 1.0) for r in done),
+                default=1.0,
+            )
+            for c in columns
+        },
+    )

@@ -228,3 +228,66 @@ class TestStreamingSampler:
                 break
         assert sampler.rows_seen == 100
         assert sampler.rebalanced
+
+
+class TestMultiColumnRebalance:
+    """Re-balance optimizes the combined objective over every tracked
+    column, not just the primary."""
+
+    @staticmethod
+    def _two_column_table(seed=9, n=4000):
+        # Column v is flat everywhere; column w is wildly variable in
+        # stratum "b" only. A primary-only (v) re-balance would see no
+        # reason to favor "b"; the combined objective must.
+        rng = np.random.default_rng(seed)
+        half = n // 2
+        g = np.array(["a"] * half + ["b"] * (n - half))
+        v = np.full(n, 100.0) + rng.normal(0, 1.0, n)
+        w = np.concatenate(
+            [
+                np.full(half, 50.0) + rng.normal(0, 1.0, half),
+                np.abs(rng.normal(0, 500.0, n - half)),
+            ]
+        )
+        from repro.engine.table import Table
+
+        return Table.from_pydict({"g": g, "v": v, "w": w})
+
+    def _sizes(self, sampler, table):
+        sampler.observe_table(shuffled(table, seed=1))
+        sample = sampler.finalize()
+        alloc = sample.allocation
+        return {
+            tuple(k): int(s)
+            for k, s in zip(alloc.keys, alloc.sizes)
+        }
+
+    def test_secondary_column_attracts_budget(self):
+        table = self._two_column_table()
+        multi = StreamingCVOptSampler(
+            ("g",),
+            ("v", "w"),
+            budget=400,
+            pilot_rows=800,
+            seed=0,
+            primary_column="v",
+        )
+        single = StreamingCVOptSampler(
+            ("g",), ("v",), budget=400, pilot_rows=800, seed=0
+        )
+        sizes_multi = self._sizes(multi, table)
+        sizes_single = self._sizes(single, table)
+        # v alone is homogeneous -> roughly balanced allocation; the
+        # combined objective must shift budget toward the stratum where
+        # w is noisy.
+        assert sizes_multi[("b",)] > sizes_single[("b",)]
+        assert sizes_multi[("b",)] > sizes_multi[("a",)]
+
+    def test_single_column_unchanged(self, table):
+        # With one tracked column the combined objective degenerates to
+        # the old primary-only behavior, bit for bit.
+        a = StreamingCVOptSampler(("g",), "v", budget=120, pilot_rows=500, seed=3)
+        b = StreamingCVOptSampler(("g",), ("v",), budget=120, pilot_rows=500, seed=3)
+        sa = self._sizes(a, table)
+        sb = self._sizes(b, table)
+        assert sa == sb

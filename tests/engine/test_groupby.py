@@ -156,3 +156,75 @@ class TestGroupByOnDataset(object):
         }
         for key, vals in ref.items():
             assert got[key] == pytest.approx(np.mean(vals))
+
+
+class TestCombinedCodeOverflow:
+    """Wide/high-cardinality keys must not wrap the combined int64 code."""
+
+    def _wide_table(self, num_rows=1000, num_cols=8, seed=11):
+        # Each column draws from ~num_rows distinct large ints, so the
+        # cardinality product is ~num_rows**num_cols >> 2**63 while the
+        # table itself stays tiny.
+        rng = np.random.default_rng(seed)
+        data = {
+            f"k{i}": rng.integers(0, 2**40, size=num_rows)
+            for i in range(num_cols)
+        }
+        return Table.from_pydict(data)
+
+    def test_routes_to_sorted_path(self, monkeypatch):
+        import repro.engine.groupby as gb
+
+        table = self._wide_table()
+        called = {}
+        real = gb._group_keys_from_codes
+
+        def spy(by, codes, n):
+            called["hit"] = True
+            return real(by, codes, n)
+
+        monkeypatch.setattr(gb, "_group_keys_from_codes", spy)
+        compute_group_keys(table, list(table.column_names))
+        assert called.get("hit"), "overflow-prone keys should sort"
+
+    def test_matches_reference_groups(self):
+        table = self._wide_table()
+        by = list(table.column_names)
+        keys = compute_group_keys(table, by)
+        rows = [
+            tuple(row[c] for c in by) for row in table.iter_rows()
+        ]
+        expected = {}
+        for gid, row in zip(keys.gids, rows):
+            expected.setdefault(row, set()).add(int(gid))
+        # one dense gid per distinct key tuple, no aliasing
+        assert keys.num_groups == len(set(rows))
+        assert all(len(gids) == 1 for gids in expected.values())
+        assigned = {next(iter(g)) for g in expected.values()}
+        assert assigned == set(range(keys.num_groups))
+
+    def test_agrees_with_sorted_variant(self):
+        from repro.engine.groupby import compute_group_keys_sorted
+
+        table = self._wide_table(num_rows=900, num_cols=8, seed=7)
+        by = list(table.column_names)
+        hashed = compute_group_keys(table, by)
+        srt = compute_group_keys_sorted(table, by)
+        assert hashed.num_groups == srt.num_groups
+        assert np.array_equal(hashed.gids, srt.gids)
+        assert np.array_equal(hashed.representative, srt.representative)
+
+    def test_small_keys_still_hash(self, simple_table, monkeypatch):
+        import repro.engine.groupby as gb
+
+        called = {}
+        real = gb._group_keys_from_codes
+
+        def spy(by, codes, n):
+            called["hit"] = True
+            return real(by, codes, n)
+
+        monkeypatch.setattr(gb, "_group_keys_from_codes", spy)
+        keys = compute_group_keys(simple_table, ["g", "h"])
+        assert keys.num_groups == 5
+        assert "hit" not in called

@@ -1,0 +1,173 @@
+"""Shard workers: protocol handlers, error isolation, and one real
+spawned-process round trip."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.core.cvopt import CVOptSampler
+from repro.core.spec import GroupByQuerySpec
+from repro.engine.sql.executor import execute_sql
+from repro.engine.sql.parser import parse_query
+from repro.serve import (
+    InProcessShardClient,
+    ProcessShardClient,
+    ShardServer,
+    ShardWorkerError,
+)
+from repro.warehouse import (
+    ShardedSampleStore,
+    compute_partials,
+    decompose,
+    finalize_partials,
+    merge_partials,
+)
+
+# CI legs re-run this suite per storage backend (see conftest.py)
+_BACKEND = os.environ.get("REPRO_TEST_BACKEND", "npz")
+
+SQL = "SELECT country, AVG(value) a FROM OpenAQ GROUP BY country"
+
+
+@pytest.fixture()
+def sharded_root(tmp_path, openaq_small):
+    """A 2-shard store holding one built sample."""
+    store = ShardedSampleStore(
+        tmp_path / "wh", shards=2, backend=_BACKEND
+    )
+    sample = CVOptSampler(
+        [GroupByQuerySpec.single("value", by=("country",))]
+    ).sample(openaq_small, 800, seed=4)
+    store.put(
+        "s", sample, table_name="OpenAQ",
+        lineage={
+            "base_rows": sample.source_rows,
+            "rows_ingested": 0,
+            "value_columns": ["value"],
+        },
+    )
+    return tmp_path / "wh", sample
+
+
+class TestShardServer:
+    def test_adopts_stored_samples_on_start(self, sharded_root):
+        root, _ = sharded_root
+        server = ShardServer(root, 0, backend=_BACKEND)
+        meta = server.handle("sample_meta")
+        assert meta["shard"] == 0
+        assert "s" in meta["samples"]
+        assert meta["tables"]["s"] == "OpenAQ"
+
+    def test_ping(self, sharded_root):
+        root, _ = sharded_root
+        server = ShardServer(root, 1, backend=_BACKEND)
+        pong = server.handle("ping")
+        assert pong["ok"] and pong["shard"] == 1
+
+    def test_partials_cover_only_own_strata(self, sharded_root):
+        root, sample = sharded_root
+        servers = [
+            ShardServer(root, i, backend=_BACKEND) for i in range(2)
+        ]
+        parts = [
+            s.handle("partials", {"sql": SQL, "name": "s"})["partials"]
+            for s in servers
+        ]
+        own = [
+            set(s.service.snapshot_sample("s")[0].allocation.keys)
+            for s in servers
+        ]
+        assert own[0].isdisjoint(own[1])
+        # Merged partials finalize to the unsharded sample's answer.
+        dq = decompose(parse_query(SQL))
+        merged = merge_partials(parts, len(dq.agg_calls))
+        table = finalize_partials(dq, merged)
+        whole = compute_partials(sample, dq)
+        expected = finalize_partials(
+            dq, merge_partials([whole], len(dq.agg_calls))
+        )
+        got = dict(
+            zip(
+                table.column("country").decode(),
+                table.column("a").data,
+            )
+        )
+        want = dict(
+            zip(
+                expected.column("country").decode(),
+                expected.column("a").data,
+            )
+        )
+        assert set(got) == set(want)
+        for key, value in want.items():
+            assert got[key] == pytest.approx(value, rel=1e-9)
+
+    def test_unknown_op_raises(self, sharded_root):
+        root, _ = sharded_root
+        server = ShardServer(root, 0, backend=_BACKEND)
+        with pytest.raises(ShardWorkerError, match="unknown shard op"):
+            server.handle("frobnicate")
+
+    def test_partials_for_missing_sample_raises(self, sharded_root):
+        root, _ = sharded_root
+        client = InProcessShardClient(root, 0, backend=_BACKEND)
+        with pytest.raises(ShardWorkerError, match="ghost"):
+            client.request("partials", sql=SQL, name="ghost")
+
+    def test_refresh_swaps_new_version(
+        self, sharded_root, openaq_small
+    ):
+        from repro.warehouse.sharding import partition_table
+
+        root, _ = sharded_root
+        server = ShardServer(root, 0, backend=_BACKEND)
+        before = server.handle("sample_meta")["samples"]["s"]["version"]
+        batch = openaq_small.take(np.arange(0, 500))
+        piece = partition_table(batch, ("country",), 2)[0]
+        out = server.handle(
+            "refresh", {"name": "s", "batch": piece, "seed": 1}
+        )
+        assert out["report"].rows_ingested == piece.num_rows
+        after = server.handle("sample_meta")["samples"]["s"]["version"]
+        assert after != before
+
+
+class TestInProcessShardClient:
+    def test_wraps_errors_like_remote(self, sharded_root):
+        root, _ = sharded_root
+        client = InProcessShardClient(root, 0, backend=_BACKEND)
+        with pytest.raises(ShardWorkerError) as err:
+            client.request("partials", sql=SQL, name="ghost")
+        assert err.value.remote_type == "KeyError"
+        assert "ghost" in str(err.value)
+        client.close()
+        assert client.alive  # in-process client never dies
+
+
+class TestProcessShardClient:
+    def test_spawned_worker_round_trip(self, sharded_root):
+        # One real spawn-context process: hello, partials, stats,
+        # error isolation (a bad request must not kill the worker),
+        # clean shutdown. npz only — a spawned child cannot read
+        # another process's memory-backend blobs.
+        root, sample = sharded_root
+        if _BACKEND == "memory":
+            pytest.skip("memory backend is per-process")
+        client = ProcessShardClient(root, 0, backend=_BACKEND)
+        try:
+            assert client.alive and client.pid != os.getpid()
+            meta = client.request("sample_meta")
+            assert "s" in meta["samples"]
+            with pytest.raises(ShardWorkerError, match="ghost"):
+                client.request("partials", sql=SQL, name="ghost")
+            # Worker survived the failed request.
+            part = client.request("partials", sql=SQL, name="s")
+            assert part["partials"].sample_version
+            stats = client.request("stats")["stats"]
+            assert stats["shard"] == 0
+        finally:
+            client.close()
+        assert not client.alive
+        with pytest.raises(ShardWorkerError, match="closed"):
+            client.request("ping")

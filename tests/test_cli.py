@@ -343,3 +343,97 @@ class TestWarehouseCLI:
         )
         assert rc == 2
         assert "--budget must be positive" in capsys.readouterr().err
+
+
+class TestShardedWarehouseCLI:
+    """`--shards N` topology: sharded layout, auto-detection, per-shard
+    stats, and the single-shard path staying plain."""
+
+    def _generate(self, tmp_path):
+        import numpy as np
+
+        from repro.datasets import generate_openaq
+
+        table = generate_openaq(num_rows=8000, num_countries=12, seed=3)
+        n = table.num_rows
+        base = table.take(np.arange(0, int(n * 0.7)))
+        batch = table.take(np.arange(int(n * 0.7), n))
+        base_path = str(tmp_path / "base.npz")
+        batch_path = str(tmp_path / "batch.npz")
+        base.save(base_path)
+        batch.save(batch_path)
+        return base_path, batch_path, table
+
+    def test_sharded_round_trip(self, tmp_path, capsys):
+        base_path, batch_path, table = self._generate(tmp_path)
+        root = tmp_path / "wh"
+
+        rc = main(
+            ["warehouse", "build", "--root", str(root),
+             "--table", base_path, "--name", "s",
+             "--table-name", "OpenAQ", "--group-by", "country",
+             "--columns", "value", "--budget", "600", "--shards", "3"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "built s v000001" in out and "across 3 shards" in out
+        assert (root / "shards.json").exists()
+        for i in range(3):
+            assert (root / f"shard-{i:02d}").is_dir()
+
+        # Refresh auto-detects the topology — no --shards needed.
+        rc = main(
+            ["warehouse", "refresh", "--root", str(root), "--name", "s",
+             "--batch", batch_path]
+        )
+        assert rc == 0
+        assert "refresh of s -> v000002" in capsys.readouterr().out
+
+        full_path = str(tmp_path / "full.npz")
+        table.save(full_path)
+        rc = main(
+            ["warehouse", "serve", "--root", str(root),
+             "--table", full_path, "--table-name", "OpenAQ",
+             "--shard-workers", "inprocess", "--sql",
+             "SELECT country, AVG(value) a FROM OpenAQ GROUP BY country"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "routed to 's' (v000002)" in out
+
+        rc = main(["warehouse", "stats", "--root", str(root)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "sharded store: 3 shards" in out
+        assert "-- shard 00 --" in out and "-- shard 02 --" in out
+
+    def test_single_shard_stays_plain(self, tmp_path, capsys):
+        base_path, _, _ = self._generate(tmp_path)
+        root = tmp_path / "wh"
+        rc = main(
+            ["warehouse", "build", "--root", str(root),
+             "--table", base_path, "--name", "s",
+             "--group-by", "country", "--columns", "value",
+             "--budget", "600", "--shards", "1"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "built s v000001" in out and "across" not in out
+        assert not (root / "shards.json").exists()
+        assert (root / "s").is_dir()  # plain single-store layout
+
+    def test_conflicting_shard_count_fails(self, tmp_path, capsys):
+        base_path, batch_path, _ = self._generate(tmp_path)
+        root = str(tmp_path / "wh")
+        rc = main(
+            ["warehouse", "build", "--root", root, "--table", base_path,
+             "--name", "s", "--group-by", "country",
+             "--columns", "value", "--budget", "400", "--shards", "2"]
+        )
+        assert rc == 0
+        capsys.readouterr()
+        with pytest.raises(SystemExit, match="sharded 2 ways"):
+            main(
+                ["warehouse", "refresh", "--root", root, "--name", "s",
+                 "--batch", batch_path, "--shards", "4"]
+            )

@@ -1,0 +1,252 @@
+"""Stratum-hash sharding: deterministic placement, exact split/merge,
+batch routing, and the sharded store layout."""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.core.cvopt import CVOptSampler
+from repro.core.sample import STRATUM_COLUMN
+from repro.core.spec import GroupByQuerySpec
+from repro.warehouse import (
+    SHARD_SCHEME,
+    ShardedSampleStore,
+    merge_shard_allocations,
+    partition_table,
+    shard_of_key,
+    split_sample,
+)
+
+# CI legs re-run this suite per storage backend (see conftest.py)
+_BACKEND = os.environ.get("REPRO_TEST_BACKEND", "npz")
+
+
+@pytest.fixture()
+def sample(openaq_small):
+    spec = GroupByQuerySpec.single(
+        "value", by=("country", "parameter")
+    )
+    return CVOptSampler([spec]).sample(openaq_small, 900, seed=11)
+
+
+class TestShardOfKey:
+    def test_deterministic_across_calls(self):
+        key = ("DE", "pm25")
+        assert shard_of_key(key, 4) == shard_of_key(key, 4)
+
+    def test_pinned_values(self):
+        # Placement is part of the on-disk format (scheme
+        # stratum-hash-v1): these pins fail if the hash or the key
+        # encoding ever changes without a scheme bump.
+        assert shard_of_key(("DE", "pm25"), 4) == 2
+        assert shard_of_key(("US",), 4) == 0
+        assert shard_of_key((7,), 4) == 1
+        assert shard_of_key((None,), 4) == 0
+
+    def test_single_shard_short_circuits(self):
+        assert shard_of_key(("anything",), 1) == 0
+
+    def test_type_tagging_distinguishes_int_and_string(self):
+        # "1" and 1 are different strata; the tagged-JSON encoding must
+        # keep them apart even when their repr collides.
+        assert shard_of_key(("1",), 1000) != shard_of_key((1,), 1000)
+
+    def test_spread_over_shards(self):
+        hits = {
+            shard_of_key((f"k{i}",), 8) for i in range(200)
+        }
+        assert hits == set(range(8))
+
+
+class TestSplitSample:
+    @pytest.mark.parametrize("num_shards", [1, 2, 3, 5])
+    def test_union_is_exact(self, sample, num_shards):
+        pieces = split_sample(sample, num_shards)
+        assert len(pieces) == num_shards
+        assert sum(p.table.num_rows for p in pieces) == sample.num_rows
+        assert (
+            sum(int(p.allocation.populations.sum()) for p in pieces)
+            == sample.source_rows
+        )
+        merged = merge_shard_allocations([p.allocation for p in pieces])
+        alloc = sample.allocation
+        order = sorted(
+            range(alloc.num_strata), key=lambda i: tuple(alloc.keys[i])
+        )
+        assert merged.keys == [tuple(alloc.keys[i]) for i in order]
+        np.testing.assert_array_equal(
+            merged.populations, alloc.populations[order]
+        )
+        np.testing.assert_array_equal(merged.sizes, alloc.sizes[order])
+        for name, cs in alloc.stats.columns.items():
+            np.testing.assert_allclose(
+                merged.stats.columns[name].total,
+                np.asarray(cs.total)[order],
+            )
+            np.testing.assert_allclose(
+                merged.stats.columns[name].total_sq,
+                np.asarray(cs.total_sq)[order],
+            )
+
+    def test_strata_stay_whole(self, sample):
+        pieces = split_sample(sample, 3)
+        for shard, piece in enumerate(pieces):
+            for key in piece.allocation.keys:
+                assert shard_of_key(key, 3) == shard
+            # Stratum ids are re-densified: every row's id addresses
+            # this piece's allocation.
+            if piece.table.num_rows:
+                gids = piece.table.column(STRATUM_COLUMN).data
+                assert gids.max() < piece.allocation.num_strata
+
+    def test_weights_preserved(self, sample):
+        from repro.core.sample import WEIGHT_COLUMN
+
+        pieces = split_sample(sample, 3)
+        total = sum(
+            float(p.table.column(WEIGHT_COLUMN).data.sum())
+            for p in pieces
+            if p.table.num_rows
+        )
+        expected = float(
+            sample.table.column(WEIGHT_COLUMN).data.sum()
+        )
+        assert total == pytest.approx(expected, rel=1e-12)
+
+    def test_empty_shard_is_valid(self, simple_table):
+        sample = CVOptSampler(
+            [GroupByQuerySpec.single("x", by=("g",))]
+        ).sample(simple_table, 4, seed=0)
+        # More shards than strata: some pieces must be empty yet whole.
+        pieces = split_sample(sample, 7)
+        empties = [p for p in pieces if p.allocation.num_strata == 0]
+        assert empties
+        for piece in empties:
+            assert piece.table.num_rows == 0
+            assert piece.source_rows == 0
+
+
+class TestMergeShardAllocations:
+    def test_rejects_mismatched_stratification(self, sample):
+        a = split_sample(sample, 2)[0].allocation
+        with pytest.raises(ValueError, match="stratify differently"):
+            merge_shard_allocations([a, _rebrand(a)])
+
+    def test_merge_is_shard_count_invariant(self, sample):
+        merged2 = merge_shard_allocations(
+            [p.allocation for p in split_sample(sample, 2)]
+        )
+        merged5 = merge_shard_allocations(
+            [p.allocation for p in split_sample(sample, 5)]
+        )
+        assert merged2.keys == merged5.keys
+        np.testing.assert_array_equal(
+            merged2.populations, merged5.populations
+        )
+        np.testing.assert_array_equal(merged2.sizes, merged5.sizes)
+
+
+def _rebrand(alloc):
+    from repro.core.sample import Allocation
+
+    return Allocation(
+        by=("country",),
+        keys=[k[:1] for k in alloc.keys],
+        populations=alloc.populations,
+        sizes=alloc.sizes,
+        scores=alloc.scores,
+        stats=None,
+    )
+
+
+class TestPartitionTable:
+    def test_rows_follow_their_stratum(self, openaq_small):
+        pieces = partition_table(
+            openaq_small, ("country", "parameter"), 4
+        )
+        assert (
+            sum(p.num_rows for p in pieces) == openaq_small.num_rows
+        )
+        from repro.engine.groupby import compute_group_keys
+
+        for shard, piece in enumerate(pieces):
+            if piece.num_rows == 0:
+                continue
+            keys = compute_group_keys(
+                piece, ("country", "parameter")
+            ).key_tuples(piece)
+            assert all(
+                shard_of_key(k, 4) == shard for k in keys
+            )
+
+    def test_single_shard_passthrough(self, openaq_small):
+        pieces = partition_table(openaq_small, ("country",), 1)
+        assert len(pieces) == 1 and pieces[0] is openaq_small
+
+
+class TestShardedSampleStore:
+    def test_layout_and_topology_record(self, tmp_path, sample):
+        store = ShardedSampleStore(
+            tmp_path / "wh", shards=3, backend=_BACKEND
+        )
+        meta = json.loads((tmp_path / "wh" / "shards.json").read_text())
+        assert meta["shards"] == {"count": 3, "scheme": SHARD_SCHEME}
+        versions = store.put("s", sample, table_name="OpenAQ")
+        assert len(versions) == 3
+        for i in range(3):
+            assert (tmp_path / "wh" / f"shard-{i:02d}").is_dir()
+
+    def test_reopen_reads_recorded_count(self, tmp_path):
+        ShardedSampleStore(tmp_path / "wh", shards=4, backend=_BACKEND)
+        reopened = ShardedSampleStore(tmp_path / "wh", backend=_BACKEND)
+        assert reopened.num_shards == 4
+
+    def test_conflicting_count_rejected(self, tmp_path):
+        ShardedSampleStore(tmp_path / "wh", shards=4, backend=_BACKEND)
+        with pytest.raises(ValueError, match="sharded 4 ways"):
+            ShardedSampleStore(
+                tmp_path / "wh", shards=2, backend=_BACKEND
+            )
+
+    def test_unknown_scheme_rejected(self, tmp_path):
+        root = tmp_path / "wh"
+        ShardedSampleStore(root, shards=2, backend=_BACKEND)
+        meta = json.loads((root / "shards.json").read_text())
+        meta["shards"]["scheme"] = "round-robin-v9"
+        (root / "shards.json").write_text(json.dumps(meta))
+        with pytest.raises(ValueError, match="partition scheme"):
+            ShardedSampleStore(root, backend=_BACKEND)
+
+    def test_missing_count_for_new_root_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="no shard count"):
+            ShardedSampleStore(tmp_path / "fresh", backend=_BACKEND)
+
+    def test_put_get_round_trip(self, tmp_path, sample):
+        store = ShardedSampleStore(
+            tmp_path / "wh", shards=3, backend=_BACKEND
+        )
+        store.put(
+            "s", sample, table_name="OpenAQ",
+            lineage={"base_rows": sample.source_rows,
+                     "rows_ingested": 0},
+        )
+        shards = store.get_shards("s")
+        assert [s.table_name for s in shards] == ["OpenAQ"] * 3
+        # Per-shard lineage is rescaled to the shard's own population.
+        assert [
+            s.lineage["base_rows"] for s in shards
+        ] == [int(p.allocation.populations.sum())
+              for p in split_sample(sample, 3)]
+        merged = store.merged_allocation("s")
+        assert (
+            int(merged.populations.sum()) == sample.source_rows
+        )
+
+    def test_names_deduplicate_across_shards(self, tmp_path, sample):
+        store = ShardedSampleStore(
+            tmp_path / "wh", shards=2, backend=_BACKEND
+        )
+        store.put("s", sample, table_name="OpenAQ")
+        assert store.names() == ["s"]
