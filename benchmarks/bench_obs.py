@@ -1,0 +1,198 @@
+"""Observability overhead benchmark: instrumented vs disabled.
+
+Standalone like ``bench_serve.py`` so CI can run it in smoke mode and
+archive the JSON::
+
+    PYTHONPATH=src python benchmarks/bench_obs.py --smoke \
+        --out bench_obs.json
+
+Phases:
+
+* ``micro``    — per-call cost of the primitives in ns/op: counter
+                 inc, labelled inc, histogram observe, and the null
+                 span taken when no trace is active.
+* ``query``    — the number that matters: wall time of a batch of
+                 warehouse queries with the registry **enabled** vs
+                 **disabled** (``set_enabled(False)`` short-circuits
+                 every recording site without unwiring anything).
+                 Batches use varying literals so the answer cache
+                 cannot flatten the measurement; each configuration is
+                 timed ``--repeats`` times interleaved and the minima
+                 are compared — min-of-repeats is the standard way to
+                 strip scheduler noise from a ratio.
+* ``traced``   — the same batch with a root span per query (the HTTP
+                 front's worst case: full span tree + trace ring).
+
+The run **fails** (exit 1) when the enabled-vs-disabled overhead
+exceeds ``--max-overhead-pct`` (default 5%), which is the acceptance
+bar CI enforces on every leg.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+import time
+
+from repro.datasets import generate_openaq
+from repro.obs import default_registry, default_tracer
+from repro.warehouse import WarehouseService
+
+
+def _micro_phase(loops: int) -> dict:
+    registry = default_registry()
+    counter = registry.counter("bench_obs_plain_total", "bench")
+    labelled = registry.counter(
+        "bench_obs_labelled_total", "bench", ["route"]
+    )
+    histogram = registry.histogram("bench_obs_seconds", "bench")
+    tracer = default_tracer()
+
+    def timed(fn) -> float:
+        start = time.perf_counter()
+        for _ in range(loops):
+            fn()
+        return (time.perf_counter() - start) / loops * 1e9
+
+    return {
+        "loops": loops,
+        "counter_inc_ns": timed(lambda: counter.inc()),
+        "labelled_inc_ns": timed(lambda: labelled.inc(route="sample")),
+        "histogram_observe_ns": timed(lambda: histogram.observe(0.01)),
+        "null_span_ns": timed(lambda: tracer.span("bench").__exit__(
+            None, None, None
+        )),
+    }
+
+
+def _run_batch(service, queries: int, salt: str) -> float:
+    """Wall seconds for ``queries`` cache-missing warehouse queries.
+
+    ``salt`` must be digits — it becomes the fractional part of each
+    predicate literal, making every SQL text unique per configuration
+    and repeat so the answer cache cannot flatten the measurement.
+    """
+    start = time.perf_counter()
+    for i in range(queries):
+        service.query(
+            "SELECT country, AVG(value) a FROM OpenAQ "
+            f"WHERE value > {i % 97}.{salt} GROUP BY country"
+        )
+    return time.perf_counter() - start
+
+
+def _query_phase(service, queries: int, repeats: int) -> dict:
+    registry = default_registry()
+    tracer = default_tracer()
+    enabled: list = []
+    disabled: list = []
+    traced: list = []
+    # interleave so drift (cache warmth, frequency scaling) hits every
+    # configuration equally
+    for r in range(repeats):
+        registry.set_enabled(False)
+        disabled.append(_run_batch(service, queries, f"{r}0"))
+        registry.set_enabled(True)
+        enabled.append(_run_batch(service, queries, f"{r}1"))
+        start = time.perf_counter()
+        for i in range(queries):
+            with tracer.trace("bench.query"):
+                service.query(
+                    "SELECT country, AVG(value) a FROM OpenAQ "
+                    f"WHERE value > {i % 97}.{r}2 GROUP BY country"
+                )
+        traced.append(time.perf_counter() - start)
+    registry.set_enabled(True)
+    best_disabled = min(disabled)
+    best_enabled = min(enabled)
+    best_traced = min(traced)
+    return {
+        "queries_per_batch": queries,
+        "repeats": repeats,
+        "disabled_s": best_disabled,
+        "enabled_s": best_enabled,
+        "traced_s": best_traced,
+        "overhead_pct": (
+            (best_enabled - best_disabled) / best_disabled * 100.0
+        ),
+        "traced_overhead_pct": (
+            (best_traced - best_disabled) / best_disabled * 100.0
+        ),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="small sizes for CI (seconds, not minutes)",
+    )
+    parser.add_argument("--rows", type=int, default=None)
+    parser.add_argument("--queries", type=int, default=None)
+    parser.add_argument("--repeats", type=int, default=None)
+    parser.add_argument("--micro-loops", type=int, default=None)
+    parser.add_argument(
+        "--max-overhead-pct", type=float, default=5.0,
+        help="fail when enabled-vs-disabled overhead exceeds this",
+    )
+    parser.add_argument("--out", default="bench_obs.json")
+    args = parser.parse_args(argv)
+
+    rows = args.rows or (16_000 if args.smoke else 100_000)
+    queries = args.queries or (120 if args.smoke else 400)
+    repeats = args.repeats or (4 if args.smoke else 5)
+    micro_loops = args.micro_loops or (20_000 if args.smoke else 200_000)
+
+    table = generate_openaq(num_rows=rows, num_countries=12, seed=7)
+    with tempfile.TemporaryDirectory() as root:
+        service = WarehouseService(root, {"OpenAQ": table})
+        service.build(
+            "s", "OpenAQ", group_by=["country"],
+            value_columns=["value"], budget=max(600, rows // 10),
+        )
+        # warm up plan/compile paths before timing anything
+        _run_batch(service, min(queries, 10), "999")
+
+        results = {
+            "config": {
+                "rows": rows, "queries": queries, "repeats": repeats,
+            },
+            "micro": _micro_phase(micro_loops),
+            "query": _query_phase(service, queries, repeats),
+        }
+
+    with open(args.out, "w") as fh:
+        json.dump(results, fh, indent=2)
+
+    micro = results["micro"]
+    query = results["query"]
+    print(
+        f"micro: counter {micro['counter_inc_ns']:.0f} ns, "
+        f"labelled {micro['labelled_inc_ns']:.0f} ns, "
+        f"histogram {micro['histogram_observe_ns']:.0f} ns, "
+        f"null span {micro['null_span_ns']:.0f} ns"
+    )
+    print(
+        f"query: disabled {query['disabled_s']:.3f}s, "
+        f"enabled {query['enabled_s']:.3f}s "
+        f"({query['overhead_pct']:+.2f}%), "
+        f"traced {query['traced_s']:.3f}s "
+        f"({query['traced_overhead_pct']:+.2f}%)"
+    )
+    print(f"wrote {args.out}")
+
+    if query["overhead_pct"] > args.max_overhead_pct:
+        print(
+            f"FAIL: instrumentation overhead "
+            f"{query['overhead_pct']:.2f}% exceeds "
+            f"{args.max_overhead_pct:.1f}%",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

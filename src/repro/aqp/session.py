@@ -57,6 +57,7 @@ from ..engine.sql.planner import (
     rename_tables,
 )
 from ..engine.table import Table
+from ..obs import current_trace_id, default_registry, default_tracer
 from .catalog import SampleCatalog
 from .planning import predict_group_cvs
 
@@ -85,6 +86,23 @@ _MAX_BOUND_PLANS = 64
 #: max_cv constraint, which HTTP clients control — without a bound a
 #: caller varying max_cv per request would grow the dict forever.
 _MAX_CACHED_SHAPES = 256
+
+_TRACER = default_tracer()
+_PLAN_CACHE = default_registry().counter(
+    "repro_plan_cache_total",
+    "Shape-keyed plan-cache lookups by result",
+    ["result"],
+)
+
+
+def _shape_key(shape) -> str:
+    """Stable short digest of a parameterized query shape, for traces
+    and the query log (computed only when a trace is active)."""
+    import hashlib
+
+    return hashlib.blake2b(
+        repr(shape).encode("utf-8"), digest_size=8
+    ).hexdigest()
 
 
 @dataclass(frozen=True)
@@ -263,19 +281,30 @@ class AQPSession:
         if max_cv is not None:
             max_cv = float(max_cv)
         start = time.perf_counter()
-        parsed = parse_query(sql)
-        shape, literals = parameterize_query(parsed)
+        with _TRACER.span("aqp.parse"):
+            parsed = parse_query(sql)
+            shape, literals = parameterize_query(parsed)
         key = (shape, mode, max_cv)
         entry = self._shape_cache.get(key)
         cached = entry is not None
         if entry is None:
             self.plan_cache_misses += 1
-            entry = self._plan_shape(parsed, shape, mode, max_cv)
+            _PLAN_CACHE.inc(result="miss")
+            with _TRACER.span("aqp.plan"):
+                entry = self._plan_shape(parsed, shape, mode, max_cv)
             if len(self._shape_cache) >= _MAX_CACHED_SHAPES:
                 self._shape_cache.clear()  # re-planning is cheap
             self._shape_cache[key] = entry
         else:
             self.plan_cache_hits += 1
+            _PLAN_CACHE.inc(result="hit")
+        if current_trace_id() is not None:
+            _TRACER.annotate(
+                plan_cache="hit" if cached else "miss",
+                shape_key=_shape_key(shape),
+                route=entry.route.reason,
+                sample=entry.route.sample_name,
+            )
         # Key bound plans by (type, value) — 1, 1.0 and True hash equal
         # but must not share a plan, or binding would change dtypes.
         bound_key = tuple((type(v), v) for v in literals)
@@ -283,9 +312,11 @@ class AQPSession:
         if physical is None:
             if len(entry.bound) >= _MAX_BOUND_PLANS:
                 entry.bound.clear()  # cheap to rebind; don't grow forever
-            physical = compile_plan(bind_plan(entry.plan, literals))
+            with _TRACER.span("aqp.compile"):
+                physical = compile_plan(bind_plan(entry.plan, literals))
             entry.bound[bound_key] = physical
-        table = physical.run(self._execution_catalog(entry.route))
+        with _TRACER.span("aqp.execute"):
+            table = physical.run(self._execution_catalog(entry.route))
         return AQPResult(
             table=table,
             route=entry.route,

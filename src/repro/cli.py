@@ -178,9 +178,15 @@ def build_parser() -> argparse.ArgumentParser:
     wha.add_argument("--root", default=None, help="store (for --materialize)")
     wha.add_argument("--table", required=True, help="npz base-table path")
     wha.add_argument("--table-name", default=None)
-    wha.add_argument(
-        "--workload", required=True,
+    wha_src = wha.add_mutually_exclusive_group(required=True)
+    wha_src.add_argument(
+        "--workload",
         help="query log: one SQL statement or JSON object per line",
+    )
+    wha_src.add_argument(
+        "--query-log",
+        help="structured JSONL query log written by 'warehouse serve "
+        "--query-log' (rotated siblings are read too)",
     )
     wha.add_argument("--storage-budget", type=int, required=True)
     wha.add_argument("--target-cv", type=float, default=0.05)
@@ -250,6 +256,19 @@ def build_parser() -> argparse.ArgumentParser:
         default="process",
         help="run shard workers as separate OS processes (default) or "
         "in-process (single-core hosts, memory backend)",
+    )
+    whs.add_argument(
+        "--query-log", default=None,
+        help="with --http: append one JSONL record per query here "
+        "(size-rotated; feeds 'warehouse advise --query-log')",
+    )
+    whs.add_argument(
+        "--metrics", action="store_true", default=True,
+        help="record metrics for GET /metrics (default on)",
+    )
+    whs.add_argument(
+        "--no-metrics", dest="metrics", action="store_false",
+        help="disable metrics collection (instrumentation becomes no-ops)",
     )
 
     whd = whsub.add_parser(
@@ -553,7 +572,10 @@ def _cmd_warehouse_advise(args) -> int:
     from .workload import Workload
 
     table = Table.load(args.table)
-    workload = Workload.from_log(args.workload)
+    if args.query_log:
+        workload = Workload.from_query_log(args.query_log)
+    else:
+        workload = Workload.from_log(args.workload)
     if not workload.queries:
         print("workload log contains no queries", file=sys.stderr)
         return 2
@@ -631,11 +653,14 @@ def _serve_http(args, service) -> int:
     interrupted."""
     import asyncio
 
+    from .obs import QueryLog, default_registry
     from .serve import (
         AsyncWarehouseService,
         MaintenanceDaemon,
         WarehouseHTTPServer,
     )
+
+    default_registry().set_enabled(getattr(args, "metrics", True))
 
     async def amain() -> int:
         async_service = AsyncWarehouseService(
@@ -644,8 +669,13 @@ def _serve_http(args, service) -> int:
             max_pending=args.max_pending,
             queue_timeout=args.queue_timeout,
         )
+        query_log = None
+        if getattr(args, "query_log", None):
+            query_log = QueryLog(args.query_log)
+            print(f"query log: {args.query_log}")
         server = WarehouseHTTPServer(
-            async_service, host=args.host, port=args.port
+            async_service, host=args.host, port=args.port,
+            query_log=query_log,
         )
         await server.start()
         daemon = None
@@ -656,11 +686,13 @@ def _serve_http(args, service) -> int:
                 sample=args.default_sample,
                 poll_interval=args.daemon_interval,
             )
+            server.daemon = daemon
             daemon.start()
             print(f"maintenance daemon watching {args.watch}")
         print(
             f"serving on http://{args.host}:{server.port} "
-            "(POST /query, GET /samples, GET /stats, GET /healthz)",
+            "(POST /query, GET /samples, GET /stats, GET /healthz, "
+            "GET /metrics, GET /debug/traces)",
             flush=True,
         )
         try:
@@ -669,6 +701,8 @@ def _serve_http(args, service) -> int:
             if daemon is not None:
                 await daemon.stop()
             await server.stop()
+            if query_log is not None:
+                query_log.close()
         return 0
 
     try:

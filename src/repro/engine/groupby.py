@@ -16,6 +16,7 @@ from typing import Sequence
 
 import numpy as np
 
+from ..obs import default_tracer
 from .aggregates import compute_aggregate
 from .schema import DType
 from .table import Column, Table
@@ -90,20 +91,21 @@ def compute_group_keys(table: Table, by: Sequence[str]) -> GroupKeys:
             num_groups=1 if n > 0 else 0,
             representative=np.zeros(min(n, 1), dtype=np.int64),
         )
-    all_codes = []
-    keyspace = 1  # python int: exact, no wraparound while checking
-    for name in by:
-        codes, _ = factorize(table.column(name).data)
-        all_codes.append(codes)
-        keyspace *= int(codes.max()) + 1 if len(codes) else 1
-    if keyspace > _MAX_COMBINED_KEYSPACE:
-        return _group_keys_from_codes(by, all_codes, n)
-    combined = all_codes[0]
-    for codes in all_codes[1:]:
-        k = int(codes.max()) + 1 if len(codes) else 1
-        combined = combined * k + codes
-    gids, first_index = factorize(combined)
-    num_groups = len(first_index)
+    with default_tracer().span("engine.factorize", rows=n, keys=len(by)):
+        all_codes = []
+        keyspace = 1  # python int: exact, no wraparound while checking
+        for name in by:
+            codes, _ = factorize(table.column(name).data)
+            all_codes.append(codes)
+            keyspace *= int(codes.max()) + 1 if len(codes) else 1
+        if keyspace > _MAX_COMBINED_KEYSPACE:
+            return _group_keys_from_codes(by, all_codes, n)
+        combined = all_codes[0]
+        for codes in all_codes[1:]:
+            k = int(codes.max()) + 1 if len(codes) else 1
+            combined = combined * k + codes
+        gids, first_index = factorize(combined)
+        num_groups = len(first_index)
     return GroupKeys(
         by=by, gids=gids, num_groups=num_groups, representative=first_index
     )

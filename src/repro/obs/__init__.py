@@ -1,0 +1,50 @@
+"""Dependency-free observability: metrics, tracing, query log.
+
+Three independent pieces, shared by every serving layer:
+
+- :mod:`repro.obs.metrics` — thread-safe counters/gauges/histograms in
+  a process-wide registry with Prometheus text exposition
+  (``GET /metrics``).
+- :mod:`repro.obs.tracing` — contextvar-propagated trace spans with a
+  pipe-protocol hand-off into shard-worker processes and a bounded
+  ring of recent traces (``GET /debug/traces``).
+- :mod:`repro.obs.querylog` — rotating JSONL query log whose record
+  schema feeds ``Workload.from_query_log`` / ``warehouse advise``.
+
+This package imports nothing from the rest of ``repro`` so any layer —
+including ``engine`` hot paths — can depend on it without cycles.
+"""
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    default_registry,
+    log_buckets,
+)
+from repro.obs.querylog import QueryLog, iter_query_log, query_log_files
+from repro.obs.tracing import (
+    Span,
+    Trace,
+    Tracer,
+    current_trace_id,
+    default_tracer,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "QueryLog",
+    "Span",
+    "Trace",
+    "Tracer",
+    "current_trace_id",
+    "default_registry",
+    "default_tracer",
+    "iter_query_log",
+    "log_buckets",
+    "query_log_files",
+]

@@ -1,0 +1,441 @@
+"""Thread-safe metrics registry with Prometheus text exposition.
+
+Dependency-free (stdlib only) so every layer of the warehouse — engine
+hot paths included — can record counters, gauges and histograms without
+pulling a client library into the serving processes. Design goals, in
+order:
+
+1. **Cheap on the hot path.** Recording is one dict lookup plus an add
+   under a per-metric lock; label resolution is a tuple build. A
+   disabled registry (``set_enabled(False)``) short-circuits before the
+   lock, which is what ``benchmarks/bench_obs.py`` uses to measure the
+   instrumentation overhead itself.
+2. **Safe under concurrency.** Every mutation happens under the owning
+   metric's lock; ``render()`` and ``snapshot()`` take consistent
+   per-metric snapshots, so a scrape during a hot-swap never sees torn
+   counts.
+3. **Prometheus-compatible output.** :meth:`MetricsRegistry.render`
+   emits the v0.0.4 text format (``# HELP`` / ``# TYPE`` + samples,
+   histograms as cumulative ``_bucket``/``_sum``/``_count`` series)
+   that ``GET /metrics`` serves and any Prometheus scraper ingests.
+
+Histograms use **fixed log-scale buckets** (default: powers of two from
+100 µs to ~100 s) rather than adaptive ones: fixed bounds make series
+from different processes — the scatter-gather front and its shard
+workers — mergeable by simple addition.
+
+Metrics are registered once, at module import of the layer that owns
+them, against the process-wide :func:`default_registry`; registration
+is idempotent (same name + same type returns the existing metric), so
+re-imports and multiple service instances share one set of series.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+import threading
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "default_registry",
+    "log_buckets",
+]
+
+
+def log_buckets(
+    start: float = 1e-4, factor: float = 2.0, count: int = 21
+) -> Tuple[float, ...]:
+    """Fixed log-scale bucket upper bounds: ``start * factor**i``.
+
+    The defaults span 100 µs to ~105 s in factor-of-two steps — wide
+    enough for both an answer-cache dictionary hit and a full-table
+    exact fallback on one axis.
+    """
+    if start <= 0 or factor <= 1 or count < 1:
+        raise ValueError("need start > 0, factor > 1, count >= 1")
+    return tuple(start * factor**i for i in range(count))
+
+
+_NO_LABELS: Tuple[str, ...] = ()
+
+
+def _label_values(
+    labelnames: Tuple[str, ...], labels: Mapping[str, object]
+) -> Tuple[str, ...]:
+    if not labelnames and not labels:  # hot path: unlabelled metric
+        return _NO_LABELS
+    if len(labelnames) == 1 and len(labels) == 1:
+        try:  # hot path: single label, no set building
+            return (str(labels[labelnames[0]]),)
+        except KeyError:
+            pass  # fall through to the diagnostic error below
+    if set(labels) != set(labelnames):
+        raise ValueError(
+            f"expected labels {labelnames}, got {tuple(sorted(labels))}"
+        )
+    return tuple(str(labels[name]) for name in labelnames)
+
+
+def _escape(value: str) -> str:
+    return (
+        value.replace("\\", "\\\\").replace("\n", "\\n").replace('"', '\\"')
+    )
+
+
+def _format_labels(
+    labelnames: Sequence[str], values: Sequence[str], extra: str = ""
+) -> str:
+    parts = [
+        f'{name}="{_escape(value)}"'
+        for name, value in zip(labelnames, values)
+    ]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def _format_value(value: float) -> str:
+    if value == math.inf:
+        return "+Inf"
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+class _Metric:
+    """Shared plumbing: name, labels, per-metric lock, enable check."""
+
+    kind = "untyped"
+
+    def __init__(
+        self,
+        name: str,
+        help_text: str = "",
+        labelnames: Sequence[str] = (),
+        registry: Optional["MetricsRegistry"] = None,
+    ) -> None:
+        self.name = name
+        self.help_text = help_text
+        self.labelnames = tuple(labelnames)
+        self._registry = registry
+        self._lock = threading.Lock()
+
+    @property
+    def _enabled(self) -> bool:
+        return self._registry is None or self._registry.enabled
+
+
+class Counter(_Metric):
+    """Monotonically increasing count, optionally labeled."""
+
+    kind = "counter"
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self._values: Dict[Tuple[str, ...], float] = {}
+
+    def inc(self, amount: float = 1.0, **labels) -> None:
+        if not self._enabled:
+            return
+        if amount < 0:
+            raise ValueError("counters only go up")
+        key = _label_values(self.labelnames, labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
+
+    def value(self, **labels) -> float:
+        key = _label_values(self.labelnames, labels)
+        with self._lock:
+            return self._values.get(key, 0.0)
+
+    def collect(self) -> List[str]:
+        with self._lock:
+            items = sorted(self._values.items())
+        if not items and not self.labelnames:
+            items = [((), 0.0)]
+        return [
+            f"{self.name}"
+            f"{_format_labels(self.labelnames, values)}"
+            f" {_format_value(v)}"
+            for values, v in items
+        ]
+
+    def snapshot(self) -> Dict[str, float]:
+        with self._lock:
+            return {
+                ",".join(values) if values else "": v
+                for values, v in sorted(self._values.items())
+            }
+
+
+class Gauge(_Metric):
+    """A value that can go up and down (pool sizes, pending work)."""
+
+    kind = "gauge"
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self._values: Dict[Tuple[str, ...], float] = {}
+
+    def set(self, value: float, **labels) -> None:
+        if not self._enabled:
+            return
+        key = _label_values(self.labelnames, labels)
+        with self._lock:
+            self._values[key] = float(value)
+
+    def inc(self, amount: float = 1.0, **labels) -> None:
+        if not self._enabled:
+            return
+        key = _label_values(self.labelnames, labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
+
+    def dec(self, amount: float = 1.0, **labels) -> None:
+        self.inc(-amount, **labels)
+
+    def value(self, **labels) -> float:
+        key = _label_values(self.labelnames, labels)
+        with self._lock:
+            return self._values.get(key, 0.0)
+
+    def collect(self) -> List[str]:
+        with self._lock:
+            items = sorted(self._values.items())
+        if not items and not self.labelnames:
+            items = [((), 0.0)]
+        return [
+            f"{self.name}"
+            f"{_format_labels(self.labelnames, values)}"
+            f" {_format_value(v)}"
+            for values, v in items
+        ]
+
+    def snapshot(self) -> Dict[str, float]:
+        with self._lock:
+            return {
+                ",".join(values) if values else "": v
+                for values, v in sorted(self._values.items())
+            }
+
+
+class _HistogramState:
+    __slots__ = ("counts", "total", "count")
+
+    def __init__(self, num_buckets: int) -> None:
+        self.counts = [0] * num_buckets  # per-bucket (non-cumulative)
+        self.total = 0.0
+        self.count = 0
+
+
+class Histogram(_Metric):
+    """Fixed-bucket histogram (log-scale bounds by default).
+
+    ``observe`` finds the first bucket whose upper bound holds the
+    value (linear scan — the bucket list is ~20 long and the common
+    values land early); values beyond the last bound count only toward
+    the implicit ``+Inf`` bucket.
+    """
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help_text: str = "",
+        labelnames: Sequence[str] = (),
+        registry: Optional["MetricsRegistry"] = None,
+        buckets: Optional[Iterable[float]] = None,
+    ) -> None:
+        super().__init__(name, help_text, labelnames, registry)
+        bounds = tuple(buckets) if buckets is not None else log_buckets()
+        if list(bounds) != sorted(bounds) or len(set(bounds)) != len(bounds):
+            raise ValueError("bucket bounds must be strictly increasing")
+        self.bounds = bounds
+        self._states: Dict[Tuple[str, ...], _HistogramState] = {}
+
+    def observe(self, value: float, **labels) -> None:
+        if not self._enabled:
+            return
+        key = _label_values(self.labelnames, labels)
+        with self._lock:
+            state = self._states.get(key)
+            if state is None:
+                state = self._states[key] = _HistogramState(
+                    len(self.bounds)
+                )
+            for i, bound in enumerate(self.bounds):
+                if value <= bound:
+                    state.counts[i] += 1
+                    break
+            state.total += value
+            state.count += 1
+
+    def count(self, **labels) -> int:
+        key = _label_values(self.labelnames, labels)
+        with self._lock:
+            state = self._states.get(key)
+            return state.count if state else 0
+
+    def sum(self, **labels) -> float:
+        key = _label_values(self.labelnames, labels)
+        with self._lock:
+            state = self._states.get(key)
+            return state.total if state else 0.0
+
+    def collect(self) -> List[str]:
+        with self._lock:
+            items = [
+                (values, list(state.counts), state.total, state.count)
+                for values, state in sorted(self._states.items())
+            ]
+        if not items and not self.labelnames:
+            items = [((), [0] * len(self.bounds), 0.0, 0)]
+        lines: List[str] = []
+        for values, counts, total, count in items:
+            cumulative = 0
+            for bound, bucket_count in zip(self.bounds, counts):
+                cumulative += bucket_count
+                le = _format_labels(
+                    self.labelnames, values,
+                    extra=f'le="{_format_value(bound)}"',
+                )
+                lines.append(f"{self.name}_bucket{le} {cumulative}")
+            inf = _format_labels(
+                self.labelnames, values, extra='le="+Inf"'
+            )
+            lines.append(f"{self.name}_bucket{inf} {count}")
+            plain = _format_labels(self.labelnames, values)
+            lines.append(f"{self.name}_sum{plain} {_format_value(total)}")
+            lines.append(f"{self.name}_count{plain} {count}")
+        return lines
+
+    def snapshot(self) -> Dict[str, Dict[str, float]]:
+        with self._lock:
+            return {
+                ",".join(values) if values else "": {
+                    "count": state.count,
+                    "sum": state.total,
+                }
+                for values, state in sorted(self._states.items())
+            }
+
+
+class MetricsRegistry:
+    """Named metrics with idempotent registration and one render pass.
+
+    ``counter`` / ``gauge`` / ``histogram`` return the existing metric
+    when the name is already registered with the same type and label
+    names (so module-level registration is re-import safe) and raise
+    :class:`ValueError` on a conflicting re-registration.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, _Metric] = {}
+        self._lock = threading.Lock()
+        self.enabled = True
+
+    def set_enabled(self, enabled: bool) -> None:
+        """Globally enable/disable recording (collection still works).
+
+        Used by the overhead benchmark to measure the uninstrumented
+        baseline without unwiring any call sites.
+        """
+        self.enabled = bool(enabled)
+
+    # ------------------------------------------------------------------
+    # registration
+    # ------------------------------------------------------------------
+    _NAME_RE = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*\Z")
+
+    def _register(self, cls, name, help_text, labelnames, **kwargs):
+        if not self._NAME_RE.match(name):
+            raise ValueError(f"invalid metric name {name!r}")
+        with self._lock:
+            existing = self._metrics.get(name)
+            if existing is not None:
+                if (
+                    type(existing) is not cls
+                    or existing.labelnames != tuple(labelnames)
+                ):
+                    raise ValueError(
+                        f"metric {name!r} already registered as "
+                        f"{existing.kind} with labels {existing.labelnames}"
+                    )
+                return existing
+            metric = cls(
+                name, help_text, labelnames, registry=self, **kwargs
+            )
+            self._metrics[name] = metric
+            return metric
+
+    def counter(
+        self, name: str, help_text: str = "", labelnames: Sequence[str] = ()
+    ) -> Counter:
+        return self._register(Counter, name, help_text, labelnames)
+
+    def gauge(
+        self, name: str, help_text: str = "", labelnames: Sequence[str] = ()
+    ) -> Gauge:
+        return self._register(Gauge, name, help_text, labelnames)
+
+    def histogram(
+        self,
+        name: str,
+        help_text: str = "",
+        labelnames: Sequence[str] = (),
+        buckets: Optional[Iterable[float]] = None,
+    ) -> Histogram:
+        return self._register(
+            Histogram, name, help_text, labelnames, buckets=buckets
+        )
+
+    def get(self, name: str) -> Optional[_Metric]:
+        with self._lock:
+            return self._metrics.get(name)
+
+    def names(self) -> List[str]:
+        with self._lock:
+            return sorted(self._metrics)
+
+    # ------------------------------------------------------------------
+    # exposition
+    # ------------------------------------------------------------------
+    def render(self) -> str:
+        """Prometheus text exposition (v0.0.4) of every metric."""
+        with self._lock:
+            metrics = [self._metrics[name] for name in sorted(self._metrics)]
+        lines: List[str] = []
+        for metric in metrics:
+            if metric.help_text:
+                lines.append(
+                    f"# HELP {metric.name} {_escape(metric.help_text)}"
+                )
+            lines.append(f"# TYPE {metric.name} {metric.kind}")
+            lines.extend(metric.collect())
+        return "\n".join(lines) + "\n"
+
+    def snapshot(self) -> Dict[str, Dict]:
+        """JSON-ready ``{name: {kind, values}}`` of every metric."""
+        with self._lock:
+            metrics = [self._metrics[name] for name in sorted(self._metrics)]
+        return {
+            metric.name: {
+                "kind": metric.kind,
+                "values": metric.snapshot(),
+            }
+            for metric in metrics
+        }
+
+
+_DEFAULT = MetricsRegistry()
+
+
+def default_registry() -> MetricsRegistry:
+    """The process-wide registry that ``GET /metrics`` serves."""
+    return _DEFAULT

@@ -1,0 +1,156 @@
+"""Structured JSONL query log with size-based rotation.
+
+One JSON object per line, one line per served query. The record schema
+(see ``docs/OBSERVABILITY.md``) is deliberately the input format for
+the workload advisor: ``Workload.from_query_log`` replays these files,
+and ``warehouse advise --query-log`` closes the serve → advise loop.
+
+Rotation is size-based: when the active file would exceed
+``max_bytes`` after a write, it is renamed to ``<path>.1`` (existing
+``.1`` → ``.2`` and so on), the oldest file beyond ``backups`` is
+dropped, and a fresh active file is started. Writes are line-atomic
+under a lock and flushed immediately so a concurrently running
+``advise`` sees every completed query.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from pathlib import Path
+from typing import Any, Dict, Iterator, Optional, Union
+
+__all__ = ["QueryLog", "iter_query_log", "query_log_files"]
+
+
+class QueryLog:
+    """Append-only JSONL writer with ``logrotate``-style rotation."""
+
+    def __init__(
+        self,
+        path: Union[str, Path],
+        max_bytes: int = 10 * 1024 * 1024,
+        backups: int = 3,
+    ) -> None:
+        if max_bytes <= 0:
+            raise ValueError("max_bytes must be positive")
+        if backups < 0:
+            raise ValueError("backups must be >= 0")
+        self.path = Path(path)
+        self.max_bytes = max_bytes
+        self.backups = backups
+        self._lock = threading.Lock()
+        self._fh = None
+        self._size = 0
+        self.records_written = 0
+
+    # ------------------------------------------------------------------
+    def _open(self) -> None:
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._fh = open(self.path, "a", encoding="utf-8")
+        self._size = self._fh.tell()
+
+    def _rotate(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+        if self.backups == 0:
+            self.path.unlink(missing_ok=True)
+        else:
+            oldest = self.path.with_name(
+                f"{self.path.name}.{self.backups}"
+            )
+            oldest.unlink(missing_ok=True)
+            for i in range(self.backups - 1, 0, -1):
+                src = self.path.with_name(f"{self.path.name}.{i}")
+                if src.exists():
+                    src.replace(
+                        self.path.with_name(f"{self.path.name}.{i + 1}")
+                    )
+            if self.path.exists():
+                self.path.replace(
+                    self.path.with_name(f"{self.path.name}.1")
+                )
+        self._open()
+
+    def write(self, record: Dict[str, Any]) -> None:
+        """Append one record (adds ``ts`` if absent); flushes per line."""
+        record = dict(record)
+        record.setdefault("ts", time.time())
+        line = json.dumps(record, separators=(",", ":"), default=str)
+        data = line + "\n"
+        with self._lock:
+            if self._fh is None:
+                self._open()
+            if self._size > 0 and self._size + len(data) > self.max_bytes:
+                self._rotate()
+            self._fh.write(data)
+            self._fh.flush()
+            self._size += len(data)
+            self.records_written += 1
+
+    def close(self) -> None:
+        with self._lock:
+            if self._fh is not None:
+                self._fh.close()
+                self._fh = None
+
+    def stats(self) -> Dict[str, Any]:
+        with self._lock:
+            return {
+                "path": str(self.path),
+                "max_bytes": self.max_bytes,
+                "backups": self.backups,
+                "records_written": self.records_written,
+                "active_bytes": self._size,
+            }
+
+    def __enter__(self) -> "QueryLog":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+def query_log_files(path: Union[str, Path]) -> Iterator[Path]:
+    """Yield the rotated chain oldest-first: ``.N`` … ``.1``, active."""
+    path = Path(path)
+    rotated = []
+    for sibling in path.parent.glob(f"{path.name}.*"):
+        suffix = sibling.name[len(path.name) + 1 :]
+        if suffix.isdigit():
+            rotated.append((int(suffix), sibling))
+    for _, sibling in sorted(rotated, reverse=True):
+        yield sibling
+    if path.exists():
+        yield path
+
+
+def iter_query_log(
+    path: Union[str, Path],
+    include_rotated: bool = True,
+) -> Iterator[Dict[str, Any]]:
+    """Yield records oldest-first across the rotated chain.
+
+    Skips blank and torn/non-JSON lines (a crash mid-write leaves at
+    most one) rather than failing the whole replay.
+    """
+    path = Path(path)
+    files = (
+        list(query_log_files(path))
+        if include_rotated
+        else ([path] if path.exists() else [])
+    )
+    for file in files:
+        with open(file, "r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    continue
+                if isinstance(record, dict):
+                    yield record

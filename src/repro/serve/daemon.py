@@ -45,10 +45,29 @@ from dataclasses import dataclass
 from typing import Deque, Dict, List, Optional, Tuple
 
 from ..engine.table import Table
+from ..obs import default_registry
 from ..warehouse.service import WarehouseService
 from .service import AsyncWarehouseService
 
 __all__ = ["MaintenanceDaemon", "BatchOutcome"]
+
+_REFRESH_SECONDS = default_registry().histogram(
+    "repro_daemon_refresh_seconds",
+    "Wall-clock duration of one batch ingest (load + refresh + swap)",
+)
+_BATCHES = default_registry().counter(
+    "repro_daemon_batches_total",
+    "Batch files handled by the maintenance daemon, by outcome",
+    ["outcome"],
+)
+_ESCALATIONS = default_registry().counter(
+    "repro_daemon_escalations_total",
+    "Refreshes whose drift escalated to a full rebuild",
+)
+_PENDING_RETRIES = default_registry().gauge(
+    "repro_daemon_pending_retries",
+    "Batch files currently queued for a backoff retry",
+)
 
 _PROCESSED_DIR = "processed"
 _FAILED_DIR = "failed"
@@ -259,6 +278,7 @@ class MaintenanceDaemon:
                 snapshot.pop(path.name, None)
                 self._retries.pop(path.name, None)
         self._seen = snapshot
+        _PENDING_RETRIES.set(len(self._retries))
         return outcomes
 
     async def _ingest(self, path: pathlib.Path) -> BatchOutcome:
@@ -291,6 +311,11 @@ class MaintenanceDaemon:
             )
         path.replace(self.watch_dir / _PROCESSED_DIR / path.name)
         self.batches_applied += 1
+        elapsed = time.perf_counter() - started
+        _BATCHES.inc(outcome="applied")
+        _REFRESH_SECONDS.observe(elapsed)
+        if report.action == "rebuild":
+            _ESCALATIONS.inc()
         return BatchOutcome(
             file=path.name,
             sample=sample,
@@ -298,7 +323,7 @@ class MaintenanceDaemon:
             action=report.action,
             version=report.version,
             rows=report.rows_ingested,
-            elapsed_seconds=time.perf_counter() - started,
+            elapsed_seconds=elapsed,
             attempts=attempts,
         )
 
@@ -360,6 +385,8 @@ class MaintenanceDaemon:
             attempts=attempts, next_due=time.monotonic() + delay
         )
         self.batches_retried += 1
+        _BATCHES.inc(outcome="retried")
+        _PENDING_RETRIES.set(len(self._retries))
         return BatchOutcome(
             file=path.name,
             sample=sample,
@@ -389,6 +416,8 @@ class MaintenanceDaemon:
             pass  # the outcome record still carries the error
         self._retries.pop(path.name, None)
         self.batches_failed += 1
+        _BATCHES.inc(outcome="quarantined")
+        _PENDING_RETRIES.set(len(self._retries))
         return BatchOutcome(
             file=path.name,
             sample=sample,

@@ -10,9 +10,22 @@ over :func:`asyncio.start_server`, answering JSON on four routes:
                    ``max_staleness`` constraints (violations → exact
                    fallback or ``412 Precondition Failed``)
 ``GET /samples``   live samples with served version + staleness
-``GET /stats``     full store/serving statistics
+``GET /stats``     full store/serving statistics (plus daemon counters
+                   when a maintenance daemon is attached)
 ``GET /healthz``   cheap liveness probe (no store I/O)
+``GET /metrics``   Prometheus text exposition of the process registry
+``GET /debug/traces``  recent query traces (``?limit=N``), one root
+                   span per ``/query`` with child + shard-worker spans
 ===========  =========================================================
+
+Observability: every ``/query`` runs under a root trace span
+(propagated through ``asyncio.to_thread`` into the sync service and —
+via the pipe protocol — into shard workers), and, when the server is
+constructed with a :class:`~repro.obs.querylog.QueryLog`, appends one
+structured JSONL record per query: sql, shape key, route, sample/
+version, CV summary, cache hits, shard fan-out, outcome, latency
+breakdown and trace id. That record format is what
+``Workload.from_query_log`` / ``warehouse advise --query-log`` replay.
 
 Error mapping: malformed requests and SQL errors → 400, unknown paths →
 404, wrong method → 405, contract violations → 412, unexpected faults →
@@ -28,17 +41,38 @@ from __future__ import annotations
 
 import asyncio
 import json
-from typing import Dict, Optional, Tuple
+import time
+from typing import Dict, Optional, Tuple, Union
+from urllib.parse import parse_qs
 
 import numpy as np
 
 from ..engine.sql.errors import QueryExecutionError
 from ..engine.sql.lexer import SqlSyntaxError
 from ..engine.table import Table
-from ..warehouse.contracts import AccuracyContractViolation
+from ..obs import QueryLog, default_registry, default_tracer
+from ..warehouse.contracts import AccuracyContract, AccuracyContractViolation
 from .service import AsyncWarehouseService, ServiceClosed, ServiceOverloaded
 
 __all__ = ["WarehouseHTTPServer", "HTTPConnection", "request"]
+
+_TRACER = default_tracer()
+_HTTP_REQUESTS = default_registry().counter(
+    "repro_http_requests_total",
+    "HTTP requests served, by route and status",
+    ["path", "status"],
+)
+_HTTP_SECONDS = default_registry().histogram(
+    "repro_http_request_seconds",
+    "HTTP request handling latency in seconds",
+)
+
+#: Known routes, used as the ``path`` metric label so arbitrary client
+#: paths cannot mint unbounded label values.
+_ROUTES = (
+    "/query", "/samples", "/stats", "/healthz", "/metrics",
+    "/debug/traces",
+)
 
 _MAX_HEADER_BYTES = 64 * 1024
 _MAX_BODY_BYTES = 8 * 1024 * 1024
@@ -118,11 +152,17 @@ class WarehouseHTTPServer:
         host: str = "127.0.0.1",
         port: int = 0,
         max_contract_groups: int = 100,
+        query_log: Optional[QueryLog] = None,
+        daemon=None,
     ) -> None:
         self.service = service
         self.host = host
         self.port = port
         self.max_contract_groups = int(max_contract_groups)
+        #: Structured JSONL log, one record per /query (None = off).
+        self.query_log = query_log
+        #: Attached MaintenanceDaemon whose counters ride on /stats.
+        self.daemon = daemon
         self._server: Optional[asyncio.AbstractServer] = None
         self._connections: set = set()  # live connection-handler tasks
         self._busy: set = set()  # handlers mid-request (response unsent)
@@ -220,9 +260,16 @@ class WarehouseHTTPServer:
             self._busy.add(task)
             try:
                 method, path, headers, body = parsed
+                t0 = time.perf_counter()
                 status, payload = await self._dispatch(
                     method, path, body
                 )
+                route = path.split("?", 1)[0]
+                _HTTP_REQUESTS.inc(
+                    path=route if route in _ROUTES else "other",
+                    status=str(status),
+                )
+                _HTTP_SECONDS.observe(time.perf_counter() - t0)
                 self.requests_handled += 1
                 keep = (
                     headers.get("connection", "keep-alive") != "close"
@@ -238,9 +285,10 @@ class WarehouseHTTPServer:
 
     async def _dispatch(
         self, method: str, path: str, body: bytes
-    ) -> Tuple[int, Dict]:
-        """Route one request; returns ``(status, json payload)``."""
-        path = path.split("?", 1)[0]
+    ) -> Tuple[int, Union[Dict, str]]:
+        """Route one request; returns ``(status, payload)`` where the
+        payload is a JSON-able dict or (for ``/metrics``) plain text."""
+        path, _, query_string = path.partition("?")
         try:
             if path == "/query":
                 if method != "POST":
@@ -260,10 +308,31 @@ class WarehouseHTTPServer:
             if path == "/stats":
                 if method != "GET":
                     return 405, {"error": "use GET /stats"}
-                return 200, await self.service.stats()
+                stats = await self.service.stats()
+                if self.daemon is not None:
+                    stats["daemon"] = self.daemon.stats()
+                if self.query_log is not None:
+                    stats["query_log"] = self.query_log.stats()
+                return 200, stats
+            if path == "/metrics":
+                if method != "GET":
+                    return 405, {"error": "use GET /metrics"}
+                return 200, default_registry().render()
+            if path == "/debug/traces":
+                if method != "GET":
+                    return 405, {"error": "use GET /debug/traces"}
+                params = parse_qs(query_string)
+                try:
+                    limit = int(params.get("limit", ["50"])[0])
+                except ValueError:
+                    return 400, {"error": "'limit' must be an integer"}
+                return 200, {
+                    "traces": _TRACER.recent_traces(limit)
+                }
             return 404, {
                 "error": f"no route {path!r}; try POST /query, "
-                "GET /samples, GET /stats, GET /healthz"
+                "GET /samples, GET /stats, GET /healthz, GET /metrics, "
+                "GET /debug/traces"
             }
         except ServiceOverloaded as exc:
             return 503, {"error": str(exc), "retry": True}
@@ -287,30 +356,147 @@ class WarehouseHTTPServer:
             return 400, {
                 "error": "'limit' must be an integer (negative = all rows)"
             }
-        try:
-            answer = await self.service.query(
-                sql,
-                mode=request_body.get("mode", "auto"),
-                max_cv=request_body.get("max_cv"),
-                max_staleness=request_body.get("max_staleness"),
-                on_violation=request_body.get("on_violation", "fallback"),
+        mode = request_body.get("mode", "auto")
+        started = time.perf_counter()
+        contract: Optional[AccuracyContract] = None
+        # Root span of this query's trace: the contextvar travels
+        # through asyncio.to_thread into the sync service (and from
+        # there over the pipe into shard workers), so every child span
+        # below attaches here.
+        with _TRACER.trace("http.query", mode=mode) as trace:
+            try:
+                answer = await self.service.query(
+                    sql,
+                    mode=mode,
+                    max_cv=request_body.get("max_cv"),
+                    max_staleness=request_body.get("max_staleness"),
+                    on_violation=request_body.get(
+                        "on_violation", "fallback"
+                    ),
+                )
+            except AccuracyContractViolation as exc:
+                contract = exc.contract
+                status, payload = 412, {
+                    "error": str(exc),
+                    "violations": exc.violations,
+                    "contract": exc.contract.to_dict(
+                        self.max_contract_groups
+                    ),
+                }
+            except (SqlSyntaxError, QueryExecutionError, ValueError,
+                    TypeError, KeyError) as exc:
+                status, payload = 400, {
+                    "error": f"{type(exc).__name__}: {exc}"
+                }
+            else:
+                contract = answer.contract
+                payload = _table_payload(answer.result.table, limit)
+                payload["contract"] = answer.contract.to_dict(
+                    self.max_contract_groups
+                )
+                payload["plan_cached"] = answer.result.plan_cached
+                payload["elapsed_seconds"] = answer.result.elapsed_seconds
+                status = 200
+            trace.root.set_tag("status", status)
+        if self.query_log is not None:
+            self._log_query(
+                sql, mode, status, payload, contract, trace,
+                time.perf_counter() - started,
             )
-        except AccuracyContractViolation as exc:
-            return 412, {
-                "error": str(exc),
-                "violations": exc.violations,
-                "contract": exc.contract.to_dict(self.max_contract_groups),
-            }
-        except (SqlSyntaxError, QueryExecutionError, ValueError,
-                TypeError, KeyError) as exc:
-            return 400, {"error": f"{type(exc).__name__}: {exc}"}
-        payload = _table_payload(answer.result.table, limit)
-        payload["contract"] = answer.contract.to_dict(
-            self.max_contract_groups
+        return status, payload
+
+    def _log_query(
+        self,
+        sql: str,
+        mode: str,
+        status: int,
+        payload: Dict,
+        contract: Optional[AccuracyContract],
+        trace,
+        elapsed: float,
+    ) -> None:
+        """Append one structured record to the query log.
+
+        The record is the advisor's input format (see
+        ``docs/OBSERVABILITY.md``): routing facts come from the root
+        span's tags (annotated by the session and warehouse layers),
+        accuracy facts from the contract, and the latency breakdown is
+        the per-phase sum of the trace's span durations.
+        """
+        tags = trace.root.tags
+        latency: Dict[str, float] = {}
+        trace_dict = trace.trace.to_dict()
+        for span in trace_dict["spans"]:
+            if span["span_id"] == trace_dict["spans"][0]["span_id"]:
+                continue  # the root span is the total, not a phase
+            if span.get("duration") is not None:
+                latency[span["name"]] = (
+                    latency.get(span["name"], 0.0) + span["duration"]
+                )
+        group_cvs = (
+            [float(v) for v in contract.group_cvs]
+            if contract is not None and contract.group_cvs
+            else []
         )
-        payload["plan_cached"] = answer.result.plan_cached
-        payload["elapsed_seconds"] = answer.result.elapsed_seconds
-        return 200, payload
+        record = {
+            "sql": sql,
+            "mode": mode,
+            "status": status,
+            "outcome": (
+                "ok" if status == 200
+                else "rejected" if status == 412
+                else "error"
+            ),
+            "elapsed_seconds": elapsed,
+            "trace_id": trace.trace_id,
+            "shape_key": tags.get("shape_key"),
+            "plan_cache": tags.get("plan_cache"),
+            "answer_cache": tags.get("answer_cache"),
+            "route": tags.get("route"),
+            "shard_fanout": tags.get("shard_fanout"),
+            "executed": (
+                contract.executed if contract is not None else None
+            ),
+            "sample": (
+                contract.sample_name if contract is not None else None
+            ),
+            "sample_version": (
+                contract.sample_version if contract is not None else None
+            ),
+            "fallback_exact": (
+                contract.fallback_exact if contract is not None else None
+            ),
+            "predicted_cv": (
+                contract.predicted_cv if contract is not None else None
+            ),
+            "max_group_cv": (
+                contract.max_group_cv if contract is not None else None
+            ),
+            "cv_columns": (
+                list(contract.cv_columns)
+                if contract is not None and contract.cv_columns
+                else None
+            ),
+            "staleness": (
+                contract.staleness if contract is not None else None
+            ),
+            "group_cv_summary": (
+                {
+                    "groups": len(group_cvs),
+                    "min": min(group_cvs),
+                    "mean": sum(group_cvs) / len(group_cvs),
+                    "max": max(group_cvs),
+                }
+                if group_cvs
+                else None
+            ),
+            "row_count": payload.get("row_count"),
+            "latency": latency,
+        }
+        try:
+            self.query_log.write(record)
+        except OSError:
+            pass  # serving beats logging; the record is best-effort
 
 
 # ----------------------------------------------------------------------
@@ -359,12 +545,18 @@ async def _read_request(reader):
 
 
 async def _write_response(
-    writer, status: int, payload: Dict, close: bool
+    writer, status: int, payload: Union[Dict, str], close: bool
 ) -> None:
-    body = _dumps(payload)
+    """JSON for dict payloads; text/plain for str (``/metrics``)."""
+    if isinstance(payload, str):
+        body = payload.encode("utf-8")
+        content_type = "text/plain; version=0.0.4; charset=utf-8"
+    else:
+        body = _dumps(payload)
+        content_type = "application/json"
     head = (
         f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Unknown')}\r\n"
-        f"Content-Type: application/json\r\n"
+        f"Content-Type: {content_type}\r\n"
         f"Content-Length: {len(body)}\r\n"
         f"Connection: {'close' if close else 'keep-alive'}\r\n"
         "\r\n"
@@ -424,7 +616,11 @@ class HTTPConnection:
             headers[name.strip().lower()] = value.strip()
         length = int(headers.get("content-length", "0"))
         raw = await self._reader.readexactly(length) if length else b""
-        return status, json.loads(raw.decode("utf-8")) if raw else {}
+        if not raw:
+            return status, {}
+        if "application/json" in headers.get("content-type", ""):
+            return status, json.loads(raw.decode("utf-8"))
+        return status, raw.decode("utf-8")  # e.g. /metrics text
 
     async def close(self) -> None:
         self._writer.close()

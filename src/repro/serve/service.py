@@ -24,6 +24,7 @@ import asyncio
 from typing import Dict, Optional
 
 from ..engine.table import Table
+from ..obs import default_registry
 from ..warehouse.contracts import AccuracyContractViolation, ContractedResult
 from ..warehouse.maintenance import BuildReport, RefreshReport
 from ..warehouse.service import WarehouseService
@@ -33,6 +34,16 @@ __all__ = [
     "ServiceClosed",
     "ServiceOverloaded",
 ]
+
+_REJECTED = default_registry().counter(
+    "repro_serve_rejected_total",
+    "Requests rejected by the async front, by reason",
+    ["reason"],
+)
+_INFLIGHT = default_registry().gauge(
+    "repro_serve_inflight",
+    "Queries executing in worker threads right now",
+)
 
 
 class ServiceOverloaded(RuntimeError):
@@ -122,10 +133,12 @@ class AsyncWarehouseService:
                 )
             except asyncio.TimeoutError:
                 self.rejected_overload += 1
+                _REJECTED.inc(reason="queue_timeout")
                 raise ServiceOverloaded(
                     f"no worker slot freed within {self.queue_timeout}s"
                 ) from None
             self._inflight += 1
+            _INFLIGHT.set(self._inflight)
             self.peak_inflight = max(self.peak_inflight, self._inflight)
             try:
                 answer = await asyncio.to_thread(
@@ -138,9 +151,11 @@ class AsyncWarehouseService:
                 )
             except AccuracyContractViolation:
                 self.rejected_contract += 1
+                _REJECTED.inc(reason="contract")
                 raise
             finally:
                 self._inflight -= 1
+                _INFLIGHT.set(self._inflight)
                 self._sem.release()
             self.queries += 1
             return answer
@@ -229,6 +244,7 @@ class AsyncWarehouseService:
             raise ServiceClosed("service is shutting down")
         if self._pending >= self.max_concurrency + self.max_pending:
             self.rejected_overload += 1
+            _REJECTED.inc(reason="overload")
             raise ServiceOverloaded(
                 f"{self._pending} requests already pending "
                 f"(max {self.max_concurrency + self.max_pending})"

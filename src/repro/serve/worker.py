@@ -53,8 +53,9 @@ from typing import Dict, Optional
 
 from ..engine.sql.parser import parse_query
 from ..engine.table import Table
+from ..obs import default_registry, default_tracer
 from ..warehouse.partials import compute_partials, decompose
-from ..warehouse.service import WarehouseService
+from ..warehouse.service import LRUCache, WarehouseService
 from ..warehouse.sharding import ShardedSampleStore
 from ..warehouse.store import SampleStore
 
@@ -65,6 +66,21 @@ __all__ = [
     "ShardWorkerError",
     "worker_main",
 ]
+
+_WORKER_OPS = default_registry().counter(
+    "repro_worker_ops_total",
+    "Shard-worker protocol requests handled, by op",
+    ["op"],
+)
+_DECOMPOSE_CACHE = default_registry().counter(
+    "repro_worker_decompose_cache_total",
+    "Worker-side SQL decomposition cache lookups by result",
+    ["result"],
+)
+
+#: Decomposition-cache capacity: mirrors the front's shape cache in
+#: spirit, sized for the distinct-SQL working set of a dashboard.
+_DECOMPOSE_CACHE_SIZE = 128
 
 
 class ShardWorkerError(Exception):
@@ -107,6 +123,10 @@ class ShardServer:
             keep_versions=keep_versions,
         )
         self._placeholders: set = set()
+        # SQL text -> (decomposed-or-None,): workers see the same few
+        # query shapes over and over, so skip re-parse + re-decompose.
+        # SQL-keyed and parse-pure, so no invalidation on hot-swaps.
+        self._decompose_cache = LRUCache(_DECOMPOSE_CACHE_SIZE)
         self._adopt_all()
 
     # ------------------------------------------------------------------
@@ -139,6 +159,7 @@ class ShardServer:
         handler = getattr(self, f"_op_{op}", None)
         if handler is None:
             raise ShardWorkerError(f"unknown shard op {op!r}")
+        _WORKER_OPS.inc(op=op)
         return handler(**payload)
 
     def _op_ping(self) -> Dict:
@@ -178,27 +199,52 @@ class ShardServer:
             "tables": stored_tables,
         }
 
-    def _op_partials(self, sql: str, name: str) -> Dict:
+    def _op_partials(
+        self, sql: str, name: str, trace_id: Optional[str] = None
+    ) -> Dict:
         """Per-group partial moments of ``sql`` over sample ``name``.
 
         The worker re-decomposes the SQL itself (the front already
         proved it decomposable before fanning out) so the wire carries
-        only strings — no pickled expression trees to keep in sync.
+        only strings — no pickled expression trees to keep in sync; an
+        LRU keyed by the SQL text skips the re-parse on repeats.
+        ``trace_id`` (shipped in the payload by a tracing front) makes
+        the worker record its span against the front's trace and return
+        it in the response for grafting.
         """
-        dq = decompose(parse_query(sql))
-        if dq is None:
-            raise ShardWorkerError(
-                f"query is not decomposable on shard {self.shard_index}: "
-                f"{sql!r}"
-            )
-        sample, version, _ = self.service.snapshot_sample(name)
-        if sample is None:
-            raise ShardWorkerError(
-                f"sample {name!r} is not live on shard {self.shard_index}"
-            )
-        part = compute_partials(sample, dq)
-        part.sample_version = version
-        return {"partials": part}
+        span = default_tracer().remote_span(
+            trace_id, "shard.partials", shard=self.shard_index, sample=name
+        )
+        try:
+            hit = self._decompose_cache.get(sql)
+            if hit is not None:
+                dq = hit[0]  # sentinel tuple: None is a valid cached value
+                _DECOMPOSE_CACHE.inc(result="hit")
+                span.set_tag("decompose_cache", "hit")
+            else:
+                dq = decompose(parse_query(sql))
+                self._decompose_cache.put(sql, (dq,))
+                _DECOMPOSE_CACHE.inc(result="miss")
+                span.set_tag("decompose_cache", "miss")
+            if dq is None:
+                raise ShardWorkerError(
+                    f"query is not decomposable on shard "
+                    f"{self.shard_index}: {sql!r}"
+                )
+            sample, version, _ = self.service.snapshot_sample(name)
+            if sample is None:
+                raise ShardWorkerError(
+                    f"sample {name!r} is not live on shard "
+                    f"{self.shard_index}"
+                )
+            part = compute_partials(sample, dq)
+            part.sample_version = version
+        finally:
+            span.finish()
+        response = {"partials": part}
+        if trace_id is not None:
+            response["spans"] = [span.to_dict()]
+        return response
 
     def _op_refresh(self, name: str, batch: Table, seed: int = 0,
                     columns=None) -> Dict:
@@ -246,6 +292,11 @@ class ShardServer:
     def _op_stats(self) -> Dict:
         stats = self.service.stats()
         stats["shard"] = self.shard_index
+        stats["worker"] = {
+            "pid": os.getpid(),
+            "ops": _WORKER_OPS.snapshot(),
+            "decompose_cache": self._decompose_cache.counters(),
+        }
         return {"stats": stats}
 
     def _op_shutdown(self) -> Dict:

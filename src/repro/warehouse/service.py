@@ -26,11 +26,13 @@ samples happens under the exclusive side of the lock.
 from __future__ import annotations
 
 import threading
+import time
 from collections import OrderedDict
 from contextlib import contextmanager
 from typing import Dict, List, Mapping, Optional, Sequence
 
 from ..aqp.session import AQPResult, AQPSession, RouteDecision
+from ..obs import default_registry, default_tracer
 from ..engine.table import Table
 from ..workload.model import Workload
 from .advisor import AdvisorPlan, advise
@@ -51,6 +53,26 @@ from .maintenance import (
 from .store import SampleStore, StoreEntryStats
 
 __all__ = ["WarehouseService", "RWLock", "LRUCache"]
+
+_TRACER = default_tracer()
+_QUERIES = default_registry().counter(
+    "repro_queries_total",
+    "Queries answered by the warehouse, by route taken",
+    ["route"],
+)
+_QUERY_SECONDS = default_registry().histogram(
+    "repro_query_seconds",
+    "End-to-end warehouse query latency in seconds",
+)
+_ANSWER_CACHE = default_registry().counter(
+    "repro_answer_cache_total",
+    "Answer-cache lookups by result",
+    ["result"],
+)
+
+
+def _route_label(route: RouteDecision) -> str:
+    return "sample" if route.approximate else "exact"
 
 
 class RWLock:
@@ -145,6 +167,22 @@ class LRUCache:
     def clear(self) -> None:
         with self._lock:
             self._entries.clear()
+
+    def counters(self) -> Dict[str, int]:
+        """Atomic ``{size, capacity, hits, misses}`` snapshot.
+
+        ``hits``/``misses``/size are mutated together under the cache
+        lock; reading them as separate attribute accesses (as `/stats`
+        once did) can observe a torn view mid-lookup during a version
+        hot-swap. Always report them via this method.
+        """
+        with self._lock:
+            return {
+                "size": len(self._entries),
+                "capacity": self.capacity,
+                "hits": self.hits,
+                "misses": self.misses,
+            }
 
     def __len__(self) -> int:
         with self._lock:
@@ -379,11 +417,18 @@ class WarehouseService:
     # ------------------------------------------------------------------
     def query(self, sql: str, mode: str = "auto") -> AQPResult:
         """Answer ``sql``; concurrent-safe, memoized per store epoch."""
+        t0 = time.perf_counter()
         key = (self._epoch, mode, sql)
         cached = self._cache.get(key)
         if cached is not None:
             self.queries_served += 1
+            _ANSWER_CACHE.inc(result="hit")
+            _TRACER.annotate(answer_cache="hit")
+            _QUERIES.inc(route="cached")
+            _QUERY_SECONDS.observe(time.perf_counter() - t0)
             return cached
+        _ANSWER_CACHE.inc(result="miss")
+        _TRACER.annotate(answer_cache="miss")
         with self._lock.read():
             result = self._session.query(sql, mode=mode)
         self.queries_served += 1
@@ -391,6 +436,8 @@ class WarehouseService:
         # results that are still current.
         if key[0] == self._epoch:
             self._cache.put(key, result)
+        _QUERIES.inc(route=_route_label(result.route))
+        _QUERY_SECONDS.observe(time.perf_counter() - t0)
         return result
 
     def query_with_contract(
@@ -427,21 +474,34 @@ class WarehouseService:
         """
         if on_violation not in ("fallback", "reject"):
             raise ValueError("on_violation must be 'fallback' or 'reject'")
+        t0 = time.perf_counter()
         key = ("contract", self._epoch, mode, sql, max_cv, max_staleness,
                on_violation)
         cached = self._cache.get(key)
         if cached is not None:
             self.queries_served += 1
+            _ANSWER_CACHE.inc(result="hit")
+            _TRACER.annotate(answer_cache="hit")
+            _QUERIES.inc(route="cached")
+            _QUERY_SECONDS.observe(time.perf_counter() - t0)
             return cached
+        _ANSWER_CACHE.inc(result="miss")
+        _TRACER.annotate(answer_cache="miss")
+        route_label = "exact"
         with self._lock.read():
             result = self._session.query(sql, mode=mode, max_cv=max_cv)
-            contract, violations = self._contract_for(
-                result.route, mode, max_cv, max_staleness
-            )
+            route_label = _route_label(result.route)
+            with _TRACER.span("warehouse.contract"):
+                contract, violations = self._contract_for(
+                    result.route, mode, max_cv, max_staleness
+                )
             if violations:
                 if on_violation == "reject" or mode == "approx":
+                    _QUERIES.inc(route="rejected")
                     raise AccuracyContractViolation(violations, contract)
-                result = self._session.query(sql, mode="exact")
+                with _TRACER.span("warehouse.fallback_exact"):
+                    result = self._session.query(sql, mode="exact")
+                route_label = "fallback"
                 contract = AccuracyContract(
                     executed="exact",
                     fallback_exact=True,
@@ -455,6 +515,8 @@ class WarehouseService:
         answer = ContractedResult(result=result, contract=contract)
         if key[1] == self._epoch:
             self._cache.put(key, answer)
+        _QUERIES.inc(route=route_label)
+        _QUERY_SECONDS.observe(time.perf_counter() - t0)
         return answer
 
     def execute(self, sql: str) -> Table:
@@ -547,12 +609,7 @@ class WarehouseService:
                 "epoch": self._epoch,
                 "queries_served": self.queries_served,
                 "store": store_info,
-                "answer_cache": {
-                    "size": len(self._cache),
-                    "capacity": self._cache.capacity,
-                    "hits": self._cache.hits,
-                    "misses": self._cache.misses,
-                },
+                "answer_cache": self._cache.counters(),
                 "plan_cache": {
                     "hits": session.plan_cache_hits,
                     "misses": session.plan_cache_misses,

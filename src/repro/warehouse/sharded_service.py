@@ -35,6 +35,7 @@ single-store layout stays byte-identical to previous releases.
 
 from __future__ import annotations
 
+import contextvars
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
@@ -65,8 +66,16 @@ from .maintenance import (
     _fresh_lineage,
     staleness_from_lineage,
 )
+from ..obs import current_trace_id, default_registry, default_tracer
 from .partials import decompose, finalize_partials, merge_partials
-from .service import LRUCache, RWLock
+from .service import (
+    LRUCache,
+    RWLock,
+    _ANSWER_CACHE,
+    _QUERIES,
+    _QUERY_SECONDS,
+    _route_label,
+)
 from .sharding import (
     SHARD_SCHEME,
     ShardedSampleStore,
@@ -75,6 +84,18 @@ from .sharding import (
 )
 
 __all__ = ["ShardedWarehouseService"]
+
+_TRACER = default_tracer()
+_SHARD_RPC = default_registry().histogram(
+    "repro_shard_rpc_seconds",
+    "Per-shard worker RPC latency in seconds",
+    ["op", "shard"],
+)
+_SHARD_FALLBACK = default_registry().counter(
+    "repro_shard_fallback_total",
+    "Sharded queries that fell back to exact execution, by reason",
+    ["reason"],
+)
 
 
 class ShardedWarehouseService:
@@ -153,13 +174,41 @@ class ShardedWarehouseService:
     def _scatter(self, op: str, payloads=None) -> List[Dict]:
         """Send ``op`` to every shard concurrently; raises the first
         shard failure. ``payloads`` is one kwargs dict per shard (or
-        None for an empty payload everywhere)."""
+        None for an empty payload everywhere).
+
+        Each request is submitted through a fresh
+        ``contextvars.copy_context()`` because ``ThreadPoolExecutor``
+        does not propagate context — without the copy, per-shard RPC
+        spans opened in pool threads would detach from the request's
+        trace.
+        """
         payloads = payloads or [{} for _ in self.clients]
         futures = [
-            self._pool.submit(client.request, op, **payload)
+            self._pool.submit(
+                contextvars.copy_context().run,
+                self._timed_request,
+                client,
+                op,
+                payload,
+            )
             for client, payload in zip(self.clients, payloads)
         ]
         return [f.result() for f in futures]
+
+    def _timed_request(
+        self, client, op: str, payload: Dict
+    ) -> Dict:
+        """One shard RPC with a latency histogram sample and (when a
+        trace is active in this context) a ``shard.rpc`` span."""
+        shard = str(client.shard_index)
+        t0 = time.perf_counter()
+        try:
+            with _TRACER.span("shard.rpc", op=op, shard=client.shard_index):
+                return client.request(op, **payload)
+        finally:
+            _SHARD_RPC.observe(
+                time.perf_counter() - t0, op=op, shard=shard
+            )
 
     # ------------------------------------------------------------------
     # merged metadata
@@ -337,7 +386,11 @@ class ShardedWarehouseService:
             reports = [None] * self.num_shards
             futures = {
                 i: self._pool.submit(
-                    self.clients[i].request, "refresh", **payloads[i]
+                    contextvars.copy_context().run,
+                    self._timed_request,
+                    self.clients[i],
+                    "refresh",
+                    payloads[i],
                 )
                 for i in live
             }
@@ -403,15 +456,24 @@ class ShardedWarehouseService:
         otherwise. Memoized per store epoch."""
         if mode not in ("auto", "approx", "exact"):
             raise ValueError("mode must be 'auto', 'approx' or 'exact'")
+        t0 = time.perf_counter()
         key = (self._epoch, mode, sql)
         cached = self._cache.get(key)
         if cached is not None:
             self.queries_served += 1
+            _ANSWER_CACHE.inc(result="hit")
+            _TRACER.annotate(answer_cache="hit")
+            _QUERIES.inc(route="cached")
+            _QUERY_SECONDS.observe(time.perf_counter() - t0)
             return cached
+        _ANSWER_CACHE.inc(result="miss")
+        _TRACER.annotate(answer_cache="miss")
         result = self._answer(sql, mode)
         self.queries_served += 1
         if key[0] == self._epoch:
             self._cache.put(key, result)
+        _QUERIES.inc(route=_route_label(result.route))
+        _QUERY_SECONDS.observe(time.perf_counter() - t0)
         return result
 
     def query_with_contract(
@@ -430,20 +492,32 @@ class ShardedWarehouseService:
             raise ValueError("on_violation must be 'fallback' or 'reject'")
         if mode not in ("auto", "approx", "exact"):
             raise ValueError("mode must be 'auto', 'approx' or 'exact'")
+        t0 = time.perf_counter()
         key = ("contract", self._epoch, mode, sql, max_cv, max_staleness,
                on_violation)
         cached = self._cache.get(key)
         if cached is not None:
             self.queries_served += 1
+            _ANSWER_CACHE.inc(result="hit")
+            _TRACER.annotate(answer_cache="hit")
+            _QUERIES.inc(route="cached")
+            _QUERY_SECONDS.observe(time.perf_counter() - t0)
             return cached
+        _ANSWER_CACHE.inc(result="miss")
+        _TRACER.annotate(answer_cache="miss")
         result = self._answer(sql, mode, max_cv=max_cv)
-        contract, violations = self._contract_for(
-            result.route, mode, max_cv, max_staleness
-        )
+        route_label = _route_label(result.route)
+        with _TRACER.span("warehouse.contract"):
+            contract, violations = self._contract_for(
+                result.route, mode, max_cv, max_staleness
+            )
         if violations:
             if on_violation == "reject" or mode == "approx":
+                _QUERIES.inc(route="rejected")
                 raise AccuracyContractViolation(violations, contract)
-            result = self._exact(sql)
+            with _TRACER.span("warehouse.fallback_exact"):
+                result = self._exact(sql)
+            route_label = "fallback"
             contract = AccuracyContract(
                 executed="exact",
                 fallback_exact=True,
@@ -457,6 +531,8 @@ class ShardedWarehouseService:
         answer = ContractedResult(result=result, contract=contract)
         if key[1] == self._epoch:
             self._cache.put(key, answer)
+        _QUERIES.inc(route=route_label)
+        _QUERY_SECONDS.observe(time.perf_counter() - t0)
         return answer
 
     def execute(self, sql: str) -> Table:
@@ -473,8 +549,9 @@ class ShardedWarehouseService:
         start = time.perf_counter()
         if mode == "exact":
             return self._exact(sql)
-        parsed = parse_query(sql)
-        dq = decompose(parsed)
+        with _TRACER.span("aqp.parse"):
+            parsed = parse_query(sql)
+            dq = decompose(parsed)
         if dq is None:
             # MEDIAN / HAVING / joins / subqueries: no per-shard
             # partials exist. The front has no sample rows either, so
@@ -486,6 +563,7 @@ class ShardedWarehouseService:
                     "cannot answer approximately on a sharded warehouse: "
                     "query does not decompose into per-shard partials"
                 )
+            _SHARD_FALLBACK.inc(reason="non_decomposable")
             result = self._exact(sql)
             route = RouteDecision(
                 None, None, None,
@@ -499,8 +577,10 @@ class ShardedWarehouseService:
                 elapsed_seconds=time.perf_counter() - start,
             )
         with self._lock.read():
-            route = self._session.route(parsed, mode, max_cv)
+            with _TRACER.span("aqp.route"):
+                route = self._session.route(parsed, mode, max_cv)
             sample_name = route.sample_name
+        _TRACER.annotate(route=route.reason, sample=sample_name)
         if not route.approximate:
             result = self._exact(sql)
             return AQPResult(
@@ -509,14 +589,19 @@ class ShardedWarehouseService:
                 plan_cached=result.plan_cached,
                 elapsed_seconds=time.perf_counter() - start,
             )
+        trace_id = current_trace_id()
+        _TRACER.annotate(shard_fanout=self.num_shards)
         try:
             responses = self._scatter(
                 "partials",
-                [{"sql": sql, "name": sample_name}] * self.num_shards,
+                [
+                    {"sql": sql, "name": sample_name, "trace_id": trace_id}
+                ] * self.num_shards,
             )
         except ShardWorkerError as exc:
             if mode == "approx":
                 raise
+            _SHARD_FALLBACK.inc(reason="worker_error")
             result = self._exact(sql)
             route = RouteDecision(
                 None, None, None,
@@ -528,10 +613,15 @@ class ShardedWarehouseService:
                 plan_cached=result.plan_cached,
                 elapsed_seconds=time.perf_counter() - start,
             )
-        merged = merge_partials(
-            [r["partials"] for r in responses], len(dq.agg_calls)
-        )
-        table = finalize_partials(dq, merged)
+        if trace_id is not None:
+            _TRACER.graft(
+                [s for r in responses for s in r.get("spans", [])]
+            )
+        with _TRACER.span("shard.merge", shards=self.num_shards):
+            merged = merge_partials(
+                [r["partials"] for r in responses], len(dq.agg_calls)
+            )
+            table = finalize_partials(dq, merged)
         return AQPResult(
             table=table,
             route=route,
@@ -660,12 +750,7 @@ class ShardedWarehouseService:
                         "scheme": SHARD_SCHEME,
                     },
                 },
-                "answer_cache": {
-                    "size": len(self._cache),
-                    "capacity": self._cache.capacity,
-                    "hits": self._cache.hits,
-                    "misses": self._cache.misses,
-                },
+                "answer_cache": self._cache.counters(),
                 "tables": {
                     name: table.num_rows
                     for name, table in self._session.tables.items()

@@ -118,6 +118,36 @@ class Workload:
             workload.add(sql, repeats=repeats)
         return workload
 
+    @classmethod
+    def from_query_log(cls, path) -> "Workload":
+        """Build a workload from the structured JSONL query log that
+        ``warehouse serve --query-log`` writes.
+
+        Reads the active file plus any rotated siblings (``.1``,
+        ``.2``, ...) oldest-first, aggregates identical SQL texts into
+        one :class:`WorkloadQuery` with the observed frequency, and
+        skips records for queries that never parsed (``outcome ==
+        "error"``). Contract-rejected queries are kept — they are
+        exactly the queries better samples would rescue. This closes
+        the loop: the log the server writes is the advisor's input
+        format.
+        """
+        from ..obs import iter_query_log
+
+        raw_counts: Dict[str, int] = {}
+        for record in iter_query_log(path):
+            sql = record.get("sql")
+            if not sql or not isinstance(sql, str):
+                continue
+            if record.get("outcome") == "error":
+                continue
+            sql = sql.strip().rstrip(";")
+            raw_counts[sql] = raw_counts.get(sql, 0) + 1
+        workload = cls()
+        for sql, repeats in raw_counts.items():
+            workload.add(sql, repeats=repeats)
+        return workload
+
 
 @dataclass(frozen=True)
 class AggregationGroup:

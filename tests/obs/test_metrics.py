@@ -1,0 +1,184 @@
+"""Metrics registry: counter/gauge/histogram semantics, thread safety
+under concurrent updates, idempotent registration, Prometheus render."""
+
+import math
+import threading
+
+import pytest
+
+from repro.obs import MetricsRegistry, log_buckets
+
+
+class TestCounter:
+    def test_inc_and_value(self):
+        reg = MetricsRegistry()
+        c = reg.counter("hits_total", "hits")
+        c.inc()
+        c.inc(2.5)
+        assert c.value() == 3.5
+
+    def test_labelled_series_are_independent(self):
+        reg = MetricsRegistry()
+        c = reg.counter("req_total", "reqs", ["route"])
+        c.inc(route="a")
+        c.inc(3, route="b")
+        assert c.value(route="a") == 1
+        assert c.value(route="b") == 3
+        assert c.value(route="never") == 0
+
+    def test_negative_increment_rejected(self):
+        reg = MetricsRegistry()
+        c = reg.counter("c_total", "c")
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_wrong_labels_rejected(self):
+        reg = MetricsRegistry()
+        c = reg.counter("c_total", "c", ["route"])
+        with pytest.raises(ValueError):
+            c.inc()  # missing label
+        with pytest.raises(ValueError):
+            c.inc(route="a", extra="b")
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        reg = MetricsRegistry()
+        g = reg.gauge("depth", "queue depth")
+        g.set(5)
+        g.inc()
+        g.dec(2)
+        assert g.value() == 4
+
+
+class TestHistogram:
+    def test_observe_buckets_and_sum(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat", "latency", buckets=[0.1, 1.0, 10.0])
+        for v in (0.05, 0.5, 5.0, 50.0):
+            h.observe(v)
+        assert h.count() == 4
+        assert h.sum() == pytest.approx(55.55)
+        # cumulative exposition: le=0.1 -> 1, le=1 -> 2, le=10 -> 3,
+        # +Inf -> 4
+        lines = h.collect()
+        assert 'lat_bucket{le="0.1"} 1' in lines
+        assert 'lat_bucket{le="1"} 2' in lines
+        assert 'lat_bucket{le="10"} 3' in lines
+        assert 'lat_bucket{le="+Inf"} 4' in lines
+
+    def test_default_log_buckets(self):
+        bounds = log_buckets()
+        assert bounds[0] == pytest.approx(1e-4)
+        assert all(b2 / b1 == pytest.approx(2.0)
+                   for b1, b2 in zip(bounds, bounds[1:]))
+        # spans sub-millisecond to ~100s
+        assert bounds[-1] > 100
+
+
+class TestRegistration:
+    def test_same_registration_is_idempotent(self):
+        # Module reload / double import must hand back the same metric.
+        reg = MetricsRegistry()
+        a = reg.counter("x_total", "x", ["l"])
+        b = reg.counter("x_total", "x", ["l"])
+        assert a is b
+
+    def test_conflicting_registration_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x_total", "x")
+        with pytest.raises(ValueError):
+            reg.gauge("x_total", "x")  # same name, different type
+        with pytest.raises(ValueError):
+            reg.counter("x_total", "x", ["l"])  # different labels
+
+    def test_invalid_name_rejected(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError):
+            reg.counter("bad name", "nope")
+
+
+class TestRender:
+    def test_prometheus_text_format(self):
+        reg = MetricsRegistry()
+        c = reg.counter("repro_q_total", "Queries answered", ["route"])
+        c.inc(2, route="sample")
+        g = reg.gauge("repro_inflight", "In flight")
+        g.set(1)
+        h = reg.histogram("repro_s", "Seconds", buckets=[1.0])
+        h.observe(0.5)
+        text = reg.render()
+        assert "# HELP repro_q_total Queries answered" in text
+        assert "# TYPE repro_q_total counter" in text
+        assert 'repro_q_total{route="sample"} 2' in text
+        assert "# TYPE repro_inflight gauge" in text
+        assert "# TYPE repro_s histogram" in text
+        assert 'repro_s_bucket{le="1"} 1' in text
+        assert 'repro_s_bucket{le="+Inf"} 1' in text
+        assert "repro_s_sum 0.5" in text
+        assert "repro_s_count 1" in text
+        assert text.endswith("\n")
+
+    def test_label_values_escaped(self):
+        reg = MetricsRegistry()
+        c = reg.counter("e_total", "e", ["v"])
+        c.inc(v='a"b\\c\nd')
+        assert 'v="a\\"b\\\\c\\nd"' in reg.render()
+
+
+class TestThreadSafety:
+    def test_concurrent_increments_are_exact(self):
+        # The acceptance bar for "thread-safe": no lost updates under
+        # real contention across counters, gauges, and histograms.
+        reg = MetricsRegistry()
+        c = reg.counter("t_total", "t", ["worker"])
+        h = reg.histogram("t_s", "t", buckets=[0.5])
+        threads, per_thread = 8, 2000
+
+        def hammer(i):
+            for _ in range(per_thread):
+                c.inc(worker=str(i % 2))
+                h.observe(0.1)
+
+        ts = [threading.Thread(target=hammer, args=(i,))
+              for i in range(threads)]
+        for t in ts:
+            t.start()
+        for t in ts:
+            t.join()
+        total = sum(c.value(worker=w) for w in ("0", "1"))
+        assert total == threads * per_thread
+        assert h.count() == threads * per_thread
+        assert h.sum() == pytest.approx(0.1 * threads * per_thread)
+
+    def test_render_during_writes_is_well_formed(self):
+        reg = MetricsRegistry()
+        c = reg.counter("r_total", "r")
+        stop = threading.Event()
+
+        def write():
+            while not stop.is_set():
+                c.inc()
+
+        w = threading.Thread(target=write)
+        w.start()
+        try:
+            for _ in range(50):
+                text = reg.render()
+                value = float(text.strip().splitlines()[-1].split()[-1])
+                assert math.isfinite(value)
+        finally:
+            stop.set()
+            w.join()
+
+
+class TestEnableSwitch:
+    def test_disabled_registry_drops_updates(self):
+        reg = MetricsRegistry()
+        c = reg.counter("d_total", "d")
+        reg.set_enabled(False)
+        c.inc(10)
+        assert c.value() == 0
+        reg.set_enabled(True)
+        c.inc()
+        assert c.value() == 1

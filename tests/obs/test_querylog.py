@@ -1,0 +1,102 @@
+"""Structured query log: JSONL records, size rotation, torn-line
+recovery, and replay into an advisor workload."""
+
+import json
+
+import pytest
+
+from repro.obs import QueryLog, iter_query_log, query_log_files
+from repro.workload import Workload
+
+
+class TestWrite:
+    def test_records_are_jsonl_with_timestamp(self, tmp_path):
+        path = tmp_path / "q.jsonl"
+        with QueryLog(path) as log:
+            log.write({"sql": "SELECT 1", "status": 200})
+            log.write({"sql": "SELECT 2", "status": 400})
+        lines = path.read_text().splitlines()
+        assert len(lines) == 2
+        first = json.loads(lines[0])
+        assert first["sql"] == "SELECT 1"
+        assert "ts" in first
+
+    def test_non_json_values_degrade_to_strings(self, tmp_path):
+        path = tmp_path / "q.jsonl"
+        with QueryLog(path) as log:
+            log.write({"odd": {1, 2}})  # sets are not JSON
+        assert "odd" in json.loads(path.read_text())
+
+    def test_stats(self, tmp_path):
+        path = tmp_path / "q.jsonl"
+        with QueryLog(path) as log:
+            log.write({"a": 1})
+            stats = log.stats()
+        assert stats["records_written"] == 1
+        assert stats["path"] == str(path)
+
+
+class TestRotation:
+    def _filled(self, tmp_path, records, max_bytes=400, backups=2):
+        path = tmp_path / "q.jsonl"
+        with QueryLog(path, max_bytes=max_bytes, backups=backups) as log:
+            for i in range(records):
+                log.write({"seq": i, "pad": "x" * 60})
+        return path
+
+    def test_rotation_caps_active_file(self, tmp_path):
+        path = self._filled(tmp_path, records=20)
+        assert path.stat().st_size <= 400
+        assert path.with_name("q.jsonl.1").exists()
+        assert path.with_name("q.jsonl.2").exists()
+        assert not path.with_name("q.jsonl.3").exists()  # backups=2
+
+    def test_iteration_is_oldest_first_across_rotations(self, tmp_path):
+        path = self._filled(tmp_path, records=12)
+        seqs = [r["seq"] for r in iter_query_log(path)]
+        assert seqs == sorted(seqs)
+        assert seqs[-1] == 11  # newest record is last
+
+    def test_query_log_files_order(self, tmp_path):
+        path = self._filled(tmp_path, records=20)
+        files = list(query_log_files(path))
+        assert files[-1] == path  # active file last
+        assert [f.name for f in files[:-1]] == ["q.jsonl.2", "q.jsonl.1"]
+
+
+class TestReplay:
+    def test_torn_and_blank_lines_are_skipped(self, tmp_path):
+        path = tmp_path / "q.jsonl"
+        path.write_text(
+            '{"sql": "SELECT 1"}\n'
+            "\n"
+            '{"sql": "SELECT 2", "trunc\n'  # torn mid-record (crash)
+            '{"sql": "SELECT 3"}\n'
+        )
+        sqls = [r["sql"] for r in iter_query_log(path)]
+        assert sqls == ["SELECT 1", "SELECT 3"]
+
+    def test_missing_file_yields_nothing(self, tmp_path):
+        assert list(iter_query_log(tmp_path / "absent.jsonl")) == []
+
+    def test_workload_from_query_log_aggregates_sql(self, tmp_path):
+        path = tmp_path / "q.jsonl"
+        with QueryLog(path) as log:
+            for _ in range(3):
+                log.write({"sql": "SELECT a FROM t", "outcome": "ok"})
+            log.write({"sql": "SELECT b FROM t;", "outcome": "ok"})
+            log.write({"sql": "NOT SQL", "outcome": "error"})
+            log.write({"no_sql_key": True})
+        workload = Workload.from_query_log(path)
+        by_sql = {q.sql: q.repeats for q in workload.queries}
+        # errors and malformed records dropped; trailing ';' stripped
+        assert by_sql == {"SELECT a FROM t": 3, "SELECT b FROM t": 1}
+
+    def test_workload_from_query_log_reads_rotated_files(self, tmp_path):
+        path = tmp_path / "q.jsonl"
+        with QueryLog(path, max_bytes=200, backups=3) as log:
+            for _ in range(8):
+                log.write({"sql": "SELECT x FROM t", "outcome": "ok"})
+        assert path.with_name("q.jsonl.1").exists()
+        workload = Workload.from_query_log(path)
+        assert workload.queries[0].repeats == 8

@@ -1,0 +1,142 @@
+"""Trace spans: nesting, null-span fast path, annotate targeting,
+remote-span grafting, and the bounded trace ring."""
+
+import threading
+
+from repro.obs import Span, Tracer, current_trace_id
+
+
+class TestSpans:
+    def test_root_and_children_share_trace_id(self):
+        tracer = Tracer()
+        with tracer.trace("http.query", mode="auto") as t:
+            with tracer.span("aqp.parse"):
+                pass
+            with tracer.span("aqp.execute", rows=10):
+                pass
+        d = t.trace.to_dict()
+        assert [s["name"] for s in d["spans"]] == [
+            "http.query", "aqp.parse", "aqp.execute",
+        ]
+        assert {s["trace_id"] for s in d["spans"]} == {d["trace_id"]}
+        assert all(s["duration"] is not None for s in d["spans"])
+        assert d["tags"] == {"mode": "auto"}
+
+    def test_children_nest_by_parent_id(self):
+        tracer = Tracer()
+        with tracer.trace("root") as t:
+            with tracer.span("outer"):
+                with tracer.span("inner"):
+                    pass
+        spans = {s["name"]: s for s in t.trace.to_dict()["spans"]}
+        assert spans["outer"]["parent_id"] == spans["root"]["span_id"]
+        assert spans["inner"]["parent_id"] == spans["outer"]["span_id"]
+
+    def test_exception_tags_error_and_finishes(self):
+        tracer = Tracer()
+        try:
+            with tracer.trace("root") as t:
+                with tracer.span("child"):
+                    raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        spans = {s["name"]: s for s in t.trace.to_dict()["spans"]}
+        assert spans["child"]["tags"]["error"] == "RuntimeError"
+        assert spans["root"]["tags"]["error"] == "RuntimeError"
+        assert t.root.duration is not None
+
+    def test_span_without_active_trace_is_noop(self):
+        tracer = Tracer()
+        assert current_trace_id() is None
+        with tracer.span("orphan") as span:
+            span.set_tag("k", "v")  # must not blow up
+        tracer.annotate(ignored=True)
+        assert tracer.recent_traces() == []
+
+    def test_spans_reuse_shared_null_instance(self):
+        # The no-trace fast path must not allocate per call.
+        tracer = Tracer()
+        assert tracer.span("a") is tracer.span("b")
+
+
+class TestAnnotate:
+    def test_annotate_targets_innermost_open_span(self):
+        tracer = Tracer()
+        with tracer.trace("root") as t:
+            with tracer.span("child"):
+                tracer.annotate(inside="child")
+            # child closed -> annotations land on the root span again,
+            # which is how deep layers surface facts to the query log.
+            tracer.annotate(route="sample")
+        d = t.trace.to_dict()
+        spans = {s["name"]: s for s in d["spans"]}
+        assert spans["child"]["tags"] == {"inside": "child"}
+        assert d["tags"]["route"] == "sample"
+
+
+class TestRemoteGraft:
+    def test_graft_attaches_remote_spans_to_root(self):
+        tracer = Tracer()
+        with tracer.trace("root") as t:
+            remote = tracer.remote_span(
+                t.trace_id, "shard.partials", shard=1
+            )
+            remote.finish()
+            tracer.graft([remote.to_dict()])
+        d = t.trace.to_dict()
+        grafted = [s for s in d["spans"] if s["name"] == "shard.partials"]
+        assert len(grafted) == 1
+        assert grafted[0]["trace_id"] == d["trace_id"]
+        assert grafted[0]["parent_id"] == t.root.span_id
+        assert "pid" in grafted[0]["tags"]
+
+    def test_graft_dedupes_by_span_id(self):
+        # The in-process shard client shares the front's process, so a
+        # span can arrive both locally and via the pipe payload.
+        tracer = Tracer()
+        with tracer.trace("root") as t:
+            remote = tracer.remote_span(t.trace_id, "shard.partials")
+            remote.finish()
+            tracer.graft([remote.to_dict()])
+            tracer.graft([remote.to_dict()])
+        names = [s["name"] for s in t.trace.to_dict()["spans"]]
+        assert names.count("shard.partials") == 1
+
+    def test_graft_without_active_trace_is_noop(self):
+        tracer = Tracer()
+        tracer.graft([Span("tid", "x").to_dict()])  # must not raise
+
+
+class TestRing:
+    def test_ring_is_bounded_and_recent_first(self):
+        tracer = Tracer(max_traces=3)
+        for i in range(5):
+            with tracer.trace("q", seq=i):
+                pass
+        recent = tracer.recent_traces()
+        assert [t["tags"]["seq"] for t in recent] == [4, 3, 2]
+        assert [t["tags"]["seq"] for t in tracer.recent_traces(limit=1)] \
+            == [4]
+        tracer.clear()
+        assert tracer.recent_traces() == []
+
+    def test_concurrent_traces_do_not_mix_spans(self):
+        # Each thread gets its own context, so spans must attach to the
+        # thread's own trace even when traces overlap in time.
+        tracer = Tracer(max_traces=16)
+        barrier = threading.Barrier(4)
+
+        def work(i):
+            barrier.wait()
+            with tracer.trace("q", owner=i):
+                with tracer.span("child", owner=i):
+                    pass
+
+        ts = [threading.Thread(target=work, args=(i,)) for i in range(4)]
+        for t in ts:
+            t.start()
+        for t in ts:
+            t.join()
+        for d in tracer.recent_traces():
+            owners = {s["tags"].get("owner") for s in d["spans"]}
+            assert owners == {d["tags"]["owner"]}
