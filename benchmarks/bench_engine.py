@@ -3,21 +3,42 @@
 Not a paper experiment — these keep the pure-python engine honest
 (vectorized group-by and sampling are what make the repro runnable) and
 guard against performance regressions.
+
+Besides the pytest-benchmark suite, this file runs standalone for CI
+(same shape as ``bench_warehouse.py``)::
+
+    PYTHONPATH=src python benchmarks/bench_engine.py --smoke \
+        --out bench_engine.json
+
+The script mode times the factorize kernels (hash vs ``np.unique``) and
+the group-code cache (cold factorize vs warm hit), and exits non-zero
+when the warm cached path is less than 2x faster than cold factorize —
+the regression gate for the caching layer.
 """
 
+import argparse
+import json
+import statistics
 import time
 
 import numpy as np
+
 import pytest
 
 from repro.aqp.session import AQPSession
 from repro.core.cvopt import CVOptSampler
 from repro.core.spec import GroupByQuerySpec
-from repro.engine.groupby import compute_group_keys
+from repro.engine.groupby import (
+    compute_group_keys,
+    factorize_hash,
+    factorize_sort,
+)
+from repro.engine.groupcache import default_group_code_cache
 from repro.engine.reservoir import stratified_sample_indices
 from repro.engine.sql.executor import execute_sql, plan_query
 from repro.engine.sql.parser import parse_query
 from repro.engine.statistics import collect_strata_statistics
+from repro.engine.table import Table
 
 
 @pytest.mark.benchmark(group="engine")
@@ -173,3 +194,182 @@ def test_cvopt_end_to_end_build(benchmark, openaq):
 
     sample = benchmark(run)
     assert sample.num_rows > 0
+
+
+@pytest.mark.benchmark(group="engine")
+def test_factorize_kernel_speedup(benchmark, openaq):
+    """Hash (direct-addressing) kernel vs the np.unique sort path on a
+    high-cardinality single integer key. extra_info records the sort
+    timing and the speedup ratio."""
+    rng = np.random.default_rng(0)
+    n = openaq.num_rows
+    arr = rng.integers(0, n // 2, n)
+
+    codes, first = benchmark(lambda: factorize_hash(arr))
+    hash_times, sort_times = [], []
+    for _ in range(3):
+        start = time.perf_counter()
+        factorize_hash(arr)
+        hash_times.append(time.perf_counter() - start)
+        start = time.perf_counter()
+        sort_codes, sort_first = factorize_sort(arr)
+        sort_times.append(time.perf_counter() - start)
+    assert np.array_equal(codes, sort_codes)
+    assert np.array_equal(first, sort_first)
+    hash_seconds = float(np.median(hash_times))
+    sort_seconds = float(np.median(sort_times))
+    benchmark.extra_info["rows"] = n
+    benchmark.extra_info["sort_seconds"] = sort_seconds
+    benchmark.extra_info["speedup_vs_unique"] = sort_seconds / max(
+        hash_seconds, 1e-12
+    )
+
+
+@pytest.mark.benchmark(group="engine")
+def test_groupcode_cache_hit(benchmark, openaq):
+    """Warm group-code cache hit vs a cold factorize of the same keys.
+
+    The benchmark times the hit path (a dict lookup); extra_info
+    records the cold timing and the speedup — the end-to-end win every
+    repeated query shape gets on an immutable sample version.
+    """
+    cache = default_group_code_cache()
+    openaq.cache_token = ("bench", "openaq", "v1")
+    try:
+        cold = []
+        for _ in range(5):
+            cache.invalidate()
+            start = time.perf_counter()
+            compute_group_keys(openaq, ["country", "parameter"])
+            cold.append(time.perf_counter() - start)
+        cold_seconds = float(np.median(cold))
+
+        keys = benchmark(
+            lambda: compute_group_keys(openaq, ["country", "parameter"])
+        )
+        assert keys.num_groups > 0
+        counters = cache.counters()
+        assert counters["hits"] > 0
+        warm = []
+        for _ in range(7):
+            start = time.perf_counter()
+            compute_group_keys(openaq, ["country", "parameter"])
+            warm.append(time.perf_counter() - start)
+        warm_seconds = float(np.median(warm))
+        benchmark.extra_info["cold_seconds"] = cold_seconds
+        benchmark.extra_info["warm_seconds"] = warm_seconds
+        benchmark.extra_info["speedup"] = cold_seconds / max(
+            warm_seconds, 1e-12
+        )
+        assert warm_seconds < cold_seconds
+    finally:
+        openaq.cache_token = None
+        cache.invalidate()
+
+
+# ----------------------------------------------------------------------
+# script mode (CI smoke + artifact)
+# ----------------------------------------------------------------------
+def _timed(fn, repeats):
+    """Median seconds over ``repeats`` calls (first result returned)."""
+    result = fn()
+    samples = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - start)
+    return result, float(statistics.median(samples))
+
+
+def run(rows: int, repeats: int) -> dict:
+    rng = np.random.default_rng(0)
+    results = {"config": {"rows": rows, "repeats": repeats}}
+
+    # Phase 1: factorize kernels on a high-cardinality single int key.
+    arr = rng.integers(0, rows // 2, rows)
+    (hash_out, hash_seconds) = _timed(lambda: factorize_hash(arr), repeats)
+    (sort_out, sort_seconds) = _timed(lambda: factorize_sort(arr), repeats)
+    assert np.array_equal(hash_out[0], sort_out[0])
+    distinct = len(hash_out[1])
+    results["factorize"] = {
+        "rows": rows,
+        "distinct": distinct,
+        "hash_seconds": hash_seconds,
+        "unique_seconds": sort_seconds,
+        "speedup_vs_unique": sort_seconds / max(hash_seconds, 1e-12),
+    }
+
+    # Phase 2: group-code cache — cold factorize vs warm hit on an
+    # immutable (tagged) table, the serving hot path.
+    table = Table.from_pydict(
+        {
+            "g": rng.integers(0, 500, rows),
+            "h": rng.integers(0, 40, rows),
+        }
+    )
+    table.cache_token = ("bench", "sample", "v1")
+    cache = default_group_code_cache()
+    try:
+        def cold():
+            cache.invalidate()
+            return compute_group_keys(table, ("g", "h"))
+
+        _, cold_seconds = _timed(cold, repeats)
+        compute_group_keys(table, ("g", "h"))  # prime
+        _, warm_seconds = _timed(
+            lambda: compute_group_keys(table, ("g", "h")), repeats
+        )
+        counters = cache.counters()
+    finally:
+        table.cache_token = None
+        cache.invalidate()
+    results["groupcode_cache"] = {
+        "cold_seconds": cold_seconds,
+        "warm_seconds": warm_seconds,
+        "speedup": cold_seconds / max(warm_seconds, 1e-12),
+        "hits": counters["hits"],
+        "misses": counters["misses"],
+    }
+    return results
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="small sizes for CI and enforce the 2x cached-path gate",
+    )
+    parser.add_argument("--rows", type=int, default=None)
+    parser.add_argument("--repeats", type=int, default=5)
+    parser.add_argument(
+        "--min-cache-speedup", type=float, default=2.0,
+        help="fail when warm cache hits are not at least this much "
+        "faster than cold factorize (enforced with --smoke)",
+    )
+    parser.add_argument("--out", default="bench_engine.json")
+    args = parser.parse_args(argv)
+
+    rows = args.rows or (300_000 if args.smoke else 2_000_000)
+    results = run(rows=rows, repeats=args.repeats)
+    fz, gc = results["factorize"], results["groupcode_cache"]
+    with open(args.out, "w") as fh:
+        json.dump(results, fh, indent=2)
+
+    print(f"factorize  {rows} rows, {fz['distinct']} distinct: "
+          f"hash {fz['hash_seconds'] * 1e3:.1f}ms vs "
+          f"np.unique {fz['unique_seconds'] * 1e3:.1f}ms "
+          f"({fz['speedup_vs_unique']:.1f}x)")
+    print(f"groupcache cold {gc['cold_seconds'] * 1e3:.2f}ms vs "
+          f"warm hit {gc['warm_seconds'] * 1e6:.0f}us "
+          f"({gc['speedup']:.0f}x, hits={gc['hits']})")
+    print(f"wrote {args.out}")
+
+    if args.smoke and gc["speedup"] < args.min_cache_speedup:
+        print(f"FAIL: cached-path speedup {gc['speedup']:.2f}x below "
+              f"the {args.min_cache_speedup:.1f}x gate")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

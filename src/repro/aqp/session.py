@@ -56,6 +56,7 @@ from ..engine.sql.planner import (
     parameterize_query,
     rename_tables,
 )
+from ..engine.groupcache import default_group_code_cache
 from ..engine.table import Table
 from ..obs import current_trace_id, default_registry, default_tracer
 from .catalog import SampleCatalog
@@ -250,13 +251,18 @@ class AQPSession:
         return self.catalog.names()
 
     def clear_plan_cache(self) -> None:
-        """Drop every compiled plan (routing decisions included).
+        """Drop every compiled plan (routing decisions included) and the
+        process-wide group-code cache.
 
         Called automatically whenever a table or sample changes; safe
-        to call at any time — the next query of each shape re-routes
-        and re-compiles.
+        to call at any time — the next query of each shape re-routes,
+        re-compiles, and re-factorizes. Clearing the group-code cache
+        here is deliberately coarse: the per-version token already
+        prevents stale reads after a hot-swap, so this is the
+        belt-and-braces layer that also bounds memory across swaps.
         """
         self._shape_cache.clear()
+        default_group_code_cache().invalidate()
 
     # ------------------------------------------------------------------
     # querying

@@ -307,6 +307,12 @@ def build_parser() -> argparse.ArgumentParser:
         "single-shot run cannot wait out a backoff)",
     )
     whd.add_argument(
+        "--metrics-port", type=int, default=None,
+        help="serve this process's metrics (repro_daemon_*) on "
+        "GET /metrics at 127.0.0.1:PORT (0 picks a free port); "
+        "default: no listener",
+    )
+    whd.add_argument(
         "--shards", type=int, default=None,
         help="shard count (default: auto-detect from the store)",
     )
@@ -744,6 +750,12 @@ def _cmd_warehouse_daemon(args) -> int:
         require_stable=not args.once,
         max_retries=max_retries,
     )
+    listener = None
+    if args.metrics_port is not None:
+        from .serve import MetricsListener
+
+        listener = MetricsListener(port=args.metrics_port).start()
+        print(f"metrics at {listener.url}", flush=True)
 
     async def amain() -> int:
         if args.once:
@@ -771,6 +783,9 @@ def _cmd_warehouse_daemon(args) -> int:
         return asyncio.run(amain())
     except KeyboardInterrupt:
         return 0
+    finally:
+        if listener is not None:
+            listener.close()
 
 
 def _print_outcome(outcome) -> None:

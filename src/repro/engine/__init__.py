@@ -28,8 +28,12 @@ from .groupby import (
     GroupKeys,
     compute_group_keys,
     cube_grouping_sets,
+    factorize,
+    factorize_hash,
+    factorize_sort,
     group_by_aggregate,
 )
+from .groupcache import GroupCodeCache, default_group_code_cache
 from .join import hash_join
 from .statistics import (
     ColumnStats,
@@ -67,6 +71,11 @@ __all__ = [
     "ALL_MARKER",
     "GroupKeys",
     "compute_group_keys",
+    "factorize",
+    "factorize_hash",
+    "factorize_sort",
+    "GroupCodeCache",
+    "default_group_code_cache",
     "group_by_aggregate",
     "cube_grouping_sets",
     "hash_join",

@@ -1,8 +1,28 @@
-"""Vectorized group-by: factorization, grouping sets, and CUBE.
+"""Vectorized group-by: factorization kernels, grouping sets, and CUBE.
 
 The central object is :class:`GroupKeys` — dense group ids per row plus
 one representative row index per group, from which key values for any
 grouped column can be recovered without re-hashing.
+
+Factorization runs through one of two kernels behind a cost rule (the
+same shape as the planner's hash-vs-sort group-by rule):
+
+* :func:`factorize_hash` — O(n) direct addressing over the integer key
+  domain. Dictionary-encoded strings, int64/timestamp columns, bools,
+  and the combined multi-key codes are all integers with a bounded
+  value range, which covers every group-by key the engine produces.
+* :func:`factorize_sort` — the ``np.unique`` sort path, O(n log n),
+  kept as the fallback for floats, objects, and integer domains too
+  wide to direct-address.
+
+Both kernels emit *identical* output — dense int64 codes in ascending
+value order with first-occurrence representatives — so routing is a pure
+performance decision (proven by ``tests/properties/test_groupby_kernels.py``).
+
+On top of the kernels, :func:`compute_group_keys` consults the
+per-version group-code cache (:mod:`repro.engine.groupcache`) when the
+table carries a ``cache_token``: sample versions are immutable, so a
+repeated query shape skips factorization entirely.
 
 ``GROUP BY a, b WITH CUBE`` executes one grouping per subset of
 ``{a, b}`` (Hive semantics) and stacks the results; non-grouped key
@@ -18,6 +38,7 @@ import numpy as np
 
 from ..obs import default_tracer
 from .aggregates import compute_aggregate
+from .groupcache import default_group_code_cache
 from .schema import DType
 from .table import Column, Table
 
@@ -25,6 +46,8 @@ __all__ = [
     "ALL_MARKER",
     "GroupKeys",
     "factorize",
+    "factorize_hash",
+    "factorize_sort",
     "compute_group_keys",
     "compute_group_keys_sorted",
     "group_by_aggregate",
@@ -39,17 +62,114 @@ ALL_MARKER = "<ALL>"
 #: keys, so grouping routes to the sort path instead.
 _MAX_COMBINED_KEYSPACE = np.iinfo(np.int64).max
 
+#: Cost rule for the direct-addressing kernel: hash when the integer
+#: value range spans at most ``max(_HASH_DOMAIN_MIN, factor * n)``
+#: slots. Dictionary codes and combined group codes are dense, so they
+#: always qualify; sparse raw-integer keys (ids, epochs) qualify while
+#: the LUT stays cache-friendly relative to the row count.
+_HASH_DOMAIN_FACTOR = 4
+_HASH_DOMAIN_MIN = 1 << 16
+
+#: Absolute LUT ceiling for a *direct* ``factorize_hash`` call (~1 GiB
+#: of int64 slots). The router's relative rule is stricter; this guards
+#: explicit calls against pathological sparse domains.
+_HASH_DOMAIN_LIMIT = 1 << 27
+
 
 def factorize(arr: np.ndarray):
     """Dense codes + first-occurrence row index for each distinct value.
 
     Returns ``(codes, first_index)`` where ``codes`` is int64 in
     ``[0, k)`` and ``first_index[j]`` is a row whose value has code ``j``.
+    Codes are assigned in ascending value order, identically by both
+    kernels; this router picks the hash kernel when the cost rule
+    allows and the sort kernel otherwise.
+    """
+    arr = np.asarray(arr)
+    plan = _hash_plan(arr)
+    if plan is not None:
+        return _factorize_direct(*plan)
+    return factorize_sort(arr)
+
+
+def factorize_sort(arr: np.ndarray):
+    """Sort-based kernel: ``np.unique`` (O(n log n)).
+
+    Handles every dtype (floats with NaN, objects); the fallback when
+    :func:`_hash_plan` declines.
     """
     uniques, first_index, codes = np.unique(
         arr, return_index=True, return_inverse=True
     )
-    return codes.astype(np.int64), first_index
+    return codes.astype(np.int64), first_index.astype(np.int64, copy=False)
+
+
+def factorize_hash(arr: np.ndarray):
+    """Hash kernel: O(n) direct addressing over the integer key domain.
+
+    Only defined for integer-kind arrays (bool/int/uint — which includes
+    dictionary string codes and combined group codes); raises
+    ``TypeError`` otherwise, and ``ValueError`` when the value range is
+    too sparse to direct-address (> :data:`_HASH_DOMAIN_LIMIT` slots).
+    Use :func:`factorize` unless a test needs to force this kernel.
+    """
+    arr = np.asarray(arr)
+    if arr.dtype.kind not in "biu":
+        raise TypeError(
+            f"factorize_hash needs an integer-kind array, got {arr.dtype}"
+        )
+    if len(arr) == 0:
+        return np.zeros(0, dtype=np.int64), np.zeros(0, dtype=np.int64)
+    if arr.dtype.kind == "b":
+        arr = arr.view(np.int8)
+    lo = int(arr.min())
+    domain = int(arr.max()) - lo + 1
+    if domain > _HASH_DOMAIN_LIMIT:
+        raise ValueError(
+            f"value range {domain} too sparse to direct-address "
+            f"(limit {_HASH_DOMAIN_LIMIT}); use factorize_sort"
+        )
+    return _factorize_direct(arr, lo, domain)
+
+
+def _hash_plan(arr: np.ndarray):
+    """``(arr, lo, domain)`` when the cost rule picks the hash kernel,
+    else ``None``. Computes min/max once so the kernel does not rescan."""
+    if arr.dtype.kind not in "biu" or len(arr) == 0:
+        return None
+    if arr.dtype.kind == "b":
+        arr = arr.view(np.int8)
+    lo = int(arr.min())
+    domain = int(arr.max()) - lo + 1
+    budget = max(_HASH_DOMAIN_MIN, _HASH_DOMAIN_FACTOR * len(arr))
+    if domain > min(budget, _HASH_DOMAIN_LIMIT):
+        return None
+    return arr, lo, domain
+
+
+def _factorize_direct(arr: np.ndarray, lo: int, domain: int):
+    """Direct-addressing factorize: one presence LUT over ``[lo, hi]``.
+
+    ``np.flatnonzero(present)`` yields the distinct offsets in ascending
+    order, so codes come out in the same order ``np.unique`` would
+    assign them. First occurrences are recovered with one reversed fancy
+    assignment: writing row indices back-to-front leaves the *smallest*
+    row index in each slot (duplicate-index assignment keeps the last
+    write).
+    """
+    n = len(arr)
+    # Subtraction cannot wrap: every offset is < domain, which the
+    # caller has bounded well inside int64.
+    offsets = (arr - lo).astype(np.int64, copy=False)
+    present = np.zeros(domain, dtype=np.bool_)
+    present[offsets] = True
+    hits = np.flatnonzero(present)
+    lut = np.empty(domain, dtype=np.int64)
+    lut[hits] = np.arange(len(hits), dtype=np.int64)
+    codes = lut[offsets]
+    first_index = np.empty(len(hits), dtype=np.int64)
+    first_index[codes[::-1]] = np.arange(n - 1, -1, -1, dtype=np.int64)
+    return codes, first_index
 
 
 @dataclass
@@ -81,6 +201,12 @@ def compute_group_keys(table: Table, by: Sequence[str]) -> GroupKeys:
     in int64 are routed to :func:`compute_group_keys_sorted` (identical
     output), so the combined-code multiply can never wrap and alias
     distinct keys.
+
+    Tables stamped with a ``cache_token`` (immutable published sample
+    versions — see :mod:`repro.engine.groupcache`) are served from the
+    per-version group-code cache: a warm hit returns the stored
+    :class:`GroupKeys` without opening an ``engine.factorize`` span,
+    annotating the enclosing span with ``factorize.cached`` instead.
     """
     by = tuple(by)
     n = table.num_rows
@@ -91,24 +217,41 @@ def compute_group_keys(table: Table, by: Sequence[str]) -> GroupKeys:
             num_groups=1 if n > 0 else 0,
             representative=np.zeros(min(n, 1), dtype=np.int64),
         )
+    token = getattr(table, "cache_token", None)
+    cache = default_group_code_cache() if token is not None else None
+    if cache is not None:
+        cached = cache.get(token, by)
+        if cached is not None:
+            default_tracer().annotate(**{"factorize.cached": True})
+            return cached
     with default_tracer().span("engine.factorize", rows=n, keys=len(by)):
         all_codes = []
+        cardinalities = []
         keyspace = 1  # python int: exact, no wraparound while checking
         for name in by:
-            codes, _ = factorize(table.column(name).data)
+            codes, first_index = factorize(table.column(name).data)
             all_codes.append(codes)
-            keyspace *= int(codes.max()) + 1 if len(codes) else 1
+            # Codes are dense, so the unique count IS the cardinality —
+            # computed once here, reused for the combine below.
+            card = len(first_index) if len(codes) else 1
+            cardinalities.append(card)
+            keyspace *= card
         if keyspace > _MAX_COMBINED_KEYSPACE:
-            return _group_keys_from_codes(by, all_codes, n)
-        combined = all_codes[0]
-        for codes in all_codes[1:]:
-            k = int(codes.max()) + 1 if len(codes) else 1
-            combined = combined * k + codes
-        gids, first_index = factorize(combined)
-        num_groups = len(first_index)
-    return GroupKeys(
-        by=by, gids=gids, num_groups=num_groups, representative=first_index
-    )
+            result = _group_keys_from_codes(by, all_codes, n)
+        else:
+            combined = all_codes[0]
+            for codes, card in zip(all_codes[1:], cardinalities[1:]):
+                combined = combined * card + codes
+            gids, first_index = factorize(combined)
+            result = GroupKeys(
+                by=by,
+                gids=gids,
+                num_groups=len(first_index),
+                representative=first_index,
+            )
+    if cache is not None:
+        cache.put(token, by, result)
+    return result
 
 
 def compute_group_keys_sorted(table: Table, by: Sequence[str]) -> GroupKeys:

@@ -1,0 +1,124 @@
+"""Per-version group-code cache.
+
+Sample versions are immutable: once a :class:`~repro.engine.table.Table`
+is published under ``(sample_name, version)``, its rows never change, so
+the :class:`~repro.engine.groupby.GroupKeys` computed for any group-by
+column tuple can be reused verbatim by every later query of the same
+shape — the same idiom as the shape-keyed plan cache in
+``aqp/session.py``, one layer down.
+
+The cache is process-wide and keyed by a *cache token*
+``(scope, sample_name, version)`` plus the group-by column tuple. The
+scope disambiguates services that share one process but serve different
+row sets under the same sample name and version — in-process shard
+workers each see only their shard's slice, so each worker's
+:class:`~repro.warehouse.service.WarehouseService` stamps tables with
+its own scope (``shard-NN``). Tables without a token (base tables,
+filtered or otherwise derived tables) bypass the cache entirely:
+derived tables are new objects whose token defaults to ``None``, which
+makes staleness impossible by construction.
+
+Invalidation is belt and braces: the version inside the token already
+isolates hot-swapped samples (a new version is a new key; old entries
+age out of the LRU bound), and ``AQPSession.clear_plan_cache()`` —
+called on every table/sample registration — additionally clears the
+whole cache.
+
+Lookups and stores are counted in
+``repro_groupcode_cache_total{result=hit|miss|evict}``.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Optional, Tuple
+
+from ..obs import default_registry
+
+__all__ = ["GroupCodeCache", "default_group_code_cache"]
+
+_CACHE_COUNTER = default_registry().counter(
+    "repro_groupcode_cache_total",
+    "Group-code cache lookups and evictions by result",
+    ["result"],
+)
+
+
+class GroupCodeCache:
+    """Bounded, thread-safe LRU of ``GroupKeys`` per immutable version.
+
+    Keys are ``(token, by)`` where ``token`` identifies one immutable
+    table incarnation and ``by`` is the group-by column tuple. Values
+    are shared, never copied — ``GroupKeys`` consumers treat the arrays
+    as read-only (the engine never mutates gids/representatives).
+    """
+
+    def __init__(self, capacity: int = 128) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._entries: OrderedDict = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    def get(self, token: Tuple, by: Tuple[str, ...]):
+        key = (token, tuple(by))
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self._misses += 1
+                _CACHE_COUNTER.inc(result="miss")
+                return None
+            self._entries.move_to_end(key)
+            self._hits += 1
+            _CACHE_COUNTER.inc(result="hit")
+            return entry
+
+    def put(self, token: Tuple, by: Tuple[str, ...], keys) -> None:
+        key = (token, tuple(by))
+        with self._lock:
+            self._entries[key] = keys
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self._evictions += 1
+                _CACHE_COUNTER.inc(result="evict")
+
+    def invalidate(self, sample_name: Optional[str] = None) -> None:
+        """Drop entries for one sample name (any scope/version), or all."""
+        with self._lock:
+            if sample_name is None:
+                self._entries.clear()
+                return
+            stale = [
+                key
+                for key in self._entries
+                if len(key[0]) >= 2 and key[0][1] == sample_name
+            ]
+            for key in stale:
+                del self._entries[key]
+
+    def counters(self) -> dict:
+        with self._lock:
+            return {
+                "size": len(self._entries),
+                "capacity": self.capacity,
+                "hits": self._hits,
+                "misses": self._misses,
+                "evictions": self._evictions,
+            }
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+
+_DEFAULT = GroupCodeCache()
+
+
+def default_group_code_cache() -> GroupCodeCache:
+    """The process-wide cache consulted by ``compute_group_keys``."""
+    return _DEFAULT

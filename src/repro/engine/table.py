@@ -134,11 +134,21 @@ class Column:
 
 
 class Table:
-    """Immutable columnar table."""
+    """Immutable columnar table.
+
+    ``cache_token`` marks a table as one immutable published incarnation
+    (the warehouse stamps sample tables with
+    ``(scope, sample_name, version)``), which lets the group-code cache
+    in :mod:`repro.engine.groupcache` reuse factorizations across
+    queries. Every derived table (filter/take/select/...) is a new
+    object whose token defaults to ``None``, so derived row sets can
+    never alias a cached entry.
+    """
 
     def __init__(self, columns: Mapping[str, Column], name: str = "") -> None:
         self._columns = dict(columns)
         self.name = name
+        self.cache_token = None
         lengths = {len(c) for c in self._columns.values()}
         if len(lengths) > 1:
             raise ValueError(f"ragged columns: lengths {sorted(lengths)}")

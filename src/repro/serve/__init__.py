@@ -28,6 +28,7 @@ See ``docs/ARCHITECTURE.md`` for where this layer sits and
 
 from .daemon import BatchOutcome, MaintenanceDaemon
 from .http import HTTPConnection, WarehouseHTTPServer, request
+from .metrics_http import MetricsListener
 from .service import AsyncWarehouseService, ServiceClosed, ServiceOverloaded
 from .worker import (
     InProcessShardClient,
@@ -46,6 +47,7 @@ __all__ = [
     "request",
     "MaintenanceDaemon",
     "BatchOutcome",
+    "MetricsListener",
     "ShardServer",
     "ShardWorkerError",
     "ProcessShardClient",

@@ -1,0 +1,92 @@
+"""Tiny ``/metrics``-only HTTP listener for standalone processes.
+
+The serving front exposes ``GET /metrics`` through the asyncio HTTP
+server, but a standalone ``warehouse daemon`` process has no server at
+all — its ``repro_daemon_*`` series previously lived in an
+unscrapeable in-process registry. :class:`MetricsListener` closes that
+gap with a stdlib :class:`~http.server.ThreadingHTTPServer` on a
+daemon thread: one route, Prometheus text format, no dependencies, no
+interference with the asyncio event loop.
+"""
+
+from __future__ import annotations
+
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from ..obs import default_registry
+
+__all__ = ["MetricsListener"]
+
+
+class MetricsListener:
+    """Serve one registry's metrics on ``GET /metrics``.
+
+    Binds at construction (so ``port=0`` callers can read the chosen
+    port before :meth:`start`), serves from a daemon thread, and
+    answers 404 for every other path — this is a scrape endpoint, not
+    an API surface.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0,
+                 registry=None) -> None:
+        self.registry = registry if registry is not None else default_registry()
+        listener = self
+
+        class Handler(BaseHTTPRequestHandler):
+            def do_GET(self) -> None:  # noqa: N802 (stdlib naming)
+                if self.path.split("?", 1)[0] != "/metrics":
+                    self.send_error(404, "only /metrics is served here")
+                    return
+                body = listener.registry.render().encode("utf-8")
+                self.send_response(200)
+                self.send_header(
+                    "Content-Type",
+                    "text/plain; version=0.0.4; charset=utf-8",
+                )
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+            def log_message(self, fmt, *args) -> None:
+                pass  # scrapes every few seconds; keep stdout quiet
+
+        self._server = ThreadingHTTPServer((host, port), Handler)
+        self._thread: threading.Thread | None = None
+
+    @property
+    def host(self) -> str:
+        return self._server.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self._server.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}/metrics"
+
+    def start(self) -> "MetricsListener":
+        self._thread = threading.Thread(
+            target=self._server.serve_forever,
+            name="metrics-listener",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def close(self) -> None:
+        if self._thread is not None:
+            # shutdown() blocks on the serve_forever loop acknowledging,
+            # so it must only run when the loop actually started.
+            self._server.shutdown()
+        self._server.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None
+
+    def __enter__(self) -> "MetricsListener":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

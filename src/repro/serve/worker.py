@@ -121,6 +121,11 @@ class ShardServer:
             SampleStore(shard_root, backend=backend),
             cv_degradation_threshold=cv_degradation_threshold,
             keep_versions=keep_versions,
+            # Workers cache group codes per shard piece: the scope keeps
+            # in-process workers — which share one process-wide cache —
+            # from colliding on identical (sample, version) keys whose
+            # rows differ per shard.
+            cache_scope=f"shard-{self.shard_index:02d}",
         )
         self._placeholders: set = set()
         # SQL text -> (decomposed-or-None,): workers see the same few

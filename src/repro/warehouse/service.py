@@ -32,6 +32,7 @@ from contextlib import contextmanager
 from typing import Dict, List, Mapping, Optional, Sequence
 
 from ..aqp.session import AQPResult, AQPSession, RouteDecision
+from ..engine.groupcache import default_group_code_cache
 from ..obs import default_registry, default_tracer
 from ..engine.table import Table
 from ..workload.model import Workload
@@ -211,6 +212,7 @@ class WarehouseService:
         cv_degradation_threshold: float = 1.5,
         keep_versions: int = 4,
         backend=None,
+        cache_scope: str = "",
     ) -> None:
         self.store = (
             store
@@ -223,6 +225,10 @@ class WarehouseService:
             keep_versions=keep_versions,
         )
         self._session = AQPSession(tables)
+        # Distinguishes services sharing one process that serve
+        # different row sets under the same (sample, version) — e.g.
+        # in-process shard workers — in the group-code cache key.
+        self._cache_scope = cache_scope
         self._lock = RWLock()
         self._maintenance = threading.Lock()  # serializes writers' work
         self._cache = LRUCache(cache_size)
@@ -247,6 +253,7 @@ class WarehouseService:
             with self._lock.write():
                 self._session.register_table(name, table)
                 for sample_name, stored in loaded.items():
+                    self._stamp_cache_token(sample_name, stored)
                     self._session.register_sample(
                         sample_name, stored.sample, name, replace=True
                     )
@@ -280,6 +287,7 @@ class WarehouseService:
                 seed=seed,
             )
             stored = self.store.get(name, report.version)
+            self._stamp_cache_token(name, stored)
             with self._lock.write():
                 self._session.register_sample(
                     name, stored.sample, table_name, replace=True
@@ -318,6 +326,7 @@ class WarehouseService:
                 name, batch, full_table=grown, seed=seed, columns=columns
             )
             fresh = self.store.get(name, report.version)
+            self._stamp_cache_token(name, fresh)
             with self._lock.write():
                 if grown is not None:
                     self._session.register_table(table_name, grown)
@@ -345,6 +354,7 @@ class WarehouseService:
             if stored is None:
                 stored = self.store.get(name)
             table_name = stored.table_name
+            self._stamp_cache_token(name, stored)
             with self._lock.write():
                 if table_name and table_name in self._session.tables:
                     self._session.register_sample(
@@ -610,6 +620,7 @@ class WarehouseService:
                 "queries_served": self.queries_served,
                 "store": store_info,
                 "answer_cache": self._cache.counters(),
+                "groupcode_cache": default_group_code_cache().counters(),
                 "plan_cache": {
                     "hits": session.plan_cache_hits,
                     "misses": session.plan_cache_misses,
@@ -685,6 +696,7 @@ class WarehouseService:
                 continue
             table_name = stored.table_name
             if table_name and table_name in self._session.tables:
+                self._stamp_cache_token(name, stored)
                 self._session.register_sample(
                     name, stored.sample, table_name, replace=True
                 )
@@ -692,6 +704,22 @@ class WarehouseService:
                 self._lineages[name] = dict(stored.lineage)
             else:
                 self._orphans[name] = table_name or ""
+
+    def _stamp_cache_token(self, name: str, stored) -> None:
+        """Mark one published sample version's table as immutable for
+        the per-version group-code cache (:mod:`repro.engine.groupcache`).
+
+        Each ``store.get`` loads a fresh :class:`Table`, so the stamp
+        covers exactly one immutable incarnation; the version in the
+        token keeps hot-swapped versions apart, and the scope keeps
+        in-process shard workers (same name+version, different rows)
+        apart.
+        """
+        stored.sample.table.cache_token = (
+            self._cache_scope,
+            name,
+            stored.version,
+        )
 
     def _bump(self) -> None:
         """Invalidate answers; caller must hold the write lock."""

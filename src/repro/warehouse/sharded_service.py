@@ -46,6 +46,7 @@ from ..aqp.session import AQPResult, AQPSession, RouteDecision
 from ..core.cvopt import CVOptSampler
 from ..core.sample import StratifiedSample
 from ..core.spec import GroupByQuerySpec
+from ..engine.groupcache import default_group_code_cache
 from ..engine.sql.errors import QueryExecutionError
 from ..engine.sql.parser import parse_query
 from ..engine.table import Table
@@ -751,6 +752,7 @@ class ShardedWarehouseService:
                     },
                 },
                 "answer_cache": self._cache.counters(),
+                "groupcode_cache": default_group_code_cache().counters(),
                 "tables": {
                     name: table.num_rows
                     for name, table in self._session.tables.items()

@@ -1,0 +1,280 @@
+"""Differential proof of the factorize kernels (hypothesis).
+
+The routing between :func:`factorize_hash` (O(n) direct addressing)
+and :func:`factorize_sort` (``np.unique``) is only allowed to be a
+*performance* decision — both kernels, the kernel router, and the
+legacy ``np.unique`` formulation must emit byte-identical results:
+the same dense int64 codes in ascending value order and the same
+first-occurrence representatives. The suite drives all three through
+generated inputs across dtypes, NaN/empty/single-group shapes, and
+wide keys that straddle the ``_MAX_COMBINED_KEYSPACE`` routing
+boundary into the lexsort path.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro.engine.groupby as gb
+from repro.engine.groupby import (
+    compute_group_keys,
+    compute_group_keys_sorted,
+    factorize,
+    factorize_hash,
+    factorize_sort,
+)
+from repro.engine.table import Table
+
+
+def legacy_factorize(arr):
+    """The pre-kernel formulation: ``np.unique`` verbatim (the original
+    ``factorize`` body), kept here as the differential reference."""
+    uniques, first_index, codes = np.unique(
+        arr, return_index=True, return_inverse=True
+    )
+    return codes.astype(np.int64), first_index
+
+
+def assert_same_factorization(*results):
+    ref_codes, ref_first = results[0]
+    for codes, first in results[1:]:
+        assert codes.dtype == np.int64
+        assert np.array_equal(codes, ref_codes)
+        assert np.array_equal(first, ref_first)
+
+
+def assert_same_group_keys(a, b):
+    assert a.by == b.by
+    assert a.num_groups == b.num_groups
+    assert np.array_equal(a.gids, b.gids)
+    assert np.array_equal(a.representative, b.representative)
+
+
+# ----------------------------------------------------------------------
+# kernel level: hash == sort == legacy np.unique
+# ----------------------------------------------------------------------
+class TestKernelEquivalence:
+    @settings(max_examples=100)
+    @given(
+        values=st.lists(
+            st.integers(-1000, 1000), min_size=0, max_size=300
+        ),
+        dtype=st.sampled_from([np.int64, np.int32, np.int16]),
+    )
+    def test_signed_integers(self, values, dtype):
+        arr = np.asarray(values, dtype=dtype)
+        assert_same_factorization(
+            legacy_factorize(arr),
+            factorize_sort(arr),
+            factorize_hash(arr),
+            factorize(arr),
+        )
+
+    @settings(max_examples=60)
+    @given(
+        values=st.lists(
+            st.integers(0, 2000), min_size=0, max_size=300
+        ),
+        dtype=st.sampled_from([np.uint64, np.uint32, np.uint8]),
+    )
+    def test_unsigned_integers(self, values, dtype):
+        arr = np.asarray(values, dtype=np.uint64).astype(dtype)
+        assert_same_factorization(
+            legacy_factorize(arr),
+            factorize_sort(arr),
+            factorize_hash(arr),
+            factorize(arr),
+        )
+
+    @settings(max_examples=40)
+    @given(values=st.lists(st.booleans(), min_size=0, max_size=100))
+    def test_booleans(self, values):
+        arr = np.asarray(values, dtype=np.bool_)
+        assert_same_factorization(
+            legacy_factorize(arr),
+            factorize_sort(arr),
+            factorize_hash(arr),
+            factorize(arr),
+        )
+
+    @settings(max_examples=60)
+    @given(
+        values=st.lists(
+            st.floats(
+                min_value=-1e6, max_value=1e6, allow_nan=False
+            ),
+            min_size=0,
+            max_size=200,
+        ),
+        nan_count=st.integers(0, 3),
+    )
+    def test_floats_with_nans_route_to_sort(self, values, nan_count):
+        # Floats are sort-path territory (NaN ordering, no integer
+        # domain); the router must match the legacy output exactly.
+        arr = np.asarray(values + [np.nan] * nan_count, dtype=np.float64)
+        assert_same_factorization(
+            legacy_factorize(arr),
+            factorize_sort(arr),
+            factorize(arr),
+        )
+
+    @settings(max_examples=40)
+    @given(
+        values=st.lists(
+            st.integers(0, 2**50), min_size=1, max_size=50
+        )
+    )
+    def test_sparse_domains_route_to_sort(self, values):
+        # Domains too wide to direct-address still factorize correctly
+        # through the router's sort fallback.
+        arr = np.asarray(values, dtype=np.int64)
+        assert_same_factorization(
+            legacy_factorize(arr), factorize(arr)
+        )
+
+    def test_empty_input(self):
+        arr = np.asarray([], dtype=np.int64)
+        for codes, first in (
+            factorize(arr),
+            factorize_hash(arr),
+            factorize_sort(arr),
+        ):
+            assert len(codes) == 0 and len(first) == 0
+            assert codes.dtype == np.int64
+
+    def test_single_group_input(self):
+        arr = np.full(64, 7, dtype=np.int64)
+        assert_same_factorization(
+            legacy_factorize(arr),
+            factorize_sort(arr),
+            factorize_hash(arr),
+            factorize(arr),
+        )
+
+    def test_hash_kernel_rejects_floats(self):
+        with pytest.raises(TypeError):
+            factorize_hash(np.asarray([1.0, 2.0]))
+
+    def test_hash_kernel_rejects_sparse_domains(self):
+        with pytest.raises(ValueError):
+            factorize_hash(np.asarray([0, 2**40]))
+
+
+# ----------------------------------------------------------------------
+# table level: routed group keys == lexsort path == legacy reference
+# ----------------------------------------------------------------------
+LABELS = ["a", "b", "c", "d", "e"]
+
+table_rows = st.lists(
+    st.tuples(
+        st.sampled_from(LABELS),
+        st.integers(-50, 50),
+        st.floats(min_value=-100.0, max_value=100.0, allow_nan=False),
+        st.booleans(),
+    ),
+    min_size=0,
+    max_size=150,
+)
+
+by_strategy = st.sampled_from(
+    [("s",), ("i",), ("f",), ("b",), ("s", "i"), ("s", "i", "b"),
+     ("f", "s"), ("s", "i", "f", "b")]
+)
+
+
+def make_table(rows):
+    return Table.from_pydict(
+        {
+            "s": [r[0] for r in rows],
+            "i": [r[1] for r in rows],
+            "f": [r[2] for r in rows],
+            "b": [r[3] for r in rows],
+        }
+    )
+
+
+def legacy_group_keys(table, by):
+    """Group ids the pre-kernel engine computed: legacy per-column
+    factorize, python-int combine, legacy factorize of the combined
+    codes — the original ``compute_group_keys`` body."""
+    n = table.num_rows
+    all_codes = []
+    for name in by:
+        codes, _ = legacy_factorize(table.column(name).data)
+        all_codes.append(codes)
+    combined = all_codes[0]
+    for codes in all_codes[1:]:
+        k = int(codes.max()) + 1 if len(codes) else 1
+        combined = combined * k + codes
+    gids, first_index = legacy_factorize(combined)
+    return gids, len(first_index), first_index
+
+
+class TestTableEquivalence:
+    @settings(max_examples=80, deadline=None)
+    @given(rows=table_rows, by=by_strategy)
+    def test_hash_sort_and_legacy_agree(self, rows, by):
+        table = make_table(rows)
+        routed = compute_group_keys(table, by)
+        lexsorted = compute_group_keys_sorted(table, by)
+        assert_same_group_keys(routed, lexsorted)
+        gids, num_groups, representative = legacy_group_keys(table, by)
+        assert routed.num_groups == num_groups
+        assert np.array_equal(routed.gids, gids)
+        assert np.array_equal(routed.representative, representative)
+
+    @settings(max_examples=30, deadline=None)
+    @given(rows=table_rows, by=by_strategy)
+    def test_forced_hash_kernel_agrees(self, rows, by):
+        # Force every eligible per-column factorize through the hash
+        # kernel regardless of the cost rule, then compare against the
+        # pure sort path. (Patched by hand, not via the monkeypatch
+        # fixture: function-scoped fixtures don't mix with @given.)
+        def hash_or_sort(arr):
+            arr = np.asarray(arr)
+            if arr.dtype.kind in "biu" and len(arr):
+                return factorize_hash(arr)
+            return factorize_sort(arr)
+
+        table = make_table(rows)
+        lexsorted = compute_group_keys_sorted(table, by)
+        original = gb.factorize
+        gb.factorize = hash_or_sort
+        try:
+            forced = compute_group_keys(table, by)
+        finally:
+            gb.factorize = original
+        assert_same_group_keys(forced, lexsorted)
+
+    @settings(max_examples=20, deadline=None)
+    @given(rows=table_rows, by=by_strategy)
+    def test_across_the_keyspace_routing_boundary(self, rows, by):
+        # Shrink the combined-keyspace limit so generated tables land on
+        # both sides of the boundary; the lexsort reroute must be
+        # indistinguishable from the combine path.
+        table = make_table(rows)
+        reference = compute_group_keys(table, by)
+        original = gb._MAX_COMBINED_KEYSPACE
+        gb._MAX_COMBINED_KEYSPACE = 1
+        try:
+            rerouted = compute_group_keys(table, by)
+        finally:
+            gb._MAX_COMBINED_KEYSPACE = original
+        assert_same_group_keys(rerouted, reference)
+
+    def test_wide_keys_straddle_int64_keyspace(self):
+        # Real (unpatched) overflow territory: 8 columns of ~900
+        # distinct large ints each, cardinality product >> 2**63.
+        rng = np.random.default_rng(3)
+        table = Table.from_pydict(
+            {
+                f"k{i}": rng.integers(0, 2**40, size=900)
+                for i in range(8)
+            }
+        )
+        by = tuple(table.column_names)
+        routed = compute_group_keys(table, by)
+        lexsorted = compute_group_keys_sorted(table, by)
+        assert_same_group_keys(routed, lexsorted)
+        assert routed.num_groups == 900  # all-distinct rows, no aliasing
