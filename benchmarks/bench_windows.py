@@ -1,0 +1,212 @@
+"""Windowed-warehouse benchmark: sliding-merge latency and scaling.
+
+Standalone script (same idiom as ``bench_warehouse.py``) so CI can run
+it in smoke mode and archive the JSON::
+
+    PYTHONPATH=src python benchmarks/bench_windows.py --smoke \
+        --out bench_windows.json
+
+Measured phases:
+
+* ``build``        — windowed family build (one CVOPT sample per
+                     tumbling window of the timestamp column)
+* ``merge``        — pure ``merge_window_samples`` latency as the
+                     number of covered windows grows (1, 2, 4, ...)
+* ``serve_cold``   — first sliding-window query per span: routing +
+                     slide materialization + weighted execution
+* ``serve_hot``    — the same spans again (materialized slide reuse +
+                     answer cache)
+* ``row_scaling``  — merge latency at 1x vs 4x base rows under the
+                     same budget: the merge works on per-window sample
+                     rows and moments, never the base rows, so latency
+                     must grow *sublinearly* in base row count (this is
+                     the acceptance check — exit 1 if it doesn't)
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import tempfile
+import time
+
+import numpy as np
+
+from repro.datasets import generate_openaq
+from repro.warehouse import WarehouseService, merge_window_samples
+
+TS = "local_time"  # openaq event-time column (int64 epoch seconds)
+
+
+def timed(fn, repeat: int = 3):
+    """Best-of-``repeat`` wall time and the last result."""
+    best, out = float("inf"), None
+    for _ in range(repeat):
+        start = time.perf_counter()
+        out = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, out
+
+
+def windowed_family(root: str, rows: int, budget: int, width: int):
+    table = generate_openaq(num_rows=rows, num_countries=20, seed=7)
+    service = WarehouseService(root, {"OpenAQ": table})
+    report = service.build_windowed(
+        "bench", "OpenAQ", group_by=["country"],
+        value_columns=["value"], budget=budget,
+        ts_column=TS, window=width,
+    )
+    return service, report
+
+
+def run(rows: int, budget: int, width: int, scale: int,
+        root: str) -> dict:
+    results: dict = {
+        "config": {
+            "rows": rows,
+            "budget": budget,
+            "window_seconds": width,
+            "row_scale": scale,
+        }
+    }
+
+    elapsed, (service, report) = timed(
+        lambda: windowed_family(
+            tempfile.mkdtemp(prefix="bench_windows_", dir=root),
+            rows, budget, width,
+        ),
+        repeat=1,
+    )
+    starts = report.starts
+    results["build"] = {
+        "seconds": elapsed,
+        "windows": len(starts),
+        "sample_rows": report.rows,
+    }
+
+    members = {
+        s: service.store.get(f"bench@w{s}").sample for s in starts
+    }
+    spans = [
+        n for n in (1, 2, 4, 8, 16) if n <= len(starts)
+    ]
+
+    merge = {}
+    for n in spans:
+        subset = [members[s] for s in starts[:n]]
+        seconds, merged = timed(lambda: merge_window_samples(subset))
+        merge[n] = {
+            "seconds": seconds,
+            "sample_rows": merged.table.num_rows,
+        }
+    results["merge"] = merge
+
+    def span_sql(n: int) -> str:
+        lo, hi = starts[0], starts[n - 1] + width
+        return (
+            "SELECT country, AVG(value) a FROM OpenAQ "
+            f"WHERE {TS} >= {lo} AND {TS} < {hi} GROUP BY country"
+        )
+
+    cold, hot = {}, {}
+    for n in spans:
+        seconds, answer = timed(
+            lambda: service.query(span_sql(n)), repeat=1
+        )
+        cold[n] = {
+            "seconds": seconds,
+            "route": answer.route.sample_name,
+        }
+        seconds, _ = timed(lambda: service.query(span_sql(n)))
+        hot[n] = {"seconds": seconds}
+    results["serve_cold"] = cold
+    results["serve_hot"] = hot
+
+    # Same budget, `scale`x the base rows: the merge path touches only
+    # sample rows + moments, so its latency must not scale with the
+    # base data.
+    big_rows = rows * scale
+    _, (big_service, big_report) = timed(
+        lambda: windowed_family(
+            tempfile.mkdtemp(prefix="bench_windows_big_", dir=root),
+            big_rows, budget, width,
+        ),
+        repeat=1,
+    )
+    big_members = [
+        big_service.store.get(f"bench@w{s}").sample
+        for s in big_report.starts
+    ]
+    n = min(len(starts), len(big_report.starts), max(spans))
+    small_seconds, _ = timed(
+        lambda: merge_window_samples([members[s] for s in starts[:n]])
+    )
+    big_seconds, _ = timed(lambda: merge_window_samples(big_members[:n]))
+    ratio = big_seconds / small_seconds if small_seconds else 1.0
+    results["row_scaling"] = {
+        "windows_merged": n,
+        "rows": {"small": rows, "big": big_rows},
+        "merge_seconds": {"small": small_seconds, "big": big_seconds},
+        "latency_ratio": ratio,
+        "row_ratio": float(scale),
+        # Sublinear with headroom: scale x the rows must cost well
+        # under scale x the merge time.
+        "sublinear": ratio < scale / 1.5,
+    }
+    return results
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="tiny sizes for CI (seconds, not minutes)",
+    )
+    parser.add_argument("--rows", type=int, default=None)
+    parser.add_argument("--budget", type=int, default=None)
+    parser.add_argument(
+        "--window", type=int, default=None,
+        help="window width in seconds (default ~90 days: the openaq "
+        "timestamps span ~3.5 years, giving ~14 windows)",
+    )
+    parser.add_argument(
+        "--scale", type=int, default=4,
+        help="row multiplier for the sublinearity check",
+    )
+    parser.add_argument("--root", default=None, help="work directory")
+    parser.add_argument("--out", default="bench_windows.json")
+    args = parser.parse_args(argv)
+
+    rows = args.rows or (6_000 if args.smoke else 100_000)
+    budget = args.budget or (400 if args.smoke else 4_000)
+    width = args.window or 90 * 86400
+    root = args.root or tempfile.mkdtemp(prefix="bench_windows_root_")
+
+    results = run(
+        rows=rows, budget=budget, width=width, scale=args.scale,
+        root=root,
+    )
+    with open(args.out, "w") as fh:
+        json.dump(results, fh, indent=2)
+
+    b = results["build"]
+    print(f"build     {b['seconds']:.3f}s ({b['windows']} windows, "
+          f"{b['sample_rows']} sample rows)")
+    for n, m in results["merge"].items():
+        print(f"merge     {n:>2} windows: {m['seconds'] * 1e3:.2f}ms "
+              f"({m['sample_rows']} rows)")
+    for n in results["serve_cold"]:
+        print(f"serve     {n:>2} windows: "
+              f"cold {results['serve_cold'][n]['seconds'] * 1e3:.2f}ms "
+              f"-> {results['serve_cold'][n]['route']}, "
+              f"hot {results['serve_hot'][n]['seconds'] * 1e6:.0f}us")
+    rs = results["row_scaling"]
+    print(f"scaling   {rs['row_ratio']:.0f}x rows -> "
+          f"{rs['latency_ratio']:.2f}x merge latency "
+          f"({'sublinear' if rs['sublinear'] else 'NOT sublinear'})")
+    print(f"wrote {args.out}")
+    return 0 if rs["sublinear"] else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

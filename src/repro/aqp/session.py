@@ -52,6 +52,7 @@ from ..engine.sql.parser import parse_query
 from ..engine.sql.planner import (
     apply_weighting,
     bind_plan,
+    extract_time_bounds,
     lower_query,
     parameterize_query,
     rename_tables,
@@ -126,6 +127,9 @@ class RouteDecision:
     reason: str
     group_cvs: Optional[Tuple[float, ...]] = None  # per-stratum CVs
     cv_columns: Optional[Tuple[str, ...]] = None  # columns predicted from
+    #: Half-open event-time coverage ``[start, end)`` of the chosen
+    #: sample when it is time-windowed (None otherwise).
+    window_bounds: Optional[Tuple[int, int]] = None
 
     @property
     def approximate(self) -> bool:
@@ -177,6 +181,11 @@ class AQPSession:
         self.tables: Dict[str, Table] = dict(tables or {})
         self.catalog = catalog if catalog is not None else SampleCatalog()
         self._sample_sources: Dict[str, str] = {}  # sample -> base table
+        #: Event-time coverage of windowed samples:
+        #: ``name -> {"column", "start", "end"}`` (half-open ``[start,
+        #: end)``). A windowed sample only answers queries whose WHERE
+        #: clause provably stays inside its coverage.
+        self._sample_windows: Dict[str, Dict] = {}
         self._shape_cache: Dict[tuple, _CachedShape] = {}
         self.plan_cache_hits = 0
         self.plan_cache_misses = 0
@@ -201,11 +210,16 @@ class AQPSession:
         sample: StratifiedSample,
         table_name: str,
         replace: bool = False,
+        window: Optional[Dict] = None,
     ) -> None:
         """Add a materialized sample standing in for ``table_name``.
 
         ``replace=True`` swaps an already-registered sample in place —
         the warehouse uses this to publish refreshed versions.
+        ``window`` (``{"column", "start", "end"}``) declares the sample
+        time-windowed: it covers only base rows with ``start <= column
+        < end``, is *preferred* for queries whose WHERE clause provably
+        stays inside that range, and is ineligible for any other query.
 
         Raises :class:`KeyError` when ``table_name`` is unknown and
         :class:`ValueError` when ``name`` is already registered without
@@ -218,12 +232,27 @@ class AQPSession:
             )
         self.catalog.add(name, sample, replace=replace)
         self._sample_sources[name] = table_name
+        if window is not None:
+            self._sample_windows[name] = {
+                "column": str(window["column"]),
+                "start": int(window["start"]),
+                "end": int(window["end"]),
+            }
+        else:
+            self._sample_windows.pop(name, None)
         self.clear_plan_cache()
+
+    def sample_window(self, name: str) -> Optional[Dict]:
+        """Event-time coverage of a windowed sample (``{"column",
+        "start", "end"}``), or ``None`` for un-windowed samples."""
+        window = self._sample_windows.get(name)
+        return dict(window) if window else None
 
     def drop_sample(self, name: str) -> None:
         """Remove a sample from routing."""
         self.catalog.remove(name)
         self._sample_sources.pop(name, None)
+        self._sample_windows.pop(name, None)
         self.clear_plan_cache()
 
     def build_sample(
@@ -290,7 +319,12 @@ class AQPSession:
         with _TRACER.span("aqp.parse"):
             parsed = parse_query(sql)
             shape, literals = parameterize_query(parsed)
-        key = (shape, mode, max_cv)
+        # Literals are parameterized out of the shape, but windowed
+        # routing *depends* on the literal time bounds — two queries of
+        # one shape can need different window sets. Folding the
+        # extracted bounds into the key keeps the cache sound; with no
+        # windowed samples registered it contributes nothing.
+        key = (shape, mode, max_cv, self._time_bounds_key(parsed))
         entry = self._shape_cache.get(key)
         cached = entry is not None
         if entry is None:
@@ -411,12 +445,56 @@ class AQPSession:
         needed = _grouping_attributes(query)
         agg_columns = _aggregate_columns(query)
 
-        # (score, extra_attrs, name, table_name, group_cvs, cv_columns)
+        # (rank, span, score, extra_attrs, name, table_name, group_cvs,
+        #  cv_columns, window_bounds) — rank 0 is a windowed sample
+        # covering the query's time range (time-matched beats
+        # all-of-history: its rows are all in-range, so none of the
+        # budget is wasted on rows the WHERE clause discards). Among
+        # covering windowed candidates the *tightest* span wins, for
+        # the same reason: a wider slide's extra rows are discarded by
+        # the WHERE clause, and its contract (predicted CV computed on
+        # all merged rows, window_bounds) would describe rows the query
+        # never touches — e.g. a stale ``@slide`` left registered by an
+        # earlier wider-ranged query must not outrank the exactly-
+        # matching member. With no windowed samples every rank is 1,
+        # every span 0, and ordering is unchanged.
         best = None  # globally-lowest predicted CV
         best_ok = None  # lowest predicted CV among max_cv-satisfying
+        # Data horizon per (base table, timestamp column): the furthest
+        # ``end`` any registered window reaches. The warehouse rolls
+        # windows forward with every ingest, so no base row is newer
+        # than this — which is what makes an *unbounded* ``ts >= X``
+        # query answerable by a window that reaches the horizon.
+        horizons: Dict[tuple, int] = {}
+        for nm, w in self._sample_windows.items():
+            k = (self._sample_sources.get(nm), w["column"])
+            end = int(w["end"])
+            if k not in horizons or end > horizons[k]:
+                horizons[k] = end
         for name, table_name in self._sample_sources.items():
             if table_name not in referenced:
                 continue
+            window = self._sample_windows.get(name)
+            rank = 1
+            window_bounds = None
+            if window is not None:
+                bounds = extract_time_bounds(query, window["column"])
+                if bounds is None:
+                    continue  # all-of-history query; window can't answer
+                lo, hi = bounds
+                if lo is None or lo < window["start"]:
+                    continue  # reaches before coverage
+                if hi is None:
+                    # Open-ended future: only a window reaching the
+                    # data horizon covers it (rows can exist anywhere
+                    # up to the horizon, never past it).
+                    horizon = horizons[(table_name, window["column"])]
+                    if window["end"] < horizon:
+                        continue
+                elif hi > window["end"]:
+                    continue  # reaches past coverage
+                rank = 0
+                window_bounds = (window["start"], window["end"])
             sample = self.catalog.get(name)
             attrs = set(sample.allocation.by)
             if not needed <= attrs:
@@ -425,15 +503,21 @@ class AQPSession:
                 sample, agg_columns
             )
             extra = len(attrs - needed)
-            candidate = (
-                score, extra, name, table_name, group_cvs, cv_columns,
+            span = (
+                window_bounds[1] - window_bounds[0]
+                if window_bounds is not None
+                else 0
             )
-            if best is None or candidate[:2] < best[:2]:
+            candidate = (
+                rank, span, score, extra, name, table_name, group_cvs,
+                cv_columns, window_bounds,
+            )
+            if best is None or candidate[:4] < best[:4]:
                 best = candidate
             if max_cv is not None:
                 worst = float(max(group_cvs)) if len(group_cvs) else 0.0
                 if worst <= max_cv and (
-                    best_ok is None or candidate[:2] < best_ok[:2]
+                    best_ok is None or candidate[:4] < best_ok[:4]
                 ):
                     best_ok = candidate
         if best is None:
@@ -446,26 +530,51 @@ class AQPSession:
         # max_cv on the queried columns beats the globally-lowest-CV
         # sample that would violate it.
         contract_note = ""
-        if best_ok is not None and best_ok[2] != best[2]:
+        if best_ok is not None and best_ok[4] != best[4]:
             contract_note = (
-                f", preferred over {best[2]!r} (CV {best[0]:.4f}) because "
+                f", preferred over {best[4]!r} (CV {best[2]:.4f}) because "
                 f"its per-group CV meets max_cv {max_cv:.4f}"
             )
             best = best_ok
         elif best_ok is not None:
             contract_note = f", meets max_cv {max_cv:.4f}"
-        score, _, name, table_name, group_cvs, cv_columns = best
+        (
+            _, _, score, _, name, table_name, group_cvs, cv_columns,
+            window_bounds,
+        ) = best
         columns_note = (
             f" on column(s) {', '.join(cv_columns)}" if cv_columns else ""
+        )
+        window_note = (
+            f", windowed [{window_bounds[0]}, {window_bounds[1]})"
+            if window_bounds is not None
+            else ""
         )
         return RouteDecision(
             sample_name=name,
             table_name=table_name,
             predicted_cv=score,
             reason=f"sample {name!r} covers grouping {sorted(needed) or '*'} "
-            f"with predicted CV {score:.4f}{columns_note}{contract_note}",
+            f"with predicted CV {score:.4f}{columns_note}{window_note}"
+            f"{contract_note}",
             group_cvs=tuple(float(v) for v in group_cvs),
             cv_columns=tuple(cv_columns),
+            window_bounds=window_bounds,
+        )
+
+    def _time_bounds_key(self, parsed: SelectQuery) -> tuple:
+        """Hashable per-query time bounds over every windowed column.
+
+        Empty (and free) while no windowed samples are registered.
+        """
+        if not self._sample_windows:
+            return ()
+        columns = sorted(
+            {w["column"] for w in self._sample_windows.values()}
+        )
+        return tuple(
+            (column, extract_time_bounds(parsed, column))
+            for column in columns
         )
 
     def _fallback(self, mode: str, reason: str) -> RouteDecision:

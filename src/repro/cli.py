@@ -145,6 +145,28 @@ def build_parser() -> argparse.ArgumentParser:
         help="stratum-hash shard count for a new store (default: "
         "auto-detect from the store; 1 = the plain single-store layout)",
     )
+    whb.add_argument(
+        "--window", default=None,
+        help="tumbling-window width (e.g. 1h, 30m, 86400 seconds): "
+        "partitions rows by --ts-column and persists one windowed "
+        "member per window instead of a single sample",
+    )
+    whb.add_argument(
+        "--ts-column", default=None,
+        help="integer timestamp column that assigns rows to windows "
+        "(required with --window)",
+    )
+    whb.add_argument(
+        "--decay", type=float, default=None,
+        help="per-window exponential decay factor in (0, 1] applied "
+        "when merging windows into a sliding answer (unsharded only; "
+        "serving-time parameter, not persisted)",
+    )
+    whb.add_argument(
+        "--retention", type=int, default=None,
+        help="keep only the newest N windows, deleting older members "
+        "at build time (unsharded only)",
+    )
 
     whr = whsub.add_parser(
         "refresh", help="fold an appended batch into a stored sample"
@@ -490,6 +512,20 @@ def _cmd_warehouse_build(args) -> int:
         return 2
     group_by = [c for c in args.group_by.split(",") if c]
     shards = _resolve_shards(args.root, args.shards)
+    if args.window is not None:
+        if not args.ts_column:
+            print("--window requires --ts-column", file=sys.stderr)
+            return 2
+        return _windowed_build(
+            args, table, table_name, group_by, value_columns, budget,
+            shards,
+        )
+    if args.ts_column or args.decay is not None or args.retention is not None:
+        print(
+            "--ts-column/--decay/--retention only apply with --window",
+            file=sys.stderr,
+        )
+        return 2
     if shards > 1:
         from .warehouse import ShardedWarehouseService
 
@@ -526,6 +562,63 @@ def _cmd_warehouse_build(args) -> int:
     return 0
 
 
+def _windowed_build(
+    args, table, table_name, group_by, value_columns, budget, shards
+) -> int:
+    from .warehouse import format_window, parse_window
+
+    try:
+        width = parse_window(args.window)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    if shards > 1:
+        if args.decay is not None or args.retention is not None:
+            print(
+                "--decay/--retention are not supported on sharded "
+                "stores; rebuild with --shards 1",
+                file=sys.stderr,
+            )
+            return 2
+        from .warehouse import ShardedWarehouseService
+
+        with ShardedWarehouseService(
+            args.root, {table_name: table}, shards=shards,
+            backend=args.backend, workers="inprocess",
+        ) as service:
+            report = service.build_windowed(
+                args.name, table_name, group_by=group_by,
+                value_columns=value_columns, budget=budget,
+                ts_column=args.ts_column, window=width,
+                seed=args.seed,
+            )
+        suffix = f" across {shards} shards"
+    else:
+        from .warehouse import WarehouseService
+
+        service = WarehouseService(
+            args.root, {table_name: table}, backend=args.backend
+        )
+        report = service.build_windowed(
+            args.name, table_name, group_by=group_by,
+            value_columns=value_columns, budget=budget,
+            ts_column=args.ts_column, window=width,
+            decay=args.decay, retention=args.retention,
+            seed=args.seed,
+        )
+        suffix = ""
+    source_rows = sum(w.source_rows for w in report.windows)
+    per_window = report.windows[0].budget if report.windows else 0
+    print(
+        f"built {args.name} windowed by {args.ts_column} "
+        f"({format_window(width)}): {len(report.windows)} windows "
+        f"starting at {report.starts}, {report.rows} sample rows total "
+        f"(budget {per_window}/window, source {source_rows} rows) "
+        f"-> {args.root}{suffix}"
+    )
+    return 0
+
+
 def _cmd_warehouse_refresh(args) -> int:
     from .warehouse import SampleMaintainer, SampleStore
 
@@ -552,13 +645,50 @@ def _cmd_warehouse_refresh(args) -> int:
                 args.name, batch, seed=args.seed, columns=columns
             )
     else:
-        maintainer = SampleMaintainer(
-            SampleStore(args.root, backend=args.backend)
+        store = SampleStore(args.root, backend=args.backend)
+        names = set(store.names())
+        member_prefix = args.name + "@w"
+        if args.name not in names and any(
+            n.startswith(member_prefix) for n in names
+        ):
+            # Windowed family: only the service knows how to roll the
+            # member windows forward (the base name has no store entry).
+            from .warehouse import WarehouseService
+
+            tables = {}
+            if full_table is not None:
+                member = min(
+                    n for n in names if n.startswith(member_prefix)
+                )
+                table_name = (
+                    store.get(member).table_name or full_table.name or "T"
+                )
+                tables[table_name] = full_table
+            service = WarehouseService(
+                args.root, tables, backend=args.backend
+            )
+            report = service.refresh(
+                args.name, batch, seed=args.seed, columns=columns
+            )
+        else:
+            maintainer = SampleMaintainer(store)
+            report = maintainer.refresh(
+                args.name, batch, full_table=full_table, seed=args.seed,
+                columns=columns,
+            )
+    if report.action == "windowed":
+        def _starts(starts):
+            return ",".join(str(s) for s in starts) if starts else "-"
+
+        print(
+            f"windowed refresh of {args.name} -> {report.version}: "
+            f"+{report.rows_ingested} rows; "
+            f"opened [{_starts(report.opened)}], "
+            f"refreshed [{_starts(report.refreshed)}], "
+            f"expired [{_starts(report.expired)}], "
+            f"{report.frozen_rows} late rows frozen out of closed windows"
         )
-        report = maintainer.refresh(
-            args.name, batch, full_table=full_table, seed=args.seed,
-            columns=columns,
-        )
+        return 0
     per_column = ", ".join(
         f"{c}={d:.3f}" for c, d in report.drift_by_column.items()
     )

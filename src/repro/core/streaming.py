@@ -110,6 +110,14 @@ class StreamingCVOptSampler:
         Label for the sample's headline column (default: the first of
         ``value_columns``); re-balancing itself optimizes the combined
         multi-column objective. Must be one of ``value_columns``.
+    decay:
+        Optional exponential decay in ``(0, 1]`` for recent-biased
+        allocation: each :meth:`decay_step` call (issued by the caller
+        at its time-window boundaries) scales every stratum's Welford
+        mass by this factor, so old data steers re-balancing with
+        ``decay**age`` of its original weight. Per-stratum means and
+        CVs are unaffected (uniform scaling); reservoir contents,
+        populations and Horvitz-Thompson weights stay exact.
     """
 
     def __init__(
@@ -122,6 +130,7 @@ class StreamingCVOptSampler:
         mean_floor: float = 1e-9,
         seed: int | np.random.Generator = 0,
         primary_column: str | None = None,
+        decay: float | None = None,
     ) -> None:
         if budget <= 0:
             raise ValueError("budget must be positive")
@@ -143,6 +152,9 @@ class StreamingCVOptSampler:
         self.pilot_rows = int(pilot_rows)
         self.headroom = float(headroom)
         self.mean_floor = float(mean_floor)
+        if decay is not None and not 0.0 < float(decay) <= 1.0:
+            raise ValueError("decay must be in (0, 1]")
+        self.decay = float(decay) if decay is not None else None
         self._rng = (
             seed
             if isinstance(seed, np.random.Generator)
@@ -152,6 +164,12 @@ class StreamingCVOptSampler:
         self._rows_seen = 0
         self._rebalanced = False
         self._next_rebalance = self.pilot_rows
+        #: Logical dtype per observed column. Reservoir records are
+        #: plain python values; without this the finalized table would
+        #: re-infer dtypes and silently downgrade e.g. TIMESTAMP (epoch
+        #: ints) to INT64 — breaking schema-sensitive consumers such as
+        #: the sliding-window merge, which concats member tables.
+        self._column_dtypes: Dict[str, DType] = {}
 
     @property
     def value_column(self) -> str:
@@ -171,6 +189,7 @@ class StreamingCVOptSampler:
         mean_floor: float = 1e-9,
         seed: int | np.random.Generator = 0,
         primary_column: str | None = None,
+        decay: float | None = None,
     ) -> "StreamingCVOptSampler":
         """Warm-start a streaming sampler from a materialized sample.
 
@@ -200,6 +219,7 @@ class StreamingCVOptSampler:
             mean_floor=mean_floor,
             seed=seed,
             primary_column=primary_column,
+            decay=decay,
         )
         table = sample.table
         gids = (
@@ -208,6 +228,7 @@ class StreamingCVOptSampler:
             else np.zeros(table.num_rows, dtype=np.int64)
         )
         payload = table.without_columns([WEIGHT_COLUMN, STRATUM_COLUMN])
+        sampler._note_dtypes(payload)
         decoded = {n: payload.column(n).decode() for n in payload.column_names}
         rows_by_stratum: Dict[int, list] = {}
         for i in range(payload.num_rows):
@@ -296,8 +317,32 @@ class StreamingCVOptSampler:
 
     def observe_table(self, table: Table) -> None:
         """Convenience: stream a Table row by row (tests, examples)."""
+        self._note_dtypes(table)
         for row in table.iter_rows():
             self.observe(row)
+
+    def _note_dtypes(self, table: Table) -> None:
+        """Remember each column's logical dtype so the finalized
+        reservoir table round-trips the schema instead of re-inferring
+        it from python values."""
+        for name in table.column_names:
+            self._column_dtypes[name] = table.column(name).dtype
+
+    def decay_step(self, factor: float | None = None) -> None:
+        """Apply one exponential-decay step to every stratum's moments.
+
+        The caller decides what a "step" is — typically one tumbling
+        window rolling over. Scaling is uniform per stratum
+        (:meth:`WelfordAccumulator.scale`), so per-stratum means and CVs
+        are preserved exactly; only the relative mass of old
+        observations in the next re-balance shrinks.
+        """
+        factor = self.decay if factor is None else float(factor)
+        if factor is None:
+            raise ValueError("no decay factor configured or given")
+        for state in self._strata.values():
+            for acc in state.stats.values():
+                acc.scale(factor)
 
     # ------------------------------------------------------------------
     # re-balancing
@@ -450,10 +495,15 @@ class StreamingCVOptSampler:
         if not rows:
             return Table({})
         columns = list(rows[0].keys())
-        data = {
-            name: [row[name] for row in rows] for name in columns
-        }
-        return Table.from_pydict(data)
+        return Table(
+            {
+                name: Column.from_values(
+                    [row[name] for row in rows],
+                    self._column_dtypes.get(name),
+                )
+                for name in columns
+            }
+        )
 
 
 def _restore_welford(

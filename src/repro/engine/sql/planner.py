@@ -26,7 +26,17 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional, Tuple
 
-from ..expr import Expr, Literal, Parameter, rewrite
+import math
+
+from ..expr import (
+    Between,
+    BinOp,
+    ColumnRef,
+    Expr,
+    Literal,
+    Parameter,
+    rewrite,
+)
 from .ast import (
     JoinClause,
     NamedTable,
@@ -56,6 +66,7 @@ __all__ = [
     "transform_plan_exprs",
     "parameterize_query",
     "bind_plan",
+    "extract_time_bounds",
     "format_plan",
 ]
 
@@ -478,6 +489,110 @@ def bind_plan(plan: LogicalPlan, values) -> LogicalPlan:
     if not mapping:
         return plan
     return transform_plan_exprs(plan, lambda e: rewrite(e, mapping))
+
+
+# ----------------------------------------------------------------------
+# time-range predicate analysis (window routing)
+# ----------------------------------------------------------------------
+def extract_time_bounds(
+    query: SelectQuery, column: str
+) -> Optional[Tuple[Optional[int], Optional[int]]]:
+    """The half-open ``[lo, hi)`` range ``query``'s WHERE clause implies
+    for integer timestamp ``column``, or ``None`` when it implies none.
+
+    Only predicates that *restrict* the column in every satisfying row
+    count: top-level ``AND`` conjuncts of the form ``ts >= L``,
+    ``ts > L``, ``ts < H``, ``ts <= H``, ``ts = X`` and
+    ``ts BETWEEN a AND b`` (either operand order, numeric literals).
+    Multiple conjuncts intersect. Anything else — ``OR`` branches,
+    arithmetic over the column, non-literal comparands — is ignored; it
+    can only narrow the row set further, so routing on the extracted
+    bounds stays sound (the retained WHERE clause re-filters sample
+    rows exactly). Either side of the result may be ``None``
+    (unbounded); a query with no usable conjunct returns ``None``.
+    """
+    if query.where is None:
+        return None
+    lo: Optional[int] = None
+    hi: Optional[int] = None
+
+    def tighten(new_lo: Optional[int], new_hi: Optional[int]) -> None:
+        nonlocal lo, hi
+        if new_lo is not None:
+            lo = new_lo if lo is None else max(lo, new_lo)
+        if new_hi is not None:
+            hi = new_hi if hi is None else min(hi, new_hi)
+
+    for conjunct in _conjuncts(query.where):
+        bounds = _conjunct_bounds(conjunct, column)
+        if bounds is not None:
+            tighten(*bounds)
+    if lo is None and hi is None:
+        return None
+    return lo, hi
+
+
+def _conjuncts(expr: Expr):
+    if isinstance(expr, BinOp) and expr.op == "AND":
+        yield from _conjuncts(expr.left)
+        yield from _conjuncts(expr.right)
+    else:
+        yield expr
+
+
+def _is_column(expr: Expr, column: str) -> bool:
+    return isinstance(expr, ColumnRef) and (
+        expr.name == column or expr.name.rsplit(".", 1)[-1] == column
+    )
+
+
+def _literal_number(expr: Expr) -> Optional[float]:
+    if isinstance(expr, Literal) and isinstance(
+        expr.value, (int, float)
+    ) and not isinstance(expr.value, bool):
+        return float(expr.value)
+    return None
+
+
+def _conjunct_bounds(expr: Expr, column: str):
+    """``(lo, hi)`` contribution of one conjunct, or None.
+
+    Timestamps are integers, so fractional literals round inward:
+    ``ts >= 3.5`` admits the same rows as ``ts >= 4``.
+    """
+    if isinstance(expr, Between):
+        if _is_column(expr.subject, column):
+            low = _literal_number(expr.low)
+            high = _literal_number(expr.high)
+            if low is not None and high is not None:
+                return math.ceil(low), math.floor(high) + 1
+        return None
+    if not isinstance(expr, BinOp):
+        return None
+    op = expr.op
+    if _is_column(expr.left, column):
+        value = _literal_number(expr.right)
+    elif _is_column(expr.right, column):
+        value = _literal_number(expr.left)
+        # Flip so the column is notionally on the left: 5 <= ts == ts >= 5.
+        op = {"<": ">", "<=": ">=", ">": "<", ">=": "<="}.get(op, op)
+    else:
+        return None
+    if value is None:
+        return None
+    if op == ">=":
+        return math.ceil(value), None
+    if op == ">":
+        return math.floor(value) + 1, None
+    if op == "<":
+        return None, math.ceil(value)
+    if op == "<=":
+        return None, math.floor(value) + 1
+    if op == "=":
+        if value == int(value):
+            return int(value), int(value) + 1
+        return None
+    return None
 
 
 # ----------------------------------------------------------------------

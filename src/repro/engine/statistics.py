@@ -226,6 +226,22 @@ class WelfordAccumulator:
         for v in np.asarray(values, dtype=np.float64):
             self.add(float(v))
 
+    def scale(self, factor: float) -> None:
+        """Uniformly down-weight the accumulated mass.
+
+        Scaling ``count`` and ``m2`` by the same factor leaves the mean
+        and (population) variance unchanged — only the state's weight
+        relative to later observations shrinks. This is the exponential
+        -decay primitive: applied once per window boundary, older data
+        contributes ``factor**age`` of its original mass to every
+        subsequent re-balance decision. ``count`` becomes fractional;
+        all downstream moment math is float already.
+        """
+        if factor < 0:
+            raise ValueError("scale factor must be non-negative")
+        self.count *= factor
+        self.m2 *= factor
+
     def merge(self, other: "WelfordAccumulator") -> None:
         if other.count == 0:
             return

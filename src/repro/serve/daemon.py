@@ -64,6 +64,14 @@ _ESCALATIONS = default_registry().counter(
     "repro_daemon_escalations_total",
     "Refreshes whose drift escalated to a full rebuild",
 )
+_WINDOW_ROLLS = default_registry().counter(
+    "repro_daemon_window_rolls_total",
+    "Batches that rolled a windowed family forward",
+)
+_FROZEN_ROWS = default_registry().counter(
+    "repro_daemon_frozen_rows_total",
+    "Late rows dropped from closed-window samples by the daemon",
+)
 _PENDING_RETRIES = default_registry().gauge(
     "repro_daemon_pending_retries",
     "Batch files currently queued for a backoff retry",
@@ -81,9 +89,17 @@ class BatchOutcome:
     file: str
     sample: Optional[str]
     ok: bool
-    action: Optional[str] = None  # "incremental" / "rebuild" when ok
+    # "incremental" / "rebuild", or "windowed" when the batch rolled a
+    # windowed family forward (open-window refresh, fresh windows for
+    # newer rows, late rows frozen out of closed windows).
+    action: Optional[str] = None
     version: Optional[str] = None
     rows: int = 0
+    #: Windowed refreshes only: window starts refreshed or opened, and
+    #: late rows dropped from closed-window samples.
+    windows_refreshed: Optional[List[int]] = None
+    windows_opened: Optional[List[int]] = None
+    frozen_rows: int = 0
     error: Optional[str] = None
     elapsed_seconds: float = 0.0
     #: 1-based attempt number this outcome describes.
@@ -316,6 +332,10 @@ class MaintenanceDaemon:
         _REFRESH_SECONDS.observe(elapsed)
         if report.action == "rebuild":
             _ESCALATIONS.inc()
+        if report.action == "windowed":
+            _WINDOW_ROLLS.inc()
+            if report.frozen_rows:
+                _FROZEN_ROWS.inc(report.frozen_rows)
         return BatchOutcome(
             file=path.name,
             sample=sample,
@@ -323,6 +343,9 @@ class MaintenanceDaemon:
             action=report.action,
             version=report.version,
             rows=report.rows_ingested,
+            windows_refreshed=getattr(report, "refreshed", None),
+            windows_opened=getattr(report, "opened", None),
+            frozen_rows=getattr(report, "frozen_rows", 0),
             elapsed_seconds=elapsed,
             attempts=attempts,
         )

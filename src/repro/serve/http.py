@@ -480,6 +480,12 @@ class WarehouseHTTPServer:
             "staleness": (
                 contract.staleness if contract is not None else None
             ),
+            "window_bounds": (
+                list(contract.window_bounds)
+                if contract is not None
+                and contract.window_bounds is not None
+                else None
+            ),
             "group_cv_summary": (
                 {
                     "groups": len(group_cvs),

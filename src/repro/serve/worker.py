@@ -189,6 +189,10 @@ class ShardServer:
                 "allocation": sample.allocation,
                 "version": version,
                 "lineage": lineage,
+                # Window members carry their tumbling-window tag so the
+                # front can rebuild its family registry and register
+                # time-aware stand-ins.
+                "window": lineage.get("window"),
                 "method": sample.method,
                 "rows": sample.num_rows,
                 "source_rows": sample.source_rows,

@@ -33,6 +33,7 @@ from .maintenance import (
     RefreshReport,
     SampleMaintainer,
     StalenessInfo,
+    WindowedBuildReport,
     allocation_drift,
     allocation_drift_by_column,
     staleness_from_lineage,
@@ -46,7 +47,12 @@ from .partials import (
     finalize_partials,
     merge_partials,
 )
-from .service import LRUCache, RWLock, WarehouseService
+from .service import (
+    LRUCache,
+    RWLock,
+    WarehouseService,
+    WindowedRefreshReport,
+)
 from .sharded_service import ShardedWarehouseService
 from .sharding import (
     SHARD_SCHEME,
@@ -57,6 +63,18 @@ from .sharding import (
     split_sample,
 )
 from .store import SampleStore, StoredSample, StoreEntryStats
+from .windows import (
+    SLIDE_SUFFIX,
+    covering_window_starts,
+    format_window,
+    merge_window_allocations,
+    merge_window_samples,
+    parse_window,
+    partition_by_window,
+    window_decay_factors,
+    window_sample_name,
+    window_start,
+)
 
 __all__ = [
     "SampleStore",
@@ -105,4 +123,16 @@ __all__ = [
     "compute_partials",
     "merge_partials",
     "finalize_partials",
+    "SLIDE_SUFFIX",
+    "WindowedBuildReport",
+    "WindowedRefreshReport",
+    "window_start",
+    "window_sample_name",
+    "parse_window",
+    "format_window",
+    "partition_by_window",
+    "covering_window_starts",
+    "window_decay_factors",
+    "merge_window_allocations",
+    "merge_window_samples",
 ]

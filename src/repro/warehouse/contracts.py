@@ -68,7 +68,15 @@ class AccuracyContract:
     #: Stratification key tuples, aligned with ``group_cvs``.
     group_keys: Optional[Tuple[Tuple, ...]] = None
     #: Rows ingested since the last full build / base rows (0.0 fresh).
+    #: For a windowed sample this is *event-time*: how many window
+    #: widths the newest covered event lags behind now.
     staleness: float = 0.0
+    #: Half-open event-time range ``[start, end)`` the answering sample
+    #: actually covers (None for un-windowed samples and exact
+    #: execution). Sits next to ``staleness``: staleness says how far
+    #: behind the data is, ``window_bounds`` says which slice of time
+    #: the answer speaks for.
+    window_bounds: Optional[Tuple[int, int]] = None
     #: Achieved / optimal predicted-CV objective ratio (1.0 optimal).
     drift: float = 1.0
     #: Maintenance flagged this sample for a full rebuild.
@@ -103,6 +111,11 @@ class AccuracyContract:
                 else None
             ),
             "staleness": self.staleness,
+            "window_bounds": (
+                list(self.window_bounds)
+                if self.window_bounds is not None
+                else None
+            ),
             "drift": self.drift,
             "needs_rebuild": self.needs_rebuild,
             "fallback_exact": self.fallback_exact,
@@ -145,6 +158,7 @@ def build_contract(
     lineage: Dict,
     staleness: float,
     group_keys: Optional[Tuple[Tuple, ...]],
+    window_bounds: Optional[Tuple[int, int]] = None,
 ):
     """Contract + violation list for one routing decision.
 
@@ -203,6 +217,11 @@ def build_contract(
         group_cvs=route.group_cvs,
         group_keys=group_keys,
         staleness=staleness,
+        window_bounds=(
+            (int(window_bounds[0]), int(window_bounds[1]))
+            if window_bounds is not None
+            else None
+        ),
         drift=float(lineage.get("drift", 1.0)),
         needs_rebuild=bool(lineage.get("needs_rebuild", False)),
         fallback_exact=False,

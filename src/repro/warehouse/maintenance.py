@@ -31,6 +31,7 @@ the atomic pointer swap.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
@@ -48,12 +49,14 @@ from ..engine.statistics import (
 )
 from ..engine.table import Table
 from .store import SampleStore, StoredSample, derive_columns_block
+from .windows import parse_window, partition_by_window, window_sample_name
 
 __all__ = [
     "SampleMaintainer",
     "BuildReport",
     "RefreshReport",
     "StalenessInfo",
+    "WindowedBuildReport",
     "allocation_drift",
     "allocation_drift_by_column",
     "staleness_from_lineage",
@@ -76,6 +79,21 @@ class BuildReport:
     budget: int
     source_rows: int
     columns: List[str] = field(default_factory=list)
+
+
+@dataclass
+class WindowedBuildReport:
+    """Outcome of a windowed build: one store member per window."""
+
+    name: str  # family base name
+    column: str  # timestamp column the ingest was partitioned on
+    width: int  # window width, seconds
+    starts: List[int] = field(default_factory=list)
+    windows: List[BuildReport] = field(default_factory=list)
+
+    @property
+    def rows(self) -> int:
+        return sum(w.rows for w in self.windows)
 
 
 @dataclass
@@ -110,6 +128,8 @@ class StalenessInfo:
     needs_rebuild: bool
     columns: List[str] = field(default_factory=list)
     drift_by_column: Dict[str, float] = field(default_factory=dict)
+    #: Newest covered event timestamp (windowed samples; None otherwise).
+    max_event_ts: Optional[int] = None
 
 
 class SampleMaintainer:
@@ -185,6 +205,78 @@ class SampleMaintainer:
             columns=list(value_columns),
         )
 
+    def build_windowed(
+        self,
+        name: str,
+        table: Table,
+        group_by: Sequence[str],
+        value_columns: Sequence[str],
+        budget: int,
+        ts_column: str,
+        window,
+        table_name: Optional[str] = None,
+        seed: int = 0,
+    ) -> WindowedBuildReport:
+        """Partition ``table`` into tumbling windows on ``ts_column``
+        and run one two-pass build per window.
+
+        Each window becomes an independent store member
+        (``name@w<start>``) whose meta carries the format-4 ``window``
+        block; ``budget`` is *per window* — a k-window sliding answer
+        merges ~``k * budget`` rows. The per-window lineage records
+        ``max_event_ts``, the newest covered event, which is what
+        event-time staleness is measured from.
+        """
+        value_columns = list(dict.fromkeys(value_columns))
+        if not value_columns:
+            raise ValueError("need at least one value column")
+        if ts_column not in table:
+            raise KeyError(f"timestamp column {ts_column!r} not in table")
+        width = parse_window(window)
+        report = WindowedBuildReport(
+            name=name, column=ts_column, width=width
+        )
+        spec = GroupByQuerySpec(
+            group_by=tuple(group_by), aggregates=tuple(value_columns)
+        )
+        for start, part in partition_by_window(
+            table, ts_column, width
+        ).items():
+            member = window_sample_name(name, start)
+            sample = CVOptSampler([spec]).sample(part, budget, seed=seed)
+            window_block = {
+                "column": ts_column,
+                "width": width,
+                "start": int(start),
+                "end": int(start) + width,
+            }
+            lineage = _fresh_lineage(value_columns, sample.source_rows)
+            lineage["window"] = dict(window_block)
+            lineage["max_event_ts"] = int(
+                part.column(ts_column).values_numeric().max()
+            )
+            version = self.store.put(
+                member,
+                sample,
+                table_name=table_name,
+                lineage=lineage,
+                window=window_block,
+            )
+            self.store.prune(member, keep=self.keep_versions)
+            report.starts.append(int(start))
+            report.windows.append(
+                BuildReport(
+                    name=member,
+                    version=version,
+                    rows=sample.num_rows,
+                    strata=sample.allocation.num_strata,
+                    budget=sample.budget,
+                    source_rows=sample.source_rows,
+                    columns=list(value_columns),
+                )
+            )
+        return report
+
     # ------------------------------------------------------------------
     # refreshing
     # ------------------------------------------------------------------
@@ -211,6 +303,10 @@ class SampleMaintainer:
         """
         stored = self.store.get(name)
         lineage = dict(stored.lineage)
+        window_block = getattr(stored, "window", None) or lineage.get(
+            "window"
+        )
+        prev_event_ts = lineage.get("max_event_ts")
         value_columns = self._value_columns(stored, batch, columns)
         primary = value_columns[0]
         batch = _align_batch(stored.sample, batch)
@@ -284,12 +380,32 @@ class SampleMaintainer:
             },
             needs_rebuild=needs_rebuild,
         )
+        if window_block is not None:
+            # Keep the window tag and the newest covered event across
+            # refreshes (the rebuild path resets lineage wholesale, so
+            # re-apply both): event-time staleness is measured from
+            # ``max_event_ts``, not from wall-clock ingest.
+            lineage["window"] = dict(window_block)
+            event_ts = prev_event_ts
+            column = window_block.get("column")
+            if column and column in batch and batch.num_rows:
+                batch_max = int(
+                    batch.column(column).values_numeric().max()
+                )
+                event_ts = (
+                    batch_max
+                    if event_ts is None
+                    else max(int(event_ts), batch_max)
+                )
+            if event_ts is not None:
+                lineage["max_event_ts"] = int(event_ts)
         version = self.store.put(
             name,
             sample,
             table_name=stored.table_name,
             lineage=lineage,
             extra=stored.extra,
+            window=window_block,
         )
         self.store.prune(name, keep=self.keep_versions)
         return RefreshReport(
@@ -342,6 +458,11 @@ class SampleMaintainer:
                 c: float(d)
                 for c, d in (lineage.get("drift_by_column") or {}).items()
             },
+            max_event_ts=(
+                int(lineage["max_event_ts"])
+                if lineage.get("max_event_ts") is not None
+                else None
+            ),
         )
 
     def _value_columns(
@@ -419,16 +540,35 @@ def tracked_columns_from_lineage(
     return list(derive_columns_block(lineage, stats)["tracked"])
 
 
-def staleness_from_lineage(lineage: Dict, fallback_base_rows: int = 0) -> float:
+def staleness_from_lineage(
+    lineage: Dict,
+    fallback_base_rows: int = 0,
+    now: Optional[float] = None,
+) -> float:
     """Staleness ratio recorded in a version's lineage dict.
 
-    Staleness is *rows ingested since the last full build* divided by
-    the base-table size at that build. A freshly built (or never
-    refreshed) sample is 0.0; legacy metadata without ``base_rows``
-    falls back to ``fallback_base_rows``, and a positive ingest against
-    an unknown base yields ``inf`` (maximally stale — nothing can be
-    promised about it).
+    For an un-windowed sample, staleness is *rows ingested since the
+    last full build* divided by the base-table size at that build. A
+    freshly built (or never refreshed) sample is 0.0; legacy metadata
+    without ``base_rows`` falls back to ``fallback_base_rows``, and a
+    positive ingest against an unknown base yields ``inf`` (maximally
+    stale — nothing can be promised about it).
+
+    A *windowed* sample (lineage carries a ``window`` block and
+    ``max_event_ts``) measures staleness in **event time** instead:
+    how many window widths the newest covered event lags behind ``now``
+    (wall clock by default; tests pass it explicitly). Wall-clock
+    ingest says nothing about a window that froze long ago —
+    ``max_staleness`` on a windowed contract must mean "the data is at
+    most this many windows behind".
     """
+    window = lineage.get("window")
+    event_ts = lineage.get("max_event_ts")
+    if window and event_ts is not None:
+        width = int(window.get("width", 0)) or 1
+        if now is None:
+            now = time.time()
+        return max(0.0, (float(now) - float(event_ts)) / width)
     rows_ingested = int(lineage.get("rows_ingested", 0))
     if not rows_ingested:
         return 0.0

@@ -31,8 +31,12 @@ from collections import OrderedDict
 from contextlib import contextmanager
 from typing import Dict, List, Mapping, Optional, Sequence
 
+from dataclasses import dataclass, field
+
 from ..aqp.session import AQPResult, AQPSession, RouteDecision
 from ..engine.groupcache import default_group_code_cache
+from ..engine.sql.parser import parse_query
+from ..engine.sql.planner import extract_time_bounds
 from ..obs import default_registry, default_tracer
 from ..engine.table import Table
 from ..workload.model import Workload
@@ -48,12 +52,28 @@ from .maintenance import (
     RefreshReport,
     SampleMaintainer,
     StalenessInfo,
+    WindowedBuildReport,
     staleness_from_lineage,
     tracked_columns_from_lineage,
 )
 from .store import SampleStore, StoreEntryStats
+from .windows import (
+    SLIDE_SUFFIX,
+    covering_window_starts,
+    merge_window_samples,
+    parse_window,
+    parse_window_sample_name,
+    partition_by_window,
+    window_decay_factors,
+    window_sample_name,
+)
 
-__all__ = ["WarehouseService", "RWLock", "LRUCache"]
+__all__ = [
+    "WarehouseService",
+    "WindowedRefreshReport",
+    "RWLock",
+    "LRUCache",
+]
 
 _TRACER = default_tracer()
 _QUERIES = default_registry().counter(
@@ -74,6 +94,34 @@ _ANSWER_CACHE = default_registry().counter(
 
 def _route_label(route: RouteDecision) -> str:
     return "sample" if route.approximate else "exact"
+
+
+@dataclass
+class WindowedRefreshReport:
+    """Outcome of rolling a windowed family forward by one batch.
+
+    Duck-types the ``action`` / ``version`` / ``rows_ingested`` fields
+    of :class:`~repro.warehouse.maintenance.RefreshReport` so callers
+    that only log the outcome (the maintenance daemon, the CLI) handle
+    windowed and plain refreshes identically.
+    """
+
+    name: str  # family base name
+    action: str = "windowed"
+    version: Optional[str] = None  # newest open-window version touched
+    rows_ingested: int = 0
+    #: Window starts freshly built because the batch opened them.
+    opened: List[int] = field(default_factory=list)
+    #: Open-window starts incrementally refreshed in place.
+    refreshed: List[int] = field(default_factory=list)
+    #: Window starts dropped by retention this round.
+    expired: List[int] = field(default_factory=list)
+    #: Late rows addressed to already-closed windows. They still grow
+    #: the base table (exact answers see them) but are *not* folded
+    #: into the frozen window samples.
+    frozen_rows: int = 0
+    #: Underlying per-window reports, in processing order.
+    reports: List = field(default_factory=list)
 
 
 class RWLock:
@@ -236,6 +284,20 @@ class WarehouseService:
         self._versions: Dict[str, str] = {}  # sample -> served version
         self._lineages: Dict[str, Dict] = {}  # sample -> served lineage
         self._orphans: Dict[str, str] = {}  # sample -> missing base table
+        #: Windowed sample families, keyed by base name. Each value
+        #: holds the partitioning config and the retained members:
+        #: ``{"column", "width", "decay", "retention", "table_name",
+        #: "group_by", "value_columns", "budget",
+        #: "windows": {start: version}}``. ``decay``/``retention`` are
+        #: serving-time parameters declared at build time; a
+        #: warm-started family defaults to no decay and unbounded
+        #: retention until the next :meth:`build_windowed`.
+        self._families: Dict[str, Dict] = {}
+        #: Signature of each registered slide sample:
+        #: ``base -> ((start, version), ...)`` it was merged from, so a
+        #: repeat query over the same range skips the re-merge (and the
+        #: epoch bump that would empty the answer cache).
+        self._slides: Dict[str, tuple] = {}
         self.queries_served = 0
         self._warm_start()
 
@@ -297,6 +359,106 @@ class WarehouseService:
                 self._bump()
         return report
 
+    def build_windowed(
+        self,
+        name: str,
+        table_name: str,
+        group_by: Sequence[str],
+        value_columns: Sequence[str],
+        budget: int,
+        ts_column: str,
+        window: str,
+        decay: Optional[float] = None,
+        retention: Optional[int] = None,
+        seed: int = 0,
+    ) -> WindowedBuildReport:
+        """Build a *windowed family*: one store member per tumbling
+        window of ``ts_column``, all swapped live at once.
+
+        ``window`` is a width spec (``"1h"``, ``"30m"``, ``3600``);
+        ``budget`` is per window. ``decay`` (0 < decay <= 1) applies
+        exponential age-weighting when sliding-window queries merge
+        windows — each window older than the newest is scaled by
+        ``decay`` per window of age. ``retention`` keeps only the
+        newest N windows; refreshes prune older members and queries
+        reaching below the horizon are rejected on the contract path
+        (HTTP 412). Queries with a ``WHERE ts_column >= ... [AND <
+        ...]`` predicate covered by retained windows route to the
+        member (single window) or to a merged slide sample
+        (:data:`~repro.warehouse.windows.SLIDE_SUFFIX`) whose
+        per-(stratum, column) moments are summed exactly.
+        """
+        if decay is not None and not (0.0 < float(decay) <= 1.0):
+            raise ValueError("decay must be in (0, 1]")
+        if retention is not None and int(retention) < 1:
+            raise ValueError("retention must be >= 1 window")
+        with self._maintenance:
+            with self._lock.read():
+                table = self._session.tables.get(table_name)
+            if table is None:
+                raise KeyError(f"unknown base table {table_name!r}")
+            report = self.maintainer.build_windowed(
+                name,
+                table,
+                group_by=group_by,
+                value_columns=value_columns,
+                budget=budget,
+                ts_column=ts_column,
+                window=window,
+                table_name=table_name,
+                seed=seed,
+            )
+            width = report.width
+            family = {
+                "column": ts_column,
+                "width": width,
+                "decay": float(decay) if decay is not None else None,
+                "retention": int(retention) if retention else None,
+                "table_name": table_name,
+                "group_by": list(group_by),
+                "value_columns": list(dict.fromkeys(value_columns)),
+                "budget": int(budget),
+                "windows": {},
+            }
+            keep = sorted(report.starts)
+            expired: List[int] = []
+            if retention and len(keep) > int(retention):
+                expired = keep[: -int(retention)]
+                keep = keep[-int(retention):]
+            loaded = {}
+            for window_report in report.windows:
+                start = int(window_report.name.rsplit("@w", 1)[1])
+                if start in expired:
+                    continue
+                loaded[start] = self.store.get(
+                    window_report.name, window_report.version
+                )
+            with self._lock.write():
+                for start in keep:
+                    stored = loaded[start]
+                    member = window_sample_name(name, start)
+                    self._stamp_cache_token(member, stored)
+                    self._session.register_sample(
+                        member,
+                        stored.sample,
+                        table_name,
+                        replace=True,
+                        window={
+                            "column": ts_column,
+                            "start": start,
+                            "end": start + width,
+                        },
+                    )
+                    self._versions[member] = stored.version
+                    self._lineages[member] = dict(stored.lineage)
+                    family["windows"][start] = stored.version
+                self._drop_slide_locked(name)
+                self._families[name] = family
+                self._bump()
+            for start in expired:
+                self.store.delete(window_sample_name(name, start))
+        return report
+
     # ------------------------------------------------------------------
     # maintenance
     # ------------------------------------------------------------------
@@ -311,7 +473,14 @@ class WarehouseService:
         version live; the base table grows by ``batch`` too, so exact
         fallback keeps matching the sampled reality. ``columns``
         overrides the tracked value-column set for this and subsequent
-        refreshes (default: the build-time lineage)."""
+        refreshes (default: the build-time lineage).
+
+        When ``name`` is a windowed family base, the batch is instead
+        partitioned by the family's timestamp column and rolled
+        forward window by window (see :meth:`_refresh_windowed`);
+        the return value is then a :class:`WindowedRefreshReport`."""
+        if name in self._families:
+            return self._refresh_windowed(name, batch, seed=seed)
         with self._maintenance:
             stored = self.store.get(name)
             table_name = stored.table_name
@@ -339,6 +508,141 @@ class WarehouseService:
                 self._bump()
         return report
 
+    def _refresh_windowed(
+        self, name: str, batch: Table, seed: int = 0
+    ) -> WindowedRefreshReport:
+        """Roll windowed family ``name`` forward by one batch.
+
+        Batch rows are partitioned by the family's timestamp column:
+
+        * rows in the **newest retained window** refresh that member
+          incrementally (streaming resume, moments merged exactly);
+        * rows **past** it open fresh windows (full per-window builds
+          at the family budget);
+        * rows addressed to an already-**closed** window are frozen
+          out of the sample — they still grow the base table, so exact
+          answers (and ``WHERE`` re-filters) see them, but a closed
+          window's published moments never move;
+        * with ``retention`` set, members that fall off the horizon
+          are dropped from routing and deleted from the store.
+        """
+        family = self._families[name]
+        column = family["column"]
+        width = family["width"]
+        with self._maintenance:
+            if column not in batch:
+                raise ValueError(
+                    f"windowed family {name!r} partitions on column "
+                    f"{column!r}, which the batch does not carry"
+                )
+            report = WindowedRefreshReport(
+                name=name, rows_ingested=batch.num_rows
+            )
+            newest = max(family["windows"], default=None)
+            fresh_parts = []
+            for start, part in partition_by_window(
+                batch, column, width
+            ).items():
+                if newest is not None and start < newest:
+                    report.frozen_rows += part.num_rows
+                elif start in family["windows"]:
+                    member = window_sample_name(name, start)
+                    sub = self.maintainer.refresh(
+                        member, part, seed=seed,
+                        columns=family["value_columns"],
+                    )
+                    report.refreshed.append(start)
+                    report.reports.append(sub)
+                    report.version = sub.version
+                else:
+                    fresh_parts.append(part)
+            if fresh_parts:
+                fresh = fresh_parts[0]
+                for part in fresh_parts[1:]:
+                    fresh = fresh.concat(part)
+                built = self.maintainer.build_windowed(
+                    name,
+                    fresh,
+                    group_by=family["group_by"],
+                    value_columns=family["value_columns"],
+                    budget=family["budget"],
+                    ts_column=column,
+                    window=width,
+                    table_name=family["table_name"],
+                    seed=seed,
+                )
+                report.opened.extend(built.starts)
+                report.reports.extend(built.windows)
+                if built.windows:
+                    report.version = built.windows[-1].version
+            touched = list(report.refreshed) + list(report.opened)
+            loaded = {
+                start: self.store.get(window_sample_name(name, start))
+                for start in touched
+            }
+            retention = family.get("retention")
+            horizon = max(
+                set(family["windows"]) | set(report.opened), default=None
+            )
+            expired = []
+            if retention and horizon is not None:
+                floor = horizon - (int(retention) - 1) * width
+                expired = sorted(
+                    s
+                    for s in set(family["windows"]) | set(report.opened)
+                    if s < floor
+                )
+            report.expired = expired
+            table_name = family["table_name"]
+            with self._lock.read():
+                base = self._session.tables.get(table_name)
+            grown = base.concat(batch) if base is not None else None
+            with self._lock.write():
+                if grown is not None:
+                    self._session.register_table(table_name, grown)
+                serving = bool(
+                    table_name and table_name in self._session.tables
+                )
+                for start in touched:
+                    if start in expired:
+                        continue
+                    stored = loaded[start]
+                    member = window_sample_name(name, start)
+                    if serving:
+                        self._stamp_cache_token(member, stored)
+                        self._session.register_sample(
+                            member,
+                            stored.sample,
+                            table_name,
+                            replace=True,
+                            window={
+                                "column": column,
+                                "start": start,
+                                "end": start + width,
+                            },
+                        )
+                        self._versions[member] = stored.version
+                        self._lineages[member] = dict(stored.lineage)
+                    else:
+                        # No base table here (maintenance-only process):
+                        # the store write is the durable outcome, the
+                        # member just stays orphaned for serving.
+                        self._orphans[member] = table_name or ""
+                    family["windows"][start] = stored.version
+                for start in expired:
+                    member = window_sample_name(name, start)
+                    if member in self._versions:
+                        self._session.drop_sample(member)
+                    family["windows"].pop(start, None)
+                    self._versions.pop(member, None)
+                    self._lineages.pop(member, None)
+                    self._orphans.pop(member, None)
+                self._drop_slide_locked(name)
+                self._bump()
+            for start in expired:
+                self.store.delete(window_sample_name(name, start))
+        return report
+
     def publish_stored(self, name: str, stored=None) -> bool:
         """Swap a store version of ``name`` live (current unless a
         :class:`~repro.warehouse.store.StoredSample` is given).
@@ -355,14 +659,18 @@ class WarehouseService:
                 stored = self.store.get(name)
             table_name = stored.table_name
             self._stamp_cache_token(name, stored)
+            window = getattr(stored, "window", None)
             with self._lock.write():
                 if table_name and table_name in self._session.tables:
                     self._session.register_sample(
-                        name, stored.sample, table_name, replace=True
+                        name, stored.sample, table_name, replace=True,
+                        window=window,
                     )
                     self._versions[name] = stored.version
                     self._lineages[name] = dict(stored.lineage)
                     self._orphans.pop(name, None)
+                    if window is not None:
+                        self._adopt_window_member(name, stored, window)
                     live = True
                 else:
                     self._orphans[name] = table_name or ""
@@ -428,6 +736,7 @@ class WarehouseService:
     def query(self, sql: str, mode: str = "auto") -> AQPResult:
         """Answer ``sql``; concurrent-safe, memoized per store epoch."""
         t0 = time.perf_counter()
+        self._ensure_slide(sql)
         key = (self._epoch, mode, sql)
         cached = self._cache.get(key)
         if cached is not None:
@@ -485,6 +794,29 @@ class WarehouseService:
         if on_violation not in ("fallback", "reject"):
             raise ValueError("on_violation must be 'fallback' or 'reject'")
         t0 = time.perf_counter()
+        below_retention = self._ensure_slide(sql)
+        if below_retention is not None and (
+            on_violation == "reject" or mode == "approx"
+        ):
+            # The requested time range reaches below the windowed
+            # family's retention horizon: no retained sample can speak
+            # for those rows, and the caller refused exact fallback.
+            constraints: Dict[str, float] = {}
+            if max_cv is not None:
+                constraints["max_cv"] = float(max_cv)
+            if max_staleness is not None:
+                constraints["max_staleness"] = float(max_staleness)
+            _QUERIES.inc(route="rejected")
+            raise AccuracyContractViolation(
+                [below_retention],
+                AccuracyContract(
+                    executed="exact",
+                    fallback_exact=False,
+                    reason=below_retention,
+                    constraints=constraints,
+                    satisfied=False,
+                ),
+            )
         key = ("contract", self._epoch, mode, sql, max_cv, max_staleness,
                on_violation)
         cached = self._cache.get(key)
@@ -574,6 +906,7 @@ class WarehouseService:
                     {
                         "name": name,
                         "version": self._versions.get(name),
+                        "window": self._session.sample_window(name),
                         "rows": sample.num_rows,
                         "strata": sample.allocation.num_strata,
                         "by": list(sample.allocation.by),
@@ -680,14 +1013,164 @@ class WarehouseService:
             lineage=lineage,
             staleness=staleness_from_lineage(lineage),
             group_keys=tuple(tuple(k) for k in sample.allocation.keys),
+            window_bounds=route.window_bounds,
         )
+
+    def _ensure_slide(self, sql: str) -> Optional[str]:
+        """Materialize the merged sliding-window sample ``sql`` needs.
+
+        Called before every query while windowed families exist. When
+        the query's WHERE clause pins a time range on a family's
+        timestamp column and the retained windows cover it, the
+        covering members are merged (moments summed exactly, decay
+        applied when the family declares it) and registered as
+        ``<base>@slide`` so the router can pick it; a repeat query over
+        the same range reuses the previous merge via the
+        ``(start, version)`` signature and changes nothing.
+
+        Returns a violation message when the range reaches *below* the
+        retention horizon (the contract path turns that into a 412),
+        otherwise ``None`` — ranges beyond the newest window or over a
+        gap simply fall back to exact, which still has every row.
+        """
+        if not self._families:
+            return None
+        try:
+            parsed = parse_query(sql)
+        except Exception:
+            return None  # let the session raise the real error
+        table_ref = getattr(parsed.from_clause, "name", None)
+        for base, family in list(self._families.items()):
+            if table_ref != family["table_name"]:
+                continue
+            bounds = extract_time_bounds(parsed, family["column"])
+            if bounds is None:
+                continue
+            lo, hi = bounds
+            if lo is None:
+                continue  # unbounded past: would need every window ever
+            with self._lock.read():
+                retained = sorted(family["windows"])
+            if not retained:
+                continue
+            width = family["width"]
+            horizon = retained[-1] + width
+            if lo < retained[0]:
+                hi_text = hi if hi is not None else "now"
+                return (
+                    f"time range [{lo}, {hi_text}) on "
+                    f"{family['column']!r} reaches below the retention "
+                    f"horizon of windowed sample {base!r} (oldest "
+                    f"retained window starts at {retained[0]})"
+                )
+            hi_eff = hi if hi is not None else horizon
+            if hi_eff <= lo or hi_eff > horizon:
+                continue  # empty or not-yet-sampled range: exact
+            needed = covering_window_starts(lo, hi_eff, width)
+            if any(start not in family["windows"] for start in needed):
+                continue  # gap window: exact fallback
+            if len(needed) > 1:
+                self._materialize_slide(base, family, needed)
+        return None
+
+    def _materialize_slide(
+        self, base: str, family: Dict, starts: Sequence[int]
+    ) -> None:
+        """Merge the members at ``starts`` into the family's slide
+        sample and swap it live (no-op when the registered slide was
+        merged from exactly these versions)."""
+        slide = base + SLIDE_SUFFIX
+        with self._lock.read():
+            signature = tuple(
+                (start, family["windows"].get(start)) for start in starts
+            )
+        if any(v is None for _, v in signature):
+            return  # member expired between check and merge
+        if self._slides.get(slide) == signature:
+            return
+        with self._maintenance:
+            signature = tuple(
+                (start, family["windows"].get(start)) for start in starts
+            )
+            if any(v is None for _, v in signature):
+                return
+            if self._slides.get(slide) == signature:
+                return
+            members = [
+                self.store.get(window_sample_name(base, start), version)
+                for start, version in signature
+            ]
+            factors = None
+            if family.get("decay"):
+                by_start = window_decay_factors(
+                    [start for start, _ in signature],
+                    family["width"],
+                    family["decay"],
+                )
+                factors = [by_start[start] for start, _ in signature]
+            merged = merge_window_samples(
+                [m.sample for m in members], factors=factors
+            )
+            width = family["width"]
+            window_block = {
+                "column": family["column"],
+                "start": int(signature[0][0]),
+                "end": int(signature[-1][0]) + width,
+            }
+            version = "+".join(version for _, version in signature)
+            lineage = {
+                "action": "window-merge",
+                "window": dict(window_block),
+                "windows": [start for start, _ in signature],
+                "value_columns": list(family["value_columns"]),
+                "drift": max(
+                    float(m.lineage.get("drift", 1.0)) for m in members
+                ),
+                "needs_rebuild": any(
+                    bool(m.lineage.get("needs_rebuild"))
+                    for m in members
+                ),
+            }
+            event_ts = [
+                m.lineage.get("max_event_ts")
+                for m in members
+                if m.lineage.get("max_event_ts") is not None
+            ]
+            if event_ts:
+                lineage["max_event_ts"] = int(max(event_ts))
+            merged.table.cache_token = (self._cache_scope, slide, version)
+            with self._lock.write():
+                self._session.register_sample(
+                    slide,
+                    merged,
+                    family["table_name"],
+                    replace=True,
+                    window=window_block,
+                )
+                self._versions[slide] = version
+                self._lineages[slide] = lineage
+                self._slides[slide] = signature
+                self._bump()
+
+    def _drop_slide_locked(self, base: str) -> None:
+        """Unregister the family's slide sample (members changed, so
+        the merge is stale). Caller holds the write lock."""
+        slide = base + SLIDE_SUFFIX
+        if slide in self._slides:
+            self._session.drop_sample(slide)
+            self._slides.pop(slide, None)
+            self._versions.pop(slide, None)
+            self._lineages.pop(slide, None)
 
     def _warm_start(self) -> None:
         """Adopt every stored sample whose base table is registered.
 
         A sample with no readable version (e.g. memory-backend blobs
         from another process) is skipped rather than failing startup —
-        the store keeps it for whoever can read it.
+        the store keeps it for whoever can read it. Window members
+        (format-4 metas carrying a ``window`` block) are additionally
+        folded back into their family registry so sliding-window
+        routing survives a restart.
         """
         for name in self.store.names():
             try:
@@ -697,13 +1180,54 @@ class WarehouseService:
             table_name = stored.table_name
             if table_name and table_name in self._session.tables:
                 self._stamp_cache_token(name, stored)
+                window = getattr(stored, "window", None)
                 self._session.register_sample(
-                    name, stored.sample, table_name, replace=True
+                    name, stored.sample, table_name, replace=True,
+                    window=window,
                 )
                 self._versions[name] = stored.version
                 self._lineages[name] = dict(stored.lineage)
+                if window is not None:
+                    self._adopt_window_member(name, stored, window)
             else:
                 self._orphans[name] = table_name or ""
+                # Family bookkeeping must survive orphaning: refresh
+                # rolls windows forward purely against the store, so a
+                # maintenance-only process (no base table registered —
+                # e.g. ``warehouse refresh`` from the CLI) still needs
+                # the family registry to route the batch by window.
+                window = getattr(stored, "window", None)
+                if window is not None:
+                    self._adopt_window_member(name, stored, window)
+
+    def _adopt_window_member(
+        self, name: str, stored, window: Dict
+    ) -> None:
+        """Fold one stored window member into its family registry.
+
+        Family-level build parameters (group-by, tracked columns,
+        per-window budget) are recovered from the member itself so a
+        restarted service can keep opening new windows on refresh.
+        """
+        parsed = parse_window_sample_name(name)
+        base = parsed[0] if parsed else name
+        family = self._families.setdefault(
+            base,
+            {
+                "column": str(window["column"]),
+                "width": int(window["width"]),
+                "decay": None,
+                "retention": None,
+                "table_name": stored.table_name,
+                "group_by": list(stored.sample.allocation.by),
+                "value_columns": tracked_columns_from_lineage(
+                    stored.lineage, stored.sample.allocation.stats
+                ),
+                "budget": int(stored.sample.budget),
+                "windows": {},
+            },
+        )
+        family["windows"][int(window["start"])] = stored.version
 
     def _stamp_cache_token(self, name: str, stored) -> None:
         """Mark one published sample version's table as immutable for

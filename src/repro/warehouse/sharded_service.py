@@ -64,14 +64,17 @@ from .contracts import (
 from .maintenance import (
     BuildReport,
     RefreshReport,
+    WindowedBuildReport,
     _fresh_lineage,
     staleness_from_lineage,
 )
+from ..engine.sql.planner import extract_time_bounds
 from ..obs import current_trace_id, default_registry, default_tracer
 from .partials import decompose, finalize_partials, merge_partials
 from .service import (
     LRUCache,
     RWLock,
+    WindowedRefreshReport,
     _ANSWER_CACHE,
     _QUERIES,
     _QUERY_SECONDS,
@@ -82,6 +85,15 @@ from .sharding import (
     ShardedSampleStore,
     merge_shard_allocations,
     partition_table,
+)
+from .windows import (
+    SLIDE_SUFFIX,
+    covering_window_starts,
+    merge_window_allocations,
+    parse_window,
+    parse_window_sample_name,
+    partition_by_window,
+    window_sample_name,
 )
 
 __all__ = ["ShardedWarehouseService"]
@@ -139,6 +151,15 @@ class ShardedWarehouseService:
         self._epoch = 0
         self._meta: Dict[str, Dict] = {}  # live merged per-sample view
         self._orphans: Dict[str, Dict] = {}  # base table not registered
+        #: Windowed families rebuilt from the shards' window-tagged
+        #: metas: ``base -> {"column", "width", "table_name",
+        #: "group_by", "value_columns", "budget",
+        #: "windows": {start: member name}}``. Decay and retention are
+        #: unsupported on the sharded path (partials recompute from raw
+        #: sample rows, so per-window weight scaling cannot apply).
+        self._window_families: Dict[str, Dict] = {}
+        #: Members behind each registered slide stand-in, for fan-out.
+        self._slide_members: Dict[str, List[str]] = {}
         self.queries_served = 0
         self._pool = ThreadPoolExecutor(
             max_workers=max(self.num_shards, 1),
@@ -255,6 +276,8 @@ class ShardedWarehouseService:
                 "lineage": _merge_lineages(
                     [m["lineage"] for m in shard_metas]
                 ),
+                "window": shard_metas[0].get("window")
+                or shard_metas[0]["lineage"].get("window"),
                 "method": shard_metas[0]["method"],
                 "rows": sum(m["rows"] for m in shard_metas),
                 "source_rows": sum(m["source_rows"] for m in shard_metas),
@@ -266,6 +289,10 @@ class ShardedWarehouseService:
                     self._session.drop_sample(name)
             self._meta = {}
             self._orphans = {}
+            # Slides are merged views over members; any structural
+            # change invalidates them, and the next query re-merges.
+            self._window_families = {}
+            self._slide_members = {}
             for name, info in merged.items():
                 table_name = info["table_name"]
                 if table_name and table_name in self._session.tables:
@@ -277,12 +304,44 @@ class ShardedWarehouseService:
                         budget=info["budget"],
                     )
                     self._session.register_sample(
-                        name, stand_in, table_name, replace=True
+                        name, stand_in, table_name, replace=True,
+                        window=info["window"],
                     )
                     self._meta[name] = info
+                    if info["window"] is not None:
+                        self._adopt_window_meta(name, info)
                 else:
                     self._orphans[name] = info
+                    # Refresh rolls windows forward against the shard
+                    # stores alone, so the family registry must exist
+                    # even while its members are orphaned (no base
+                    # table registered — maintenance-only processes).
+                    if info["window"] is not None:
+                        self._adopt_window_meta(name, info)
             self._bump()
+
+    def _adopt_window_meta(self, name: str, info: Dict) -> None:
+        """Fold one merged window-member view into the family registry
+        (caller holds the write lock)."""
+        window = info["window"]
+        parsed = parse_window_sample_name(name)
+        base = parsed[0] if parsed else name
+        lineage = info["lineage"]
+        family = self._window_families.setdefault(
+            base,
+            {
+                "column": str(window["column"]),
+                "width": int(window["width"]),
+                "table_name": info["table_name"],
+                "group_by": list(info["allocation"].by),
+                "value_columns": list(
+                    lineage.get("value_columns") or []
+                ),
+                "budget": int(info["budget"]),
+                "windows": {},
+            },
+        )
+        family["windows"][int(window["start"])] = name
 
     # ------------------------------------------------------------------
     # registration / building
@@ -340,6 +399,103 @@ class ShardedWarehouseService:
             columns=list(value_columns),
         )
 
+    def build_windowed(
+        self,
+        name: str,
+        table_name: str,
+        group_by: Sequence[str],
+        value_columns: Sequence[str],
+        budget: int,
+        ts_column: str,
+        window: str,
+        decay: Optional[float] = None,
+        retention: Optional[int] = None,
+        seed: int = 0,
+    ) -> WindowedBuildReport:
+        """Windowed family on a sharded warehouse: one central CVOPT
+        build per tumbling window, each member split by stratum hash
+        across the shard sub-stores and hot-swapped everywhere.
+
+        Windows and shards partition rows along orthogonal axes (time
+        vs. stratum hash), so a sliding-window answer merges partials
+        across both — each sum is exact. ``decay`` and ``retention``
+        are rejected here: shard partials recompute from raw sample
+        rows, so per-window weight scaling and horizon pruning live
+        only on the unsharded path.
+        """
+        if decay is not None:
+            raise ValueError(
+                "decay is unsupported on a sharded warehouse"
+            )
+        if retention is not None:
+            raise ValueError(
+                "retention is unsupported on a sharded warehouse"
+            )
+        value_columns = list(dict.fromkeys(value_columns))
+        if not value_columns:
+            raise ValueError("need at least one value column")
+        width = parse_window(window)
+        report = WindowedBuildReport(
+            name=name, column=ts_column, width=width
+        )
+        with self._maintenance:
+            with self._lock.read():
+                table = self._session.tables.get(table_name)
+            if table is None:
+                raise KeyError(f"unknown base table {table_name!r}")
+            if ts_column not in table:
+                raise KeyError(
+                    f"timestamp column {ts_column!r} not in table"
+                )
+            spec = GroupByQuerySpec(
+                group_by=tuple(group_by), aggregates=tuple(value_columns)
+            )
+            for start, part in partition_by_window(
+                table, ts_column, width
+            ).items():
+                member = window_sample_name(name, start)
+                sample = CVOptSampler([spec]).sample(
+                    part, budget, seed=seed
+                )
+                window_block = {
+                    "column": ts_column,
+                    "width": width,
+                    "start": int(start),
+                    "end": int(start) + width,
+                }
+                lineage = _fresh_lineage(
+                    value_columns, sample.source_rows
+                )
+                lineage["window"] = dict(window_block)
+                lineage["max_event_ts"] = int(
+                    part.column(ts_column).values_numeric().max()
+                )
+                versions = self.store.put(
+                    member,
+                    sample,
+                    table_name=table_name,
+                    lineage=lineage,
+                    window=window_block,
+                )
+                self.store.prune(member, keep=self.keep_versions)
+                self._scatter(
+                    "reload", [{"name": member}] * self.num_shards
+                )
+                report.starts.append(int(start))
+                report.windows.append(
+                    BuildReport(
+                        name=member,
+                        version=_join_versions(versions),
+                        rows=sample.num_rows,
+                        strata=sample.allocation.num_strata,
+                        budget=sample.budget,
+                        source_rows=sample.source_rows,
+                        columns=list(value_columns),
+                    )
+                )
+        self.refresh_metadata()
+        return report
+
     # ------------------------------------------------------------------
     # maintenance
     # ------------------------------------------------------------------
@@ -360,7 +516,14 @@ class ShardedWarehouseService:
         front — which holds the full base table no single shard has —
         runs the two-pass rebuild centrally and pushes freshly split
         pieces back down.
+
+        When ``name`` is a windowed family base, the batch is first
+        partitioned by the family's timestamp column and each window
+        rolled forward (see :meth:`_refresh_windowed`); the return
+        value is then a :class:`WindowedRefreshReport`.
         """
+        if name in self._window_families:
+            return self._refresh_windowed(name, batch, seed=seed)
         with self._maintenance:
             info = self._meta.get(name) or self._orphans.get(name)
             if info is None:
@@ -408,6 +571,138 @@ class ShardedWarehouseService:
         self.refresh_metadata()
         return report
 
+    def _refresh_windowed(
+        self, name: str, batch: Table, seed: int = 0
+    ) -> WindowedRefreshReport:
+        """Roll a sharded windowed family forward by one batch.
+
+        Rows for the newest retained window refresh that member through
+        the ordinary sharded refresh (stratum-hash fan-out); rows past
+        it open fresh windows via central per-window builds; rows
+        addressed to closed windows are frozen out of the samples but
+        still grow the front's base table so exact answers see them.
+        """
+        family = self._window_families[name]
+        column = family["column"]
+        width = family["width"]
+        table_name = family["table_name"]
+        if column not in batch:
+            raise ValueError(
+                f"windowed family {name!r} partitions on column "
+                f"{column!r}, which the batch does not carry"
+            )
+        report = WindowedRefreshReport(
+            name=name, rows_ingested=batch.num_rows
+        )
+        newest = max(family["windows"], default=None)
+        unsampled_rows: List[Table] = []  # frozen + fresh-window rows
+        fresh_parts: List[Table] = []
+        for start, part in partition_by_window(
+            batch, column, width
+        ).items():
+            if newest is not None and start < newest:
+                report.frozen_rows += part.num_rows
+                unsampled_rows.append(part)
+            elif start in family["windows"]:
+                member = family["windows"][start]
+                # The ordinary sharded member refresh also grows the
+                # base table by this slice.
+                sub = self.refresh(member, part, seed=seed)
+                report.refreshed.append(start)
+                report.reports.append(sub)
+                report.version = sub.version
+            else:
+                fresh_parts.append(part)
+                unsampled_rows.append(part)
+        if fresh_parts:
+            fresh = fresh_parts[0]
+            for part in fresh_parts[1:]:
+                fresh = fresh.concat(part)
+            built = self._build_fresh_windows(
+                name, family, fresh, seed=seed
+            )
+            report.opened.extend(built.starts)
+            report.reports.extend(built.windows)
+            if built.windows:
+                report.version = built.windows[-1].version
+        if unsampled_rows:
+            # Rows no member refresh carried into the base table yet.
+            extra = unsampled_rows[0]
+            for part in unsampled_rows[1:]:
+                extra = extra.concat(part)
+            with self._maintenance:
+                with self._lock.read():
+                    base = self._session.tables.get(table_name)
+                if base is not None:
+                    with self._lock.write():
+                        self._session.register_table(
+                            table_name, base.concat(extra)
+                        )
+                        self._bump()
+        self.refresh_metadata()
+        return report
+
+    def _build_fresh_windows(
+        self, name: str, family: Dict, table: Table, seed: int = 0
+    ) -> WindowedBuildReport:
+        """Central per-window builds for windows a batch opened, split
+        to the shard sub-stores and reloaded everywhere."""
+        column = family["column"]
+        width = family["width"]
+        value_columns = list(family["value_columns"])
+        report = WindowedBuildReport(
+            name=name, column=column, width=width
+        )
+        spec = GroupByQuerySpec(
+            group_by=tuple(family["group_by"]),
+            aggregates=tuple(value_columns),
+        )
+        with self._maintenance:
+            for start, part in partition_by_window(
+                table, column, width
+            ).items():
+                member = window_sample_name(name, start)
+                sample = CVOptSampler([spec]).sample(
+                    part, family["budget"], seed=seed
+                )
+                window_block = {
+                    "column": column,
+                    "width": width,
+                    "start": int(start),
+                    "end": int(start) + width,
+                }
+                lineage = _fresh_lineage(
+                    value_columns, sample.source_rows
+                )
+                lineage["window"] = dict(window_block)
+                lineage["max_event_ts"] = int(
+                    part.column(column).values_numeric().max()
+                )
+                versions = self.store.put(
+                    member,
+                    sample,
+                    table_name=family["table_name"],
+                    lineage=lineage,
+                    window=window_block,
+                )
+                self.store.prune(member, keep=self.keep_versions)
+                self._scatter(
+                    "reload", [{"name": member}] * self.num_shards
+                )
+                report.starts.append(int(start))
+                report.windows.append(
+                    BuildReport(
+                        name=member,
+                        version=_join_versions(versions),
+                        rows=sample.num_rows,
+                        strata=sample.allocation.num_strata,
+                        budget=sample.budget,
+                        source_rows=sample.source_rows,
+                        columns=list(value_columns),
+                    )
+                )
+        return report
+
     def _rebuild(
         self, name: str, info: Dict, full_table: Table,
         table_name: Optional[str], seed: int,
@@ -451,6 +746,112 @@ class ShardedWarehouseService:
     # ------------------------------------------------------------------
     # serving
     # ------------------------------------------------------------------
+    def _ensure_slide(self, sql: str) -> Optional[str]:
+        """Register the metadata stand-in for the sliding-window set
+        ``sql`` needs (mirror of the unsharded service's slide
+        materialization, without rows: the merged-across-shards member
+        allocations are merged again across windows, and query fan-out
+        later scatters partials once per covered member).
+
+        Returns a violation message when the range reaches below the
+        oldest retained window, else ``None``.
+        """
+        if not self._window_families:
+            return None
+        try:
+            parsed = parse_query(sql)
+        except Exception:
+            return None  # let the session raise the real error
+        table_ref = getattr(parsed.from_clause, "name", None)
+        for base, family in list(self._window_families.items()):
+            if table_ref != family["table_name"]:
+                continue
+            bounds = extract_time_bounds(parsed, family["column"])
+            if bounds is None:
+                continue
+            lo, hi = bounds
+            if lo is None:
+                continue
+            with self._lock.read():
+                retained = sorted(family["windows"])
+            if not retained:
+                continue
+            width = family["width"]
+            horizon = retained[-1] + width
+            if lo < retained[0]:
+                hi_text = hi if hi is not None else "now"
+                return (
+                    f"time range [{lo}, {hi_text}) on "
+                    f"{family['column']!r} reaches below the retention "
+                    f"horizon of windowed sample {base!r} (oldest "
+                    f"retained window starts at {retained[0]})"
+                )
+            hi_eff = hi if hi is not None else horizon
+            if hi_eff <= lo or hi_eff > horizon:
+                continue
+            starts = covering_window_starts(lo, hi_eff, width)
+            if any(s not in family["windows"] for s in starts):
+                continue
+            if len(starts) > 1:
+                self._register_slide(base, family, starts)
+        return None
+
+    def _register_slide(
+        self, base: str, family: Dict, starts: Sequence[int]
+    ) -> None:
+        """Merge member metadata into a routable slide stand-in."""
+        slide = base + SLIDE_SUFFIX
+        members = [family["windows"][s] for s in starts]
+        with self._lock.read():
+            if self._slide_members.get(slide) == members:
+                return
+            infos = [self._meta.get(m) for m in members]
+        if any(info is None for info in infos):
+            return  # member mid-publish; next query retries
+        allocation = merge_window_allocations(
+            [info["allocation"] for info in infos]
+        )
+        width = family["width"]
+        window_block = {
+            "column": family["column"],
+            "start": int(starts[0]),
+            "end": int(starts[-1]) + width,
+        }
+        lineage = _merge_lineages([info["lineage"] for info in infos])
+        lineage["action"] = "window-merge"
+        lineage["window"] = dict(window_block)
+        lineage["windows"] = [int(s) for s in starts]
+        stand_in = StratifiedSample(
+            table=Table({}),
+            allocation=allocation,
+            method=infos[0]["method"],
+            source_rows=sum(info["source_rows"] for info in infos),
+            budget=sum(info["budget"] for info in infos),
+        )
+        info = {
+            "table_name": family["table_name"],
+            "allocation": allocation,
+            "versions": [info["version"] for info in infos],
+            "version": "+".join(info["version"] for info in infos),
+            "lineage": lineage,
+            "window": window_block,
+            "method": stand_in.method,
+            "rows": sum(i["rows"] for i in infos),
+            "source_rows": stand_in.source_rows,
+            "budget": stand_in.budget,
+        }
+        with self._lock.write():
+            self._session.register_sample(
+                slide,
+                stand_in,
+                family["table_name"],
+                replace=True,
+                window=window_block,
+            )
+            self._meta[slide] = info
+            self._slide_members[slide] = members
+            self._bump()
+
     def query(self, sql: str, mode: str = "auto") -> AQPResult:
         """Answer ``sql`` by scatter-gather when the router picks a
         sample and the query decomposes; exactly at the front
@@ -458,6 +859,7 @@ class ShardedWarehouseService:
         if mode not in ("auto", "approx", "exact"):
             raise ValueError("mode must be 'auto', 'approx' or 'exact'")
         t0 = time.perf_counter()
+        self._ensure_slide(sql)
         key = (self._epoch, mode, sql)
         cached = self._cache.get(key)
         if cached is not None:
@@ -494,6 +896,26 @@ class ShardedWarehouseService:
         if mode not in ("auto", "approx", "exact"):
             raise ValueError("mode must be 'auto', 'approx' or 'exact'")
         t0 = time.perf_counter()
+        below_retention = self._ensure_slide(sql)
+        if below_retention is not None and (
+            on_violation == "reject" or mode == "approx"
+        ):
+            constraints: Dict[str, float] = {}
+            if max_cv is not None:
+                constraints["max_cv"] = float(max_cv)
+            if max_staleness is not None:
+                constraints["max_staleness"] = float(max_staleness)
+            _QUERIES.inc(route="rejected")
+            raise AccuracyContractViolation(
+                [below_retention],
+                AccuracyContract(
+                    executed="exact",
+                    fallback_exact=False,
+                    reason=below_retention,
+                    constraints=constraints,
+                    satisfied=False,
+                ),
+            )
         key = ("contract", self._epoch, mode, sql, max_cv, max_staleness,
                on_violation)
         cached = self._cache.get(key)
@@ -591,14 +1013,32 @@ class ShardedWarehouseService:
                 elapsed_seconds=time.perf_counter() - start,
             )
         trace_id = current_trace_id()
-        _TRACER.annotate(shard_fanout=self.num_shards)
-        try:
-            responses = self._scatter(
-                "partials",
-                [
-                    {"sql": sql, "name": sample_name, "trace_id": trace_id}
-                ] * self.num_shards,
+        # A slide stand-in has no rows anywhere; fan out once per
+        # covered window member instead. Partials are additive across
+        # shards *and* windows (disjoint rows either way), so one merge
+        # over the whole response set is exact.
+        with self._lock.read():
+            fanout_names = self._slide_members.get(
+                sample_name, [sample_name]
             )
+        _TRACER.annotate(
+            shard_fanout=self.num_shards * len(fanout_names)
+        )
+        try:
+            responses = []
+            for member in fanout_names:
+                responses.extend(
+                    self._scatter(
+                        "partials",
+                        [
+                            {
+                                "sql": sql,
+                                "name": member,
+                                "trace_id": trace_id,
+                            }
+                        ] * self.num_shards,
+                    )
+                )
         except ShardWorkerError as exc:
             if mode == "approx":
                 raise
@@ -657,6 +1097,7 @@ class ShardedWarehouseService:
                 if allocation is not None
                 else None
             ),
+            window_bounds=route.window_bounds,
         )
 
     # ------------------------------------------------------------------
@@ -709,6 +1150,7 @@ class ShardedWarehouseService:
                         "needs_rebuild": bool(
                             lineage.get("needs_rebuild", False)
                         ),
+                        "window": info.get("window"),
                         "shards": self.num_shards,
                     }
                 )
@@ -847,6 +1289,15 @@ def _merge_lineages(lineages: Sequence[Dict]) -> Dict:
     merged["refresh_count"] = max(
         (int(li.get("refresh_count", 0)) for li in lineages), default=0
     )
+    # Windowed members: the newest covered event is the max over the
+    # merged parts (shards see disjoint slices of each batch).
+    event_ts = [
+        int(li["max_event_ts"])
+        for li in lineages
+        if li.get("max_event_ts") is not None
+    ]
+    if event_ts:
+        merged["max_event_ts"] = max(event_ts)
     columns: Dict[str, None] = {}
     for li in lineages:
         for column in li.get("value_columns") or []:

@@ -378,10 +378,13 @@ class ShardedSampleStore:
         table_name: Optional[str] = None,
         lineage: Optional[Dict] = None,
         extra: Optional[Dict] = None,
+        window: Optional[Dict] = None,
     ) -> List[str]:
         """Split ``sample`` by stratum hash and commit one piece per
         shard; returns the new version id of each shard (aligned with
-        shard index)."""
+        shard index). A ``window`` block tags every piece: a window's
+        strata shard exactly like an all-of-history sample's (the two
+        partitions are orthogonal)."""
         pieces = split_sample(sample, self.num_shards)
         versions = []
         for index, (store, piece) in enumerate(zip(self.stores, pieces)):
@@ -405,6 +408,7 @@ class ShardedSampleStore:
                     table_name=table_name,
                     lineage=piece_lineage,
                     extra=tagged,
+                    window=window,
                 )
             )
         return versions

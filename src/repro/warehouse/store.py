@@ -93,7 +93,12 @@ __all__ = [
 #       names the value columns whose moment blocks the version keeps
 #       exact; formats 1/2 still load (tracked columns are derived from
 #       the lineage / statistics keys).
-_FORMAT_VERSION = 3
+#   4 — time windows: an optional ``window`` block
+#       ``{column, width, start, end}`` tags a version as one tumbling
+#       window ``[start, end)`` of its family, partitioned on the
+#       (integer) timestamp ``column``. Formats 1-3 still load with
+#       ``window = None`` (an un-windowed, all-of-history sample).
+_FORMAT_VERSION = 4
 _CURRENT_FILE = "CURRENT"
 _META_FILE = "meta.json"
 _LOCK_FILE = ".lock"
@@ -129,6 +134,10 @@ class StoredSample:
     #: The version's ``columns`` block: ``{"tracked": [...], "primary":
     #: ...}`` — derived for pre-format-3 metas.
     columns: Dict = field(default_factory=dict)
+    #: Format-4 ``window`` block ``{column, width, start, end}`` when
+    #: this version is one tumbling window of a family; ``None`` for
+    #: all-of-history samples and every pre-format-4 meta.
+    window: Optional[Dict] = None
 
     @property
     def statistics(self) -> Optional[StrataStatistics]:
@@ -224,10 +233,13 @@ class SampleStore:
         table_name: Optional[str] = None,
         lineage: Optional[Dict] = None,
         extra: Optional[Dict] = None,
+        window: Optional[Dict] = None,
     ) -> str:
         """Write ``sample`` as the next version of ``name``; returns the
         new version id. The version becomes visible atomically (to this
-        and every other process) when its manifest record commits."""
+        and every other process) when its manifest record commits.
+        ``window`` tags the version as one tumbling window
+        (``{column, width, start, end}``)."""
         _validate_name(name)
         with self._write_mutex(name):
             sample_dir = self.root / name
@@ -242,7 +254,7 @@ class SampleStore:
                     storage = self.backend.put_rows(staging, sample.table)
                     meta = self._encode_meta(
                         name, version, sample, table_name, lineage, extra,
-                        storage,
+                        storage, window,
                     )
                     (staging / _META_FILE).write_text(
                         json.dumps(meta, indent=2)
@@ -556,6 +568,7 @@ class SampleStore:
             path=version_dir,
             storage=storage,
             columns=_columns_block_of(meta),
+            window=meta.get("window"),
         )
 
     def _reader_for(self, storage: Dict) -> StorageBackend:
@@ -622,7 +635,8 @@ class SampleStore:
     # encoding
     # ------------------------------------------------------------------
     def _encode_meta(
-        self, name, version, sample, table_name, lineage, extra, storage
+        self, name, version, sample, table_name, lineage, extra, storage,
+        window=None,
     ) -> Dict:
         allocation = sample.allocation
         meta = {
@@ -647,6 +661,13 @@ class SampleStore:
                 dict(lineage or {}), allocation.stats
             ),
         }
+        if window is not None:
+            meta["window"] = {
+                "column": window["column"],
+                "width": int(window["width"]),
+                "start": int(window["start"]),
+                "end": int(window["end"]),
+            }
         if allocation.scores is not None:
             meta["allocation"]["scores"] = [
                 float(x) for x in allocation.scores

@@ -1,0 +1,124 @@
+"""Windowed contracts over the wire.
+
+The HTTP front must surface event-time coverage: ``window_bounds``
+rides in every /query contract payload, /samples shows each windowed
+member's window block, and a sliding query that reaches below the
+retention horizon is a 412 under ``on_violation: reject``.
+"""
+
+import asyncio
+import os
+
+from repro.engine.table import Table
+from repro.serve import AsyncWarehouseService, WarehouseHTTPServer, request
+from repro.warehouse import WarehouseService
+
+_BACKEND = os.environ.get("REPRO_TEST_BACKEND", "npz")
+
+HOUR = 3600
+N_HOURS = 6
+
+SQL = (
+    f"SELECT g, SUM(v) s FROM T WHERE ts >= {HOUR} GROUP BY g"
+)
+
+
+def timestamped_table() -> Table:
+    ts, g, v = [], [], []
+    for hour in range(N_HOURS):
+        for i in range(24):
+            ts.append(hour * HOUR + i * 150)
+            g.append("A" if i % 3 else "B")
+            v.append(float(hour * 100 + i))
+    return Table.from_pydict({"g": g, "ts": ts, "v": v}, name="T")
+
+
+def windowed_service(tmp_path, retention=None):
+    service = WarehouseService(
+        tmp_path / "wh", {"T": timestamped_table()}, backend=_BACKEND
+    )
+    service.build_windowed(
+        "s", "T", group_by=["g"], value_columns=["v"], budget=500,
+        ts_column="ts", window=HOUR, retention=retention,
+    )
+    return service
+
+
+async def _started(sync_service):
+    server = WarehouseHTTPServer(
+        AsyncWarehouseService(sync_service), port=0
+    )
+    await server.start()
+    return server
+
+
+class TestWindowedHTTP:
+    def test_contract_payload_carries_window_bounds(self, tmp_path):
+        async def main():
+            server = await _started(windowed_service(tmp_path))
+            try:
+                status, payload = await request(
+                    "127.0.0.1", server.port, "POST", "/query",
+                    {"sql": SQL},
+                )
+                assert status == 200
+                contract = payload["contract"]
+                assert contract["executed"] == "approximate"
+                assert contract["window_bounds"] == [
+                    HOUR, N_HOURS * HOUR,
+                ]
+                # Exact execution carries no coverage claim.
+                status, exact = await request(
+                    "127.0.0.1", server.port, "POST", "/query",
+                    {"sql": SQL, "mode": "exact"},
+                )
+                assert status == 200
+                assert exact["contract"]["window_bounds"] is None
+            finally:
+                await server.stop()
+
+        asyncio.run(main())
+
+    def test_below_retention_range_is_412(self, tmp_path):
+        async def main():
+            server = await _started(
+                windowed_service(tmp_path, retention=3)
+            )
+            try:
+                status, payload = await request(
+                    "127.0.0.1", server.port, "POST", "/query",
+                    {"sql": SQL, "on_violation": "reject"},
+                )
+                assert status == 412
+                assert "retention" in payload["error"]
+                # The default policy answers exactly instead.
+                status, payload = await request(
+                    "127.0.0.1", server.port, "POST", "/query",
+                    {"sql": SQL},
+                )
+                assert status == 200
+                assert payload["contract"]["executed"] == "exact"
+            finally:
+                await server.stop()
+
+        asyncio.run(main())
+
+    def test_samples_payload_shows_window_blocks(self, tmp_path):
+        async def main():
+            server = await _started(windowed_service(tmp_path))
+            try:
+                status, payload = await request(
+                    "127.0.0.1", server.port, "GET", "/samples"
+                )
+                assert status == 200
+                windows = {
+                    s["name"]: s["window"] for s in payload["samples"]
+                }
+                member = windows[f"s@w{HOUR}"]
+                assert member["start"] == HOUR
+                assert member["end"] == 2 * HOUR
+                assert member["column"] == "ts"
+            finally:
+                await server.stop()
+
+        asyncio.run(main())
