@@ -20,6 +20,19 @@ freshly built CVOPT sample:
 
 The parquet row reports whether pyarrow was actually available or the
 backend ran in its npz-fallback mode.
+
+A second section exercises the zero-copy mmap backend against eager
+npz on a wide (10-column) fixture and *gates* the run:
+
+* ``cold+query``  — cold ``store.get`` plus the first projected query
+                    must be ≥ 2x faster on mmap than on eager npz
+* ``projected``   — reading 3 of the 10 columns via ``columns=`` must
+                    be ≥ 2x faster than a full eager npz load
+* ``differential``— the same queries on npz- and mmap-backed
+                    warehouses (plain and 2-shard) must return
+                    byte-identical answers
+
+A failed gate exits non-zero so CI catches regressions.
 """
 
 from __future__ import annotations
@@ -30,6 +43,9 @@ import shutil
 import tempfile
 import time
 
+import numpy as np
+
+from repro.aqp.session import AQPSession
 from repro.core.cvopt import CVOptSampler
 from repro.core.spec import GroupByQuerySpec
 from repro.datasets import generate_openaq
@@ -103,6 +119,193 @@ def run(rows: int, budget: int, puts: int, gets: int, root: str) -> dict:
     return results
 
 
+# ----------------------------------------------------------------------
+# mmap cold-start / projection phases (gated)
+# ----------------------------------------------------------------------
+PROJECTION_QUERY = "SELECT country, AVG(value) a FROM Wide GROUP BY country"
+PROJECTED_COLUMNS = ["country", "value", "__weight__"]
+
+DIFFERENTIAL_QUERIES = [
+    PROJECTION_QUERY,
+    "SELECT country, SUM(value) s, COUNT(*) c FROM Wide "
+    "GROUP BY country ORDER BY s DESC LIMIT 5",
+    "SELECT parameter, MIN(value) lo, MAX(value) hi FROM Wide "
+    "WHERE country = 'C00' GROUP BY parameter",
+]
+
+
+def _wide_table(rows: int):
+    """The 10-column fixture: OpenAQ's 7 columns + 3 synthetic floats
+    that no benchmark query ever touches (the projection's dead
+    weight)."""
+    table = generate_openaq(num_rows=rows, num_countries=20, seed=7)
+    from repro.engine.table import Column, Table
+
+    rng = np.random.default_rng(13)
+    cols = {n: table.column(n) for n in table.column_names}
+    for extra in ("m1", "m2", "m3"):
+        cols[extra] = Column.from_values(rng.normal(size=rows))
+    return Table(cols, name="Wide")
+
+
+def _best_of(fn, repeats: int = 3) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _touch_all(table) -> None:
+    for cname in table.column_names:
+        table.column(cname).data
+
+
+def _cold_get_plus_query(root: str, backend: str, base_table):
+    """Fresh store → get → register → one routed query: the serving
+    cold-start path a restarted worker pays per sample."""
+
+    def go():
+        stored = SampleStore(root, backend=backend).get("bench")
+        session = AQPSession(tables={"Wide": base_table})
+        session.register_sample("bench", stored.sample, "Wide")
+        result = session.query(PROJECTION_QUERY)
+        assert result.route.approximate
+
+    return go
+
+
+def _answers_identical(a, b) -> bool:
+    if a.column_names != b.column_names or a.num_rows != b.num_rows:
+        return False
+    for cname in a.column_names:
+        ca, cb = a.column(cname), b.column(cname)
+        if ca.dtype is not cb.dtype or ca.categories != cb.categories:
+            return False
+        da, db = np.asarray(ca.data), np.asarray(cb.data)
+        if da.dtype != db.dtype or not np.array_equal(da, db):
+            return False
+    return True
+
+
+def _differential_check(root: str, table, budget: int) -> dict:
+    """Byte-identical answers, npz vs mmap, plain and 2-shard."""
+    from repro.warehouse import ShardedWarehouseService, WarehouseService
+
+    def build_plain(backend):
+        svc = WarehouseService(
+            f"{root}/diff-plain-{backend}", {"Wide": table}, backend=backend
+        )
+        svc.build(
+            "s", "Wide", group_by=["country", "parameter"],
+            value_columns=["value"], budget=budget, seed=5,
+        )
+        return svc
+
+    def build_sharded(backend):
+        svc = ShardedWarehouseService(
+            f"{root}/diff-shard-{backend}", {"Wide": table}, shards=2,
+            backend=backend, workers="inprocess",
+        )
+        svc.build(
+            "s", "Wide", group_by=["country", "parameter"],
+            value_columns=["value"], budget=budget, seed=5,
+        )
+        return svc
+
+    out = {}
+    for topology, factory in (
+        ("plain", build_plain),
+        ("2-shard", build_sharded),
+    ):
+        eager = factory("npz")
+        lazy = factory("mmap")
+        try:
+            out[topology] = all(
+                _answers_identical(
+                    eager.query(sql).table, lazy.query(sql).table
+                )
+                for sql in DIFFERENTIAL_QUERIES
+            )
+        finally:
+            for svc in (eager, lazy):
+                close = getattr(svc, "close", None)
+                if close:
+                    close()
+    return out
+
+
+def run_projection(rows: int, budget: int, root: str) -> dict:
+    """Cold-start + projected-read phases on the 10-column fixture."""
+    table = _wide_table(rows)
+    sample = CVOptSampler(
+        [GroupByQuerySpec.single("value", by=("country", "parameter"))]
+    ).sample(table, budget, seed=0)
+
+    roots = {}
+    for backend in ("npz", "mmap"):
+        roots[backend] = f"{root}/proj-{backend}"
+        SampleStore(roots[backend], backend=backend).put(
+            "bench", sample, table_name="Wide"
+        )
+
+    eager_full = _best_of(
+        lambda: _touch_all(
+            SampleStore(roots["npz"], backend="npz")
+            .get("bench").sample.table
+        )
+    )
+    mmap_cold_get = _best_of(
+        lambda: SampleStore(roots["mmap"], backend="mmap").get("bench")
+    )
+    mmap_projected = _best_of(
+        lambda: _touch_all(
+            SampleStore(roots["mmap"], backend="mmap")
+            .get("bench", columns=PROJECTED_COLUMNS).sample.table
+        )
+    )
+    npz_projected = _best_of(
+        lambda: _touch_all(
+            SampleStore(roots["npz"], backend="npz")
+            .get("bench", columns=PROJECTED_COLUMNS).sample.table
+        )
+    )
+    npz_cold_query = _best_of(_cold_get_plus_query(roots["npz"], "npz", table))
+    mmap_cold_query = _best_of(
+        _cold_get_plus_query(roots["mmap"], "mmap", table)
+    )
+
+    differential = _differential_check(
+        root, table, min(budget, 5_000)
+    )
+
+    phases = {
+        "fixture": {
+            "rows": rows,
+            "budget": budget,
+            "base_columns": len(table.column_names),
+            "sample_rows": sample.num_rows,
+            "projected_columns": PROJECTED_COLUMNS,
+        },
+        "npz_eager_full_seconds": eager_full,
+        "npz_projected_seconds": npz_projected,
+        "npz_cold_get_plus_query_seconds": npz_cold_query,
+        "mmap_cold_get_seconds": mmap_cold_get,
+        "mmap_projected_seconds": mmap_projected,
+        "mmap_cold_get_plus_query_seconds": mmap_cold_query,
+        "differential": differential,
+    }
+    phases["gates"] = {
+        "cold_query_speedup": npz_cold_query / mmap_cold_query,
+        "projected_speedup": eager_full / mmap_projected,
+        "cold_query_pass": npz_cold_query / mmap_cold_query >= 2.0,
+        "projected_pass": eager_full / mmap_projected >= 2.0,
+        "differential_pass": all(differential.values()),
+    }
+    return phases
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--rows", type=int, default=200_000)
@@ -113,6 +316,14 @@ def main() -> int:
         "--smoke", action="store_true",
         help="small sizes for CI (overrides --rows/--budget/...)",
     )
+    parser.add_argument(
+        "--projection-rows", type=int, default=300_000,
+        help="rows of the 10-column projection fixture (fixed even in "
+        "smoke: the gates are calibrated against it)",
+    )
+    parser.add_argument(
+        "--projection-budget", type=int, default=20_000,
+    )
     parser.add_argument("--out", default=None, help="write JSON here")
     args = parser.parse_args()
     if args.smoke:
@@ -121,6 +332,9 @@ def main() -> int:
 
     with tempfile.TemporaryDirectory(prefix="bench-store-") as root:
         results = run(args.rows, args.budget, args.puts, args.gets, root)
+        results["projection"] = run_projection(
+            args.projection_rows, args.projection_budget, root
+        )
 
     for entry in results["backends"]:
         note = ""
@@ -133,10 +347,46 @@ def main() -> int:
             f"hot {entry['get_hot']['per_second']:8.1f}/s  "
             f"{entry['bytes'] / 1024:8.1f} KiB/version"
         )
+
+    proj = results["projection"]
+    gates = proj["gates"]
+    print(
+        f"projection fixture: {proj['fixture']['rows']} rows x "
+        f"{proj['fixture']['base_columns']} cols, "
+        f"sample {proj['fixture']['sample_rows']} rows"
+    )
+    print(
+        f"  cold get+query: npz {proj['npz_cold_get_plus_query_seconds']*1e3:8.2f} ms  "
+        f"mmap {proj['mmap_cold_get_plus_query_seconds']*1e3:8.2f} ms  "
+        f"speedup {gates['cold_query_speedup']:6.1f}x "
+        f"({'PASS' if gates['cold_query_pass'] else 'FAIL'} >= 2x)"
+    )
+    print(
+        f"  projected read (3/{proj['fixture']['base_columns']} cols): "
+        f"eager npz {proj['npz_eager_full_seconds']*1e3:8.2f} ms  "
+        f"mmap {proj['mmap_projected_seconds']*1e3:8.2f} ms  "
+        f"speedup {gates['projected_speedup']:6.1f}x "
+        f"({'PASS' if gates['projected_pass'] else 'FAIL'} >= 2x)"
+    )
+    print(
+        "  differential (byte-identical npz vs mmap): "
+        + ", ".join(
+            f"{topo} {'OK' if ok else 'MISMATCH'}"
+            for topo, ok in proj["differential"].items()
+        )
+    )
     if args.out:
         with open(args.out, "w") as fh:
             json.dump(results, fh, indent=2)
         print(f"wrote {args.out}")
+    failed = [
+        gate
+        for gate in ("cold_query_pass", "projected_pass", "differential_pass")
+        if not gates[gate]
+    ]
+    if failed:
+        print(f"GATE FAILURE: {', '.join(failed)}")
+        return 1
     return 0
 
 

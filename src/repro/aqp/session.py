@@ -55,6 +55,7 @@ from ..engine.sql.planner import (
     extract_time_bounds,
     lower_query,
     parameterize_query,
+    plan_column_refs,
     rename_tables,
 )
 from ..engine.groupcache import default_group_code_cache
@@ -163,10 +164,19 @@ class AQPResult:
 
 @dataclass
 class _CachedShape:
-    """One plan-cache entry: a parameterized plan plus its routing."""
+    """One plan-cache entry: a parameterized plan plus its routing.
+
+    ``columns`` is the projection pushdown: the set of column names the
+    weighted plan can possibly touch on the sample table (group-by keys,
+    aggregate arguments, WHERE/HAVING/ORDER BY references, plus the HT
+    weight column). Recorded once at plan time and applied on every
+    execution, so a lazy (mmap) sample table only ever materializes
+    those columns. ``None`` means no projection (exact routes).
+    """
 
     plan: object  # parameterized logical plan (weighted + scan-rewritten)
     route: RouteDecision
+    columns: Optional[frozenset] = None
     bound: Dict[tuple, PhysicalPlan] = field(default_factory=dict)
 
 
@@ -356,7 +366,9 @@ class AQPSession:
                 physical = compile_plan(bind_plan(entry.plan, literals))
             entry.bound[bound_key] = physical
         with _TRACER.span("aqp.execute"):
-            table = physical.run(self._execution_catalog(entry.route))
+            table = physical.run(
+                self._execution_catalog(entry.route, entry.columns)
+            )
         return AQPResult(
             table=table,
             route=entry.route,
@@ -420,13 +432,32 @@ class AQPSession:
                 )
             else:
                 plan = apply_weighting(renamed, WEIGHT_COLUMN)
-        return _CachedShape(plan=plan, route=route)
+        columns = None
+        if route.approximate:
+            # Required-column set for projection pushdown: everything
+            # the weighted plan references, plus the HT weight column
+            # (added by apply_weighting as a plan attribute, not an
+            # expression, so the walk alone would miss it).
+            columns = plan_column_refs(plan) | {WEIGHT_COLUMN}
+        return _CachedShape(plan=plan, route=route, columns=columns)
 
-    def _execution_catalog(self, route: RouteDecision) -> dict:
+    def _execution_catalog(
+        self, route: RouteDecision, columns: Optional[frozenset] = None
+    ) -> dict:
         catalog = dict(self.tables)
         if route.approximate:
             sample = self.catalog.get(route.sample_name)
-            catalog[_SAMPLE_PREFIX + route.sample_name] = sample.table
+            table = sample.table
+            if columns is not None:
+                keep = [c for c in table.column_names if c in columns]
+                if len(keep) < len(table.column_names):
+                    projected = table.select(keep)
+                    # Same immutable rows, shared column buffers — the
+                    # group-code cache token stays valid on the
+                    # projection.
+                    projected.cache_token = table.cache_token
+                    table = projected
+            catalog[_SAMPLE_PREFIX + route.sample_name] = table
         return catalog
 
     def _route(

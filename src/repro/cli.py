@@ -22,7 +22,7 @@ Subcommands::
     repro-cvopt warehouse stats   --root wh
 
 ``warehouse build/refresh/serve/daemon`` additionally accept
-``--backend {npz,parquet,memory}`` to pick the physical rows format of
+``--backend {npz,parquet,memory,mmap}`` to pick the physical rows format of
 new versions (reads auto-detect per version; see docs/STORAGE.md).
 """
 
@@ -117,8 +117,9 @@ def build_parser() -> argparse.ArgumentParser:
     whb = whsub.add_parser("build", help="two-pass build into the store")
     whb.add_argument("--root", required=True, help="store directory")
     whb.add_argument(
-        "--backend", choices=["npz", "parquet", "memory"], default="npz",
-        help="rows storage backend (default npz; parquet needs pyarrow, falls back to npz)",
+        "--backend", choices=["npz", "parquet", "memory", "mmap"], default="npz",
+        help="rows storage backend (default npz; parquet needs pyarrow, "
+        "falls back to npz; mmap = zero-copy lazy columns)",
     )
     whb.add_argument("--table", required=True, help="npz base-table path")
     whb.add_argument("--name", required=True, help="sample name")
@@ -173,8 +174,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     whr.add_argument("--root", required=True)
     whr.add_argument(
-        "--backend", choices=["npz", "parquet", "memory"], default="npz",
-        help="rows storage backend (default npz; parquet needs pyarrow, falls back to npz)",
+        "--backend", choices=["npz", "parquet", "memory", "mmap"], default="npz",
+        help="rows storage backend (default npz; parquet needs pyarrow, "
+        "falls back to npz; mmap = zero-copy lazy columns)",
     )
     whr.add_argument("--name", required=True)
     whr.add_argument("--batch", required=True, help="npz batch path")
@@ -224,8 +226,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     whs.add_argument("--root", required=True)
     whs.add_argument(
-        "--backend", choices=["npz", "parquet", "memory"], default="npz",
-        help="rows storage backend (default npz; parquet needs pyarrow, falls back to npz)",
+        "--backend", choices=["npz", "parquet", "memory", "mmap"], default="npz",
+        help="rows storage backend (default npz; parquet needs pyarrow, "
+        "falls back to npz; mmap = zero-copy lazy columns)",
     )
     whs.add_argument("--table", required=True, help="npz base-table path")
     whs.add_argument("--table-name", default=None)
@@ -300,8 +303,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     whd.add_argument("--root", required=True, help="store directory")
     whd.add_argument(
-        "--backend", choices=["npz", "parquet", "memory"], default="npz",
-        help="rows storage backend (default npz; parquet needs pyarrow, falls back to npz)",
+        "--backend", choices=["npz", "parquet", "memory", "mmap"], default="npz",
+        help="rows storage backend (default npz; parquet needs pyarrow, "
+        "falls back to npz; mmap = zero-copy lazy columns)",
     )
     whd.add_argument(
         "--table", action="append", default=[],

@@ -64,6 +64,7 @@ __all__ = [
     "apply_weighting",
     "rename_tables",
     "transform_plan_exprs",
+    "plan_column_refs",
     "parameterize_query",
     "bind_plan",
     "extract_time_bounds",
@@ -383,6 +384,32 @@ def transform_plan_exprs(plan: LogicalPlan, fn) -> LogicalPlan:
 
 def _map_items(items, fn):
     return tuple(SelectItem(fn(item.expr), item.alias) for item in items)
+
+
+def plan_column_refs(plan: LogicalPlan) -> frozenset:
+    """Base (unqualified) column names referenced anywhere in ``plan``.
+
+    This is the projection pushdown's required-column set: group-by
+    keys, aggregate arguments, WHERE/HAVING/ORDER BY references, join
+    conditions — every expression the plan will evaluate. Qualifiers
+    (``t.col``) are stripped to the base name. Output aliases that are
+    re-referenced (``ORDER BY alias``) are collected too; they simply
+    never match a physical column, and over-collection is harmless —
+    projection keeps a superset, it must never drop a column the plan
+    touches. ``COUNT(*)`` contributes nothing (``Star`` carries no
+    reference).
+    """
+    from ..expr import collect_column_refs
+
+    names: set = set()
+
+    def note(expr: Expr) -> Expr:
+        for ref in collect_column_refs(expr):
+            names.add(ref.name.rsplit(".", 1)[-1])
+        return expr
+
+    transform_plan_exprs(plan, note)
+    return frozenset(names)
 
 
 # ----------------------------------------------------------------------

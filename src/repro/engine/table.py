@@ -21,13 +21,24 @@ __all__ = ["Column", "Table"]
 
 
 class Column:
-    """One column: a physical numpy array plus logical-type metadata."""
+    """One column: a physical numpy array plus logical-type metadata.
 
-    __slots__ = ("dtype", "data", "categories")
+    A column can be *lazy*: constructed via :meth:`lazy` with a loader
+    callable and a known length instead of a materialized array. The
+    loader runs once, on first access to :attr:`data`, and its result is
+    cached; until then the column answers ``len()`` and schema questions
+    without any IO. The mmap storage backend uses this so ``store.get``
+    is O(metadata) and untouched columns never open their files.
+    """
+
+    __slots__ = ("dtype", "categories", "_data", "_loader", "_length", "_code_index")
 
     def __init__(self, dtype: DType, data: np.ndarray, categories=None) -> None:
         self.dtype = dtype
-        self.data = data
+        self._data = data
+        self._loader = None
+        self._length = None
+        self._code_index = None
         if dtype is DType.STRING:
             if categories is None:
                 raise ValueError("STRING column requires categories")
@@ -36,6 +47,24 @@ class Column:
             if categories is not None:
                 raise ValueError("only STRING columns carry categories")
             self.categories = None
+
+    @property
+    def data(self) -> np.ndarray:
+        """Physical array; materializes a lazy column on first access."""
+        if self._data is None:
+            value = self._loader()
+            # Keep ndarray subclasses (np.memmap stays a mapped view);
+            # only coerce genuinely non-array loader results.
+            self._data = (
+                value if isinstance(value, np.ndarray) else np.asarray(value)
+            )
+            self._loader = None
+        return self._data
+
+    @property
+    def materialized(self) -> bool:
+        """Whether the physical array has been loaded into the process."""
+        return self._data is not None
 
     # ------------------------------------------------------------------
     # construction helpers
@@ -66,11 +95,35 @@ class Column:
     def from_codes(cls, codes: np.ndarray, categories) -> "Column":
         return cls(DType.STRING, np.asarray(codes, dtype=np.int32), categories)
 
+    @classmethod
+    def lazy(cls, dtype: DType, loader, length: int, categories=None) -> "Column":
+        """Build a column whose array is produced by ``loader()`` on
+        first :attr:`data` access. ``length`` must match what the loader
+        will return — it is what ``len()`` reports before
+        materialization, and what :class:`Table` validates against."""
+        col = cls.__new__(cls)
+        col.dtype = dtype
+        col._data = None
+        col._loader = loader
+        col._length = int(length)
+        col._code_index = None
+        if dtype is DType.STRING:
+            if categories is None:
+                raise ValueError("STRING column requires categories")
+            col.categories = tuple(categories)
+        else:
+            if categories is not None:
+                raise ValueError("only STRING columns carry categories")
+            col.categories = None
+        return col
+
     # ------------------------------------------------------------------
     # accessors
     # ------------------------------------------------------------------
     def __len__(self) -> int:
-        return len(self.data)
+        if self._data is None:
+            return self._length
+        return len(self._data)
 
     def decode(self) -> np.ndarray:
         """Materialize logical values (strings decoded, timestamps as ints)."""
@@ -90,11 +143,15 @@ class Column:
         return self.data
 
     def code_for(self, value: str) -> int:
-        """Dictionary code of ``value``, or -1 if absent from the column."""
-        try:
-            return self.categories.index(str(value))
-        except ValueError:
-            return -1
+        """Dictionary code of ``value``, or -1 if absent from the column.
+
+        Sits on the equality-predicate fast path, so the category→code
+        map is built once per column and memoized instead of scanning
+        ``categories`` linearly on every call.
+        """
+        if self._code_index is None:
+            self._code_index = {c: i for i, c in enumerate(self.categories)}
+        return self._code_index.get(str(value), -1)
 
     def take(self, indices: np.ndarray) -> "Column":
         return Column(self.dtype, self.data[indices], self.categories)
@@ -129,8 +186,25 @@ class Column:
             )
         return Column(self.dtype, np.concatenate([self.data, other.data]))
 
+    # ------------------------------------------------------------------
+    # pickling (lazy loaders are closures over file handles/paths and do
+    # not pickle; a column crossing a process boundary materializes)
+    # ------------------------------------------------------------------
+    def __getstate__(self):
+        return (self.dtype, np.asarray(self.data), self.categories)
+
+    def __setstate__(self, state):
+        dtype, data, categories = state
+        self.dtype = dtype
+        self._data = data
+        self._loader = None
+        self._length = None
+        self._code_index = None
+        self.categories = categories
+
     def __repr__(self) -> str:
-        return f"Column({self.dtype.value}, n={len(self.data)})"
+        lazy = "" if self.materialized else ", lazy"
+        return f"Column({self.dtype.value}, n={len(self)}{lazy})"
 
 
 class Table:
@@ -173,9 +247,10 @@ class Table:
         cols = {}
         for cname in other.column_names:
             col = other.column(cname)
+            # storage_dtype avoids touching col.data (lazy columns stay lazy)
             cols[cname] = Column(
                 col.dtype,
-                np.empty(0, dtype=col.data.dtype),
+                np.empty(0, dtype=col.dtype.storage_dtype),
                 col.categories,
             )
         return cls(cols, name=other.name)
@@ -310,7 +385,11 @@ class Table:
         np.savez_compressed(path, **payload, allow_pickle=True)
 
     @classmethod
-    def load(cls, path) -> "Table":
+    def load(cls, path, columns=None) -> "Table":
+        """Load an npz table. ``columns`` restricts which members are
+        decompressed (npz decodes per member on access, so skipped
+        columns cost nothing); ``None`` loads everything."""
+        wanted = None if columns is None else set(columns)
         with np.load(path, allow_pickle=True) as npz:
             name = str(npz["__name__"][0]) if "__name__" in npz else ""
             cols = {}
@@ -318,6 +397,8 @@ class Table:
                 if not key.startswith("data::"):
                     continue
                 cname = key[len("data::"):]
+                if wanted is not None and cname not in wanted:
+                    continue
                 dtype = DType(str(npz[f"type::{cname}"][0]))
                 cats = None
                 if f"cats::{cname}" in npz.files:

@@ -9,6 +9,10 @@ CV-degradation threshold triggers a full two-pass rebuild, because the
 service hands maintenance the grown base table). Every applied batch
 hot-swaps a new immutable version into the live service between
 requests; concurrent readers keep the old version until the swap.
+Under the ``mmap`` storage backend the swap itself is O(metadata):
+the refreshed version is re-read as lazy memory-mapped columns, so no
+row bytes move until the first query touches them and page-cache pages
+for unchanged access patterns warm naturally.
 
 File protocol
 -------------

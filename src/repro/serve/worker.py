@@ -144,6 +144,14 @@ class ShardServer:
         table is registered as an empty placeholder — enough for the
         service to adopt the sample and for ``partials`` to snapshot
         it; exact execution never happens on a worker.
+
+        With the mmap backend adoption is O(metadata) per sample: the
+        tables come back lazy, ``sample_meta`` ships allocations
+        without touching rows, and a ``partials`` call materializes
+        only the columns its query needs (see
+        :func:`repro.warehouse.partials.compute_partials`) as shared
+        page-cache mappings — N workers on one host keep one physical
+        copy of the hot columns instead of N private ones.
         """
         for name in self.service.store.names():
             try:

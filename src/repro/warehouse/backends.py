@@ -25,6 +25,19 @@ Built-in backends (``docs/STORAGE.md`` has the full matrix):
     Rows live in a process-wide dict keyed by version path; only a tiny
     JSON marker file lands on disk. For tests and benchmarks — blobs do
     not survive the process.
+``mmap`` (:class:`MmapBackend`)
+    Zero-copy columnar: one raw uncompressed ``.npy`` file per column
+    plus a small JSON sidecar (``rows.mmap``) holding the schema and
+    dictionary categories. Columns come back *lazy* and map their file
+    with ``np.load(mmap_mode="r")`` on first access, so ``get_rows`` is
+    O(metadata), projected reads touch only the requested files, and
+    concurrent processes on one host share the OS page cache instead of
+    holding private copies. No extra dependencies.
+
+Every ``get_rows`` accepts an optional ``columns=`` set naming the
+columns the caller needs; omitted means a full read, so backends (and
+third-party implementations) that predate the parameter stay correct —
+the store only forwards it when a caller asked for a projection.
 """
 
 from __future__ import annotations
@@ -32,7 +45,7 @@ from __future__ import annotations
 import json
 import os
 import pathlib
-from typing import Dict, List, Optional, Protocol, runtime_checkable
+from typing import Dict, List, Optional, Protocol, Sequence, runtime_checkable
 
 import numpy as np
 
@@ -44,6 +57,7 @@ __all__ = [
     "NpzBackend",
     "ParquetArrowBackend",
     "MemoryBackend",
+    "MmapBackend",
     "BACKENDS",
     "resolve_backend",
     "backend_for_format",
@@ -63,6 +77,13 @@ class StorageBackend(Protocol):
     ``columns`` so operators can inspect what a blob holds without
     decoding it), and ``get_rows`` must be able to decode any blob
     whose block names its format.
+
+    ``get_rows`` takes an optional ``columns`` projection: the caller
+    promises to touch only those columns, and the backend may skip
+    loading the rest. ``None`` (the default) means a full read. The
+    store calls the two-argument form when no projection was requested,
+    so older backend implementations without the parameter keep
+    working.
     """
 
     name: str
@@ -72,8 +93,14 @@ class StorageBackend(Protocol):
         ``storage`` block describing what was written."""
         ...
 
-    def get_rows(self, version_dir: pathlib.Path, storage: Dict) -> Table:
-        """Load the rows blob described by ``storage``."""
+    def get_rows(
+        self,
+        version_dir: pathlib.Path,
+        storage: Dict,
+        columns: Optional[Sequence[str]] = None,
+    ) -> Table:
+        """Load the rows blob described by ``storage``, restricted to
+        ``columns`` when given (unknown names are silently ignored)."""
         ...
 
     def list(self, version_dir: pathlib.Path) -> List[str]:
@@ -101,8 +128,16 @@ class NpzBackend:
             "columns": list(table.column_names),
         }
 
-    def get_rows(self, version_dir: pathlib.Path, storage: Dict) -> Table:
-        return Table.load(version_dir / storage.get("rows_file", self.rows_file))
+    def get_rows(
+        self,
+        version_dir: pathlib.Path,
+        storage: Dict,
+        columns: Optional[Sequence[str]] = None,
+    ) -> Table:
+        return Table.load(
+            version_dir / storage.get("rows_file", self.rows_file),
+            columns=columns,
+        )
 
     def list(self, version_dir: pathlib.Path) -> List[str]:
         return [
@@ -195,18 +230,33 @@ class ParquetArrowBackend:
     # ------------------------------------------------------------------
     # reading
     # ------------------------------------------------------------------
-    def get_rows(self, version_dir: pathlib.Path, storage: Dict) -> Table:
+    def get_rows(
+        self,
+        version_dir: pathlib.Path,
+        storage: Dict,
+        columns: Optional[Sequence[str]] = None,
+    ) -> Table:
         if storage.get("format") == "npz":
-            return self._fallback.get_rows(version_dir, storage)
+            return self._fallback.get_rows(version_dir, storage, columns=columns)
         if self._pa is None:
             raise RuntimeError(
                 "version was written as parquet but pyarrow is not "
                 "installed; install pyarrow to read it"
             )
         pa, pq = self._pa, self._pq
-        arrow_table = pq.read_table(
-            version_dir / storage.get("rows_file", self.rows_file)
-        )
+        path = version_dir / storage.get("rows_file", self.rows_file)
+        read_columns = None
+        if columns is not None:
+            wanted = set(columns)
+            # Intersect with what the blob actually holds: pyarrow
+            # raises on unknown names, while the protocol says to
+            # ignore them. The storage block records the schema; fall
+            # back to reading the footer when it predates that.
+            stored = storage.get("columns")
+            if stored is None:
+                stored = pq.read_schema(path).names
+            read_columns = [c for c in stored if c in wanted]
+        arrow_table = pq.read_table(path, columns=read_columns)
         schema_meta = arrow_table.schema.metadata or {}
         dtypes = json.loads(
             schema_meta.get(self._DTYPES_KEY, b"{}").decode("utf-8")
@@ -293,18 +343,29 @@ class MemoryBackend:
             "columns": list(table.column_names),
         }
 
-    def get_rows(self, version_dir: pathlib.Path, storage: Dict) -> Table:
+    def get_rows(
+        self,
+        version_dir: pathlib.Path,
+        storage: Dict,
+        columns: Optional[Sequence[str]] = None,
+    ) -> Table:
         key = os.path.abspath(str(version_dir))
         # Staged writes land under a hidden directory that is renamed
         # into place, so the blob may be registered under the staging
         # path; the store re-registers on rename (see SampleStore.put).
         try:
-            return type(self)._blobs[key]
+            table = type(self)._blobs[key]
         except KeyError:
             raise OSError(
                 f"memory backend has no resident rows for {version_dir} "
                 "(written by another process, or the process restarted)"
             ) from None
+        if columns is not None:
+            wanted = set(columns)
+            keep = [c for c in table.column_names if c in wanted]
+            if len(keep) < len(table.column_names):
+                table = table.select(keep)
+        return table
 
     def rename(self, old_dir: pathlib.Path, new_dir: pathlib.Path) -> None:
         """Follow a staging-directory rename (store-internal hook)."""
@@ -322,10 +383,130 @@ class MemoryBackend:
         type(self)._blobs.pop(os.path.abspath(str(version_dir)), None)
 
 
+def _mmap_loader(path: pathlib.Path):
+    """Loader closure for one lazy mmap column.
+
+    ``np.load(mmap_mode="r")`` returns a read-only ``np.memmap`` view of
+    the file: no bytes are copied into the process, pages fault in on
+    access and live in the shared OS page cache, so N workers reading
+    the same version on one host keep one physical copy.
+    """
+
+    def load() -> np.ndarray:
+        return np.load(path, mmap_mode="r")
+
+    return load
+
+
+class MmapBackend:
+    """Zero-copy columnar backend: one raw ``.npy`` file per column.
+
+    On disk a version holds ``rows.mmap`` (a JSON sidecar with the table
+    name, row count, and per-column name/dtype/file/categories) plus one
+    uncompressed ``col-NNN.npy`` per column (index-named, so
+    path-hostile column names never touch the filesystem). ``get_rows``
+    parses only the sidecar and returns a table of *lazy* columns whose
+    files are memory-mapped on first access — untouched columns never
+    open their file, and a full ``store.get`` is O(metadata).
+
+    Torn versions are detected eagerly: every column file named by the
+    sidecar is stat'ed during ``get_rows`` (cheap, no reads), so a
+    missing file raises :class:`FileNotFoundError` there — inside the
+    store's corrupt-version skip — instead of mid-query on first lazy
+    access.
+    """
+
+    name = "mmap"
+    rows_file = "rows.mmap"
+
+    def put_rows(self, version_dir: pathlib.Path, table: Table) -> Dict:
+        column_files: Dict[str, str] = {}
+        sidecar_columns = []
+        for i, cname in enumerate(table.column_names):
+            col = table.column(cname)
+            fname = f"col-{i:03d}.npy"
+            np.save(
+                version_dir / fname,
+                np.ascontiguousarray(col.data),
+                allow_pickle=False,
+            )
+            column_files[cname] = fname
+            sidecar_columns.append(
+                {
+                    "name": cname,
+                    "dtype": col.dtype.value,
+                    "file": fname,
+                    "categories": (
+                        list(col.categories)
+                        if col.categories is not None
+                        else None
+                    ),
+                }
+            )
+        sidecar = {
+            "name": table.name,
+            "rows": int(table.num_rows),
+            "columns": sidecar_columns,
+        }
+        (version_dir / self.rows_file).write_text(
+            json.dumps(sidecar) + "\n", encoding="utf-8"
+        )
+        return {
+            "backend": self.name,
+            "format": "mmap",
+            "rows_file": self.rows_file,
+            "columns": list(table.column_names),
+            "column_files": column_files,
+        }
+
+    def get_rows(
+        self,
+        version_dir: pathlib.Path,
+        storage: Dict,
+        columns: Optional[Sequence[str]] = None,
+    ) -> Table:
+        sidecar_path = version_dir / storage.get("rows_file", self.rows_file)
+        sidecar = json.loads(sidecar_path.read_text(encoding="utf-8"))
+        rows = int(sidecar["rows"])
+        wanted = None if columns is None else set(columns)
+        cols: Dict[str, Column] = {}
+        for spec in sidecar["columns"]:
+            path = version_dir / spec["file"]
+            # Stat every file — including projected-away ones — so a
+            # torn version surfaces here, not mid-query.
+            if not path.is_file():
+                raise FileNotFoundError(
+                    f"mmap version is missing column file {spec['file']!r} "
+                    f"for column {spec['name']!r} in {version_dir}"
+                )
+            cname = spec["name"]
+            if wanted is not None and cname not in wanted:
+                continue
+            cols[cname] = Column.lazy(
+                DType(spec["dtype"]),
+                _mmap_loader(path),
+                rows,
+                categories=spec.get("categories"),
+            )
+        return Table(cols, name=sidecar.get("name", ""))
+
+    def list(self, version_dir: pathlib.Path) -> List[str]:
+        sidecar = version_dir / self.rows_file
+        if not sidecar.is_file():
+            return []
+        return [self.rows_file] + sorted(
+            p.name for p in version_dir.glob("col-*.npy") if p.is_file()
+        )
+
+    def delete(self, version_dir: pathlib.Path) -> None:
+        pass  # column files live inside the directory; rmtree handles them
+
+
 BACKENDS = {
     NpzBackend.name: NpzBackend,
     ParquetArrowBackend.name: ParquetArrowBackend,
     MemoryBackend.name: MemoryBackend,
+    MmapBackend.name: MmapBackend,
 }
 
 #: format tag in a version's ``storage`` block -> backend able to read it
@@ -333,6 +514,7 @@ _FORMAT_READERS = {
     "npz": NpzBackend,
     "parquet": ParquetArrowBackend,
     "memory": MemoryBackend,
+    "mmap": MmapBackend,
 }
 
 
@@ -345,6 +527,7 @@ def available_backends() -> Dict[str, bool]:
         NpzBackend.name: True,
         ParquetArrowBackend.name: ParquetArrowBackend().available,
         MemoryBackend.name: True,
+        MmapBackend.name: True,
     }
 
 
@@ -368,7 +551,12 @@ def resolve_backend(backend) -> StorageBackend:
 
 
 #: rows-file suffix -> storage format tag
-_SUFFIX_FORMATS = {".npz": "npz", ".parquet": "parquet", ".mem": "memory"}
+_SUFFIX_FORMATS = {
+    ".npz": "npz",
+    ".parquet": "parquet",
+    ".mem": "memory",
+    ".mmap": "mmap",
+}
 
 
 def infer_storage(version_dir) -> Optional[Dict]:
@@ -385,7 +573,25 @@ def infer_storage(version_dir) -> Optional[Dict]:
             fmt = _SUFFIX_FORMATS.get(
                 pathlib.Path(rows_file).suffix, "npz"
             )
-            return {"backend": fmt, "format": fmt, "rows_file": rows_file}
+            block = {"backend": fmt, "format": fmt, "rows_file": rows_file}
+            if fmt == "mmap":
+                # Rebuild the column-file list from the sidecar and
+                # refuse to adopt a torn directory (missing col files).
+                try:
+                    sidecar = json.loads(
+                        (version_dir / rows_file).read_text(encoding="utf-8")
+                    )
+                    specs = sidecar["columns"]
+                except (OSError, ValueError, KeyError, TypeError):
+                    return None
+                column_files = {}
+                for spec in specs:
+                    if not (version_dir / spec["file"]).is_file():
+                        return None
+                    column_files[spec["name"]] = spec["file"]
+                block["columns"] = list(column_files)
+                block["column_files"] = column_files
+            return block
     return None
 
 

@@ -237,8 +237,28 @@ def compute_partials(
     the weighted moment block of every aggregate argument — the exact
     per-shard summands of the unsharded kernels in
     :mod:`repro.engine.aggregates`.
+
+    The table is first narrowed to the columns the decomposition can
+    touch (keys, WHERE references, aggregate arguments, HT weights):
+    with a lazy mmap-backed sample, ``Table.filter`` would otherwise
+    materialize every column just to subset it, and the projection
+    keeps a shard worker's resident set proportional to the query, not
+    the sample.
     """
     table = sample.table
+    needed = set(dq.key_names) | {WEIGHT_COLUMN}
+    if dq.where is not None:
+        needed.update(ref.name for ref in collect_column_refs(dq.where))
+    for call in dq.agg_calls:
+        if call.arg is not None and not isinstance(call.arg, Star):
+            needed.update(ref.name for ref in collect_column_refs(call.arg))
+    keep = [c for c in table.column_names if c in needed]
+    if len(keep) < len(table.column_names):
+        projected = table.select(keep)
+        # Same immutable rows, shared buffers — the group-code cache
+        # token stays valid on the projection.
+        projected.cache_token = table.cache_token
+        table = projected
     if dq.where is not None:
         table = table.filter(evaluate_predicate(dq.where, table))
     weights = (

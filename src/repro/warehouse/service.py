@@ -1171,6 +1171,12 @@ class WarehouseService:
         (format-4 metas carrying a ``window`` block) are additionally
         folded back into their family registry so sliding-window
         routing survives a restart.
+
+        With the mmap backend the ``store.get`` here is O(metadata):
+        sample tables come back lazy and no column bytes are read until
+        a query touches them, so warm start (and the daemon's version
+        hot-swap, which rides the same path) costs parse-the-sidecar
+        per sample regardless of row counts.
         """
         for name in self.store.names():
             try:

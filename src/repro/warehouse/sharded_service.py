@@ -28,6 +28,15 @@ sub-stores, each owned by a shard worker
   decided centrally (a shard only sees its strata) and pushed back
   down as freshly split pieces.
 
+* **Column projection rides the scatter.** Workers adopt their
+  sub-store samples lazily under the ``mmap`` backend (tables hold
+  memory-mapped columns that load on first touch), and
+  :func:`~repro.warehouse.partials.compute_partials` narrows each
+  sample to the columns the decomposed query references before
+  filtering — so a worker's resident set is the hot columns of its
+  traffic, those pages live in the OS page cache, and N workers on
+  one host share one physical copy rather than N deserialized ones.
+
 ``--shards 1`` deployments should not construct this class at all —
 the CLI routes them to the plain ``WarehouseService`` so the
 single-store layout stays byte-identical to previous releases.

@@ -60,7 +60,7 @@ import threading
 import zipfile
 import zlib
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -366,8 +366,19 @@ class SampleStore:
         unknown samples."""
         return _read_current(self._sample_dir(name))
 
-    def get(self, name: str, version: Optional[str] = None) -> StoredSample:
+    def get(
+        self,
+        name: str,
+        version: Optional[str] = None,
+        columns: Optional[Sequence[str]] = None,
+    ) -> StoredSample:
         """Load ``name`` at ``version`` (default: the current one).
+
+        ``columns`` is a projection hint forwarded to the storage
+        backend: only the named columns need to come back on the sample
+        table (unknown names are ignored; ``None`` means all). Callers
+        that pass it own the consequences — the returned table simply
+        lacks the other columns.
 
         Without an explicit ``version``, damaged version directories —
         truncated rows from a crashed writer, missing meta, a blob this
@@ -384,14 +395,14 @@ class SampleStore:
                     "available: "
                     + ", ".join(self._merged_versions(name, sample_dir))
                 )
-            return self._load_version(name, sample_dir, version)
+            return self._load_version(name, sample_dir, version, columns)
         candidates = self._read_candidates(name, sample_dir)
         if not candidates:
             raise KeyError(f"sample {name!r} has no current version")
         failures = []
         for candidate in candidates:
             try:
-                return self._load_version(name, sample_dir, candidate)
+                return self._load_version(name, sample_dir, candidate, columns)
             except _CORRUPT_ERRORS as exc:
                 failures.append(f"{candidate}: {type(exc).__name__}: {exc}")
         raise KeyError(
@@ -549,14 +560,24 @@ class SampleStore:
     # loading
     # ------------------------------------------------------------------
     def _load_version(
-        self, name: str, sample_dir: pathlib.Path, version: str
+        self,
+        name: str,
+        sample_dir: pathlib.Path,
+        version: str,
+        columns: Optional[Sequence[str]] = None,
     ) -> StoredSample:
         version_dir = sample_dir / version
         meta = json.loads((version_dir / _META_FILE).read_text())
         storage = meta.get("storage") or {
             "backend": "npz", "format": "npz", "rows_file": "rows.npz",
         }
-        table = self._reader_for(storage).get_rows(version_dir, storage)
+        reader = self._reader_for(storage)
+        if columns is None:
+            # Two-argument form keeps third-party backends written
+            # against the pre-projection protocol working.
+            table = reader.get_rows(version_dir, storage)
+        else:
+            table = reader.get_rows(version_dir, storage, columns=columns)
         sample = self._decode_sample(table, meta)
         return StoredSample(
             name=name,
@@ -875,6 +896,13 @@ def _storage_block_of(version_dir: pathlib.Path) -> Optional[Dict]:
         return infer_storage(version_dir)  # legacy meta: probe backends
     if not (version_dir / storage.get("rows_file", "rows.npz")).is_file():
         return None
+    column_files = storage.get("column_files")
+    if isinstance(column_files, dict):
+        # Multi-file formats (mmap): every recorded column file must be
+        # present, or the version is torn and must not be adopted.
+        for fname in column_files.values():
+            if not (version_dir / fname).is_file():
+                return None
     return storage
 
 

@@ -35,6 +35,98 @@ class TestColumn:
         assert col.code_for("x") >= 0
         assert col.code_for("zzz") == -1
 
+    def test_code_for_memoized_matches_linear_scan(self):
+        # Regression: code_for now answers from a memoized dict; it must
+        # agree with the category list order and keep pinning -1 for
+        # values absent from the dictionary (the equality fast path
+        # turns -1 into an all-false mask).
+        col = Column.from_strings(["b", "a", "b", "c"])
+        for expected, cat in enumerate(col.categories):
+            assert col.code_for(cat) == expected
+        assert col.code_for("absent") == -1
+        assert col.code_for("absent") == -1  # stable on repeat lookups
+        # non-string inputs coerce exactly like the old str() path
+        num = Column.from_strings(["1", "2"])
+        assert num.code_for(1) == num.categories.index("1")
+
+    def test_code_for_does_not_scan_categories_per_call(self):
+        col = Column.from_strings(["x", "y"])
+        col.code_for("x")  # builds the memo
+        calls = []
+
+        class Tracker(tuple):
+            def index(self, *a, **kw):  # pragma: no cover - must not run
+                calls.append(a)
+                return super().index(*a, **kw)
+
+        # swap in a tracking tuple; further lookups must not call .index
+        tracked = Tracker(col.categories)
+        col.categories = tracked
+        assert col.code_for("y") == 1
+        assert calls == []
+
+
+class TestLazyColumn:
+    def test_lazy_defers_loader_until_data_access(self):
+        loads = []
+
+        def loader():
+            loads.append(1)
+            return np.arange(4, dtype=np.int64)
+
+        col = Column.lazy(DType.INT64, loader, 4)
+        assert not col.materialized
+        assert len(col) == 4
+        assert "lazy" in repr(col)
+        assert loads == []
+        np.testing.assert_array_equal(col.data, np.arange(4))
+        assert col.materialized
+        assert loads == [1]
+        col.data  # cached: loader must not run again
+        assert loads == [1]
+
+    def test_lazy_string_column_carries_categories(self):
+        col = Column.lazy(
+            DType.STRING,
+            lambda: np.asarray([0, 1, 0], dtype=np.int32),
+            3,
+            categories=["a", "b"],
+        )
+        assert col.categories == ("a", "b")
+        assert col.code_for("b") == 1  # no materialization needed
+        assert not col.materialized
+        assert list(col.decode()) == ["a", "b", "a"]
+
+    def test_lazy_string_requires_categories(self):
+        with pytest.raises(ValueError):
+            Column.lazy(DType.STRING, lambda: None, 1)
+
+    def test_table_of_lazy_columns_stays_lazy(self):
+        col = Column.lazy(DType.FLOAT64, lambda: np.ones(5), 5)
+        table = Table({"x": col}, name="L")
+        assert table.num_rows == 5
+        assert not col.materialized  # ragged check used len(), not data
+        sub = table.select(["x"])
+        assert not col.materialized
+        assert sub.column("x") is col
+
+    def test_empty_like_does_not_materialize(self):
+        col = Column.lazy(DType.FLOAT64, lambda: np.ones(5), 5)
+        table = Table({"x": col})
+        empty = Table.empty_like(table)
+        assert not col.materialized
+        assert empty.num_rows == 0
+        assert empty.column("x").data.dtype == np.float64
+
+    def test_pickle_materializes_lazy_column(self):
+        import pickle
+
+        col = Column.lazy(DType.INT64, lambda: np.arange(3, dtype=np.int64), 3)
+        clone = pickle.loads(pickle.dumps(col))
+        assert clone.materialized
+        np.testing.assert_array_equal(clone.data, np.arange(3))
+        assert clone.dtype is DType.INT64
+
     def test_values_numeric_rejects_strings(self):
         col = Column.from_strings(["x"])
         with pytest.raises(TypeError):

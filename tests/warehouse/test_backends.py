@@ -22,7 +22,7 @@ from repro.warehouse.backends import (
 from repro.warehouse.store import SampleStore
 from repro.warehouse.service import WarehouseService
 
-ALL_BACKENDS = ["npz", "parquet", "memory"]
+ALL_BACKENDS = ["npz", "parquet", "memory", "mmap"]
 
 try:
     import pyarrow  # noqa: F401

@@ -1,0 +1,290 @@
+"""Zero-copy mmap backend: layout, laziness, projection, torn versions.
+
+The differential eager-vs-lazy answer guarantees live in
+``tests/properties/test_mmap_differential.py``; this file covers the
+backend and store mechanics.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.cvopt import CVOptSampler
+from repro.core.sample import WEIGHT_COLUMN
+from repro.core.spec import GroupByQuerySpec
+from repro.engine.schema import DType
+from repro.engine.table import Column, Table
+from repro.warehouse.backends import MmapBackend, infer_storage
+from repro.warehouse.store import SampleStore
+
+
+@pytest.fixture()
+def sample(openaq_small):
+    sampler = CVOptSampler(
+        [GroupByQuerySpec.single("value", by=("country", "parameter"))]
+    )
+    return sampler.sample(openaq_small, 2_000, seed=0)
+
+
+@pytest.fixture()
+def store(tmp_path, sample):
+    store = SampleStore(tmp_path / "store", backend="mmap")
+    store.put("s", sample, table_name="OpenAQ")
+    return store
+
+
+class TestOnDiskLayout:
+    def test_one_npy_per_column_plus_sidecar(self, store, sample):
+        stored = store.get("s")
+        files = sorted(p.name for p in stored.path.iterdir())
+        ncols = len(sample.table.column_names)
+        assert "rows.mmap" in files
+        assert [f for f in files if f.endswith(".npy")] == [
+            f"col-{i:03d}.npy" for i in range(ncols)
+        ]
+        sidecar = json.loads((stored.path / "rows.mmap").read_text())
+        assert sidecar["rows"] == sample.num_rows
+        assert [c["name"] for c in sidecar["columns"]] == list(
+            sample.table.column_names
+        )
+
+    def test_storage_block_records_column_files(self, store, sample):
+        stored = store.get("s")
+        block = stored.storage
+        assert block["backend"] == "mmap"
+        assert block["format"] == "mmap"
+        assert set(block["column_files"]) == set(sample.table.column_names)
+        for fname in block["column_files"].values():
+            assert (stored.path / fname).is_file()
+
+    def test_column_files_are_raw_npy(self, store):
+        stored = store.get("s")
+        for fname in stored.storage["column_files"].values():
+            with open(stored.path / fname, "rb") as fh:
+                assert fh.read(6) == b"\x93NUMPY"
+
+
+class TestLaziness:
+    def test_get_defers_column_io(self, store, sample):
+        table = store.get("s").sample.table
+        assert table.num_rows == sample.num_rows
+        assert all(
+            not table.column(c).materialized for c in table.column_names
+        )
+
+    def test_first_access_memory_maps(self, store, sample):
+        table = store.get("s").sample.table
+        col = table.column("value")
+        data = col.data
+        assert isinstance(data, np.memmap)
+        assert not data.flags.writeable
+        np.testing.assert_array_equal(
+            data, sample.table.column("value").data
+        )
+        assert all(
+            not table.column(c).materialized
+            for c in table.column_names
+            if c != "value"
+        )
+
+    def test_projected_get_drops_other_columns(self, store):
+        stored = store.get("s", columns=["country", "value", WEIGHT_COLUMN])
+        assert set(stored.sample.table.column_names) == {
+            "country",
+            "value",
+            WEIGHT_COLUMN,
+        }
+
+    def test_projection_ignores_unknown_names(self, store):
+        stored = store.get("s", columns=["value", "no_such_column"])
+        assert stored.sample.table.column_names == ("value",)
+
+
+class TestTornVersions:
+    def test_missing_column_file_raises_at_get_not_mid_query(
+        self, tmp_path, sample
+    ):
+        store = SampleStore(tmp_path / "t", backend="mmap")
+        store.put("s", sample)
+        stored = store.get("s")
+        # Delete a column file nobody is asking for: the projected get
+        # must still fail eagerly (inside the store's skip machinery),
+        # never later on first lazy access.
+        victim = stored.storage["column_files"]["latitude"]
+        (stored.path / victim).unlink()
+        with pytest.raises(KeyError):
+            store.get("s", columns=["value"])
+
+    def test_get_falls_back_to_previous_complete_version(
+        self, tmp_path, sample
+    ):
+        store = SampleStore(tmp_path / "t", backend="mmap")
+        v1 = store.put("s", sample)
+        v2 = store.put("s", sample)
+        stored = store.get("s", v2)
+        (stored.path / stored.storage["column_files"]["value"]).unlink()
+        assert store.get("s").version == v1
+
+    def test_rebuild_manifest_skips_torn_mmap_directory(
+        self, tmp_path, sample
+    ):
+        store = SampleStore(tmp_path / "t", backend="mmap")
+        version = store.put("s", sample)
+        vdir = store.root / "s" / version
+        # Simulate a hand-copied/legacy directory: strip the storage
+        # block so adoption must go through infer_storage.
+        meta_path = vdir / "meta.json"
+        meta = json.loads(meta_path.read_text())
+        meta.pop("storage", None)
+        meta_path.write_text(json.dumps(meta))
+        (store.root / "manifest.log").write_text("")
+
+        fresh = SampleStore(tmp_path / "t", backend="mmap")
+        adopted = fresh.rebuild_manifest()
+        assert {"name": "s", "version": version} in adopted
+
+        # Now tear it: a missing column file must block adoption.
+        (store.root / "manifest.log").write_text("")
+        (vdir / "col-000.npy").unlink()
+        fresh2 = SampleStore(tmp_path / "t", backend="mmap")
+        assert fresh2.rebuild_manifest() == []
+
+    def test_infer_storage_reconstructs_mmap_block(self, store):
+        stored = store.get("s")
+        block = infer_storage(stored.path)
+        assert block["format"] == "mmap"
+        assert block["rows_file"] == "rows.mmap"
+        assert block["column_files"] == stored.storage["column_files"]
+
+
+class TestRoundTripDtypes:
+    def test_all_dtypes_survive(self, tmp_path):
+        table = Table.from_pydict(
+            {
+                "s": ["a", "b", "a"],
+                "f": [1.5, -2.0, 0.25],
+                "i": [1, 2, 3],
+                "b": [True, False, True],
+                "ts": np.array(
+                    ["2020-01-01", "2021-06-15", "2022-12-31"],
+                    dtype="datetime64[s]",
+                ),
+            },
+            name="Typed",
+        )
+        backend = MmapBackend()
+        block = backend.put_rows(tmp_path, table)
+        back = backend.get_rows(tmp_path, block)
+        assert back.name == "Typed"
+        for cname in table.column_names:
+            orig, rest = table.column(cname), back.column(cname)
+            assert rest.dtype is orig.dtype
+            assert rest.categories == orig.categories
+            np.testing.assert_array_equal(rest.data, orig.data)
+        assert back.column("ts").dtype is DType.TIMESTAMP
+
+    def test_empty_table_round_trips(self, tmp_path):
+        table = Table.from_pydict({"x": np.asarray([], dtype=np.int64)})
+        backend = MmapBackend()
+        block = backend.put_rows(tmp_path, table)
+        back = backend.get_rows(tmp_path, block)
+        assert back.num_rows == 0
+        assert back.column("x").dtype is DType.INT64
+
+    def test_lazy_table_round_trips_through_put(self, tmp_path, store):
+        # put() of a still-lazy table must materialize on demand and
+        # write correct bytes (maintenance re-publishes loaded samples).
+        lazy = store.get("s").sample.table
+        backend = MmapBackend()
+        out = tmp_path / "copy"
+        out.mkdir()
+        block = backend.put_rows(out, lazy)
+        back = backend.get_rows(out, block)
+        for cname in lazy.column_names:
+            np.testing.assert_array_equal(
+                back.column(cname).data, lazy.column(cname).data
+            )
+
+
+class _SpyMmapBackend(MmapBackend):
+    """MmapBackend that records which column files get opened.
+
+    Wraps every lazy loader with a counter, so a test can assert that a
+    query's projection keeps untouched column files closed — no strace
+    needed.
+    """
+
+    def __init__(self):
+        self.opened = []
+
+    def get_rows(self, version_dir, storage, columns=None):
+        table = super().get_rows(version_dir, storage, columns)
+        wrapped = {}
+        for cname in table.column_names:
+            col = table.column(cname)
+            loader = col._loader
+
+            def counting(loader=loader, cname=cname):
+                self.opened.append(cname)
+                return loader()
+
+            wrapped[cname] = Column.lazy(
+                col.dtype, counting, len(col), categories=col.categories
+            )
+        spied = Table(wrapped, name=table.name)
+        spied.cache_token = table.cache_token
+        return spied
+
+
+class TestProjectionPushdown:
+    def test_query_never_opens_untouched_column_files(
+        self, tmp_path, openaq_small, sample
+    ):
+        from repro.aqp.session import AQPSession
+
+        writer = SampleStore(tmp_path / "p", backend="mmap")
+        writer.put("s", sample, table_name="OpenAQ")
+        spy = _SpyMmapBackend()
+        store = SampleStore(tmp_path / "p", backend=spy)
+        stored = store.get("s")
+
+        session = AQPSession(tables={"OpenAQ": openaq_small})
+        session.register_sample("s", stored.sample, "OpenAQ")
+        result = session.query(
+            "SELECT country, AVG(value) AS v FROM OpenAQ GROUP BY country"
+        )
+        assert result.route.approximate
+        assert result.table.num_rows > 0
+        opened = set(spy.opened)
+        # The query touches its keys, its aggregate argument, the HT
+        # weights, and (at most) routing's stratum/value fallback —
+        # never the untouched sensor geometry columns.
+        assert opened, "query answered without reading any column?"
+        for untouched in ("latitude", "location", "unit", "local_time"):
+            assert untouched not in opened
+
+    def test_compute_partials_projects_before_filtering(
+        self, tmp_path, sample
+    ):
+        from repro.warehouse.partials import compute_partials, decompose
+        from repro.engine.sql.parser import parse_query
+
+        writer = SampleStore(tmp_path / "q", backend="mmap")
+        writer.put("s", sample, table_name="OpenAQ")
+        spy = _SpyMmapBackend()
+        store = SampleStore(tmp_path / "q", backend=spy)
+        lazy_sample = store.get("s").sample
+
+        dq = decompose(
+            parse_query(
+                "SELECT country, SUM(value) AS s FROM OpenAQ "
+                "WHERE parameter = 'pm25' GROUP BY country"
+            )
+        )
+        partials = compute_partials(lazy_sample, dq)
+        assert partials.keys  # produced real work
+        opened = set(spy.opened)
+        assert opened <= {"country", "parameter", "value", WEIGHT_COLUMN}
+        for untouched in ("latitude", "location", "unit", "local_time"):
+            assert untouched not in opened

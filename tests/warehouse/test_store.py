@@ -302,6 +302,6 @@ class TestKeyEncoding:
         meta_path = store.root / "s" / "v000001" / "meta.json"
         meta = json.loads(meta_path.read_text())
         assert meta["format"] == 4
-        assert meta["storage"]["format"] in ("npz", "parquet", "memory")
+        assert meta["storage"]["format"] in ("npz", "parquet", "memory", "mmap")
         assert set(meta["columns"]) == {"tracked", "primary"}
         assert len(meta["allocation"]["keys"]) == sample.allocation.num_strata
